@@ -1,0 +1,28 @@
+//! Fig 2 bench: the diverging applications across selected DBT versions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simbench_apps::App;
+use simbench_bench::bench_config;
+use simbench_dbt::VersionProfile;
+use simbench_harness::{run_app, EngineKind, Guest};
+
+fn fig2(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for version in ["v1.7.0", "v2.0.0", "v2.2.1", "v2.5.0-rc2"] {
+        let profile = VersionProfile::by_name(version).unwrap();
+        for app in [App::SjengLike, App::McfLike] {
+            let id = format!("{}/{}", version, app.name());
+            group.bench_function(id, |b| {
+                b.iter(|| run_app(Guest::Armlet, EngineKind::Dbt(profile), app, &cfg));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

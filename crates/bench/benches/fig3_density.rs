@@ -1,0 +1,24 @@
+//! Fig 3 bench: the suite kernels whose operation densities the table
+//! reports, measured on the fast interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simbench_bench::bench_config;
+use simbench_harness::{run_suite_bench, EngineKind, Guest};
+use simbench_suite::Benchmark;
+
+fn fig3(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for bench in Benchmark::ALL {
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| run_suite_bench(Guest::Armlet, EngineKind::Interp, bench, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

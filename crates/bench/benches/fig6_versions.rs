@@ -1,0 +1,33 @@
+//! Fig 6 bench: per-category kernels across the version profiles whose
+//! transitions the paper explains (optimizer bump, guard creep, eager
+//! exception sync, data-fault fast path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simbench_bench::{bench_config, CATEGORY_REPS};
+use simbench_dbt::VersionProfile;
+use simbench_harness::{run_suite_bench, EngineKind, Guest};
+use simbench_suite::Benchmark;
+
+fn fig6(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let versions = ["v1.7.0", "v2.0.0", "v2.3.0", "v2.5.0-rc2"];
+    let benches: Vec<Benchmark> =
+        CATEGORY_REPS.iter().copied().chain([Benchmark::DataFault]).collect();
+    for version in versions {
+        let profile = VersionProfile::by_name(version).unwrap();
+        for bench in &benches {
+            let id = format!("{}/{}", version, bench.name());
+            group.bench_function(id, |b| {
+                b.iter(|| run_suite_bench(Guest::Armlet, EngineKind::Dbt(profile), *bench, &cfg));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig 7 bench: representative benchmarks across every engine and guest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simbench_bench::{bench_config, fig7_points, CATEGORY_REPS};
+use simbench_harness::run_suite_bench;
+
+fn fig7(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (guest, engine) in fig7_points() {
+        for bench in CATEGORY_REPS {
+            if !bench.supported_on(guest.isa_name()) {
+                continue;
+            }
+            let id = format!("{}/{}/{}", guest.isa_name(), engine.name(), bench.name());
+            group.bench_function(id, |b| {
+                b.iter(|| run_suite_bench(guest, engine, bench, &cfg));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

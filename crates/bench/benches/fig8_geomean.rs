@@ -1,0 +1,38 @@
+//! Fig 8 bench: the aggregate sweep — whole-suite and whole-app-set runs
+//! on the oldest and newest DBT versions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simbench_apps::App;
+use simbench_bench::bench_config;
+use simbench_dbt::VersionProfile;
+use simbench_harness::{run_app, run_suite_bench, EngineKind, Guest};
+use simbench_suite::Benchmark;
+
+fn fig8(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for version in ["v1.7.0", "v2.5.0-rc2"] {
+        let profile = VersionProfile::by_name(version).unwrap();
+        group.bench_function(format!("{version}/simbench-suite"), |b| {
+            b.iter(|| {
+                for bench in Benchmark::ALL {
+                    run_suite_bench(Guest::Armlet, EngineKind::Dbt(profile), bench, &cfg);
+                }
+            });
+        });
+        group.bench_function(format!("{version}/spec-like-apps"), |b| {
+            b.iter(|| {
+                for app in App::ALL {
+                    run_app(Guest::Armlet, EngineKind::Dbt(profile), app, &cfg);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

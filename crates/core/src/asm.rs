@@ -1,0 +1,332 @@
+//! The portable guest-assembly interface.
+//!
+//! SimBench's benchmarks are written once against [`PortableAsm`] — the
+//! analogue of the paper's "standards-compliant C" benchmark bodies — and
+//! each ISA crate supplies a concrete assembler. Architecture-specific
+//! operations (MMU setup, coprocessor reads, non-privileged accesses)
+//! are *not* part of this trait; they live in the suite's support
+//! packages, exactly as the paper splits benchmarks from architecture /
+//! platform support.
+
+use crate::image::GuestImage;
+use crate::ir::{AluOp, Cond};
+
+/// Portable register names available to benchmark code.
+///
+/// `A`–`F` are general-purpose scratch registers; `Sp` and `Lr` map to the
+/// architecture's stack pointer and link register (petix reserves its
+/// stack pointer for hardware-pushed frames but still maps both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PReg {
+    /// Scratch register 0.
+    A,
+    /// Scratch register 1.
+    B,
+    /// Scratch register 2.
+    C,
+    /// Scratch register 3.
+    D,
+    /// Scratch register 4.
+    E,
+    /// Scratch register 5. Reserved as the self-modifying-code landing
+    /// register: rewritten first words target this register.
+    F,
+    /// Stack pointer.
+    Sp,
+    /// Link register.
+    Lr,
+}
+
+impl PReg {
+    /// All portable registers.
+    pub const ALL: [PReg; 8] =
+        [PReg::A, PReg::B, PReg::C, PReg::D, PReg::E, PReg::F, PReg::Sp, PReg::Lr];
+}
+
+/// A code label. Created unbound, bound once, referenced freely before or
+/// after binding (fixups are resolved at [`PortableAsm::finish`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub(crate) usize);
+
+impl Label {
+    /// The label's index (stable within one assembler).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Sparse output buffer with label management, shared by both ISA
+/// assemblers. ISA crates embed one and layer encoding on top.
+#[derive(Debug, Clone, Default)]
+pub struct AsmBuffer {
+    chunks: Vec<(u32, Vec<u8>)>,
+    labels: Vec<Option<u32>>,
+}
+
+impl AsmBuffer {
+    /// An empty buffer with no cursor; call [`AsmBuffer::org`] first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current emission address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no chunk has been opened with [`AsmBuffer::org`].
+    pub fn here(&self) -> u32 {
+        let (base, bytes) = self.chunks.last().expect("org() before emitting");
+        base + bytes.len() as u32
+    }
+
+    /// Start emitting at `addr` (opens a new chunk).
+    pub fn org(&mut self, addr: u32) {
+        self.chunks.push((addr, Vec::new()));
+    }
+
+    /// Pad with zero bytes to an `align`-byte boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn align(&mut self, align: u32) {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        while self.here() & (align - 1) != 0 {
+            self.emit(&[0]);
+        }
+    }
+
+    /// Reserve `n` zero bytes.
+    pub fn skip(&mut self, n: u32) {
+        let chunk = self.chunks.last_mut().expect("org() before emitting");
+        chunk.1.extend(std::iter::repeat(0).take(n as usize));
+    }
+
+    /// Append raw bytes at the cursor.
+    pub fn emit(&mut self, bytes: &[u8]) {
+        let chunk = self.chunks.last_mut().expect("org() before emitting");
+        chunk.1.extend_from_slice(bytes);
+    }
+
+    /// Append a little-endian 32-bit word.
+    pub fn emit_u32(&mut self, w: u32) {
+        self.emit(&w.to_le_bytes());
+    }
+
+    /// Allocate an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind a label to the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, l: Label) {
+        let addr = self.here();
+        let slot = &mut self.labels[l.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(addr);
+    }
+
+    /// Address of a bound label.
+    pub fn label_addr(&self, l: Label) -> Option<u32> {
+        self.labels.get(l.0).copied().flatten()
+    }
+
+    /// Read back the 32-bit word previously emitted at `addr` (for fixup
+    /// patching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never emitted.
+    pub fn read_u32_at(&self, addr: u32) -> u32 {
+        let (base, bytes) = self.chunk_containing(addr, 4).expect("patch address not emitted");
+        let i = (addr - base) as usize;
+        u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]])
+    }
+
+    /// Overwrite the 32-bit word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never emitted.
+    pub fn write_u32_at(&mut self, addr: u32, w: u32) {
+        let idx = self
+            .chunks
+            .iter()
+            .position(|(base, bytes)| addr >= *base && addr + 4 <= *base + bytes.len() as u32)
+            .expect("patch address not emitted");
+        let (base, bytes) = &mut self.chunks[idx];
+        let i = (addr - *base) as usize;
+        bytes[i..i + 4].copy_from_slice(&w.to_le_bytes());
+    }
+
+    fn chunk_containing(&self, addr: u32, len: u32) -> Option<(u32, &[u8])> {
+        self.chunks
+            .iter()
+            .find(|(base, bytes)| addr >= *base && addr + len <= *base + bytes.len() as u32)
+            .map(|(base, bytes)| (*base, bytes.as_slice()))
+    }
+
+    /// Finish into a bootable image. Empty chunks are dropped.
+    pub fn into_image(self, entry: u32) -> GuestImage {
+        let mut img = GuestImage::new(entry);
+        for (addr, bytes) in self.chunks {
+            if !bytes.is_empty() {
+                img.push_section(addr, bytes);
+            }
+        }
+        img
+    }
+}
+
+/// The portable assembler interface benchmarks are written against.
+///
+/// Immediate-range contract: `alu_ri` and `cmp_ri` accept `imm` up to
+/// 4095; `load`/`store` displacements span ±2047 bytes. Both ISA
+/// encodings honour at least these ranges; use [`PortableAsm::mov_imm`]
+/// (unrestricted) plus register forms beyond them.
+pub trait PortableAsm {
+    /// Current emission address.
+    fn here(&self) -> u32;
+    /// Start emitting at an address.
+    fn org(&mut self, addr: u32);
+    /// Align the cursor.
+    fn align(&mut self, align: u32);
+    /// Reserve zeroed bytes.
+    fn skip(&mut self, n: u32);
+    /// Emit a raw data word.
+    fn word(&mut self, w: u32);
+    /// Emit raw bytes.
+    fn bytes(&mut self, data: &[u8]);
+    /// Allocate an unbound label.
+    fn new_label(&mut self) -> Label;
+    /// Bind a label at the cursor.
+    fn bind(&mut self, l: Label);
+    /// Address of a bound label.
+    fn label_addr(&self, l: Label) -> Option<u32>;
+
+    /// `rd = imm` (any 32-bit value).
+    fn mov_imm(&mut self, rd: PReg, imm: u32);
+    /// `rd = address-of(label)` (fixed up at finish).
+    fn mov_label(&mut self, rd: PReg, l: Label);
+    /// `rd = rn <op> rm`.
+    fn alu_rr(&mut self, op: AluOp, rd: PReg, rn: PReg, rm: PReg);
+    /// `rd = rn <op> imm`, `imm <= 4095`.
+    fn alu_ri(&mut self, op: AluOp, rd: PReg, rn: PReg, imm: u32);
+    /// Compare `rn` with `imm` (sets flags), `imm <= 4095`.
+    fn cmp_ri(&mut self, rn: PReg, imm: u32);
+    /// Compare `rn` with `rm` (sets flags).
+    fn cmp_rr(&mut self, rn: PReg, rm: PReg);
+    /// Word load `rd = [base + off]`, `|off| <= 2047`.
+    fn load(&mut self, rd: PReg, base: PReg, off: i32);
+    /// Word store `[base + off] = rs`.
+    fn store(&mut self, rs: PReg, base: PReg, off: i32);
+    /// Byte load (zero-extended).
+    fn load8(&mut self, rd: PReg, base: PReg, off: i32);
+    /// Byte store.
+    fn store8(&mut self, rs: PReg, base: PReg, off: i32);
+    /// Unconditional branch.
+    fn b(&mut self, l: Label);
+    /// Conditional branch.
+    fn b_cond(&mut self, c: Cond, l: Label);
+    /// Indirect branch through a register.
+    fn br_reg(&mut self, r: PReg);
+    /// Direct call (links per the architecture's discipline).
+    fn call(&mut self, l: Label);
+    /// Indirect call through a register.
+    fn call_reg(&mut self, r: PReg);
+    /// Return from a call.
+    fn ret(&mut self);
+    /// System call.
+    fn svc(&mut self, imm: u16);
+    /// Architecturally undefined instruction.
+    fn udf(&mut self);
+    /// Return from exception.
+    fn eret(&mut self);
+    /// Stop the machine.
+    fn halt(&mut self);
+    /// No-op.
+    fn nop(&mut self);
+
+    /// Emit code computing a *valid, harmless* 4-byte instruction
+    /// encoding into `rd`, parameterised by the iteration counter in
+    /// `riter` so the stored word differs every iteration. Used by the
+    /// self-modifying-code benchmarks; the encoding, when executed, loads
+    /// an immediate into [`PReg::F`].
+    fn emit_smc_word(&mut self, rd: PReg, riter: PReg);
+
+    /// The static form of the harmless instruction (what functions are
+    /// pre-seeded with at their rewrite slot).
+    fn smc_nop_word(&self) -> u32;
+
+    /// Resolve fixups and produce the bootable image, entering at `entry`.
+    fn finish(self, entry: u32) -> GuestImage
+    where
+        Self: Sized;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_layout_and_labels() {
+        let mut b = AsmBuffer::new();
+        b.org(0x1000);
+        let l = b.new_label();
+        b.emit_u32(0xaaaa_bbbb);
+        b.bind(l);
+        assert_eq!(b.label_addr(l), Some(0x1004));
+        assert_eq!(b.here(), 0x1004);
+        b.align(16);
+        assert_eq!(b.here(), 0x1010);
+        b.skip(4);
+        assert_eq!(b.here(), 0x1014);
+    }
+
+    #[test]
+    fn buffer_patching() {
+        let mut b = AsmBuffer::new();
+        b.org(0x2000);
+        b.emit_u32(0x1111_1111);
+        b.emit_u32(0x2222_2222);
+        assert_eq!(b.read_u32_at(0x2004), 0x2222_2222);
+        b.write_u32_at(0x2004, 0x3333_3333);
+        assert_eq!(b.read_u32_at(0x2004), 0x3333_3333);
+    }
+
+    #[test]
+    fn buffer_to_image() {
+        let mut b = AsmBuffer::new();
+        b.org(0x100);
+        b.emit(&[1, 2, 3]);
+        b.org(0x200);
+        b.org(0x300); // empty chunk at 0x200 dropped
+        b.emit(&[9]);
+        let img = b.into_image(0x100);
+        assert_eq!(img.sections.len(), 2);
+        assert_eq!(img.entry, 0x100);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = AsmBuffer::new();
+        b.org(0);
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let mut b = AsmBuffer::new();
+        b.org(0);
+        b.align(3);
+    }
+}

@@ -1,0 +1,214 @@
+//! The execution-engine interface and run bookkeeping.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::bus::Bus;
+use crate::events::Counters;
+use crate::isa::Isa;
+use crate::machine::Machine;
+
+/// Self-description of an engine's mechanism choices.
+///
+/// These strings populate the reproduction of the paper's Fig 4 ("how
+/// certain features are implemented on different evaluated platforms"),
+/// so they are generated from the engines rather than hand-written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineInfo {
+    /// Short engine name, e.g. `"dbt"`.
+    pub name: &'static str,
+    /// Execution model row (DBT / Fast Interpreter / Interpreter / Direct).
+    pub execution_model: &'static str,
+    /// Memory access row (page-cache flavour).
+    pub memory_access: &'static str,
+    /// Code generation row.
+    pub code_generation: &'static str,
+    /// Inter-page control flow row.
+    pub control_flow_inter: &'static str,
+    /// Intra-page control flow row.
+    pub control_flow_intra: &'static str,
+    /// Interrupt-delivery granularity row.
+    pub interrupts: &'static str,
+    /// Synchronous exception row.
+    pub sync_exceptions: &'static str,
+    /// Undefined-instruction handling row.
+    pub undef_insn: &'static str,
+}
+
+/// Limits for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Stop after this many retired guest instructions.
+    pub max_insns: u64,
+    /// Stop after this much wall-clock time (checked periodically).
+    pub wall_limit: Option<Duration>,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { max_insns: u64::MAX, wall_limit: None }
+    }
+}
+
+impl RunLimits {
+    /// Limit only the retired-instruction count.
+    pub fn insns(max_insns: u64) -> Self {
+        RunLimits { max_insns, ..Default::default() }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The guest executed `halt`.
+    Halted,
+    /// The instruction limit was reached.
+    InsnLimit,
+    /// The wall-clock limit was reached.
+    WallLimit,
+    /// The engine does not implement a required feature (mirrors the
+    /// paper's "† functionality not implemented in Gem5").
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for ExitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitReason::Halted => f.write_str("halted"),
+            ExitReason::InsnLimit => f.write_str("instruction limit reached"),
+            ExitReason::WallLimit => f.write_str("wall-clock limit reached"),
+            ExitReason::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+/// Wall time and counters attributed to one benchmark phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseStats {
+    /// Wall-clock duration of the phase.
+    pub wall: Duration,
+    /// Events retired during the phase.
+    pub counters: Counters,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Why execution stopped.
+    pub exit: ExitReason,
+    /// Total wall-clock time.
+    pub wall: Duration,
+    /// Events over the whole run.
+    pub counters: Counters,
+    /// Stats for the timed kernel phase (between the guest's phase marks),
+    /// when the guest emitted them.
+    pub kernel: Option<PhaseStats>,
+}
+
+impl RunOutcome {
+    /// The kernel-phase wall time if marked, else the whole run's.
+    pub fn kernel_wall(&self) -> Duration {
+        self.kernel.as_ref().map_or(self.wall, |k| k.wall)
+    }
+
+    /// The kernel-phase counters if marked, else the whole run's.
+    pub fn kernel_counters(&self) -> Counters {
+        self.kernel.as_ref().map_or(self.counters, |k| k.counters)
+    }
+}
+
+/// A full-system simulation engine for ISA `I` over bus `B`.
+pub trait Engine<I: Isa, B: Bus> {
+    /// Mechanism self-description (Fig 4 row).
+    fn info(&self) -> EngineInfo;
+
+    /// Run the machine until halt or a limit.
+    fn run(&mut self, m: &mut Machine<I, B>, limits: &RunLimits) -> RunOutcome;
+}
+
+/// Tracks guest phase marks (see `BusEvent::PhaseMark`) during a run and
+/// produces the kernel-phase [`PhaseStats`]. Shared by all engines.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTracker {
+    start: Option<(Instant, Counters)>,
+    kernel: Option<PhaseStats>,
+}
+
+impl PhaseTracker {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a phase mark emitted by the guest with the engine's current
+    /// counters.
+    pub fn on_mark(&mut self, mark: u8, counters: &Counters) {
+        match mark {
+            1 => self.start = Some((Instant::now(), *counters)),
+            2 => {
+                if let Some((t0, c0)) = self.start.take() {
+                    self.kernel =
+                        Some(PhaseStats { wall: t0.elapsed(), counters: counters.since(&c0) });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The kernel phase stats, if both marks were seen.
+    pub fn into_kernel(self) -> Option<PhaseStats> {
+        self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_tracker_pairs_marks() {
+        let mut t = PhaseTracker::new();
+        let mut c = Counters { instructions: 100, ..Default::default() };
+        t.on_mark(1, &c);
+        c.instructions = 350;
+        t.on_mark(2, &c);
+        let k = t.into_kernel().unwrap();
+        assert_eq!(k.counters.instructions, 250);
+    }
+
+    #[test]
+    fn phase_tracker_ignores_unpaired_end() {
+        let mut t = PhaseTracker::new();
+        let c = Counters::default();
+        t.on_mark(2, &c);
+        assert!(t.into_kernel().is_none());
+    }
+
+    #[test]
+    fn phase_tracker_ignores_unknown_marks() {
+        let mut t = PhaseTracker::new();
+        let c = Counters::default();
+        t.on_mark(1, &c);
+        t.on_mark(7, &c);
+        t.on_mark(2, &c);
+        assert!(t.into_kernel().is_some());
+    }
+
+    #[test]
+    fn outcome_fallbacks() {
+        let out = RunOutcome {
+            exit: ExitReason::Halted,
+            wall: Duration::from_millis(5),
+            counters: Counters { instructions: 10, ..Default::default() },
+            kernel: None,
+        };
+        assert_eq!(out.kernel_wall(), Duration::from_millis(5));
+        assert_eq!(out.kernel_counters().instructions, 10);
+    }
+
+    #[test]
+    fn exit_reason_display() {
+        assert_eq!(ExitReason::Halted.to_string(), "halted");
+        assert_eq!(ExitReason::Unsupported("mmio").to_string(), "unsupported: mmio");
+    }
+}

@@ -1,0 +1,455 @@
+//! The shared micro-op IR.
+//!
+//! Both guest ISA decoders lower instructions into this small RISC-like
+//! vocabulary; all four engines consume it. Cross-engine performance
+//! differences measured by the suite are therefore engine-mechanism
+//! differences, not front-end differences — the property the paper obtains
+//! by running identical guest binaries on every simulator.
+
+use std::fmt;
+
+/// ALU operations. Flag semantics follow the ARM convention (see
+/// [`crate::alu`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `rd = rn + src`
+    Add,
+    /// `rd = rn + src + C`
+    Adc,
+    /// `rd = rn - src`
+    Sub,
+    /// `rd = rn - src - !C`
+    Sbc,
+    /// `rd = src - rn` (reverse subtract)
+    Rsb,
+    /// `rd = rn & src`
+    And,
+    /// `rd = rn | src`
+    Orr,
+    /// `rd = rn ^ src`
+    Eor,
+    /// `rd = rn & !src` (bit clear)
+    Bic,
+    /// `rd = src` (rn ignored)
+    Mov,
+    /// `rd = !src` (rn ignored)
+    Mvn,
+    /// `rd = rn * src` (low 32 bits)
+    Mul,
+    /// `rd = rn << (src & 31)`
+    Lsl,
+    /// `rd = rn >> (src & 31)` (logical)
+    Lsr,
+    /// `rd = (rn as i32) >> (src & 31)`
+    Asr,
+    /// `rd = rn.rotate_right(src & 31)`
+    Ror,
+}
+
+impl AluOp {
+    /// All ALU operations (used by property tests and the decoders).
+    pub const ALL: [AluOp; 16] = [
+        AluOp::Add,
+        AluOp::Adc,
+        AluOp::Sub,
+        AluOp::Sbc,
+        AluOp::Rsb,
+        AluOp::And,
+        AluOp::Orr,
+        AluOp::Eor,
+        AluOp::Bic,
+        AluOp::Mov,
+        AluOp::Mvn,
+        AluOp::Mul,
+        AluOp::Lsl,
+        AluOp::Lsr,
+        AluOp::Asr,
+        AluOp::Ror,
+    ];
+
+    /// Stable numeric encoding used by both ISA instruction formats.
+    pub fn code(self) -> u8 {
+        AluOp::ALL.iter().position(|&o| o == self).unwrap() as u8
+    }
+
+    /// Inverse of [`AluOp::code`].
+    pub fn from_code(code: u8) -> Option<AluOp> {
+        AluOp::ALL.get(code as usize).copied()
+    }
+}
+
+/// Branch conditions, evaluated against [`crate::cpu::Flags`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Z set.
+    Eq,
+    /// Z clear.
+    Ne,
+    /// C set (unsigned ≥).
+    Cs,
+    /// C clear (unsigned <).
+    Cc,
+    /// N set.
+    Mi,
+    /// N clear.
+    Pl,
+    /// V set.
+    Vs,
+    /// V clear.
+    Vc,
+    /// C set and Z clear (unsigned >).
+    Hi,
+    /// C clear or Z set (unsigned ≤).
+    Ls,
+    /// N == V (signed ≥).
+    Ge,
+    /// N != V (signed <).
+    Lt,
+    /// Z clear and N == V (signed >).
+    Gt,
+    /// Z set or N != V (signed ≤).
+    Le,
+    /// Always.
+    Al,
+}
+
+impl Cond {
+    /// All conditions in encoding order.
+    pub const ALL: [Cond; 15] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+    ];
+
+    /// Stable numeric encoding shared by both ISAs.
+    pub fn code(self) -> u8 {
+        Cond::ALL.iter().position(|&c| c == self).unwrap() as u8
+    }
+
+    /// Inverse of [`Cond::code`].
+    pub fn from_code(code: u8) -> Option<Cond> {
+        Cond::ALL.get(code as usize).copied()
+    }
+}
+
+/// Width of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// One byte.
+    B1,
+    /// Two bytes (halfword).
+    B2,
+    /// Four bytes (word).
+    B4,
+}
+
+impl MemSize {
+    /// Size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+        }
+    }
+
+    /// True if `addr` is naturally aligned for this size.
+    pub fn aligned(self, addr: u32) -> bool {
+        addr & (self.bytes() - 1) == 0
+    }
+}
+
+/// How a call instruction records its return address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Write the return address to a link register (ARM style).
+    Register(u8),
+    /// Push the return address on a full-descending stack whose pointer is
+    /// the given register (x86 style).
+    Push(u8),
+}
+
+/// How a return instruction obtains its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetKind {
+    /// Branch to a link register.
+    Register(u8),
+    /// Pop the target from the stack whose pointer is the given register.
+    Pop(u8),
+}
+
+/// Second ALU operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register.
+    Reg(u8),
+    /// An immediate, fully resolved at decode time.
+    Imm(u32),
+}
+
+/// One micro-operation.
+///
+/// Control-transfer ops are always the final op of a decoded instruction.
+/// PC-relative quantities are resolved to absolute addresses at decode
+/// time, so the IR never references the PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// ALU operation: `rd = rn <op> src`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// First operand register (ignored by `Mov`/`Mvn`).
+        rn: u8,
+        /// Second operand.
+        src: Operand,
+        /// Whether NZCV are updated.
+        set_flags: bool,
+    },
+    /// Flag-setting comparison without a destination: `rn - src` (or
+    /// `rn & src` when `is_tst`).
+    Cmp {
+        /// Left operand register.
+        rn: u8,
+        /// Right operand.
+        src: Operand,
+        /// `true` for TST (AND-based) semantics.
+        is_tst: bool,
+    },
+    /// Load `size` bytes from `[base + off]`, zero-extended.
+    Load {
+        /// Destination register.
+        rd: u8,
+        /// Base register.
+        base: u8,
+        /// Signed displacement.
+        off: i32,
+        /// Access width.
+        size: MemSize,
+        /// Perform the access with user privileges regardless of mode
+        /// (ARM `ldrt`; unused by petix).
+        nonpriv: bool,
+    },
+    /// Store `size` bytes of `rs` to `[base + off]`.
+    Store {
+        /// Source register.
+        rs: u8,
+        /// Base register.
+        base: u8,
+        /// Signed displacement.
+        off: i32,
+        /// Access width.
+        size: MemSize,
+        /// Perform the access with user privileges regardless of mode.
+        nonpriv: bool,
+    },
+    /// Unconditional direct branch to an absolute address.
+    Branch {
+        /// Absolute target.
+        target: u32,
+    },
+    /// Conditional direct branch; falls through when untaken.
+    BranchCond {
+        /// Condition.
+        cond: Cond,
+        /// Absolute target when taken.
+        target: u32,
+    },
+    /// Indirect branch through a register.
+    BranchReg {
+        /// Register holding the target.
+        rm: u8,
+    },
+    /// Direct call: link then branch.
+    Call {
+        /// Absolute target.
+        target: u32,
+        /// Return address (address of the following instruction).
+        ret: u32,
+        /// Linking discipline.
+        link: LinkKind,
+    },
+    /// Indirect call through a register.
+    CallReg {
+        /// Register holding the target.
+        rm: u8,
+        /// Return address.
+        ret: u32,
+        /// Linking discipline.
+        link: LinkKind,
+    },
+    /// Return.
+    Ret(RetKind),
+    /// System call with an immediate service number.
+    Svc(u16),
+    /// Architecturally undefined instruction: raises `Undef`.
+    Udf,
+    /// Return from exception: restores banked status and resumes.
+    Eret,
+    /// Read coprocessor/control register `cp:reg` into `rd` (privileged).
+    CopRead {
+        /// Coprocessor number.
+        cp: u8,
+        /// Register within the coprocessor.
+        reg: u8,
+        /// Destination GPR.
+        rd: u8,
+    },
+    /// Write `rs` to coprocessor/control register `cp:reg` (privileged).
+    CopWrite {
+        /// Coprocessor number.
+        cp: u8,
+        /// Register within the coprocessor.
+        reg: u8,
+        /// Source GPR.
+        rs: u8,
+    },
+    /// Stop the machine (privileged). Used by benchmarks to signal
+    /// completion to the harness.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Op {
+    /// True if this op can transfer control (and therefore terminates a
+    /// translation block).
+    pub fn is_control_flow(self) -> bool {
+        matches!(
+            self,
+            Op::Branch { .. }
+                | Op::BranchCond { .. }
+                | Op::BranchReg { .. }
+                | Op::Call { .. }
+                | Op::CallReg { .. }
+                | Op::Ret(_)
+                | Op::Svc(_)
+                | Op::Udf
+                | Op::Eret
+                | Op::Halt
+        )
+    }
+
+    /// True for direct (statically-known target) control flow.
+    pub fn is_direct_branch(self) -> bool {
+        matches!(self, Op::Branch { .. } | Op::BranchCond { .. } | Op::Call { .. })
+    }
+}
+
+/// Classification of a decoded instruction, used for event counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsnClass {
+    /// Arithmetic and logic.
+    Alu,
+    /// Memory access.
+    Mem,
+    /// Control transfer.
+    Branch,
+    /// System (svc/udf/eret/cop/halt).
+    System,
+    /// Nothing.
+    Nop,
+}
+
+/// A fully decoded guest instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Encoded length in bytes (4 for armlet; 1–6 for petix).
+    pub len: u8,
+    /// Lowered micro-ops. At most one control-flow op, always last.
+    pub ops: Vec<Op>,
+    /// Coarse class for statistics.
+    pub class: InsnClass,
+}
+
+impl Decoded {
+    /// Construct, asserting the control-flow-last invariant in debug builds.
+    pub fn new(len: u8, ops: Vec<Op>, class: InsnClass) -> Self {
+        debug_assert!(
+            ops.iter().rev().skip(1).all(|op| !op.is_control_flow()),
+            "control flow op not last in {ops:?}"
+        );
+        Decoded { len, ops, class }
+    }
+
+    /// True if the final op may transfer control.
+    pub fn ends_block(&self) -> bool {
+        self.ops.last().is_some_and(|op| op.is_control_flow())
+    }
+}
+
+/// Error from a decoder: the bytes form no valid instruction. Engines
+/// raise `Undef` in response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Address of the undecodable instruction.
+    pub pc: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "undecodable instruction at {:#010x}", self.pc)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_codes_round_trip() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(AluOp::from_code(16), None);
+    }
+
+    #[test]
+    fn cond_codes_round_trip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Cond::from_code(15), None);
+    }
+
+    #[test]
+    fn mem_size() {
+        assert!(MemSize::B4.aligned(8));
+        assert!(!MemSize::B4.aligned(2));
+        assert!(MemSize::B2.aligned(2));
+        assert!(MemSize::B1.aligned(3));
+        assert_eq!(MemSize::B2.bytes(), 2);
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Op::Halt.is_control_flow());
+        assert!(Op::Svc(0).is_control_flow());
+        assert!(!Op::Nop.is_control_flow());
+        assert!(Op::Branch { target: 0 }.is_direct_branch());
+        assert!(!Op::BranchReg { rm: 0 }.is_direct_branch());
+    }
+
+    #[test]
+    fn decoded_ends_block() {
+        let d = Decoded::new(4, vec![Op::Nop], InsnClass::Nop);
+        assert!(!d.ends_block());
+        let d = Decoded::new(4, vec![Op::Nop, Op::Branch { target: 4 }], InsnClass::Branch);
+        assert!(d.ends_block());
+    }
+}

@@ -1,0 +1,40 @@
+//! The machine: CPU + system registers + physical bus.
+
+use crate::cpu::CpuState;
+use crate::image::GuestImage;
+use crate::isa::Isa;
+
+/// A complete guest machine instance for architecture `I` on bus `B`.
+///
+/// Engines borrow a machine mutably for the duration of a run; the
+/// machine itself is engine-agnostic, so the same loaded image can be
+/// executed by different engines for differential testing.
+#[derive(Debug)]
+pub struct Machine<I: Isa, B> {
+    /// Architectural register state.
+    pub cpu: CpuState,
+    /// ISA-specific system registers.
+    pub sys: I::Sys,
+    /// Physical memory and devices.
+    pub bus: B,
+}
+
+impl<I: Isa, B: crate::bus::Bus> Machine<I, B> {
+    /// Create a machine with the image loaded and the CPU at its entry
+    /// point, in the architectural reset state (kernel mode, MMU off,
+    /// IRQs masked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit in the bus's RAM.
+    pub fn boot(image: &GuestImage, mut bus: B) -> Self {
+        image.load_into(bus.ram_mut());
+        Machine { cpu: CpuState::at_reset(image.entry), sys: I::Sys::default(), bus }
+    }
+
+    /// Reset CPU and system registers without reloading memory.
+    pub fn reset_cpu(&mut self, entry: u32) {
+        self.cpu = CpuState::at_reset(entry);
+        self.sys = I::Sys::default();
+    }
+}

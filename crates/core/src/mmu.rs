@@ -1,0 +1,132 @@
+//! Virtual-memory abstractions: page permissions, TLB entries, and the
+//! permission-check performed on every translated access.
+
+use crate::fault::{AccessKind, FaultKind, MemFault};
+use crate::{page_of, PAGE_SHIFT};
+
+/// Permission bits for one privilege level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Perms {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl Perms {
+    /// Read/write/execute.
+    pub const RWX: Perms = Perms { r: true, w: true, x: true };
+    /// Read/write, no execute.
+    pub const RW: Perms = Perms { r: true, w: true, x: false };
+    /// Read-only.
+    pub const R: Perms = Perms { r: true, w: false, x: false };
+    /// Read/execute.
+    pub const RX: Perms = Perms { r: true, w: false, x: true };
+    /// No access.
+    pub const NONE: Perms = Perms { r: false, w: false, x: false };
+
+    /// True if `access` is allowed.
+    pub fn allows(self, access: AccessKind) -> bool {
+        match access {
+            AccessKind::Read => self.r,
+            AccessKind::Write => self.w,
+            AccessKind::Execute => self.x,
+        }
+    }
+}
+
+/// A translation for one 4 KB virtual page, as cached in engine TLBs.
+///
+/// Walkers that resolve larger mappings (armlet 1 MB sections) fragment
+/// them into page-granule entries at fill time, as real simulators'
+/// software TLBs do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Virtual page number.
+    pub vpage: u32,
+    /// Physical page number.
+    pub ppage: u32,
+    /// Permissions when executing unprivileged.
+    pub user: Perms,
+    /// Permissions when executing privileged.
+    pub kernel: Perms,
+}
+
+impl TlbEntry {
+    /// Translate an address within this page.
+    #[inline]
+    pub fn translate(&self, va: u32) -> u32 {
+        debug_assert_eq!(page_of(va), self.vpage);
+        (self.ppage << PAGE_SHIFT) | (va & ((1 << PAGE_SHIFT) - 1))
+    }
+
+    /// Effective permissions for an access at `privileged` level; a
+    /// `nonpriv` access (ARM `ldrt`/`strt`) is checked against user
+    /// permissions regardless of the current level.
+    #[inline]
+    pub fn perms(&self, privileged: bool, nonpriv: bool) -> Perms {
+        if privileged && !nonpriv {
+            self.kernel
+        } else {
+            self.user
+        }
+    }
+
+    /// Check an access, producing the architectural fault on violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] with [`FaultKind::Permission`] when the
+    /// access is not permitted at the effective privilege.
+    #[inline]
+    pub fn check(&self, va: u32, access: AccessKind, privileged: bool, nonpriv: bool) -> Result<u32, MemFault> {
+        if self.perms(privileged, nonpriv).allows(access) {
+            Ok(self.translate(va))
+        } else {
+            Err(MemFault { addr: va, access, kind: FaultKind::Permission })
+        }
+    }
+}
+
+/// Outcome of a page-table walk.
+pub type WalkResult = Result<TlbEntry, MemFault>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> TlbEntry {
+        TlbEntry { vpage: 0x10, ppage: 0x80, user: Perms::R, kernel: Perms::RWX }
+    }
+
+    #[test]
+    fn translate_offsets() {
+        let e = entry();
+        assert_eq!(e.translate(0x10_234), 0x80_234);
+        assert_eq!(e.translate(0x10_000), 0x80_000);
+        assert_eq!(e.translate(0x10_fff), 0x80_fff);
+    }
+
+    #[test]
+    fn perms_by_level() {
+        let e = entry();
+        assert!(e.check(0x10_000, AccessKind::Write, true, false).is_ok());
+        let err = e.check(0x10_000, AccessKind::Write, false, false).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Permission);
+        assert_eq!(err.addr, 0x10_000);
+        // Non-privileged override: kernel-mode ldrt checked as user.
+        assert!(e.check(0x10_000, AccessKind::Read, true, true).is_ok());
+        assert!(e.check(0x10_000, AccessKind::Write, true, true).is_err());
+    }
+
+    #[test]
+    fn perm_constants() {
+        assert!(Perms::RWX.allows(AccessKind::Execute));
+        assert!(!Perms::RW.allows(AccessKind::Execute));
+        assert!(!Perms::R.allows(AccessKind::Write));
+        assert!(!Perms::NONE.allows(AccessKind::Read));
+        assert!(Perms::RX.allows(AccessKind::Execute));
+    }
+}

@@ -1,0 +1,265 @@
+//! Software TLB structures used by the engines.
+//!
+//! Three flavours mirror the memory-access rows of the paper's Fig 4:
+//!
+//! * [`DirectTlb`] — direct-mapped array, the "multi-level page cache"
+//!   building block of the DBT engine (QEMU analogue),
+//! * [`SingleEntryCache`] — one entry per access class, the fast
+//!   interpreter's "single level cache" (SimIt-ARM analogue),
+//! * [`SetAssocTlb`] — a small set-associative structure with FIFO
+//!   replacement, the detailed engine's "modelled TLB" (Gem5 analogue).
+
+use crate::mmu::TlbEntry;
+
+const INVALID_TAG: u32 = u32::MAX;
+
+/// A direct-mapped software TLB indexed by virtual page number.
+#[derive(Debug, Clone)]
+pub struct DirectTlb {
+    slots: Vec<(u32, TlbEntry)>,
+    mask: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl DirectTlb {
+    /// Create with `entries` slots (rounded up to a power of two).
+    pub fn new(entries: usize) -> Self {
+        let n = entries.next_power_of_two().max(1);
+        let dummy = TlbEntry {
+            vpage: 0,
+            ppage: 0,
+            user: crate::mmu::Perms::NONE,
+            kernel: crate::mmu::Perms::NONE,
+        };
+        DirectTlb { slots: vec![(INVALID_TAG, dummy); n], mask: n as u32 - 1, hits: 0, misses: 0 }
+    }
+
+    /// Look up a virtual page.
+    #[inline]
+    pub fn lookup(&mut self, vpage: u32) -> Option<TlbEntry> {
+        let slot = &self.slots[(vpage & self.mask) as usize];
+        if slot.0 == vpage {
+            self.hits += 1;
+            Some(slot.1)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Install a translation (evicting whatever shared its slot).
+    #[inline]
+    pub fn insert(&mut self, e: TlbEntry) {
+        self.slots[(e.vpage & self.mask) as usize] = (e.vpage, e);
+    }
+
+    /// Invalidate the entry covering `vpage`, if cached.
+    pub fn invalidate_page(&mut self, vpage: u32) {
+        let slot = &mut self.slots[(vpage & self.mask) as usize];
+        if slot.0 == vpage {
+            slot.0 = INVALID_TAG;
+        }
+    }
+
+    /// Drop every entry.
+    pub fn flush(&mut self) {
+        for s in &mut self.slots {
+            s.0 = INVALID_TAG;
+        }
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of currently valid entries (test/diagnostic aid).
+    pub fn valid_entries(&self) -> usize {
+        self.slots.iter().filter(|s| s.0 != INVALID_TAG).count()
+    }
+}
+
+/// A single-entry translation cache, one per access class, as used by
+/// simple fast interpreters.
+#[derive(Debug, Clone, Default)]
+pub struct SingleEntryCache {
+    entry: Option<TlbEntry>,
+}
+
+impl SingleEntryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SingleEntryCache { entry: None }
+    }
+
+    /// Return the cached entry if it covers `vpage`.
+    #[inline]
+    pub fn lookup(&self, vpage: u32) -> Option<TlbEntry> {
+        self.entry.filter(|e| e.vpage == vpage)
+    }
+
+    /// Replace the cached entry.
+    #[inline]
+    pub fn insert(&mut self, e: TlbEntry) {
+        self.entry = Some(e);
+    }
+
+    /// Invalidate if the cached entry covers `vpage`.
+    pub fn invalidate_page(&mut self, vpage: u32) {
+        if self.entry.is_some_and(|e| e.vpage == vpage) {
+            self.entry = None;
+        }
+    }
+
+    /// Drop the cached entry.
+    pub fn flush(&mut self) {
+        self.entry = None;
+    }
+}
+
+/// A modelled set-associative TLB with FIFO replacement and hit/miss
+/// accounting, used by the detailed (timing) engine.
+#[derive(Debug, Clone)]
+pub struct SetAssocTlb {
+    sets: Vec<Vec<TlbEntry>>,
+    ways: usize,
+    set_mask: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocTlb {
+    /// Create a TLB with `sets` sets (rounded to a power of two) of
+    /// `ways` entries each.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        let n = sets.next_power_of_two().max(1);
+        SetAssocTlb {
+            sets: vec![Vec::with_capacity(ways); n],
+            ways: ways.max(1),
+            set_mask: n as u32 - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a virtual page.
+    pub fn lookup(&mut self, vpage: u32) -> Option<TlbEntry> {
+        let set = &self.sets[(vpage & self.set_mask) as usize];
+        match set.iter().find(|e| e.vpage == vpage) {
+            Some(e) => {
+                self.hits += 1;
+                Some(*e)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install a translation, evicting FIFO within the set if full.
+    pub fn insert(&mut self, e: TlbEntry) {
+        let ways = self.ways;
+        let set = &mut self.sets[(e.vpage & self.set_mask) as usize];
+        set.retain(|x| x.vpage != e.vpage);
+        if set.len() == ways {
+            set.remove(0);
+        }
+        set.push(e);
+    }
+
+    /// Invalidate the entry for `vpage`, if present.
+    pub fn invalidate_page(&mut self, vpage: u32) {
+        let set = &mut self.sets[(vpage & self.set_mask) as usize];
+        set.retain(|x| x.vpage != vpage);
+    }
+
+    /// Drop every entry.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmu::Perms;
+
+    fn e(vpage: u32, ppage: u32) -> TlbEntry {
+        TlbEntry { vpage, ppage, user: Perms::RWX, kernel: Perms::RWX }
+    }
+
+    #[test]
+    fn direct_tlb_basic() {
+        let mut t = DirectTlb::new(16);
+        assert!(t.lookup(5).is_none());
+        t.insert(e(5, 50));
+        assert_eq!(t.lookup(5).unwrap().ppage, 50);
+        // Aliasing page evicts.
+        t.insert(e(5 + 16, 99));
+        assert!(t.lookup(5).is_none());
+        assert_eq!(t.lookup(21).unwrap().ppage, 99);
+        let (h, m) = t.stats();
+        assert_eq!((h, m), (2, 2));
+    }
+
+    #[test]
+    fn direct_tlb_invalidate_and_flush() {
+        let mut t = DirectTlb::new(8);
+        t.insert(e(1, 10));
+        t.insert(e(2, 20));
+        t.invalidate_page(1);
+        assert!(t.lookup(1).is_none());
+        assert!(t.lookup(2).is_some());
+        // Invalidating an absent page must not disturb an alias.
+        t.invalidate_page(2 + 8);
+        assert!(t.lookup(2).is_some());
+        t.flush();
+        assert_eq!(t.valid_entries(), 0);
+    }
+
+    #[test]
+    fn single_entry_cache() {
+        let mut c = SingleEntryCache::new();
+        assert!(c.lookup(7).is_none());
+        c.insert(e(7, 70));
+        assert_eq!(c.lookup(7).unwrap().ppage, 70);
+        assert!(c.lookup(8).is_none());
+        c.insert(e(8, 80));
+        assert!(c.lookup(7).is_none(), "single entry: replaced");
+        c.invalidate_page(8);
+        assert!(c.lookup(8).is_none());
+    }
+
+    #[test]
+    fn set_assoc_fifo() {
+        let mut t = SetAssocTlb::new(1, 2);
+        t.insert(e(1, 10));
+        t.insert(e(2, 20));
+        assert!(t.lookup(1).is_some());
+        t.insert(e(3, 30)); // evicts vpage 1 (FIFO)
+        assert!(t.lookup(1).is_none());
+        assert!(t.lookup(2).is_some());
+        assert!(t.lookup(3).is_some());
+    }
+
+    #[test]
+    fn set_assoc_reinsert_no_duplicate() {
+        let mut t = SetAssocTlb::new(1, 2);
+        t.insert(e(1, 10));
+        t.insert(e(1, 11));
+        assert_eq!(t.lookup(1).unwrap().ppage, 11);
+        t.insert(e(2, 20));
+        t.insert(e(3, 30));
+        // vpage 1 (oldest) evicted, not duplicated.
+        assert!(t.lookup(1).is_none());
+    }
+}

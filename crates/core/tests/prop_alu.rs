@@ -1,0 +1,87 @@
+//! Property tests for the shared ALU semantics.
+
+use proptest::prelude::*;
+use simbench_core::alu::{compare, cond_holds, eval};
+use simbench_core::cpu::Flags;
+use simbench_core::ir::{AluOp, Cond};
+
+fn flags_strategy() -> impl Strategy<Value = Flags> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>())
+        .prop_map(|(n, z, c, v)| Flags { n, z, c, v })
+}
+
+proptest! {
+    #[test]
+    fn add_matches_wrapping(a: u32, b: u32, f in flags_strategy()) {
+        prop_assert_eq!(eval(AluOp::Add, a, b, f).value, a.wrapping_add(b));
+    }
+
+    #[test]
+    fn sub_matches_wrapping(a: u32, b: u32, f in flags_strategy()) {
+        prop_assert_eq!(eval(AluOp::Sub, a, b, f).value, a.wrapping_sub(b));
+        prop_assert_eq!(eval(AluOp::Rsb, a, b, f).value, b.wrapping_sub(a));
+    }
+
+    #[test]
+    fn adc_sbc_chain_is_64bit_arithmetic(a: u64, b: u64) {
+        // Model 64-bit addition via two 32-bit adds with carry chaining.
+        let f0 = Flags::default();
+        let lo = eval(AluOp::Add, a as u32, b as u32, f0);
+        let hi = eval(AluOp::Adc, (a >> 32) as u32, (b >> 32) as u32, lo.flags);
+        let got = ((hi.value as u64) << 32) | lo.value as u64;
+        prop_assert_eq!(got, a.wrapping_add(b));
+    }
+
+    #[test]
+    fn signed_comparisons_agree_with_rust(a: u32, b: u32) {
+        let f = compare(a, b, false, Flags::default());
+        prop_assert_eq!(cond_holds(Cond::Eq, f), a == b);
+        prop_assert_eq!(cond_holds(Cond::Ne, f), a != b);
+        prop_assert_eq!(cond_holds(Cond::Lt, f), (a as i32) < (b as i32));
+        prop_assert_eq!(cond_holds(Cond::Ge, f), (a as i32) >= (b as i32));
+        prop_assert_eq!(cond_holds(Cond::Gt, f), (a as i32) > (b as i32));
+        prop_assert_eq!(cond_holds(Cond::Le, f), (a as i32) <= (b as i32));
+        prop_assert_eq!(cond_holds(Cond::Cc, f), a < b);
+        prop_assert_eq!(cond_holds(Cond::Cs, f), a >= b);
+        prop_assert_eq!(cond_holds(Cond::Hi, f), a > b);
+        prop_assert_eq!(cond_holds(Cond::Ls, f), a <= b);
+    }
+
+    #[test]
+    fn condition_pairs_are_complements(a: u32, b: u32, f in flags_strategy()) {
+        let f = compare(a, b, false, f);
+        for (yes, no) in [
+            (Cond::Eq, Cond::Ne), (Cond::Cs, Cond::Cc), (Cond::Mi, Cond::Pl),
+            (Cond::Vs, Cond::Vc), (Cond::Hi, Cond::Ls), (Cond::Ge, Cond::Lt),
+            (Cond::Gt, Cond::Le),
+        ] {
+            prop_assert_ne!(cond_holds(yes, f), cond_holds(no, f));
+        }
+        prop_assert!(cond_holds(Cond::Al, f));
+    }
+
+    #[test]
+    fn shifts_match_rust(a: u32, amt in 0u32..32, f in flags_strategy()) {
+        prop_assert_eq!(eval(AluOp::Lsl, a, amt, f).value, a << amt);
+        prop_assert_eq!(eval(AluOp::Lsr, a, amt, f).value, a >> amt);
+        prop_assert_eq!(eval(AluOp::Asr, a, amt, f).value, ((a as i32) >> amt) as u32);
+        prop_assert_eq!(eval(AluOp::Ror, a, amt, f).value, a.rotate_right(amt));
+    }
+
+    #[test]
+    fn logical_identities(a: u32, b: u32, f in flags_strategy()) {
+        prop_assert_eq!(eval(AluOp::And, a, b, f).value, a & b);
+        prop_assert_eq!(eval(AluOp::Orr, a, b, f).value, a | b);
+        prop_assert_eq!(eval(AluOp::Eor, a, b, f).value, a ^ b);
+        prop_assert_eq!(eval(AluOp::Bic, a, b, f).value, a & !b);
+        prop_assert_eq!(eval(AluOp::Mvn, a, b, f).value, !b);
+        prop_assert_eq!(eval(AluOp::Mul, a, b, f).value, a.wrapping_mul(b));
+    }
+
+    #[test]
+    fn nz_flags_describe_result(op in prop::sample::select(&AluOp::ALL[..]), a: u32, b: u32) {
+        let r = eval(op, a, b, Flags::default());
+        prop_assert_eq!(r.flags.z, r.value == 0, "Z mirrors zero for {:?}", op);
+        prop_assert_eq!(r.flags.n, (r.value as i32) < 0, "N mirrors sign for {:?}", op);
+    }
+}

@@ -1,0 +1,263 @@
+//! Translation-block cache: arena, lookup map, per-page index for
+//! self-modifying-code invalidation, chaining slots, and the
+//! indirect-branch target cache (IBTC).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simbench_core::ir::Op;
+
+/// Index of a block in the arena.
+pub type TbId = u32;
+
+/// One executable micro-op within a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbStep {
+    /// The operation.
+    pub op: Op,
+    /// Address of the *next* instruction (exception return point).
+    pub next_pc: u32,
+    /// True on the first step of each guest instruction (drives
+    /// instruction retirement accounting).
+    pub insn_start: bool,
+}
+
+/// A translated basic block.
+#[derive(Debug, Clone)]
+pub struct Tb {
+    /// Guest virtual start address.
+    pub pc: u32,
+    /// Physical page the code was read from (part of the lookup key).
+    pub ppage: u32,
+    /// The executable steps. `Rc` so execution can outlive invalidation.
+    pub steps: Rc<[TbStep]>,
+    /// Address following the last instruction (fallthrough target).
+    pub end_pc: u32,
+    /// Static target of the block-ending direct branch, if any (drives
+    /// taken-edge chaining).
+    pub taken_target: Option<u32>,
+    /// Tombstone: invalidated, awaiting arena flush.
+    pub dead: bool,
+    /// Chain slot for the taken direct-branch successor.
+    pub chain_taken: Option<TbId>,
+    /// Chain slot for the fallthrough successor.
+    pub chain_fall: Option<TbId>,
+}
+
+/// Direct-mapped indirect-branch target cache mapping guest PC → block.
+#[derive(Debug)]
+pub struct Ibtc {
+    slots: Vec<(u32, TbId)>,
+    mask: u32,
+}
+
+impl Ibtc {
+    /// An IBTC with `1 << bits` slots; `bits == 0` disables it.
+    pub fn new(bits: u8) -> Self {
+        let n = if bits == 0 { 0 } else { 1usize << bits };
+        Ibtc { slots: vec![(u32::MAX, 0); n], mask: n.saturating_sub(1) as u32 }
+    }
+
+    /// Predicted block for a target PC.
+    #[inline]
+    pub fn lookup(&self, pc: u32) -> Option<TbId> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let slot = &self.slots[(pc >> 2 & self.mask) as usize];
+        (slot.0 == pc).then_some(slot.1)
+    }
+
+    /// Record a resolved target.
+    #[inline]
+    pub fn insert(&mut self, pc: u32, id: TbId) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let i = (pc >> 2 & self.mask) as usize;
+        self.slots[i] = (pc, id);
+    }
+
+    /// Drop all predictions.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.0 = u32::MAX;
+        }
+    }
+}
+
+/// The code cache.
+#[derive(Debug)]
+pub struct CodeCache {
+    /// Block arena (tombstoned blocks stay until a full flush).
+    pub blocks: Vec<Tb>,
+    /// Lookup: (virtual pc, physical page) → block.
+    map: HashMap<(u32, u32), TbId>,
+    /// Physical page → blocks whose code lives there.
+    page_blocks: HashMap<u32, Vec<TbId>>,
+    /// Indirect-branch target cache.
+    pub ibtc: Ibtc,
+    /// Arena size triggering a full flush (models a fixed-size
+    /// translation cache overflowing).
+    pub flush_threshold: usize,
+    /// Number of full flushes performed.
+    pub full_flushes: u64,
+}
+
+impl CodeCache {
+    /// A cache with the given IBTC size.
+    pub fn new(ibtc_bits: u8) -> Self {
+        CodeCache {
+            blocks: Vec::new(),
+            map: HashMap::new(),
+            page_blocks: HashMap::new(),
+            ibtc: Ibtc::new(ibtc_bits),
+            flush_threshold: 1 << 16,
+            full_flushes: 0,
+        }
+    }
+
+    /// Look up a live block by (pc, physical page).
+    #[inline]
+    pub fn lookup(&self, pc: u32, ppage: u32) -> Option<TbId> {
+        self.map.get(&(pc, ppage)).copied().filter(|&id| !self.blocks[id as usize].dead)
+    }
+
+    /// True if `ppage` holds any live translations. Used to set the
+    /// write-protect flag on TLB fills.
+    pub fn page_has_code(&self, ppage: u32) -> bool {
+        self.page_blocks.get(&ppage).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Insert a freshly translated block. Returns its id and whether the
+    /// page *gained* its first translation (the caller must then flush
+    /// data TLBs so stale unprotected entries disappear).
+    pub fn insert(&mut self, tb: Tb) -> (TbId, bool) {
+        let id = self.blocks.len() as TbId;
+        let first_in_page = !self.page_has_code(tb.ppage);
+        self.map.insert((tb.pc, tb.ppage), id);
+        self.page_blocks.entry(tb.ppage).or_default().push(id);
+        self.blocks.push(tb);
+        (id, first_in_page)
+    }
+
+    /// True when the arena has outgrown the modelled translation cache.
+    pub fn needs_flush(&self) -> bool {
+        self.blocks.len() >= self.flush_threshold
+    }
+
+    /// Invalidate every block in a physical page (self-modifying code).
+    /// Returns how many blocks died. All chains and the IBTC are
+    /// conservatively dropped, as unlinking is global in real DBTs.
+    pub fn invalidate_page(&mut self, ppage: u32) -> usize {
+        let Some(ids) = self.page_blocks.remove(&ppage) else {
+            return 0;
+        };
+        let n = ids.len();
+        for id in ids {
+            let tb = &mut self.blocks[id as usize];
+            tb.dead = true;
+            self.map.remove(&(tb.pc, tb.ppage));
+        }
+        self.unchain_all();
+        n
+    }
+
+    /// Drop every chain link and IBTC entry (exception side-exit sync,
+    /// and part of page invalidation).
+    pub fn unchain_all(&mut self) {
+        for tb in &mut self.blocks {
+            tb.chain_taken = None;
+            tb.chain_fall = None;
+        }
+        self.ibtc.clear();
+    }
+
+    /// Full code-cache flush.
+    pub fn flush_all(&mut self) {
+        self.blocks.clear();
+        self.map.clear();
+        self.page_blocks.clear();
+        self.ibtc.clear();
+        self.full_flushes += 1;
+    }
+
+    /// Number of live blocks (diagnostics).
+    pub fn live_blocks(&self) -> usize {
+        self.blocks.iter().filter(|t| !t.dead).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tb(pc: u32, ppage: u32) -> Tb {
+        Tb {
+            pc,
+            ppage,
+            steps: Rc::from(vec![].into_boxed_slice()),
+            end_pc: pc + 4,
+            taken_target: None,
+            dead: false,
+            chain_taken: None,
+            chain_fall: None,
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = CodeCache::new(4);
+        let (id, first) = c.insert(tb(0x8000, 8));
+        assert!(first);
+        assert_eq!(c.lookup(0x8000, 8), Some(id));
+        assert_eq!(c.lookup(0x8000, 9), None, "different physical page");
+        let (_, first2) = c.insert(tb(0x8010, 8));
+        assert!(!first2, "page already had code");
+    }
+
+    #[test]
+    fn page_invalidation_kills_blocks_and_chains() {
+        let mut c = CodeCache::new(4);
+        let (a, _) = c.insert(tb(0x8000, 8));
+        let (b, _) = c.insert(tb(0x9000, 9));
+        c.blocks[a as usize].chain_taken = Some(b);
+        c.blocks[b as usize].chain_fall = Some(a);
+        assert_eq!(c.invalidate_page(8), 1);
+        assert_eq!(c.lookup(0x8000, 8), None);
+        assert_eq!(c.lookup(0x9000, 9), Some(b), "other page untouched");
+        assert!(c.blocks[b as usize].chain_fall.is_none(), "global unchain");
+        assert!(!c.page_has_code(8));
+        assert!(c.page_has_code(9));
+    }
+
+    #[test]
+    fn ibtc_behaviour() {
+        let mut i = Ibtc::new(4);
+        assert_eq!(i.lookup(0x8000), None);
+        i.insert(0x8000, 7);
+        assert_eq!(i.lookup(0x8000), Some(7));
+        // Aliasing entry evicts.
+        i.insert(0x8000 + (1 << 6), 9);
+        assert_eq!(i.lookup(0x8000), None);
+        i.clear();
+        assert_eq!(i.lookup(0x8000 + (1 << 6)), None);
+    }
+
+    #[test]
+    fn disabled_ibtc() {
+        let mut i = Ibtc::new(0);
+        i.insert(0x8000, 7);
+        assert_eq!(i.lookup(0x8000), None);
+    }
+
+    #[test]
+    fn flush_all_resets() {
+        let mut c = CodeCache::new(4);
+        c.insert(tb(0x8000, 8));
+        c.flush_all();
+        assert_eq!(c.lookup(0x8000, 8), None);
+        assert_eq!(c.live_blocks(), 0);
+        assert_eq!(c.full_flushes, 1);
+    }
+}

@@ -1,0 +1,940 @@
+//! # simbench-dbt
+//!
+//! A dynamic-binary-translation full-system engine — the QEMU analogue of
+//! the paper's evaluation. Mechanisms implemented (and self-described for
+//! the Fig 4 reproduction):
+//!
+//! * block-based code generation over the shared micro-op IR with a
+//!   translation-time optimizer ([`opt`]),
+//! * a translation-block cache keyed by (virtual PC, physical page)
+//!   with full-flush-on-overflow ([`cache`]),
+//! * direct block chaining for intra-page branches, block-cache lookup
+//!   for inter-page branches, and an indirect-branch target cache,
+//! * a software TLB with code-page write protection driving precise
+//!   self-modifying-code invalidation ([`tlb`]),
+//! * interrupt delivery at block boundaries and synchronous exceptions
+//!   as side exits,
+//! * a [`versions::VersionProfile`] matrix reproducing the QEMU release
+//!   history studied by the paper (Figs 2, 6 and 8).
+
+pub mod cache;
+pub mod opt;
+pub mod tlb;
+pub mod versions;
+
+pub use versions::{VersionProfile, QEMU_VERSIONS};
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+use std::time::Instant;
+
+use simbench_core::bus::{Bus, BusEvent};
+use simbench_core::cpu::{CpuState, Flags};
+use simbench_core::engine::{Engine, EngineInfo, ExitReason, PhaseTracker, RunLimits, RunOutcome};
+use simbench_core::events::Counters;
+use simbench_core::exec::{step_op, BranchFlavor, ExecCtx, OpOutcome, Trap};
+use simbench_core::fault::{AccessKind, CopFault, ExcInfo, ExceptionKind, FaultKind, MemFault};
+use simbench_core::ir::{MemSize, Op};
+use simbench_core::isa::{CopEffect, Isa};
+use simbench_core::machine::Machine;
+use simbench_core::mmu::TlbEntry;
+use simbench_core::page_of;
+
+use cache::{CodeCache, Tb, TbId, TbStep};
+use tlb::DbtTlb;
+
+/// Maximum guest instructions per translation block.
+const MAX_BLOCK_INSNS: usize = 128;
+/// Blocks between wall-clock limit checks.
+const WALL_CHECK_BLOCKS: u64 = 4096;
+
+/// The DBT engine.
+#[derive(Debug)]
+pub struct Dbt<I: Isa> {
+    profile: VersionProfile,
+    tlb: DbtTlb,
+    code: CodeCache,
+    blocks_executed: u64,
+    _isa: PhantomData<I>,
+}
+
+impl<I: Isa> Default for Dbt<I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Isa> Dbt<I> {
+    /// An engine at the newest version profile.
+    pub fn new() -> Self {
+        Self::with_profile(VersionProfile::latest())
+    }
+
+    /// An engine configured as a specific version.
+    pub fn with_profile(profile: VersionProfile) -> Self {
+        Dbt {
+            profile,
+            tlb: DbtTlb::new(profile.tlb_bits),
+            code: CodeCache::new(profile.ibtc_bits),
+            blocks_executed: 0,
+            _isa: PhantomData,
+        }
+    }
+
+    /// The active version profile.
+    pub fn profile(&self) -> &VersionProfile {
+        &self.profile
+    }
+
+    /// Live translation blocks (diagnostics / tests).
+    pub fn live_blocks(&self) -> usize {
+        self.code.live_blocks()
+    }
+
+    /// Translate a fetch address, filling the TLB on miss.
+    fn translate_exec<B: Bus>(
+        &mut self,
+        cpu: &CpuState,
+        sys: &I::Sys,
+        bus: &mut B,
+        va: u32,
+    ) -> Result<u32, MemFault> {
+        if !I::mmu_enabled(sys) {
+            return Ok(va);
+        }
+        let vpage = page_of(va);
+        let entry = match self.tlb.lookup(vpage) {
+            Some(e) => e.entry,
+            None => {
+                let e = I::walk(sys, bus, va).map_err(|mut f| {
+                    f.access = AccessKind::Execute;
+                    f
+                })?;
+                self.tlb.insert(e, self.code.page_has_code(e.ppage));
+                e
+            }
+        };
+        entry.check(va, AccessKind::Execute, cpu.level.is_kernel(), false)
+    }
+
+    /// Per-block-entry revalidation guard: later version profiles re-check
+    /// the code mapping on every dispatch of a chained block.
+    fn entry_guard<B: Bus>(
+        &mut self,
+        cpu: &CpuState,
+        sys: &I::Sys,
+        bus: &mut B,
+        pc: u32,
+        ppage: u32,
+    ) -> bool {
+        for _ in 0..self.profile.entry_guard_level {
+            match self.translate_exec(cpu, sys, bus, pc) {
+                Ok(pa) if page_of(pa) == ppage => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Fetch raw instruction bytes at `pc`, possibly crossing a page.
+    fn fetch_bytes<B: Bus>(
+        &mut self,
+        cpu: &CpuState,
+        sys: &I::Sys,
+        bus: &mut B,
+        pc: u32,
+        buf: &mut [u8; 8],
+    ) -> Result<usize, MemFault> {
+        let want = I::MAX_INSN_BYTES;
+        let mut have = 0usize;
+        let mut va = pc;
+        while have < want {
+            let pa = match self.translate_exec(cpu, sys, bus, va) {
+                Ok(pa) => pa,
+                Err(f) => {
+                    if have > 0 {
+                        break;
+                    }
+                    return Err(f);
+                }
+            };
+            let page_left = (0x1000 - (va & 0xFFF)) as usize;
+            let n = page_left.min(want - have);
+            let ram = bus.ram();
+            if (pa as usize) + n > ram.len() {
+                if have == 0 {
+                    return Err(MemFault {
+                        addr: pc,
+                        access: AccessKind::Execute,
+                        kind: FaultKind::BusError,
+                    });
+                }
+                break;
+            }
+            buf[have..have + n].copy_from_slice(&ram[pa as usize..pa as usize + n]);
+            have += n;
+            va = va.wrapping_add(n as u32);
+        }
+        Ok(have)
+    }
+
+    /// Translate a new block starting at `pc`.
+    fn translate_block<B: Bus>(
+        &mut self,
+        m: &mut Machine<I, B>,
+        counters: &mut Counters,
+        pc: u32,
+    ) -> Result<TbId, MemFault> {
+        let first_pa = self.translate_exec(&m.cpu, &m.sys, &mut m.bus, pc)?;
+        let ppage = page_of(first_pa);
+        let mut steps: Vec<TbStep> = Vec::new();
+        let mut cur = pc;
+        let mut taken_target = None;
+        let mut buf = [0u8; 8];
+
+        for _ in 0..MAX_BLOCK_INSNS {
+            let have = match self.fetch_bytes(&m.cpu, &m.sys, &mut m.bus, cur, &mut buf) {
+                Ok(n) => n,
+                Err(f) => {
+                    if steps.is_empty() {
+                        return Err(f);
+                    }
+                    break;
+                }
+            };
+            let decoded = match I::decode(&buf[..have], cur) {
+                Ok(d) => d,
+                Err(_) => {
+                    // Undecodable bytes translate to an explicit UDF trap.
+                    steps.push(TbStep {
+                        op: Op::Udf,
+                        next_pc: cur.wrapping_add(I::MAX_INSN_BYTES as u32),
+                        insn_start: true,
+                    });
+                    cur = cur.wrapping_add(I::MAX_INSN_BYTES as u32);
+                    break;
+                }
+            };
+            let next = cur.wrapping_add(decoded.len as u32);
+            let ends = decoded.ends_block();
+            for (i, op) in decoded.ops.iter().enumerate() {
+                steps.push(TbStep { op: *op, next_pc: next, insn_start: i == 0 });
+            }
+            if ends {
+                taken_target = match decoded.ops.last() {
+                    Some(Op::Branch { target }) => Some(*target),
+                    Some(Op::BranchCond { target, .. }) => Some(*target),
+                    Some(Op::Call { target, .. }) => Some(*target),
+                    _ => None,
+                };
+                cur = next;
+                break;
+            }
+            cur = next;
+            // Blocks never span pages: stop before leaving the first one.
+            if page_of(cur) != page_of(pc) {
+                break;
+            }
+        }
+
+        opt::optimize(&mut steps, self.profile.optimizer_level);
+        counters.blocks_translated += 1;
+
+        let tb = Tb {
+            pc,
+            ppage,
+            steps: Rc::from(steps.into_boxed_slice()),
+            end_pc: cur,
+            taken_target,
+            dead: false,
+            chain_taken: None,
+            chain_fall: None,
+        };
+        let (id, first_in_page) = self.code.insert(tb);
+        if first_in_page {
+            // Stale TLB entries for this page lack the write-protect
+            // flag; drop them all so future fills pick it up.
+            self.tlb.flush();
+        }
+        Ok(id)
+    }
+
+    /// Find or translate the block at `pc`.
+    fn lookup_or_translate<B: Bus>(
+        &mut self,
+        m: &mut Machine<I, B>,
+        counters: &mut Counters,
+        pc: u32,
+    ) -> Result<TbId, MemFault> {
+        let pa = self.translate_exec(&m.cpu, &m.sys, &mut m.bus, pc)?;
+        let ppage = page_of(pa);
+        if let Some(id) = self.code.lookup(pc, ppage) {
+            counters.block_cache_hits += 1;
+            return Ok(id);
+        }
+        if self.code.needs_flush() {
+            self.code.flush_all();
+        }
+        self.translate_block(m, counters, pc)
+    }
+
+    /// Eager exception-side-exit synchronisation. Later profiles perform
+    /// QEMU-style `cpu_restore_state` on every synchronous exception:
+    /// re-decode the interrupted block to recover precise state, then
+    /// unchain everything and flush the IBTC. 2.5.0-rc0+ skips all of it
+    /// for data aborts (the data-fault fast path of Figs 6/8).
+    fn exception_sync<B: Bus>(&mut self, m: &mut Machine<I, B>, block_pc: u32, is_data_fault: bool) {
+        if !self.profile.eager_exception_sync {
+            return;
+        }
+        if is_data_fault && self.profile.data_fault_fast_path {
+            return;
+        }
+        self.recover_state(m, block_pc);
+        self.code.unchain_all();
+    }
+
+    /// State recovery: re-decode the faulting block (without caching the
+    /// result), exactly the work `cpu_restore_state` re-does in a real
+    /// DBT to map host state back to guest state.
+    fn recover_state<B: Bus>(&mut self, m: &mut Machine<I, B>, block_pc: u32) {
+        let mut buf = [0u8; 8];
+        let mut cur = block_pc;
+        for _ in 0..MAX_BLOCK_INSNS {
+            let Ok(have) = self.fetch_bytes(&m.cpu, &m.sys, &mut m.bus, cur, &mut buf) else {
+                return;
+            };
+            let Ok(d) = I::decode(&buf[..have], cur) else {
+                return;
+            };
+            let ends = d.ends_block();
+            cur = cur.wrapping_add(d.len as u32);
+            if ends || page_of(cur) != page_of(block_pc) {
+                return;
+            }
+        }
+    }
+
+    /// Resolve and, policy permitting, record a chain edge from `cur` to
+    /// `target`. Returns the successor to dispatch next.
+    fn chain_to<B: Bus>(
+        &mut self,
+        m: &mut Machine<I, B>,
+        counters: &mut Counters,
+        cur: TbId,
+        target: u32,
+        taken_edge: bool,
+    ) -> Option<TbId> {
+        // Existing chain?
+        let slot = if taken_edge {
+            self.code.blocks[cur as usize].chain_taken
+        } else {
+            self.code.blocks[cur as usize].chain_fall
+        };
+        if let Some(id) = slot {
+            let tb = &self.code.blocks[id as usize];
+            if !tb.dead && tb.pc == target {
+                return Some(id);
+            }
+        }
+        let same_page = page_of(self.code.blocks[cur as usize].pc) == page_of(target);
+        let allowed = if same_page { self.profile.chain_intra } else { self.profile.chain_inter };
+        let id = match self.lookup_or_translate(m, counters, target) {
+            Ok(id) => id,
+            Err(f) => {
+                take_prefetch_abort::<I, B>(m, counters, f, target);
+                return None;
+            }
+        };
+        if allowed {
+            let tb = &mut self.code.blocks[cur as usize];
+            if taken_edge {
+                tb.chain_taken = Some(id);
+            } else {
+                tb.chain_fall = Some(id);
+            }
+        }
+        Some(id)
+    }
+
+    /// Resolve an indirect branch: IBTC hit or full lookup + fill.
+    fn resolve_indirect<B: Bus>(
+        &mut self,
+        m: &mut Machine<I, B>,
+        counters: &mut Counters,
+        target: u32,
+    ) -> Option<TbId> {
+        if let Some(id) = self.code.ibtc.lookup(target) {
+            let tb = &self.code.blocks[id as usize];
+            if !tb.dead && tb.pc == target {
+                let ppage = tb.ppage;
+                // Validate the mapping still matches before trusting it.
+                if let Ok(pa) = self.translate_exec(&m.cpu, &m.sys, &mut m.bus, target) {
+                    if page_of(pa) == ppage {
+                        return Some(id);
+                    }
+                }
+            }
+        }
+        match self.lookup_or_translate(m, counters, target) {
+            Ok(id) => {
+                self.code.ibtc.insert(target, id);
+                Some(id)
+            }
+            Err(f) => {
+                take_prefetch_abort::<I, B>(m, counters, f, target);
+                None
+            }
+        }
+    }
+}
+
+/// Execution context for one block run.
+struct Ctx<'a, I: Isa, B: Bus> {
+    cpu: &'a mut CpuState,
+    sys: &'a mut I::Sys,
+    bus: &'a mut B,
+    tlb: &'a mut DbtTlb,
+    code: &'a CodeCache,
+    counters: &'a mut Counters,
+    phase_mark: Option<u8>,
+    /// Physical page whose translations a store just dirtied.
+    code_write: Option<u32>,
+}
+
+impl<I: Isa, B: Bus> Ctx<'_, I, B> {
+    fn translate_data(
+        &mut self,
+        va: u32,
+        size: MemSize,
+        access: AccessKind,
+        nonpriv: bool,
+    ) -> Result<(u32, bool), MemFault> {
+        if !size.aligned(va) {
+            return Err(MemFault { addr: va, access, kind: FaultKind::Unaligned });
+        }
+        if !I::mmu_enabled(self.sys) {
+            return Ok((va, self.code.page_has_code(page_of(va))));
+        }
+        let vpage = page_of(va);
+        let (entry, flag) = match self.tlb.lookup(vpage) {
+            Some(e) => {
+                self.counters.tlb_hits += 1;
+                (e.entry, e.contains_code)
+            }
+            None => {
+                self.counters.tlb_misses += 1;
+                let e: TlbEntry = I::walk(self.sys, self.bus, va).map_err(|mut f| {
+                    f.access = access;
+                    f
+                })?;
+                let flag = self.code.page_has_code(e.ppage);
+                self.tlb.insert(e, flag);
+                // QEMU-style tlb_fill: the helper validates the fill with
+                // a second walk and the memory op then *retries* through
+                // the TLB — the cold-path overhead the paper measures.
+                let _ = I::walk(self.sys, self.bus, va);
+                let refilled = self.tlb.lookup(vpage).expect("entry just filled");
+                (refilled.entry, refilled.contains_code)
+            }
+        };
+        let pa = entry.check(va, access, self.cpu.level.is_kernel(), nonpriv)?;
+        Ok((pa, flag))
+    }
+}
+
+impl<I: Isa, B: Bus> ExecCtx for Ctx<'_, I, B> {
+    fn reg(&self, r: u8) -> u32 {
+        self.cpu.regs[r as usize]
+    }
+    fn set_reg(&mut self, r: u8, v: u32) {
+        self.cpu.regs[r as usize] = v;
+    }
+    fn flags(&self) -> Flags {
+        self.cpu.flags
+    }
+    fn set_flags(&mut self, f: Flags) {
+        self.cpu.flags = f;
+    }
+    fn privileged(&self) -> bool {
+        self.cpu.level.is_kernel()
+    }
+
+    fn read(&mut self, va: u32, size: MemSize, nonpriv: bool) -> Result<u32, MemFault> {
+        self.counters.mem_reads += 1;
+        if nonpriv {
+            self.counters.nonpriv_accesses += 1;
+        }
+        let (pa, _) = self.translate_data(va, size, AccessKind::Read, nonpriv)?;
+        if self.bus.is_mmio(pa) {
+            self.counters.mmio_accesses += 1;
+        }
+        self.bus.read(pa, size).map_err(|mut f| {
+            f.addr = va;
+            f
+        })
+    }
+
+    fn write(&mut self, va: u32, val: u32, size: MemSize, nonpriv: bool) -> Result<(), MemFault> {
+        self.counters.mem_writes += 1;
+        if nonpriv {
+            self.counters.nonpriv_accesses += 1;
+        }
+        let (pa, contains_code) = self.translate_data(va, size, AccessKind::Write, nonpriv)?;
+        if self.bus.is_mmio(pa) {
+            self.counters.mmio_accesses += 1;
+        }
+        match self.bus.write(pa, val, size) {
+            Ok(Some(BusEvent::PhaseMark(m))) => self.phase_mark = Some(m),
+            Ok(_) => {}
+            Err(mut f) => {
+                f.addr = va;
+                return Err(f);
+            }
+        }
+        // Write-protect slow path: the page may hold translations.
+        if contains_code && self.code.page_has_code(page_of(pa)) {
+            self.code_write = Some(page_of(pa));
+        }
+        Ok(())
+    }
+
+    fn cop_read(&mut self, cp: u8, reg: u8) -> Result<u32, CopFault> {
+        self.counters.coproc_accesses += 1;
+        I::cop_read(self.cpu, self.sys, cp, reg)
+    }
+
+    fn cop_write(&mut self, cp: u8, reg: u8, val: u32) -> Result<(), CopFault> {
+        self.counters.coproc_accesses += 1;
+        match I::cop_write(self.cpu, self.sys, cp, reg, val)? {
+            CopEffect::None => {}
+            CopEffect::TlbInvPage(va) => {
+                self.counters.tlb_invalidate_page += 1;
+                self.tlb.invalidate_page(page_of(va));
+            }
+            CopEffect::TlbFlush => {
+                self.counters.tlb_flushes += 1;
+                self.tlb.flush();
+            }
+            CopEffect::ContextChanged => {
+                self.tlb.flush();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How a block's execution ended.
+enum BlockExit {
+    Jump { target: u32, flavor: BranchFlavor },
+    Fallthrough,
+    Trap { trap: Trap, next_pc: u32 },
+    Halt,
+    CodeWrite { resume_pc: u32 },
+}
+
+impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
+    fn info(&self) -> EngineInfo {
+        EngineInfo {
+            name: "dbt",
+            execution_model: "DBT",
+            memory_access: "Soft TLB + write protect",
+            code_generation: "Block-based",
+            control_flow_inter: "Block Cache",
+            control_flow_intra: "Block Chaining",
+            interrupts: "Block Boundaries",
+            sync_exceptions: "Side Exit",
+            undef_insn: "Translated",
+        }
+    }
+
+    fn run(&mut self, m: &mut Machine<I, B>, limits: &RunLimits) -> RunOutcome {
+        let t0 = Instant::now();
+        let mut counters = Counters::default();
+        let mut phase = PhaseTracker::new();
+        self.tlb.flush();
+        self.code.flush_all();
+        self.code.full_flushes = 0;
+        let mut chained_next: Option<TbId> = None;
+
+        let exit = 'outer: loop {
+            if counters.instructions >= limits.max_insns {
+                break ExitReason::InsnLimit;
+            }
+            self.blocks_executed += 1;
+            if let Some(wall) = limits.wall_limit {
+                if self.blocks_executed % WALL_CHECK_BLOCKS == 0 && t0.elapsed() >= wall {
+                    break ExitReason::WallLimit;
+                }
+            }
+
+            // Interrupts are only taken at block boundaries.
+            if m.cpu.irq_enabled && m.bus.irq_pending() {
+                counters.irqs_delivered += 1;
+                let resume = m.cpu.pc;
+                let vec = I::enter_exception(
+                    &mut m.cpu,
+                    &mut m.sys,
+                    ExceptionKind::Irq,
+                    ExcInfo::default(),
+                    resume,
+                );
+                m.cpu.pc = vec;
+                chained_next = None;
+                continue;
+            }
+
+            let pc = m.cpu.pc;
+            let cur: TbId = match chained_next.take() {
+                Some(id)
+                    if !self.code.blocks[id as usize].dead
+                        && self.code.blocks[id as usize].pc == pc =>
+                {
+                    counters.block_chain_follows += 1;
+                    let ppage = self.code.blocks[id as usize].ppage;
+                    if self.entry_guard(&m.cpu, &m.sys, &mut m.bus, pc, ppage) {
+                        id
+                    } else {
+                        match self.lookup_or_translate(m, &mut counters, pc) {
+                            Ok(id) => id,
+                            Err(f) => {
+                                take_prefetch_abort::<I, B>(m, &mut counters, f, pc);
+                                continue;
+                            }
+                        }
+                    }
+                }
+                _ => match self.lookup_or_translate(m, &mut counters, pc) {
+                    Ok(id) => id,
+                    Err(f) => {
+                        take_prefetch_abort::<I, B>(m, &mut counters, f, pc);
+                        continue;
+                    }
+                },
+            };
+
+            let (steps, tb_pc, end_pc, taken_target) = {
+                let tb = &self.code.blocks[cur as usize];
+                (Rc::clone(&tb.steps), tb.pc, tb.end_pc, tb.taken_target)
+            };
+
+            let mut ctx = Ctx::<I, B> {
+                cpu: &mut m.cpu,
+                sys: &mut m.sys,
+                bus: &mut m.bus,
+                tlb: &mut self.tlb,
+                code: &self.code,
+                counters: &mut counters,
+                phase_mark: None,
+                code_write: None,
+            };
+
+            let mut exit = BlockExit::Fallthrough;
+            for step in steps.iter() {
+                if step.insn_start {
+                    ctx.counters.instructions += 1;
+                }
+                ctx.counters.uops += 1;
+                match step_op(&mut ctx, &step.op) {
+                    OpOutcome::Next => {
+                        if ctx.code_write.is_some() {
+                            exit = BlockExit::CodeWrite { resume_pc: step.next_pc };
+                            break;
+                        }
+                    }
+                    OpOutcome::Jump { target, flavor } => {
+                        count_branch(ctx.counters, tb_pc, target, flavor);
+                        exit = BlockExit::Jump { target, flavor };
+                        break;
+                    }
+                    OpOutcome::Trap(t) => {
+                        exit = BlockExit::Trap { trap: t, next_pc: step.next_pc };
+                        break;
+                    }
+                    OpOutcome::Halt => {
+                        exit = BlockExit::Halt;
+                        break;
+                    }
+                }
+            }
+            let mark = ctx.phase_mark.take();
+            let dirty_page = ctx.code_write.take();
+            drop(ctx);
+
+            if let Some(mark) = mark {
+                phase.on_mark(mark, &counters);
+            }
+
+            match exit {
+                BlockExit::Halt => break 'outer ExitReason::Halted,
+                BlockExit::Fallthrough => {
+                    m.cpu.pc = end_pc;
+                    chained_next = self.chain_to(m, &mut counters, cur, end_pc, false);
+                }
+                BlockExit::Jump { target, flavor } => {
+                    m.cpu.pc = target;
+                    match flavor {
+                        BranchFlavor::Direct if Some(target) == taken_target => {
+                            chained_next = self.chain_to(m, &mut counters, cur, target, true);
+                        }
+                        BranchFlavor::Direct => {
+                            chained_next = None;
+                        }
+                        BranchFlavor::Indirect => {
+                            chained_next = self.resolve_indirect(m, &mut counters, target);
+                        }
+                    }
+                }
+                BlockExit::CodeWrite { resume_pc } => {
+                    counters.code_invalidations += 1;
+                    if let Some(p) = dirty_page {
+                        if self.profile.smc_full_flush {
+                            self.code.flush_all();
+                        } else {
+                            self.code.invalidate_page(p);
+                        }
+                    }
+                    m.cpu.pc = resume_pc;
+                    chained_next = None;
+                }
+                BlockExit::Trap { trap, next_pc } => {
+                    chained_next = None;
+                    match trap {
+                        Trap::Eret => {
+                            m.cpu.pc = I::leave_exception(&mut m.cpu, &mut m.sys);
+                        }
+                        Trap::Syscall(n) => {
+                            counters.syscalls += 1;
+                            self.exception_sync(m, tb_pc, false);
+                            let vec = I::enter_exception(
+                                &mut m.cpu,
+                                &mut m.sys,
+                                ExceptionKind::Syscall,
+                                ExcInfo::syscall(n),
+                                next_pc,
+                            );
+                            m.cpu.pc = vec;
+                        }
+                        Trap::Undef => {
+                            counters.undef_insns += 1;
+                            self.exception_sync(m, tb_pc, false);
+                            let vec = I::enter_exception(
+                                &mut m.cpu,
+                                &mut m.sys,
+                                ExceptionKind::Undef,
+                                ExcInfo::default(),
+                                next_pc,
+                            );
+                            m.cpu.pc = vec;
+                        }
+                        Trap::DataFault(f) => {
+                            counters.data_faults += 1;
+                            self.exception_sync(m, tb_pc, true);
+                            let vec = I::enter_exception(
+                                &mut m.cpu,
+                                &mut m.sys,
+                                ExceptionKind::DataAbort,
+                                ExcInfo::from_fault(f),
+                                next_pc,
+                            );
+                            m.cpu.pc = vec;
+                        }
+                    }
+                }
+            }
+        };
+
+        RunOutcome { exit, wall: t0.elapsed(), counters, kernel: phase.into_kernel() }
+    }
+}
+
+/// Take a prefetch abort (used from several dispatch points).
+fn take_prefetch_abort<I: Isa, B: Bus>(
+    m: &mut Machine<I, B>,
+    counters: &mut Counters,
+    f: MemFault,
+    pc: u32,
+) {
+    counters.insn_faults += 1;
+    let vec = I::enter_exception(
+        &mut m.cpu,
+        &mut m.sys,
+        ExceptionKind::PrefetchAbort,
+        ExcInfo::from_fault(f),
+        pc,
+    );
+    m.cpu.pc = vec;
+}
+
+/// Classify and count a taken branch.
+fn count_branch(counters: &mut Counters, from_pc: u32, target: u32, flavor: BranchFlavor) {
+    let same_page = page_of(from_pc) == page_of(target);
+    match (flavor, same_page) {
+        (BranchFlavor::Direct, true) => counters.branch_intra_direct += 1,
+        (BranchFlavor::Direct, false) => counters.branch_inter_direct += 1,
+        (BranchFlavor::Indirect, true) => counters.branch_intra_indirect += 1,
+        (BranchFlavor::Indirect, false) => counters.branch_inter_indirect += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simbench_core::asm::{PReg, PortableAsm};
+    use simbench_core::bus::FlatRam;
+    use simbench_core::ir::AluOp;
+    use simbench_isa_armlet::{Armlet, ArmletAsm};
+
+    fn run_dbt(asm: ArmletAsm, entry: u32) -> (Machine<Armlet, FlatRam>, RunOutcome) {
+        let img = asm.finish(entry);
+        let mut m = Machine::<Armlet, _>::boot(&img, FlatRam::new(1 << 20));
+        let mut e = Dbt::<Armlet>::new();
+        let out = e.run(&mut m, &RunLimits::insns(10_000_000));
+        (m, out)
+    }
+
+    #[test]
+    fn arithmetic_loop_matches_interp_semantics() {
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        a.mov_imm(PReg::A, 0);
+        a.mov_imm(PReg::B, 1000);
+        let top = a.new_label();
+        a.bind(top);
+        a.alu_ri(AluOp::Add, PReg::A, PReg::A, 3);
+        a.alu_ri(AluOp::Sub, PReg::B, PReg::B, 1);
+        a.cmp_ri(PReg::B, 0);
+        a.b_cond(simbench_core::ir::Cond::Ne, top);
+        a.halt();
+        let (m, out) = run_dbt(a, 0x8000);
+        assert_eq!(out.exit, ExitReason::Halted);
+        assert_eq!(m.cpu.regs[0], 3000);
+        // The loop body translates once and is re-dispatched.
+        assert!(out.counters.blocks_translated < 10);
+        assert!(
+            out.counters.block_chain_follows > 500,
+            "intra-page loop edge must chain: {}",
+            out.counters.block_chain_follows
+        );
+    }
+
+    #[test]
+    fn self_modifying_code_invalidates() {
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        // Patch the word at `slot` from `mov D, #1` to `mov D, #2`,
+        // then execute it.
+        let slot = a.new_label();
+        a.mov_label(PReg::A, slot);
+        // New encoding: movw r3, #2 (class 3, rd=3).
+        a.mov_imm(PReg::B, 0x3030_0000 | 2);
+        a.store(PReg::B, PReg::A, 0);
+        a.bind(slot);
+        a.mov_imm(PReg::D, 1);
+        a.halt();
+        let (m, out) = run_dbt(a, 0x8000);
+        assert_eq!(out.exit, ExitReason::Halted);
+        assert_eq!(m.cpu.regs[3], 2, "rewritten instruction must execute");
+        assert!(out.counters.code_invalidations >= 1);
+    }
+
+    #[test]
+    fn exceptions_side_exit_and_resume() {
+        let mut a = ArmletAsm::new();
+        a.org(0);
+        let handler = a.new_label();
+        a.b(handler); // undef vector
+        a.org(0x300);
+        a.bind(handler);
+        a.alu_ri(AluOp::Add, PReg::C, PReg::C, 1);
+        a.eret();
+        a.org(0x8000);
+        a.mov_imm(PReg::C, 0);
+        a.udf();
+        a.udf();
+        a.halt();
+        let (m, out) = run_dbt(a, 0x8000);
+        assert_eq!(out.exit, ExitReason::Halted);
+        assert_eq!(m.cpu.regs[2], 2);
+        assert_eq!(out.counters.undef_insns, 2);
+    }
+
+    #[test]
+    fn version_profiles_agree_on_architecture() {
+        // The same program must produce identical architectural results
+        // on the oldest and newest version profiles.
+        let build = || {
+            let mut a = ArmletAsm::new();
+            a.org(0x8000);
+            a.mov_imm(PReg::A, 7);
+            let f = a.new_label();
+            a.call(f);
+            a.halt();
+            a.bind(f);
+            a.alu_ri(AluOp::Mul, PReg::A, PReg::A, 6);
+            a.ret();
+            a.finish(0x8000)
+        };
+        let mut results = Vec::new();
+        for prof in [QEMU_VERSIONS[0], *QEMU_VERSIONS.last().unwrap()] {
+            let img = build();
+            let mut m = Machine::<Armlet, _>::boot(&img, FlatRam::new(1 << 20));
+            let mut e = Dbt::<Armlet>::with_profile(prof);
+            let out = e.run(&mut m, &RunLimits::insns(1000));
+            assert_eq!(out.exit, ExitReason::Halted);
+            results.push(m.cpu.regs[0]);
+        }
+        assert_eq!(results[0], 42);
+        assert_eq!(results, vec![42, 42]);
+    }
+
+    #[test]
+    fn optimizer_reduces_executed_uops() {
+        let build = || {
+            let mut a = ArmletAsm::new();
+            a.org(0x8000);
+            // A constant chain the optimizer can fold.
+            a.mov_imm(PReg::A, 10);
+            a.alu_ri(AluOp::Add, PReg::B, PReg::A, 5);
+            a.alu_ri(AluOp::Lsl, PReg::C, PReg::B, 2);
+            a.mov_imm(PReg::D, 0xDEAD_BEEF); // movw+movt: foldable movt
+            a.halt();
+            a.finish(0x8000)
+        };
+        let mut uops = Vec::new();
+        for level in [0u8, 2] {
+            let img = build();
+            let mut m = Machine::<Armlet, _>::boot(&img, FlatRam::new(1 << 20));
+            let prof = VersionProfile { optimizer_level: level, ..VersionProfile::latest() };
+            let mut e = Dbt::<Armlet>::with_profile(prof);
+            let out = e.run(&mut m, &RunLimits::insns(1000));
+            assert_eq!(out.exit, ExitReason::Halted);
+            assert_eq!(m.cpu.regs[2], 60);
+            assert_eq!(m.cpu.regs[3], 0xDEAD_BEEF);
+            uops.push(out.counters.uops);
+        }
+        assert_eq!(uops[0], uops[1], "onstant folding preserves uop count (ops are rewritten, not removed)");
+    }
+
+    #[test]
+    fn block_cache_hit_on_revisit() {
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        let f = a.new_label();
+        a.mov_imm(PReg::B, 0);
+        a.mov_label(PReg::E, f);
+        let top = a.new_label();
+        a.bind(top);
+        a.call_reg(PReg::E); // indirect call: exercises the IBTC
+        a.cmp_ri(PReg::B, 50);
+        a.b_cond(simbench_core::ir::Cond::Ne, top);
+        a.halt();
+        a.bind(f);
+        a.alu_ri(AluOp::Add, PReg::B, PReg::B, 1);
+        a.ret();
+        let (m, out) = run_dbt(a, 0x8000);
+        assert_eq!(out.exit, ExitReason::Halted);
+        assert_eq!(m.cpu.regs[1], 50);
+        assert!(out.counters.blocks_translated <= 8, "translated {}", out.counters.blocks_translated);
+    }
+}

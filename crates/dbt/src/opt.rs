@@ -1,0 +1,210 @@
+//! The translation-time IR optimizer.
+//!
+//! Level 0 does nothing. Level 1 runs block-local constant folding.
+//! Level 2 additionally eliminates dead flag updates and drops NOPs.
+//! Higher levels cost translation time (the Code Generation benchmarks
+//! see this) and speed up generated code (SPEC-like workloads see that),
+//! reproducing the trade-off the paper attributes to QEMU 2.0's "TCG
+//! optimiser improvements".
+
+use simbench_core::cpu::MAX_GPRS;
+use simbench_core::ir::{AluOp, Op, Operand};
+
+use crate::cache::TbStep;
+
+/// Run the optimizer at `level` over a translated block.
+pub fn optimize(steps: &mut Vec<TbStep>, level: u8) {
+    if level >= 1 {
+        constant_fold(steps);
+    }
+    if level >= 2 {
+        dead_flags(steps);
+        drop_nops(steps);
+    }
+}
+
+/// Block-local constant propagation: registers whose value is known from
+/// an immediate move earlier in the block fold into later immediate
+/// operations.
+fn constant_fold(steps: &mut [TbStep]) {
+    let mut known: [Option<u32>; MAX_GPRS] = [None; MAX_GPRS];
+    for step in steps.iter_mut() {
+        match &mut step.op {
+            Op::Alu { op, rd, rn, src, set_flags } => {
+                let (op, rd, rn, mut src, set_flags) = (*op, *rd, *rn, *src, *set_flags);
+                // Substitute a known register source with its constant.
+                if let Operand::Reg(r) = src {
+                    if let Some(v) = known[r as usize] {
+                        src = Operand::Imm(v);
+                    }
+                }
+                let rn_val =
+                    if matches!(op, AluOp::Mov | AluOp::Mvn) { Some(0) } else { known[rn as usize] };
+                // Adc/Sbc consume the carry flag; they are not foldable
+                // without flag knowledge.
+                let foldable = !set_flags && !matches!(op, AluOp::Adc | AluOp::Sbc);
+                if let (Some(a), Operand::Imm(b), true) = (rn_val, src, foldable) {
+                    // Fully foldable: compute now, emit a move.
+                    let flags = simbench_core::cpu::Flags::default();
+                    let value = simbench_core::alu::eval(op, a, b, flags).value;
+                    step.op = Op::Alu {
+                        op: AluOp::Mov,
+                        rd,
+                        rn: 0,
+                        src: Operand::Imm(value),
+                        set_flags: false,
+                    };
+                    known[rd as usize] = Some(value);
+                    continue;
+                }
+                step.op = Op::Alu { op, rd, rn, src, set_flags };
+                // Track plain immediate moves; anything else clobbers.
+                if let (AluOp::Mov, Operand::Imm(v), false) = (op, src, set_flags) {
+                    known[rd as usize] = Some(v);
+                } else {
+                    known[rd as usize] = None;
+                }
+            }
+            Op::Cmp { src, .. } => {
+                if let Operand::Reg(r) = *src {
+                    if let Some(v) = known[r as usize] {
+                        *src = Operand::Imm(v);
+                    }
+                }
+            }
+            Op::Load { rd, .. } | Op::CopRead { rd, .. } => known[*rd as usize] = None,
+            Op::Ret(simbench_core::ir::RetKind::Pop(sp)) => known[*sp as usize] = None,
+            Op::Call { link: simbench_core::ir::LinkKind::Register(lr), .. }
+            | Op::CallReg { link: simbench_core::ir::LinkKind::Register(lr), .. } => {
+                known[*lr as usize] = None
+            }
+            Op::Call { link: simbench_core::ir::LinkKind::Push(sp), .. }
+            | Op::CallReg { link: simbench_core::ir::LinkKind::Push(sp), .. } => {
+                known[*sp as usize] = None
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Clear `set_flags` on ALU ops whose flags are overwritten before any
+/// reader. Conservative: block exits count as readers (the next block
+/// may branch on the flags).
+fn dead_flags(steps: &mut [TbStep]) {
+    // Walk backwards: a flag write is dead if the next flag event going
+    // forward is another write.
+    let mut live = true; // flags live at block exit
+    for step in steps.iter_mut().rev() {
+        match &mut step.op {
+            Op::Alu { set_flags, op, .. } => {
+                let reads = matches!(op, AluOp::Adc | AluOp::Sbc);
+                if *set_flags {
+                    if !live {
+                        *set_flags = false;
+                    }
+                    // This op defines the flags for earlier code...
+                    live = reads; // ...unless it also reads them.
+                } else if reads {
+                    live = true;
+                }
+            }
+            Op::Cmp { .. } => live = false, // cmp overwrites all flags
+            Op::BranchCond { .. } => live = true,
+            _ => {}
+        }
+    }
+}
+
+/// Drop NOP steps that are not instruction starts (instruction-start
+/// steps carry retirement accounting and must survive).
+fn drop_nops(steps: &mut Vec<TbStep>) {
+    steps.retain(|s| !matches!(s.op, Op::Nop) || s.insn_start);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simbench_core::ir::Cond;
+
+    fn step(op: Op) -> TbStep {
+        TbStep { op, next_pc: 0, insn_start: true }
+    }
+
+    fn mov(rd: u8, v: u32) -> Op {
+        Op::Alu { op: AluOp::Mov, rd, rn: 0, src: Operand::Imm(v), set_flags: false }
+    }
+
+    #[test]
+    fn folds_constant_chains() {
+        let mut steps = vec![
+            step(mov(0, 10)),
+            step(Op::Alu { op: AluOp::Add, rd: 1, rn: 0, src: Operand::Imm(5), set_flags: false }),
+            step(Op::Alu { op: AluOp::Lsl, rd: 2, rn: 1, src: Operand::Imm(2), set_flags: false }),
+        ];
+        optimize(&mut steps, 1);
+        assert_eq!(steps[1].op, mov(1, 15));
+        assert_eq!(steps[2].op, mov(2, 60));
+    }
+
+    #[test]
+    fn fold_stops_at_loads() {
+        let mut steps = vec![
+            step(mov(0, 10)),
+            step(Op::Load { rd: 0, base: 3, off: 0, size: simbench_core::ir::MemSize::B4, nonpriv: false }),
+            step(Op::Alu { op: AluOp::Add, rd: 1, rn: 0, src: Operand::Imm(5), set_flags: false }),
+        ];
+        optimize(&mut steps, 1);
+        // r0 is no longer a known constant after the load.
+        assert!(matches!(steps[2].op, Op::Alu { op: AluOp::Add, .. }));
+    }
+
+    #[test]
+    fn flag_setting_ops_not_folded() {
+        let mut steps = vec![
+            step(mov(0, 10)),
+            step(Op::Alu { op: AluOp::Add, rd: 1, rn: 0, src: Operand::Imm(5), set_flags: true }),
+            step(Op::BranchCond { cond: Cond::Eq, target: 0x100 }),
+        ];
+        optimize(&mut steps, 2);
+        assert!(
+            matches!(steps[1].op, Op::Alu { set_flags: true, .. }),
+            "flag producer feeding a conditional branch must survive"
+        );
+    }
+
+    #[test]
+    fn dead_flags_cleared() {
+        let mut steps = vec![
+            step(Op::Alu { op: AluOp::Add, rd: 1, rn: 1, src: Operand::Imm(1), set_flags: true }),
+            step(Op::Cmp { rn: 1, src: Operand::Imm(5), is_tst: false }),
+            step(Op::BranchCond { cond: Cond::Ne, target: 0x100 }),
+        ];
+        optimize(&mut steps, 2);
+        assert!(
+            matches!(steps[0].op, Op::Alu { set_flags: false, .. }),
+            "flags overwritten by cmp before any read"
+        );
+    }
+
+    #[test]
+    fn nops_dropped_unless_insn_start() {
+        let mut steps = vec![
+            step(Op::Nop),
+            TbStep { op: Op::Nop, next_pc: 0, insn_start: false },
+            step(mov(0, 1)),
+        ];
+        optimize(&mut steps, 2);
+        assert_eq!(steps.len(), 2);
+    }
+
+    #[test]
+    fn level_zero_is_identity() {
+        let mut steps = vec![
+            step(mov(0, 10)),
+            step(Op::Alu { op: AluOp::Add, rd: 1, rn: 0, src: Operand::Imm(5), set_flags: false }),
+        ];
+        let before = steps.clone();
+        optimize(&mut steps, 0);
+        assert_eq!(steps, before);
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig 2: relative performance of the sjeng-like and mcf-like workloads
+//! and the overall SPEC-like rating across the twenty DBT versions
+//! (baseline: v1.7.0).
+//!
+//! The paper's motivating example: aggregate application benchmarks
+//! drift apart across simulator versions — sjeng improves while mcf
+//! regresses — and the average hides both.
+
+use simbench_apps::App;
+use simbench_dbt::QEMU_VERSIONS;
+
+use crate::table::{fmt_ratio, Table};
+use crate::{geomean, run_app, Config, EngineKind, Guest};
+
+/// One version's measurements.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Version name.
+    pub version: &'static str,
+    /// sjeng-like speedup vs baseline.
+    pub sjeng: f64,
+    /// mcf-like speedup vs baseline.
+    pub mcf: f64,
+    /// Geometric-mean speedup across all apps ("SPEC overall").
+    pub overall: f64,
+}
+
+/// Run the experiment. Returns the rows plus a rendered table.
+pub fn run(cfg: &Config) -> (Vec<Row>, String) {
+    // Measure every app on every version (armlet guest, as in the paper's
+    // ARM-binaries-on-x86-host motivating experiment).
+    let mut times: Vec<Vec<f64>> = Vec::new(); // [version][app]
+    for v in QEMU_VERSIONS {
+        let per_app: Vec<f64> = App::ALL
+            .iter()
+            .map(|&app| run_app(Guest::Armlet, EngineKind::Dbt(*v), app, cfg).seconds.max(1e-9))
+            .collect();
+        times.push(per_app);
+    }
+    let base = &times[0];
+    let sjeng_idx = App::ALL.iter().position(|a| *a == App::SjengLike).unwrap();
+    let mcf_idx = App::ALL.iter().position(|a| *a == App::McfLike).unwrap();
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(["version", "sjeng-like", "mcf-like", "SPEC-like (overall)"]);
+    for (vi, v) in QEMU_VERSIONS.iter().enumerate() {
+        let speedups: Vec<f64> = (0..App::ALL.len()).map(|ai| base[ai] / times[vi][ai]).collect();
+        let row = Row {
+            version: v.name,
+            sjeng: speedups[sjeng_idx],
+            mcf: speedups[mcf_idx],
+            overall: geomean(&speedups),
+        };
+        table.row([
+            row.version.to_string(),
+            fmt_ratio(row.sjeng),
+            fmt_ratio(row.mcf),
+            fmt_ratio(row.overall),
+        ]);
+        rows.push(row);
+    }
+    let text = format!(
+        "Fig 2 — application speedup across DBT versions (baseline v1.7.0, armlet guest)\n\n{}",
+        table.render()
+    );
+    (rows, text)
+}

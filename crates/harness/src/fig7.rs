@@ -1,0 +1,73 @@
+//! Fig 7: the full cross-simulator results table — all eighteen
+//! benchmarks on all five engines, for both guest architectures,
+//! in seconds of kernel wall-clock time.
+//!
+//! `-` marks a benchmark that does not exist on the architecture
+//! (Nonprivileged Access on petix); `-†` marks functionality the engine
+//! does not implement (INTC / safe-device models on the detailed
+//! engine), both mirroring the paper's footnotes.
+
+use simbench_core::engine::ExitReason;
+use simbench_suite::Benchmark;
+
+use crate::table::{fmt_secs, Table};
+use crate::{run_suite_bench, Config, EngineKind, Guest};
+
+/// One table cell.
+#[derive(Debug, Clone, Copy)]
+pub enum Cell {
+    /// Kernel seconds.
+    Seconds(f64),
+    /// Engine lacks the device model (`-†`).
+    Unsupported,
+    /// Benchmark absent on the architecture (`-`).
+    NotOnIsa,
+}
+
+impl Cell {
+    fn render(self) -> String {
+        match self {
+            Cell::Seconds(s) => fmt_secs(s),
+            Cell::Unsupported => "-†".to_string(),
+            Cell::NotOnIsa => "-".to_string(),
+        }
+    }
+}
+
+/// Full results: `cells[guest][benchmark][engine]`.
+pub type Results = Vec<Vec<Vec<Cell>>>;
+
+/// Run the whole matrix.
+pub fn run(cfg: &Config) -> (Results, String) {
+    let engines = EngineKind::fig7_columns();
+    let mut results: Results = Vec::new();
+    let mut text = String::from("Fig 7 — SimBench kernel seconds across simulators\n");
+    for guest in Guest::ALL {
+        let mut guest_rows = Vec::new();
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(engines.iter().map(|e| e.name().to_string()));
+        let mut table = Table::new(header);
+        for bench in Benchmark::ALL {
+            let mut row_cells = Vec::new();
+            for engine in engines {
+                let cell = match run_suite_bench(guest, engine, bench, cfg) {
+                    None => Cell::NotOnIsa,
+                    Some(s) => match s.exit {
+                        ExitReason::Halted => Cell::Seconds(s.seconds),
+                        ExitReason::Unsupported(_) => Cell::Unsupported,
+                        other => panic!("{engine:?}/{bench:?} on {guest:?}: {other:?}"),
+                    },
+                };
+                row_cells.push(cell);
+            }
+            let mut cells = vec![bench.name().to_string()];
+            cells.extend(row_cells.iter().map(|c| c.render()));
+            table.row(cells);
+            guest_rows.push(row_cells);
+        }
+        text.push_str(&format!("\n{} guest\n{}", guest.name(), table.render()));
+        results.push(guest_rows);
+    }
+    text.push_str("\n(- benchmark absent on ISA; -† device model not implemented in engine)\n");
+    (results, text)
+}

@@ -1,0 +1,67 @@
+//! Fig 8: geometric-mean speedup of the SPEC-like application suite vs
+//! the SimBench suite across the twenty DBT versions (baseline v1.7.0).
+//!
+//! The paper's closing observation: both aggregates drift downward
+//! across releases, but only SimBench's per-category breakdown (Fig 6)
+//! says *why*.
+
+use simbench_apps::App;
+use simbench_dbt::QEMU_VERSIONS;
+use simbench_suite::Benchmark;
+
+use crate::table::{fmt_ratio, Table};
+use crate::{geomean, run_app, run_suite_bench, Config, EngineKind, Guest};
+
+/// One version's aggregate speedups.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Version name.
+    pub version: &'static str,
+    /// Geomean speedup of the SPEC-like apps.
+    pub spec: f64,
+    /// Geomean speedup of the SimBench suite.
+    pub simbench: f64,
+}
+
+/// Run the experiment (armlet guest, as in the paper).
+pub fn run(cfg: &Config) -> (Vec<Row>, String) {
+    let benches: Vec<Benchmark> = Benchmark::ALL.to_vec();
+    let mut app_times: Vec<Vec<f64>> = Vec::new();
+    let mut suite_times: Vec<Vec<f64>> = Vec::new();
+    for v in QEMU_VERSIONS {
+        app_times.push(
+            App::ALL
+                .iter()
+                .map(|&a| run_app(Guest::Armlet, EngineKind::Dbt(*v), a, cfg).seconds.max(1e-9))
+                .collect(),
+        );
+        suite_times.push(
+            benches
+                .iter()
+                .map(|&b| {
+                    run_suite_bench(Guest::Armlet, EngineKind::Dbt(*v), b, cfg)
+                        .expect("armlet supports all")
+                        .seconds
+                        .max(1e-9)
+                })
+                .collect(),
+        );
+    }
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(["version", "SPEC-like", "SimBench"]);
+    for (vi, v) in QEMU_VERSIONS.iter().enumerate() {
+        let spec: Vec<f64> =
+            (0..App::ALL.len()).map(|ai| app_times[0][ai] / app_times[vi][ai]).collect();
+        let sim: Vec<f64> =
+            (0..benches.len()).map(|bi| suite_times[0][bi] / suite_times[vi][bi]).collect();
+        let row = Row { version: v.name, spec: geomean(&spec), simbench: geomean(&sim) };
+        table.row([row.version.to_string(), fmt_ratio(row.spec), fmt_ratio(row.simbench)]);
+        rows.push(row);
+    }
+    let text = format!(
+        "Fig 8 — geometric-mean speedup across DBT versions (baseline v1.7.0, armlet guest)\n\n{}",
+        table.render()
+    );
+    (rows, text)
+}

@@ -1,0 +1,293 @@
+//! # simbench-harness
+//!
+//! Experiment drivers that regenerate every table and figure of the
+//! paper's evaluation:
+//!
+//! | Module | Paper artefact |
+//! |--------|----------------|
+//! | [`fig2`] | Fig 2 — sjeng/mcf/overall SPEC speedup across QEMU versions |
+//! | [`fig3`] | Fig 3 — benchmark table with operation densities |
+//! | [`fig4`] | Fig 4 — engine feature-implementation matrix |
+//! | [`fig5`] | Fig 5 — measurement environment |
+//! | [`fig6`] | Fig 6 — per-category SimBench speedups across versions |
+//! | [`fig7`] | Fig 7 — 18 benchmarks × 5 simulators × 2 guest ISAs |
+//! | [`fig8`] | Fig 8 — SPEC vs SimBench geometric means across versions |
+//! | [`model`] | §I contribution 3 — predict application runtimes from micro-benchmark costs |
+//!
+//! Run everything with `cargo run -p simbench-harness --release -- all`.
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod model;
+pub mod table;
+
+use std::time::Duration;
+
+use simbench_apps::{build_app, App};
+use simbench_core::engine::{Engine, ExitReason, RunLimits, RunOutcome};
+use simbench_core::events::Counters;
+use simbench_core::image::GuestImage;
+use simbench_core::isa::Isa;
+use simbench_core::machine::Machine;
+use simbench_dbt::{Dbt, VersionProfile};
+use simbench_detailed::Detailed;
+use simbench_interp::Interp;
+use simbench_isa_armlet::Armlet;
+use simbench_isa_petix::Petix;
+use simbench_platform::Platform;
+use simbench_suite::{build, ArmletSupport, Benchmark, PetixSupport};
+use simbench_virt::Virt;
+
+/// Guest architecture selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Guest {
+    /// ARM-like guest.
+    Armlet,
+    /// x86-like guest.
+    Petix,
+}
+
+impl Guest {
+    /// Both guests.
+    pub const ALL: [Guest; 2] = [Guest::Armlet, Guest::Petix];
+
+    /// Display name matching the paper's "ARM Guest" / "x86 Guest".
+    pub fn name(self) -> &'static str {
+        match self {
+            Guest::Armlet => "armlet (ARM-like)",
+            Guest::Petix => "petix (x86-like)",
+        }
+    }
+
+    /// ISA name used by `Benchmark::supported_on`.
+    pub fn isa_name(self) -> &'static str {
+        match self {
+            Guest::Armlet => "armlet",
+            Guest::Petix => "petix",
+        }
+    }
+}
+
+/// Engine selector, matching the five columns of Fig 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The DBT engine at a version profile (QEMU-DBT analogue).
+    Dbt(VersionProfile),
+    /// Fast interpreter (SimIt-ARM analogue).
+    Interp,
+    /// Detailed timing interpreter (Gem5 analogue).
+    Detailed,
+    /// Hardware-assisted virtualization (QEMU-KVM analogue).
+    Virt,
+    /// Bare-metal stand-in (zero-exit-cost direct execution).
+    Native,
+}
+
+impl EngineKind {
+    /// The five Fig 7 columns, newest DBT profile.
+    pub fn fig7_columns() -> [EngineKind; 5] {
+        [
+            EngineKind::Dbt(VersionProfile::latest()),
+            EngineKind::Interp,
+            EngineKind::Detailed,
+            EngineKind::Virt,
+            EngineKind::Native,
+        ]
+    }
+
+    /// Column header.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Dbt(_) => "dbt (QEMU)",
+            EngineKind::Interp => "interp (SimIt)",
+            EngineKind::Detailed => "detailed (Gem5)",
+            EngineKind::Virt => "virt (KVM)",
+            EngineKind::Native => "native (HW)",
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Wall-clock time of the timed kernel phase.
+    pub seconds: f64,
+    /// Events retired during the kernel phase.
+    pub counters: Counters,
+    /// Why the run ended.
+    pub exit: ExitReason,
+    /// Iterations the guest executed.
+    pub iterations: u32,
+}
+
+impl Sample {
+    /// True when the run completed normally.
+    pub fn ok(&self) -> bool {
+        self.exit == ExitReason::Halted
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Iteration divisor applied to the paper's Fig 3 counts (and app
+    /// defaults). 1 reproduces the paper's full counts; the default keeps
+    /// a full `all` run to a few minutes on a laptop.
+    pub scale: u64,
+    /// Safety limits per run.
+    pub limits: RunLimits,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scale: 2000,
+            limits: RunLimits {
+                max_insns: u64::MAX,
+                wall_limit: Some(Duration::from_secs(120)),
+            },
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with the given scale divisor.
+    pub fn with_scale(scale: u64) -> Self {
+        Config { scale, ..Default::default() }
+    }
+}
+
+fn run_image_on<I: Isa>(engine: EngineKind, image: &GuestImage, limits: &RunLimits) -> RunOutcome {
+    let mut m = Machine::<I, Platform>::boot(image, Platform::new());
+    match engine {
+        EngineKind::Dbt(profile) => Dbt::<I>::with_profile(profile).run(&mut m, limits),
+        EngineKind::Interp => Interp::<I>::new().run(&mut m, limits),
+        EngineKind::Detailed => {
+            // Mirror the paper's Fig 7 footnote: Gem5 lacks device models
+            // for the interrupt controller and the safe MMIO device.
+            let pages = [
+                simbench_platform::INTC_BASE >> 12,
+                simbench_platform::SAFEDEV_BASE >> 12,
+            ];
+            Detailed::<I>::new().with_unimplemented_pages(&pages).run(&mut m, limits)
+        }
+        EngineKind::Virt => Virt::<I>::kvm().run(&mut m, limits),
+        EngineKind::Native => Virt::<I>::native().run(&mut m, limits),
+    }
+}
+
+fn sample_from(out: RunOutcome, iterations: u32) -> Sample {
+    Sample {
+        seconds: out.kernel_wall().as_secs_f64(),
+        counters: out.kernel_counters(),
+        exit: out.exit,
+        iterations,
+    }
+}
+
+/// Run one suite benchmark. `None` when the benchmark does not exist on
+/// the guest architecture (Nonprivileged Access on petix).
+pub fn run_suite_bench(
+    guest: Guest,
+    engine: EngineKind,
+    bench: Benchmark,
+    cfg: &Config,
+) -> Option<Sample> {
+    let iters = bench.scaled_iterations(cfg.scale);
+    let out = match guest {
+        Guest::Armlet => {
+            let image = build(&ArmletSupport::new(), bench, iters)?;
+            run_image_on::<Armlet>(engine, &image, &cfg.limits)
+        }
+        Guest::Petix => {
+            let image = build(&PetixSupport::new(), bench, iters)?;
+            run_image_on::<Petix>(engine, &image, &cfg.limits)
+        }
+    };
+    Some(sample_from(out, iters))
+}
+
+/// Run one synthetic application.
+pub fn run_app(guest: Guest, engine: EngineKind, app: App, cfg: &Config) -> Sample {
+    // Apps use a gentler divisor: the paper's point is that they are
+    // large relative to the micro-benchmarks.
+    let iters = app.scaled_iterations(cfg.scale / 50);
+    let out = match guest {
+        Guest::Armlet => {
+            let image = build_app(&ArmletSupport::new(), app, iters);
+            run_image_on::<Armlet>(engine, &image, &cfg.limits)
+        }
+        Guest::Petix => {
+            let image = build_app(&PetixSupport::new(), app, iters);
+            run_image_on::<Petix>(engine, &image, &cfg.limits)
+        }
+    };
+    sample_from(out, iters)
+}
+
+/// Geometric mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn smoke_run_syscall_on_all_engines() {
+        let cfg = Config { scale: 1_000_000, ..Default::default() };
+        for engine in EngineKind::fig7_columns() {
+            let s = run_suite_bench(Guest::Armlet, engine, Benchmark::Syscall, &cfg).unwrap();
+            assert!(s.ok(), "{engine:?}: {:?}", s.exit);
+            assert!(s.counters.syscalls >= 16);
+        }
+    }
+
+    #[test]
+    fn detailed_reports_unsupported_for_mmio() {
+        let cfg = Config { scale: 1_000_000, ..Default::default() };
+        let s = run_suite_bench(Guest::Armlet, EngineKind::Detailed, Benchmark::MmioDevice, &cfg)
+            .unwrap();
+        assert!(matches!(s.exit, ExitReason::Unsupported(_)));
+        let s = run_suite_bench(Guest::Armlet, EngineKind::Detailed, Benchmark::ExtSwi, &cfg)
+            .unwrap();
+        assert!(matches!(s.exit, ExitReason::Unsupported(_)));
+    }
+
+    #[test]
+    fn nonpriv_none_on_petix() {
+        let cfg = Config { scale: 1_000_000, ..Default::default() };
+        assert!(run_suite_bench(Guest::Petix, EngineKind::Interp, Benchmark::NonprivAccess, &cfg)
+            .is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! SimBench-rs experiment CLI.
+//!
+//! ```text
+//! cargo run -p simbench-harness --release -- <figure> [--scale N] [--out FILE]
+//!
+//! figures: fig2 fig3 fig4 fig5 fig6 fig7 fig8 all
+//! --scale N   divide the paper's iteration counts by N (default 2000;
+//!             1 reproduces the full counts and runs for a long time)
+//! --out FILE  additionally write the output to FILE
+//! ```
+
+use std::io::Write as _;
+
+use simbench_harness::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, Config};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8|all> [--scale N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut which = None;
+    let mut scale = 2000u64;
+    let mut out_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => out_path = Some(it.next().unwrap_or_else(|| usage())),
+            name if which.is_none() && !name.starts_with('-') => which = Some(name.to_string()),
+            _ => usage(),
+        }
+    }
+    let which = which.unwrap_or_else(|| usage());
+    let cfg = Config::with_scale(scale);
+
+    let mut output = String::new();
+    let run_one = |name: &str, output: &mut String| {
+        let t0 = std::time::Instant::now();
+        let text = match name {
+            "fig2" => fig2::run(&cfg).1,
+            "fig3" => fig3::run(&cfg).1,
+            "fig4" => fig4::run().1,
+            "fig5" => fig5::run(),
+            "fig6" => fig6::run(&cfg).1,
+            "fig7" => fig7::run(&cfg).1,
+            "fig8" => fig8::run(&cfg).1,
+            _ => usage(),
+        };
+        eprintln!("[{name} completed in {:.1?}]", t0.elapsed());
+        output.push_str(&text);
+        output.push('\n');
+    };
+
+    eprintln!("scale divisor: {scale} (paper iteration counts / {scale})");
+    if which == "all" {
+        for name in ["fig5", "fig4", "fig3", "fig7", "fig2", "fig6", "fig8"] {
+            run_one(name, &mut output);
+        }
+    } else {
+        run_one(&which, &mut output);
+    }
+
+    print!("{output}");
+    if let Some(path) = out_path {
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(output.as_bytes()).expect("write output file");
+        eprintln!("[wrote {path}]");
+    }
+}

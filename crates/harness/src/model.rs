@@ -1,0 +1,160 @@
+//! Application-performance modelling from micro-benchmark costs — the
+//! paper's third contribution: "model application performance without
+//! the need to repeatedly run full-scale application benchmarks".
+//!
+//! The model calibrates a per-operation cost vector from the SimBench
+//! kernels (seconds per tested operation, plus a base cost per retired
+//! instruction), then predicts an application's runtime on an engine
+//! from its architectural *event profile* alone:
+//!
+//! ```text
+//! t(app) ≈ insns·c_base + Σ_op  count_op(app) · c_op
+//! ```
+//!
+//! The event profile is engine-independent (it is architectural), so it
+//! can be collected once on any engine — e.g. the fastest — and combined
+//! with another engine's calibrated costs, which is exactly the
+//! workflow the paper proposes for avoiding repeated full application
+//! runs on slow simulators.
+
+use simbench_core::events::Counters;
+use simbench_suite::Benchmark;
+
+use crate::{run_suite_bench, Config, EngineKind, Guest};
+
+/// Calibrated per-operation costs (seconds) for one engine.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Base cost per retired instruction.
+    pub per_insn: f64,
+    /// Extra cost per tested operation, by benchmark.
+    pub per_op: Vec<(Benchmark, f64)>,
+}
+
+/// Benchmarks used for calibration: one per distinct cost source, with
+/// near-pure kernels (their tested op dominates the kernel).
+const CALIBRATORS: [Benchmark; 8] = [
+    Benchmark::DataFault,
+    Benchmark::InsnFault,
+    Benchmark::UndefInsn,
+    Benchmark::Syscall,
+    Benchmark::MmioDevice,
+    Benchmark::CoprocAccess,
+    Benchmark::MemCold,
+    Benchmark::IntraPageIndirect,
+];
+
+impl CostModel {
+    /// Calibrate a cost model for an engine by running the SimBench
+    /// kernels and dividing their kernel time among their events.
+    pub fn calibrate(guest: Guest, engine: EngineKind, cfg: &Config) -> CostModel {
+        // Base instruction cost from the most uniform kernel: Hot Memory
+        // Access (its loop is ordinary translated/interpreted code).
+        let hot = run_suite_bench(guest, engine, Benchmark::MemHot, cfg)
+            .expect("hot memory runs everywhere");
+        let per_insn = hot.seconds / hot.counters.instructions.max(1) as f64;
+
+        let mut per_op = Vec::new();
+        for bench in CALIBRATORS {
+            let Some(s) = run_suite_bench(guest, engine, bench, cfg) else {
+                continue;
+            };
+            if !s.ok() {
+                continue; // e.g. detailed engine's unimplemented devices
+            }
+            let ops = bench.tested_ops(&s.counters).max(1) as f64;
+            // The operation's marginal cost: kernel time minus what the
+            // base instruction cost already explains.
+            let base = s.counters.instructions as f64 * per_insn;
+            let marginal = ((s.seconds - base) / ops).max(0.0);
+            per_op.push((bench, marginal));
+        }
+        CostModel { per_insn, per_op }
+    }
+
+    /// Predict a runtime from an architectural event profile.
+    pub fn predict(&self, profile: &Counters) -> f64 {
+        let mut t = profile.instructions as f64 * self.per_insn;
+        for (bench, cost) in &self.per_op {
+            t += bench.tested_ops(profile) as f64 * cost;
+        }
+        t
+    }
+}
+
+/// Evaluation of the model on one application.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Application name.
+    pub app: &'static str,
+    /// Predicted seconds.
+    pub predicted: f64,
+    /// Measured seconds.
+    pub measured: f64,
+}
+
+impl Prediction {
+    /// measured/predicted error factor (≥ 1).
+    pub fn error_factor(&self) -> f64 {
+        let (a, b) = (self.predicted.max(1e-12), self.measured.max(1e-12));
+        (a / b).max(b / a)
+    }
+}
+
+/// Calibrate on `engine`, collect app event profiles on `profile_engine`
+/// (typically the fastest), and compare predicted vs measured times.
+pub fn evaluate(
+    guest: Guest,
+    engine: EngineKind,
+    profile_engine: EngineKind,
+    cfg: &Config,
+) -> Vec<Prediction> {
+    let model = CostModel::calibrate(guest, engine, cfg);
+    simbench_apps::App::ALL
+        .iter()
+        .map(|&app| {
+            let profile = crate::run_app(guest, profile_engine, app, cfg).counters;
+            let measured = crate::run_app(guest, engine, app, cfg).seconds;
+            Prediction { app: app.name(), predicted: model.predict(&profile), measured }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_predicts_dbt_app_times_within_bounds() {
+        // Profile on the native engine, predict the DBT engine's time.
+        let cfg = Config::with_scale(20_000);
+        let preds = evaluate(
+            Guest::Armlet,
+            EngineKind::Dbt(simbench_dbt::VersionProfile::latest()),
+            EngineKind::Native,
+            &cfg,
+        );
+        assert_eq!(preds.len(), simbench_apps::App::ALL.len());
+        // The paper claims usefulness, not precision ("you could not
+        // accurately use one to predict the other"): require order-of-
+        // magnitude agreement for the majority of apps.
+        let good = preds.iter().filter(|p| p.error_factor() < 10.0).count();
+        assert!(
+            good * 2 >= preds.len(),
+            "model too far off: {:?}",
+            preds.iter().map(|p| (p.app, p.error_factor())).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn calibration_produces_positive_base_cost() {
+        let cfg = Config::with_scale(50_000);
+        let m = CostModel::calibrate(Guest::Armlet, EngineKind::Interp, &cfg);
+        assert!(m.per_insn > 0.0);
+        assert!(!m.per_op.is_empty());
+        // Prediction is monotone in instruction count.
+        let small = Counters { instructions: 1_000, ..Default::default() };
+        let big = Counters { instructions: 1_000_000, ..Default::default() };
+        assert!(m.predict(&big) > m.predict(&small));
+    }
+}

@@ -1,0 +1,269 @@
+//! armlet decoder: instruction words → shared micro-op IR.
+
+use simbench_core::ir::{
+    AluOp, Cond, Decoded, DecodeError, InsnClass, LinkKind, MemSize, Op, Operand, RetKind,
+};
+
+use crate::encoding::{INSN_BYTES, LR};
+
+#[inline]
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decode the word at `pc`.
+///
+/// # Errors
+///
+/// [`DecodeError`] for words in the undefined space — the engines convert
+/// this into an architectural undefined-instruction exception (class 0
+/// words decode as explicit [`Op::Udf`] instead, so that deliberately
+/// planted UDFs are cheap for DBT engines to translate, mirroring QEMU's
+/// "Translated" row in the paper's Fig 4).
+pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
+    let next = pc.wrapping_add(INSN_BYTES);
+    let d = |ops, class| Ok(Decoded::new(INSN_BYTES as u8, ops, class));
+    match word >> 28 {
+        0x0 => d(vec![Op::Udf], InsnClass::System),
+        0x1 => {
+            let op = AluOp::from_code(((word >> 24) & 0xF) as u8).ok_or(DecodeError { pc })?;
+            let rd = ((word >> 20) & 0xF) as u8;
+            let rn = ((word >> 16) & 0xF) as u8;
+            let rm = ((word >> 12) & 0xF) as u8;
+            let set_flags = word & (1 << 11) != 0;
+            d(vec![Op::Alu { op, rd, rn, src: Operand::Reg(rm), set_flags }], InsnClass::Alu)
+        }
+        0x2 => {
+            let op = AluOp::from_code(((word >> 24) & 0xF) as u8).ok_or(DecodeError { pc })?;
+            let rd = ((word >> 20) & 0xF) as u8;
+            let rn = ((word >> 16) & 0xF) as u8;
+            let set_flags = word & (1 << 15) != 0;
+            let imm = word & 0xFFF;
+            d(vec![Op::Alu { op, rd, rn, src: Operand::Imm(imm), set_flags }], InsnClass::Alu)
+        }
+        0x3 => {
+            let rd = ((word >> 20) & 0xF) as u8;
+            let imm = word & 0xFFFF;
+            d(
+                vec![Op::Alu { op: AluOp::Mov, rd, rn: 0, src: Operand::Imm(imm), set_flags: false }],
+                InsnClass::Alu,
+            )
+        }
+        0x4 => {
+            let rd = ((word >> 20) & 0xF) as u8;
+            let imm = word & 0xFFFF;
+            d(
+                vec![
+                    Op::Alu { op: AluOp::And, rd, rn: rd, src: Operand::Imm(0xFFFF), set_flags: false },
+                    Op::Alu { op: AluOp::Orr, rd, rn: rd, src: Operand::Imm(imm << 16), set_flags: false },
+                ],
+                InsnClass::Alu,
+            )
+        }
+        0x5 => {
+            let load = word & (1 << 27) != 0;
+            let size = match (word >> 25) & 0x3 {
+                0 => MemSize::B4,
+                1 => MemSize::B1,
+                2 => MemSize::B2,
+                _ => return Err(DecodeError { pc }),
+            };
+            let nonpriv = word & (1 << 24) != 0;
+            let rd = ((word >> 20) & 0xF) as u8;
+            let rn = ((word >> 16) & 0xF) as u8;
+            let off = sext(word & 0xFFF, 12);
+            let op = if load {
+                Op::Load { rd, base: rn, off, size, nonpriv }
+            } else {
+                Op::Store { rs: rd, base: rn, off, size, nonpriv }
+            };
+            d(vec![op], InsnClass::Mem)
+        }
+        0x6 => {
+            let target = next.wrapping_add((sext(word & 0xFF_FFFF, 24) as u32) << 2);
+            d(vec![Op::Branch { target }], InsnClass::Branch)
+        }
+        0x7 => {
+            let target = next.wrapping_add((sext(word & 0xFF_FFFF, 24) as u32) << 2);
+            d(vec![Op::Call { target, ret: next, link: LinkKind::Register(LR) }], InsnClass::Branch)
+        }
+        0x8 => {
+            let cond = Cond::from_code(((word >> 24) & 0xF) as u8).ok_or(DecodeError { pc })?;
+            let target = next.wrapping_add((sext(word & 0xF_FFFF, 20) as u32) << 2);
+            d(vec![Op::BranchCond { cond, target }], InsnClass::Branch)
+        }
+        0x9 => {
+            let rm = (word & 0xF) as u8;
+            match (word >> 24) & 0xF {
+                0 => {
+                    // BX through the link register is architecturally a
+                    // return; through anything else it is a plain
+                    // indirect branch.
+                    if rm == LR {
+                        d(vec![Op::Ret(RetKind::Register(LR))], InsnClass::Branch)
+                    } else {
+                        d(vec![Op::BranchReg { rm }], InsnClass::Branch)
+                    }
+                }
+                1 => d(
+                    vec![Op::CallReg { rm, ret: next, link: LinkKind::Register(LR) }],
+                    InsnClass::Branch,
+                ),
+                _ => Err(DecodeError { pc }),
+            }
+        }
+        0xA => match (word >> 24) & 0xF {
+            0 => d(vec![Op::Svc((word & 0xFFFF) as u16)], InsnClass::System),
+            1 => d(vec![Op::Eret], InsnClass::System),
+            2 => d(vec![Op::Halt], InsnClass::System),
+            3 => d(vec![Op::Nop], InsnClass::Nop),
+            4 => {
+                let rt = ((word >> 20) & 0xF) as u8;
+                let cp = ((word >> 16) & 0xF) as u8;
+                let creg = ((word >> 12) & 0xF) as u8;
+                d(vec![Op::CopRead { cp, reg: creg, rd: rt }], InsnClass::System)
+            }
+            5 => {
+                let rt = ((word >> 20) & 0xF) as u8;
+                let cp = ((word >> 16) & 0xF) as u8;
+                let creg = ((word >> 12) & 0xF) as u8;
+                d(vec![Op::CopWrite { cp, reg: creg, rs: rt }], InsnClass::System)
+            }
+            _ => Err(DecodeError { pc }),
+        },
+        0xB => {
+            let rn = ((word >> 16) & 0xF) as u8;
+            let rm = ((word >> 12) & 0xF) as u8;
+            let imm = word & 0xFFF;
+            match (word >> 24) & 0xF {
+                0 => d(vec![Op::Cmp { rn, src: Operand::Reg(rm), is_tst: false }], InsnClass::Alu),
+                1 => d(vec![Op::Cmp { rn, src: Operand::Imm(imm), is_tst: false }], InsnClass::Alu),
+                2 => d(vec![Op::Cmp { rn, src: Operand::Reg(rm), is_tst: true }], InsnClass::Alu),
+                3 => d(vec![Op::Cmp { rn, src: Operand::Imm(imm), is_tst: true }], InsnClass::Alu),
+                _ => Err(DecodeError { pc }),
+            }
+        }
+        _ => Err(DecodeError { pc }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding as enc;
+
+    fn ops(word: u32) -> Vec<Op> {
+        decode(word, 0x8000).unwrap().ops
+    }
+
+    #[test]
+    fn undef_space_decodes_to_udf_op() {
+        assert_eq!(ops(0x0000_0000), vec![Op::Udf]);
+        assert_eq!(ops(0x0DEA_DBEE), vec![Op::Udf]);
+    }
+
+    #[test]
+    fn truly_invalid_classes_error() {
+        assert!(decode(0xC000_0000, 0).is_err());
+        assert!(decode(0xFFFF_FFFF, 0).is_err());
+        assert!(decode(0xA600_0000, 0).is_err(), "bad system sub-op");
+        assert!(decode(0x9200_0000, 0).is_err(), "bad reg-branch sub-op");
+    }
+
+    #[test]
+    fn alu_forms() {
+        let w = enc::alu_rr(AluOp::Add, 1, 2, 3, true);
+        assert_eq!(
+            ops(w),
+            vec![Op::Alu { op: AluOp::Add, rd: 1, rn: 2, src: Operand::Reg(3), set_flags: true }]
+        );
+        let w = enc::alu_ri(AluOp::Eor, 4, 5, 0xABC, false);
+        assert_eq!(
+            ops(w),
+            vec![Op::Alu { op: AluOp::Eor, rd: 4, rn: 5, src: Operand::Imm(0xABC), set_flags: false }]
+        );
+    }
+
+    #[test]
+    fn movw_movt() {
+        let w = enc::movw(3, 0x1234);
+        assert_eq!(
+            ops(w),
+            vec![Op::Alu { op: AluOp::Mov, rd: 3, rn: 0, src: Operand::Imm(0x1234), set_flags: false }]
+        );
+        let w = enc::movt(3, 0xBEEF);
+        assert_eq!(
+            ops(w),
+            vec![
+                Op::Alu { op: AluOp::And, rd: 3, rn: 3, src: Operand::Imm(0xFFFF), set_flags: false },
+                Op::Alu { op: AluOp::Orr, rd: 3, rn: 3, src: Operand::Imm(0xBEEF_0000), set_flags: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let w = enc::ldst(true, enc::LsSize::Word, false, 1, 2, -8);
+        assert_eq!(ops(w), vec![Op::Load { rd: 1, base: 2, off: -8, size: MemSize::B4, nonpriv: false }]);
+        let w = enc::ldst(false, enc::LsSize::Byte, true, 3, 4, 5);
+        assert_eq!(ops(w), vec![Op::Store { rs: 3, base: 4, off: 5, size: MemSize::B1, nonpriv: true }]);
+        let w = enc::ldst(true, enc::LsSize::Half, false, 6, 7, 2);
+        assert_eq!(ops(w), vec![Op::Load { rd: 6, base: 7, off: 2, size: MemSize::B2, nonpriv: false }]);
+    }
+
+    #[test]
+    fn branches_resolve_pc_relative() {
+        // b from 0x8000 to 0x8010.
+        let w = enc::b(0x8000, 0x8010);
+        assert_eq!(ops(w), vec![Op::Branch { target: 0x8010 }]);
+        // bl records the return address.
+        let w = enc::bl(0x8000, 0x7000);
+        assert_eq!(
+            ops(w),
+            vec![Op::Call { target: 0x7000, ret: 0x8004, link: LinkKind::Register(enc::LR) }]
+        );
+        // Conditional.
+        let w = enc::b_cond(Cond::Ne, 0x8000, 0x8000);
+        assert_eq!(ops(w), vec![Op::BranchCond { cond: Cond::Ne, target: 0x8000 }]);
+    }
+
+    #[test]
+    fn register_branches() {
+        assert_eq!(ops(enc::bx(3)), vec![Op::BranchReg { rm: 3 }]);
+        assert_eq!(ops(enc::bx(enc::LR)), vec![Op::Ret(RetKind::Register(enc::LR))]);
+        assert_eq!(
+            ops(enc::blx(3)),
+            vec![Op::CallReg { rm: 3, ret: 0x8004, link: LinkKind::Register(enc::LR) }]
+        );
+    }
+
+    #[test]
+    fn system_ops() {
+        assert_eq!(ops(enc::svc(77)), vec![Op::Svc(77)]);
+        assert_eq!(ops(enc::eret()), vec![Op::Eret]);
+        assert_eq!(ops(enc::halt()), vec![Op::Halt]);
+        assert_eq!(ops(enc::nop()), vec![Op::Nop]);
+        assert_eq!(ops(enc::mrc(15, 3, 2)), vec![Op::CopRead { cp: 15, reg: 3, rd: 2 }]);
+        assert_eq!(ops(enc::mcr(14, 0, 7)), vec![Op::CopWrite { cp: 14, reg: 0, rs: 7 }]);
+    }
+
+    #[test]
+    fn compares() {
+        assert_eq!(ops(enc::cmp_rr(1, 2)), vec![Op::Cmp { rn: 1, src: Operand::Reg(2), is_tst: false }]);
+        assert_eq!(ops(enc::cmp_ri(1, 9)), vec![Op::Cmp { rn: 1, src: Operand::Imm(9), is_tst: false }]);
+        assert_eq!(ops(enc::tst_rr(1, 2)), vec![Op::Cmp { rn: 1, src: Operand::Reg(2), is_tst: true }]);
+        assert_eq!(ops(enc::tst_ri(1, 9)), vec![Op::Cmp { rn: 1, src: Operand::Imm(9), is_tst: true }]);
+    }
+
+    #[test]
+    fn smc_pattern_is_harmless() {
+        for imm in [0u32, 1, 0xFFFF] {
+            let got = ops(enc::SMC_NOP_WORD | imm);
+            assert_eq!(
+                got,
+                vec![Op::Alu { op: AluOp::Mov, rd: 5, rn: 0, src: Operand::Imm(imm), set_flags: false }]
+            );
+        }
+    }
+}

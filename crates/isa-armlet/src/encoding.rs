@@ -1,0 +1,249 @@
+//! armlet instruction encodings.
+//!
+//! armlet is a 32-bit fixed-width RISC ISA modelled on ARMv5. Words are
+//! little-endian in memory. The major class lives in bits `[31:28]`:
+//!
+//! | Class | Format |
+//! |-------|--------|
+//! | `0x0` | architecturally undefined space |
+//! | `0x1` | ALU register: `op[27:24] rd[23:20] rn[19:16] rm[15:12] S[11]` |
+//! | `0x2` | ALU immediate: `op[27:24] rd[23:20] rn[19:16] S[15] imm12[11:0]` |
+//! | `0x3` | MOVW: `rd[23:20] imm16[15:0]` (rd = imm16) |
+//! | `0x4` | MOVT: `rd[23:20] imm16[15:0]` (rd[31:16] = imm16) |
+//! | `0x5` | LDR/STR: `L[27] sz[26:25] T[24] rd[23:20] rn[19:16] simm12[11:0]` |
+//! | `0x6` | B: `simm24[23:0]` words relative to pc+4 |
+//! | `0x7` | BL: `simm24[23:0]` words relative to pc+4, lr = pc+4 |
+//! | `0x8` | B\<cond\>: `cond[27:24] simm20[19:0]` words relative to pc+4 |
+//! | `0x9` | register branch: `sub[27:24]` 0=BX rm\[3:0\], 1=BLX rm\[3:0\] |
+//! | `0xA` | system: `sub[27:24]` 0=SVC imm16, 1=ERET, 2=HALT, 3=NOP, 4=MRC, 5=MCR |
+//! | `0xB` | compare: `sub[27:24]` 0=CMP reg, 1=CMP imm12, 2=TST reg, 3=TST imm12 |
+//! | `0xC`–`0xF` | undefined |
+//!
+//! MRC/MCR fields: `rt[23:20] cp[19:16] creg[15:12]`.
+
+use simbench_core::ir::{AluOp, Cond};
+
+/// armlet instruction width in bytes.
+pub const INSN_BYTES: u32 = 4;
+
+/// Register number of the stack pointer by software convention.
+pub const SP: u8 = 13;
+/// Register number of the link register (written by BL/BLX).
+pub const LR: u8 = 14;
+
+/// A guaranteed-undefined instruction word (class 0).
+pub const UDF_WORD: u32 = 0x0000_0000;
+
+/// The self-modifying-code filler: `movw r5, #0`. Rewriting a function's
+/// first word with `SMC_NOP_WORD | imm16` is always a valid, harmless
+/// instruction.
+pub const SMC_NOP_WORD: u32 = 0x3050_0000;
+
+const fn cls(c: u32) -> u32 {
+    c << 28
+}
+
+/// ALU register form.
+pub fn alu_rr(op: AluOp, rd: u8, rn: u8, rm: u8, set_flags: bool) -> u32 {
+    cls(1)
+        | (op.code() as u32) << 24
+        | (rd as u32) << 20
+        | (rn as u32) << 16
+        | (rm as u32) << 12
+        | (set_flags as u32) << 11
+}
+
+/// ALU immediate form.
+///
+/// # Panics
+///
+/// Panics if `imm > 4095`.
+pub fn alu_ri(op: AluOp, rd: u8, rn: u8, imm: u32, set_flags: bool) -> u32 {
+    assert!(imm <= 0xFFF, "alu immediate {imm:#x} exceeds 12 bits");
+    cls(2)
+        | (op.code() as u32) << 24
+        | (rd as u32) << 20
+        | (rn as u32) << 16
+        | (set_flags as u32) << 15
+        | imm
+}
+
+/// MOVW: load a 16-bit immediate, zeroing the upper half.
+pub fn movw(rd: u8, imm16: u32) -> u32 {
+    assert!(imm16 <= 0xFFFF);
+    cls(3) | (rd as u32) << 20 | imm16
+}
+
+/// MOVT: replace the upper 16 bits, keeping the lower half.
+pub fn movt(rd: u8, imm16: u32) -> u32 {
+    assert!(imm16 <= 0xFFFF);
+    cls(4) | (rd as u32) << 20 | imm16
+}
+
+/// Memory access size field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsSize {
+    /// 32-bit word.
+    Word = 0,
+    /// 8-bit byte.
+    Byte = 1,
+    /// 16-bit halfword.
+    Half = 2,
+}
+
+/// Load/store.
+///
+/// # Panics
+///
+/// Panics if `off` is outside ±2047.
+pub fn ldst(load: bool, size: LsSize, nonpriv: bool, rd: u8, rn: u8, off: i32) -> u32 {
+    assert!((-2048..=2047).contains(&off), "ldst offset {off} exceeds simm12");
+    cls(5)
+        | (load as u32) << 27
+        | (size as u32) << 25
+        | (nonpriv as u32) << 24
+        | (rd as u32) << 20
+        | (rn as u32) << 16
+        | ((off as u32) & 0xFFF)
+}
+
+fn word_disp(from_pc: u32, target: u32, bits: u32, what: &str) -> u32 {
+    let delta = target.wrapping_sub(from_pc.wrapping_add(4)) as i32;
+    assert!(delta % 4 == 0, "{what} target not word aligned");
+    let words = delta >> 2;
+    let lim = 1i32 << (bits - 1);
+    assert!((-lim..lim).contains(&words), "{what} displacement {words} exceeds {bits} bits");
+    (words as u32) & ((1 << bits) - 1)
+}
+
+/// Unconditional direct branch from `pc` to `target`.
+pub fn b(pc: u32, target: u32) -> u32 {
+    cls(6) | word_disp(pc, target, 24, "b")
+}
+
+/// Branch and link from `pc` to `target`.
+pub fn bl(pc: u32, target: u32) -> u32 {
+    cls(7) | word_disp(pc, target, 24, "bl")
+}
+
+/// Conditional branch from `pc` to `target`.
+pub fn b_cond(cond: Cond, pc: u32, target: u32) -> u32 {
+    cls(8) | (cond.code() as u32) << 24 | word_disp(pc, target, 20, "b<cond>")
+}
+
+/// Indirect branch to the address in `rm`.
+pub fn bx(rm: u8) -> u32 {
+    cls(9) | (rm as u32)
+}
+
+/// Indirect call to the address in `rm` (lr = pc+4).
+pub fn blx(rm: u8) -> u32 {
+    cls(9) | 1 << 24 | (rm as u32)
+}
+
+/// System call.
+pub fn svc(imm16: u16) -> u32 {
+    cls(0xA) | imm16 as u32
+}
+
+/// Exception return.
+pub fn eret() -> u32 {
+    cls(0xA) | 1 << 24
+}
+
+/// Stop the machine.
+pub fn halt() -> u32 {
+    cls(0xA) | 2 << 24
+}
+
+/// No operation.
+pub fn nop() -> u32 {
+    cls(0xA) | 3 << 24
+}
+
+/// Coprocessor read: `rt = cp[creg]`.
+pub fn mrc(cp: u8, creg: u8, rt: u8) -> u32 {
+    cls(0xA) | 4 << 24 | (rt as u32) << 20 | (cp as u32) << 16 | (creg as u32) << 12
+}
+
+/// Coprocessor write: `cp[creg] = rt`.
+pub fn mcr(cp: u8, creg: u8, rt: u8) -> u32 {
+    cls(0xA) | 5 << 24 | (rt as u32) << 20 | (cp as u32) << 16 | (creg as u32) << 12
+}
+
+/// Compare registers (`rn - rm`, flags only).
+pub fn cmp_rr(rn: u8, rm: u8) -> u32 {
+    cls(0xB) | (rn as u32) << 16 | (rm as u32) << 12
+}
+
+/// Compare with immediate.
+pub fn cmp_ri(rn: u8, imm: u32) -> u32 {
+    assert!(imm <= 0xFFF);
+    cls(0xB) | 1 << 24 | (rn as u32) << 16 | imm
+}
+
+/// Test registers (`rn & rm`, flags only).
+pub fn tst_rr(rn: u8, rm: u8) -> u32 {
+    cls(0xB) | 2 << 24 | (rn as u32) << 16 | (rm as u32) << 12
+}
+
+/// Test with immediate.
+pub fn tst_ri(rn: u8, imm: u32) -> u32 {
+    assert!(imm <= 0xFFF);
+    cls(0xB) | 3 << 24 | (rn as u32) << 16 | imm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_distinct() {
+        assert_eq!(alu_rr(AluOp::Add, 0, 0, 0, false) >> 28, 1);
+        assert_eq!(alu_ri(AluOp::Add, 0, 0, 0, false) >> 28, 2);
+        assert_eq!(movw(0, 0) >> 28, 3);
+        assert_eq!(movt(0, 0) >> 28, 4);
+        assert_eq!(ldst(true, LsSize::Word, false, 0, 0, 0) >> 28, 5);
+        assert_eq!(b(0, 4) >> 28, 6);
+        assert_eq!(bl(0, 4) >> 28, 7);
+        assert_eq!(b_cond(Cond::Eq, 0, 4) >> 28, 8);
+        assert_eq!(bx(0) >> 28, 9);
+        assert_eq!(svc(0) >> 28, 0xA);
+    }
+
+    #[test]
+    fn branch_displacements() {
+        // Forward: from pc=0 to target=12 → (12 - 4)/4 = 2 words.
+        assert_eq!(b(0, 12) & 0xFF_FFFF, 2);
+        // Backward: from pc=12 to target=0 → (0 - 16)/4 = -4.
+        assert_eq!(b(12, 0) & 0xFF_FFFF, 0xFF_FFFC);
+        // Self-loop: -1 word.
+        assert_eq!(b(8, 8) & 0xFF_FFFF, 0xFF_FFFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 12 bits")]
+    fn alu_imm_range_checked() {
+        alu_ri(AluOp::Add, 0, 0, 4096, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "not word aligned")]
+    fn unaligned_branch_target() {
+        b(0, 6);
+    }
+
+    #[test]
+    fn ldst_offset_sign() {
+        let w = ldst(true, LsSize::Word, false, 1, 2, -4);
+        assert_eq!(w & 0xFFF, 0xFFC);
+        let w = ldst(false, LsSize::Byte, true, 1, 2, 7);
+        assert_eq!(w & 0xFFF, 7);
+        assert_ne!(w & (1 << 24), 0, "T bit set");
+    }
+
+    #[test]
+    fn smc_word_is_movw_r5() {
+        assert_eq!(SMC_NOP_WORD, movw(5, 0));
+    }
+}

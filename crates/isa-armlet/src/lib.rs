@@ -1,0 +1,118 @@
+//! # simbench-isa-armlet
+//!
+//! The `armlet` guest architecture: a 32-bit fixed-width RISC ISA
+//! modelled on ARMv5, with sixteen GPRs, a two-format MMU (1 MB sections
+//! + 4 KB coarse pages) guarded by domain access control, a CP15-style
+//! system coprocessor, CP14 banked exception state, non-privileged
+//! loads/stores (`ldrt`/`strt`), and an architecturally undefined
+//! instruction space — everything the SimBench suite's ARM port
+//! exercises.
+//!
+//! ## Example
+//!
+//! ```
+//! use simbench_core::asm::{PReg, PortableAsm};
+//! use simbench_core::isa::Isa;
+//! use simbench_isa_armlet::{Armlet, ArmletAsm};
+//!
+//! let mut a = ArmletAsm::new();
+//! a.org(0x8000);
+//! a.mov_imm(PReg::A, 41);
+//! a.alu_ri(simbench_core::ir::AluOp::Add, PReg::A, PReg::A, 1);
+//! a.halt();
+//! let image = a.finish(0x8000);
+//!
+//! // The first word decodes back to a mov.
+//! let w = u32::from_le_bytes(image.sections[0].bytes[0..4].try_into().unwrap());
+//! let decoded = Armlet::decode(&w.to_le_bytes(), 0x8000).unwrap();
+//! assert_eq!(decoded.len, 4);
+//! ```
+
+pub mod asm;
+pub mod decode;
+pub mod encoding;
+pub mod mmu;
+pub mod sys;
+
+pub use asm::ArmletAsm;
+pub use mmu::{Access, TableBuilder};
+pub use sys::ArmletSys;
+
+use simbench_core::bus::Bus;
+use simbench_core::cpu::CpuState;
+use simbench_core::fault::{CopFault, ExcInfo, ExceptionKind};
+use simbench_core::ir::{Decoded, DecodeError};
+use simbench_core::isa::{CopEffect, Isa};
+use simbench_core::mmu::WalkResult;
+
+/// The armlet architecture (implements [`Isa`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Armlet;
+
+impl Isa for Armlet {
+    const NAME: &'static str = "armlet";
+    const MAX_INSN_BYTES: usize = 4;
+    const GPRS: usize = 16;
+    type Sys = ArmletSys;
+
+    fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
+        if bytes.len() < 4 {
+            return Err(DecodeError { pc });
+        }
+        let word = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        decode::decode(word, pc)
+    }
+
+    fn mmu_enabled(sys: &Self::Sys) -> bool {
+        sys.mmu_enabled()
+    }
+
+    fn walk<B: Bus>(sys: &Self::Sys, bus: &mut B, va: u32) -> WalkResult {
+        mmu::walk(sys, bus, va)
+    }
+
+    fn cop_read(cpu: &CpuState, sys: &mut Self::Sys, cp: u8, reg: u8) -> Result<u32, CopFault> {
+        sys.cop_read(cpu, cp, reg)
+    }
+
+    fn cop_write(
+        cpu: &mut CpuState,
+        sys: &mut Self::Sys,
+        cp: u8,
+        reg: u8,
+        val: u32,
+    ) -> Result<CopEffect, CopFault> {
+        sys.cop_write(cpu, cp, reg, val)
+    }
+
+    fn enter_exception(
+        cpu: &mut CpuState,
+        sys: &mut Self::Sys,
+        kind: ExceptionKind,
+        info: ExcInfo,
+        return_pc: u32,
+    ) -> u32 {
+        sys.enter_exception(cpu, kind, info, return_pc)
+    }
+
+    fn leave_exception(cpu: &mut CpuState, sys: &mut Self::Sys) -> u32 {
+        sys.leave_exception(cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_constants() {
+        assert_eq!(Armlet::NAME, "armlet");
+        assert_eq!(Armlet::MAX_INSN_BYTES, 4);
+        assert_eq!(Armlet::GPRS, 16);
+    }
+
+    #[test]
+    fn short_fetch_is_decode_error() {
+        assert!(Armlet::decode(&[0x00, 0x00], 0x8000).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property test: every armlet encoding round-trips through the decoder.
+
+use proptest::prelude::*;
+use simbench_core::ir::{AluOp, Cond, Op, Operand};
+use simbench_isa_armlet::{decode::decode, encoding as enc};
+
+fn any_reg() -> impl Strategy<Value = u8> {
+    0u8..16
+}
+
+proptest! {
+    #[test]
+    fn alu_rr_roundtrip(code in 0u8..16, rd in any_reg(), rn in any_reg(), rm in any_reg(), s: bool) {
+        let op = AluOp::from_code(code).unwrap();
+        let w = enc::alu_rr(op, rd, rn, rm, s);
+        let d = decode(w, 0x8000).unwrap();
+        prop_assert_eq!(d.ops, vec![Op::Alu { op, rd, rn, src: Operand::Reg(rm), set_flags: s }]);
+    }
+
+    #[test]
+    fn alu_ri_roundtrip(code in 0u8..16, rd in any_reg(), rn in any_reg(), imm in 0u32..4096, s: bool) {
+        let op = AluOp::from_code(code).unwrap();
+        let w = enc::alu_ri(op, rd, rn, imm, s);
+        let d = decode(w, 0).unwrap();
+        prop_assert_eq!(d.ops, vec![Op::Alu { op, rd, rn, src: Operand::Imm(imm), set_flags: s }]);
+    }
+
+    #[test]
+    fn ldst_roundtrip(load: bool, byte: bool, np: bool, rd in any_reg(), rn in any_reg(), off in -2048i32..=2047) {
+        let size = if byte { enc::LsSize::Byte } else { enc::LsSize::Word };
+        let w = enc::ldst(load, size, np, rd, rn, off);
+        let d = decode(w, 0).unwrap();
+        match d.ops[0] {
+            Op::Load { rd: r, base, off: o, nonpriv, .. } => {
+                prop_assert!(load);
+                prop_assert_eq!((r, base, o, nonpriv), (rd, rn, off, np));
+            }
+            Op::Store { rs, base, off: o, nonpriv, .. } => {
+                prop_assert!(!load);
+                prop_assert_eq!((rs, base, o, nonpriv), (rd, rn, off, np));
+            }
+            ref other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn branch_roundtrip(pc in (0u32..0x100_0000).prop_map(|x| x * 4), delta in -100_000i32..100_000) {
+        let target = pc.wrapping_add((delta * 4) as u32);
+        let d = decode(enc::b(pc, target), pc).unwrap();
+        prop_assert_eq!(d.ops, vec![Op::Branch { target }]);
+        let d = decode(enc::bl(pc, target), pc).unwrap();
+        let is_call_to_target = matches!(d.ops[0], Op::Call { target: t, .. } if t == target);
+        prop_assert!(is_call_to_target);
+    }
+
+    #[test]
+    fn bcond_roundtrip(pc in (0u32..0x10_0000).prop_map(|x| x * 4), delta in -10_000i32..10_000, c in 0u8..15) {
+        let cond = Cond::from_code(c).unwrap();
+        let target = pc.wrapping_add((delta * 4) as u32);
+        let d = decode(enc::b_cond(cond, pc, target), pc).unwrap();
+        prop_assert_eq!(d.ops, vec![Op::BranchCond { cond, target }]);
+    }
+
+    #[test]
+    fn movw_movt_build_any_constant(value: u32) {
+        // Semantic property: executing movw+movt assigns exactly `value`.
+        let lo = decode(enc::movw(0, value & 0xFFFF), 0).unwrap();
+        let hi = decode(enc::movt(0, value >> 16), 4).unwrap();
+        let mut r0 = 0xDEAD_BEEFu32;
+        for op in lo.ops.iter().chain(hi.ops.iter()) {
+            if let Op::Alu { op, src: Operand::Imm(imm), .. } = op {
+                r0 = simbench_core::alu::eval(*op, r0, *imm, Default::default()).value;
+            }
+        }
+        prop_assert_eq!(r0, value);
+    }
+
+    #[test]
+    fn decoder_never_panics(w: u32) {
+        let _ = decode(w, 0x8000);
+    }
+}

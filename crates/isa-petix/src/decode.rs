@@ -1,0 +1,329 @@
+//! petix decoder: variable-length instruction bytes → micro-op IR.
+
+use simbench_core::ir::{
+    AluOp, Cond, Decoded, DecodeError, InsnClass, LinkKind, MemSize, Op, Operand, RetKind,
+};
+
+use crate::encoding::SP;
+
+fn need(bytes: &[u8], n: usize, pc: u32) -> Result<(), DecodeError> {
+    if bytes.len() < n {
+        Err(DecodeError { pc })
+    } else {
+        Ok(())
+    }
+}
+
+fn imm32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+fn imm16(bytes: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([bytes[at], bytes[at + 1]])
+}
+
+/// Decode one instruction starting at `bytes[0]` (the byte at `pc`).
+///
+/// # Errors
+///
+/// [`DecodeError`] for invalid opcodes *or* when `bytes` is too short to
+/// hold the full instruction (engines retry with more bytes across page
+/// boundaries before treating the error as undefined).
+pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
+    need(bytes, 1, pc)?;
+    let opc = bytes[0];
+    let d = |len: u8, ops, class| Ok(Decoded::new(len, ops, class));
+    match opc {
+        0x00 => d(1, vec![Op::Nop], InsnClass::Nop),
+        0x01 => d(1, vec![Op::Halt], InsnClass::System),
+        0x02 => d(1, vec![Op::Ret(RetKind::Pop(SP))], InsnClass::Branch),
+        0x03 => d(1, vec![Op::Eret], InsnClass::System),
+        0x0F => {
+            need(bytes, 2, pc)?;
+            if bytes[1] == 0x0B {
+                d(2, vec![Op::Udf], InsnClass::System)
+            } else {
+                Err(DecodeError { pc })
+            }
+        }
+        0x10..=0x1F => {
+            need(bytes, 2, pc)?;
+            let op = AluOp::from_code(opc - 0x10).ok_or(DecodeError { pc })?;
+            let rd = (bytes[1] >> 4) & 0x7;
+            let rm = bytes[1] & 0x7;
+            d(
+                2,
+                vec![Op::Alu { op, rd, rn: rd, src: Operand::Reg(rm), set_flags: false }],
+                InsnClass::Alu,
+            )
+        }
+        0x30..=0x3F => {
+            need(bytes, 6, pc)?;
+            let op = AluOp::from_code(opc - 0x30).ok_or(DecodeError { pc })?;
+            let rd = (bytes[1] >> 4) & 0x7;
+            d(
+                6,
+                vec![Op::Alu { op, rd, rn: rd, src: Operand::Imm(imm32(bytes, 2)), set_flags: false }],
+                InsnClass::Alu,
+            )
+        }
+        0x50..=0x5F => {
+            need(bytes, 4, pc)?;
+            let op = AluOp::from_code(opc - 0x50).ok_or(DecodeError { pc })?;
+            let rd = (bytes[1] >> 4) & 0x7;
+            d(
+                4,
+                vec![Op::Alu {
+                    op,
+                    rd,
+                    rn: rd,
+                    src: Operand::Imm(imm16(bytes, 2) as u32),
+                    set_flags: false,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        0x70..=0x75 => {
+            need(bytes, 4, pc)?;
+            let r = (bytes[1] >> 4) & 0x7;
+            let base = bytes[1] & 0x7;
+            let off = imm16(bytes, 2) as i16 as i32;
+            let (size, load) = match opc {
+                0x70 => (MemSize::B4, true),
+                0x71 => (MemSize::B4, false),
+                0x72 => (MemSize::B1, true),
+                0x73 => (MemSize::B1, false),
+                0x74 => (MemSize::B2, true),
+                _ => (MemSize::B2, false),
+            };
+            let op = if load {
+                Op::Load { rd: r, base, off, size, nonpriv: false }
+            } else {
+                Op::Store { rs: r, base, off, size, nonpriv: false }
+            };
+            d(4, vec![op], InsnClass::Mem)
+        }
+        0x80 => {
+            need(bytes, 5, pc)?;
+            let target = pc.wrapping_add(5).wrapping_add(imm32(bytes, 1));
+            d(5, vec![Op::Branch { target }], InsnClass::Branch)
+        }
+        0x81 => {
+            need(bytes, 6, pc)?;
+            let cond = Cond::from_code(bytes[1]).ok_or(DecodeError { pc })?;
+            let target = pc.wrapping_add(6).wrapping_add(imm32(bytes, 2));
+            d(6, vec![Op::BranchCond { cond, target }], InsnClass::Branch)
+        }
+        0x82 => {
+            need(bytes, 5, pc)?;
+            let target = pc.wrapping_add(5).wrapping_add(imm32(bytes, 1));
+            let ret = pc.wrapping_add(5);
+            d(5, vec![Op::Call { target, ret, link: LinkKind::Push(SP) }], InsnClass::Branch)
+        }
+        0x83 => {
+            need(bytes, 2, pc)?;
+            d(2, vec![Op::BranchReg { rm: bytes[1] & 0x7 }], InsnClass::Branch)
+        }
+        0x84 => {
+            need(bytes, 2, pc)?;
+            let ret = pc.wrapping_add(2);
+            d(
+                2,
+                vec![Op::CallReg { rm: bytes[1] & 0x7, ret, link: LinkKind::Push(SP) }],
+                InsnClass::Branch,
+            )
+        }
+        0x85 => {
+            need(bytes, 2, pc)?;
+            let r = bytes[1] & 0x7;
+            d(
+                2,
+                vec![
+                    Op::Alu { op: AluOp::Sub, rd: SP, rn: SP, src: Operand::Imm(4), set_flags: false },
+                    Op::Store { rs: r, base: SP, off: 0, size: MemSize::B4, nonpriv: false },
+                ],
+                InsnClass::Mem,
+            )
+        }
+        0x86 => {
+            need(bytes, 2, pc)?;
+            let r = bytes[1] & 0x7;
+            d(
+                2,
+                vec![
+                    Op::Load { rd: r, base: SP, off: 0, size: MemSize::B4, nonpriv: false },
+                    Op::Alu { op: AluOp::Add, rd: SP, rn: SP, src: Operand::Imm(4), set_flags: false },
+                ],
+                InsnClass::Mem,
+            )
+        }
+        0x87 => {
+            need(bytes, 2, pc)?;
+            d(2, vec![Op::Svc(bytes[1] as u16)], InsnClass::System)
+        }
+        0x88 => {
+            need(bytes, 2, pc)?;
+            let rn = (bytes[1] >> 4) & 0x7;
+            let rm = bytes[1] & 0x7;
+            d(2, vec![Op::Cmp { rn, src: Operand::Reg(rm), is_tst: false }], InsnClass::Alu)
+        }
+        0x89 => {
+            need(bytes, 6, pc)?;
+            let rn = (bytes[1] >> 4) & 0x7;
+            d(6, vec![Op::Cmp { rn, src: Operand::Imm(imm32(bytes, 2)), is_tst: false }], InsnClass::Alu)
+        }
+        0x8A => {
+            need(bytes, 2, pc)?;
+            let rn = (bytes[1] >> 4) & 0x7;
+            let rm = bytes[1] & 0x7;
+            d(2, vec![Op::Cmp { rn, src: Operand::Reg(rm), is_tst: true }], InsnClass::Alu)
+        }
+        0x8B => {
+            need(bytes, 6, pc)?;
+            let rn = (bytes[1] >> 4) & 0x7;
+            d(6, vec![Op::Cmp { rn, src: Operand::Imm(imm32(bytes, 2)), is_tst: true }], InsnClass::Alu)
+        }
+        0x90 => {
+            need(bytes, 2, pc)?;
+            let r = (bytes[1] >> 4) & 0x7;
+            let cr = bytes[1] & 0xF;
+            d(2, vec![Op::CopRead { cp: 0, reg: cr, rd: r }], InsnClass::System)
+        }
+        0x91 => {
+            need(bytes, 2, pc)?;
+            let r = (bytes[1] >> 4) & 0x7;
+            let cr = bytes[1] & 0xF;
+            d(2, vec![Op::CopWrite { cp: 0, reg: cr, rs: r }], InsnClass::System)
+        }
+        0xA0 => {
+            need(bytes, 6, pc)?;
+            let rd = (bytes[1] >> 4) & 0x7;
+            d(
+                6,
+                vec![Op::Alu {
+                    op: AluOp::Mov,
+                    rd,
+                    rn: 0,
+                    src: Operand::Imm(imm32(bytes, 2)),
+                    set_flags: false,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        _ => Err(DecodeError { pc }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding as enc;
+
+    fn dec(bytes: &[u8]) -> Decoded {
+        decode(bytes, 0x8000).unwrap()
+    }
+
+    #[test]
+    fn one_byte_forms() {
+        assert_eq!(dec(&enc::nop()).ops, vec![Op::Nop]);
+        assert_eq!(dec(&enc::halt()).ops, vec![Op::Halt]);
+        assert_eq!(dec(&enc::ret()).ops, vec![Op::Ret(RetKind::Pop(SP))]);
+        assert_eq!(dec(&enc::iret()).ops, vec![Op::Eret]);
+    }
+
+    #[test]
+    fn ud2_and_bad_escape() {
+        assert_eq!(dec(&enc::ud2()).ops, vec![Op::Udf]);
+        assert!(decode(&[0x0F, 0x0C], 0).is_err());
+    }
+
+    #[test]
+    fn alu_forms() {
+        let d = dec(&enc::alu_rr(AluOp::Add, 1, 2));
+        assert_eq!(
+            d.ops,
+            vec![Op::Alu { op: AluOp::Add, rd: 1, rn: 1, src: Operand::Reg(2), set_flags: false }]
+        );
+        let d = dec(&enc::alu_ri32(AluOp::Eor, 3, 0xDEAD_BEEF));
+        assert_eq!(d.len, 6);
+        assert_eq!(
+            d.ops,
+            vec![Op::Alu { op: AluOp::Eor, rd: 3, rn: 3, src: Operand::Imm(0xDEAD_BEEF), set_flags: false }]
+        );
+        let d = dec(&enc::alu_ri16(AluOp::Mov, 5, 0x1234));
+        assert_eq!(d.len, 4);
+        assert_eq!(
+            d.ops,
+            vec![Op::Alu { op: AluOp::Mov, rd: 5, rn: 5, src: Operand::Imm(0x1234), set_flags: false }]
+        );
+    }
+
+    #[test]
+    fn memory_forms() {
+        let d = dec(&enc::ldst(true, enc::Width::Word, 1, 2, -8));
+        assert_eq!(d.ops, vec![Op::Load { rd: 1, base: 2, off: -8, size: MemSize::B4, nonpriv: false }]);
+        let d = dec(&enc::ldst(false, enc::Width::Byte, 3, 4, 7));
+        assert_eq!(d.ops, vec![Op::Store { rs: 3, base: 4, off: 7, size: MemSize::B1, nonpriv: false }]);
+    }
+
+    #[test]
+    fn branch_targets() {
+        let b = enc::jmp(0x8000, 0x8100);
+        assert_eq!(dec(&b).ops, vec![Op::Branch { target: 0x8100 }]);
+        let b = enc::jcc(Cond::Lt, 0x8000, 0x7F00);
+        assert_eq!(dec(&b).ops, vec![Op::BranchCond { cond: Cond::Lt, target: 0x7F00 }]);
+        let b = enc::call(0x8000, 0x9000);
+        assert_eq!(
+            dec(&b).ops,
+            vec![Op::Call { target: 0x9000, ret: 0x8005, link: LinkKind::Push(SP) }]
+        );
+    }
+
+    #[test]
+    fn push_pop_sequences() {
+        let d = dec(&enc::push(3));
+        assert_eq!(d.ops.len(), 2);
+        assert!(matches!(d.ops[0], Op::Alu { op: AluOp::Sub, rd, .. } if rd == SP));
+        assert!(matches!(d.ops[1], Op::Store { rs: 3, .. }));
+        let d = dec(&enc::pop(3));
+        assert!(matches!(d.ops[0], Op::Load { rd: 3, .. }));
+        assert!(matches!(d.ops[1], Op::Alu { op: AluOp::Add, rd, .. } if rd == SP));
+    }
+
+    #[test]
+    fn system_forms() {
+        assert_eq!(dec(&enc::int(42)).ops, vec![Op::Svc(42)]);
+        assert_eq!(dec(&enc::mov_from_cr(2, 5)).ops, vec![Op::CopRead { cp: 0, reg: 5, rd: 2 }]);
+        assert_eq!(dec(&enc::mov_to_cr(3, 1)).ops, vec![Op::CopWrite { cp: 0, reg: 3, rs: 1 }]);
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let full = enc::alu_ri32(AluOp::Add, 1, 0x12345678);
+        for n in 0..full.len() {
+            assert!(decode(&full[..n], 0).is_err(), "truncated to {n} bytes");
+        }
+        assert!(decode(&full, 0).is_ok());
+    }
+
+    #[test]
+    fn smc_word_is_harmless_mov_r5() {
+        for imm in [0u32, 0xBEEF] {
+            let word = enc::SMC_NOP_WORD | (imm << 16);
+            let bytes = word.to_le_bytes();
+            let d = decode(&bytes, 0).unwrap();
+            assert_eq!(d.len, 4);
+            assert_eq!(
+                d.ops,
+                vec![Op::Alu { op: AluOp::Mov, rd: 5, rn: 5, src: Operand::Imm(imm), set_flags: false }]
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_opcodes_error() {
+        for opc in [0x04u8, 0x20, 0x60, 0x76, 0x8C, 0x92, 0xA1, 0xFF] {
+            assert!(decode(&[opc, 0, 0, 0, 0, 0], 0).is_err(), "opcode {opc:#x}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! # simbench-isa-petix
+//!
+//! The `petix` guest architecture: a variable-length (1–6 byte)
+//! CISC-flavoured ISA modelled on x86. Eight GPRs with a hardware stack
+//! pointer (calls push their return address — handlers that redirect the
+//! resume point must unwind the stack, the behaviour the paper notes for
+//! the x86 Instruction Access Fault benchmark), x86-style two-level page
+//! tables, control registers (`cr0`/`cr3`/`invlpg`/FPU control word),
+//! `int`-style system calls and a `ud2` undefined instruction. There are
+//! no non-privileged loads/stores: the corresponding SimBench benchmark
+//! is a no-op on this architecture, exactly as the paper describes for
+//! its x86 port.
+//!
+//! ## Example
+//!
+//! ```
+//! use simbench_core::asm::{PReg, PortableAsm};
+//! use simbench_core::isa::Isa;
+//! use simbench_isa_petix::{Petix, PetixAsm};
+//!
+//! let mut a = PetixAsm::new();
+//! a.org(0x8000);
+//! a.mov_imm(PReg::A, 41);
+//! a.alu_ri(simbench_core::ir::AluOp::Add, PReg::A, PReg::A, 1);
+//! a.halt();
+//! let image = a.finish(0x8000);
+//! let first = Petix::decode(&image.sections[0].bytes, 0x8000).unwrap();
+//! assert_eq!(first.len, 6); // mov imm32
+//! ```
+
+pub mod asm;
+pub mod decode;
+pub mod encoding;
+pub mod mmu;
+pub mod sys;
+
+pub use asm::PetixAsm;
+pub use mmu::{PtFlags, TableBuilder};
+pub use sys::PetixSys;
+
+use simbench_core::bus::Bus;
+use simbench_core::cpu::CpuState;
+use simbench_core::fault::{CopFault, ExcInfo, ExceptionKind};
+use simbench_core::ir::{Decoded, DecodeError};
+use simbench_core::isa::{CopEffect, Isa};
+use simbench_core::mmu::WalkResult;
+
+/// The petix architecture (implements [`Isa`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Petix;
+
+impl Isa for Petix {
+    const NAME: &'static str = "petix";
+    const MAX_INSN_BYTES: usize = 6;
+    const GPRS: usize = 8;
+    type Sys = PetixSys;
+
+    fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
+        decode::decode(bytes, pc)
+    }
+
+    fn mmu_enabled(sys: &Self::Sys) -> bool {
+        sys.paging_enabled()
+    }
+
+    fn walk<B: Bus>(sys: &Self::Sys, bus: &mut B, va: u32) -> WalkResult {
+        mmu::walk(sys, bus, va)
+    }
+
+    fn cop_read(_cpu: &CpuState, sys: &mut Self::Sys, cp: u8, reg: u8) -> Result<u32, CopFault> {
+        sys.cop_read(cp, reg)
+    }
+
+    fn cop_write(
+        cpu: &mut CpuState,
+        sys: &mut Self::Sys,
+        cp: u8,
+        reg: u8,
+        val: u32,
+    ) -> Result<CopEffect, CopFault> {
+        sys.cop_write(cpu, cp, reg, val)
+    }
+
+    fn enter_exception(
+        cpu: &mut CpuState,
+        sys: &mut Self::Sys,
+        kind: ExceptionKind,
+        info: ExcInfo,
+        return_pc: u32,
+    ) -> u32 {
+        sys.enter_exception(cpu, kind, info, return_pc)
+    }
+
+    fn leave_exception(cpu: &mut CpuState, sys: &mut Self::Sys) -> u32 {
+        sys.leave_exception(cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_constants() {
+        assert_eq!(Petix::NAME, "petix");
+        assert_eq!(Petix::MAX_INSN_BYTES, 6);
+        assert_eq!(Petix::GPRS, 8);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property test: petix encodings round-trip; the decoder is total.
+
+use proptest::prelude::*;
+use simbench_core::ir::{AluOp, Cond, Op, Operand};
+use simbench_isa_petix::{decode::decode, encoding as enc};
+
+fn any_reg() -> impl Strategy<Value = u8> {
+    0u8..8
+}
+
+proptest! {
+    #[test]
+    fn alu_rr_roundtrip(code in 0u8..16, rd in any_reg(), rm in any_reg()) {
+        let op = AluOp::from_code(code).unwrap();
+        let b = enc::alu_rr(op, rd, rm);
+        let d = decode(&b, 0).unwrap();
+        prop_assert_eq!(d.len as usize, b.len());
+        prop_assert_eq!(d.ops, vec![Op::Alu { op, rd, rn: rd, src: Operand::Reg(rm), set_flags: false }]);
+    }
+
+    #[test]
+    fn alu_imm_roundtrips(code in 0u8..16, rd in any_reg(), imm: u32) {
+        let op = AluOp::from_code(code).unwrap();
+        let d = decode(&enc::alu_ri32(op, rd, imm), 0).unwrap();
+        prop_assert_eq!(d.ops, vec![Op::Alu { op, rd, rn: rd, src: Operand::Imm(imm), set_flags: false }]);
+        let d = decode(&enc::alu_ri16(op, rd, imm as u16), 0).unwrap();
+        prop_assert_eq!(d.ops, vec![Op::Alu { op, rd, rn: rd, src: Operand::Imm((imm as u16) as u32), set_flags: false }]);
+    }
+
+    #[test]
+    fn ldst_roundtrip(load: bool, rd in any_reg(), base in any_reg(), disp in -32768i32..=32767) {
+        let b = enc::ldst(load, enc::Width::Word, rd, base, disp);
+        let d = decode(&b, 0).unwrap();
+        match d.ops[0] {
+            Op::Load { rd: r, base: bb, off, .. } => {
+                prop_assert!(load);
+                prop_assert_eq!((r, bb, off), (rd, base, disp));
+            }
+            Op::Store { rs, base: bb, off, .. } => {
+                prop_assert!(!load);
+                prop_assert_eq!((rs, bb, off), (rd, base, disp));
+            }
+            ref other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn control_flow_roundtrip(pc: u32, delta in -1_000_000i32..1_000_000, c in 0u8..15) {
+        let target = pc.wrapping_add(5).wrapping_add(delta as u32);
+        let d = decode(&enc::jmp(pc, target), pc).unwrap();
+        prop_assert_eq!(d.ops, vec![Op::Branch { target }]);
+        let cond = Cond::from_code(c).unwrap();
+        let target6 = pc.wrapping_add(6).wrapping_add(delta as u32);
+        let d = decode(&enc::jcc(cond, pc, target6), pc).unwrap();
+        prop_assert_eq!(d.ops, vec![Op::BranchCond { cond, target: target6 }]);
+    }
+
+    #[test]
+    fn decoder_never_panics_and_len_is_bounded(bytes in prop::collection::vec(any::<u8>(), 0..8)) {
+        if let Ok(d) = decode(&bytes, 0x1234) {
+            prop_assert!(d.len as usize <= bytes.len());
+            prop_assert!(d.len >= 1 && d.len <= 6);
+        }
+    }
+
+    #[test]
+    fn variable_lengths_self_consistent(bytes in prop::collection::vec(any::<u8>(), 6..12)) {
+        // If a prefix decodes, the full buffer decodes identically: extra
+        // trailing bytes never change an instruction.
+        if let Ok(d) = decode(&bytes[..6], 0) {
+            let d2 = decode(&bytes, 0).unwrap();
+            prop_assert_eq!(d.ops, d2.ops);
+            prop_assert_eq!(d.len, d2.len);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Architecture/platform support packages.
+//!
+//! The paper's benchmarks contain no architecture- or platform-specific
+//! code: everything of that kind lives in *support packages* (§II-C).
+//! [`Support`] is that boundary here. A support package owns:
+//!
+//! * the memory [`Layout`] and static page tables,
+//! * boot code (stack, TTBR/CR3, MMU enable, vector base),
+//! * the exception vector table and the three canonical handler shapes,
+//! * the architecture-specific operations benchmarks request (safe
+//!   coprocessor read, non-privileged access, TLB maintenance, interrupt
+//!   trigger plumbing).
+//!
+//! Porting SimBench-rs to a new architecture means implementing this
+//! trait (plus an [`PortableAsm`] assembler) — no benchmark changes.
+
+use simbench_core::asm::{PReg, PortableAsm};
+use simbench_core::fault::ExceptionKind;
+use simbench_core::image::GuestImage;
+
+/// Guest-visible memory layout shared by both support packages.
+///
+/// All code/data regions are identity-mapped (VA == PA) so the paper's
+/// bare-metal structure — boot with MMU off, enable it, keep running —
+/// works without relocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Layout {
+    /// Vector table base (VA 0).
+    pub vectors: u32,
+    /// Exception handlers.
+    pub handlers: u32,
+    /// Boot code / image entry.
+    pub boot: u32,
+    /// Benchmark code.
+    pub code: u32,
+    /// Read-write data.
+    pub data: u32,
+    /// Top of the stack (grows down).
+    pub stack_top: u32,
+    /// Physical base of the page tables.
+    pub tables: u32,
+    /// Large cold-access region base.
+    pub cold: u32,
+    /// Cold region length in bytes.
+    pub cold_len: u32,
+    /// A virtual address guaranteed unmapped (fault benchmarks).
+    pub unmapped: u32,
+    /// Identity-mapped UART.
+    pub uart: u32,
+    /// Identity-mapped interrupt controller.
+    pub intc: u32,
+    /// Identity-mapped safe device.
+    pub safedev: u32,
+    /// Identity-mapped control device.
+    pub ctl: u32,
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout {
+            vectors: 0x0000_0000,
+            handlers: 0x0000_1000,
+            boot: 0x0000_8000,
+            code: 0x0001_0000,
+            data: 0x0200_0000,
+            stack_top: 0x0210_0000,
+            tables: 0x0300_0000,
+            cold: 0x0400_0000,
+            cold_len: 16 << 20,
+            unmapped: 0x7000_0000,
+            uart: simbench_platform::UART_BASE,
+            intc: simbench_platform::INTC_BASE,
+            safedev: simbench_platform::SAFEDEV_BASE,
+            ctl: simbench_platform::CTL_BASE,
+        }
+    }
+}
+
+/// The three handler shapes the suite needs (paper §II-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HandlerKind {
+    /// Return to the banked resume address (which both ISAs set to the
+    /// *next* instruction for synchronous exceptions).
+    #[default]
+    Eret,
+    /// Recover the caller's return address — from the link register on
+    /// armlet, by unwinding the stack on petix — and resume there. Used
+    /// by the Instruction Access Fault benchmark.
+    ResumeFromLink,
+    /// Acknowledge the interrupt controller, then return. Used by the
+    /// External Software Interrupt benchmark.
+    AckIrqEret,
+}
+
+/// Handler selection for all five vectors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Handlers {
+    /// Undefined instruction.
+    pub undef: HandlerKind,
+    /// System call.
+    pub syscall: HandlerKind,
+    /// Data abort.
+    pub data_abort: HandlerKind,
+    /// Prefetch abort.
+    pub prefetch_abort: HandlerKind,
+    /// External interrupt.
+    pub irq: HandlerKind,
+}
+
+impl Handlers {
+    /// The handler for a given exception kind.
+    pub fn for_kind(&self, kind: ExceptionKind) -> HandlerKind {
+        match kind {
+            ExceptionKind::Undef => self.undef,
+            ExceptionKind::Syscall => self.syscall,
+            ExceptionKind::DataAbort => self.data_abort,
+            ExceptionKind::PrefetchAbort => self.prefetch_abort,
+            ExceptionKind::Irq => self.irq,
+        }
+    }
+}
+
+/// Boot-time options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BootSpec {
+    /// Handler shapes to install.
+    pub handlers: Handlers,
+    /// Enable IRQ delivery and unmask INTC line 0 before entering the
+    /// benchmark body.
+    pub enable_irqs: bool,
+}
+
+/// An architecture + platform support package.
+pub trait Support {
+    /// The architecture's assembler.
+    type Asm: PortableAsm;
+
+    /// Architecture name (matches `Isa::NAME`).
+    const ISA_NAME: &'static str;
+
+    /// Whether the architecture has non-privileged load/store
+    /// instructions (armlet yes, petix no — paper §II-A).
+    const HAS_NONPRIV: bool;
+
+    /// The memory layout.
+    fn layout(&self) -> Layout {
+        Layout::default()
+    }
+
+    /// Assemble a complete bootable benchmark image: vector table,
+    /// handlers, page tables, boot code, then the benchmark `body`
+    /// emitted at `layout().code`. The body receives the assembler, the
+    /// support package (for arch-specific operations) and the layout; it
+    /// must end with `halt`.
+    fn build(&self, spec: BootSpec, body: impl FnOnce(&mut Self::Asm, &Self, &Layout)) -> GuestImage;
+
+    /// Emit the designated side-effect-free coprocessor read (armlet:
+    /// CP15 DACR; petix: FPU control word).
+    fn emit_safe_coproc_read(&self, a: &mut Self::Asm, rd: PReg);
+
+    /// Emit a non-privileged load `rd = [base + off]` if the
+    /// architecture supports one. Returns `false` (emitting nothing) on
+    /// architectures without the feature.
+    fn emit_nonpriv_load(&self, a: &mut Self::Asm, rd: PReg, base: PReg, off: i32) -> bool;
+
+    /// Emit a non-privileged store, mirroring [`Support::emit_nonpriv_load`].
+    fn emit_nonpriv_store(&self, a: &mut Self::Asm, rs: PReg, base: PReg, off: i32) -> bool;
+
+    /// Emit a single-page TLB invalidation for the virtual address held
+    /// in `rva`.
+    fn emit_tlb_inv_page(&self, a: &mut Self::Asm, rva: PReg);
+
+    /// Emit a full TLB flush. May clobber `scratch`.
+    fn emit_tlb_flush(&self, a: &mut Self::Asm, scratch: PReg);
+}
+
+/// Emit a benchmark-phase mark (1 = kernel start, 2 = kernel end).
+/// Clobbers `PReg::D` and `PReg::Lr` only — benchmark state in
+/// `A`/`B`/`E` survives across marks.
+pub fn emit_phase_mark<A: PortableAsm>(a: &mut A, layout: &Layout, mark: u32) {
+    a.mov_imm(PReg::D, layout.ctl);
+    a.mov_imm(PReg::Lr, mark);
+    a.store(PReg::Lr, PReg::D, 0);
+}
+
+/// Emit a counted loop: `C = iterations; do { body } while (--C != 0)`.
+/// The body must preserve `PReg::C`.
+pub fn emit_counted_loop<A: PortableAsm>(a: &mut A, iterations: u32, body: impl FnOnce(&mut A)) {
+    use simbench_core::ir::{AluOp, Cond};
+    a.mov_imm(PReg::C, iterations);
+    let top = a.new_label();
+    a.bind(top);
+    body(a);
+    a.alu_ri(AluOp::Sub, PReg::C, PReg::C, 1);
+    a.cmp_ri(PReg::C, 0);
+    a.b_cond(Cond::Ne, top);
+}

@@ -1,0 +1,607 @@
+//! # simbench-virt
+//!
+//! A hardware-assisted-virtualization cost-model engine — the QEMU-KVM
+//! analogue of the paper's evaluation — plus a `native` configuration
+//! standing in for the bare-metal hardware rows of Fig 7 (see the
+//! substitution notes in `DESIGN.md`).
+//!
+//! Guest code executes on a *direct* fast path: instructions are decoded
+//! once per physical page and cached (the hardware's decoder), and
+//! address translation uses a large, cheap "hardware TLB". Sensitive
+//! operations — MMIO, coprocessor accesses, undefined instructions,
+//! interrupt injection — trigger simulated **VM exits** with a
+//! configurable latency, reproducing the trap-and-emulate costs the
+//! paper highlights for the External Software Interrupt and Memory
+//! Mapped Device benchmarks. The `native` configuration runs the same
+//! engine with zero exit cost.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::rc::Rc;
+use std::time::Instant;
+
+use simbench_core::bus::{Bus, BusEvent};
+use simbench_core::cpu::{CpuState, Flags};
+use simbench_core::engine::{Engine, EngineInfo, ExitReason, PhaseTracker, RunLimits, RunOutcome};
+use simbench_core::events::Counters;
+use simbench_core::exec::{step_op, BranchFlavor, ExecCtx, OpOutcome, Trap};
+use simbench_core::fault::{AccessKind, CopFault, ExcInfo, ExceptionKind, FaultKind, MemFault};
+use simbench_core::ir::{Decoded, MemSize, Op};
+use simbench_core::isa::{CopEffect, Isa};
+use simbench_core::machine::Machine;
+use simbench_core::page_of;
+use simbench_core::tlb::DirectTlb;
+
+/// Instructions between wall-clock checks.
+const WALL_CHECK_PERIOD: u64 = 0x2_0000;
+
+/// Configuration of the virtualization layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtConfig {
+    /// Engine display name.
+    pub name: &'static str,
+    /// Simulated cost of one VM exit, in nanoseconds (busy-waited, the
+    /// honest stand-in for a world switch we cannot perform).
+    pub exit_cost_ns: u32,
+    /// MMIO accesses exit to the hypervisor.
+    pub mmio_exits: bool,
+    /// Coprocessor accesses exit to the hypervisor.
+    pub coproc_exits: bool,
+    /// Undefined instructions exit (the paper's "Hypercall" row).
+    pub undef_exits: bool,
+    /// Interrupt injection exits.
+    pub irq_exits: bool,
+}
+
+impl VirtConfig {
+    /// KVM-like: traps cost ~1.5 µs.
+    pub fn kvm() -> Self {
+        VirtConfig {
+            name: "virt",
+            exit_cost_ns: 1500,
+            mmio_exits: true,
+            coproc_exits: true,
+            undef_exits: true,
+            irq_exits: true,
+        }
+    }
+
+    /// Native hardware stand-in: the same direct execution path with
+    /// zero exit cost.
+    pub fn native() -> Self {
+        VirtConfig {
+            name: "native",
+            exit_cost_ns: 0,
+            mmio_exits: false,
+            coproc_exits: false,
+            undef_exits: false,
+            irq_exits: false,
+        }
+    }
+}
+
+/// Pre-decoded instructions for one physical page, indexed by byte
+/// offset (the hardware front-end's decoded-instruction cache).
+#[derive(Debug)]
+struct PageCode {
+    slots: Vec<Option<Rc<Decoded>>>,
+}
+
+impl Default for PageCode {
+    fn default() -> Self {
+        PageCode { slots: vec![None; 4096] }
+    }
+}
+
+/// The virtualization / native engine.
+#[derive(Debug)]
+pub struct Virt<I: Isa> {
+    cfg: VirtConfig,
+    /// "Hardware" TLB: large and cheap.
+    tlb: DirectTlb,
+    /// Per-physical-page decoded-instruction cache (the hardware
+    /// front-end; invalidated on writes like a coherent icache).
+    pages: HashMap<u32, PageCode>,
+    _isa: PhantomData<I>,
+}
+
+impl<I: Isa> Virt<I> {
+    /// A KVM-configured engine.
+    pub fn kvm() -> Self {
+        Self::with_config(VirtConfig::kvm())
+    }
+
+    /// A native-configured engine.
+    pub fn native() -> Self {
+        Self::with_config(VirtConfig::native())
+    }
+
+    /// An engine with an explicit configuration.
+    pub fn with_config(cfg: VirtConfig) -> Self {
+        Virt { cfg, tlb: DirectTlb::new(4096), pages: HashMap::new(), _isa: PhantomData }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VirtConfig {
+        &self.cfg
+    }
+}
+
+/// Busy-wait approximating one VM exit's world-switch latency.
+#[inline]
+fn spin_exit(cost_ns: u32) {
+    if cost_ns == 0 {
+        return;
+    }
+    let t0 = Instant::now();
+    while (t0.elapsed().as_nanos() as u32) < cost_ns {
+        std::hint::spin_loop();
+    }
+}
+
+struct Ctx<'a, I: Isa, B: Bus> {
+    cpu: &'a mut CpuState,
+    sys: &'a mut I::Sys,
+    bus: &'a mut B,
+    tlb: &'a mut DirectTlb,
+    counters: &'a mut Counters,
+    cfg: VirtConfig,
+    phase_mark: Option<u8>,
+    /// Physical page whose decoded instructions a store dirtied.
+    code_write: Option<u32>,
+    /// Pages with cached decodes (read-only coherency check).
+    code_pages: &'a HashMap<u32, PageCode>,
+}
+
+impl<I: Isa, B: Bus> Ctx<'_, I, B> {
+    fn vm_exit(&mut self) {
+        self.counters.vm_exits += 1;
+        spin_exit(self.cfg.exit_cost_ns);
+    }
+
+    fn translate_data(
+        &mut self,
+        va: u32,
+        size: MemSize,
+        access: AccessKind,
+        nonpriv: bool,
+    ) -> Result<u32, MemFault> {
+        if !size.aligned(va) {
+            return Err(MemFault { addr: va, access, kind: FaultKind::Unaligned });
+        }
+        if !I::mmu_enabled(self.sys) {
+            return Ok(va);
+        }
+        let vpage = page_of(va);
+        let entry = match self.tlb.lookup(vpage) {
+            Some(e) => {
+                self.counters.tlb_hits += 1;
+                e
+            }
+            None => {
+                self.counters.tlb_misses += 1;
+                let e = I::walk(self.sys, self.bus, va).map_err(|mut f| {
+                    f.access = access;
+                    f
+                })?;
+                self.tlb.insert(e);
+                e
+            }
+        };
+        entry.check(va, access, self.cpu.level.is_kernel(), nonpriv)
+    }
+}
+
+impl<I: Isa, B: Bus> ExecCtx for Ctx<'_, I, B> {
+    fn reg(&self, r: u8) -> u32 {
+        self.cpu.regs[r as usize]
+    }
+    fn set_reg(&mut self, r: u8, v: u32) {
+        self.cpu.regs[r as usize] = v;
+    }
+    fn flags(&self) -> Flags {
+        self.cpu.flags
+    }
+    fn set_flags(&mut self, f: Flags) {
+        self.cpu.flags = f;
+    }
+    fn privileged(&self) -> bool {
+        self.cpu.level.is_kernel()
+    }
+
+    fn read(&mut self, va: u32, size: MemSize, nonpriv: bool) -> Result<u32, MemFault> {
+        self.counters.mem_reads += 1;
+        if nonpriv {
+            self.counters.nonpriv_accesses += 1;
+        }
+        let pa = self.translate_data(va, size, AccessKind::Read, nonpriv)?;
+        if self.bus.is_mmio(pa) {
+            self.counters.mmio_accesses += 1;
+            if self.cfg.mmio_exits {
+                self.vm_exit();
+            }
+        }
+        self.bus.read(pa, size).map_err(|mut f| {
+            f.addr = va;
+            f
+        })
+    }
+
+    fn write(&mut self, va: u32, val: u32, size: MemSize, nonpriv: bool) -> Result<(), MemFault> {
+        self.counters.mem_writes += 1;
+        if nonpriv {
+            self.counters.nonpriv_accesses += 1;
+        }
+        let pa = self.translate_data(va, size, AccessKind::Write, nonpriv)?;
+        if self.bus.is_mmio(pa) {
+            self.counters.mmio_accesses += 1;
+            if self.cfg.mmio_exits {
+                self.vm_exit();
+            }
+        }
+        match self.bus.write(pa, val, size) {
+            Ok(Some(BusEvent::PhaseMark(m))) => self.phase_mark = Some(m),
+            Ok(_) => {}
+            Err(mut f) => {
+                f.addr = va;
+                return Err(f);
+            }
+        }
+        // Instruction-cache coherency: dirty pages with cached decodes.
+        let ppage = page_of(pa);
+        if self.code_pages.contains_key(&ppage) {
+            self.code_write = Some(ppage);
+        }
+        Ok(())
+    }
+
+    fn cop_read(&mut self, cp: u8, reg: u8) -> Result<u32, CopFault> {
+        self.counters.coproc_accesses += 1;
+        if self.cfg.coproc_exits {
+            self.vm_exit();
+        }
+        I::cop_read(self.cpu, self.sys, cp, reg)
+    }
+
+    fn cop_write(&mut self, cp: u8, reg: u8, val: u32) -> Result<(), CopFault> {
+        self.counters.coproc_accesses += 1;
+        if self.cfg.coproc_exits {
+            self.vm_exit();
+        }
+        match I::cop_write(self.cpu, self.sys, cp, reg, val)? {
+            CopEffect::None => {}
+            CopEffect::TlbInvPage(va) => {
+                self.counters.tlb_invalidate_page += 1;
+                self.tlb.invalidate_page(page_of(va));
+            }
+            CopEffect::TlbFlush => {
+                self.counters.tlb_flushes += 1;
+                self.tlb.flush();
+            }
+            CopEffect::ContextChanged => self.tlb.flush(),
+        }
+        Ok(())
+    }
+}
+
+impl<I: Isa> Virt<I> {
+    /// Translate a fetch and return the decoded instruction at `pc`,
+    /// decoding and caching the page slot on first touch.
+    fn fetch<B: Bus>(
+        &mut self,
+        cpu: &CpuState,
+        sys: &mut I::Sys,
+        bus: &mut B,
+        counters: &mut Counters,
+        pc: u32,
+    ) -> Result<Rc<Decoded>, MemFault> {
+        let pa = if !I::mmu_enabled(sys) {
+            pc
+        } else {
+            let vpage = page_of(pc);
+            let entry = match self.tlb.lookup(vpage) {
+                Some(e) => e,
+                None => {
+                    counters.tlb_misses += 1;
+                    let e = I::walk(sys, bus, pc).map_err(|mut f| {
+                        f.access = AccessKind::Execute;
+                        f
+                    })?;
+                    self.tlb.insert(e);
+                    e
+                }
+            };
+            entry.check(pc, AccessKind::Execute, cpu.level.is_kernel(), false)?
+        };
+        let ppage = page_of(pa);
+        let off = (pa & 0xFFF) as usize;
+        if let Some(Some(d)) = self.pages.get(&ppage).map(|p| &p.slots[off]) {
+            return Ok(Rc::clone(d));
+        }
+        // Decode from RAM (instruction fetch from MMIO is a bus error).
+        let ram = bus.ram();
+        if pa as usize >= ram.len() {
+            return Err(MemFault { addr: pc, access: AccessKind::Execute, kind: FaultKind::BusError });
+        }
+        let end = ((pa as usize) + I::MAX_INSN_BYTES).min(ram.len());
+        let bytes = &ram[pa as usize..end];
+        let decoded = match I::decode(bytes, pc) {
+            Ok(d) => d,
+            Err(_) => Decoded::new(
+                I::MAX_INSN_BYTES as u8,
+                vec![Op::Udf],
+                simbench_core::ir::InsnClass::System,
+            ),
+        };
+        let rc = Rc::new(decoded);
+        self.pages.entry(ppage).or_default().slots[off] = Some(Rc::clone(&rc));
+        Ok(rc)
+    }
+}
+
+impl<I: Isa, B: Bus> Engine<I, B> for Virt<I> {
+    fn info(&self) -> EngineInfo {
+        if self.cfg.exit_cost_ns == 0 && !self.cfg.mmio_exits {
+            EngineInfo {
+                name: "native",
+                execution_model: "Direct",
+                memory_access: "Direct",
+                code_generation: "None",
+                control_flow_inter: "Direct",
+                control_flow_intra: "Direct",
+                interrupts: "Direct",
+                sync_exceptions: "Direct",
+                undef_insn: "Direct",
+            }
+        } else {
+            EngineInfo {
+                name: "virt",
+                execution_model: "Direct",
+                memory_access: "Direct",
+                code_generation: "None",
+                control_flow_inter: "Direct",
+                control_flow_intra: "Direct",
+                interrupts: "Via Emulation Layer",
+                sync_exceptions: "Direct",
+                undef_insn: "Hypercall",
+            }
+        }
+    }
+
+    fn run(&mut self, m: &mut Machine<I, B>, limits: &RunLimits) -> RunOutcome {
+        let t0 = Instant::now();
+        let mut counters = Counters::default();
+        let mut phase = PhaseTracker::new();
+        self.tlb.flush();
+        self.pages.clear();
+
+        let exit = 'outer: loop {
+            if counters.instructions >= limits.max_insns {
+                break ExitReason::InsnLimit;
+            }
+            if let Some(wall) = limits.wall_limit {
+                if counters.instructions % WALL_CHECK_PERIOD == 0 && t0.elapsed() >= wall {
+                    break ExitReason::WallLimit;
+                }
+            }
+
+            if m.cpu.irq_enabled && m.bus.irq_pending() {
+                counters.irqs_delivered += 1;
+                if self.cfg.irq_exits {
+                    counters.vm_exits += 1;
+                    spin_exit(self.cfg.exit_cost_ns);
+                }
+                let resume = m.cpu.pc;
+                let vec = I::enter_exception(
+                    &mut m.cpu,
+                    &mut m.sys,
+                    ExceptionKind::Irq,
+                    ExcInfo::default(),
+                    resume,
+                );
+                m.cpu.pc = vec;
+                continue;
+            }
+
+            let pc = m.cpu.pc;
+            let decoded = match self.fetch(&m.cpu, &mut m.sys, &mut m.bus, &mut counters, pc) {
+                Ok(d) => d,
+                Err(f) => {
+                    counters.insn_faults += 1;
+                    let vec = I::enter_exception(
+                        &mut m.cpu,
+                        &mut m.sys,
+                        ExceptionKind::PrefetchAbort,
+                        ExcInfo::from_fault(f),
+                        pc,
+                    );
+                    m.cpu.pc = vec;
+                    continue;
+                }
+            };
+
+            counters.instructions += 1;
+            let next_pc = pc.wrapping_add(decoded.len as u32);
+            let mut ctx = Ctx::<I, B> {
+                cpu: &mut m.cpu,
+                sys: &mut m.sys,
+                bus: &mut m.bus,
+                tlb: &mut self.tlb,
+                counters: &mut counters,
+                cfg: self.cfg,
+                phase_mark: None,
+                code_write: None,
+                code_pages: &self.pages,
+            };
+
+            let mut new_pc = next_pc;
+            let mut trap: Option<Trap> = None;
+            for op in &decoded.ops {
+                ctx.counters.uops += 1;
+                match step_op(&mut ctx, op) {
+                    OpOutcome::Next => {}
+                    OpOutcome::Jump { target, flavor } => {
+                        let same_page = page_of(pc) == page_of(target);
+                        match (flavor, same_page) {
+                            (BranchFlavor::Direct, true) => ctx.counters.branch_intra_direct += 1,
+                            (BranchFlavor::Direct, false) => ctx.counters.branch_inter_direct += 1,
+                            (BranchFlavor::Indirect, true) => {
+                                ctx.counters.branch_intra_indirect += 1
+                            }
+                            (BranchFlavor::Indirect, false) => {
+                                ctx.counters.branch_inter_indirect += 1
+                            }
+                        }
+                        new_pc = target;
+                        break;
+                    }
+                    OpOutcome::Trap(t) => {
+                        trap = Some(t);
+                        break;
+                    }
+                    OpOutcome::Halt => break 'outer ExitReason::Halted,
+                }
+            }
+            let mark = ctx.phase_mark.take();
+            let dirty = ctx.code_write.take();
+
+            if let Some(ppage) = dirty {
+                counters.code_invalidations += 1;
+                self.pages.remove(&ppage);
+            }
+
+            match trap {
+                None => m.cpu.pc = new_pc,
+                Some(Trap::Eret) => m.cpu.pc = I::leave_exception(&mut m.cpu, &mut m.sys),
+                Some(Trap::Syscall(n)) => {
+                    counters.syscalls += 1;
+                    let vec = I::enter_exception(
+                        &mut m.cpu,
+                        &mut m.sys,
+                        ExceptionKind::Syscall,
+                        ExcInfo::syscall(n),
+                        next_pc,
+                    );
+                    m.cpu.pc = vec;
+                }
+                Some(Trap::Undef) => {
+                    counters.undef_insns += 1;
+                    if self.cfg.undef_exits {
+                        counters.vm_exits += 1;
+                        spin_exit(self.cfg.exit_cost_ns);
+                    }
+                    let vec = I::enter_exception(
+                        &mut m.cpu,
+                        &mut m.sys,
+                        ExceptionKind::Undef,
+                        ExcInfo::default(),
+                        next_pc,
+                    );
+                    m.cpu.pc = vec;
+                }
+                Some(Trap::DataFault(f)) => {
+                    counters.data_faults += 1;
+                    let vec = I::enter_exception(
+                        &mut m.cpu,
+                        &mut m.sys,
+                        ExceptionKind::DataAbort,
+                        ExcInfo::from_fault(f),
+                        next_pc,
+                    );
+                    m.cpu.pc = vec;
+                }
+            }
+
+            if let Some(mark) = mark {
+                phase.on_mark(mark, &counters);
+            }
+        };
+
+        RunOutcome { exit, wall: t0.elapsed(), counters, kernel: phase.into_kernel() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simbench_core::asm::{PReg, PortableAsm};
+    use simbench_core::bus::FlatRam;
+    use simbench_core::ir::AluOp;
+    use simbench_isa_armlet::{Armlet, ArmletAsm};
+
+    fn run_native(asm: ArmletAsm, entry: u32) -> (Machine<Armlet, FlatRam>, RunOutcome) {
+        let img = asm.finish(entry);
+        let mut m = Machine::<Armlet, _>::boot(&img, FlatRam::new(1 << 20));
+        let mut e = Virt::<Armlet>::native();
+        let out = e.run(&mut m, &RunLimits::insns(10_000_000));
+        (m, out)
+    }
+
+    #[test]
+    fn computes_correctly() {
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        a.mov_imm(PReg::A, 6);
+        a.alu_ri(AluOp::Mul, PReg::A, PReg::A, 7);
+        a.halt();
+        let (m, out) = run_native(a, 0x8000);
+        assert_eq!(out.exit, ExitReason::Halted);
+        assert_eq!(m.cpu.regs[0], 42);
+        assert_eq!(out.counters.vm_exits, 0, "native never exits");
+    }
+
+    #[test]
+    fn kvm_exits_on_undef() {
+        let mut a = ArmletAsm::new();
+        a.org(0);
+        let h = a.new_label();
+        a.b(h);
+        a.org(0x100);
+        a.bind(h);
+        a.eret();
+        a.org(0x8000);
+        a.udf();
+        a.halt();
+        let img = a.finish(0x8000);
+        let mut m = Machine::<Armlet, _>::boot(&img, FlatRam::new(1 << 20));
+        let cfg = VirtConfig { exit_cost_ns: 0, ..VirtConfig::kvm() };
+        let mut e = Virt::<Armlet>::with_config(cfg);
+        let out = e.run(&mut m, &RunLimits::insns(1000));
+        assert_eq!(out.exit, ExitReason::Halted);
+        assert_eq!(out.counters.vm_exits, 1);
+        assert_eq!(out.counters.undef_insns, 1);
+    }
+
+    #[test]
+    fn decode_cache_invalidated_by_smc() {
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        let slot = a.new_label();
+        a.mov_label(PReg::A, slot);
+        a.mov_imm(PReg::B, 0x3030_0000 | 9); // movw r3, #9
+        a.store(PReg::B, PReg::A, 0);
+        a.bind(slot);
+        a.mov_imm(PReg::D, 1);
+        a.halt();
+        let (m, out) = run_native(a, 0x8000);
+        assert_eq!(out.exit, ExitReason::Halted);
+        assert_eq!(m.cpu.regs[3], 9, "rewritten instruction executed");
+        assert!(out.counters.code_invalidations >= 1);
+    }
+
+    #[test]
+    fn spin_exit_zero_is_free() {
+        let t0 = Instant::now();
+        for _ in 0..1000 {
+            spin_exit(0);
+        }
+        assert!(t0.elapsed().as_micros() < 1000);
+    }
+
+    #[test]
+    fn spin_exit_waits() {
+        let t0 = Instant::now();
+        spin_exit(50_000); // 50 µs
+        assert!(t0.elapsed().as_nanos() >= 50_000);
+    }
+}

@@ -1,0 +1,61 @@
+//! Portability demonstration: the same benchmark source runs on both
+//! guest architectures through their support packages (the paper's
+//! §II-C porting story), and the architectural event counts agree while
+//! the ISAs differ in instruction count and encoding.
+//!
+//! ```sh
+//! cargo run --release --example cross_isa
+//! ```
+
+use simbench::prelude::*;
+use simbench_suite::{build, ArmletSupport, Benchmark, PetixSupport};
+
+fn main() {
+    let iters = 10_000;
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>12}",
+        "benchmark", "guest", "insns", "tested ops", "image bytes"
+    );
+    for bench in [Benchmark::Syscall, Benchmark::MemHot, Benchmark::IntraPageIndirect] {
+        // armlet build + run
+        let image = build(&ArmletSupport::new(), bench, iters).unwrap();
+        let mut m = Machine::<Armlet, _>::boot(&image, Platform::new());
+        let out = Interp::<Armlet>::new().run(&mut m, &RunLimits::default());
+        assert_eq!(out.exit, ExitReason::Halted);
+        let k = out.kernel_counters();
+        println!(
+            "{:<28} {:>10} {:>12} {:>12} {:>12}",
+            bench.name(),
+            "armlet",
+            k.instructions,
+            bench.tested_ops(&k),
+            image.size()
+        );
+        let armlet_ops = bench.tested_ops(&k);
+
+        // petix build + run — identical benchmark source, different
+        // support package.
+        let image = build(&PetixSupport::new(), bench, iters).unwrap();
+        let mut m = Machine::<Petix, _>::boot(&image, Platform::new());
+        let out = Interp::<Petix>::new().run(&mut m, &RunLimits::default());
+        assert_eq!(out.exit, ExitReason::Halted);
+        let k = out.kernel_counters();
+        println!(
+            "{:<28} {:>10} {:>12} {:>12} {:>12}",
+            "",
+            "petix",
+            k.instructions,
+            bench.tested_ops(&k),
+            image.size()
+        );
+
+        assert_eq!(
+            armlet_ops,
+            bench.tested_ops(&k),
+            "the tested operation count is ISA-independent"
+        );
+    }
+    println!("\nThe tested-operation counts match exactly across ISAs: the benchmarks");
+    println!("are portable, only the support packages differ — 0 lines of benchmark");
+    println!("code changed between the two ports.");
+}

@@ -1,0 +1,70 @@
+//! Write a *new* SimBench-style micro-benchmark against the portable
+//! interfaces and run it on two engines — the workflow a simulator
+//! developer uses to test a mechanism the suite does not cover yet.
+//!
+//! The example benchmark measures flag-heavy ALU dependency chains
+//! (a stand-in for "how well does the engine handle condition codes").
+//!
+//! ```sh
+//! cargo run --release --example custom_benchmark
+//! ```
+
+use simbench::prelude::*;
+use simbench_core::ir::{AluOp, Cond};
+use simbench_suite::support::{emit_counted_loop, emit_phase_mark, Support};
+use simbench_suite::{ArmletSupport, BootSpec};
+
+fn main() {
+    let iterations = 200_000;
+    let support = ArmletSupport::new();
+
+    // A benchmark is just a closure over the portable assembler: the
+    // support package supplies boot code, MMU setup and handlers.
+    let image = support.build(BootSpec::default(), |a, _s, layout| {
+        a.mov_imm(PReg::A, 0x1234_5678);
+        a.mov_imm(PReg::B, 0);
+        emit_phase_mark(a, layout, 1);
+        emit_counted_loop(a, iterations, |a| {
+            // A chain of flag-setting ops feeding conditional branches.
+            for _ in 0..4 {
+                a.alu_ri_s(AluOp::Add, PReg::A, PReg::A, 0x311);
+                let skip = a.new_label();
+                a.b_cond(Cond::Pl, skip);
+                a.alu_ri(AluOp::Eor, PReg::A, PReg::A, 0xFF);
+                a.bind(skip);
+                a.alu_ri_s(AluOp::Ror, PReg::A, PReg::A, 3);
+                let skip = a.new_label();
+                a.b_cond(Cond::Cc, skip);
+                a.alu_ri(AluOp::Add, PReg::B, PReg::B, 1);
+                a.bind(skip);
+            }
+        });
+        emit_phase_mark(a, layout, 2);
+        a.halt();
+    });
+
+    for (name, run) in [
+        ("dbt", run_on_dbt(&image)),
+        ("interp", run_on_interp(&image)),
+    ] {
+        println!(
+            "{name:>7}: kernel {:?}, {} insns, {} taken branches",
+            run.kernel_wall(),
+            run.kernel_counters().instructions,
+            run.kernel_counters().branches(),
+        );
+        assert_eq!(run.exit, ExitReason::Halted);
+    }
+    println!("\nBoth engines executed the identical guest image — any timing gap is an");
+    println!("engine-mechanism difference, which is the whole SimBench methodology.");
+}
+
+fn run_on_dbt(image: &simbench_core::image::GuestImage) -> RunOutcome {
+    let mut m = Machine::<Armlet, _>::boot(image, Platform::new());
+    Dbt::<Armlet>::new().run(&mut m, &RunLimits::default())
+}
+
+fn run_on_interp(image: &simbench_core::image::GuestImage) -> RunOutcome {
+    let mut m = Machine::<Armlet, _>::boot(image, Platform::new());
+    Interp::<Armlet>::new().run(&mut m, &RunLimits::default())
+}

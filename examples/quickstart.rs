@@ -1,0 +1,47 @@
+//! Quickstart: assemble a tiny bare-metal guest program, run it on the
+//! DBT engine, and inspect the outcome.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use simbench::prelude::*;
+use simbench_core::ir::{AluOp, Cond};
+
+fn main() {
+    // 1. Write a guest program with the portable assembler: sum the
+    //    integers 1..=100 into register A, then halt.
+    let mut asm = ArmletAsm::new();
+    asm.org(0x8000);
+    asm.mov_imm(PReg::A, 0);
+    asm.mov_imm(PReg::B, 100);
+    let top = asm.new_label();
+    asm.bind(top);
+    asm.alu_rr(AluOp::Add, PReg::A, PReg::A, PReg::B);
+    asm.alu_ri(AluOp::Sub, PReg::B, PReg::B, 1);
+    asm.cmp_ri(PReg::B, 0);
+    asm.b_cond(Cond::Ne, top);
+    asm.halt();
+    let image = asm.finish(0x8000);
+    println!("assembled image:\n{image}");
+
+    // 2. Boot it on the platform and run it under the DBT engine.
+    let mut machine = Machine::<Armlet, _>::boot(&image, Platform::new());
+    let mut engine = Dbt::<Armlet>::new();
+    let out = engine.run(&mut machine, &RunLimits::default());
+
+    // 3. Inspect the results.
+    assert_eq!(out.exit, ExitReason::Halted);
+    println!("guest says: 1 + 2 + ... + 100 = {}", machine.cpu.regs[0]);
+    println!(
+        "retired {} instructions ({} µops) in {:?}",
+        out.counters.instructions, out.counters.uops, out.wall
+    );
+    println!(
+        "translated {} blocks, {} block-cache hits, {} chained dispatches",
+        out.counters.blocks_translated,
+        out.counters.block_cache_hits,
+        out.counters.block_chain_follows
+    );
+    assert_eq!(machine.cpu.regs[0], 5050);
+}

@@ -1,0 +1,60 @@
+//! # simbench
+//!
+//! Facade crate for **SimBench-rs**, a from-scratch Rust reproduction of
+//! *"SimBench: A Portable Benchmarking Methodology for Full-System
+//! Simulators"* (Wagstaff, Bodin, Spink & Franke — ISPASS 2017).
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! * [`core`] — guest micro-op IR, CPU state, MMU/TLB abstractions,
+//!   event counters, engine traits, portable assembler interface.
+//! * [`armlet`] / [`petix`] — the two guest ISAs (ARM-like and x86-like).
+//! * [`platform`] — RAM + UART / INTC / timer / safe-device board model.
+//! * [`interp`] / [`detailed`] / [`dbt`] / [`virt`] — the four
+//!   full-system engines (SimIt-ARM, Gem5, QEMU and QEMU-KVM analogues).
+//! * [`suite`] — the eighteen SimBench micro-benchmarks.
+//! * [`apps`] — synthetic SPEC-like application workloads.
+//! * [`harness`] — experiment drivers regenerating every paper table
+//!   and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use simbench::prelude::*;
+//!
+//! // Assemble the System Call benchmark for the armlet guest and run it
+//! // on the DBT engine.
+//! let image = simbench::suite::build(&ArmletSupport::new(), Benchmark::Syscall, 1000).unwrap();
+//! let mut machine = Machine::<Armlet, _>::boot(&image, Platform::new());
+//! let mut engine = Dbt::<Armlet>::new();
+//! let out = engine.run(&mut machine, &RunLimits::default());
+//! assert_eq!(out.exit, ExitReason::Halted);
+//! assert!(out.counters.syscalls >= 1000);
+//! ```
+
+pub use simbench_apps as apps;
+pub use simbench_core as core;
+pub use simbench_dbt as dbt;
+pub use simbench_detailed as detailed;
+pub use simbench_harness as harness;
+pub use simbench_interp as interp;
+pub use simbench_isa_armlet as armlet;
+pub use simbench_isa_petix as petix;
+pub use simbench_platform as platform;
+pub use simbench_suite as suite;
+pub use simbench_virt as virt;
+
+/// Commonly used items, one `use` away.
+pub mod prelude {
+    pub use simbench_core::asm::{PReg, PortableAsm};
+    pub use simbench_core::engine::{Engine, ExitReason, RunLimits, RunOutcome};
+    pub use simbench_core::machine::Machine;
+    pub use simbench_dbt::{Dbt, VersionProfile};
+    pub use simbench_detailed::Detailed;
+    pub use simbench_interp::Interp;
+    pub use simbench_isa_armlet::{Armlet, ArmletAsm};
+    pub use simbench_isa_petix::{Petix, PetixAsm};
+    pub use simbench_platform::Platform;
+    pub use simbench_suite::{ArmletSupport, Benchmark, Category, PetixSupport};
+    pub use simbench_virt::Virt;
+}

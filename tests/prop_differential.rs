@@ -1,0 +1,99 @@
+//! Differential property test: random straight-line guest programs
+//! produce identical architectural state on every engine — the
+//! cross-engine consistency the paper relies on when comparing
+//! simulators on the same binaries.
+
+use proptest::prelude::*;
+use simbench::prelude::*;
+use simbench_core::engine::RunLimits;
+use simbench_core::ir::{AluOp, Cond};
+
+#[derive(Debug, Clone)]
+enum Step {
+    MovImm(u8, u32),
+    AluRi(u8, u8, u8, u32),
+    AluRr(u8, u8, u8, u8),
+    CmpRi(u8, u32),
+    CondSkip(u8),
+    Store(u8, i32),
+    Load(u8, i32),
+}
+
+const REGS: [PReg; 5] = [PReg::A, PReg::B, PReg::C, PReg::D, PReg::E];
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..5, any::<u32>()).prop_map(|(r, v)| Step::MovImm(r, v)),
+        (0u8..16, 0u8..5, 0u8..5, 0u32..4096).prop_map(|(o, d, n, i)| Step::AluRi(o, d, n, i)),
+        (0u8..16, 0u8..5, 0u8..5, 0u8..5).prop_map(|(o, d, n, m)| Step::AluRr(o, d, n, m)),
+        (0u8..5, 0u32..4096).prop_map(|(r, i)| Step::CmpRi(r, i)),
+        (0u8..15).prop_map(Step::CondSkip),
+        (0u8..5, 0i32..64).prop_map(|(r, o)| Step::Store(r, o * 4)),
+        (0u8..5, 0i32..64).prop_map(|(r, o)| Step::Load(r, o * 4)),
+    ]
+}
+
+fn assemble(steps: &[Step]) -> simbench_core::image::GuestImage {
+    let mut a = ArmletAsm::new();
+    a.org(0x8000);
+    // F holds a valid data pointer for loads/stores.
+    a.mov_imm(PReg::F, 0x0020_0000);
+    for s in steps {
+        match *s {
+            Step::MovImm(r, v) => a.mov_imm(REGS[r as usize], v),
+            Step::AluRi(op, d, n, i) => a.alu_ri(
+                simbench_core::ir::AluOp::from_code(op).unwrap(),
+                REGS[d as usize],
+                REGS[n as usize],
+                i,
+            ),
+            Step::AluRr(op, d, n, m) => a.alu_rr(
+                AluOp::from_code(op).unwrap(),
+                REGS[d as usize],
+                REGS[n as usize],
+                REGS[m as usize],
+            ),
+            Step::CmpRi(r, i) => a.cmp_ri(REGS[r as usize], i),
+            Step::CondSkip(c) => {
+                // A conditional branch over one instruction: exercises
+                // taken and untaken paths depending on accumulated flags.
+                let l = a.new_label();
+                a.b_cond(Cond::from_code(c).unwrap(), l);
+                a.alu_ri(AluOp::Eor, PReg::A, PReg::A, 0x5A5);
+                a.bind(l);
+            }
+            Step::Store(r, off) => a.store(REGS[r as usize], PReg::F, off),
+            Step::Load(r, off) => a.load(REGS[r as usize], PReg::F, off),
+        }
+    }
+    a.halt();
+    a.finish(0x8000)
+}
+
+fn final_state(image: &simbench_core::image::GuestImage, which: u8) -> ([u32; 16], bool) {
+    let mut m = Machine::<Armlet, _>::boot(image, Platform::new());
+    let limits = RunLimits::insns(100_000);
+    let out = match which {
+        0 => Interp::<Armlet>::new().run(&mut m, &limits),
+        1 => Dbt::<Armlet>::new().run(&mut m, &limits),
+        2 => Dbt::<Armlet>::with_profile(simbench_dbt::QEMU_VERSIONS[0]).run(&mut m, &limits),
+        3 => Virt::<Armlet>::native().run(&mut m, &limits),
+        _ => Detailed::<Armlet>::new().run(&mut m, &limits),
+    };
+    (m.cpu.regs, out.exit == ExitReason::Halted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn engines_agree_on_random_programs(steps in prop::collection::vec(step_strategy(), 1..40)) {
+        let image = assemble(&steps);
+        let (reference, halted) = final_state(&image, 0);
+        prop_assert!(halted, "interp must halt");
+        for which in 1..=4u8 {
+            let (state, halted) = final_state(&image, which);
+            prop_assert!(halted, "engine {which} must halt");
+            prop_assert_eq!(state, reference, "engine {} diverged", which);
+        }
+    }
+}

@@ -15,8 +15,11 @@ fn fig6(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1200));
     let versions = ["v1.7.0", "v2.0.0", "v2.3.0", "v2.5.0-rc2"];
-    let benches: Vec<Benchmark> =
-        CATEGORY_REPS.iter().copied().chain([Benchmark::DataFault]).collect();
+    let benches: Vec<Benchmark> = CATEGORY_REPS
+        .iter()
+        .copied()
+        .chain([Benchmark::DataFault])
+        .collect();
     for version in versions {
         let profile = VersionProfile::by_name(version).unwrap();
         for bench in &benches {

@@ -1,0 +1,351 @@
+//! Baseline comparison and regression detection.
+//!
+//! Cells are matched across two [`CampaignResult`]s by their
+//! (guest, engine, workload) identity; the comparison metric is each
+//! cell's geometric-mean time over kept repetitions. A cell whose ratio
+//! `current / baseline` exceeds `1 + threshold` is flagged as a
+//! regression, below `1 / (1 + threshold)` as an improvement.
+
+use crate::result::{CampaignResult, CellStatus};
+use crate::table::{fmt_ratio, fmt_secs, Table};
+
+/// Classification of one cell's movement against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Slower than baseline beyond the threshold.
+    Regressed,
+    /// Faster than baseline beyond the threshold.
+    Improved,
+    /// Within the threshold band.
+    Unchanged,
+    /// Present now, absent (or not Ok) in the baseline.
+    Added,
+    /// Ok in the baseline, no longer part of the current matrix.
+    Removed,
+    /// Ok in the baseline but Failed/Unsupported now — the cell stopped
+    /// completing at all. Fails the gate like a regression.
+    Broke,
+}
+
+/// One compared cell.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Guest id.
+    pub guest: String,
+    /// Engine id.
+    pub engine: String,
+    /// Workload id.
+    pub workload: String,
+    /// Baseline geomean seconds (`None` when Added).
+    pub base: Option<f64>,
+    /// Current geomean seconds (`None` when Removed).
+    pub current: Option<f64>,
+    /// `current / base` when both exist.
+    pub ratio: Option<f64>,
+    /// Classification.
+    pub verdict: Verdict,
+}
+
+/// A full comparison report.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Relative slowdown tolerated before a cell is flagged.
+    pub threshold: f64,
+    /// Every compared cell in current-result order, then removed cells.
+    pub deltas: Vec<Delta>,
+}
+
+impl Comparison {
+    /// The flagged regressions.
+    pub fn regressions(&self) -> Vec<&Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Regressed)
+            .collect()
+    }
+
+    /// The flagged improvements.
+    pub fn improvements(&self) -> Vec<&Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Improved)
+            .collect()
+    }
+
+    /// Cells that completed in the baseline but fail now.
+    pub fn broken(&self) -> Vec<&Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Broke)
+            .collect()
+    }
+
+    /// True when no cell regressed or broke.
+    pub fn clean(&self) -> bool {
+        self.regressions().is_empty() && self.broken().is_empty()
+    }
+
+    /// Render a human-readable report: a summary line, the regression
+    /// and improvement tables, and coverage changes.
+    pub fn render(&self) -> String {
+        let regressions = self.regressions();
+        let improvements = self.improvements();
+        let broken = self.broken();
+        let added = self
+            .deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Added)
+            .count();
+        let removed = self
+            .deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Removed)
+            .count();
+        let compared = self.deltas.iter().filter(|d| d.ratio.is_some()).count();
+        let mut out = format!(
+            "campaign compare — {compared} cells compared, threshold {:.0}%\n\
+             {} regressions, {} broken, {} improvements, {added} added, {removed} removed\n",
+            self.threshold * 100.0,
+            regressions.len(),
+            broken.len(),
+            improvements.len(),
+        );
+        let section = |title: &str, rows: &[&Delta]| -> String {
+            if rows.is_empty() {
+                return String::new();
+            }
+            let mut table = Table::new([
+                "guest", "engine", "workload", "baseline", "current", "ratio",
+            ]);
+            for d in rows {
+                table.row([
+                    d.guest.clone(),
+                    d.engine.clone(),
+                    d.workload.clone(),
+                    d.base.map(fmt_secs).unwrap_or_else(|| "-".to_string()),
+                    d.current.map(fmt_secs).unwrap_or_else(|| "-".to_string()),
+                    d.ratio.map(fmt_ratio).unwrap_or_else(|| "-".to_string()),
+                ]);
+            }
+            format!("\n{title}\n{}", table.render())
+        };
+        out.push_str(&section(
+            "REGRESSIONS (current slower than baseline)",
+            &regressions,
+        ));
+        out.push_str(&section(
+            "BROKEN (completed in baseline, fails now)",
+            &broken,
+        ));
+        out.push_str(&section("improvements", &improvements));
+        let coverage: Vec<&Delta> = self
+            .deltas
+            .iter()
+            .filter(|d| matches!(d.verdict, Verdict::Added | Verdict::Removed))
+            .collect();
+        if !coverage.is_empty() {
+            let mut table = Table::new(["guest", "engine", "workload", "change"]);
+            for d in coverage {
+                table.row([
+                    d.guest.clone(),
+                    d.engine.clone(),
+                    d.workload.clone(),
+                    match d.verdict {
+                        Verdict::Added => "added".to_string(),
+                        _ => "removed".to_string(),
+                    },
+                ]);
+            }
+            out.push_str(&format!("\ncoverage changes\n{}", table.render()));
+        }
+        out
+    }
+}
+
+fn metric(cell: &crate::result::CellResult) -> Option<f64> {
+    if cell.status == CellStatus::Ok {
+        cell.metric()
+    } else {
+        None
+    }
+}
+
+/// Compare a current campaign against a stored baseline.
+pub fn compare(baseline: &CampaignResult, current: &CampaignResult, threshold: f64) -> Comparison {
+    assert!(threshold > 0.0, "threshold must be positive");
+    let mut deltas = Vec::new();
+    for cell in &current.cells {
+        let base_cell = baseline.cell(&cell.guest, &cell.engine, &cell.workload);
+        let cur = metric(cell);
+        let base = base_cell.and_then(metric);
+        let (ratio, verdict) = match (base, cur) {
+            (Some(b), Some(c)) => {
+                let r = c / b.max(1e-12);
+                let v = if r > 1.0 + threshold {
+                    Verdict::Regressed
+                } else if r < 1.0 / (1.0 + threshold) {
+                    Verdict::Improved
+                } else {
+                    Verdict::Unchanged
+                };
+                (Some(r), v)
+            }
+            (None, Some(_)) => (None, Verdict::Added),
+            // Ok in the baseline but not measurable now: a cell that
+            // stopped completing (wall limit, panic, lost capability)
+            // is the worst kind of regression and must fail the gate,
+            // not disappear into "coverage changes".
+            (Some(_), None) => match cell.status {
+                CellStatus::NotOnIsa => (None, Verdict::Removed),
+                _ => (None, Verdict::Broke),
+            },
+            // Neither side has a clean measurement (e.g. both
+            // unsupported): nothing to say.
+            (None, None) => continue,
+        };
+        deltas.push(Delta {
+            guest: cell.guest.clone(),
+            engine: cell.engine.clone(),
+            workload: cell.workload.clone(),
+            base,
+            current: cur,
+            ratio,
+            verdict,
+        });
+    }
+    // Baseline cells that disappeared entirely from the current result.
+    for cell in &baseline.cells {
+        if current
+            .cell(&cell.guest, &cell.engine, &cell.workload)
+            .is_none()
+        {
+            if let Some(b) = metric(cell) {
+                deltas.push(Delta {
+                    guest: cell.guest.clone(),
+                    engine: cell.engine.clone(),
+                    workload: cell.workload.clone(),
+                    base: Some(b),
+                    current: None,
+                    ratio: None,
+                    verdict: Verdict::Removed,
+                });
+            }
+        }
+    }
+    Comparison { threshold, deltas }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::{CellResult, SCHEMA};
+    use crate::stats::stats;
+    use simbench_core::events::Counters;
+
+    fn result_with(cells: Vec<(&str, &str, &str, Vec<f64>)>) -> CampaignResult {
+        CampaignResult {
+            schema: SCHEMA.to_string(),
+            name: "t".to_string(),
+            scale: 1000,
+            reps: 1,
+            jobs: 1,
+            wall_secs: 0.0,
+            created_unix: 0,
+            cells: cells
+                .into_iter()
+                .map(|(g, e, w, secs)| CellResult {
+                    guest: g.to_string(),
+                    engine: e.to_string(),
+                    workload: w.to_string(),
+                    category: None,
+                    iterations: 16,
+                    status: CellStatus::Ok,
+                    stats: stats(&secs),
+                    seconds: secs,
+                    counters: Counters::default(),
+                    counters_consistent: true,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn flags_slowdown_beyond_threshold() {
+        let base = result_with(vec![
+            ("armlet", "interp", "suite:System Call", vec![1.0]),
+            ("armlet", "interp", "suite:Hot Memory Access", vec![2.0]),
+        ]);
+        let mut cur = base.clone();
+        cur.cells[0].seconds = vec![1.5];
+        cur.cells[0].stats = stats(&[1.5]);
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(!cmp.clean());
+        let regs = cmp.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].workload, "suite:System Call");
+        assert!((regs[0].ratio.unwrap() - 1.5).abs() < 1e-9);
+        assert!(cmp.render().contains("REGRESSIONS"));
+    }
+
+    #[test]
+    fn cell_that_stops_completing_fails_the_gate() {
+        let base = result_with(vec![("armlet", "interp", "suite:System Call", vec![1.0])]);
+        let mut cur = base.clone();
+        cur.cells[0].status = CellStatus::Failed("wall-clock limit reached".to_string());
+        cur.cells[0].stats = None;
+        cur.cells[0].seconds.clear();
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(
+            !cmp.clean(),
+            "a cell that stopped completing must fail the gate"
+        );
+        assert_eq!(cmp.broken().len(), 1);
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.render().contains("BROKEN"));
+        // A cell dropped from the matrix (not-on-ISA) stays a coverage
+        // change, not a failure.
+        cur.cells[0].status = CellStatus::NotOnIsa;
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(cmp.clean());
+        assert_eq!(cmp.deltas[0].verdict, Verdict::Removed);
+    }
+
+    #[test]
+    fn within_band_is_clean() {
+        let base = result_with(vec![("armlet", "interp", "suite:System Call", vec![1.0])]);
+        let mut cur = base.clone();
+        cur.cells[0].seconds = vec![1.1];
+        cur.cells[0].stats = stats(&[1.1]);
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(cmp.clean());
+        assert_eq!(cmp.deltas[0].verdict, Verdict::Unchanged);
+    }
+
+    #[test]
+    fn improvement_flagged_symmetrically() {
+        let base = result_with(vec![("armlet", "interp", "suite:System Call", vec![2.0])]);
+        let mut cur = base.clone();
+        cur.cells[0].seconds = vec![1.0];
+        cur.cells[0].stats = stats(&[1.0]);
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(cmp.clean());
+        assert_eq!(cmp.improvements().len(), 1);
+    }
+
+    #[test]
+    fn added_and_removed_cells() {
+        let base = result_with(vec![("armlet", "interp", "suite:System Call", vec![1.0])]);
+        let cur = result_with(vec![(
+            "armlet",
+            "dbt@v2.5.0-rc2",
+            "suite:System Call",
+            vec![1.0],
+        )]);
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(cmp.clean());
+        let verdicts: Vec<Verdict> = cmp.deltas.iter().map(|d| d.verdict).collect();
+        assert!(verdicts.contains(&Verdict::Added));
+        assert!(verdicts.contains(&Verdict::Removed));
+        assert!(cmp.render().contains("coverage changes"));
+    }
+}

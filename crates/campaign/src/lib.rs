@@ -1,0 +1,65 @@
+//! # simbench-campaign
+//!
+//! The measurement-campaign subsystem: the paper's methodology is a
+//! measurement *matrix* — every micro-benchmark on every simulator,
+//! version and guest ISA — and this crate turns that matrix into a
+//! first-class, parallel, persistent object:
+//!
+//! * [`spec`] — declarative [`CampaignSpec`] (guests × engines ×
+//!   workloads × scale × repetitions) expanded into independent jobs;
+//! * [`runner`] — a work-stealing worker pool executing jobs
+//!   concurrently; each job owns its `Machine` and engine, so results
+//!   are identical at any `--jobs` count (timings aside);
+//! * [`stats`] — per-cell statistics: min/median/mean/geomean, stddev,
+//!   95% confidence intervals, MAD outlier rejection;
+//! * [`result`] — the versioned `simbench-campaign/v1` JSON schema with
+//!   load/save and deterministic cell ordering;
+//! * [`compare`] — regression detection against a stored baseline
+//!   (`ratio > 1 + threshold` ⇒ flagged);
+//! * [`measure`] — the single-run primitives (guest/engine selection,
+//!   one benchmark or app execution), re-exported by the harness;
+//! * [`table`] — fixed-width text tables shared with the harness.
+//!
+//! The figure drivers in `simbench-harness` are thin renderers over
+//! [`CampaignResult`]s produced here, and the `simbench-harness
+//! campaign run|compare|list` subcommands expose the subsystem on the
+//! command line.
+//!
+//! ## Example
+//!
+//! ```
+//! use simbench_campaign::{run, CampaignSpec, RunnerOpts, Workload};
+//! use simbench_campaign::measure::{EngineKind, Guest};
+//! use simbench_suite::Benchmark;
+//!
+//! let spec = CampaignSpec {
+//!     name: "example".to_string(),
+//!     guests: vec![Guest::Armlet],
+//!     engines: vec![EngineKind::Interp],
+//!     workloads: vec![Workload::Suite(Benchmark::Syscall)],
+//!     scale: 1_000_000,
+//!     reps: 2,
+//!     wall_limit_secs: Some(60),
+//! };
+//! let result = run(&spec, &RunnerOpts::with_jobs(2));
+//! let cell = result.cell("armlet", "interp", "suite:System Call").unwrap();
+//! assert!(cell.counters.syscalls >= 16);
+//! let json = result.to_json();
+//! assert!(json.contains("simbench-campaign/v1"));
+//! ```
+
+pub mod compare;
+pub mod json;
+pub mod measure;
+pub mod result;
+pub mod runner;
+pub mod spec;
+pub mod stats;
+pub mod table;
+
+pub use compare::{compare, Comparison, Delta, Verdict};
+pub use measure::{run_app, run_suite_bench, Config, EngineKind, Guest, Sample};
+pub use result::{CampaignResult, CellResult, CellStatus, SCHEMA};
+pub use runner::{run, RunnerOpts};
+pub use spec::{CampaignSpec, CellKey, Job, Workload};
+pub use stats::{geomean, stats, Stats};

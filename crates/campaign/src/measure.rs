@@ -1,0 +1,316 @@
+//! Single-measurement primitives: which guest, which engine, one run.
+//!
+//! These moved here from `simbench-harness` so the campaign runner is
+//! the one place that executes simulations; the harness re-exports them
+//! for backwards compatibility. Every run constructs its own
+//! [`Machine`] and engine, so measurements are independent and safe to
+//! execute concurrently.
+
+use std::time::Duration;
+
+use simbench_apps::{build_app, App};
+use simbench_core::engine::{Engine, ExitReason, RunLimits, RunOutcome};
+use simbench_core::events::Counters;
+use simbench_core::image::GuestImage;
+use simbench_core::isa::Isa;
+use simbench_core::machine::Machine;
+use simbench_dbt::{Dbt, VersionProfile};
+use simbench_detailed::Detailed;
+use simbench_interp::Interp;
+use simbench_isa_armlet::Armlet;
+use simbench_isa_petix::Petix;
+use simbench_platform::Platform;
+use simbench_suite::{build, ArmletSupport, Benchmark, PetixSupport};
+use simbench_virt::Virt;
+
+/// Guest architecture selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Guest {
+    /// ARM-like guest.
+    Armlet,
+    /// x86-like guest.
+    Petix,
+}
+
+impl Guest {
+    /// Both guests.
+    pub const ALL: [Guest; 2] = [Guest::Armlet, Guest::Petix];
+
+    /// Display name matching the paper's "ARM Guest" / "x86 Guest".
+    pub fn name(self) -> &'static str {
+        match self {
+            Guest::Armlet => "armlet (ARM-like)",
+            Guest::Petix => "petix (x86-like)",
+        }
+    }
+
+    /// ISA name used by `Benchmark::supported_on` and as the stable id
+    /// in persisted campaign results.
+    pub fn isa_name(self) -> &'static str {
+        match self {
+            Guest::Armlet => "armlet",
+            Guest::Petix => "petix",
+        }
+    }
+
+    /// Inverse of [`Guest::isa_name`].
+    pub fn by_isa_name(name: &str) -> Option<Guest> {
+        Guest::ALL.iter().copied().find(|g| g.isa_name() == name)
+    }
+}
+
+/// Engine selector, matching the five columns of Fig 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The DBT engine at a version profile (QEMU-DBT analogue).
+    Dbt(VersionProfile),
+    /// Fast interpreter (SimIt-ARM analogue).
+    Interp,
+    /// Detailed timing interpreter (Gem5 analogue).
+    Detailed,
+    /// Hardware-assisted virtualization (QEMU-KVM analogue).
+    Virt,
+    /// Bare-metal stand-in (zero-exit-cost direct execution).
+    Native,
+}
+
+impl EngineKind {
+    /// The five Fig 7 columns, newest DBT profile.
+    pub fn fig7_columns() -> [EngineKind; 5] {
+        [
+            EngineKind::Dbt(VersionProfile::latest()),
+            EngineKind::Interp,
+            EngineKind::Detailed,
+            EngineKind::Virt,
+            EngineKind::Native,
+        ]
+    }
+
+    /// One `Dbt` entry per benchmarked QEMU version profile, oldest
+    /// first — the engine axis of every version-sweep figure.
+    pub fn all_dbt_versions() -> Vec<EngineKind> {
+        simbench_dbt::QEMU_VERSIONS
+            .iter()
+            .map(|v| EngineKind::Dbt(*v))
+            .collect()
+    }
+
+    /// Column header.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Dbt(_) => "dbt (QEMU)",
+            EngineKind::Interp => "interp (SimIt)",
+            EngineKind::Detailed => "detailed (Gem5)",
+            EngineKind::Virt => "virt (KVM)",
+            EngineKind::Native => "native (HW)",
+        }
+    }
+
+    /// Stable id used in persisted campaign results and on the CLI:
+    /// `dbt@<version>`, `interp`, `detailed`, `virt`, `native`.
+    pub fn id(self) -> String {
+        match self {
+            EngineKind::Dbt(v) => format!("dbt@{}", v.name),
+            EngineKind::Interp => "interp".to_string(),
+            EngineKind::Detailed => "detailed".to_string(),
+            EngineKind::Virt => "virt".to_string(),
+            EngineKind::Native => "native".to_string(),
+        }
+    }
+
+    /// Inverse of [`EngineKind::id`]. Bare `dbt` resolves to the latest
+    /// version profile.
+    pub fn by_id(id: &str) -> Option<EngineKind> {
+        match id {
+            "interp" => Some(EngineKind::Interp),
+            "detailed" => Some(EngineKind::Detailed),
+            "virt" => Some(EngineKind::Virt),
+            "native" => Some(EngineKind::Native),
+            "dbt" => Some(EngineKind::Dbt(VersionProfile::latest())),
+            _ => id
+                .strip_prefix("dbt@")
+                .and_then(VersionProfile::by_name)
+                .map(EngineKind::Dbt),
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Wall-clock time of the timed kernel phase.
+    pub seconds: f64,
+    /// Events retired during the kernel phase.
+    pub counters: Counters,
+    /// Why the run ended.
+    pub exit: ExitReason,
+    /// Iterations the guest executed.
+    pub iterations: u32,
+}
+
+impl Sample {
+    /// True when the run completed normally.
+    pub fn ok(&self) -> bool {
+        self.exit == ExitReason::Halted
+    }
+}
+
+/// Measurement configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Iteration divisor applied to the paper's Fig 3 counts (and app
+    /// defaults). 1 reproduces the paper's full counts; the default keeps
+    /// a full `all` run to a few minutes on a laptop.
+    pub scale: u64,
+    /// Safety limits per run.
+    pub limits: RunLimits,
+    /// Worker threads for campaign execution (1 = serial).
+    pub jobs: usize,
+    /// Repetitions per matrix cell.
+    pub reps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scale: 2000,
+            limits: RunLimits {
+                max_insns: u64::MAX,
+                wall_limit: Some(Duration::from_secs(120)),
+            },
+            jobs: 1,
+            reps: 1,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with the given scale divisor.
+    pub fn with_scale(scale: u64) -> Self {
+        Config {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    /// Same configuration with a worker count.
+    pub fn with_jobs(self, jobs: usize) -> Self {
+        Config {
+            jobs: jobs.max(1),
+            ..self
+        }
+    }
+}
+
+fn run_image_on<I: Isa>(engine: EngineKind, image: &GuestImage, limits: &RunLimits) -> RunOutcome {
+    let mut m = Machine::<I, Platform>::boot(image, Platform::new());
+    match engine {
+        EngineKind::Dbt(profile) => Dbt::<I>::with_profile(profile).run(&mut m, limits),
+        EngineKind::Interp => Interp::<I>::new().run(&mut m, limits),
+        EngineKind::Detailed => {
+            // Mirror the paper's Fig 7 footnote: Gem5 lacks device models
+            // for the interrupt controller and the safe MMIO device.
+            let pages = [
+                simbench_platform::INTC_BASE >> 12,
+                simbench_platform::SAFEDEV_BASE >> 12,
+            ];
+            Detailed::<I>::new()
+                .with_unimplemented_pages(&pages)
+                .run(&mut m, limits)
+        }
+        EngineKind::Virt => Virt::<I>::kvm().run(&mut m, limits),
+        EngineKind::Native => Virt::<I>::native().run(&mut m, limits),
+    }
+}
+
+fn sample_from(out: RunOutcome, iterations: u32) -> Sample {
+    Sample {
+        seconds: out.kernel_wall().as_secs_f64(),
+        counters: out.kernel_counters(),
+        exit: out.exit,
+        iterations,
+    }
+}
+
+/// Run one suite benchmark. `None` when the benchmark does not exist on
+/// the guest architecture (Nonprivileged Access on petix).
+pub fn run_suite_bench(
+    guest: Guest,
+    engine: EngineKind,
+    bench: Benchmark,
+    cfg: &Config,
+) -> Option<Sample> {
+    let iters = bench.scaled_iterations(cfg.scale);
+    let out = match guest {
+        Guest::Armlet => {
+            let image = build(&ArmletSupport::new(), bench, iters)?;
+            run_image_on::<Armlet>(engine, &image, &cfg.limits)
+        }
+        Guest::Petix => {
+            let image = build(&PetixSupport::new(), bench, iters)?;
+            run_image_on::<Petix>(engine, &image, &cfg.limits)
+        }
+    };
+    Some(sample_from(out, iters))
+}
+
+/// Run one synthetic application.
+pub fn run_app(guest: Guest, engine: EngineKind, app: App, cfg: &Config) -> Sample {
+    // Apps use a gentler divisor: the paper's point is that they are
+    // large relative to the micro-benchmarks.
+    let iters = app.scaled_iterations(cfg.scale / 50);
+    let out = match guest {
+        Guest::Armlet => {
+            let image = build_app(&ArmletSupport::new(), app, iters);
+            run_image_on::<Armlet>(engine, &image, &cfg.limits)
+        }
+        Guest::Petix => {
+            let image = build_app(&PetixSupport::new(), app, iters);
+            run_image_on::<Petix>(engine, &image, &cfg.limits)
+        }
+    };
+    sample_from(out, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_ids_roundtrip() {
+        for engine in EngineKind::fig7_columns() {
+            assert_eq!(EngineKind::by_id(&engine.id()), Some(engine));
+        }
+        for v in simbench_dbt::QEMU_VERSIONS {
+            let e = EngineKind::Dbt(*v);
+            assert_eq!(EngineKind::by_id(&e.id()), Some(e));
+        }
+        assert_eq!(
+            EngineKind::by_id("dbt"),
+            Some(EngineKind::Dbt(VersionProfile::latest()))
+        );
+        assert_eq!(EngineKind::by_id("dbt@v0.0.0"), None);
+        assert_eq!(EngineKind::by_id("qemu"), None);
+    }
+
+    #[test]
+    fn guest_ids_roundtrip() {
+        for g in Guest::ALL {
+            assert_eq!(Guest::by_isa_name(g.isa_name()), Some(g));
+        }
+        assert_eq!(Guest::by_isa_name("mips"), None);
+    }
+
+    #[test]
+    fn smoke_syscall_on_all_engines() {
+        let cfg = Config {
+            scale: 1_000_000,
+            ..Default::default()
+        };
+        for engine in EngineKind::fig7_columns() {
+            let s = run_suite_bench(Guest::Armlet, engine, Benchmark::Syscall, &cfg).unwrap();
+            assert!(s.ok(), "{engine:?}: {:?}", s.exit);
+            assert!(s.counters.syscalls >= 16);
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Persisted campaign results: a versioned JSON schema with one record
+//! per matrix cell, carrying raw repetition timings, aggregate
+//! statistics, and deterministic event counters.
+//!
+//! The schema string is `simbench-campaign/v1`. Readers reject files
+//! with a different schema rather than guessing, so future layout
+//! changes bump the version and add an explicit migration.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use simbench_core::events::Counters;
+
+use crate::json::{self, Value};
+use crate::spec::CampaignSpec;
+use crate::stats::Stats;
+
+/// Schema identifier written to and required from every result file.
+pub const SCHEMA: &str = "simbench-campaign/v1";
+
+/// Terminal state of one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellStatus {
+    /// All repetitions halted normally.
+    Ok,
+    /// The workload does not exist on the guest architecture
+    /// (Fig 7's `-`).
+    NotOnIsa,
+    /// The engine lacks a required feature (Fig 7's `-†`).
+    Unsupported(String),
+    /// A repetition ended abnormally (instruction/wall limit).
+    Failed(String),
+}
+
+impl CellStatus {
+    fn to_json_string(&self) -> String {
+        match self {
+            CellStatus::Ok => "ok".to_string(),
+            CellStatus::NotOnIsa => "not-on-isa".to_string(),
+            CellStatus::Unsupported(why) => format!("unsupported:{why}"),
+            CellStatus::Failed(why) => format!("failed:{why}"),
+        }
+    }
+
+    fn from_json_string(s: &str) -> CellStatus {
+        match s {
+            "ok" => CellStatus::Ok,
+            "not-on-isa" => CellStatus::NotOnIsa,
+            _ => {
+                if let Some(why) = s.strip_prefix("unsupported:") {
+                    CellStatus::Unsupported(why.to_string())
+                } else if let Some(why) = s.strip_prefix("failed:") {
+                    CellStatus::Failed(why.to_string())
+                } else {
+                    CellStatus::Failed(format!("unknown status {s}"))
+                }
+            }
+        }
+    }
+}
+
+/// One measured matrix cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Guest id (`armlet` / `petix`).
+    pub guest: String,
+    /// Engine id (`dbt@v2.5.0-rc2`, `interp`, ...).
+    pub engine: String,
+    /// Workload id (`suite:System Call`, `app:mcf-like`).
+    pub workload: String,
+    /// Benchmark category name for suite workloads.
+    pub category: Option<String>,
+    /// Guest iterations each repetition executed.
+    pub iterations: u32,
+    /// Terminal state.
+    pub status: CellStatus,
+    /// Kernel-phase seconds, one entry per repetition, in rep order.
+    pub seconds: Vec<f64>,
+    /// Statistics over `seconds` (present when status is `Ok`).
+    pub stats: Option<Stats>,
+    /// Kernel-phase event counters of the first repetition. Counters
+    /// are architectural and deterministic, so one copy suffices.
+    pub counters: Counters,
+    /// Whether every repetition produced identical counters. `false`
+    /// flags an engine determinism bug worth investigating.
+    pub counters_consistent: bool,
+}
+
+impl CellResult {
+    /// Representative time for comparisons: the geometric mean of kept
+    /// repetitions (`None` unless the cell completed).
+    pub fn metric(&self) -> Option<f64> {
+        self.stats.as_ref().map(|s| s.geomean)
+    }
+}
+
+/// A completed campaign: spec echo plus every cell.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Schema identifier (always [`SCHEMA`] for in-memory values).
+    pub schema: String,
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Iteration divisor the campaign ran at.
+    pub scale: u64,
+    /// Repetitions per cell.
+    pub reps: u32,
+    /// Worker threads the campaign ran with.
+    pub jobs: usize,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_secs: f64,
+    /// Seconds since the Unix epoch when the campaign finished.
+    pub created_unix: u64,
+    /// One record per matrix cell, in spec cell order.
+    pub cells: Vec<CellResult>,
+}
+
+impl CampaignResult {
+    /// Look up a cell by ids.
+    pub fn cell(&self, guest: &str, engine: &str, workload: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.guest == guest && c.engine == engine && c.workload == workload)
+    }
+
+    /// Serialize to the versioned JSON format (pretty-printed, one cell
+    /// per line block, deterministic field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json::quote(&self.schema));
+        let _ = writeln!(out, "  \"name\": {},", json::quote(&self.name));
+        let _ = writeln!(out, "  \"scale\": {},", self.scale);
+        let _ = writeln!(out, "  \"reps\": {},", self.reps);
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"wall_secs\": {},", json::num(self.wall_secs));
+        let _ = writeln!(out, "  \"created_unix\": {},", self.created_unix);
+        out.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(out, "\"guest\": {}, ", json::quote(&cell.guest));
+            let _ = write!(out, "\"engine\": {}, ", json::quote(&cell.engine));
+            let _ = write!(out, "\"workload\": {}, ", json::quote(&cell.workload));
+            if let Some(cat) = &cell.category {
+                let _ = write!(out, "\"category\": {}, ", json::quote(cat));
+            }
+            let _ = write!(out, "\"iterations\": {}, ", cell.iterations);
+            let _ = write!(
+                out,
+                "\"status\": {}, ",
+                json::quote(&cell.status.to_json_string())
+            );
+            let secs: Vec<String> = cell.seconds.iter().map(|&s| json::num(s)).collect();
+            let _ = write!(out, "\"seconds\": [{}]", secs.join(", "));
+            if let Some(s) = &cell.stats {
+                let _ = write!(
+                    out,
+                    ", \"stats\": {{\"n\": {}, \"rejected\": {}, \"min\": {}, \"max\": {}, \
+                     \"mean\": {}, \"median\": {}, \"stddev\": {}, \"geomean\": {}, \"ci95\": {}}}",
+                    s.n,
+                    s.rejected,
+                    json::num(s.min),
+                    json::num(s.max),
+                    json::num(s.mean),
+                    json::num(s.median),
+                    json::num(s.stddev),
+                    json::num(s.geomean),
+                    json::num(s.ci95),
+                );
+            }
+            if !cell.counters_consistent {
+                out.push_str(", \"counters_consistent\": false");
+            }
+            let nonzero: Vec<(&str, u64)> = cell
+                .counters
+                .rows()
+                .into_iter()
+                .filter(|(_, v)| *v != 0)
+                .collect();
+            if !nonzero.is_empty() {
+                out.push_str(", \"counters\": {");
+                for (j, (name, v)) in nonzero.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{}: {}", json::quote(name), v);
+                }
+                out.push('}');
+            }
+            out.push('}');
+            out.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse the versioned JSON format. Rejects unknown schemas.
+    pub fn from_json(text: &str) -> Result<CampaignResult, String> {
+        let root = json::parse(text)?;
+        let schema = root
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing \"schema\"")?
+            .to_string();
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?} (expected {SCHEMA:?})"
+            ));
+        }
+        let str_field = |key: &str| -> Result<String, String> {
+            root.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing string \"{key}\""))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            root.get(key)
+                .and_then(Value::as_u64)
+                .ok_or(format!("missing integer \"{key}\""))
+        };
+        let mut cells = Vec::new();
+        for (i, cv) in root
+            .get("cells")
+            .and_then(Value::as_arr)
+            .ok_or("missing \"cells\" array")?
+            .iter()
+            .enumerate()
+        {
+            cells.push(parse_cell(cv).map_err(|e| format!("cell {i}: {e}"))?);
+        }
+        Ok(CampaignResult {
+            schema,
+            name: str_field("name")?,
+            scale: u64_field("scale")?,
+            reps: u64_field("reps")? as u32,
+            jobs: u64_field("jobs")? as usize,
+            wall_secs: root.get("wall_secs").and_then(Value::as_f64).unwrap_or(0.0),
+            created_unix: u64_field("created_unix").unwrap_or(0),
+            cells,
+        })
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<CampaignResult, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+        CampaignResult::from_json(&text)
+    }
+
+    /// Skeleton result for a spec, before any job has finished.
+    pub(crate) fn empty_for(spec: &CampaignSpec, jobs: usize) -> CampaignResult {
+        let cells = spec
+            .cells()
+            .into_iter()
+            .map(|key| CellResult {
+                guest: key.guest.isa_name().to_string(),
+                engine: key.engine.id(),
+                workload: key.workload.id(),
+                category: key.workload.category().map(str::to_string),
+                iterations: 0,
+                status: CellStatus::NotOnIsa,
+                seconds: Vec::new(),
+                stats: None,
+                counters: Counters::default(),
+                counters_consistent: true,
+            })
+            .collect();
+        CampaignResult {
+            schema: SCHEMA.to_string(),
+            name: spec.name.clone(),
+            scale: spec.scale,
+            reps: spec.reps.max(1),
+            jobs,
+            wall_secs: 0.0,
+            created_unix: 0,
+            cells,
+        }
+    }
+}
+
+fn parse_cell(cv: &Value) -> Result<CellResult, String> {
+    let s = |key: &str| -> Result<String, String> {
+        cv.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or(format!("missing \"{key}\""))
+    };
+    let seconds: Vec<f64> = match cv.get("seconds").and_then(Value::as_arr) {
+        None => Vec::new(),
+        Some(arr) => arr
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or("non-numeric entry in \"seconds\"".to_string())
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let stats = cv.get("stats").and_then(Value::as_obj).map(|m| {
+        let f = |k: &str| m.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        Stats {
+            n: m.get("n").and_then(Value::as_u64).unwrap_or(0) as usize,
+            rejected: m.get("rejected").and_then(Value::as_u64).unwrap_or(0) as usize,
+            min: f("min"),
+            max: f("max"),
+            mean: f("mean"),
+            median: f("median"),
+            stddev: f("stddev"),
+            geomean: f("geomean"),
+            ci95: f("ci95"),
+        }
+    });
+    let mut counters = Counters::default();
+    if let Some(m) = cv.get("counters").and_then(Value::as_obj) {
+        for (name, v) in m {
+            let v = v.as_u64().ok_or(format!("counter {name} not an integer"))?;
+            set_counter(&mut counters, name, v)?;
+        }
+    }
+    Ok(CellResult {
+        guest: s("guest")?,
+        engine: s("engine")?,
+        workload: s("workload")?,
+        category: cv
+            .get("category")
+            .and_then(Value::as_str)
+            .map(str::to_string),
+        iterations: cv.get("iterations").and_then(Value::as_u64).unwrap_or(0) as u32,
+        status: CellStatus::from_json_string(&s("status")?),
+        seconds,
+        stats,
+        counters,
+        counters_consistent: cv
+            .get("counters_consistent")
+            .map(|v| v == &Value::Bool(true))
+            .unwrap_or(true),
+    })
+}
+
+fn set_counter(c: &mut Counters, name: &str, v: u64) -> Result<(), String> {
+    // Rebuild field-by-field from the serialized name/value rows.
+    let slot = match name {
+        "instructions" => &mut c.instructions,
+        "uops" => &mut c.uops,
+        "branch_intra_direct" => &mut c.branch_intra_direct,
+        "branch_inter_direct" => &mut c.branch_inter_direct,
+        "branch_intra_indirect" => &mut c.branch_intra_indirect,
+        "branch_inter_indirect" => &mut c.branch_inter_indirect,
+        "data_faults" => &mut c.data_faults,
+        "insn_faults" => &mut c.insn_faults,
+        "undef_insns" => &mut c.undef_insns,
+        "syscalls" => &mut c.syscalls,
+        "irqs_delivered" => &mut c.irqs_delivered,
+        "mmio_accesses" => &mut c.mmio_accesses,
+        "coproc_accesses" => &mut c.coproc_accesses,
+        "mem_reads" => &mut c.mem_reads,
+        "mem_writes" => &mut c.mem_writes,
+        "tlb_hits" => &mut c.tlb_hits,
+        "tlb_misses" => &mut c.tlb_misses,
+        "tlb_invalidate_page" => &mut c.tlb_invalidate_page,
+        "tlb_flushes" => &mut c.tlb_flushes,
+        "nonpriv_accesses" => &mut c.nonpriv_accesses,
+        "code_invalidations" => &mut c.code_invalidations,
+        "blocks_translated" => &mut c.blocks_translated,
+        "block_cache_hits" => &mut c.block_cache_hits,
+        "block_chain_follows" => &mut c.block_chain_follows,
+        "vm_exits" => &mut c.vm_exits,
+        _ => return Err(format!("unknown counter {name}")),
+    };
+    *slot = v;
+    Ok(())
+}
+
+/// Group cells by a key, preserving first-seen order of groups.
+pub fn group_by<K: Ord + Clone>(
+    cells: &[CellResult],
+    key: impl Fn(&CellResult) -> K,
+) -> Vec<(K, Vec<&CellResult>)> {
+    let mut order: Vec<K> = Vec::new();
+    let mut map: BTreeMap<K, Vec<&CellResult>> = BTreeMap::new();
+    for cell in cells {
+        let k = key(cell);
+        if !map.contains_key(&k) {
+            order.push(k.clone());
+        }
+        map.entry(k).or_default().push(cell);
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let v = map.remove(&k).unwrap();
+            (k, v)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> CampaignResult {
+        CampaignResult {
+            schema: SCHEMA.to_string(),
+            name: "demo".to_string(),
+            scale: 20_000,
+            reps: 2,
+            jobs: 4,
+            wall_secs: 1.25,
+            created_unix: 1_700_000_000,
+            cells: vec![
+                CellResult {
+                    guest: "armlet".to_string(),
+                    engine: "dbt@v2.5.0-rc2".to_string(),
+                    workload: "suite:System Call".to_string(),
+                    category: Some("Exception Handling".to_string()),
+                    iterations: 2500,
+                    status: CellStatus::Ok,
+                    seconds: vec![0.011, 0.0105],
+                    stats: crate::stats::stats(&[0.011, 0.0105]),
+                    counters: Counters {
+                        instructions: 30000,
+                        syscalls: 2500,
+                        ..Default::default()
+                    },
+                    counters_consistent: true,
+                },
+                CellResult {
+                    guest: "petix".to_string(),
+                    engine: "detailed".to_string(),
+                    workload: "suite:Memory Mapped Device".to_string(),
+                    category: Some("I/O".to_string()),
+                    iterations: 100,
+                    status: CellStatus::Unsupported("intc device model".to_string()),
+                    seconds: vec![],
+                    stats: None,
+                    counters: Counters::default(),
+                    counters_consistent: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = demo();
+        let parsed = CampaignResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.name, r.name);
+        assert_eq!(parsed.scale, r.scale);
+        assert_eq!(parsed.reps, r.reps);
+        assert_eq!(parsed.jobs, r.jobs);
+        assert_eq!(parsed.created_unix, r.created_unix);
+        assert_eq!(parsed.cells.len(), r.cells.len());
+        let (a, b) = (&parsed.cells[0], &r.cells[0]);
+        assert_eq!(a.guest, b.guest);
+        assert_eq!(a.engine, b.engine);
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.category, b.category);
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.stats.unwrap().geomean, b.stats.unwrap().geomean);
+        assert_eq!(parsed.cells[1].status, r.cells[1].status);
+    }
+
+    #[test]
+    fn rejects_malformed_seconds() {
+        // A corrupted timing entry must fail the load, not silently
+        // shrink the sample set under an unchanged stats block.
+        let text = demo().to_json().replace("[0.011, 0.0105]", "[0.011, null]");
+        let err = CampaignResult::from_json(&text).unwrap_err();
+        assert!(err.contains("seconds"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let text = demo().to_json().replace(SCHEMA, "simbench-campaign/v0");
+        let err = CampaignResult::from_json(&text).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let r = demo();
+        assert!(r
+            .cell("armlet", "dbt@v2.5.0-rc2", "suite:System Call")
+            .is_some());
+        assert!(r.cell("armlet", "interp", "suite:System Call").is_none());
+    }
+
+    #[test]
+    fn group_by_keeps_order() {
+        let r = demo();
+        let groups = group_by(&r.cells, |c| c.guest.clone());
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "armlet");
+        assert_eq!(groups[1].0, "petix");
+    }
+}

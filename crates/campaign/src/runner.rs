@@ -1,0 +1,303 @@
+//! Parallel campaign execution: a work-stealing worker pool over the
+//! expanded job list.
+//!
+//! Every job owns its `Machine` and engine (see `measure`), so jobs
+//! share no mutable state and the pool needs no synchronization beyond
+//! the queues themselves. Jobs are dealt round-robin into per-worker
+//! deques; a worker pops from the front of its own deque and, when
+//! empty, steals from the back of a victim's. Because no job spawns new
+//! work, "all deques empty" is a complete termination condition.
+//!
+//! Counters are architectural and engines are deterministic, so a
+//! campaign's counter results are identical whatever the worker count —
+//! the concurrency tests in `tests/campaign.rs` assert exactly that.
+//! Only wall-clock fields vary run to run.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use simbench_core::engine::ExitReason;
+
+use crate::measure::{run_app, run_suite_bench, Config, Sample};
+use crate::result::{CampaignResult, CellStatus};
+use crate::spec::{CampaignSpec, Job, Workload};
+use crate::stats::stats;
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct RunnerOpts {
+    /// Worker threads. 1 executes jobs inline on the calling thread in
+    /// deterministic expansion order.
+    pub jobs: usize,
+    /// Print per-job progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for RunnerOpts {
+    fn default() -> Self {
+        RunnerOpts {
+            jobs: 1,
+            verbose: false,
+        }
+    }
+}
+
+impl RunnerOpts {
+    /// Serial, quiet.
+    pub fn serial() -> Self {
+        RunnerOpts::default()
+    }
+
+    /// A given worker count, quiet.
+    pub fn with_jobs(jobs: usize) -> Self {
+        RunnerOpts {
+            jobs: jobs.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// What one executed job produced: `Err` carries a panic message,
+/// `Ok(None)` means the workload is absent on the ISA.
+type RepOutcome = Result<Option<Sample>, String>;
+
+/// Outcome of one job: the job identity plus its sample.
+struct JobOutcome {
+    cell_index: usize,
+    rep: u32,
+    sample: RepOutcome,
+}
+
+fn execute(job: &Job, cfg: &Config) -> RepOutcome {
+    let key = job.key;
+    catch_unwind(AssertUnwindSafe(|| match key.workload {
+        Workload::Suite(bench) => run_suite_bench(key.guest, key.engine, bench, cfg),
+        Workload::App(app) => Some(run_app(key.guest, key.engine, app, cfg)),
+    }))
+    .map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "engine panicked".to_string());
+        format!("panic: {msg}")
+    })
+}
+
+/// Run a campaign and aggregate per-cell results.
+pub fn run(spec: &CampaignSpec, opts: &RunnerOpts) -> CampaignResult {
+    let t0 = Instant::now();
+    let jobs = spec.expand();
+    let cfg = spec.config();
+    let workers = opts.jobs.max(1).min(jobs.len().max(1));
+
+    let outcomes: Vec<JobOutcome> = if workers <= 1 {
+        jobs.iter()
+            .map(|job| {
+                let outcome = JobOutcome {
+                    cell_index: job.cell_index,
+                    rep: job.rep,
+                    sample: execute(job, &cfg),
+                };
+                if opts.verbose {
+                    eprintln!(
+                        "[campaign] {}/{} {} rep {}",
+                        job.key.guest.isa_name(),
+                        job.key.engine.id(),
+                        job.key.workload.id(),
+                        job.rep,
+                    );
+                }
+                outcome
+            })
+            .collect()
+    } else {
+        run_stealing(&jobs, &cfg, workers, opts.verbose)
+    };
+
+    // Record the worker count that actually executed, not the request.
+    finalize(spec, workers, outcomes, t0.elapsed().as_secs_f64())
+}
+
+/// The work-stealing pool used when more than one worker is requested.
+fn run_stealing(jobs: &[Job], cfg: &Config, workers: usize, verbose: bool) -> Vec<JobOutcome> {
+    // Deal jobs round-robin so each deque starts with an even slice of
+    // the matrix (neighbouring jobs tend to have similar cost).
+    let queues: Vec<Mutex<VecDeque<Job>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, job) in jobs.iter().enumerate() {
+        queues[i % workers].lock().unwrap().push_back(*job);
+    }
+    let done = AtomicUsize::new(0);
+    let total = jobs.len();
+    let (tx, rx) = mpsc::channel::<JobOutcome>();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            let done = &done;
+            scope.spawn(move || loop {
+                // Own queue first (front), then steal from victims (back).
+                let job = queues[me].lock().unwrap().pop_front().or_else(|| {
+                    (1..workers).find_map(|d| queues[(me + d) % workers].lock().unwrap().pop_back())
+                });
+                let Some(job) = job else { break };
+                let outcome = JobOutcome {
+                    cell_index: job.cell_index,
+                    rep: job.rep,
+                    sample: execute(&job, cfg),
+                };
+                if verbose {
+                    let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    eprintln!(
+                        "[campaign {n}/{total}] {}/{} {} rep {} (worker {me})",
+                        job.key.guest.isa_name(),
+                        job.key.engine.id(),
+                        job.key.workload.id(),
+                        job.rep,
+                    );
+                }
+                // The receiver outlives the scope; send cannot fail.
+                tx.send(outcome).unwrap();
+            });
+        }
+        drop(tx);
+    });
+    rx.into_iter().collect()
+}
+
+/// Fold job outcomes into the deterministic per-cell result layout.
+fn finalize(
+    spec: &CampaignSpec,
+    jobs: usize,
+    outcomes: Vec<JobOutcome>,
+    wall_secs: f64,
+) -> CampaignResult {
+    let reps = spec.reps.max(1) as usize;
+    let mut result = CampaignResult::empty_for(spec, jobs);
+    // Per cell: one slot per repetition, filled in any completion order.
+    let mut slots: Vec<Vec<Option<RepOutcome>>> = vec![vec![None; reps]; result.cells.len()];
+    for o in outcomes {
+        slots[o.cell_index][o.rep as usize] = Some(o.sample);
+    }
+
+    for (cell, reps_slots) in result.cells.iter_mut().zip(slots) {
+        let mut samples: Vec<Sample> = Vec::new();
+        let mut failure: Option<CellStatus> = None;
+        let mut measured = false;
+        for slot in reps_slots.into_iter().flatten() {
+            measured = true;
+            match slot {
+                Err(panic_msg) => {
+                    failure.get_or_insert(CellStatus::Failed(panic_msg));
+                }
+                Ok(None) => {} // workload absent on this ISA
+                Ok(Some(sample)) => {
+                    cell.iterations = sample.iterations;
+                    match sample.exit {
+                        ExitReason::Halted => samples.push(sample),
+                        ExitReason::Unsupported(what) => {
+                            failure.get_or_insert(CellStatus::Unsupported(what.to_string()));
+                        }
+                        other => {
+                            failure.get_or_insert(CellStatus::Failed(other.to_string()));
+                        }
+                    }
+                }
+            }
+        }
+        if !measured {
+            // No job was expanded for this cell: workload not on ISA.
+            cell.status = CellStatus::NotOnIsa;
+            continue;
+        }
+        // Unsupported/Failed takes precedence so partial timings are
+        // never mistaken for a clean cell.
+        if let Some(status) = failure {
+            cell.status = status;
+            continue;
+        }
+        if samples.is_empty() {
+            cell.status = CellStatus::NotOnIsa;
+            continue;
+        }
+        cell.status = CellStatus::Ok;
+        cell.seconds = samples.iter().map(|s| s.seconds).collect();
+        cell.stats = stats(&cell.seconds);
+        cell.counters = samples[0].counters;
+        cell.counters_consistent = samples.iter().all(|s| s.counters == samples[0].counters);
+    }
+
+    result.wall_secs = wall_secs;
+    result.created_unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{EngineKind, Guest};
+    use simbench_suite::Benchmark;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".to_string(),
+            guests: vec![Guest::Armlet, Guest::Petix],
+            engines: vec![EngineKind::Interp, EngineKind::Native],
+            workloads: vec![
+                Workload::Suite(Benchmark::Syscall),
+                Workload::Suite(Benchmark::NonprivAccess),
+            ],
+            scale: u64::MAX, // clamp to the 16-iteration floor
+            reps: 2,
+            wall_limit_secs: Some(60),
+        }
+    }
+
+    #[test]
+    fn serial_run_fills_cells() {
+        let result = run(&tiny_spec(), &RunnerOpts::serial());
+        assert_eq!(result.cells.len(), 8);
+        let ok = result
+            .cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Ok)
+            .count();
+        // Nonprivileged Access is absent on petix (2 engines).
+        assert_eq!(ok, 6);
+        let absent = result
+            .cell("petix", "interp", "suite:Nonprivileged Access")
+            .unwrap();
+        assert_eq!(absent.status, CellStatus::NotOnIsa);
+        let ok_cell = result
+            .cell("armlet", "interp", "suite:System Call")
+            .unwrap();
+        assert_eq!(ok_cell.seconds.len(), 2);
+        assert!(ok_cell.counters.syscalls >= 16);
+        assert!(ok_cell.counters_consistent);
+        assert!(ok_cell.stats.is_some());
+    }
+
+    #[test]
+    fn unsupported_detailed_cell_is_flagged() {
+        let spec = CampaignSpec {
+            name: "unsupported".to_string(),
+            guests: vec![Guest::Armlet],
+            engines: vec![EngineKind::Detailed],
+            workloads: vec![Workload::Suite(Benchmark::MmioDevice)],
+            scale: u64::MAX,
+            reps: 1,
+            wall_limit_secs: Some(60),
+        };
+        let result = run(&spec, &RunnerOpts::serial());
+        assert!(matches!(result.cells[0].status, CellStatus::Unsupported(_)));
+        assert!(result.cells[0].stats.is_none());
+    }
+}

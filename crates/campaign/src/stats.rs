@@ -1,0 +1,188 @@
+//! Sample statistics for campaign cells: robust location/spread
+//! estimates, confidence intervals, and outlier rejection.
+
+/// Summary statistics over one cell's repetition timings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Samples kept after outlier rejection.
+    pub n: usize,
+    /// Samples rejected as outliers.
+    pub rejected: usize,
+    /// Minimum of kept samples.
+    pub min: f64,
+    /// Maximum of kept samples.
+    pub max: f64,
+    /// Arithmetic mean of kept samples.
+    pub mean: f64,
+    /// Median of kept samples.
+    pub median: f64,
+    /// Sample standard deviation (0 when n < 2).
+    pub stddev: f64,
+    /// Geometric mean of kept samples.
+    pub geomean: f64,
+    /// Half-width of the 95% confidence interval on the mean
+    /// (normal approximation; 0 when n < 2).
+    pub ci95: f64,
+}
+
+/// Geometric mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Indices of samples that survive modified-z-score outlier rejection
+/// (|x - median| > 3.5 · 1.4826 · MAD). With fewer than four samples
+/// everything is kept: there is not enough data to call anything an
+/// outlier.
+fn kept_indices(samples: &[f64]) -> Vec<usize> {
+    if samples.len() < 4 {
+        return (0..samples.len()).collect();
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let med = median_of_sorted(&sorted);
+    let mut devs: Vec<f64> = samples.iter().map(|&x| (x - med).abs()).collect();
+    devs.sort_by(f64::total_cmp);
+    let mad = median_of_sorted(&devs);
+    if mad == 0.0 {
+        return (0..samples.len()).collect();
+    }
+    let cutoff = 3.5 * 1.4826 * mad;
+    (0..samples.len())
+        .filter(|&i| (samples[i] - med).abs() <= cutoff)
+        .collect()
+}
+
+/// Compute [`Stats`] over positive timing samples, rejecting outliers
+/// first. Returns `None` for an empty slice.
+pub fn stats(samples: &[f64]) -> Option<Stats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let kept_idx = kept_indices(samples);
+    let kept: Vec<f64> = kept_idx.iter().map(|&i| samples[i].max(1e-12)).collect();
+    let n = kept.len();
+    let mut sorted = kept.clone();
+    sorted.sort_by(f64::total_cmp);
+    let mean = kept.iter().sum::<f64>() / n as f64;
+    let stddev = if n >= 2 {
+        (kept.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
+    Some(Stats {
+        n,
+        rejected: samples.len() - n,
+        min: sorted[0],
+        max: *sorted.last().unwrap(),
+        mean,
+        median: median_of_sorted(&sorted),
+        stddev,
+        geomean: geomean(&kept),
+        ci95: if n >= 2 {
+            1.96 * stddev / (n as f64).sqrt()
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = stats(&[2.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(stats(&[]).is_none());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        let s = stats(&[1.0, 3.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+        let s = stats(&[1.0, 100.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.rejected, 0, "n<4 keeps everything");
+    }
+
+    #[test]
+    fn outlier_rejected() {
+        // Nine tight samples and one wild one.
+        let mut v = vec![1.0, 1.01, 0.99, 1.02, 0.98, 1.0, 1.01, 0.99, 1.0];
+        v.push(50.0);
+        let s = stats(&v).unwrap();
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.n, 9);
+        assert!(s.max < 2.0);
+    }
+
+    #[test]
+    fn identical_samples_keep_all() {
+        let s = stats(&[2.0; 8]).unwrap();
+        assert_eq!(s.n, 8);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.stddev, 0.0);
+        assert!((s.geomean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few = stats(&[1.0, 1.2, 0.8]).unwrap();
+        let many: Vec<f64> = (0..30)
+            .map(|i| {
+                if i % 3 == 0 {
+                    1.0
+                } else if i % 3 == 1 {
+                    1.2
+                } else {
+                    0.8
+                }
+            })
+            .collect();
+        let many = stats(&many).unwrap();
+        assert!(many.ci95 < few.ci95);
+    }
+}

@@ -1,0 +1,168 @@
+//! Integration tests for the campaign subsystem: determinism across
+//! runs, equivalence across worker counts, persistence round-trips, and
+//! end-to-end regression detection.
+
+use simbench_campaign::measure::{EngineKind, Guest};
+use simbench_campaign::{
+    compare, run, CampaignResult, CampaignSpec, CellStatus, RunnerOpts, Workload,
+};
+use simbench_suite::Benchmark;
+
+/// A small but representative spec: both guests, three engine kinds
+/// (incl. one DBT version), benchmarks from three categories — one of
+/// which is ISA-dependent (Nonprivileged Access is armlet-only).
+fn spec(reps: u32) -> CampaignSpec {
+    CampaignSpec {
+        name: "itest".to_string(),
+        guests: vec![Guest::Armlet, Guest::Petix],
+        engines: vec![
+            EngineKind::Interp,
+            EngineKind::Dbt(simbench_dbt::VersionProfile::latest()),
+            EngineKind::Native,
+        ],
+        workloads: vec![
+            Workload::Suite(Benchmark::Syscall),
+            Workload::Suite(Benchmark::MemHot),
+            Workload::Suite(Benchmark::NonprivAccess),
+            Workload::App(simbench_apps::App::Bzip2Like),
+        ],
+        scale: 500_000, // tiny kernels: the whole matrix runs in well under a second
+        reps,
+        wall_limit_secs: Some(60),
+    }
+}
+
+/// One cell's identity plus its determinism-relevant fields.
+type CellFingerprint = (
+    String,
+    String,
+    String,
+    String,
+    u32,
+    Vec<(&'static str, u64)>,
+);
+
+/// Strip timing, keep identity + determinism-relevant fields.
+fn fingerprint(result: &CampaignResult) -> Vec<CellFingerprint> {
+    result
+        .cells
+        .iter()
+        .map(|c| {
+            (
+                c.guest.clone(),
+                c.engine.clone(),
+                c.workload.clone(),
+                format!("{:?}", c.status),
+                c.iterations,
+                c.counters
+                    .rows()
+                    .into_iter()
+                    .filter(|(_, v)| *v != 0)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn two_serial_runs_are_identical() {
+    let s = spec(2);
+    let a = run(&s, &RunnerOpts::serial());
+    let b = run(&s, &RunnerOpts::serial());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert!(
+            ca.counters_consistent,
+            "{}/{}/{}",
+            ca.guest, ca.engine, ca.workload
+        );
+        assert_eq!(ca.seconds.len(), cb.seconds.len());
+    }
+}
+
+#[test]
+fn parallel_run_matches_serial() {
+    let s = spec(2);
+    let serial = run(&s, &RunnerOpts::serial());
+    let parallel = run(&s, &RunnerOpts::with_jobs(4));
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "counters and statuses must not depend on worker count"
+    );
+    // Same number of timing samples everywhere, even though the values
+    // differ run to run.
+    for (cs, cp) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(cs.seconds.len(), cp.seconds.len());
+        assert_eq!(cs.stats.is_some(), cp.stats.is_some());
+    }
+    assert_eq!(parallel.jobs, 4);
+}
+
+#[test]
+fn worker_count_larger_than_job_count() {
+    let s = CampaignSpec {
+        workloads: vec![Workload::Suite(Benchmark::Syscall)],
+        guests: vec![Guest::Armlet],
+        engines: vec![EngineKind::Interp],
+        ..spec(1)
+    };
+    let result = run(&s, &RunnerOpts::with_jobs(64));
+    assert_eq!(result.cells.len(), 1);
+    assert_eq!(result.cells[0].status, CellStatus::Ok);
+}
+
+#[test]
+fn persisted_result_round_trips_through_disk() {
+    let s = spec(1);
+    let result = run(&s, &RunnerOpts::with_jobs(2));
+    let dir = std::env::temp_dir().join("simbench-campaign-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("roundtrip-{}.json", std::process::id()));
+    result.save(&path).unwrap();
+    let loaded = CampaignResult::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(fingerprint(&result), fingerprint(&loaded));
+    assert_eq!(loaded.schema, simbench_campaign::SCHEMA);
+    assert_eq!(loaded.scale, s.scale);
+}
+
+#[test]
+fn compare_flags_artificially_slowed_cell() {
+    let s = spec(1);
+    let current = run(&s, &RunnerOpts::with_jobs(2));
+    // Build a baseline in which one cell was 10× faster than what we
+    // just measured — i.e. the current run is a 10× regression there.
+    let mut baseline = current.clone();
+    let idx = baseline
+        .cells
+        .iter()
+        .position(|c| c.status == CellStatus::Ok)
+        .expect("at least one clean cell");
+    let slowed_key = (
+        baseline.cells[idx].guest.clone(),
+        baseline.cells[idx].engine.clone(),
+        baseline.cells[idx].workload.clone(),
+    );
+    baseline.cells[idx]
+        .seconds
+        .iter_mut()
+        .for_each(|t| *t /= 10.0);
+    baseline.cells[idx].stats = simbench_campaign::stats(&baseline.cells[idx].seconds);
+
+    let report = compare(&baseline, &current, 0.5);
+    assert!(!report.clean());
+    let regressions = report.regressions();
+    assert_eq!(regressions.len(), 1);
+    assert_eq!(
+        (
+            regressions[0].guest.clone(),
+            regressions[0].engine.clone(),
+            regressions[0].workload.clone()
+        ),
+        slowed_key
+    );
+    assert!(regressions[0].ratio.unwrap() > 5.0);
+    // And the same data compared against itself is clean.
+    assert!(compare(&current, &current, 0.5).clean());
+}

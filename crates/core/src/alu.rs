@@ -16,7 +16,12 @@ pub struct AluResult {
 
 #[inline]
 fn nz(value: u32, prev: Flags) -> Flags {
-    Flags { n: (value as i32) < 0, z: value == 0, c: prev.c, v: prev.v }
+    Flags {
+        n: (value as i32) < 0,
+        z: value == 0,
+        c: prev.c,
+        v: prev.v,
+    }
 }
 
 #[inline]
@@ -25,7 +30,15 @@ fn add_with(a: u32, b: u32, carry_in: bool) -> AluResult {
     let (value, c2) = s1.overflowing_add(carry_in as u32);
     let c = c1 || c2;
     let v = ((a ^ value) & (b ^ value)) >> 31 != 0;
-    AluResult { value, flags: Flags { n: (value as i32) < 0, z: value == 0, c, v } }
+    AluResult {
+        value,
+        flags: Flags {
+            n: (value as i32) < 0,
+            z: value == 0,
+            c,
+            v,
+        },
+    }
 }
 
 #[inline]
@@ -46,15 +59,36 @@ pub fn eval(op: AluOp, a: u32, b: u32, flags: Flags) -> AluResult {
         AluOp::Sub => sub_with(a, b, true),
         AluOp::Sbc => sub_with(a, b, flags.c),
         AluOp::Rsb => sub_with(b, a, true),
-        AluOp::And => AluResult { value: a & b, flags: nz(a & b, flags) },
-        AluOp::Orr => AluResult { value: a | b, flags: nz(a | b, flags) },
-        AluOp::Eor => AluResult { value: a ^ b, flags: nz(a ^ b, flags) },
-        AluOp::Bic => AluResult { value: a & !b, flags: nz(a & !b, flags) },
-        AluOp::Mov => AluResult { value: b, flags: nz(b, flags) },
-        AluOp::Mvn => AluResult { value: !b, flags: nz(!b, flags) },
+        AluOp::And => AluResult {
+            value: a & b,
+            flags: nz(a & b, flags),
+        },
+        AluOp::Orr => AluResult {
+            value: a | b,
+            flags: nz(a | b, flags),
+        },
+        AluOp::Eor => AluResult {
+            value: a ^ b,
+            flags: nz(a ^ b, flags),
+        },
+        AluOp::Bic => AluResult {
+            value: a & !b,
+            flags: nz(a & !b, flags),
+        },
+        AluOp::Mov => AluResult {
+            value: b,
+            flags: nz(b, flags),
+        },
+        AluOp::Mvn => AluResult {
+            value: !b,
+            flags: nz(!b, flags),
+        },
         AluOp::Mul => {
             let value = a.wrapping_mul(b);
-            AluResult { value, flags: nz(value, flags) }
+            AluResult {
+                value,
+                flags: nz(value, flags),
+            }
         }
         AluOp::Lsl => {
             let amt = b & 31;
@@ -130,7 +164,12 @@ pub fn cond_holds(cond: Cond, f: Flags) -> bool {
 mod tests {
     use super::*;
 
-    const F0: Flags = Flags { n: false, z: false, c: false, v: false };
+    const F0: Flags = Flags {
+        n: false,
+        z: false,
+        c: false,
+        v: false,
+    };
 
     #[test]
     fn add_flags() {
@@ -177,7 +216,11 @@ mod tests {
 
     #[test]
     fn logical_preserve_cv() {
-        let f = Flags { c: true, v: true, ..F0 };
+        let f = Flags {
+            c: true,
+            v: true,
+            ..F0
+        };
         let r = eval(AluOp::And, 0xF0, 0x0F, f);
         assert_eq!(r.value, 0);
         assert!(r.flags.z && r.flags.c && r.flags.v);
@@ -241,7 +284,10 @@ mod tests {
 
         let f = compare(0x8000_0000, 1, false, F0); // i32::MIN cmp 1
         assert!(cond_holds(Cond::Vs, f), "i32::MIN - 1 overflows");
-        assert!(cond_holds(Cond::Lt, f), "signed: i32::MIN < 1 despite overflow (N != V)");
+        assert!(
+            cond_holds(Cond::Lt, f),
+            "signed: i32::MIN < 1 despite overflow (N != V)"
+        );
 
         assert!(cond_holds(Cond::Al, F0));
     }

@@ -39,8 +39,16 @@ pub enum PReg {
 
 impl PReg {
     /// All portable registers.
-    pub const ALL: [PReg; 8] =
-        [PReg::A, PReg::B, PReg::C, PReg::D, PReg::E, PReg::F, PReg::Sp, PReg::Lr];
+    pub const ALL: [PReg; 8] = [
+        PReg::A,
+        PReg::B,
+        PReg::C,
+        PReg::D,
+        PReg::E,
+        PReg::F,
+        PReg::Sp,
+        PReg::Lr,
+    ];
 }
 
 /// A code label. Created unbound, bound once, referenced freely before or
@@ -99,7 +107,7 @@ impl AsmBuffer {
     /// Reserve `n` zero bytes.
     pub fn skip(&mut self, n: u32) {
         let chunk = self.chunks.last_mut().expect("org() before emitting");
-        chunk.1.extend(std::iter::repeat(0).take(n as usize));
+        chunk.1.extend(std::iter::repeat_n(0, n as usize));
     }
 
     /// Append raw bytes at the cursor.
@@ -143,7 +151,9 @@ impl AsmBuffer {
     ///
     /// Panics if `addr` was never emitted.
     pub fn read_u32_at(&self, addr: u32) -> u32 {
-        let (base, bytes) = self.chunk_containing(addr, 4).expect("patch address not emitted");
+        let (base, bytes) = self
+            .chunk_containing(addr, 4)
+            .expect("patch address not emitted");
         let i = (addr - base) as usize;
         u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]])
     }

@@ -61,7 +61,11 @@ pub trait Bus {
 
 /// Construct the bus-error fault for an undecodable physical access.
 pub fn bus_error(pa: u32, access: AccessKind) -> MemFault {
-    MemFault { addr: pa, access, kind: FaultKind::BusError }
+    MemFault {
+        addr: pa,
+        access,
+        kind: FaultKind::BusError,
+    }
 }
 
 /// Read little-endian from a RAM slice. Caller guarantees bounds.
@@ -109,14 +113,20 @@ impl Bus for FlatRam {
     }
 
     fn read(&mut self, pa: u32, size: MemSize) -> Result<u32, MemFault> {
-        if pa.checked_add(size.bytes()).is_none_or(|end| end > self.ram_size()) {
+        if pa
+            .checked_add(size.bytes())
+            .is_none_or(|end| end > self.ram_size())
+        {
             return Err(bus_error(pa, AccessKind::Read));
         }
         Ok(ram_read(&self.mem, pa, size))
     }
 
     fn write(&mut self, pa: u32, val: u32, size: MemSize) -> Result<Option<BusEvent>, MemFault> {
-        if pa.checked_add(size.bytes()).is_none_or(|end| end > self.ram_size()) {
+        if pa
+            .checked_add(size.bytes())
+            .is_none_or(|end| end > self.ram_size())
+        {
             return Err(bus_error(pa, AccessKind::Write));
         }
         ram_write(&mut self.mem, pa, val, size);

@@ -96,7 +96,11 @@ impl CpuState {
 
     /// Snapshot of the bankable status.
     pub fn status(&self) -> Status {
-        Status { flags: self.flags, level: self.level, irq_enabled: self.irq_enabled }
+        Status {
+            flags: self.flags,
+            level: self.level,
+            irq_enabled: self.irq_enabled,
+        }
     }
 
     /// Restore a banked status snapshot.
@@ -142,7 +146,12 @@ mod tests {
 
     #[test]
     fn flags_display() {
-        let f = Flags { n: true, z: false, c: true, v: false };
+        let f = Flags {
+            n: true,
+            z: false,
+            c: true,
+            v: false,
+        };
         assert_eq!(f.to_string(), "NzCv");
     }
 }

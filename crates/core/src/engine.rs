@@ -46,14 +46,20 @@ pub struct RunLimits {
 
 impl Default for RunLimits {
     fn default() -> Self {
-        RunLimits { max_insns: u64::MAX, wall_limit: None }
+        RunLimits {
+            max_insns: u64::MAX,
+            wall_limit: None,
+        }
     }
 }
 
 impl RunLimits {
     /// Limit only the retired-instruction count.
     pub fn insns(max_insns: u64) -> Self {
-        RunLimits { max_insns, ..Default::default() }
+        RunLimits {
+            max_insns,
+            ..Default::default()
+        }
     }
 }
 
@@ -147,8 +153,10 @@ impl PhaseTracker {
             1 => self.start = Some((Instant::now(), *counters)),
             2 => {
                 if let Some((t0, c0)) = self.start.take() {
-                    self.kernel =
-                        Some(PhaseStats { wall: t0.elapsed(), counters: counters.since(&c0) });
+                    self.kernel = Some(PhaseStats {
+                        wall: t0.elapsed(),
+                        counters: counters.since(&c0),
+                    });
                 }
             }
             _ => {}
@@ -168,7 +176,10 @@ mod tests {
     #[test]
     fn phase_tracker_pairs_marks() {
         let mut t = PhaseTracker::new();
-        let mut c = Counters { instructions: 100, ..Default::default() };
+        let mut c = Counters {
+            instructions: 100,
+            ..Default::default()
+        };
         t.on_mark(1, &c);
         c.instructions = 350;
         t.on_mark(2, &c);
@@ -199,7 +210,10 @@ mod tests {
         let out = RunOutcome {
             exit: ExitReason::Halted,
             wall: Duration::from_millis(5),
-            counters: Counters { instructions: 10, ..Default::default() },
+            counters: Counters {
+                instructions: 10,
+                ..Default::default()
+            },
             kernel: None,
         };
         assert_eq!(out.kernel_wall(), Duration::from_millis(5));
@@ -209,6 +223,9 @@ mod tests {
     #[test]
     fn exit_reason_display() {
         assert_eq!(ExitReason::Halted.to_string(), "halted");
-        assert_eq!(ExitReason::Unsupported("mmio").to_string(), "unsupported: mmio");
+        assert_eq!(
+            ExitReason::Unsupported("mmio").to_string(),
+            "unsupported: mmio"
+        );
     }
 }

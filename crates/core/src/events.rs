@@ -135,7 +135,11 @@ mod tests {
 
     #[test]
     fn rows_cover_all_fields() {
-        let c = Counters { instructions: 3, vm_exits: 7, ..Default::default() };
+        let c = Counters {
+            instructions: 3,
+            vm_exits: 7,
+            ..Default::default()
+        };
         let rows = c.rows();
         assert_eq!(rows.len(), Counters::NAMES.len());
         assert!(rows.contains(&("instructions", 3)));
@@ -145,8 +149,16 @@ mod tests {
 
     #[test]
     fn since_and_plus() {
-        let a = Counters { instructions: 10, mem_reads: 4, ..Default::default() };
-        let b = Counters { instructions: 25, mem_reads: 9, ..Default::default() };
+        let a = Counters {
+            instructions: 10,
+            mem_reads: 4,
+            ..Default::default()
+        };
+        let b = Counters {
+            instructions: 25,
+            mem_reads: 9,
+            ..Default::default()
+        };
         let d = b.since(&a);
         assert_eq!(d.instructions, 15);
         assert_eq!(d.mem_reads, 5);

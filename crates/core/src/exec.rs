@@ -126,7 +126,13 @@ fn do_link<C: ExecCtx>(ctx: &mut C, link: LinkKind, ret: u32) -> Result<(), MemF
 pub fn step_op<C: ExecCtx>(ctx: &mut C, op: &Op) -> OpOutcome {
     match *op {
         Op::Nop => OpOutcome::Next,
-        Op::Alu { op, rd, rn, src, set_flags } => {
+        Op::Alu {
+            op,
+            rd,
+            rn,
+            src,
+            set_flags,
+        } => {
             let a = ctx.reg(rn);
             let b = operand(ctx, src);
             let r = alu::eval(op, a, b, ctx.flags());
@@ -143,7 +149,13 @@ pub fn step_op<C: ExecCtx>(ctx: &mut C, op: &Op) -> OpOutcome {
             ctx.set_flags(f);
             OpOutcome::Next
         }
-        Op::Load { rd, base, off, size, nonpriv } => {
+        Op::Load {
+            rd,
+            base,
+            off,
+            size,
+            nonpriv,
+        } => {
             let va = ctx.reg(base).wrapping_add(off as u32);
             match ctx.read(va, size, nonpriv) {
                 Ok(v) => {
@@ -153,7 +165,13 @@ pub fn step_op<C: ExecCtx>(ctx: &mut C, op: &Op) -> OpOutcome {
                 Err(f) => OpOutcome::Trap(Trap::DataFault(f)),
             }
         }
-        Op::Store { rs, base, off, size, nonpriv } => {
+        Op::Store {
+            rs,
+            base,
+            off,
+            size,
+            nonpriv,
+        } => {
             let va = ctx.reg(base).wrapping_add(off as u32);
             let val = ctx.reg(rs);
             match ctx.write(va, val, size, nonpriv) {
@@ -161,38 +179,55 @@ pub fn step_op<C: ExecCtx>(ctx: &mut C, op: &Op) -> OpOutcome {
                 Err(f) => OpOutcome::Trap(Trap::DataFault(f)),
             }
         }
-        Op::Branch { target } => OpOutcome::Jump { target, flavor: BranchFlavor::Direct },
+        Op::Branch { target } => OpOutcome::Jump {
+            target,
+            flavor: BranchFlavor::Direct,
+        },
         Op::BranchCond { cond, target } => {
             if alu::cond_holds(cond, ctx.flags()) {
-                OpOutcome::Jump { target, flavor: BranchFlavor::Direct }
+                OpOutcome::Jump {
+                    target,
+                    flavor: BranchFlavor::Direct,
+                }
             } else {
                 OpOutcome::Next
             }
         }
-        Op::BranchReg { rm } => {
-            OpOutcome::Jump { target: ctx.reg(rm), flavor: BranchFlavor::Indirect }
-        }
+        Op::BranchReg { rm } => OpOutcome::Jump {
+            target: ctx.reg(rm),
+            flavor: BranchFlavor::Indirect,
+        },
         Op::Call { target, ret, link } => match do_link(ctx, link, ret) {
-            Ok(()) => OpOutcome::Jump { target, flavor: BranchFlavor::Direct },
+            Ok(()) => OpOutcome::Jump {
+                target,
+                flavor: BranchFlavor::Direct,
+            },
             Err(f) => OpOutcome::Trap(Trap::DataFault(f)),
         },
         Op::CallReg { rm, ret, link } => {
             let target = ctx.reg(rm);
             match do_link(ctx, link, ret) {
-                Ok(()) => OpOutcome::Jump { target, flavor: BranchFlavor::Indirect },
+                Ok(()) => OpOutcome::Jump {
+                    target,
+                    flavor: BranchFlavor::Indirect,
+                },
                 Err(f) => OpOutcome::Trap(Trap::DataFault(f)),
             }
         }
         Op::Ret(kind) => match kind {
-            RetKind::Register(r) => {
-                OpOutcome::Jump { target: ctx.reg(r), flavor: BranchFlavor::Indirect }
-            }
+            RetKind::Register(r) => OpOutcome::Jump {
+                target: ctx.reg(r),
+                flavor: BranchFlavor::Indirect,
+            },
             RetKind::Pop(sp) => {
                 let addr = ctx.reg(sp);
                 match ctx.read(addr, MemSize::B4, false) {
                     Ok(target) => {
                         ctx.set_reg(sp, addr.wrapping_add(4));
-                        OpOutcome::Jump { target, flavor: BranchFlavor::Indirect }
+                        OpOutcome::Jump {
+                            target,
+                            flavor: BranchFlavor::Indirect,
+                        }
                     }
                     Err(f) => OpOutcome::Trap(Trap::DataFault(f)),
                 }
@@ -286,16 +321,28 @@ mod tests {
         }
         fn read(&mut self, va: u32, size: MemSize, _np: bool) -> Result<u32, MemFault> {
             if !size.aligned(va) {
-                return Err(MemFault { addr: va, access: AccessKind::Read, kind: FaultKind::Unaligned });
+                return Err(MemFault {
+                    addr: va,
+                    access: AccessKind::Read,
+                    kind: FaultKind::Unaligned,
+                });
             }
             if va as usize + size.bytes() as usize > self.mem.len() {
-                return Err(MemFault { addr: va, access: AccessKind::Read, kind: FaultKind::Unmapped });
+                return Err(MemFault {
+                    addr: va,
+                    access: AccessKind::Read,
+                    kind: FaultKind::Unmapped,
+                });
             }
             Ok(crate::bus::ram_read(&self.mem, va, size))
         }
         fn write(&mut self, va: u32, val: u32, size: MemSize, _np: bool) -> Result<(), MemFault> {
             if va as usize + size.bytes() as usize > self.mem.len() {
-                return Err(MemFault { addr: va, access: AccessKind::Write, kind: FaultKind::Unmapped });
+                return Err(MemFault {
+                    addr: va,
+                    access: AccessKind::Write,
+                    kind: FaultKind::Unmapped,
+                });
             }
             crate::bus::ram_write(&mut self.mem, va, val, size);
             Ok(())
@@ -315,13 +362,26 @@ mod tests {
         c.regs[1] = 7;
         let out = step_op(
             &mut c,
-            &Op::Alu { op: AluOp::Add, rd: 0, rn: 1, src: Operand::Imm(3), set_flags: false },
+            &Op::Alu {
+                op: AluOp::Add,
+                rd: 0,
+                rn: 1,
+                src: Operand::Imm(3),
+                set_flags: false,
+            },
         );
         assert_eq!(out, OpOutcome::Next);
         assert_eq!(c.regs[0], 10);
         assert!(!c.flags.z, "flags untouched without S");
 
-        step_op(&mut c, &Op::Cmp { rn: 0, src: Operand::Imm(10), is_tst: false });
+        step_op(
+            &mut c,
+            &Op::Cmp {
+                rn: 0,
+                src: Operand::Imm(10),
+                is_tst: false,
+            },
+        );
         assert!(c.flags.z);
     }
 
@@ -332,11 +392,25 @@ mod tests {
         c.regs[3] = 0xabcd_1234;
         let out = step_op(
             &mut c,
-            &Op::Store { rs: 3, base: 2, off: 4, size: MemSize::B4, nonpriv: false },
+            &Op::Store {
+                rs: 3,
+                base: 2,
+                off: 4,
+                size: MemSize::B4,
+                nonpriv: false,
+            },
         );
         assert_eq!(out, OpOutcome::Next);
-        let out =
-            step_op(&mut c, &Op::Load { rd: 4, base: 2, off: 4, size: MemSize::B4, nonpriv: false });
+        let out = step_op(
+            &mut c,
+            &Op::Load {
+                rd: 4,
+                base: 2,
+                off: 4,
+                size: MemSize::B4,
+                nonpriv: false,
+            },
+        );
         assert_eq!(out, OpOutcome::Next);
         assert_eq!(c.regs[4], 0xabcd_1234);
     }
@@ -345,8 +419,16 @@ mod tests {
     fn load_fault_traps() {
         let mut c = TestCtx::new();
         c.regs[2] = 0xFFFF_0000;
-        let out =
-            step_op(&mut c, &Op::Load { rd: 4, base: 2, off: 0, size: MemSize::B4, nonpriv: false });
+        let out = step_op(
+            &mut c,
+            &Op::Load {
+                rd: 4,
+                base: 2,
+                off: 0,
+                size: MemSize::B4,
+                nonpriv: false,
+            },
+        );
         match out {
             OpOutcome::Trap(Trap::DataFault(f)) => assert_eq!(f.addr, 0xFFFF_0000),
             other => panic!("expected data fault, got {other:?}"),
@@ -358,22 +440,40 @@ mod tests {
         let mut c = TestCtx::new();
         assert_eq!(
             step_op(&mut c, &Op::Branch { target: 0x44 }),
-            OpOutcome::Jump { target: 0x44, flavor: BranchFlavor::Direct }
+            OpOutcome::Jump {
+                target: 0x44,
+                flavor: BranchFlavor::Direct
+            }
         );
         c.regs[5] = 0x88;
         assert_eq!(
             step_op(&mut c, &Op::BranchReg { rm: 5 }),
-            OpOutcome::Jump { target: 0x88, flavor: BranchFlavor::Indirect }
+            OpOutcome::Jump {
+                target: 0x88,
+                flavor: BranchFlavor::Indirect
+            }
         );
         // Conditional fall-through.
         c.flags.z = false;
         assert_eq!(
-            step_op(&mut c, &Op::BranchCond { cond: crate::ir::Cond::Eq, target: 0x44 }),
+            step_op(
+                &mut c,
+                &Op::BranchCond {
+                    cond: crate::ir::Cond::Eq,
+                    target: 0x44
+                }
+            ),
             OpOutcome::Next
         );
         c.flags.z = true;
         assert!(matches!(
-            step_op(&mut c, &Op::BranchCond { cond: crate::ir::Cond::Eq, target: 0x44 }),
+            step_op(
+                &mut c,
+                &Op::BranchCond {
+                    cond: crate::ir::Cond::Eq,
+                    target: 0x44
+                }
+            ),
             OpOutcome::Jump { target: 0x44, .. }
         ));
     }
@@ -383,13 +483,26 @@ mod tests {
         let mut c = TestCtx::new();
         let out = step_op(
             &mut c,
-            &Op::Call { target: 0x1000, ret: 0x24, link: LinkKind::Register(14) },
+            &Op::Call {
+                target: 0x1000,
+                ret: 0x24,
+                link: LinkKind::Register(14),
+            },
         );
-        assert_eq!(out, OpOutcome::Jump { target: 0x1000, flavor: BranchFlavor::Direct });
+        assert_eq!(
+            out,
+            OpOutcome::Jump {
+                target: 0x1000,
+                flavor: BranchFlavor::Direct
+            }
+        );
         assert_eq!(c.regs[14], 0x24);
         assert_eq!(
             step_op(&mut c, &Op::Ret(RetKind::Register(14))),
-            OpOutcome::Jump { target: 0x24, flavor: BranchFlavor::Indirect }
+            OpOutcome::Jump {
+                target: 0x24,
+                flavor: BranchFlavor::Indirect
+            }
         );
     }
 
@@ -397,14 +510,26 @@ mod tests {
     fn call_with_stack_push() {
         let mut c = TestCtx::new();
         c.regs[6] = 0x200;
-        let out =
-            step_op(&mut c, &Op::Call { target: 0x1000, ret: 0x55, link: LinkKind::Push(6) });
+        let out = step_op(
+            &mut c,
+            &Op::Call {
+                target: 0x1000,
+                ret: 0x55,
+                link: LinkKind::Push(6),
+            },
+        );
         assert!(matches!(out, OpOutcome::Jump { target: 0x1000, .. }));
         assert_eq!(c.regs[6], 0x1FC, "sp decremented");
         assert_eq!(c.read(0x1FC, MemSize::B4, false).unwrap(), 0x55);
 
         let out = step_op(&mut c, &Op::Ret(RetKind::Pop(6)));
-        assert_eq!(out, OpOutcome::Jump { target: 0x55, flavor: BranchFlavor::Indirect });
+        assert_eq!(
+            out,
+            OpOutcome::Jump {
+                target: 0x55,
+                flavor: BranchFlavor::Indirect
+            }
+        );
         assert_eq!(c.regs[6], 0x200, "sp restored");
     }
 
@@ -415,27 +540,71 @@ mod tests {
         assert_eq!(step_op(&mut c, &Op::Halt), OpOutcome::Trap(Trap::Undef));
         assert_eq!(step_op(&mut c, &Op::Eret), OpOutcome::Trap(Trap::Undef));
         assert_eq!(
-            step_op(&mut c, &Op::CopRead { cp: 15, reg: 3, rd: 0 }),
+            step_op(
+                &mut c,
+                &Op::CopRead {
+                    cp: 15,
+                    reg: 3,
+                    rd: 0
+                }
+            ),
             OpOutcome::Trap(Trap::Undef)
         );
         assert_eq!(
-            step_op(&mut c, &Op::CopWrite { cp: 15, reg: 3, rs: 0 }),
+            step_op(
+                &mut c,
+                &Op::CopWrite {
+                    cp: 15,
+                    reg: 3,
+                    rs: 0
+                }
+            ),
             OpOutcome::Trap(Trap::Undef)
         );
         // svc is fine from user mode.
-        assert_eq!(step_op(&mut c, &Op::Svc(9)), OpOutcome::Trap(Trap::Syscall(9)));
+        assert_eq!(
+            step_op(&mut c, &Op::Svc(9)),
+            OpOutcome::Trap(Trap::Syscall(9))
+        );
     }
 
     #[test]
     fn cop_round_trip_and_fault() {
         let mut c = TestCtx::new();
         c.regs[1] = 0x42;
-        assert_eq!(step_op(&mut c, &Op::CopWrite { cp: 15, reg: 2, rs: 1 }), OpOutcome::Next);
-        assert_eq!(step_op(&mut c, &Op::CopRead { cp: 15, reg: 2, rd: 3 }), OpOutcome::Next);
+        assert_eq!(
+            step_op(
+                &mut c,
+                &Op::CopWrite {
+                    cp: 15,
+                    reg: 2,
+                    rs: 1
+                }
+            ),
+            OpOutcome::Next
+        );
+        assert_eq!(
+            step_op(
+                &mut c,
+                &Op::CopRead {
+                    cp: 15,
+                    reg: 2,
+                    rd: 3
+                }
+            ),
+            OpOutcome::Next
+        );
         assert_eq!(c.regs[3], 0x42);
         // Unwritten register faults in this test ctx → undef.
         assert_eq!(
-            step_op(&mut c, &Op::CopRead { cp: 1, reg: 9, rd: 3 }),
+            step_op(
+                &mut c,
+                &Op::CopRead {
+                    cp: 1,
+                    reg: 9,
+                    rd: 3
+                }
+            ),
             OpOutcome::Trap(Trap::Undef)
         );
     }

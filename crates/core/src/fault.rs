@@ -63,7 +63,11 @@ pub struct MemFault {
 
 impl fmt::Display for MemFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} fault on {} at {:#010x}", self.kind, self.access, self.addr)
+        write!(
+            f,
+            "{} fault on {} at {:#010x}",
+            self.kind, self.access, self.addr
+        )
     }
 }
 
@@ -134,12 +138,18 @@ pub struct ExcInfo {
 impl ExcInfo {
     /// Info payload for a memory fault.
     pub fn from_fault(fault: MemFault) -> Self {
-        ExcInfo { fault_addr: fault.addr, syscall_no: 0 }
+        ExcInfo {
+            fault_addr: fault.addr,
+            syscall_no: 0,
+        }
     }
 
     /// Info payload for a syscall.
     pub fn syscall(no: u16) -> Self {
-        ExcInfo { fault_addr: 0, syscall_no: no }
+        ExcInfo {
+            fault_addr: 0,
+            syscall_no: no,
+        }
     }
 }
 
@@ -163,7 +173,11 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let f = MemFault { addr: 0x8000_0000, access: AccessKind::Write, kind: FaultKind::Unmapped };
+        let f = MemFault {
+            addr: 0x8000_0000,
+            access: AccessKind::Write,
+            kind: FaultKind::Unmapped,
+        };
         assert_eq!(f.to_string(), "unmapped fault on write at 0x80000000");
         assert_eq!(ExceptionKind::Irq.to_string(), "irq");
     }
@@ -181,7 +195,11 @@ mod tests {
 
     #[test]
     fn exc_info_constructors() {
-        let f = MemFault { addr: 0x1234, access: AccessKind::Read, kind: FaultKind::Permission };
+        let f = MemFault {
+            addr: 0x1234,
+            access: AccessKind::Read,
+            kind: FaultKind::Permission,
+        };
         assert_eq!(ExcInfo::from_fault(f).fault_addr, 0x1234);
         assert_eq!(ExcInfo::syscall(7).syscall_no, 7);
     }

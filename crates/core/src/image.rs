@@ -32,7 +32,10 @@ pub struct GuestImage {
 impl GuestImage {
     /// Create an empty image entering at `entry`.
     pub fn new(entry: u32) -> Self {
-        GuestImage { entry, sections: Vec::new() }
+        GuestImage {
+            entry,
+            sections: Vec::new(),
+        }
     }
 
     /// Append a section.
@@ -73,7 +76,11 @@ impl GuestImage {
         for s in &self.sections {
             let start = s.addr as usize;
             let end = start + s.bytes.len();
-            assert!(end <= ram.len(), "image section {:#x}..{end:#x} exceeds RAM", s.addr);
+            assert!(
+                end <= ram.len(),
+                "image section {:#x}..{end:#x} exceeds RAM",
+                s.addr
+            );
             ram[start..end].copy_from_slice(&s.bytes);
         }
     }
@@ -81,11 +88,23 @@ impl GuestImage {
 
 impl fmt::Display for GuestImage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "entry {:#010x}, {} sections, {} bytes", self.entry, self.sections.len(), self.size())?;
+        writeln!(
+            f,
+            "entry {:#010x}, {} sections, {} bytes",
+            self.entry,
+            self.sections.len(),
+            self.size()
+        )?;
         let mut sections: Vec<_> = self.sections.iter().collect();
         sections.sort_by_key(|s| s.addr);
         for s in sections {
-            writeln!(f, "  {:#010x}..{:#010x} ({} bytes)", s.addr, s.end(), s.bytes.len())?;
+            writeln!(
+                f,
+                "  {:#010x}..{:#010x} ({} bytes)",
+                s.addr,
+                s.end(),
+                s.bytes.len()
+            )?;
         }
         Ok(())
     }

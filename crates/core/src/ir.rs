@@ -345,7 +345,10 @@ impl Op {
 
     /// True for direct (statically-known target) control flow.
     pub fn is_direct_branch(self) -> bool {
-        matches!(self, Op::Branch { .. } | Op::BranchCond { .. } | Op::Call { .. })
+        matches!(
+            self,
+            Op::Branch { .. } | Op::BranchCond { .. } | Op::Call { .. }
+        )
     }
 }
 
@@ -449,7 +452,11 @@ mod tests {
     fn decoded_ends_block() {
         let d = Decoded::new(4, vec![Op::Nop], InsnClass::Nop);
         assert!(!d.ends_block());
-        let d = Decoded::new(4, vec![Op::Nop, Op::Branch { target: 4 }], InsnClass::Branch);
+        let d = Decoded::new(
+            4,
+            vec![Op::Nop, Op::Branch { target: 4 }],
+            InsnClass::Branch,
+        );
         assert!(d.ends_block());
     }
 }

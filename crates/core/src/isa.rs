@@ -9,7 +9,7 @@
 use crate::bus::Bus;
 use crate::cpu::CpuState;
 use crate::fault::{CopFault, ExcInfo, ExceptionKind};
-use crate::ir::{Decoded, DecodeError};
+use crate::ir::{DecodeError, Decoded};
 use crate::mmu::WalkResult;
 
 /// Effects of a coprocessor / control-register write that the executing

@@ -29,7 +29,11 @@ impl<I: Isa, B: crate::bus::Bus> Machine<I, B> {
     /// Panics if the image does not fit in the bus's RAM.
     pub fn boot(image: &GuestImage, mut bus: B) -> Self {
         image.load_into(bus.ram_mut());
-        Machine { cpu: CpuState::at_reset(image.entry), sys: I::Sys::default(), bus }
+        Machine {
+            cpu: CpuState::at_reset(image.entry),
+            sys: I::Sys::default(),
+            bus,
+        }
     }
 
     /// Reset CPU and system registers without reloading memory.

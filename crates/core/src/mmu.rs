@@ -17,15 +17,35 @@ pub struct Perms {
 
 impl Perms {
     /// Read/write/execute.
-    pub const RWX: Perms = Perms { r: true, w: true, x: true };
+    pub const RWX: Perms = Perms {
+        r: true,
+        w: true,
+        x: true,
+    };
     /// Read/write, no execute.
-    pub const RW: Perms = Perms { r: true, w: true, x: false };
+    pub const RW: Perms = Perms {
+        r: true,
+        w: true,
+        x: false,
+    };
     /// Read-only.
-    pub const R: Perms = Perms { r: true, w: false, x: false };
+    pub const R: Perms = Perms {
+        r: true,
+        w: false,
+        x: false,
+    };
     /// Read/execute.
-    pub const RX: Perms = Perms { r: true, w: false, x: true };
+    pub const RX: Perms = Perms {
+        r: true,
+        w: false,
+        x: true,
+    };
     /// No access.
-    pub const NONE: Perms = Perms { r: false, w: false, x: false };
+    pub const NONE: Perms = Perms {
+        r: false,
+        w: false,
+        x: false,
+    };
 
     /// True if `access` is allowed.
     pub fn allows(self, access: AccessKind) -> bool {
@@ -81,11 +101,21 @@ impl TlbEntry {
     /// Returns a [`MemFault`] with [`FaultKind::Permission`] when the
     /// access is not permitted at the effective privilege.
     #[inline]
-    pub fn check(&self, va: u32, access: AccessKind, privileged: bool, nonpriv: bool) -> Result<u32, MemFault> {
+    pub fn check(
+        &self,
+        va: u32,
+        access: AccessKind,
+        privileged: bool,
+        nonpriv: bool,
+    ) -> Result<u32, MemFault> {
         if self.perms(privileged, nonpriv).allows(access) {
             Ok(self.translate(va))
         } else {
-            Err(MemFault { addr: va, access, kind: FaultKind::Permission })
+            Err(MemFault {
+                addr: va,
+                access,
+                kind: FaultKind::Permission,
+            })
         }
     }
 }
@@ -98,7 +128,12 @@ mod tests {
     use super::*;
 
     fn entry() -> TlbEntry {
-        TlbEntry { vpage: 0x10, ppage: 0x80, user: Perms::R, kernel: Perms::RWX }
+        TlbEntry {
+            vpage: 0x10,
+            ppage: 0x80,
+            user: Perms::R,
+            kernel: Perms::RWX,
+        }
     }
 
     #[test]
@@ -113,7 +148,9 @@ mod tests {
     fn perms_by_level() {
         let e = entry();
         assert!(e.check(0x10_000, AccessKind::Write, true, false).is_ok());
-        let err = e.check(0x10_000, AccessKind::Write, false, false).unwrap_err();
+        let err = e
+            .check(0x10_000, AccessKind::Write, false, false)
+            .unwrap_err();
         assert_eq!(err.kind, FaultKind::Permission);
         assert_eq!(err.addr, 0x10_000);
         // Non-privileged override: kernel-mode ldrt checked as user.

@@ -32,7 +32,12 @@ impl DirectTlb {
             user: crate::mmu::Perms::NONE,
             kernel: crate::mmu::Perms::NONE,
         };
-        DirectTlb { slots: vec![(INVALID_TAG, dummy); n], mask: n as u32 - 1, hits: 0, misses: 0 }
+        DirectTlb {
+            slots: vec![(INVALID_TAG, dummy); n],
+            mask: n as u32 - 1,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Look up a virtual page.
@@ -194,7 +199,12 @@ mod tests {
     use crate::mmu::Perms;
 
     fn e(vpage: u32, ppage: u32) -> TlbEntry {
-        TlbEntry { vpage, ppage, user: Perms::RWX, kernel: Perms::RWX }
+        TlbEntry {
+            vpage,
+            ppage,
+            user: Perms::RWX,
+            kernel: Perms::RWX,
+        }
     }
 
     #[test]

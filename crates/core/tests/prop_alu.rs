@@ -6,8 +6,12 @@ use simbench_core::cpu::Flags;
 use simbench_core::ir::{AluOp, Cond};
 
 fn flags_strategy() -> impl Strategy<Value = Flags> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>())
-        .prop_map(|(n, z, c, v)| Flags { n, z, c, v })
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(n, z, c, v)| Flags {
+        n,
+        z,
+        c,
+        v,
+    })
 }
 
 proptest! {

@@ -55,7 +55,10 @@ impl Ibtc {
     /// An IBTC with `1 << bits` slots; `bits == 0` disables it.
     pub fn new(bits: u8) -> Self {
         let n = if bits == 0 { 0 } else { 1usize << bits };
-        Ibtc { slots: vec![(u32::MAX, 0); n], mask: n.saturating_sub(1) as u32 }
+        Ibtc {
+            slots: vec![(u32::MAX, 0); n],
+            mask: n.saturating_sub(1) as u32,
+        }
     }
 
     /// Predicted block for a target PC.
@@ -120,7 +123,10 @@ impl CodeCache {
     /// Look up a live block by (pc, physical page).
     #[inline]
     pub fn lookup(&self, pc: u32, ppage: u32) -> Option<TbId> {
-        self.map.get(&(pc, ppage)).copied().filter(|&id| !self.blocks[id as usize].dead)
+        self.map
+            .get(&(pc, ppage))
+            .copied()
+            .filter(|&id| !self.blocks[id as usize].dead)
     }
 
     /// True if `ppage` holds any live translations. Used to set the

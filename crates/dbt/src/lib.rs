@@ -218,7 +218,11 @@ impl<I: Isa> Dbt<I> {
             let next = cur.wrapping_add(decoded.len as u32);
             let ends = decoded.ends_block();
             for (i, op) in decoded.ops.iter().enumerate() {
-                steps.push(TbStep { op: *op, next_pc: next, insn_start: i == 0 });
+                steps.push(TbStep {
+                    op: *op,
+                    next_pc: next,
+                    insn_start: i == 0,
+                });
             }
             if ends {
                 taken_target = match decoded.ops.last() {
@@ -283,7 +287,12 @@ impl<I: Isa> Dbt<I> {
     /// re-decode the interrupted block to recover precise state, then
     /// unchain everything and flush the IBTC. 2.5.0-rc0+ skips all of it
     /// for data aborts (the data-fault fast path of Figs 6/8).
-    fn exception_sync<B: Bus>(&mut self, m: &mut Machine<I, B>, block_pc: u32, is_data_fault: bool) {
+    fn exception_sync<B: Bus>(
+        &mut self,
+        m: &mut Machine<I, B>,
+        block_pc: u32,
+        is_data_fault: bool,
+    ) {
         if !self.profile.eager_exception_sync {
             return;
         }
@@ -338,7 +347,11 @@ impl<I: Isa> Dbt<I> {
             }
         }
         let same_page = page_of(self.code.blocks[cur as usize].pc) == page_of(target);
-        let allowed = if same_page { self.profile.chain_intra } else { self.profile.chain_inter };
+        let allowed = if same_page {
+            self.profile.chain_intra
+        } else {
+            self.profile.chain_inter
+        };
         let id = match self.lookup_or_translate(m, counters, target) {
             Ok(id) => id,
             Err(f) => {
@@ -411,7 +424,11 @@ impl<I: Isa, B: Bus> Ctx<'_, I, B> {
         nonpriv: bool,
     ) -> Result<(u32, bool), MemFault> {
         if !size.aligned(va) {
-            return Err(MemFault { addr: va, access, kind: FaultKind::Unaligned });
+            return Err(MemFault {
+                addr: va,
+                access,
+                kind: FaultKind::Unaligned,
+            });
         }
         if !I::mmu_enabled(self.sys) {
             return Ok((va, self.code.page_has_code(page_of(va))));
@@ -563,7 +580,7 @@ impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
             }
             self.blocks_executed += 1;
             if let Some(wall) = limits.wall_limit {
-                if self.blocks_executed % WALL_CHECK_BLOCKS == 0 && t0.elapsed() >= wall {
+                if self.blocks_executed.is_multiple_of(WALL_CHECK_BLOCKS) && t0.elapsed() >= wall {
                     break ExitReason::WallLimit;
                 }
             }
@@ -638,7 +655,9 @@ impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
                 match step_op(&mut ctx, &step.op) {
                     OpOutcome::Next => {
                         if ctx.code_write.is_some() {
-                            exit = BlockExit::CodeWrite { resume_pc: step.next_pc };
+                            exit = BlockExit::CodeWrite {
+                                resume_pc: step.next_pc,
+                            };
                             break;
                         }
                     }
@@ -648,7 +667,10 @@ impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
                         break;
                     }
                     OpOutcome::Trap(t) => {
-                        exit = BlockExit::Trap { trap: t, next_pc: step.next_pc };
+                        exit = BlockExit::Trap {
+                            trap: t,
+                            next_pc: step.next_pc,
+                        };
                         break;
                     }
                     OpOutcome::Halt => {
@@ -659,7 +681,6 @@ impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
             }
             let mark = ctx.phase_mark.take();
             let dirty_page = ctx.code_write.take();
-            drop(ctx);
 
             if let Some(mark) = mark {
                 phase.on_mark(mark, &counters);
@@ -744,7 +765,12 @@ impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
             }
         };
 
-        RunOutcome { exit, wall: t0.elapsed(), counters, kernel: phase.into_kernel() }
+        RunOutcome {
+            exit,
+            wall: t0.elapsed(),
+            counters,
+            kernel: phase.into_kernel(),
+        }
     }
 }
 
@@ -905,7 +931,10 @@ mod tests {
         for level in [0u8, 2] {
             let img = build();
             let mut m = Machine::<Armlet, _>::boot(&img, FlatRam::new(1 << 20));
-            let prof = VersionProfile { optimizer_level: level, ..VersionProfile::latest() };
+            let prof = VersionProfile {
+                optimizer_level: level,
+                ..VersionProfile::latest()
+            };
             let mut e = Dbt::<Armlet>::with_profile(prof);
             let out = e.run(&mut m, &RunLimits::insns(1000));
             assert_eq!(out.exit, ExitReason::Halted);
@@ -913,7 +942,10 @@ mod tests {
             assert_eq!(m.cpu.regs[3], 0xDEAD_BEEF);
             uops.push(out.counters.uops);
         }
-        assert_eq!(uops[0], uops[1], "onstant folding preserves uop count (ops are rewritten, not removed)");
+        assert_eq!(
+            uops[0], uops[1],
+            "onstant folding preserves uop count (ops are rewritten, not removed)"
+        );
     }
 
     #[test]
@@ -935,6 +967,10 @@ mod tests {
         let (m, out) = run_dbt(a, 0x8000);
         assert_eq!(out.exit, ExitReason::Halted);
         assert_eq!(m.cpu.regs[1], 50);
-        assert!(out.counters.blocks_translated <= 8, "translated {}", out.counters.blocks_translated);
+        assert!(
+            out.counters.blocks_translated <= 8,
+            "translated {}",
+            out.counters.blocks_translated
+        );
     }
 }

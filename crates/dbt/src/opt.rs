@@ -30,7 +30,13 @@ fn constant_fold(steps: &mut [TbStep]) {
     let mut known: [Option<u32>; MAX_GPRS] = [None; MAX_GPRS];
     for step in steps.iter_mut() {
         match &mut step.op {
-            Op::Alu { op, rd, rn, src, set_flags } => {
+            Op::Alu {
+                op,
+                rd,
+                rn,
+                src,
+                set_flags,
+            } => {
                 let (op, rd, rn, mut src, set_flags) = (*op, *rd, *rn, *src, *set_flags);
                 // Substitute a known register source with its constant.
                 if let Operand::Reg(r) = src {
@@ -38,8 +44,11 @@ fn constant_fold(steps: &mut [TbStep]) {
                         src = Operand::Imm(v);
                     }
                 }
-                let rn_val =
-                    if matches!(op, AluOp::Mov | AluOp::Mvn) { Some(0) } else { known[rn as usize] };
+                let rn_val = if matches!(op, AluOp::Mov | AluOp::Mvn) {
+                    Some(0)
+                } else {
+                    known[rn as usize]
+                };
                 // Adc/Sbc consume the carry flag; they are not foldable
                 // without flag knowledge.
                 let foldable = !set_flags && !matches!(op, AluOp::Adc | AluOp::Sbc);
@@ -57,7 +66,13 @@ fn constant_fold(steps: &mut [TbStep]) {
                     known[rd as usize] = Some(value);
                     continue;
                 }
-                step.op = Op::Alu { op, rd, rn, src, set_flags };
+                step.op = Op::Alu {
+                    op,
+                    rd,
+                    rn,
+                    src,
+                    set_flags,
+                };
                 // Track plain immediate moves; anything else clobbers.
                 if let (AluOp::Mov, Operand::Imm(v), false) = (op, src, set_flags) {
                     known[rd as usize] = Some(v);
@@ -74,14 +89,22 @@ fn constant_fold(steps: &mut [TbStep]) {
             }
             Op::Load { rd, .. } | Op::CopRead { rd, .. } => known[*rd as usize] = None,
             Op::Ret(simbench_core::ir::RetKind::Pop(sp)) => known[*sp as usize] = None,
-            Op::Call { link: simbench_core::ir::LinkKind::Register(lr), .. }
-            | Op::CallReg { link: simbench_core::ir::LinkKind::Register(lr), .. } => {
-                known[*lr as usize] = None
+            Op::Call {
+                link: simbench_core::ir::LinkKind::Register(lr),
+                ..
             }
-            Op::Call { link: simbench_core::ir::LinkKind::Push(sp), .. }
-            | Op::CallReg { link: simbench_core::ir::LinkKind::Push(sp), .. } => {
-                known[*sp as usize] = None
+            | Op::CallReg {
+                link: simbench_core::ir::LinkKind::Register(lr),
+                ..
+            } => known[*lr as usize] = None,
+            Op::Call {
+                link: simbench_core::ir::LinkKind::Push(sp),
+                ..
             }
+            | Op::CallReg {
+                link: simbench_core::ir::LinkKind::Push(sp),
+                ..
+            } => known[*sp as usize] = None,
             _ => {}
         }
     }
@@ -127,19 +150,41 @@ mod tests {
     use simbench_core::ir::Cond;
 
     fn step(op: Op) -> TbStep {
-        TbStep { op, next_pc: 0, insn_start: true }
+        TbStep {
+            op,
+            next_pc: 0,
+            insn_start: true,
+        }
     }
 
     fn mov(rd: u8, v: u32) -> Op {
-        Op::Alu { op: AluOp::Mov, rd, rn: 0, src: Operand::Imm(v), set_flags: false }
+        Op::Alu {
+            op: AluOp::Mov,
+            rd,
+            rn: 0,
+            src: Operand::Imm(v),
+            set_flags: false,
+        }
     }
 
     #[test]
     fn folds_constant_chains() {
         let mut steps = vec![
             step(mov(0, 10)),
-            step(Op::Alu { op: AluOp::Add, rd: 1, rn: 0, src: Operand::Imm(5), set_flags: false }),
-            step(Op::Alu { op: AluOp::Lsl, rd: 2, rn: 1, src: Operand::Imm(2), set_flags: false }),
+            step(Op::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rn: 0,
+                src: Operand::Imm(5),
+                set_flags: false,
+            }),
+            step(Op::Alu {
+                op: AluOp::Lsl,
+                rd: 2,
+                rn: 1,
+                src: Operand::Imm(2),
+                set_flags: false,
+            }),
         ];
         optimize(&mut steps, 1);
         assert_eq!(steps[1].op, mov(1, 15));
@@ -150,8 +195,20 @@ mod tests {
     fn fold_stops_at_loads() {
         let mut steps = vec![
             step(mov(0, 10)),
-            step(Op::Load { rd: 0, base: 3, off: 0, size: simbench_core::ir::MemSize::B4, nonpriv: false }),
-            step(Op::Alu { op: AluOp::Add, rd: 1, rn: 0, src: Operand::Imm(5), set_flags: false }),
+            step(Op::Load {
+                rd: 0,
+                base: 3,
+                off: 0,
+                size: simbench_core::ir::MemSize::B4,
+                nonpriv: false,
+            }),
+            step(Op::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rn: 0,
+                src: Operand::Imm(5),
+                set_flags: false,
+            }),
         ];
         optimize(&mut steps, 1);
         // r0 is no longer a known constant after the load.
@@ -162,12 +219,27 @@ mod tests {
     fn flag_setting_ops_not_folded() {
         let mut steps = vec![
             step(mov(0, 10)),
-            step(Op::Alu { op: AluOp::Add, rd: 1, rn: 0, src: Operand::Imm(5), set_flags: true }),
-            step(Op::BranchCond { cond: Cond::Eq, target: 0x100 }),
+            step(Op::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rn: 0,
+                src: Operand::Imm(5),
+                set_flags: true,
+            }),
+            step(Op::BranchCond {
+                cond: Cond::Eq,
+                target: 0x100,
+            }),
         ];
         optimize(&mut steps, 2);
         assert!(
-            matches!(steps[1].op, Op::Alu { set_flags: true, .. }),
+            matches!(
+                steps[1].op,
+                Op::Alu {
+                    set_flags: true,
+                    ..
+                }
+            ),
             "flag producer feeding a conditional branch must survive"
         );
     }
@@ -175,13 +247,32 @@ mod tests {
     #[test]
     fn dead_flags_cleared() {
         let mut steps = vec![
-            step(Op::Alu { op: AluOp::Add, rd: 1, rn: 1, src: Operand::Imm(1), set_flags: true }),
-            step(Op::Cmp { rn: 1, src: Operand::Imm(5), is_tst: false }),
-            step(Op::BranchCond { cond: Cond::Ne, target: 0x100 }),
+            step(Op::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rn: 1,
+                src: Operand::Imm(1),
+                set_flags: true,
+            }),
+            step(Op::Cmp {
+                rn: 1,
+                src: Operand::Imm(5),
+                is_tst: false,
+            }),
+            step(Op::BranchCond {
+                cond: Cond::Ne,
+                target: 0x100,
+            }),
         ];
         optimize(&mut steps, 2);
         assert!(
-            matches!(steps[0].op, Op::Alu { set_flags: false, .. }),
+            matches!(
+                steps[0].op,
+                Op::Alu {
+                    set_flags: false,
+                    ..
+                }
+            ),
             "flags overwritten by cmp before any read"
         );
     }
@@ -190,7 +281,11 @@ mod tests {
     fn nops_dropped_unless_insn_start() {
         let mut steps = vec![
             step(Op::Nop),
-            TbStep { op: Op::Nop, next_pc: 0, insn_start: false },
+            TbStep {
+                op: Op::Nop,
+                next_pc: 0,
+                insn_start: false,
+            },
             step(mov(0, 1)),
         ];
         optimize(&mut steps, 2);
@@ -201,7 +296,13 @@ mod tests {
     fn level_zero_is_identity() {
         let mut steps = vec![
             step(mov(0, 10)),
-            step(Op::Alu { op: AluOp::Add, rd: 1, rn: 0, src: Operand::Imm(5), set_flags: false }),
+            step(Op::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rn: 0,
+                src: Operand::Imm(5),
+                set_flags: false,
+            }),
         ];
         let before = steps.clone();
         optimize(&mut steps, 0);

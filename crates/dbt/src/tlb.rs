@@ -86,7 +86,13 @@ impl DbtTlb {
             }
             self.victims.push(*slot);
         }
-        *slot = (vpage, DbtTlbEntry { entry, contains_code });
+        *slot = (
+            vpage,
+            DbtTlbEntry {
+                entry,
+                contains_code,
+            },
+        );
     }
 
     /// Invalidate the entry covering `vpage` if cached.
@@ -118,7 +124,12 @@ mod tests {
     use simbench_core::mmu::Perms;
 
     fn e(vpage: u32) -> TlbEntry {
-        TlbEntry { vpage, ppage: vpage + 100, user: Perms::RWX, kernel: Perms::RWX }
+        TlbEntry {
+            vpage,
+            ppage: vpage + 100,
+            user: Perms::RWX,
+            kernel: Perms::RWX,
+        }
     }
 
     #[test]

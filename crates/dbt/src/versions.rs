@@ -81,18 +81,59 @@ const BASE: VersionProfile = VersionProfile {
 /// The twenty benchmarked engine versions, named after the QEMU releases
 /// of the paper's Figs 2, 6 and 8, oldest first.
 pub const QEMU_VERSIONS: &[VersionProfile] = &[
-    VersionProfile { name: "v1.7.0", ..BASE },
-    VersionProfile { name: "v1.7.1", ..BASE },
-    VersionProfile { name: "v1.7.2", ..BASE },
+    VersionProfile {
+        name: "v1.7.0",
+        ..BASE
+    },
+    VersionProfile {
+        name: "v1.7.1",
+        ..BASE
+    },
+    VersionProfile {
+        name: "v1.7.2",
+        ..BASE
+    },
     // 2.0.0: TCG optimiser improvements.
-    VersionProfile { name: "v2.0.0", optimizer_level: 2, ..BASE },
-    VersionProfile { name: "v2.0.1", optimizer_level: 2, ..BASE },
-    VersionProfile { name: "v2.0.2", optimizer_level: 2, ..BASE },
+    VersionProfile {
+        name: "v2.0.0",
+        optimizer_level: 2,
+        ..BASE
+    },
+    VersionProfile {
+        name: "v2.0.1",
+        optimizer_level: 2,
+        ..BASE
+    },
+    VersionProfile {
+        name: "v2.0.2",
+        optimizer_level: 2,
+        ..BASE
+    },
     // 2.1.x: first entry guards appear; exception path gains work.
-    VersionProfile { name: "v2.1.0", optimizer_level: 2, entry_guard_level: 1, ..BASE },
-    VersionProfile { name: "v2.1.1", optimizer_level: 2, entry_guard_level: 1, ..BASE },
-    VersionProfile { name: "v2.1.2", optimizer_level: 2, entry_guard_level: 1, ..BASE },
-    VersionProfile { name: "v2.1.3", optimizer_level: 2, entry_guard_level: 1, ..BASE },
+    VersionProfile {
+        name: "v2.1.0",
+        optimizer_level: 2,
+        entry_guard_level: 1,
+        ..BASE
+    },
+    VersionProfile {
+        name: "v2.1.1",
+        optimizer_level: 2,
+        entry_guard_level: 1,
+        ..BASE
+    },
+    VersionProfile {
+        name: "v2.1.2",
+        optimizer_level: 2,
+        entry_guard_level: 1,
+        ..BASE
+    },
+    VersionProfile {
+        name: "v2.1.3",
+        optimizer_level: 2,
+        entry_guard_level: 1,
+        ..BASE
+    },
     // 2.2.x: bigger IBTC (indirect control flow peaks here).
     VersionProfile {
         name: "v2.2.0",
@@ -211,8 +252,14 @@ mod tests {
         let v170 = VersionProfile::by_name("v1.7.0").unwrap();
         let v221 = VersionProfile::by_name("v2.2.1").unwrap();
         let rc2 = VersionProfile::by_name("v2.5.0-rc2").unwrap();
-        assert!(v221.ibtc_bits > v170.ibtc_bits, "2.2 improves indirect branches");
-        assert!(rc2.entry_guard_level > v170.entry_guard_level, "late releases add guards");
+        assert!(
+            v221.ibtc_bits > v170.ibtc_bits,
+            "2.2 improves indirect branches"
+        );
+        assert!(
+            rc2.entry_guard_level > v170.entry_guard_level,
+            "late releases add guards"
+        );
         assert!(rc2.data_fault_fast_path && !v221.data_fault_fast_path);
     }
 }

@@ -32,12 +32,25 @@ impl CacheModel {
     /// # Panics
     ///
     /// Panics if the geometry is not a power-of-two split.
-    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize, hit_cycles: u64, miss_cycles: u64) -> Self {
-        assert!(line_bytes.is_power_of_two() && size_bytes % (ways * line_bytes) == 0);
+    pub fn new(
+        size_bytes: usize,
+        ways: usize,
+        line_bytes: usize,
+        hit_cycles: u64,
+        miss_cycles: u64,
+    ) -> Self {
+        assert!(line_bytes.is_power_of_two() && size_bytes.is_multiple_of(ways * line_bytes));
         let n_sets = size_bytes / (ways * line_bytes);
         assert!(n_sets.is_power_of_two());
         CacheModel {
-            sets: vec![Line { tag: 0, valid: false, lru: 0 }; n_sets * ways],
+            sets: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    lru: 0
+                };
+                n_sets * ways
+            ],
             ways,
             set_mask: n_sets as u32 - 1,
             line_shift: line_bytes.trailing_zeros(),
@@ -87,7 +100,11 @@ impl CacheModel {
                 for line in ways.iter_mut() {
                     line.lru = line.lru.saturating_add(1);
                 }
-                ways[victim] = Line { tag, valid: true, lru: 0 };
+                ways[victim] = Line {
+                    tag,
+                    valid: true,
+                    lru: 0,
+                };
                 self.misses += 1;
                 self.miss_cycles
             }

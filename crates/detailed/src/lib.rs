@@ -57,7 +57,12 @@ pub struct TimingConfig {
 
 impl Default for TimingConfig {
     fn default() -> Self {
-        TimingConfig { decode_cycles: 1, op_cycles: 1, walk_cycles: 30, branch_cycles: 2 }
+        TimingConfig {
+            decode_cycles: 1,
+            op_cycles: 1,
+            walk_cycles: 30,
+            branch_cycles: 2,
+        }
     }
 }
 
@@ -148,7 +153,11 @@ impl<I: Isa, B: Bus> Ctx<'_, I, B> {
         nonpriv: bool,
     ) -> Result<u32, MemFault> {
         if !size.aligned(va) {
-            return Err(MemFault { addr: va, access, kind: FaultKind::Unaligned });
+            return Err(MemFault {
+                addr: va,
+                access,
+                kind: FaultKind::Unaligned,
+            });
         }
         if !I::mmu_enabled(self.sys) {
             return Ok(va);
@@ -289,7 +298,14 @@ enum Fetch {
 }
 
 impl<I: Isa> Detailed<I> {
-    fn fetch<B: Bus>(&mut self, cpu: &CpuState, sys: &mut I::Sys, bus: &mut B, counters: &mut Counters, pc: u32) -> Fetch {
+    fn fetch<B: Bus>(
+        &mut self,
+        cpu: &CpuState,
+        sys: &mut I::Sys,
+        bus: &mut B,
+        counters: &mut Counters,
+        pc: u32,
+    ) -> Fetch {
         let mut bytes = [0u8; 8];
         let mut have = 0usize;
         let want = I::MAX_INSN_BYTES;
@@ -356,9 +372,11 @@ impl<I: Isa> Detailed<I> {
         }
         match I::decode(&bytes[..have], pc) {
             Ok(d) => Fetch::Ok(d),
-            Err(_) => {
-                Fetch::Ok(Decoded::new(I::MAX_INSN_BYTES as u8, vec![Op::Udf], InsnClass::System))
-            }
+            Err(_) => Fetch::Ok(Decoded::new(
+                I::MAX_INSN_BYTES as u8,
+                vec![Op::Udf],
+                InsnClass::System,
+            )),
         }
     }
 }
@@ -487,8 +505,12 @@ impl<I: Isa, B: Bus> Engine<I, B> for Detailed<I> {
                         match (flavor, same_page) {
                             (BranchFlavor::Direct, true) => ctx.counters.branch_intra_direct += 1,
                             (BranchFlavor::Direct, false) => ctx.counters.branch_inter_direct += 1,
-                            (BranchFlavor::Indirect, true) => ctx.counters.branch_intra_indirect += 1,
-                            (BranchFlavor::Indirect, false) => ctx.counters.branch_inter_indirect += 1,
+                            (BranchFlavor::Indirect, true) => {
+                                ctx.counters.branch_intra_indirect += 1
+                            }
+                            (BranchFlavor::Indirect, false) => {
+                                ctx.counters.branch_inter_indirect += 1
+                            }
                         }
                         new_pc = target;
                         break;
@@ -550,7 +572,12 @@ impl<I: Isa, B: Bus> Engine<I, B> for Detailed<I> {
             }
         };
 
-        RunOutcome { exit, wall: t0.elapsed(), counters, kernel: phase.into_kernel() }
+        RunOutcome {
+            exit,
+            wall: t0.elapsed(),
+            counters,
+            kernel: phase.into_kernel(),
+        }
     }
 }
 
@@ -582,10 +609,16 @@ mod tests {
         assert_eq!(out.exit, ExitReason::Halted);
         assert_eq!(m.cpu.regs[0], 200);
         let stats = e.pipeline_stats();
-        assert!(stats.cycles > out.counters.instructions, "timing model charges cycles");
+        assert!(
+            stats.cycles > out.counters.instructions,
+            "timing model charges cycles"
+        );
         assert!(stats.branch_penalty > 0);
         let hist = e.class_histogram();
-        assert!(hist[0] > 0 && hist[2] > 0, "histogram tracks ALU and branches");
+        assert!(
+            hist[0] > 0 && hist[2] > 0,
+            "histogram tracks ALU and branches"
+        );
     }
 
     #[test]
@@ -602,7 +635,11 @@ mod tests {
         let mut m = Machine::<Armlet, _>::boot(&img, FlatRam::new(1 << 20));
         let mut e = Detailed::<Armlet>::new().with_unimplemented_pages(&[0x90]);
         let out = e.run(&mut m, &RunLimits::insns(1000));
-        assert_eq!(out.exit, ExitReason::Halted, "RAM pages are always implemented");
+        assert_eq!(
+            out.exit,
+            ExitReason::Halted,
+            "RAM pages are always implemented"
+        );
         // Now route the access through MMIO space instead.
         let mut a = ArmletAsm::new();
         a.org(0x8000);
@@ -639,6 +676,9 @@ mod tests {
         let mut e = Detailed::<Armlet>::new();
         let out = e.run(&mut m, &RunLimits::insns(100_000));
         assert_eq!(out.exit, ExitReason::Halted);
-        assert!(e.pipeline_stats().dcache_stall >= 250 * 23, "each new line misses");
+        assert!(
+            e.pipeline_stats().dcache_stall >= 250 * 23,
+            "each new line misses"
+        );
     }
 }

@@ -22,7 +22,12 @@ pub struct Latencies {
 
 impl Default for Latencies {
     fn default() -> Self {
-        Latencies { alu: 1, mul: 3, load: 2, mispredict: 12 }
+        Latencies {
+            alu: 1,
+            mul: 3,
+            load: 2,
+            mispredict: 12,
+        }
     }
 }
 
@@ -67,7 +72,12 @@ fn op_regs(op: &Op) -> ([Option<u8>; 3], Option<u8>) {
 impl Scoreboard {
     /// A scoreboard at cycle zero.
     pub fn new(lat: Latencies) -> Self {
-        Scoreboard { ready: [0; MAX_GPRS], now: 0, lat, stall_cycles: 0 }
+        Scoreboard {
+            ready: [0; MAX_GPRS],
+            now: 0,
+            lat,
+            stall_cycles: 0,
+        }
     }
 
     /// Issue one op: stall until its sources are ready, charge its
@@ -83,7 +93,10 @@ impl Scoreboard {
         }
         self.stall_cycles += issue_at - (self.now + 1);
         let latency = match op {
-            Op::Alu { op, .. } if matches!(op, simbench_core::ir::AluOp::Mul) => self.lat.mul,
+            Op::Alu {
+                op: simbench_core::ir::AluOp::Mul,
+                ..
+            } => self.lat.mul,
             Op::Load { .. } | Op::Ret(RetKind::Pop(_)) => self.lat.load + mem_extra,
             Op::Store { .. } => 1 + mem_extra,
             _ => self.lat.alu,
@@ -168,18 +181,39 @@ mod tests {
     fn scoreboard_tracks_dependencies() {
         let mut sb = Scoreboard::new(Latencies::default());
         // r1 = load (latency 2): r1 ready later.
-        sb.issue(&Op::Load { rd: 1, base: 0, off: 0, size: simbench_core::ir::MemSize::B4, nonpriv: false }, 0);
+        sb.issue(
+            &Op::Load {
+                rd: 1,
+                base: 0,
+                off: 0,
+                size: simbench_core::ir::MemSize::B4,
+                nonpriv: false,
+            },
+            0,
+        );
         let before = sb.stalls();
         // Dependent add must stall on r1.
         sb.issue(
-            &Op::Alu { op: AluOp::Add, rd: 2, rn: 1, src: Operand::Imm(1), set_flags: false },
+            &Op::Alu {
+                op: AluOp::Add,
+                rd: 2,
+                rn: 1,
+                src: Operand::Imm(1),
+                set_flags: false,
+            },
             0,
         );
         assert!(sb.stalls() > before, "load-use stall recorded");
         // Independent op does not stall.
         let before = sb.stalls();
         sb.issue(
-            &Op::Alu { op: AluOp::Add, rd: 3, rn: 0, src: Operand::Imm(1), set_flags: false },
+            &Op::Alu {
+                op: AluOp::Add,
+                rd: 3,
+                rn: 0,
+                src: Operand::Imm(1),
+                set_flags: false,
+            },
             0,
         );
         assert_eq!(sb.stalls(), before);
@@ -190,11 +224,23 @@ mod tests {
         let lat = Latencies::default();
         let mut sb = Scoreboard::new(lat);
         let add = sb.issue(
-            &Op::Alu { op: AluOp::Add, rd: 1, rn: 0, src: Operand::Imm(1), set_flags: false },
+            &Op::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rn: 0,
+                src: Operand::Imm(1),
+                set_flags: false,
+            },
             0,
         );
         let mul = sb.issue(
-            &Op::Alu { op: AluOp::Mul, rd: 2, rn: 0, src: Operand::Imm(3), set_flags: false },
+            &Op::Alu {
+                op: AluOp::Mul,
+                rd: 2,
+                rn: 0,
+                src: Operand::Imm(3),
+                set_flags: false,
+            },
             0,
         );
         assert!(mul > add);
@@ -219,7 +265,16 @@ mod tests {
     #[test]
     fn reset_clears() {
         let mut sb = Scoreboard::new(Latencies::default());
-        sb.issue(&Op::Load { rd: 1, base: 0, off: 0, size: simbench_core::ir::MemSize::B4, nonpriv: false }, 5);
+        sb.issue(
+            &Op::Load {
+                rd: 1,
+                base: 0,
+                off: 0,
+                size: simbench_core::ir::MemSize::B4,
+                nonpriv: false,
+            },
+            5,
+        );
         sb.reset();
         assert_eq!(sb.now, 0);
         assert_eq!(sb.stalls(), 0);

@@ -3,13 +3,18 @@
 //!
 //! Density is *tested operations per retired kernel instruction*,
 //! measured (not assumed) from engine event counters.
+//!
+//! The measurements come from one campaign running every suite
+//! benchmark and every app on the latest DBT profile; this module only
+//! aggregates the cells' counters.
 
 use simbench_apps::App;
+use simbench_campaign::{CampaignResult, CampaignSpec, Workload};
 use simbench_core::events::Counters;
 use simbench_suite::Benchmark;
 
 use crate::table::{fmt_density, fmt_iters, Table};
-use crate::{run_app, run_suite_bench, Config, EngineKind, Guest};
+use crate::{figure_spec, run_campaign, Config, EngineKind, Guest};
 
 /// One benchmark's densities.
 #[derive(Debug, Clone)]
@@ -24,16 +29,35 @@ pub struct Row {
     pub spec_density: f64,
 }
 
-/// Run the experiment.
-pub fn run(cfg: &Config) -> (Vec<Row>, String) {
-    // Aggregate counters across the whole app suite. Densities are
-    // measured on the DBT engine because only a translating engine can
-    // observe code modifications (the Code Generation tested op).
+/// The Fig 3 campaign: suite + apps on the DBT engine. Densities are
+/// measured on the DBT engine because only a translating engine can
+/// observe code modifications (the Code Generation tested op).
+pub fn spec(cfg: &Config) -> CampaignSpec {
+    let mut workloads = CampaignSpec::suite_workloads();
+    workloads.extend(CampaignSpec::app_workloads());
+    figure_spec(
+        "fig3",
+        vec![Guest::Armlet],
+        vec![EngineKind::Dbt(simbench_dbt::VersionProfile::latest())],
+        workloads,
+        cfg,
+    )
+}
+
+/// Render a completed Fig 3 campaign.
+pub fn render(campaign: &CampaignResult) -> (Vec<Row>, String) {
     let engine = EngineKind::Dbt(simbench_dbt::VersionProfile::latest());
+    // Aggregate counters across the whole app suite.
     let mut spec_total = Counters::default();
     for app in App::ALL {
-        let s = run_app(Guest::Armlet, engine, app, cfg);
-        spec_total = spec_total.plus(&s.counters);
+        let cell = campaign
+            .cell(
+                Guest::Armlet.isa_name(),
+                &engine.id(),
+                &Workload::App(app).id(),
+            )
+            .expect("apps run on the DBT engine");
+        spec_total = spec_total.plus(&cell.counters);
     }
 
     let mut rows = Vec::new();
@@ -46,12 +70,16 @@ pub fn run(cfg: &Config) -> (Vec<Row>, String) {
         "notes",
     ]);
     for bench in Benchmark::ALL {
-        let sample = run_suite_bench(Guest::Armlet, engine, bench, cfg)
+        let cell = campaign
+            .cell(
+                Guest::Armlet.isa_name(),
+                &engine.id(),
+                &Workload::Suite(bench).id(),
+            )
             .expect("all benchmarks exist on armlet");
-        let own = bench.tested_ops(&sample.counters) as f64
-            / sample.counters.instructions.max(1) as f64;
-        let spec =
-            bench.tested_ops(&spec_total) as f64 / spec_total.instructions.max(1) as f64;
+        let counters = &cell.counters;
+        let own = bench.tested_ops(counters) as f64 / counters.instructions.max(1) as f64;
+        let spec = bench.tested_ops(&spec_total) as f64 / spec_total.instructions.max(1) as f64;
         let row = Row {
             bench,
             iterations: bench.paper_iterations(),
@@ -63,7 +91,11 @@ pub fn run(cfg: &Config) -> (Vec<Row>, String) {
             format!(
                 "{}{}",
                 bench.name(),
-                if bench.platform_specific() { " †" } else { "" }
+                if bench.platform_specific() {
+                    " †"
+                } else {
+                    ""
+                }
             ),
             fmt_iters(row.iterations),
             fmt_density(row.simbench_density),
@@ -78,4 +110,9 @@ pub fn run(cfg: &Config) -> (Vec<Row>, String) {
         table.render()
     );
     (rows, text)
+}
+
+/// Run the experiment and render it.
+pub fn run(cfg: &Config) -> (Vec<Row>, String) {
+    render(&run_campaign(&spec(cfg), cfg))
 }

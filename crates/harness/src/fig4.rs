@@ -15,7 +15,13 @@ fn infos() -> Vec<EngineInfo> {
     let detailed: &dyn Engine<Armlet, Platform> = &simbench_detailed::Detailed::<Armlet>::new();
     let virt: &dyn Engine<Armlet, Platform> = &simbench_virt::Virt::<Armlet>::kvm();
     let native: &dyn Engine<Armlet, Platform> = &simbench_virt::Virt::<Armlet>::native();
-    vec![dbt.info(), interp.info(), detailed.info(), virt.info(), native.info()]
+    vec![
+        dbt.info(),
+        interp.info(),
+        detailed.info(),
+        virt.info(),
+        native.info(),
+    ]
 }
 
 /// Render the feature matrix.
@@ -25,7 +31,8 @@ pub fn run() -> (Vec<EngineInfo>, String) {
     header.extend(infos.iter().map(|i| i.name.to_string()));
     let mut table = Table::new(header);
 
-    let rows: [(&str, fn(&EngineInfo) -> &'static str); 8] = [
+    type InfoGetter = fn(&EngineInfo) -> &'static str;
+    let rows: [(&str, InfoGetter); 8] = [
         ("Execution Model", |i| i.execution_model),
         ("Memory Access", |i| i.memory_access),
         ("Code Generation", |i| i.code_generation),

@@ -8,12 +8,21 @@ use crate::table::Table;
 /// Render the environment table.
 pub fn run() -> String {
     let mut table = Table::new(["property", "value"]);
-    table.row(["Role", "host for all five engines (paper: ODROID-XU3 + HP z440)"]);
-    table.row(["OS".to_string(), format!("{} / {}", std::env::consts::OS, std::env::consts::ARCH)]);
+    table.row([
+        "Role",
+        "host for all five engines (paper: ODROID-XU3 + HP z440)",
+    ]);
+    table.row([
+        "OS".to_string(),
+        format!("{} / {}", std::env::consts::OS, std::env::consts::ARCH),
+    ]);
     table.row(["CPU".to_string(), cpu_model()]);
     table.row(["Logical CPUs".to_string(), num_cpus().to_string()]);
     table.row(["Rust".to_string(), rustc_version()]);
-    table.row(["Engines", "dbt, interp, detailed, virt, native (single-threaded)"]);
+    table.row([
+        "Engines",
+        "dbt, interp, detailed, virt, native (single-threaded)",
+    ]);
     format!("Fig 5 — measurement environment\n\n{}", table.render())
 }
 
@@ -30,7 +39,9 @@ fn cpu_model() -> String {
 }
 
 fn num_cpus() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn rustc_version() -> String {

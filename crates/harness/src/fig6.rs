@@ -6,14 +6,18 @@
 //! control-flow and exception panels degrade monotonically from v2.1,
 //! the optimizer bump lands at v2.0.0, and the data-fault fast path
 //! appears at v2.5.0-rc0.
+//!
+//! The measurements come from one campaign (per guest) over the full
+//! benchmark × version matrix; this module only renders the cells.
 
 use std::collections::BTreeMap;
 
+use simbench_campaign::{CampaignResult, CampaignSpec, Workload};
 use simbench_dbt::QEMU_VERSIONS;
 use simbench_suite::{Benchmark, Category};
 
 use crate::table::{fmt_ratio, Table};
-use crate::{run_suite_bench, Config, EngineKind, Guest};
+use crate::{figure_spec, run_campaign, Config, EngineKind, Guest};
 
 /// Measured speedups: `speedups[benchmark][version index]`.
 #[derive(Debug, Clone, Default)]
@@ -24,28 +28,68 @@ pub struct Panel {
     pub series: BTreeMap<&'static str, Vec<f64>>,
 }
 
-/// Run the experiment for one guest.
-pub fn run_guest(guest: Guest, cfg: &Config) -> Panel {
-    let mut panel = Panel { guest: guest.name(), series: BTreeMap::new() };
+/// The Fig 6 campaign for one guest: every supported benchmark on every
+/// DBT version profile.
+pub fn spec(guest: Guest, cfg: &Config) -> CampaignSpec {
+    figure_spec(
+        "fig6",
+        vec![guest],
+        EngineKind::all_dbt_versions(),
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .map(Workload::Suite)
+            .collect(),
+        cfg,
+    )
+}
+
+/// Build one guest's panel from its completed campaign.
+pub fn panel_from(guest: Guest, campaign: &CampaignResult) -> Panel {
+    let mut panel = Panel {
+        guest: guest.name(),
+        series: BTreeMap::new(),
+    };
     for bench in Benchmark::ALL {
         if !bench.supported_on(guest.isa_name()) {
             continue;
         }
-        let mut secs = Vec::new();
-        for v in QEMU_VERSIONS {
-            let s = run_suite_bench(guest, EngineKind::Dbt(*v), bench, cfg)
-                .expect("supported benchmark");
-            secs.push(s.seconds.max(1e-9));
-        }
+        let secs: Vec<f64> = QEMU_VERSIONS
+            .iter()
+            .map(|v| {
+                let cell = campaign
+                    .cell(
+                        guest.isa_name(),
+                        &EngineKind::Dbt(*v).id(),
+                        &Workload::Suite(bench).id(),
+                    )
+                    .expect("supported benchmark");
+                cell.stats
+                    .as_ref()
+                    .expect("supported benchmark completed")
+                    .median
+                    .max(1e-9)
+            })
+            .collect();
         let base = secs[0];
-        panel.series.insert(bench.name(), secs.iter().map(|&t| base / t).collect());
+        panel
+            .series
+            .insert(bench.name(), secs.iter().map(|&t| base / t).collect());
     }
     panel
 }
 
+/// Run the experiment for one guest.
+pub fn run_guest(guest: Guest, cfg: &Config) -> Panel {
+    panel_from(guest, &run_campaign(&spec(guest, cfg), cfg))
+}
+
 /// Render one guest's panels (one table per category).
 pub fn render_panels(guest: Guest, panel: &Panel) -> String {
-    let mut out = format!("Fig 6 — SimBench speedups across DBT versions, {} guest\n", panel.guest);
+    let mut out = format!(
+        "Fig 6 — SimBench speedups across DBT versions, {} guest\n",
+        panel.guest
+    );
     for cat in Category::ALL {
         let benches: Vec<Benchmark> = Benchmark::ALL
             .iter()

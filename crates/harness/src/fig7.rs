@@ -6,12 +6,15 @@
 //! (Nonprivileged Access on petix); `-†` marks functionality the engine
 //! does not implement (INTC / safe-device models on the detailed
 //! engine), both mirroring the paper's footnotes.
+//!
+//! The measurements come from one campaign over the full matrix; this
+//! module only renders the resulting cells.
 
-use simbench_core::engine::ExitReason;
+use simbench_campaign::{CampaignResult, CampaignSpec, CellStatus, Workload};
 use simbench_suite::Benchmark;
 
 use crate::table::{fmt_secs, Table};
-use crate::{run_suite_bench, Config, EngineKind, Guest};
+use crate::{figure_spec, run_campaign, Config, EngineKind, Guest};
 
 /// One table cell.
 #[derive(Debug, Clone, Copy)]
@@ -37,8 +40,24 @@ impl Cell {
 /// Full results: `cells[guest][benchmark][engine]`.
 pub type Results = Vec<Vec<Vec<Cell>>>;
 
-/// Run the whole matrix.
-pub fn run(cfg: &Config) -> (Results, String) {
+/// The Fig 7 campaign: every suite benchmark on every engine column for
+/// both guests.
+pub fn spec(cfg: &Config) -> CampaignSpec {
+    figure_spec(
+        "fig7",
+        Guest::ALL.to_vec(),
+        EngineKind::fig7_columns().to_vec(),
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .map(Workload::Suite)
+            .collect(),
+        cfg,
+    )
+}
+
+/// Render a completed Fig 7 campaign.
+pub fn render(campaign: &CampaignResult) -> (Results, String) {
     let engines = EngineKind::fig7_columns();
     let mut results: Results = Vec::new();
     let mut text = String::from("Fig 7 — SimBench kernel seconds across simulators\n");
@@ -50,13 +69,18 @@ pub fn run(cfg: &Config) -> (Results, String) {
         for bench in Benchmark::ALL {
             let mut row_cells = Vec::new();
             for engine in engines {
-                let cell = match run_suite_bench(guest, engine, bench, cfg) {
-                    None => Cell::NotOnIsa,
-                    Some(s) => match s.exit {
-                        ExitReason::Halted => Cell::Seconds(s.seconds),
-                        ExitReason::Unsupported(_) => Cell::Unsupported,
-                        other => panic!("{engine:?}/{bench:?} on {guest:?}: {other:?}"),
-                    },
+                let rc = campaign
+                    .cell(guest.isa_name(), &engine.id(), &Workload::Suite(bench).id())
+                    .unwrap_or_else(|| panic!("missing cell {engine:?}/{bench:?} on {guest:?}"));
+                let cell = match &rc.status {
+                    CellStatus::Ok => {
+                        Cell::Seconds(rc.stats.as_ref().expect("ok cell has stats").median)
+                    }
+                    CellStatus::NotOnIsa => Cell::NotOnIsa,
+                    CellStatus::Unsupported(_) => Cell::Unsupported,
+                    CellStatus::Failed(why) => {
+                        panic!("{engine:?}/{bench:?} on {guest:?}: {why}")
+                    }
                 };
                 row_cells.push(cell);
             }
@@ -70,4 +94,9 @@ pub fn run(cfg: &Config) -> (Results, String) {
     }
     text.push_str("\n(- benchmark absent on ISA; -† device model not implemented in engine)\n");
     (results, text)
+}
+
+/// Run the whole matrix and render it.
+pub fn run(cfg: &Config) -> (Results, String) {
+    render(&run_campaign(&spec(cfg), cfg))
 }

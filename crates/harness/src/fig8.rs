@@ -4,13 +4,17 @@
 //! The paper's closing observation: both aggregates drift downward
 //! across releases, but only SimBench's per-category breakdown (Fig 6)
 //! says *why*.
+//!
+//! The measurements come from one campaign over the combined
+//! (apps + suite) × version matrix; this module only renders the cells.
 
 use simbench_apps::App;
+use simbench_campaign::{CampaignResult, CampaignSpec, Workload};
 use simbench_dbt::QEMU_VERSIONS;
 use simbench_suite::Benchmark;
 
 use crate::table::{fmt_ratio, Table};
-use crate::{geomean, run_app, run_suite_bench, Config, EngineKind, Guest};
+use crate::{figure_spec, geomean, run_campaign, Config, EngineKind, Guest};
 
 /// One version's aggregate speedups.
 #[derive(Debug, Clone)]
@@ -23,40 +27,73 @@ pub struct Row {
     pub simbench: f64,
 }
 
-/// Run the experiment (armlet guest, as in the paper).
-pub fn run(cfg: &Config) -> (Vec<Row>, String) {
+/// The Fig 8 campaign: both workload families on every DBT version
+/// profile (armlet guest, as in the paper).
+pub fn spec(cfg: &Config) -> CampaignSpec {
+    let mut workloads = CampaignSpec::app_workloads();
+    workloads.extend(CampaignSpec::suite_workloads());
+    figure_spec(
+        "fig8",
+        vec![Guest::Armlet],
+        EngineKind::all_dbt_versions(),
+        workloads,
+        cfg,
+    )
+}
+
+fn secs(campaign: &CampaignResult, version: &EngineKind, workload: Workload) -> f64 {
+    let cell = campaign
+        .cell(Guest::Armlet.isa_name(), &version.id(), &workload.id())
+        .expect("armlet supports all workloads");
+    cell.stats
+        .as_ref()
+        .expect("workload completed")
+        .median
+        .max(1e-9)
+}
+
+/// Render a completed Fig 8 campaign.
+pub fn render(campaign: &CampaignResult) -> (Vec<Row>, String) {
+    let versions = EngineKind::all_dbt_versions();
     let benches: Vec<Benchmark> = Benchmark::ALL.to_vec();
-    let mut app_times: Vec<Vec<f64>> = Vec::new();
-    let mut suite_times: Vec<Vec<f64>> = Vec::new();
-    for v in QEMU_VERSIONS {
-        app_times.push(
+    let app_times: Vec<Vec<f64>> = versions
+        .iter()
+        .map(|v| {
             App::ALL
                 .iter()
-                .map(|&a| run_app(Guest::Armlet, EngineKind::Dbt(*v), a, cfg).seconds.max(1e-9))
-                .collect(),
-        );
-        suite_times.push(
+                .map(|&a| secs(campaign, v, Workload::App(a)))
+                .collect()
+        })
+        .collect();
+    let suite_times: Vec<Vec<f64>> = versions
+        .iter()
+        .map(|v| {
             benches
                 .iter()
-                .map(|&b| {
-                    run_suite_bench(Guest::Armlet, EngineKind::Dbt(*v), b, cfg)
-                        .expect("armlet supports all")
-                        .seconds
-                        .max(1e-9)
-                })
-                .collect(),
-        );
-    }
+                .map(|&b| secs(campaign, v, Workload::Suite(b)))
+                .collect()
+        })
+        .collect();
 
     let mut rows = Vec::new();
     let mut table = Table::new(["version", "SPEC-like", "SimBench"]);
     for (vi, v) in QEMU_VERSIONS.iter().enumerate() {
-        let spec: Vec<f64> =
-            (0..App::ALL.len()).map(|ai| app_times[0][ai] / app_times[vi][ai]).collect();
-        let sim: Vec<f64> =
-            (0..benches.len()).map(|bi| suite_times[0][bi] / suite_times[vi][bi]).collect();
-        let row = Row { version: v.name, spec: geomean(&spec), simbench: geomean(&sim) };
-        table.row([row.version.to_string(), fmt_ratio(row.spec), fmt_ratio(row.simbench)]);
+        let spec: Vec<f64> = (0..App::ALL.len())
+            .map(|ai| app_times[0][ai] / app_times[vi][ai])
+            .collect();
+        let sim: Vec<f64> = (0..benches.len())
+            .map(|bi| suite_times[0][bi] / suite_times[vi][bi])
+            .collect();
+        let row = Row {
+            version: v.name,
+            spec: geomean(&spec),
+            simbench: geomean(&sim),
+        };
+        table.row([
+            row.version.to_string(),
+            fmt_ratio(row.spec),
+            fmt_ratio(row.simbench),
+        ]);
         rows.push(row);
     }
     let text = format!(
@@ -64,4 +101,9 @@ pub fn run(cfg: &Config) -> (Vec<Row>, String) {
         table.render()
     );
     (rows, text)
+}
+
+/// Run the experiment (armlet guest, as in the paper) and render it.
+pub fn run(cfg: &Config) -> (Vec<Row>, String) {
+    render(&run_campaign(&spec(cfg), cfg))
 }

@@ -14,6 +14,15 @@
 //! | [`fig8`] | Fig 8 — SPEC vs SimBench geometric means across versions |
 //! | [`model`] | §I contribution 3 — predict application runtimes from micro-benchmark costs |
 //!
+//! Since the campaign refactor, every measuring driver (figs 2, 3, 6,
+//! 7, 8) is a thin renderer over a [`simbench_campaign::CampaignResult`]:
+//! it declares a [`simbench_campaign::CampaignSpec`], hands it to the
+//! parallel campaign runner (honouring [`Config::jobs`]), and formats
+//! the aggregated cells. The measurement primitives themselves
+//! ([`Guest`], [`EngineKind`], [`run_suite_bench`], [`run_app`], ...)
+//! live in `simbench-campaign` and are re-exported here for backwards
+//! compatibility.
+//!
 //! Run everything with `cargo run -p simbench-harness --release -- all`.
 
 pub mod fig2;
@@ -26,230 +35,41 @@ pub mod fig8;
 pub mod model;
 pub mod table;
 
-use std::time::Duration;
+pub use simbench_campaign::measure::{run_app, run_suite_bench, Config, EngineKind, Guest, Sample};
+pub use simbench_campaign::stats::geomean;
 
-use simbench_apps::{build_app, App};
-use simbench_core::engine::{Engine, ExitReason, RunLimits, RunOutcome};
-use simbench_core::events::Counters;
-use simbench_core::image::GuestImage;
-use simbench_core::isa::Isa;
-use simbench_core::machine::Machine;
-use simbench_dbt::{Dbt, VersionProfile};
-use simbench_detailed::Detailed;
-use simbench_interp::Interp;
-use simbench_isa_armlet::Armlet;
-use simbench_isa_petix::Petix;
-use simbench_platform::Platform;
-use simbench_suite::{build, ArmletSupport, Benchmark, PetixSupport};
-use simbench_virt::Virt;
+use simbench_campaign::{CampaignResult, CampaignSpec, RunnerOpts};
 
-/// Guest architecture selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Guest {
-    /// ARM-like guest.
-    Armlet,
-    /// x86-like guest.
-    Petix,
+/// Run a figure's campaign spec with the harness configuration's worker
+/// count. All figure drivers funnel through here.
+pub(crate) fn run_campaign(spec: &CampaignSpec, cfg: &Config) -> CampaignResult {
+    simbench_campaign::run(spec, &RunnerOpts::with_jobs(cfg.jobs))
 }
 
-impl Guest {
-    /// Both guests.
-    pub const ALL: [Guest; 2] = [Guest::Armlet, Guest::Petix];
-
-    /// Display name matching the paper's "ARM Guest" / "x86 Guest".
-    pub fn name(self) -> &'static str {
-        match self {
-            Guest::Armlet => "armlet (ARM-like)",
-            Guest::Petix => "petix (x86-like)",
-        }
-    }
-
-    /// ISA name used by `Benchmark::supported_on`.
-    pub fn isa_name(self) -> &'static str {
-        match self {
-            Guest::Armlet => "armlet",
-            Guest::Petix => "petix",
-        }
-    }
-}
-
-/// Engine selector, matching the five columns of Fig 7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EngineKind {
-    /// The DBT engine at a version profile (QEMU-DBT analogue).
-    Dbt(VersionProfile),
-    /// Fast interpreter (SimIt-ARM analogue).
-    Interp,
-    /// Detailed timing interpreter (Gem5 analogue).
-    Detailed,
-    /// Hardware-assisted virtualization (QEMU-KVM analogue).
-    Virt,
-    /// Bare-metal stand-in (zero-exit-cost direct execution).
-    Native,
-}
-
-impl EngineKind {
-    /// The five Fig 7 columns, newest DBT profile.
-    pub fn fig7_columns() -> [EngineKind; 5] {
-        [
-            EngineKind::Dbt(VersionProfile::latest()),
-            EngineKind::Interp,
-            EngineKind::Detailed,
-            EngineKind::Virt,
-            EngineKind::Native,
-        ]
-    }
-
-    /// Column header.
-    pub fn name(self) -> &'static str {
-        match self {
-            EngineKind::Dbt(_) => "dbt (QEMU)",
-            EngineKind::Interp => "interp (SimIt)",
-            EngineKind::Detailed => "detailed (Gem5)",
-            EngineKind::Virt => "virt (KVM)",
-            EngineKind::Native => "native (HW)",
-        }
-    }
-}
-
-/// One measured run.
-#[derive(Debug, Clone)]
-pub struct Sample {
-    /// Wall-clock time of the timed kernel phase.
-    pub seconds: f64,
-    /// Events retired during the kernel phase.
-    pub counters: Counters,
-    /// Why the run ended.
-    pub exit: ExitReason,
-    /// Iterations the guest executed.
-    pub iterations: u32,
-}
-
-impl Sample {
-    /// True when the run completed normally.
-    pub fn ok(&self) -> bool {
-        self.exit == ExitReason::Halted
-    }
-}
-
-/// Harness configuration.
-#[derive(Debug, Clone, Copy)]
-pub struct Config {
-    /// Iteration divisor applied to the paper's Fig 3 counts (and app
-    /// defaults). 1 reproduces the paper's full counts; the default keeps
-    /// a full `all` run to a few minutes on a laptop.
-    pub scale: u64,
-    /// Safety limits per run.
-    pub limits: RunLimits,
-}
-
-impl Default for Config {
-    fn default() -> Self {
-        Config {
-            scale: 2000,
-            limits: RunLimits {
-                max_insns: u64::MAX,
-                wall_limit: Some(Duration::from_secs(120)),
-            },
-        }
-    }
-}
-
-impl Config {
-    /// A configuration with the given scale divisor.
-    pub fn with_scale(scale: u64) -> Self {
-        Config { scale, ..Default::default() }
-    }
-}
-
-fn run_image_on<I: Isa>(engine: EngineKind, image: &GuestImage, limits: &RunLimits) -> RunOutcome {
-    let mut m = Machine::<I, Platform>::boot(image, Platform::new());
-    match engine {
-        EngineKind::Dbt(profile) => Dbt::<I>::with_profile(profile).run(&mut m, limits),
-        EngineKind::Interp => Interp::<I>::new().run(&mut m, limits),
-        EngineKind::Detailed => {
-            // Mirror the paper's Fig 7 footnote: Gem5 lacks device models
-            // for the interrupt controller and the safe MMIO device.
-            let pages = [
-                simbench_platform::INTC_BASE >> 12,
-                simbench_platform::SAFEDEV_BASE >> 12,
-            ];
-            Detailed::<I>::new().with_unimplemented_pages(&pages).run(&mut m, limits)
-        }
-        EngineKind::Virt => Virt::<I>::kvm().run(&mut m, limits),
-        EngineKind::Native => Virt::<I>::native().run(&mut m, limits),
-    }
-}
-
-fn sample_from(out: RunOutcome, iterations: u32) -> Sample {
-    Sample {
-        seconds: out.kernel_wall().as_secs_f64(),
-        counters: out.kernel_counters(),
-        exit: out.exit,
-        iterations,
-    }
-}
-
-/// Run one suite benchmark. `None` when the benchmark does not exist on
-/// the guest architecture (Nonprivileged Access on petix).
-pub fn run_suite_bench(
-    guest: Guest,
-    engine: EngineKind,
-    bench: Benchmark,
+/// A figure campaign spec at the harness configuration's scale: reps
+/// and wall limit come from [`Config`], the matrix from the caller.
+pub(crate) fn figure_spec(
+    name: &str,
+    guests: Vec<Guest>,
+    engines: Vec<EngineKind>,
+    workloads: Vec<simbench_campaign::Workload>,
     cfg: &Config,
-) -> Option<Sample> {
-    let iters = bench.scaled_iterations(cfg.scale);
-    let out = match guest {
-        Guest::Armlet => {
-            let image = build(&ArmletSupport::new(), bench, iters)?;
-            run_image_on::<Armlet>(engine, &image, &cfg.limits)
-        }
-        Guest::Petix => {
-            let image = build(&PetixSupport::new(), bench, iters)?;
-            run_image_on::<Petix>(engine, &image, &cfg.limits)
-        }
-    };
-    Some(sample_from(out, iters))
-}
-
-/// Run one synthetic application.
-pub fn run_app(guest: Guest, engine: EngineKind, app: App, cfg: &Config) -> Sample {
-    // Apps use a gentler divisor: the paper's point is that they are
-    // large relative to the micro-benchmarks.
-    let iters = app.scaled_iterations(cfg.scale / 50);
-    let out = match guest {
-        Guest::Armlet => {
-            let image = build_app(&ArmletSupport::new(), app, iters);
-            run_image_on::<Armlet>(engine, &image, &cfg.limits)
-        }
-        Guest::Petix => {
-            let image = build_app(&PetixSupport::new(), app, iters);
-            run_image_on::<Petix>(engine, &image, &cfg.limits)
-        }
-    };
-    sample_from(out, iters)
-}
-
-/// Geometric mean.
-///
-/// # Panics
-///
-/// Panics if `values` is empty or contains non-positive entries.
-pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geomean of nothing");
-    let log_sum: f64 = values
-        .iter()
-        .map(|&v| {
-            assert!(v > 0.0, "geomean requires positive values, got {v}");
-            v.ln()
-        })
-        .sum();
-    (log_sum / values.len() as f64).exp()
+) -> CampaignSpec {
+    CampaignSpec {
+        name: name.to_string(),
+        guests,
+        engines,
+        workloads,
+        scale: cfg.scale,
+        reps: cfg.reps.max(1),
+        wall_limit_secs: cfg.limits.wall_limit.map(|d| d.as_secs().max(1)),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simbench_suite::Benchmark;
 
     #[test]
     fn geomean_basics() {
@@ -265,7 +85,10 @@ mod tests {
 
     #[test]
     fn smoke_run_syscall_on_all_engines() {
-        let cfg = Config { scale: 1_000_000, ..Default::default() };
+        let cfg = Config {
+            scale: 1_000_000,
+            ..Default::default()
+        };
         for engine in EngineKind::fig7_columns() {
             let s = run_suite_bench(Guest::Armlet, engine, Benchmark::Syscall, &cfg).unwrap();
             assert!(s.ok(), "{engine:?}: {:?}", s.exit);
@@ -275,19 +98,41 @@ mod tests {
 
     #[test]
     fn detailed_reports_unsupported_for_mmio() {
-        let cfg = Config { scale: 1_000_000, ..Default::default() };
-        let s = run_suite_bench(Guest::Armlet, EngineKind::Detailed, Benchmark::MmioDevice, &cfg)
-            .unwrap();
-        assert!(matches!(s.exit, ExitReason::Unsupported(_)));
-        let s = run_suite_bench(Guest::Armlet, EngineKind::Detailed, Benchmark::ExtSwi, &cfg)
-            .unwrap();
-        assert!(matches!(s.exit, ExitReason::Unsupported(_)));
+        let cfg = Config {
+            scale: 1_000_000,
+            ..Default::default()
+        };
+        let s = run_suite_bench(
+            Guest::Armlet,
+            EngineKind::Detailed,
+            Benchmark::MmioDevice,
+            &cfg,
+        )
+        .unwrap();
+        assert!(matches!(
+            s.exit,
+            simbench_core::engine::ExitReason::Unsupported(_)
+        ));
+        let s =
+            run_suite_bench(Guest::Armlet, EngineKind::Detailed, Benchmark::ExtSwi, &cfg).unwrap();
+        assert!(matches!(
+            s.exit,
+            simbench_core::engine::ExitReason::Unsupported(_)
+        ));
     }
 
     #[test]
     fn nonpriv_none_on_petix() {
-        let cfg = Config { scale: 1_000_000, ..Default::default() };
-        assert!(run_suite_bench(Guest::Petix, EngineKind::Interp, Benchmark::NonprivAccess, &cfg)
-            .is_none());
+        let cfg = Config {
+            scale: 1_000_000,
+            ..Default::default()
+        };
+        assert!(run_suite_bench(
+            Guest::Petix,
+            EngineKind::Interp,
+            Benchmark::NonprivAccess,
+            &cfg
+        )
+        .is_none());
     }
 }

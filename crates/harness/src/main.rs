@@ -1,46 +1,126 @@
 //! SimBench-rs experiment CLI.
 //!
 //! ```text
-//! cargo run -p simbench-harness --release -- <figure> [--scale N] [--out FILE]
-//!
-//! figures: fig2 fig3 fig4 fig5 fig6 fig7 fig8 all
-//! --scale N   divide the paper's iteration counts by N (default 2000;
-//!             1 reproduces the full counts and runs for a long time)
-//! --out FILE  additionally write the output to FILE
+//! simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8|all> [--scale N] [--jobs N] [--out FILE]
+//! simbench-harness campaign run     [--scale N] [--jobs N] [--reps R] [--out FILE] [--name S]
+//!                                   [--guests LIST] [--engines LIST] [--benches LIST]
+//!                                   [--apps] [--versions]
+//! simbench-harness campaign compare <CURRENT.json> --baseline FILE [--threshold FRAC]
+//! simbench-harness campaign list
+//! simbench-harness --list
 //! ```
+//!
+//! Unknown flags and malformed values are hard errors: a typo must not
+//! silently change what gets measured.
 
 use std::io::Write as _;
+use std::process::ExitCode;
 
+use simbench_apps::App;
+use simbench_campaign::{
+    compare, run, CampaignResult, CampaignSpec, EngineKind, Guest, RunnerOpts, Workload,
+};
+use simbench_dbt::QEMU_VERSIONS;
 use simbench_harness::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, Config};
+use simbench_suite::Benchmark;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8|all> [--scale N] [--out FILE]"
-    );
+const USAGE: &str = "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8|all> \
+                     [--scale N] [--jobs N] [--out FILE]
+       simbench-harness campaign run [--scale N] [--jobs N] [--reps R] [--out FILE] [--name S]
+                                     [--guests LIST] [--engines LIST] [--benches LIST]
+                                     [--apps] [--versions]
+       simbench-harness campaign compare <CURRENT.json> --baseline FILE [--threshold FRAC]
+       simbench-harness campaign list
+       simbench-harness --list";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("simbench-harness: {msg}");
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        usage();
-    }
-    let mut which = None;
-    let mut scale = 2000u64;
-    let mut out_path: Option<String> = None;
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scale" => {
-                scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
-            }
-            "--out" => out_path = Some(it.next().unwrap_or_else(|| usage())),
-            name if which.is_none() && !name.starts_with('-') => which = Some(name.to_string()),
-            _ => usage(),
+/// Typed argument cursor with strict error reporting.
+struct Args {
+    args: std::vec::IntoIter<String>,
+}
+
+impl Args {
+    fn new(args: Vec<String>) -> Self {
+        Args {
+            args: args.into_iter(),
         }
     }
-    let which = which.unwrap_or_else(|| usage());
-    let cfg = Config::with_scale(scale);
+
+    fn next(&mut self) -> Option<String> {
+        self.args.next()
+    }
+
+    fn value_of(&mut self, flag: &str) -> String {
+        match self.next() {
+            Some(v) if !v.starts_with("--") => v,
+            _ => fail(&format!("{flag} requires a value")),
+        }
+    }
+
+    fn parse_of<T: std::str::FromStr>(&mut self, flag: &str) -> T {
+        let raw = self.value_of(flag);
+        raw.parse()
+            .unwrap_or_else(|_| fail(&format!("invalid value for {flag}: {raw:?}")))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("campaign") {
+        argv.remove(0);
+        return campaign_main(argv);
+    }
+    figures_main(argv)
+}
+
+// ---------------------------------------------------------------------------
+// Figure mode.
+// ---------------------------------------------------------------------------
+
+const FIGURES: [&str; 7] = ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"];
+
+fn figures_main(argv: Vec<String>) -> ExitCode {
+    if argv.is_empty() {
+        fail("missing figure name");
+    }
+    let mut which: Option<String> = None;
+    let mut scale = 2000u64;
+    let mut jobs = 1usize;
+    let mut out_path: Option<String> = None;
+    let mut args = Args::new(argv);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.parse_of("--scale"),
+            "--jobs" => jobs = args.parse_of::<usize>("--jobs").max(1),
+            "--out" => out_path = Some(args.value_of("--out")),
+            "--list" | "list" => {
+                print!("{}", render_list());
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            name if !name.starts_with('-') && which.is_none() => which = Some(name.to_string()),
+            name if !name.starts_with('-') => fail(&format!(
+                "unexpected argument {name:?} (figure already given)"
+            )),
+            flag => fail(&format!("unknown flag {flag:?}")),
+        }
+    }
+    let which = which.unwrap_or_else(|| fail("missing figure name"));
+    if which != "all" && !FIGURES.contains(&which.as_str()) {
+        fail(&format!("unknown figure {which:?}"));
+    }
+    if scale == 0 {
+        fail("--scale must be at least 1");
+    }
+    let cfg = Config::with_scale(scale).with_jobs(jobs);
 
     let mut output = String::new();
     let run_one = |name: &str, output: &mut String| {
@@ -53,14 +133,14 @@ fn main() {
             "fig6" => fig6::run(&cfg).1,
             "fig7" => fig7::run(&cfg).1,
             "fig8" => fig8::run(&cfg).1,
-            _ => usage(),
+            _ => unreachable!("figure validated above"),
         };
         eprintln!("[{name} completed in {:.1?}]", t0.elapsed());
         output.push_str(&text);
         output.push('\n');
     };
 
-    eprintln!("scale divisor: {scale} (paper iteration counts / {scale})");
+    eprintln!("scale divisor: {scale} (paper iteration counts / {scale}), {jobs} worker(s)");
     if which == "all" {
         for name in ["fig5", "fig4", "fig3", "fig7", "fig2", "fig6", "fig8"] {
             run_one(name, &mut output);
@@ -71,8 +151,291 @@ fn main() {
 
     print!("{output}");
     if let Some(path) = out_path {
-        let mut f = std::fs::File::create(&path).expect("create output file");
-        f.write_all(output.as_bytes()).expect("write output file");
-        eprintln!("[wrote {path}]");
+        write_file(&path, output.as_bytes());
     }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// Campaign mode.
+// ---------------------------------------------------------------------------
+
+fn campaign_main(argv: Vec<String>) -> ExitCode {
+    let mut args = Args::new(argv);
+    match args.next().as_deref() {
+        Some("run") => campaign_run(args),
+        Some("compare") => campaign_compare(args),
+        Some("list") => {
+            print!("{}", render_list());
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown campaign subcommand {other:?}")),
+        None => fail("campaign needs a subcommand: run | compare | list"),
+    }
+}
+
+fn campaign_run(mut args: Args) -> ExitCode {
+    let mut spec = CampaignSpec::full_matrix(20_000);
+    spec.name = "campaign".to_string();
+    let mut jobs = 1usize;
+    let mut out_path: Option<String> = None;
+    let mut version_sweep = false;
+    let mut with_apps = false;
+    let mut explicit_engines = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => spec.scale = args.parse_of("--scale"),
+            "--jobs" => jobs = args.parse_of::<usize>("--jobs").max(1),
+            "--reps" => spec.reps = args.parse_of::<u32>("--reps").max(1),
+            "--out" => out_path = Some(args.value_of("--out")),
+            "--name" => spec.name = args.value_of("--name"),
+            "--guests" => {
+                spec.guests = split_list(&args.value_of("--guests"))
+                    .iter()
+                    .map(|id| {
+                        Guest::by_isa_name(id)
+                            .unwrap_or_else(|| fail(&format!("unknown guest {id:?}")))
+                    })
+                    .collect();
+            }
+            "--engines" => {
+                explicit_engines = true;
+                spec.engines = split_list(&args.value_of("--engines"))
+                    .iter()
+                    .map(|id| {
+                        EngineKind::by_id(id)
+                            .unwrap_or_else(|| fail(&format!("unknown engine {id:?}")))
+                    })
+                    .collect();
+            }
+            "--benches" => {
+                spec.workloads = split_list(&args.value_of("--benches"))
+                    .iter()
+                    .map(|name| {
+                        Benchmark::ALL
+                            .iter()
+                            .copied()
+                            .find(|b| b.name().eq_ignore_ascii_case(name))
+                            .map(Workload::Suite)
+                            .unwrap_or_else(|| fail(&format!("unknown benchmark {name:?}")))
+                    })
+                    .collect();
+            }
+            "--apps" => with_apps = true,
+            "--versions" => version_sweep = true,
+            flag => fail(&format!("unknown flag {flag:?}")),
+        }
+    }
+    if spec.scale == 0 {
+        fail("--scale must be at least 1");
+    }
+    if version_sweep {
+        if explicit_engines {
+            fail("--versions conflicts with --engines: pass one or the other");
+        }
+        spec.engines = EngineKind::all_dbt_versions();
+    }
+    if with_apps {
+        spec.workloads
+            .extend(App::ALL.iter().copied().map(Workload::App));
+    }
+
+    let cells = spec.cells().len();
+    let total_jobs = spec.expand().len();
+    eprintln!(
+        "[campaign {}] {} guests × {} engines × {} workloads = {cells} cells, \
+         {total_jobs} jobs on {jobs} worker(s), scale {}",
+        spec.name,
+        spec.guests.len(),
+        spec.engines.len(),
+        spec.workloads.len(),
+        spec.scale,
+    );
+    let result = run(
+        &spec,
+        &RunnerOpts {
+            jobs,
+            verbose: false,
+        },
+    );
+    eprintln!(
+        "[campaign {} finished in {:.2}s]",
+        spec.name, result.wall_secs
+    );
+
+    print!("{}", render_summary(&result));
+    if let Some(path) = out_path {
+        write_file(&path, result.to_json().as_bytes());
+    }
+    // Expected matrix holes (`-` / `-†`) are fine; cells that *failed*
+    // (limits, panics) mean the measurement run itself is unsound.
+    let failed = result
+        .cells
+        .iter()
+        .any(|c| matches!(c.status, simbench_campaign::CellStatus::Failed(_)));
+    if failed {
+        eprintln!(
+            "[campaign {}: some cells failed — exiting non-zero]",
+            spec.name
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn campaign_compare(mut args: Args) -> ExitCode {
+    let mut current_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut threshold = 0.25f64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(args.value_of("--baseline")),
+            "--threshold" => {
+                threshold = args.parse_of("--threshold");
+                if threshold <= 0.0 || threshold.is_nan() {
+                    fail("--threshold must be a positive fraction, e.g. 0.25");
+                }
+            }
+            path if !path.starts_with('-') && current_path.is_none() => {
+                current_path = Some(path.to_string())
+            }
+            path if !path.starts_with('-') => fail(&format!(
+                "unexpected argument {path:?} (current result already given)"
+            )),
+            flag => fail(&format!("unknown flag {flag:?}")),
+        }
+    }
+    let current_path = current_path.unwrap_or_else(|| fail("compare needs a current result file"));
+    let baseline_path = baseline_path.unwrap_or_else(|| fail("compare needs --baseline FILE"));
+    let current = CampaignResult::load(&current_path).unwrap_or_else(|e| fail(&e));
+    let baseline = CampaignResult::load(&baseline_path).unwrap_or_else(|e| fail(&e));
+    let report = compare(&baseline, &current, threshold);
+    print!("{}", report.render());
+    // Exit codes are part of the interface: 0 clean, 1 timing
+    // regressions only (CI may treat as a warning — wall-clock is
+    // machine-dependent), 3 when cells stopped completing (always a
+    // hard failure; 2 is reserved for usage errors).
+    if !report.broken().is_empty() {
+        ExitCode::from(3)
+    } else if report.regressions().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------------
+
+fn split_list(raw: &str) -> Vec<String> {
+    let items: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if items.is_empty() {
+        fail(&format!("empty list {raw:?}"));
+    }
+    items
+}
+
+fn write_file(path: &str, bytes: &[u8]) {
+    let mut f =
+        std::fs::File::create(path).unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+    f.write_all(bytes)
+        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    eprintln!("[wrote {path}]");
+}
+
+/// What `--list` and `campaign list` print: every selectable figure,
+/// benchmark, app, engine and version.
+fn render_list() -> String {
+    let mut out = String::from("figures:\n");
+    for f in FIGURES {
+        out.push_str(&format!("  {f}\n"));
+    }
+    out.push_str("  all\n\nbenchmarks (--benches):\n");
+    for b in Benchmark::ALL {
+        out.push_str(&format!("  {:<28} [{}]\n", b.name(), b.category().name()));
+    }
+    out.push_str("\napps (--apps adds all):\n");
+    for a in App::ALL {
+        out.push_str(&format!("  {}\n", a.name()));
+    }
+    out.push_str("\nengines (--engines):\n");
+    for e in EngineKind::fig7_columns() {
+        out.push_str(&format!("  {:<18} {}\n", e.id(), e.name()));
+    }
+    out.push_str("\nDBT versions (dbt@<version>, --versions selects all):\n");
+    for v in QEMU_VERSIONS {
+        out.push_str(&format!("  {}\n", v.name));
+    }
+    out.push_str("\nguests (--guests):\n  armlet\n  petix\n");
+    out
+}
+
+/// Human summary of a finished campaign: per-engine geomeans plus any
+/// problem cells.
+fn render_summary(result: &CampaignResult) -> String {
+    use simbench_campaign::table::{fmt_secs, Table};
+    use simbench_campaign::CellStatus;
+
+    let mut out = format!(
+        "campaign {} — scale {}, {} rep(s), {} cells\n\n",
+        result.name,
+        result.scale,
+        result.reps,
+        result.cells.len()
+    );
+    let mut table = Table::new(["guest", "engine", "ok", "geomean secs", "flagged"]);
+    for (key, cells) in
+        simbench_campaign::result::group_by(&result.cells, |c| (c.guest.clone(), c.engine.clone()))
+    {
+        let ok: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Ok)
+            .filter_map(|c| c.metric())
+            .collect();
+        let flagged = cells
+            .iter()
+            .filter(|c| matches!(c.status, CellStatus::Failed(_) | CellStatus::Unsupported(_)))
+            .count();
+        table.row([
+            key.0,
+            key.1,
+            format!("{}/{}", ok.len(), cells.len()),
+            if ok.is_empty() {
+                "-".to_string()
+            } else {
+                fmt_secs(simbench_campaign::geomean(&ok))
+            },
+            if flagged == 0 {
+                String::new()
+            } else {
+                format!("{flagged}")
+            },
+        ]);
+    }
+    out.push_str(&table.render());
+    let failed: Vec<String> = result
+        .cells
+        .iter()
+        .filter_map(|c| match &c.status {
+            CellStatus::Failed(why) => Some(format!(
+                "  {}/{} {}: {why}\n",
+                c.guest, c.engine, c.workload
+            )),
+            _ => None,
+        })
+        .collect();
+    if !failed.is_empty() {
+        out.push_str("\nfailed cells:\n");
+        for line in failed {
+            out.push_str(&line);
+        }
+    }
+    out
 }

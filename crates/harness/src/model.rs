@@ -115,7 +115,11 @@ pub fn evaluate(
         .map(|&app| {
             let profile = crate::run_app(guest, profile_engine, app, cfg).counters;
             let measured = crate::run_app(guest, engine, app, cfg).seconds;
-            Prediction { app: app.name(), predicted: model.predict(&profile), measured }
+            Prediction {
+                app: app.name(),
+                predicted: model.predict(&profile),
+                measured,
+            }
         })
         .collect()
 }
@@ -142,7 +146,10 @@ mod tests {
         assert!(
             good * 2 >= preds.len(),
             "model too far off: {:?}",
-            preds.iter().map(|p| (p.app, p.error_factor())).collect::<Vec<_>>()
+            preds
+                .iter()
+                .map(|p| (p.app, p.error_factor()))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -153,8 +160,14 @@ mod tests {
         assert!(m.per_insn > 0.0);
         assert!(!m.per_op.is_empty());
         // Prediction is monotone in instruction count.
-        let small = Counters { instructions: 1_000, ..Default::default() };
-        let big = Counters { instructions: 1_000_000, ..Default::default() };
+        let small = Counters {
+            instructions: 1_000,
+            ..Default::default()
+        };
+        let big = Counters {
+            instructions: 1_000_000,
+            ..Default::default()
+        };
         assert!(m.predict(&big) > m.predict(&small));
     }
 }

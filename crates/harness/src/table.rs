@@ -1,141 +1,5 @@
-//! Minimal fixed-width text-table rendering for harness output.
+//! Text-table rendering, re-exported from `simbench-campaign` where the
+//! shared implementation now lives (the campaign CLI renders comparison
+//! reports with the same tables the figure drivers use).
 
-/// A simple text table.
-#[derive(Debug, Default)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// New table with column headers.
-    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
-    }
-
-    /// Append a row (padded/truncated to the header width).
-    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
-        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        row.resize(self.header.len(), String::new());
-        self.rows.push(row);
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// True when no data rows have been added.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Render as aligned markdown-compatible text.
-    pub fn render(&self) -> String {
-        let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let render_row = |cells: &[String], widths: &[usize]| -> String {
-            let mut line = String::from("|");
-            for i in 0..cols {
-                let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
-            }
-            line.push('\n');
-            line
-        };
-        out.push_str(&render_row(&self.header, &widths));
-        let mut sep = String::from("|");
-        for w in &widths {
-            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
-        }
-        sep.push('\n');
-        out.push_str(&sep);
-        for row in &self.rows {
-            out.push_str(&render_row(row, &widths));
-        }
-        out
-    }
-}
-
-/// Format seconds with sensible precision.
-pub fn fmt_secs(s: f64) -> String {
-    if s >= 100.0 {
-        format!("{s:.0}")
-    } else if s >= 1.0 {
-        format!("{s:.2}")
-    } else if s >= 0.001 {
-        format!("{:.3}", s)
-    } else {
-        format!("{:.6}", s)
-    }
-}
-
-/// Format a speedup ratio.
-pub fn fmt_ratio(r: f64) -> String {
-    format!("{r:.3}")
-}
-
-/// Format an operation density (scientific for tiny values, fixed
-/// otherwise — matching the paper's Fig 3 style).
-pub fn fmt_density(d: f64) -> String {
-    if d == 0.0 {
-        "0".to_string()
-    } else if d < 0.001 {
-        format!("{d:.2E}")
-    } else {
-        format!("{d:.3}")
-    }
-}
-
-/// Format an iteration count like the paper (100K, 25M, ...).
-pub fn fmt_iters(n: u64) -> String {
-    if n % 1_000_000 == 0 && n >= 1_000_000 {
-        format!("{}M", n / 1_000_000)
-    } else if n % 1_000 == 0 && n >= 1_000 {
-        format!("{}K", n / 1_000)
-    } else {
-        n.to_string()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_aligned() {
-        let mut t = Table::new(["name", "value"]);
-        t.row(["a", "1"]);
-        t.row(["long-name", "2"]);
-        let s = t.render();
-        assert!(s.contains("| name      | value |"));
-        assert!(s.contains("| long-name | 2     |"));
-        assert_eq!(t.len(), 2);
-        assert!(!t.is_empty());
-    }
-
-    #[test]
-    fn short_rows_padded() {
-        let mut t = Table::new(["a", "b", "c"]);
-        t.row(["x"]);
-        assert!(t.render().lines().count() == 3);
-    }
-
-    #[test]
-    fn formats() {
-        assert_eq!(fmt_iters(100_000), "100K");
-        assert_eq!(fmt_iters(25_000_000), "25M");
-        assert_eq!(fmt_iters(123), "123");
-        assert_eq!(fmt_density(0.0), "0");
-        assert_eq!(fmt_density(0.5), "0.500");
-        assert!(fmt_density(8.49e-7).contains('E'));
-        assert_eq!(fmt_secs(2.5), "2.50");
-        assert_eq!(fmt_ratio(1.0), "1.000");
-    }
-}
+pub use simbench_campaign::table::{fmt_density, fmt_iters, fmt_ratio, fmt_secs, Table};

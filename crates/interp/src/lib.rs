@@ -40,7 +40,11 @@ pub struct Interp<I: Isa> {
 impl<I: Isa> Interp<I> {
     /// A fresh interpreter.
     pub fn new() -> Self {
-        Interp { icache: SingleEntryCache::new(), dcache: SingleEntryCache::new(), _isa: PhantomData }
+        Interp {
+            icache: SingleEntryCache::new(),
+            dcache: SingleEntryCache::new(),
+            _isa: PhantomData,
+        }
     }
 }
 
@@ -64,7 +68,11 @@ impl<I: Isa, B: Bus> Ctx<'_, I, B> {
         nonpriv: bool,
     ) -> Result<u32, MemFault> {
         if !size.aligned(va) {
-            return Err(MemFault { addr: va, access, kind: FaultKind::Unaligned });
+            return Err(MemFault {
+                addr: va,
+                access,
+                kind: FaultKind::Unaligned,
+            });
         }
         if !I::mmu_enabled(self.sys) {
             return Ok(va);
@@ -409,7 +417,12 @@ impl<I: Isa, B: Bus> Engine<I, B> for Interp<I> {
             }
         };
 
-        RunOutcome { exit, wall: t0.elapsed(), counters, kernel: phase.into_kernel() }
+        RunOutcome {
+            exit,
+            wall: t0.elapsed(),
+            counters,
+            kernel: phase.into_kernel(),
+        }
     }
 }
 

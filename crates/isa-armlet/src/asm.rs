@@ -80,12 +80,26 @@ impl ArmletAsm {
     /// Non-privileged word load (`ldrt`): the ARM-only feature behind the
     /// Nonprivileged Access benchmark.
     pub fn ldrt(&mut self, rd: PReg, base: PReg, off: i32) {
-        self.raw(enc::ldst(true, enc::LsSize::Word, true, reg(rd), reg(base), off));
+        self.raw(enc::ldst(
+            true,
+            enc::LsSize::Word,
+            true,
+            reg(rd),
+            reg(base),
+            off,
+        ));
     }
 
     /// Non-privileged word store (`strt`).
     pub fn strt(&mut self, rs: PReg, base: PReg, off: i32) {
-        self.raw(enc::ldst(false, enc::LsSize::Word, true, reg(rs), reg(base), off));
+        self.raw(enc::ldst(
+            false,
+            enc::LsSize::Word,
+            true,
+            reg(rs),
+            reg(base),
+            off,
+        ));
     }
 
     /// Coprocessor read into a portable register.
@@ -100,12 +114,26 @@ impl ArmletAsm {
 
     /// Halfword load.
     pub fn load16(&mut self, rd: PReg, base: PReg, off: i32) {
-        self.raw(enc::ldst(true, enc::LsSize::Half, false, reg(rd), reg(base), off));
+        self.raw(enc::ldst(
+            true,
+            enc::LsSize::Half,
+            false,
+            reg(rd),
+            reg(base),
+            off,
+        ));
     }
 
     /// Halfword store.
     pub fn store16(&mut self, rs: PReg, base: PReg, off: i32) {
-        self.raw(enc::ldst(false, enc::LsSize::Half, false, reg(rs), reg(base), off));
+        self.raw(enc::ldst(
+            false,
+            enc::LsSize::Half,
+            false,
+            reg(rs),
+            reg(base),
+            off,
+        ));
     }
 }
 
@@ -176,19 +204,47 @@ impl PortableAsm for ArmletAsm {
     }
 
     fn load(&mut self, rd: PReg, base: PReg, off: i32) {
-        self.raw(enc::ldst(true, enc::LsSize::Word, false, reg(rd), reg(base), off));
+        self.raw(enc::ldst(
+            true,
+            enc::LsSize::Word,
+            false,
+            reg(rd),
+            reg(base),
+            off,
+        ));
     }
 
     fn store(&mut self, rs: PReg, base: PReg, off: i32) {
-        self.raw(enc::ldst(false, enc::LsSize::Word, false, reg(rs), reg(base), off));
+        self.raw(enc::ldst(
+            false,
+            enc::LsSize::Word,
+            false,
+            reg(rs),
+            reg(base),
+            off,
+        ));
     }
 
     fn load8(&mut self, rd: PReg, base: PReg, off: i32) {
-        self.raw(enc::ldst(true, enc::LsSize::Byte, false, reg(rd), reg(base), off));
+        self.raw(enc::ldst(
+            true,
+            enc::LsSize::Byte,
+            false,
+            reg(rd),
+            reg(base),
+            off,
+        ));
     }
 
     fn store8(&mut self, rs: PReg, base: PReg, off: i32) {
-        self.raw(enc::ldst(false, enc::LsSize::Byte, false, reg(rs), reg(base), off));
+        self.raw(enc::ldst(
+            false,
+            enc::LsSize::Byte,
+            false,
+            reg(rs),
+            reg(base),
+            off,
+        ));
     }
 
     fn b(&mut self, l: Label) {
@@ -286,7 +342,11 @@ mod tests {
     use simbench_core::ir::Op;
 
     fn words(img: &GuestImage, addr: u32) -> Vec<u32> {
-        let s = img.sections.iter().find(|s| s.addr <= addr && addr < s.end()).unwrap();
+        let s = img
+            .sections
+            .iter()
+            .find(|s| s.addr <= addr && addr < s.end())
+            .unwrap();
         s.bytes[(addr - s.addr) as usize..]
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
@@ -320,7 +380,14 @@ mod tests {
         let img = a.finish(0x8000);
         let w = words(&img, 0x8008);
         let d = decode(w[0], 0x8008).unwrap();
-        assert!(matches!(d.ops[0], Op::Call { target: 0x8000, ret: 0x800C, .. }));
+        assert!(matches!(
+            d.ops[0],
+            Op::Call {
+                target: 0x8000,
+                ret: 0x800C,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! armlet decoder: instruction words → shared micro-op IR.
 
 use simbench_core::ir::{
-    AluOp, Cond, Decoded, DecodeError, InsnClass, LinkKind, MemSize, Op, Operand, RetKind,
+    AluOp, Cond, DecodeError, Decoded, InsnClass, LinkKind, MemSize, Op, Operand, RetKind,
 };
 
 use crate::encoding::{INSN_BYTES, LR};
@@ -32,7 +32,16 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
             let rn = ((word >> 16) & 0xF) as u8;
             let rm = ((word >> 12) & 0xF) as u8;
             let set_flags = word & (1 << 11) != 0;
-            d(vec![Op::Alu { op, rd, rn, src: Operand::Reg(rm), set_flags }], InsnClass::Alu)
+            d(
+                vec![Op::Alu {
+                    op,
+                    rd,
+                    rn,
+                    src: Operand::Reg(rm),
+                    set_flags,
+                }],
+                InsnClass::Alu,
+            )
         }
         0x2 => {
             let op = AluOp::from_code(((word >> 24) & 0xF) as u8).ok_or(DecodeError { pc })?;
@@ -40,13 +49,28 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
             let rn = ((word >> 16) & 0xF) as u8;
             let set_flags = word & (1 << 15) != 0;
             let imm = word & 0xFFF;
-            d(vec![Op::Alu { op, rd, rn, src: Operand::Imm(imm), set_flags }], InsnClass::Alu)
+            d(
+                vec![Op::Alu {
+                    op,
+                    rd,
+                    rn,
+                    src: Operand::Imm(imm),
+                    set_flags,
+                }],
+                InsnClass::Alu,
+            )
         }
         0x3 => {
             let rd = ((word >> 20) & 0xF) as u8;
             let imm = word & 0xFFFF;
             d(
-                vec![Op::Alu { op: AluOp::Mov, rd, rn: 0, src: Operand::Imm(imm), set_flags: false }],
+                vec![Op::Alu {
+                    op: AluOp::Mov,
+                    rd,
+                    rn: 0,
+                    src: Operand::Imm(imm),
+                    set_flags: false,
+                }],
                 InsnClass::Alu,
             )
         }
@@ -55,8 +79,20 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
             let imm = word & 0xFFFF;
             d(
                 vec![
-                    Op::Alu { op: AluOp::And, rd, rn: rd, src: Operand::Imm(0xFFFF), set_flags: false },
-                    Op::Alu { op: AluOp::Orr, rd, rn: rd, src: Operand::Imm(imm << 16), set_flags: false },
+                    Op::Alu {
+                        op: AluOp::And,
+                        rd,
+                        rn: rd,
+                        src: Operand::Imm(0xFFFF),
+                        set_flags: false,
+                    },
+                    Op::Alu {
+                        op: AluOp::Orr,
+                        rd,
+                        rn: rd,
+                        src: Operand::Imm(imm << 16),
+                        set_flags: false,
+                    },
                 ],
                 InsnClass::Alu,
             )
@@ -74,9 +110,21 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
             let rn = ((word >> 16) & 0xF) as u8;
             let off = sext(word & 0xFFF, 12);
             let op = if load {
-                Op::Load { rd, base: rn, off, size, nonpriv }
+                Op::Load {
+                    rd,
+                    base: rn,
+                    off,
+                    size,
+                    nonpriv,
+                }
             } else {
-                Op::Store { rs: rd, base: rn, off, size, nonpriv }
+                Op::Store {
+                    rs: rd,
+                    base: rn,
+                    off,
+                    size,
+                    nonpriv,
+                }
             };
             d(vec![op], InsnClass::Mem)
         }
@@ -86,7 +134,14 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
         }
         0x7 => {
             let target = next.wrapping_add((sext(word & 0xFF_FFFF, 24) as u32) << 2);
-            d(vec![Op::Call { target, ret: next, link: LinkKind::Register(LR) }], InsnClass::Branch)
+            d(
+                vec![Op::Call {
+                    target,
+                    ret: next,
+                    link: LinkKind::Register(LR),
+                }],
+                InsnClass::Branch,
+            )
         }
         0x8 => {
             let cond = Cond::from_code(((word >> 24) & 0xF) as u8).ok_or(DecodeError { pc })?;
@@ -107,7 +162,11 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
                     }
                 }
                 1 => d(
-                    vec![Op::CallReg { rm, ret: next, link: LinkKind::Register(LR) }],
+                    vec![Op::CallReg {
+                        rm,
+                        ret: next,
+                        link: LinkKind::Register(LR),
+                    }],
                     InsnClass::Branch,
                 ),
                 _ => Err(DecodeError { pc }),
@@ -122,13 +181,27 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
                 let rt = ((word >> 20) & 0xF) as u8;
                 let cp = ((word >> 16) & 0xF) as u8;
                 let creg = ((word >> 12) & 0xF) as u8;
-                d(vec![Op::CopRead { cp, reg: creg, rd: rt }], InsnClass::System)
+                d(
+                    vec![Op::CopRead {
+                        cp,
+                        reg: creg,
+                        rd: rt,
+                    }],
+                    InsnClass::System,
+                )
             }
             5 => {
                 let rt = ((word >> 20) & 0xF) as u8;
                 let cp = ((word >> 16) & 0xF) as u8;
                 let creg = ((word >> 12) & 0xF) as u8;
-                d(vec![Op::CopWrite { cp, reg: creg, rs: rt }], InsnClass::System)
+                d(
+                    vec![Op::CopWrite {
+                        cp,
+                        reg: creg,
+                        rs: rt,
+                    }],
+                    InsnClass::System,
+                )
             }
             _ => Err(DecodeError { pc }),
         },
@@ -137,10 +210,38 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
             let rm = ((word >> 12) & 0xF) as u8;
             let imm = word & 0xFFF;
             match (word >> 24) & 0xF {
-                0 => d(vec![Op::Cmp { rn, src: Operand::Reg(rm), is_tst: false }], InsnClass::Alu),
-                1 => d(vec![Op::Cmp { rn, src: Operand::Imm(imm), is_tst: false }], InsnClass::Alu),
-                2 => d(vec![Op::Cmp { rn, src: Operand::Reg(rm), is_tst: true }], InsnClass::Alu),
-                3 => d(vec![Op::Cmp { rn, src: Operand::Imm(imm), is_tst: true }], InsnClass::Alu),
+                0 => d(
+                    vec![Op::Cmp {
+                        rn,
+                        src: Operand::Reg(rm),
+                        is_tst: false,
+                    }],
+                    InsnClass::Alu,
+                ),
+                1 => d(
+                    vec![Op::Cmp {
+                        rn,
+                        src: Operand::Imm(imm),
+                        is_tst: false,
+                    }],
+                    InsnClass::Alu,
+                ),
+                2 => d(
+                    vec![Op::Cmp {
+                        rn,
+                        src: Operand::Reg(rm),
+                        is_tst: true,
+                    }],
+                    InsnClass::Alu,
+                ),
+                3 => d(
+                    vec![Op::Cmp {
+                        rn,
+                        src: Operand::Imm(imm),
+                        is_tst: true,
+                    }],
+                    InsnClass::Alu,
+                ),
                 _ => Err(DecodeError { pc }),
             }
         }
@@ -176,12 +277,24 @@ mod tests {
         let w = enc::alu_rr(AluOp::Add, 1, 2, 3, true);
         assert_eq!(
             ops(w),
-            vec![Op::Alu { op: AluOp::Add, rd: 1, rn: 2, src: Operand::Reg(3), set_flags: true }]
+            vec![Op::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rn: 2,
+                src: Operand::Reg(3),
+                set_flags: true
+            }]
         );
         let w = enc::alu_ri(AluOp::Eor, 4, 5, 0xABC, false);
         assert_eq!(
             ops(w),
-            vec![Op::Alu { op: AluOp::Eor, rd: 4, rn: 5, src: Operand::Imm(0xABC), set_flags: false }]
+            vec![Op::Alu {
+                op: AluOp::Eor,
+                rd: 4,
+                rn: 5,
+                src: Operand::Imm(0xABC),
+                set_flags: false
+            }]
         );
     }
 
@@ -190,14 +303,32 @@ mod tests {
         let w = enc::movw(3, 0x1234);
         assert_eq!(
             ops(w),
-            vec![Op::Alu { op: AluOp::Mov, rd: 3, rn: 0, src: Operand::Imm(0x1234), set_flags: false }]
+            vec![Op::Alu {
+                op: AluOp::Mov,
+                rd: 3,
+                rn: 0,
+                src: Operand::Imm(0x1234),
+                set_flags: false
+            }]
         );
         let w = enc::movt(3, 0xBEEF);
         assert_eq!(
             ops(w),
             vec![
-                Op::Alu { op: AluOp::And, rd: 3, rn: 3, src: Operand::Imm(0xFFFF), set_flags: false },
-                Op::Alu { op: AluOp::Orr, rd: 3, rn: 3, src: Operand::Imm(0xBEEF_0000), set_flags: false },
+                Op::Alu {
+                    op: AluOp::And,
+                    rd: 3,
+                    rn: 3,
+                    src: Operand::Imm(0xFFFF),
+                    set_flags: false
+                },
+                Op::Alu {
+                    op: AluOp::Orr,
+                    rd: 3,
+                    rn: 3,
+                    src: Operand::Imm(0xBEEF_0000),
+                    set_flags: false
+                },
             ]
         );
     }
@@ -205,11 +336,38 @@ mod tests {
     #[test]
     fn loads_and_stores() {
         let w = enc::ldst(true, enc::LsSize::Word, false, 1, 2, -8);
-        assert_eq!(ops(w), vec![Op::Load { rd: 1, base: 2, off: -8, size: MemSize::B4, nonpriv: false }]);
+        assert_eq!(
+            ops(w),
+            vec![Op::Load {
+                rd: 1,
+                base: 2,
+                off: -8,
+                size: MemSize::B4,
+                nonpriv: false
+            }]
+        );
         let w = enc::ldst(false, enc::LsSize::Byte, true, 3, 4, 5);
-        assert_eq!(ops(w), vec![Op::Store { rs: 3, base: 4, off: 5, size: MemSize::B1, nonpriv: true }]);
+        assert_eq!(
+            ops(w),
+            vec![Op::Store {
+                rs: 3,
+                base: 4,
+                off: 5,
+                size: MemSize::B1,
+                nonpriv: true
+            }]
+        );
         let w = enc::ldst(true, enc::LsSize::Half, false, 6, 7, 2);
-        assert_eq!(ops(w), vec![Op::Load { rd: 6, base: 7, off: 2, size: MemSize::B2, nonpriv: false }]);
+        assert_eq!(
+            ops(w),
+            vec![Op::Load {
+                rd: 6,
+                base: 7,
+                off: 2,
+                size: MemSize::B2,
+                nonpriv: false
+            }]
+        );
     }
 
     #[test]
@@ -221,20 +379,37 @@ mod tests {
         let w = enc::bl(0x8000, 0x7000);
         assert_eq!(
             ops(w),
-            vec![Op::Call { target: 0x7000, ret: 0x8004, link: LinkKind::Register(enc::LR) }]
+            vec![Op::Call {
+                target: 0x7000,
+                ret: 0x8004,
+                link: LinkKind::Register(enc::LR)
+            }]
         );
         // Conditional.
         let w = enc::b_cond(Cond::Ne, 0x8000, 0x8000);
-        assert_eq!(ops(w), vec![Op::BranchCond { cond: Cond::Ne, target: 0x8000 }]);
+        assert_eq!(
+            ops(w),
+            vec![Op::BranchCond {
+                cond: Cond::Ne,
+                target: 0x8000
+            }]
+        );
     }
 
     #[test]
     fn register_branches() {
         assert_eq!(ops(enc::bx(3)), vec![Op::BranchReg { rm: 3 }]);
-        assert_eq!(ops(enc::bx(enc::LR)), vec![Op::Ret(RetKind::Register(enc::LR))]);
+        assert_eq!(
+            ops(enc::bx(enc::LR)),
+            vec![Op::Ret(RetKind::Register(enc::LR))]
+        );
         assert_eq!(
             ops(enc::blx(3)),
-            vec![Op::CallReg { rm: 3, ret: 0x8004, link: LinkKind::Register(enc::LR) }]
+            vec![Op::CallReg {
+                rm: 3,
+                ret: 0x8004,
+                link: LinkKind::Register(enc::LR)
+            }]
         );
     }
 
@@ -244,16 +419,58 @@ mod tests {
         assert_eq!(ops(enc::eret()), vec![Op::Eret]);
         assert_eq!(ops(enc::halt()), vec![Op::Halt]);
         assert_eq!(ops(enc::nop()), vec![Op::Nop]);
-        assert_eq!(ops(enc::mrc(15, 3, 2)), vec![Op::CopRead { cp: 15, reg: 3, rd: 2 }]);
-        assert_eq!(ops(enc::mcr(14, 0, 7)), vec![Op::CopWrite { cp: 14, reg: 0, rs: 7 }]);
+        assert_eq!(
+            ops(enc::mrc(15, 3, 2)),
+            vec![Op::CopRead {
+                cp: 15,
+                reg: 3,
+                rd: 2
+            }]
+        );
+        assert_eq!(
+            ops(enc::mcr(14, 0, 7)),
+            vec![Op::CopWrite {
+                cp: 14,
+                reg: 0,
+                rs: 7
+            }]
+        );
     }
 
     #[test]
     fn compares() {
-        assert_eq!(ops(enc::cmp_rr(1, 2)), vec![Op::Cmp { rn: 1, src: Operand::Reg(2), is_tst: false }]);
-        assert_eq!(ops(enc::cmp_ri(1, 9)), vec![Op::Cmp { rn: 1, src: Operand::Imm(9), is_tst: false }]);
-        assert_eq!(ops(enc::tst_rr(1, 2)), vec![Op::Cmp { rn: 1, src: Operand::Reg(2), is_tst: true }]);
-        assert_eq!(ops(enc::tst_ri(1, 9)), vec![Op::Cmp { rn: 1, src: Operand::Imm(9), is_tst: true }]);
+        assert_eq!(
+            ops(enc::cmp_rr(1, 2)),
+            vec![Op::Cmp {
+                rn: 1,
+                src: Operand::Reg(2),
+                is_tst: false
+            }]
+        );
+        assert_eq!(
+            ops(enc::cmp_ri(1, 9)),
+            vec![Op::Cmp {
+                rn: 1,
+                src: Operand::Imm(9),
+                is_tst: false
+            }]
+        );
+        assert_eq!(
+            ops(enc::tst_rr(1, 2)),
+            vec![Op::Cmp {
+                rn: 1,
+                src: Operand::Reg(2),
+                is_tst: true
+            }]
+        );
+        assert_eq!(
+            ops(enc::tst_ri(1, 9)),
+            vec![Op::Cmp {
+                rn: 1,
+                src: Operand::Imm(9),
+                is_tst: true
+            }]
+        );
     }
 
     #[test]
@@ -262,7 +479,13 @@ mod tests {
             let got = ops(enc::SMC_NOP_WORD | imm);
             assert_eq!(
                 got,
-                vec![Op::Alu { op: AluOp::Mov, rd: 5, rn: 0, src: Operand::Imm(imm), set_flags: false }]
+                vec![Op::Alu {
+                    op: AluOp::Mov,
+                    rd: 5,
+                    rn: 0,
+                    src: Operand::Imm(imm),
+                    set_flags: false
+                }]
             );
         }
     }

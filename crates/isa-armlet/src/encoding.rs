@@ -97,7 +97,10 @@ pub enum LsSize {
 ///
 /// Panics if `off` is outside ±2047.
 pub fn ldst(load: bool, size: LsSize, nonpriv: bool, rd: u8, rn: u8, off: i32) -> u32 {
-    assert!((-2048..=2047).contains(&off), "ldst offset {off} exceeds simm12");
+    assert!(
+        (-2048..=2047).contains(&off),
+        "ldst offset {off} exceeds simm12"
+    );
     cls(5)
         | (load as u32) << 27
         | (size as u32) << 25
@@ -112,7 +115,10 @@ fn word_disp(from_pc: u32, target: u32, bits: u32, what: &str) -> u32 {
     assert!(delta % 4 == 0, "{what} target not word aligned");
     let words = delta >> 2;
     let lim = 1i32 << (bits - 1);
-    assert!((-lim..lim).contains(&words), "{what} displacement {words} exceeds {bits} bits");
+    assert!(
+        (-lim..lim).contains(&words),
+        "{what} displacement {words} exceeds {bits} bits"
+    );
     (words as u32) & ((1 << bits) - 1)
 }
 

@@ -1,8 +1,9 @@
 //! # simbench-isa-armlet
 //!
 //! The `armlet` guest architecture: a 32-bit fixed-width RISC ISA
-//! modelled on ARMv5, with sixteen GPRs, a two-format MMU (1 MB sections
-//! + 4 KB coarse pages) guarded by domain access control, a CP15-style
+//! modelled on ARMv5, with sixteen GPRs, a two-format MMU (1 MB
+//! sections and 4 KB coarse pages) guarded by domain access control, a
+//! CP15-style
 //! system coprocessor, CP14 banked exception state, non-privileged
 //! loads/stores (`ldrt`/`strt`), and an architecturally undefined
 //! instruction space — everything the SimBench suite's ARM port
@@ -41,7 +42,7 @@ pub use sys::ArmletSys;
 use simbench_core::bus::Bus;
 use simbench_core::cpu::CpuState;
 use simbench_core::fault::{CopFault, ExcInfo, ExceptionKind};
-use simbench_core::ir::{Decoded, DecodeError};
+use simbench_core::ir::{DecodeError, Decoded};
 use simbench_core::isa::{CopEffect, Isa};
 use simbench_core::mmu::WalkResult;
 

@@ -42,7 +42,11 @@ fn apply_xn(kernel: Perms, user: Perms, xn: bool) -> (Perms, Perms) {
 
 fn fault(va: u32, kind: FaultKind) -> MemFault {
     // The access kind is unknown to the walker; callers overwrite it.
-    MemFault { addr: va, access: AccessKind::Read, kind }
+    MemFault {
+        addr: va,
+        access: AccessKind::Read,
+        kind,
+    }
 }
 
 /// Walk the armlet page tables for `va`.
@@ -56,7 +60,9 @@ pub fn walk<B: Bus>(sys: &ArmletSys, bus: &mut B, va: u32) -> WalkResult {
     let ttbr = sys.ttbr & !0x3FFF;
     let l1_index = va >> 20;
     let l1_addr = ttbr + l1_index * 4;
-    let l1 = bus.read(l1_addr, MemSize::B4).map_err(|_| fault(va, FaultKind::BusError))?;
+    let l1 = bus
+        .read(l1_addr, MemSize::B4)
+        .map_err(|_| fault(va, FaultKind::BusError))?;
 
     let (ppage, ap, xn, domain) = match l1 & 0b11 {
         L1_FAULT => return Err(fault(va, FaultKind::Unmapped)),
@@ -72,7 +78,9 @@ pub fn walk<B: Bus>(sys: &ArmletSys, bus: &mut B, va: u32) -> WalkResult {
             let l2_base = l1 & 0xFFFF_FC00;
             let l2_index = (va >> PAGE_SHIFT) & 0xFF;
             let l2_addr = l2_base + l2_index * 4;
-            let l2 = bus.read(l2_addr, MemSize::B4).map_err(|_| fault(va, FaultKind::BusError))?;
+            let l2 = bus
+                .read(l2_addr, MemSize::B4)
+                .map_err(|_| fault(va, FaultKind::BusError))?;
             match l2 & 0b11 {
                 L2_FAULT => return Err(fault(va, FaultKind::Unmapped)),
                 L2_SMALL => {
@@ -99,7 +107,12 @@ pub fn walk<B: Bus>(sys: &ArmletSys, bus: &mut B, va: u32) -> WalkResult {
         _ => (Perms::RWX, Perms::RWX),
     };
 
-    Ok(TlbEntry { vpage: page_of(va), ppage, user, kernel })
+    Ok(TlbEntry {
+        vpage: page_of(va),
+        ppage,
+        user,
+        kernel,
+    })
 }
 
 /// Declarative access level for [`TableBuilder`] mappings.
@@ -152,7 +165,11 @@ impl TableBuilder {
     /// Panics on misaligned `base`.
     pub fn new(base: u32) -> Self {
         assert_eq!(base & 0x3FFF, 0, "TTBR base must be 16 KB aligned");
-        TableBuilder { base, blob: vec![0; L1_BYTES as usize], l2_of: vec![None; 4096] }
+        TableBuilder {
+            base,
+            blob: vec![0; L1_BYTES as usize],
+            l2_of: vec![None; 4096],
+        }
     }
 
     /// The TTBR value for these tables.
@@ -192,7 +209,7 @@ impl TableBuilder {
             return addr;
         }
         let addr = self.base + self.blob.len() as u32;
-        self.blob.extend(std::iter::repeat(0).take(L2_BYTES as usize));
+        self.blob.extend(std::iter::repeat_n(0, L2_BYTES as usize));
         self.l2_of[idx] = Some(addr);
         let l1_entry = (addr & 0xFFFF_FC00) | L1_COARSE;
         self.write_u32(self.base + (idx as u32) * 4, l1_entry);
@@ -223,7 +240,9 @@ impl TableBuilder {
     pub fn map_range(&mut self, va: u32, pa: u32, len: u32, access: Access) {
         let mut v = va;
         let mut p = pa;
-        let end = va.checked_add(len.next_multiple_of(1 << PAGE_SHIFT)).expect("range overflow");
+        let end = va
+            .checked_add(len.next_multiple_of(1 << PAGE_SHIFT))
+            .expect("range overflow");
         while v < end {
             if v & 0xF_FFFF == 0 && p & 0xF_FFFF == 0 && end - v >= 1 << 20 {
                 self.map_section(v, p, access);
@@ -262,7 +281,11 @@ mod tests {
         let (base, blob) = tb.into_blob();
         let mut ram = FlatRam::new(4 << 20);
         ram.ram_mut()[base as usize..base as usize + blob.len()].copy_from_slice(&blob);
-        let sys = ArmletSys { ttbr: base, sctlr: 1, ..Default::default() };
+        let sys = ArmletSys {
+            ttbr: base,
+            sctlr: 1,
+            ..Default::default()
+        };
         (sys, ram)
     }
 
@@ -314,7 +337,8 @@ mod tests {
 
     #[test]
     fn domain_manager_bypasses_ap() {
-        let (mut sys, mut ram) = setup(|tb| tb.map_page(0x0040_0000, 0x0000_1000, Access::ReadOnly));
+        let (mut sys, mut ram) =
+            setup(|tb| tb.map_page(0x0040_0000, 0x0000_1000, Access::ReadOnly));
         // Domain 0 to manager mode.
         sys.dacr = (sys.dacr & !0b11) | 0b11;
         let e = walk(&sys, &mut ram, 0x0040_0000).unwrap();
@@ -323,7 +347,8 @@ mod tests {
 
     #[test]
     fn domain_no_access_faults() {
-        let (mut sys, mut ram) = setup(|tb| tb.map_page(0x0040_0000, 0x0000_1000, Access::UserFull));
+        let (mut sys, mut ram) =
+            setup(|tb| tb.map_page(0x0040_0000, 0x0000_1000, Access::UserFull));
         sys.dacr &= !0b11; // domain 0: no access
         let err = walk(&sys, &mut ram, 0x0040_0000).unwrap_err();
         assert_eq!(err.kind, FaultKind::Permission);
@@ -331,7 +356,11 @@ mod tests {
 
     #[test]
     fn walk_outside_ram_is_bus_error() {
-        let sys = ArmletSys { ttbr: 0x3F0_0000, sctlr: 1, ..Default::default() };
+        let sys = ArmletSys {
+            ttbr: 0x3F0_0000,
+            sctlr: 1,
+            ..Default::default()
+        };
         let mut ram = FlatRam::new(1 << 20); // ttbr outside RAM
         let err = walk(&sys, &mut ram, 0x1000).unwrap_err();
         assert_eq!(err.kind, FaultKind::BusError);
@@ -341,12 +370,24 @@ mod tests {
     fn map_range_mixes_sections_and_pages() {
         let mut tb = TableBuilder::new(TBASE);
         // 1 MB + 8 KB starting at a 1 MB boundary: one section + 2 pages.
-        tb.map_range(0x0060_0000, 0x0060_0000, (1 << 20) + 0x2000, Access::UserFull);
+        tb.map_range(
+            0x0060_0000,
+            0x0060_0000,
+            (1 << 20) + 0x2000,
+            Access::UserFull,
+        );
         let (sys, mut ram) = {
             let (base, blob) = tb.into_blob();
             let mut ram = FlatRam::new(4 << 20);
             ram.ram_mut()[base as usize..base as usize + blob.len()].copy_from_slice(&blob);
-            (ArmletSys { ttbr: base, sctlr: 1, ..Default::default() }, ram)
+            (
+                ArmletSys {
+                    ttbr: base,
+                    sctlr: 1,
+                    ..Default::default()
+                },
+                ram,
+            )
         };
         assert!(walk(&sys, &mut ram, 0x0060_0000).is_ok());
         assert!(walk(&sys, &mut ram, 0x006F_F000).is_ok());

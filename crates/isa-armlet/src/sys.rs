@@ -120,7 +120,11 @@ impl ArmletSys {
                 v: w & (1 << 28) != 0,
             },
             irq_enabled: w & (1 << 7) != 0,
-            level: if w & (1 << 4) != 0 { Privilege::User } else { Privilege::Kernel },
+            level: if w & (1 << 4) != 0 {
+                Privilege::User
+            } else {
+                Privilege::Kernel
+            },
         }
     }
 
@@ -162,7 +166,11 @@ impl ArmletSys {
             (CP_SYS, cp15::SCTLR) => {
                 let was = self.sctlr;
                 self.sctlr = val;
-                Ok(if (was ^ val) & 1 != 0 { CopEffect::ContextChanged } else { CopEffect::None })
+                Ok(if (was ^ val) & 1 != 0 {
+                    CopEffect::ContextChanged
+                } else {
+                    CopEffect::None
+                })
             }
             (CP_SYS, cp15::TTBR) => {
                 self.ttbr = val;
@@ -214,7 +222,10 @@ impl ArmletSys {
     ) -> u32 {
         self.saved_pc = return_pc;
         self.saved_status = cpu.status();
-        if matches!(kind, ExceptionKind::DataAbort | ExceptionKind::PrefetchAbort) {
+        if matches!(
+            kind,
+            ExceptionKind::DataAbort | ExceptionKind::PrefetchAbort
+        ) {
             self.far = info.fault_addr;
             self.fsr = 1; // simplified status: "fault occurred"
         }
@@ -238,7 +249,12 @@ mod tests {
     #[test]
     fn status_word_round_trip() {
         let s = Status {
-            flags: Flags { n: true, z: false, c: true, v: false },
+            flags: Flags {
+                n: true,
+                z: false,
+                c: true,
+                v: false,
+            },
             level: Privilege::User,
             irq_enabled: true,
         };
@@ -253,13 +269,18 @@ mod tests {
         let mut cpu = CpuState::at_reset(0);
         assert_eq!(sys.cop_read(&cpu, CP_SYS, cp15::MIDR).unwrap(), MIDR_VALUE);
         assert_eq!(
-            sys.cop_write(&mut cpu, CP_SYS, cp15::TTBR, 0x10000).unwrap(),
+            sys.cop_write(&mut cpu, CP_SYS, cp15::TTBR, 0x10000)
+                .unwrap(),
             CopEffect::ContextChanged
         );
         assert_eq!(sys.cop_read(&cpu, CP_SYS, cp15::TTBR).unwrap(), 0x10000);
-        assert_eq!(sys.cop_write(&mut cpu, CP_SYS, cp15::TLBIALL, 0).unwrap(), CopEffect::TlbFlush);
         assert_eq!(
-            sys.cop_write(&mut cpu, CP_SYS, cp15::TLBIMVA, 0x1234).unwrap(),
+            sys.cop_write(&mut cpu, CP_SYS, cp15::TLBIALL, 0).unwrap(),
+            CopEffect::TlbFlush
+        );
+        assert_eq!(
+            sys.cop_write(&mut cpu, CP_SYS, cp15::TLBIMVA, 0x1234)
+                .unwrap(),
             CopEffect::TlbInvPage(0x1234)
         );
         // MIDR is read-only.
@@ -279,7 +300,10 @@ mod tests {
         );
         assert!(sys.mmu_enabled());
         // Rewriting the same value: no context change.
-        assert_eq!(sys.cop_write(&mut cpu, CP_SYS, cp15::SCTLR, 1).unwrap(), CopEffect::None);
+        assert_eq!(
+            sys.cop_write(&mut cpu, CP_SYS, cp15::SCTLR, 1).unwrap(),
+            CopEffect::None
+        );
     }
 
     #[test]
@@ -294,13 +318,18 @@ mod tests {
 
     #[test]
     fn exception_entry_and_return() {
-        let mut sys = ArmletSys::default();
-        sys.vbar = 0x100;
+        let mut sys = ArmletSys {
+            vbar: 0x100,
+            ..Default::default()
+        };
         let mut cpu = CpuState::at_reset(0x8000);
         cpu.irq_enabled = true;
         cpu.flags.z = true;
 
-        let fault = ExcInfo { fault_addr: 0xDEAD_0000, syscall_no: 0 };
+        let fault = ExcInfo {
+            fault_addr: 0xDEAD_0000,
+            syscall_no: 0,
+        };
         let vec = sys.enter_exception(&mut cpu, ExceptionKind::DataAbort, fault, 0x8004);
         assert_eq!(vec, 0x100 + VECTOR_STRIDE * 2);
         assert!(!cpu.irq_enabled, "IRQs masked on entry");

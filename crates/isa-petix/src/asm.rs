@@ -289,7 +289,11 @@ mod tests {
     use simbench_core::ir::Op;
 
     fn section_bytes(img: &GuestImage, addr: u32) -> &[u8] {
-        let s = img.sections.iter().find(|s| s.addr <= addr && addr < s.end()).unwrap();
+        let s = img
+            .sections
+            .iter()
+            .find(|s| s.addr <= addr && addr < s.end())
+            .unwrap();
         &s.bytes[(addr - s.addr) as usize..]
     }
 
@@ -326,11 +330,13 @@ mod tests {
         assert!(matches!(d.ops[0], Op::Call { ret: 0x8005, .. }));
         // The mov imm32 at 0x8005 carries the bound address of `data`.
         let d = decode(section_bytes(&img, 0x8005), 0x8005).unwrap();
-        let expect = img.sections[0]
-            .bytes
-            .len() as u32; // data is last in section
+        let expect = img.sections[0].bytes.len() as u32; // data is last in section
         let _ = expect;
-        if let Op::Alu { src: simbench_core::ir::Operand::Imm(v), .. } = d.ops[0] {
+        if let Op::Alu {
+            src: simbench_core::ir::Operand::Imm(v),
+            ..
+        } = d.ops[0]
+        {
             assert_eq!(v & 3, 0, "aligned data address");
             assert!(v > 0x8005);
         } else {

@@ -1,7 +1,7 @@
 //! petix decoder: variable-length instruction bytes → micro-op IR.
 
 use simbench_core::ir::{
-    AluOp, Cond, Decoded, DecodeError, InsnClass, LinkKind, MemSize, Op, Operand, RetKind,
+    AluOp, Cond, DecodeError, Decoded, InsnClass, LinkKind, MemSize, Op, Operand, RetKind,
 };
 
 use crate::encoding::SP;
@@ -53,7 +53,13 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let rm = bytes[1] & 0x7;
             d(
                 2,
-                vec![Op::Alu { op, rd, rn: rd, src: Operand::Reg(rm), set_flags: false }],
+                vec![Op::Alu {
+                    op,
+                    rd,
+                    rn: rd,
+                    src: Operand::Reg(rm),
+                    set_flags: false,
+                }],
                 InsnClass::Alu,
             )
         }
@@ -63,7 +69,13 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let rd = (bytes[1] >> 4) & 0x7;
             d(
                 6,
-                vec![Op::Alu { op, rd, rn: rd, src: Operand::Imm(imm32(bytes, 2)), set_flags: false }],
+                vec![Op::Alu {
+                    op,
+                    rd,
+                    rn: rd,
+                    src: Operand::Imm(imm32(bytes, 2)),
+                    set_flags: false,
+                }],
                 InsnClass::Alu,
             )
         }
@@ -97,9 +109,21 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
                 _ => (MemSize::B2, false),
             };
             let op = if load {
-                Op::Load { rd: r, base, off, size, nonpriv: false }
+                Op::Load {
+                    rd: r,
+                    base,
+                    off,
+                    size,
+                    nonpriv: false,
+                }
             } else {
-                Op::Store { rs: r, base, off, size, nonpriv: false }
+                Op::Store {
+                    rs: r,
+                    base,
+                    off,
+                    size,
+                    nonpriv: false,
+                }
             };
             d(4, vec![op], InsnClass::Mem)
         }
@@ -118,18 +142,34 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             need(bytes, 5, pc)?;
             let target = pc.wrapping_add(5).wrapping_add(imm32(bytes, 1));
             let ret = pc.wrapping_add(5);
-            d(5, vec![Op::Call { target, ret, link: LinkKind::Push(SP) }], InsnClass::Branch)
+            d(
+                5,
+                vec![Op::Call {
+                    target,
+                    ret,
+                    link: LinkKind::Push(SP),
+                }],
+                InsnClass::Branch,
+            )
         }
         0x83 => {
             need(bytes, 2, pc)?;
-            d(2, vec![Op::BranchReg { rm: bytes[1] & 0x7 }], InsnClass::Branch)
+            d(
+                2,
+                vec![Op::BranchReg { rm: bytes[1] & 0x7 }],
+                InsnClass::Branch,
+            )
         }
         0x84 => {
             need(bytes, 2, pc)?;
             let ret = pc.wrapping_add(2);
             d(
                 2,
-                vec![Op::CallReg { rm: bytes[1] & 0x7, ret, link: LinkKind::Push(SP) }],
+                vec![Op::CallReg {
+                    rm: bytes[1] & 0x7,
+                    ret,
+                    link: LinkKind::Push(SP),
+                }],
                 InsnClass::Branch,
             )
         }
@@ -139,8 +179,20 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             d(
                 2,
                 vec![
-                    Op::Alu { op: AluOp::Sub, rd: SP, rn: SP, src: Operand::Imm(4), set_flags: false },
-                    Op::Store { rs: r, base: SP, off: 0, size: MemSize::B4, nonpriv: false },
+                    Op::Alu {
+                        op: AluOp::Sub,
+                        rd: SP,
+                        rn: SP,
+                        src: Operand::Imm(4),
+                        set_flags: false,
+                    },
+                    Op::Store {
+                        rs: r,
+                        base: SP,
+                        off: 0,
+                        size: MemSize::B4,
+                        nonpriv: false,
+                    },
                 ],
                 InsnClass::Mem,
             )
@@ -151,8 +203,20 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             d(
                 2,
                 vec![
-                    Op::Load { rd: r, base: SP, off: 0, size: MemSize::B4, nonpriv: false },
-                    Op::Alu { op: AluOp::Add, rd: SP, rn: SP, src: Operand::Imm(4), set_flags: false },
+                    Op::Load {
+                        rd: r,
+                        base: SP,
+                        off: 0,
+                        size: MemSize::B4,
+                        nonpriv: false,
+                    },
+                    Op::Alu {
+                        op: AluOp::Add,
+                        rd: SP,
+                        rn: SP,
+                        src: Operand::Imm(4),
+                        set_flags: false,
+                    },
                 ],
                 InsnClass::Mem,
             )
@@ -165,35 +229,83 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             need(bytes, 2, pc)?;
             let rn = (bytes[1] >> 4) & 0x7;
             let rm = bytes[1] & 0x7;
-            d(2, vec![Op::Cmp { rn, src: Operand::Reg(rm), is_tst: false }], InsnClass::Alu)
+            d(
+                2,
+                vec![Op::Cmp {
+                    rn,
+                    src: Operand::Reg(rm),
+                    is_tst: false,
+                }],
+                InsnClass::Alu,
+            )
         }
         0x89 => {
             need(bytes, 6, pc)?;
             let rn = (bytes[1] >> 4) & 0x7;
-            d(6, vec![Op::Cmp { rn, src: Operand::Imm(imm32(bytes, 2)), is_tst: false }], InsnClass::Alu)
+            d(
+                6,
+                vec![Op::Cmp {
+                    rn,
+                    src: Operand::Imm(imm32(bytes, 2)),
+                    is_tst: false,
+                }],
+                InsnClass::Alu,
+            )
         }
         0x8A => {
             need(bytes, 2, pc)?;
             let rn = (bytes[1] >> 4) & 0x7;
             let rm = bytes[1] & 0x7;
-            d(2, vec![Op::Cmp { rn, src: Operand::Reg(rm), is_tst: true }], InsnClass::Alu)
+            d(
+                2,
+                vec![Op::Cmp {
+                    rn,
+                    src: Operand::Reg(rm),
+                    is_tst: true,
+                }],
+                InsnClass::Alu,
+            )
         }
         0x8B => {
             need(bytes, 6, pc)?;
             let rn = (bytes[1] >> 4) & 0x7;
-            d(6, vec![Op::Cmp { rn, src: Operand::Imm(imm32(bytes, 2)), is_tst: true }], InsnClass::Alu)
+            d(
+                6,
+                vec![Op::Cmp {
+                    rn,
+                    src: Operand::Imm(imm32(bytes, 2)),
+                    is_tst: true,
+                }],
+                InsnClass::Alu,
+            )
         }
         0x90 => {
             need(bytes, 2, pc)?;
             let r = (bytes[1] >> 4) & 0x7;
             let cr = bytes[1] & 0xF;
-            d(2, vec![Op::CopRead { cp: 0, reg: cr, rd: r }], InsnClass::System)
+            d(
+                2,
+                vec![Op::CopRead {
+                    cp: 0,
+                    reg: cr,
+                    rd: r,
+                }],
+                InsnClass::System,
+            )
         }
         0x91 => {
             need(bytes, 2, pc)?;
             let r = (bytes[1] >> 4) & 0x7;
             let cr = bytes[1] & 0xF;
-            d(2, vec![Op::CopWrite { cp: 0, reg: cr, rs: r }], InsnClass::System)
+            d(
+                2,
+                vec![Op::CopWrite {
+                    cp: 0,
+                    reg: cr,
+                    rs: r,
+                }],
+                InsnClass::System,
+            )
         }
         0xA0 => {
             need(bytes, 6, pc)?;
@@ -242,28 +354,64 @@ mod tests {
         let d = dec(&enc::alu_rr(AluOp::Add, 1, 2));
         assert_eq!(
             d.ops,
-            vec![Op::Alu { op: AluOp::Add, rd: 1, rn: 1, src: Operand::Reg(2), set_flags: false }]
+            vec![Op::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rn: 1,
+                src: Operand::Reg(2),
+                set_flags: false
+            }]
         );
         let d = dec(&enc::alu_ri32(AluOp::Eor, 3, 0xDEAD_BEEF));
         assert_eq!(d.len, 6);
         assert_eq!(
             d.ops,
-            vec![Op::Alu { op: AluOp::Eor, rd: 3, rn: 3, src: Operand::Imm(0xDEAD_BEEF), set_flags: false }]
+            vec![Op::Alu {
+                op: AluOp::Eor,
+                rd: 3,
+                rn: 3,
+                src: Operand::Imm(0xDEAD_BEEF),
+                set_flags: false
+            }]
         );
         let d = dec(&enc::alu_ri16(AluOp::Mov, 5, 0x1234));
         assert_eq!(d.len, 4);
         assert_eq!(
             d.ops,
-            vec![Op::Alu { op: AluOp::Mov, rd: 5, rn: 5, src: Operand::Imm(0x1234), set_flags: false }]
+            vec![Op::Alu {
+                op: AluOp::Mov,
+                rd: 5,
+                rn: 5,
+                src: Operand::Imm(0x1234),
+                set_flags: false
+            }]
         );
     }
 
     #[test]
     fn memory_forms() {
         let d = dec(&enc::ldst(true, enc::Width::Word, 1, 2, -8));
-        assert_eq!(d.ops, vec![Op::Load { rd: 1, base: 2, off: -8, size: MemSize::B4, nonpriv: false }]);
+        assert_eq!(
+            d.ops,
+            vec![Op::Load {
+                rd: 1,
+                base: 2,
+                off: -8,
+                size: MemSize::B4,
+                nonpriv: false
+            }]
+        );
         let d = dec(&enc::ldst(false, enc::Width::Byte, 3, 4, 7));
-        assert_eq!(d.ops, vec![Op::Store { rs: 3, base: 4, off: 7, size: MemSize::B1, nonpriv: false }]);
+        assert_eq!(
+            d.ops,
+            vec![Op::Store {
+                rs: 3,
+                base: 4,
+                off: 7,
+                size: MemSize::B1,
+                nonpriv: false
+            }]
+        );
     }
 
     #[test]
@@ -271,11 +419,21 @@ mod tests {
         let b = enc::jmp(0x8000, 0x8100);
         assert_eq!(dec(&b).ops, vec![Op::Branch { target: 0x8100 }]);
         let b = enc::jcc(Cond::Lt, 0x8000, 0x7F00);
-        assert_eq!(dec(&b).ops, vec![Op::BranchCond { cond: Cond::Lt, target: 0x7F00 }]);
+        assert_eq!(
+            dec(&b).ops,
+            vec![Op::BranchCond {
+                cond: Cond::Lt,
+                target: 0x7F00
+            }]
+        );
         let b = enc::call(0x8000, 0x9000);
         assert_eq!(
             dec(&b).ops,
-            vec![Op::Call { target: 0x9000, ret: 0x8005, link: LinkKind::Push(SP) }]
+            vec![Op::Call {
+                target: 0x9000,
+                ret: 0x8005,
+                link: LinkKind::Push(SP)
+            }]
         );
     }
 
@@ -293,8 +451,22 @@ mod tests {
     #[test]
     fn system_forms() {
         assert_eq!(dec(&enc::int(42)).ops, vec![Op::Svc(42)]);
-        assert_eq!(dec(&enc::mov_from_cr(2, 5)).ops, vec![Op::CopRead { cp: 0, reg: 5, rd: 2 }]);
-        assert_eq!(dec(&enc::mov_to_cr(3, 1)).ops, vec![Op::CopWrite { cp: 0, reg: 3, rs: 1 }]);
+        assert_eq!(
+            dec(&enc::mov_from_cr(2, 5)).ops,
+            vec![Op::CopRead {
+                cp: 0,
+                reg: 5,
+                rd: 2
+            }]
+        );
+        assert_eq!(
+            dec(&enc::mov_to_cr(3, 1)).ops,
+            vec![Op::CopWrite {
+                cp: 0,
+                reg: 3,
+                rs: 1
+            }]
+        );
     }
 
     #[test]
@@ -315,7 +487,13 @@ mod tests {
             assert_eq!(d.len, 4);
             assert_eq!(
                 d.ops,
-                vec![Op::Alu { op: AluOp::Mov, rd: 5, rn: 5, src: Operand::Imm(imm), set_flags: false }]
+                vec![Op::Alu {
+                    op: AluOp::Mov,
+                    rd: 5,
+                    rn: 5,
+                    src: Operand::Imm(imm),
+                    set_flags: false
+                }]
             );
         }
     }

@@ -93,7 +93,10 @@ pub enum Width {
 ///
 /// Panics if `disp` exceeds ±32767.
 pub fn ldst(load: bool, width: Width, r: u8, base: u8, disp: i32) -> Vec<u8> {
-    assert!((-32768..=32767).contains(&disp), "petix displacement {disp} exceeds 16 bits");
+    assert!(
+        (-32768..=32767).contains(&disp),
+        "petix displacement {disp} exceeds 16 bits"
+    );
     let op = match (width, load) {
         (Width::Word, true) => 0x70,
         (Width::Word, false) => 0x71,

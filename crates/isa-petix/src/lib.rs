@@ -41,7 +41,7 @@ pub use sys::PetixSys;
 use simbench_core::bus::Bus;
 use simbench_core::cpu::CpuState;
 use simbench_core::fault::{CopFault, ExcInfo, ExceptionKind};
-use simbench_core::ir::{Decoded, DecodeError};
+use simbench_core::ir::{DecodeError, Decoded};
 use simbench_core::isa::{CopEffect, Isa};
 use simbench_core::mmu::WalkResult;
 

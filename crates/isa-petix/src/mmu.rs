@@ -20,7 +20,11 @@ const P_USER: u32 = 1 << 2;
 const P_NX: u32 = 1 << 3;
 
 fn fault(va: u32, kind: FaultKind) -> MemFault {
-    MemFault { addr: va, access: AccessKind::Read, kind }
+    MemFault {
+        addr: va,
+        access: AccessKind::Read,
+        kind,
+    }
 }
 
 /// Walk the petix page tables for `va`.
@@ -51,10 +55,27 @@ pub fn walk<B: Bus>(sys: &PetixSys, bus: &mut B, va: u32) -> WalkResult {
     let user = pde & pte & P_USER != 0;
     let nx = (pde | pte) & P_NX != 0;
 
-    let kernel = Perms { r: true, w: write, x: !nx };
-    let user_p = if user { Perms { r: true, w: write, x: !nx } } else { Perms::NONE };
+    let kernel = Perms {
+        r: true,
+        w: write,
+        x: !nx,
+    };
+    let user_p = if user {
+        Perms {
+            r: true,
+            w: write,
+            x: !nx,
+        }
+    } else {
+        Perms::NONE
+    };
 
-    Ok(TlbEntry { vpage: page_of(va), ppage: pte >> PAGE_SHIFT, user: user_p, kernel })
+    Ok(TlbEntry {
+        vpage: page_of(va),
+        ppage: pte >> PAGE_SHIFT,
+        user: user_p,
+        kernel,
+    })
 }
 
 /// Mapping attributes for the table builder.
@@ -70,13 +91,29 @@ pub struct PtFlags {
 
 impl PtFlags {
     /// Kernel read/write/execute, no user access.
-    pub const KERNEL: PtFlags = PtFlags { write: true, user: false, nx: false };
+    pub const KERNEL: PtFlags = PtFlags {
+        write: true,
+        user: false,
+        nx: false,
+    };
     /// Full access from both modes.
-    pub const USER_FULL: PtFlags = PtFlags { write: true, user: true, nx: false };
+    pub const USER_FULL: PtFlags = PtFlags {
+        write: true,
+        user: true,
+        nx: false,
+    };
     /// Read-only at both levels.
-    pub const READ_ONLY: PtFlags = PtFlags { write: false, user: true, nx: false };
+    pub const READ_ONLY: PtFlags = PtFlags {
+        write: false,
+        user: true,
+        nx: false,
+    };
     /// Kernel data only (no execute).
-    pub const KERNEL_DEVICE: PtFlags = PtFlags { write: true, user: false, nx: true };
+    pub const KERNEL_DEVICE: PtFlags = PtFlags {
+        write: true,
+        user: false,
+        nx: true,
+    };
 
     fn bits(self) -> u32 {
         P_PRESENT
@@ -103,7 +140,11 @@ impl TableBuilder {
     /// Panics on misalignment.
     pub fn new(base: u32) -> Self {
         assert_eq!(base & 0xFFF, 0, "CR3 base must be 4 KB aligned");
-        TableBuilder { base, blob: vec![0; 4096], table_of: vec![None; 1024] }
+        TableBuilder {
+            base,
+            blob: vec![0; 4096],
+            table_of: vec![None; 1024],
+        }
     }
 
     /// The CR3 value for these tables.
@@ -122,7 +163,7 @@ impl TableBuilder {
             return addr;
         }
         let addr = self.base + self.blob.len() as u32;
-        self.blob.extend(std::iter::repeat(0).take(4096));
+        self.blob.extend(std::iter::repeat_n(0, 4096));
         self.table_of[idx] = Some(addr);
         // Directory entries carry permissive flags; leaf PTEs restrict.
         let pde = (addr & !0xFFF) | flags.bits() | P_WRITE | P_USER;
@@ -170,7 +211,11 @@ mod tests {
         let (base, blob) = tb.into_blob();
         let mut ram = FlatRam::new(8 << 20);
         ram.ram_mut()[base as usize..base as usize + blob.len()].copy_from_slice(&blob);
-        let sys = PetixSys { cr3: base, cr0: 1, ..Default::default() };
+        let sys = PetixSys {
+            cr3: base,
+            cr0: 1,
+            ..Default::default()
+        };
         (sys, ram)
     }
 
@@ -185,8 +230,14 @@ mod tests {
     #[test]
     fn not_present_faults() {
         let (sys, mut ram) = setup(|tb| tb.map_page(0x40_0000, 0x1000, PtFlags::USER_FULL));
-        assert_eq!(walk(&sys, &mut ram, 0x40_1000).unwrap_err().kind, FaultKind::Unmapped);
-        assert_eq!(walk(&sys, &mut ram, 0x80_0000).unwrap_err().kind, FaultKind::Unmapped);
+        assert_eq!(
+            walk(&sys, &mut ram, 0x40_1000).unwrap_err().kind,
+            FaultKind::Unmapped
+        );
+        assert_eq!(
+            walk(&sys, &mut ram, 0x80_0000).unwrap_err().kind,
+            FaultKind::Unmapped
+        );
     }
 
     #[test]
@@ -208,7 +259,8 @@ mod tests {
     #[test]
     fn map_range_spans_directories() {
         // Map 8 MB: crosses a 4 MB directory boundary → two tables.
-        let (sys, mut ram) = setup(|tb| tb.map_range(0x40_0000, 0x40_0000, 8 << 20, PtFlags::KERNEL));
+        let (sys, mut ram) =
+            setup(|tb| tb.map_range(0x40_0000, 0x40_0000, 8 << 20, PtFlags::KERNEL));
         assert!(walk(&sys, &mut ram, 0x40_0000).is_ok());
         assert!(walk(&sys, &mut ram, 0x7F_F000).is_ok());
         assert!(walk(&sys, &mut ram, 0xBF_F000).is_ok());
@@ -217,8 +269,15 @@ mod tests {
 
     #[test]
     fn walk_outside_ram_is_bus_error() {
-        let sys = PetixSys { cr3: 0x70_0000, cr0: 1, ..Default::default() };
+        let sys = PetixSys {
+            cr3: 0x70_0000,
+            cr0: 1,
+            ..Default::default()
+        };
         let mut ram = FlatRam::new(1 << 20);
-        assert_eq!(walk(&sys, &mut ram, 0x1000).unwrap_err().kind, FaultKind::BusError);
+        assert_eq!(
+            walk(&sys, &mut ram, 0x1000).unwrap_err().kind,
+            FaultKind::BusError
+        );
     }
 }

@@ -99,7 +99,11 @@ impl PetixSys {
                 v: w & (1 << 28) != 0,
             },
             irq_enabled: w & (1 << 7) != 0,
-            level: if w & (1 << 4) != 0 { Privilege::User } else { Privilege::Kernel },
+            level: if w & (1 << 4) != 0 {
+                Privilege::User
+            } else {
+                Privilege::Kernel
+            },
         }
     }
 
@@ -130,7 +134,13 @@ impl PetixSys {
     /// # Errors
     ///
     /// [`CopFault`] for nonexistent or read-only registers.
-    pub fn cop_write(&mut self, cpu: &mut CpuState, cp: u8, reg: u8, val: u32) -> Result<CopEffect, CopFault> {
+    pub fn cop_write(
+        &mut self,
+        cpu: &mut CpuState,
+        cp: u8,
+        reg: u8,
+        val: u32,
+    ) -> Result<CopEffect, CopFault> {
         if cp != 0 {
             return Err(CopFault);
         }
@@ -138,7 +148,11 @@ impl PetixSys {
             cr::CR0 => {
                 let was = self.cr0;
                 self.cr0 = val;
-                Ok(if (was ^ val) & 1 != 0 { CopEffect::ContextChanged } else { CopEffect::None })
+                Ok(if (was ^ val) & 1 != 0 {
+                    CopEffect::ContextChanged
+                } else {
+                    CopEffect::None
+                })
             }
             cr::CR3 => {
                 self.cr3 = val;
@@ -188,7 +202,10 @@ impl PetixSys {
     ) -> u32 {
         self.saved_pc = return_pc;
         self.saved_status = cpu.status();
-        if matches!(kind, ExceptionKind::DataAbort | ExceptionKind::PrefetchAbort) {
+        if matches!(
+            kind,
+            ExceptionKind::DataAbort | ExceptionKind::PrefetchAbort
+        ) {
             self.cr2 = info.fault_addr;
         }
         cpu.level = Privilege::Kernel;
@@ -220,9 +237,18 @@ mod tests {
     fn cr3_flushes_context() {
         let mut sys = PetixSys::default();
         let mut cpu = CpuState::at_reset(0);
-        assert_eq!(sys.cop_write(&mut cpu, 0, cr::CR3, 0x8000).unwrap(), CopEffect::ContextChanged);
-        assert_eq!(sys.cop_write(&mut cpu, 0, cr::INVLPG, 0x1234).unwrap(), CopEffect::TlbInvPage(0x1234));
-        assert_eq!(sys.cop_write(&mut cpu, 0, cr::TLB_FLUSH, 0).unwrap(), CopEffect::TlbFlush);
+        assert_eq!(
+            sys.cop_write(&mut cpu, 0, cr::CR3, 0x8000).unwrap(),
+            CopEffect::ContextChanged
+        );
+        assert_eq!(
+            sys.cop_write(&mut cpu, 0, cr::INVLPG, 0x1234).unwrap(),
+            CopEffect::TlbInvPage(0x1234)
+        );
+        assert_eq!(
+            sys.cop_write(&mut cpu, 0, cr::TLB_FLUSH, 0).unwrap(),
+            CopEffect::TlbFlush
+        );
     }
 
     #[test]
@@ -234,14 +260,19 @@ mod tests {
 
     #[test]
     fn exception_cycle() {
-        let mut sys = PetixSys::default();
-        sys.cr4 = 0x1000;
+        let mut sys = PetixSys {
+            cr4: 0x1000,
+            ..Default::default()
+        };
         let mut cpu = CpuState::at_reset(0x8000);
         cpu.irq_enabled = true;
         let vec = sys.enter_exception(
             &mut cpu,
             ExceptionKind::PrefetchAbort,
-            ExcInfo { fault_addr: 0xBAD0_0000, syscall_no: 0 },
+            ExcInfo {
+                fault_addr: 0xBAD0_0000,
+                syscall_no: 0,
+            },
             0xBAD0_0000,
         );
         assert_eq!(vec, 0x1000 + VECTOR_STRIDE * 3);

@@ -108,7 +108,10 @@ pub struct Timer {
 impl Timer {
     /// A timer starting now.
     pub fn new() -> Self {
-        Timer { epoch: Instant::now(), latched_hi: 0 }
+        Timer {
+            epoch: Instant::now(),
+            latched_hi: 0,
+        }
     }
 
     /// Register read.
@@ -268,7 +271,10 @@ mod tests {
         let lo = t.read(TIMER_NS_LO);
         let hi = t.read(TIMER_NS_HI);
         let total = ((hi as u64) << 32) | lo as u64;
-        assert!(total < 60_000_000_000, "fresh timer should read well under a minute");
+        assert!(
+            total < 60_000_000_000,
+            "fresh timer should read well under a minute"
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl Platform {
     ///
     /// Panics if `ram_size` would overlap the device region.
     pub fn with_ram(ram_size: usize) -> Self {
-        assert!((ram_size as u64) <= DEVICE_BASE as u64, "RAM overlaps device region");
+        assert!(
+            (ram_size as u64) <= DEVICE_BASE as u64,
+            "RAM overlaps device region"
+        );
         Platform {
             ram: vec![0; ram_size],
             uart: Uart::new(),
@@ -121,7 +124,12 @@ impl Platform {
         })
     }
 
-    fn device_write(&mut self, pa: u32, val: u32, _size: MemSize) -> Result<Option<BusEvent>, MemFault> {
+    fn device_write(
+        &mut self,
+        pa: u32,
+        val: u32,
+        _size: MemSize,
+    ) -> Result<Option<BusEvent>, MemFault> {
         let off = pa & 0xFFF;
         match pa & !0xFFF {
             UART_BASE => {

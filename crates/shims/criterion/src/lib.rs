@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this workspace ships
+//! an API-compatible subset sufficient for the bench targets in
+//! `crates/bench`: [`Criterion::benchmark_group`], group knobs
+//! (`sample_size`, `warm_up_time`, `measurement_time`),
+//! [`BenchmarkGroup::bench_function`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is honest but simple: after a warm-up window, the closure
+//! runs batches until the measurement window elapses, and the mean,
+//! minimum, and maximum per-iteration times are printed in a criterion-
+//! like one-line format. There is no statistical regression testing —
+//! that now lives in `simbench-campaign`, which persists results and
+//! compares against stored baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A group of benchmarks sharing timing knobs.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples (kept for API compatibility; the shim sizes
+    /// batches from the measurement window instead).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up window before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let n = b.samples.len().max(1) as f64;
+        let mean = b.samples.iter().sum::<f64>() / n;
+        let min = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = b.samples.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{}/{:<50} time: [{} {} {}]",
+            self.name,
+            id,
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to the benchmark closure; times `iter` bodies.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure the routine: warm up, then record per-iteration seconds
+    /// until the measurement window closes.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+        if self.samples.is_empty() {
+            // Routine slower than the window: record the one mandatory run.
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundle bench functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; accept and
+            // ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+}

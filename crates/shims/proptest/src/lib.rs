@@ -1,0 +1,451 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this workspace ships a
+//! small API-compatible subset of proptest sufficient for the property
+//! tests in this repository: the [`proptest!`] macro (both `pat in
+//! strategy` and `ident: Type` argument forms), [`Strategy`] with
+//! `prop_map`, [`any`], range strategies, tuple strategies, weighted-free
+//! [`prop_oneof!`], `prop::collection::vec`, `prop::sample::select`, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * deterministic: case `i` of test `t` is seeded from `hash(t) + i`,
+//!   so failures reproduce exactly across runs and machines;
+//! * no shrinking: a failing case reports its inputs via the panic
+//!   message of the `prop_assert*` macros (which are plain asserts);
+//! * case count defaults to 256 and honours `PROPTEST_CASES`.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (SplitMix64).
+// ---------------------------------------------------------------------------
+
+/// The PRNG handed to strategies. SplitMix64: tiny, fast, well mixed.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from a test name and case index.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift bounded rejection is overkill for tests; a
+        // simple widening multiply keeps bias below 2^-64.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy.
+// ---------------------------------------------------------------------------
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                // Saturates only on the full u64/i64 domain, which the
+                // tests never use as an inclusive range.
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T`, returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()` — the unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+/// One boxed generator arm of a [`Union`].
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Uniform choice between boxed arms, built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+impl<T> Union<T> {
+    /// From explicit arms.
+    pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(elem, len_range)` — vectors of strategy-generated elements.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed set.
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// `select(slice)` — one of the given values.
+    pub fn select<T: Clone>(items: &[T]) -> Select<T> {
+        assert!(!items.is_empty(), "select of nothing");
+        Select {
+            items: items.to_vec(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner and macros.
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Drive `body` over `config.cases` generated inputs. Called by the
+/// code that [`proptest!`] expands to; not part of the public proptest
+/// API surface.
+pub fn run_cases<S: Strategy>(
+    test_name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    body: impl Fn(S::Value),
+) {
+    for case in 0..config.cases as u64 {
+        let mut rng = TestRng::for_case(test_name, case);
+        body(strategy.generate(&mut rng));
+    }
+}
+
+/// Assert inside a property body (plain `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$({
+            let strategy = $arm;
+            Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::generate(&strategy, rng))
+                as Box<dyn Fn(&mut $crate::TestRng) -> _>
+        }),+])
+    };
+}
+
+/// The property-test macro: wraps each `fn` in a `#[test]` runner that
+/// generates its arguments. Supports `name in strategy` and `name: Type`
+/// argument forms and an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    { #![proptest_config($cfg:expr)] $($rest:tt)* } => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    { $($rest:tt)* } => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    { ($cfg:expr) } => {};
+    { ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)* } => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_args! { @munch ($cfg) $name $body [] [] $($args)* }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_args {
+    // All arguments consumed: run.
+    (@munch ($cfg:expr) $name:ident $body:block [$(($pat:pat))*] [$(($strat:expr))*]) => {{
+        let config = $cfg;
+        let strategy = ($($strat,)*);
+        $crate::run_cases(stringify!($name), &config, &strategy, |($($pat,)*)| $body);
+    }};
+    // `ident: Type` form (must precede the `pat in expr` arm: a bare
+    // ident also parses as a pattern).
+    (@munch ($cfg:expr) $name:ident $body:block [$($pats:tt)*] [$($strats:tt)*]
+     $arg:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_args! { @munch ($cfg) $name $body
+            [$($pats)* ($arg)] [$($strats)* ($crate::any::<$ty>())] $($rest)* }
+    };
+    (@munch ($cfg:expr) $name:ident $body:block [$($pats:tt)*] [$($strats:tt)*]
+     $arg:ident : $ty:ty) => {
+        $crate::__proptest_args! { @munch ($cfg) $name $body
+            [$($pats)* ($arg)] [$($strats)* ($crate::any::<$ty>())] }
+    };
+    // `pat in strategy` form.
+    (@munch ($cfg:expr) $name:ident $body:block [$($pats:tt)*] [$($strats:tt)*]
+     $arg:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_args! { @munch ($cfg) $name $body
+            [$($pats)* ($arg)] [$($strats)* ($strat)] $($rest)* }
+    };
+    (@munch ($cfg:expr) $name:ident $body:block [$($pats:tt)*] [$($strats:tt)*]
+     $arg:pat in $strat:expr) => {
+        $crate::__proptest_args! { @munch ($cfg) $name $body
+            [$($pats)* ($arg)] [$($strats)* ($strat)] }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<u64> = (0..4)
+            .map(|i| TestRng::for_case("t", i).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|i| TestRng::for_case("t", i).next_u64())
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(5u8..9), &mut rng);
+            assert!((5..9).contains(&v));
+            let w = Strategy::generate(&(-3i32..=3), &mut rng);
+            assert!((-3..=3).contains(&w));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn macro_mixed_args(x in 1u32..10, flag: bool, v in prop::collection::vec(0u8..4, 1..5)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 4));
+            let _ = flag;
+        }
+
+        #[test]
+        fn macro_oneof_and_map(v in prop_oneof![
+            (0u32..10).prop_map(|x| x * 2),
+            (100u32..110).prop_map(|x| x + 1),
+        ]) {
+            prop_assert!(v % 2 == 0 && v < 20 || (101u32..111).contains(&v));
+        }
+    }
+}

@@ -31,7 +31,11 @@ impl ArmletSupport {
                 // keep D/E dead in their kernels).
                 a.mov_imm(PReg::D, layout.intc);
                 a.mov_imm(PReg::E, 1);
-                a.store(PReg::E, PReg::D, simbench_platform::devices::INTC_ACK as i32);
+                a.store(
+                    PReg::E,
+                    PReg::D,
+                    simbench_platform::devices::INTC_ACK as i32,
+                );
                 a.eret();
             }
         }
@@ -43,7 +47,11 @@ impl Support for ArmletSupport {
     const ISA_NAME: &'static str = "armlet";
     const HAS_NONPRIV: bool = true;
 
-    fn build(&self, spec: BootSpec, body: impl FnOnce(&mut Self::Asm, &Self, &Layout)) -> GuestImage {
+    fn build(
+        &self,
+        spec: BootSpec,
+        body: impl FnOnce(&mut Self::Asm, &Self, &Layout),
+    ) -> GuestImage {
         let layout = self.layout();
         let mut a = ArmletAsm::new();
 
@@ -52,8 +60,18 @@ impl Support for ArmletSupport {
         let mut tb = TableBuilder::new(layout.tables);
         tb.map_range(0, 0, 0x0060_0000, Access::KernelOnly);
         tb.map_range(layout.data, layout.data, 0x0020_0000, Access::UserFull);
-        tb.map_range(layout.cold, layout.cold, layout.cold_len, Access::KernelOnly);
-        tb.map_range(simbench_platform::DEVICE_BASE, simbench_platform::DEVICE_BASE, 0x5000, Access::KernelDevice);
+        tb.map_range(
+            layout.cold,
+            layout.cold,
+            layout.cold_len,
+            Access::KernelOnly,
+        );
+        tb.map_range(
+            simbench_platform::DEVICE_BASE,
+            simbench_platform::DEVICE_BASE,
+            0x5000,
+            Access::KernelDevice,
+        );
         let (tbase, blob) = tb.into_blob();
 
         // Vector table: a branch per exception kind, 0x20 apart.
@@ -89,7 +107,11 @@ impl Support for ArmletSupport {
         if spec.enable_irqs {
             a.mov_imm(PReg::A, layout.intc);
             a.mov_imm(PReg::B, 1);
-            a.store(PReg::B, PReg::A, simbench_platform::devices::INTC_ENABLE as i32);
+            a.store(
+                PReg::B,
+                PReg::A,
+                simbench_platform::devices::INTC_ENABLE as i32,
+            );
             a.mov_imm(PReg::A, 1);
             a.mcr(CP_BANK, cp14::IRQ_CTL, PReg::A);
         }

@@ -303,7 +303,11 @@ pub fn ext_swi<S: Support>(a: &mut S::Asm, _s: &S, layout: &Layout, iterations: 
         },
         iterations,
         |a| {
-            a.store(PReg::B, PReg::A, simbench_platform::devices::INTC_TRIGGER as i32);
+            a.store(
+                PReg::B,
+                PReg::A,
+                simbench_platform::devices::INTC_TRIGGER as i32,
+            );
             // Give block-boundary engines a boundary to deliver at.
             a.nop();
             a.nop();
@@ -332,7 +336,14 @@ pub fn mmio_device<S: Support>(a: &mut S::Asm, _s: &S, layout: &Layout, iteratio
 /// Coprocessor Access: repeatedly perform the architecture's designated
 /// side-effect-free coprocessor read.
 pub fn coproc_access<S: Support>(a: &mut S::Asm, s: &S, layout: &Layout, iterations: u32) {
-    wrap_kernel::<S>(a, layout, |_| {}, iterations, |a| s.emit_safe_coproc_read(a, PReg::B), |_| {});
+    wrap_kernel::<S>(
+        a,
+        layout,
+        |_| {},
+        iterations,
+        |a| s.emit_safe_coproc_read(a, PReg::B),
+        |_| {},
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -33,7 +33,11 @@ impl PetixSupport {
                 // Clobbers D and E, as on armlet.
                 a.mov_imm(PReg::D, layout.intc);
                 a.mov_imm(PReg::E, 1);
-                a.store(PReg::E, PReg::D, simbench_platform::devices::INTC_ACK as i32);
+                a.store(
+                    PReg::E,
+                    PReg::D,
+                    simbench_platform::devices::INTC_ACK as i32,
+                );
                 a.eret();
             }
         }
@@ -45,7 +49,11 @@ impl Support for PetixSupport {
     const ISA_NAME: &'static str = "petix";
     const HAS_NONPRIV: bool = false;
 
-    fn build(&self, spec: BootSpec, body: impl FnOnce(&mut Self::Asm, &Self, &Layout)) -> GuestImage {
+    fn build(
+        &self,
+        spec: BootSpec,
+        body: impl FnOnce(&mut Self::Asm, &Self, &Layout),
+    ) -> GuestImage {
         let layout = self.layout();
         let mut a = PetixAsm::new();
 
@@ -54,7 +62,12 @@ impl Support for PetixSupport {
         tb.map_range(0, 0, 0x0060_0000, PtFlags::KERNEL);
         tb.map_range(layout.data, layout.data, 0x0020_0000, PtFlags::USER_FULL);
         tb.map_range(layout.cold, layout.cold, layout.cold_len, PtFlags::KERNEL);
-        tb.map_range(simbench_platform::DEVICE_BASE, simbench_platform::DEVICE_BASE, 0x5000, PtFlags::KERNEL_DEVICE);
+        tb.map_range(
+            simbench_platform::DEVICE_BASE,
+            simbench_platform::DEVICE_BASE,
+            0x5000,
+            PtFlags::KERNEL_DEVICE,
+        );
         let (cr3, blob) = tb.into_blob();
 
         // Vector table.
@@ -89,7 +102,11 @@ impl Support for PetixSupport {
         if spec.enable_irqs {
             a.mov_imm(PReg::A, layout.intc);
             a.mov_imm(PReg::B, 1);
-            a.store(PReg::B, PReg::A, simbench_platform::devices::INTC_ENABLE as i32);
+            a.store(
+                PReg::B,
+                PReg::A,
+                simbench_platform::devices::INTC_ENABLE as i32,
+            );
             a.mov_imm(PReg::A, 1);
             a.mov_to_cr(cr::IRQ_CTL, PReg::A);
         }

@@ -152,7 +152,11 @@ pub trait Support {
     /// emitted at `layout().code`. The body receives the assembler, the
     /// support package (for arch-specific operations) and the layout; it
     /// must end with `halt`.
-    fn build(&self, spec: BootSpec, body: impl FnOnce(&mut Self::Asm, &Self, &Layout)) -> GuestImage;
+    fn build(
+        &self,
+        spec: BootSpec,
+        body: impl FnOnce(&mut Self::Asm, &Self, &Layout),
+    ) -> GuestImage;
 
     /// Emit the designated side-effect-free coprocessor read (armlet:
     /// CP15 DACR; petix: FPU control word).

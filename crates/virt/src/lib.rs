@@ -89,7 +89,9 @@ struct PageCode {
 
 impl Default for PageCode {
     fn default() -> Self {
-        PageCode { slots: vec![None; 4096] }
+        PageCode {
+            slots: vec![None; 4096],
+        }
     }
 }
 
@@ -118,7 +120,12 @@ impl<I: Isa> Virt<I> {
 
     /// An engine with an explicit configuration.
     pub fn with_config(cfg: VirtConfig) -> Self {
-        Virt { cfg, tlb: DirectTlb::new(4096), pages: HashMap::new(), _isa: PhantomData }
+        Virt {
+            cfg,
+            tlb: DirectTlb::new(4096),
+            pages: HashMap::new(),
+            _isa: PhantomData,
+        }
     }
 
     /// The active configuration.
@@ -167,7 +174,11 @@ impl<I: Isa, B: Bus> Ctx<'_, I, B> {
         nonpriv: bool,
     ) -> Result<u32, MemFault> {
         if !size.aligned(va) {
-            return Err(MemFault { addr: va, access, kind: FaultKind::Unaligned });
+            return Err(MemFault {
+                addr: va,
+                access,
+                kind: FaultKind::Unaligned,
+            });
         }
         if !I::mmu_enabled(self.sys) {
             return Ok(va);
@@ -321,7 +332,11 @@ impl<I: Isa> Virt<I> {
         // Decode from RAM (instruction fetch from MMIO is a bus error).
         let ram = bus.ram();
         if pa as usize >= ram.len() {
-            return Err(MemFault { addr: pc, access: AccessKind::Execute, kind: FaultKind::BusError });
+            return Err(MemFault {
+                addr: pc,
+                access: AccessKind::Execute,
+                kind: FaultKind::BusError,
+            });
         }
         let end = ((pa as usize) + I::MAX_INSN_BYTES).min(ram.len());
         let bytes = &ram[pa as usize..end];
@@ -517,7 +532,12 @@ impl<I: Isa, B: Bus> Engine<I, B> for Virt<I> {
             }
         };
 
-        RunOutcome { exit, wall: t0.elapsed(), counters, kernel: phase.into_kernel() }
+        RunOutcome {
+            exit,
+            wall: t0.elapsed(),
+            counters,
+            kernel: phase.into_kernel(),
+        }
     }
 }
 
@@ -564,7 +584,10 @@ mod tests {
         a.halt();
         let img = a.finish(0x8000);
         let mut m = Machine::<Armlet, _>::boot(&img, FlatRam::new(1 << 20));
-        let cfg = VirtConfig { exit_cost_ns: 0, ..VirtConfig::kvm() };
+        let cfg = VirtConfig {
+            exit_cost_ns: 0,
+            ..VirtConfig::kvm()
+        };
         let mut e = Virt::<Armlet>::with_config(cfg);
         let out = e.run(&mut m, &RunLimits::insns(1000));
         assert_eq!(out.exit, ExitReason::Halted);

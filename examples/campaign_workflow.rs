@@ -1,0 +1,78 @@
+//! The campaign workflow end to end, programmatically: declare a
+//! measurement matrix, run it on a worker pool, persist the JSON
+//! result, and detect a regression against a baseline.
+//!
+//! The CLI equivalent is:
+//!
+//! ```sh
+//! simbench-harness campaign run --scale 20000 --jobs 4 --reps 3 --out current.json
+//! simbench-harness campaign compare current.json --baseline baseline.json --threshold 0.25
+//! ```
+//!
+//! ```sh
+//! cargo run --release --example campaign_workflow
+//! ```
+
+use simbench_campaign::measure::{EngineKind, Guest};
+use simbench_campaign::{compare, run, CampaignSpec, RunnerOpts, Workload};
+use simbench_suite::Benchmark;
+
+fn main() {
+    // 1. Declare the matrix: two guests × three engines × four
+    //    benchmarks, three repetitions per cell.
+    let spec = CampaignSpec {
+        name: "example".to_string(),
+        guests: Guest::ALL.to_vec(),
+        engines: vec![
+            EngineKind::Dbt(simbench_dbt::VersionProfile::latest()),
+            EngineKind::Interp,
+            EngineKind::Native,
+        ],
+        workloads: vec![
+            Workload::Suite(Benchmark::Syscall),
+            Workload::Suite(Benchmark::MemHot),
+            Workload::Suite(Benchmark::DataFault),
+            Workload::Suite(Benchmark::IntraPageDirect),
+        ],
+        scale: 50_000,
+        reps: 3,
+        wall_limit_secs: Some(60),
+    };
+
+    // 2. Run it in parallel. Each job owns its Machine and engine, so
+    //    any worker count yields the same counters.
+    let current = run(&spec, &RunnerOpts::with_jobs(4));
+    println!(
+        "campaign '{}': {} cells in {:.2}s on 4 workers",
+        current.name,
+        current.cells.len(),
+        current.wall_secs
+    );
+    for cell in current.cells.iter().take(3) {
+        let stats = cell.stats.as_ref().unwrap();
+        println!(
+            "  {}/{} {}: median {:.6}s over {} reps (±{:.6} ci95)",
+            cell.guest, cell.engine, cell.workload, stats.median, stats.n, stats.ci95
+        );
+    }
+
+    // 3. Persist — the versioned JSON schema is what CI stores as
+    //    BENCH_campaign.json and what `campaign compare` consumes.
+    let path = std::env::temp_dir().join("simbench_example_campaign.json");
+    current.save(&path).expect("write campaign result");
+    println!("wrote {}", path.display());
+
+    // 4. Regression detection: pretend a historical baseline ran the
+    //    syscall cell 5× faster, then compare.
+    let mut baseline = current.clone();
+    for cell in &mut baseline.cells {
+        if cell.workload == "suite:System Call" && cell.guest == "armlet" {
+            cell.seconds.iter_mut().for_each(|s| *s /= 5.0);
+            cell.stats = simbench_campaign::stats(&cell.seconds);
+        }
+    }
+    let report = compare(&baseline, &current, 0.25);
+    println!("\n{}", report.render());
+    assert!(!report.clean(), "the slowed cell must be flagged");
+    std::fs::remove_file(&path).ok();
+}

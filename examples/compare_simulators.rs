@@ -11,18 +11,23 @@ use simbench_suite::Benchmark;
 fn main() {
     let cfg = Config::with_scale(10_000);
     let benches = [
-        Benchmark::SmallBlocks,    // DBTs pay translation here
+        Benchmark::SmallBlocks,     // DBTs pay translation here
         Benchmark::IntraPageDirect, // ...and win here via chaining
-        Benchmark::MmioDevice,     // virtualization pays trap costs here
-        Benchmark::MemHot,         // everyone's fast path
+        Benchmark::MmioDevice,      // virtualization pays trap costs here
+        Benchmark::MemHot,          // everyone's fast path
     ];
 
-    println!("{:<28} {:>12} {:>12} {:>12} {:>12} {:>12}", "benchmark", "dbt", "interp", "detailed", "virt", "native");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "dbt", "interp", "detailed", "virt", "native"
+    );
     for bench in benches {
         print!("{:<28}", bench.name());
         for engine in EngineKind::fig7_columns() {
             match run_suite_bench(Guest::Armlet, engine, bench, &cfg) {
-                Some(s) if s.ok() => print!(" {:>11.2?}", std::time::Duration::from_secs_f64(s.seconds)),
+                Some(s) if s.ok() => {
+                    print!(" {:>11.2?}", std::time::Duration::from_secs_f64(s.seconds))
+                }
                 Some(_) => print!(" {:>12}", "-†"),
                 None => print!(" {:>12}", "-"),
             }

@@ -16,7 +16,11 @@ fn main() {
         "{:<28} {:>10} {:>12} {:>12} {:>12}",
         "benchmark", "guest", "insns", "tested ops", "image bytes"
     );
-    for bench in [Benchmark::Syscall, Benchmark::MemHot, Benchmark::IntraPageIndirect] {
+    for bench in [
+        Benchmark::Syscall,
+        Benchmark::MemHot,
+        Benchmark::IntraPageIndirect,
+    ] {
         // armlet build + run
         let image = build(&ArmletSupport::new(), bench, iters).unwrap();
         let mut m = Machine::<Armlet, _>::boot(&image, Platform::new());

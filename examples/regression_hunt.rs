@@ -21,12 +21,17 @@ fn main() {
     for v in [old, new] {
         let times: Vec<f64> = App::ALL
             .iter()
-            .map(|&a| run_app(Guest::Armlet, EngineKind::Dbt(v), a, &cfg).seconds.max(1e-9))
+            .map(|&a| {
+                run_app(Guest::Armlet, EngineKind::Dbt(v), a, &cfg)
+                    .seconds
+                    .max(1e-9)
+            })
             .collect();
         per_version.push(times);
     }
-    let speedups: Vec<f64> =
-        (0..App::ALL.len()).map(|i| per_version[0][i] / per_version[1][i]).collect();
+    let speedups: Vec<f64> = (0..App::ALL.len())
+        .map(|i| per_version[0][i] / per_version[1][i])
+        .collect();
     println!(
         "application view: {} → {} overall speedup {:.3} (aggregate of {} apps)",
         old.name,

@@ -14,8 +14,14 @@
 //!   full-system engines (SimIt-ARM, Gem5, QEMU and QEMU-KVM analogues).
 //! * [`suite`] — the eighteen SimBench micro-benchmarks.
 //! * [`apps`] — synthetic SPEC-like application workloads.
+//! * [`campaign`] — the parallel measurement-campaign subsystem: a
+//!   declarative guests × engines × workloads matrix expanded into jobs,
+//!   executed on a work-stealing worker pool, aggregated into per-cell
+//!   statistics, persisted as versioned `simbench-campaign/v1` JSON, and
+//!   compared against stored baselines for regression detection.
 //! * [`harness`] — experiment drivers regenerating every paper table
-//!   and figure.
+//!   and figure, now thin renderers over campaign results, plus the
+//!   `simbench-harness campaign run|compare|list` CLI.
 //!
 //! ## Quickstart
 //!
@@ -33,6 +39,7 @@
 //! ```
 
 pub use simbench_apps as apps;
+pub use simbench_campaign as campaign;
 pub use simbench_core as core;
 pub use simbench_dbt as dbt;
 pub use simbench_detailed as detailed;
@@ -46,6 +53,7 @@ pub use simbench_virt as virt;
 
 /// Commonly used items, one `use` away.
 pub mod prelude {
+    pub use simbench_campaign::{CampaignResult, CampaignSpec, RunnerOpts, Workload};
     pub use simbench_core::asm::{PReg, PortableAsm};
     pub use simbench_core::engine::{Engine, ExitReason, RunLimits, RunOutcome};
     pub use simbench_core::machine::Machine;

@@ -26,8 +26,16 @@ fn check_outcome(bench: Benchmark, engine: &str, out: &RunOutcome) {
         // not exercised in this test (we run Detailed with all devices).
         panic!("{engine}/{bench:?}: unexpected Unsupported");
     }
-    assert_eq!(out.exit, ExitReason::Halted, "{engine}/{bench:?} did not halt: {:?}", out.exit);
-    let kernel = out.kernel.as_ref().unwrap_or_else(|| panic!("{engine}/{bench:?}: no phase marks"));
+    assert_eq!(
+        out.exit,
+        ExitReason::Halted,
+        "{engine}/{bench:?} did not halt: {:?}",
+        out.exit
+    );
+    let kernel = out
+        .kernel
+        .as_ref()
+        .unwrap_or_else(|| panic!("{engine}/{bench:?}: no phase marks"));
     let ops = bench.tested_ops(&kernel.counters);
     if bench.category() == simbench_suite::Category::CodeGeneration && ops == 0 {
         // Engines without a code cache cannot observe code modification
@@ -118,7 +126,11 @@ fn engines_agree_on_guest_visible_state() {
     // Differential check: after running the same benchmark, the guest's
     // architectural registers must match across engines.
     let s = ArmletSupport::new();
-    for bench in [Benchmark::MemHot, Benchmark::Syscall, Benchmark::IntraPageDirect] {
+    for bench in [
+        Benchmark::MemHot,
+        Benchmark::Syscall,
+        Benchmark::IntraPageDirect,
+    ] {
         let image = build(&s, bench, ITERS).unwrap();
         let mut finals = Vec::new();
         {

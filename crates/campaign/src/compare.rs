@@ -1,12 +1,23 @@
 //! Baseline comparison and regression detection.
 //!
 //! Cells are matched across two [`CampaignResult`]s by their
-//! (guest, engine, workload) identity; the comparison metric is each
-//! cell's geometric-mean time over kept repetitions. A cell whose ratio
-//! `current / baseline` exceeds `1 + threshold` is flagged as a
-//! regression, below `1 / (1 + threshold)` as an improvement.
+//! (guest, engine, workload) identity. Two comparison modes exist:
+//!
+//! * [`compare`] — the *timing* path: the metric is each cell's
+//!   geometric-mean seconds over kept repetitions, and a cell whose
+//!   ratio `current / baseline` exceeds `1 + threshold` is flagged as a
+//!   regression, below `1 / (1 + threshold)` as an improvement.
+//!   Wall-clock is machine- and load-dependent, so this path always
+//!   needs a tolerance band.
+//! * [`compare_counters`] — the *architectural* path: cells are
+//!   compared on their event profiles (instruction, operation and
+//!   fault counts), which are deterministic across hosts and worker
+//!   counts. The default tolerance is exactly zero: any differing
+//!   counter flags the cell.
 
-use crate::result::{CampaignResult, CellStatus};
+use simbench_core::events::Counters;
+
+use crate::result::{CampaignResult, CellResult, CellStatus};
 use crate::table::{fmt_ratio, fmt_secs, Table};
 
 /// Classification of one cell's movement against the baseline.
@@ -138,28 +149,261 @@ impl Comparison {
             &broken,
         ));
         out.push_str(&section("improvements", &improvements));
-        let coverage: Vec<&Delta> = self
-            .deltas
-            .iter()
-            .filter(|d| matches!(d.verdict, Verdict::Added | Verdict::Removed))
-            .collect();
-        if !coverage.is_empty() {
-            let mut table = Table::new(["guest", "engine", "workload", "change"]);
-            for d in coverage {
-                table.row([
-                    d.guest.clone(),
-                    d.engine.clone(),
-                    d.workload.clone(),
-                    match d.verdict {
-                        Verdict::Added => "added".to_string(),
-                        _ => "removed".to_string(),
-                    },
-                ]);
-            }
-            out.push_str(&format!("\ncoverage changes\n{}", table.render()));
-        }
+        out.push_str(&coverage_section(self.deltas.iter().map(|d| {
+            (
+                d.guest.as_str(),
+                d.engine.as_str(),
+                d.workload.as_str(),
+                d.verdict,
+            )
+        })));
         out
     }
+}
+
+/// The "coverage changes" section shared by both report flavours:
+/// added/removed cells as a (guest, engine, workload, change) table.
+/// Empty when no cell was added or removed.
+fn coverage_section<'a>(
+    deltas: impl Iterator<Item = (&'a str, &'a str, &'a str, Verdict)>,
+) -> String {
+    let mut table = Table::new(["guest", "engine", "workload", "change"]);
+    let mut any = false;
+    for (guest, engine, workload, verdict) in deltas {
+        let change = match verdict {
+            Verdict::Added => "added",
+            Verdict::Removed => "removed",
+            _ => continue,
+        };
+        any = true;
+        table.row([
+            guest.to_string(),
+            engine.to_string(),
+            workload.to_string(),
+            change.to_string(),
+        ]);
+    }
+    if any {
+        format!("\ncoverage changes\n{}", table.render())
+    } else {
+        String::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter-exact comparison.
+// ---------------------------------------------------------------------------
+
+/// One counter whose value moved between baseline and current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterDiff {
+    /// Counter name (a [`Counters`] field).
+    pub name: &'static str,
+    /// Baseline value.
+    pub base: u64,
+    /// Current value.
+    pub current: u64,
+}
+
+/// One cell compared on its event profile.
+#[derive(Debug, Clone)]
+pub struct CounterDelta {
+    /// Guest id.
+    pub guest: String,
+    /// Engine id.
+    pub engine: String,
+    /// Workload id.
+    pub workload: String,
+    /// Classification. [`Verdict::Regressed`] means the profile moved
+    /// beyond the tolerance (counters have no faster/slower direction,
+    /// so there is no `Improved` on this path).
+    pub verdict: Verdict,
+    /// The counters that differ, in declaration order. Empty unless the
+    /// verdict is `Regressed`.
+    pub diffs: Vec<CounterDiff>,
+}
+
+/// A full counter-exact comparison report.
+#[derive(Debug, Clone)]
+pub struct CounterComparison {
+    /// Relative per-counter drift tolerated before a cell is flagged
+    /// (0 = exact equality required).
+    pub tolerance: f64,
+    /// Every compared cell in current-result order, then removed cells.
+    pub deltas: Vec<CounterDelta>,
+}
+
+impl CounterComparison {
+    /// Cells whose event profile moved beyond the tolerance.
+    pub fn changed(&self) -> Vec<&CounterDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Regressed)
+            .collect()
+    }
+
+    /// Cells that completed in the baseline but fail now.
+    pub fn broken(&self) -> Vec<&CounterDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Broke)
+            .collect()
+    }
+
+    /// True when no cell changed or broke.
+    pub fn clean(&self) -> bool {
+        self.changed().is_empty() && self.broken().is_empty()
+    }
+
+    /// Render a human-readable report: a summary line, one row per
+    /// differing counter, and coverage changes.
+    pub fn render(&self) -> String {
+        let changed = self.changed();
+        let broken = self.broken();
+        let added = self
+            .deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Added)
+            .count();
+        let removed = self
+            .deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Removed)
+            .count();
+        let compared = self
+            .deltas
+            .iter()
+            .filter(|d| matches!(d.verdict, Verdict::Regressed | Verdict::Unchanged))
+            .count();
+        let mut out = format!(
+            "campaign compare --counters — {compared} cells compared, tolerance {}\n\
+             {} changed, {} broken, {added} added, {removed} removed\n",
+            if self.tolerance == 0.0 {
+                "exact".to_string()
+            } else {
+                format!("{:.1}%", self.tolerance * 100.0)
+            },
+            changed.len(),
+            broken.len(),
+        );
+        if !changed.is_empty() {
+            let mut table = Table::new([
+                "guest", "engine", "workload", "counter", "baseline", "current",
+            ]);
+            for d in &changed {
+                for diff in &d.diffs {
+                    table.row([
+                        d.guest.clone(),
+                        d.engine.clone(),
+                        d.workload.clone(),
+                        diff.name.to_string(),
+                        diff.base.to_string(),
+                        diff.current.to_string(),
+                    ]);
+                }
+            }
+            out.push_str(&format!(
+                "\nCHANGED (event profile differs from baseline)\n{}",
+                table.render()
+            ));
+        }
+        if !broken.is_empty() {
+            let mut table = Table::new(["guest", "engine", "workload"]);
+            for d in &broken {
+                table.row([d.guest.clone(), d.engine.clone(), d.workload.clone()]);
+            }
+            out.push_str(&format!(
+                "\nBROKEN (completed in baseline, fails now)\n{}",
+                table.render()
+            ));
+        }
+        out.push_str(&coverage_section(self.deltas.iter().map(|d| {
+            (
+                d.guest.as_str(),
+                d.engine.as_str(),
+                d.workload.as_str(),
+                d.verdict,
+            )
+        })));
+        out
+    }
+}
+
+/// The counters that differ beyond a relative tolerance. With
+/// `tolerance == 0.0` this is exact field-wise inequality.
+fn counter_diffs(base: &Counters, current: &Counters, tolerance: f64) -> Vec<CounterDiff> {
+    base.rows()
+        .into_iter()
+        .zip(current.rows())
+        .filter(|((_, b), (_, c))| {
+            b != c && (c.abs_diff(*b) as f64) > tolerance * (*b.max(c) as f64)
+        })
+        .map(|((name, b), (_, c))| CounterDiff {
+            name,
+            base: b,
+            current: c,
+        })
+        .collect()
+}
+
+/// Compare a current campaign against a stored baseline on event
+/// profiles. Counters are architectural — identical across hosts and
+/// `--jobs` settings — so the default `tolerance` of zero is the right
+/// gate almost everywhere; a non-zero tolerance admits relative drift
+/// per counter.
+pub fn compare_counters(
+    baseline: &CampaignResult,
+    current: &CampaignResult,
+    tolerance: f64,
+) -> CounterComparison {
+    assert!(
+        (0.0..f64::INFINITY).contains(&tolerance),
+        "tolerance must be a non-negative fraction"
+    );
+    let ok = |cell: &CellResult| cell.status == CellStatus::Ok;
+    let mut deltas = Vec::new();
+    for cell in &current.cells {
+        let base_cell = baseline.cell(&cell.guest, &cell.engine, &cell.workload);
+        let (verdict, diffs) = match (base_cell.filter(|b| ok(b)), ok(cell)) {
+            (Some(base), true) => {
+                let diffs = counter_diffs(&base.counters, &cell.counters, tolerance);
+                if diffs.is_empty() {
+                    (Verdict::Unchanged, diffs)
+                } else {
+                    (Verdict::Regressed, diffs)
+                }
+            }
+            (None, true) => (Verdict::Added, Vec::new()),
+            (Some(_), false) => match cell.status {
+                CellStatus::NotOnIsa => (Verdict::Removed, Vec::new()),
+                _ => (Verdict::Broke, Vec::new()),
+            },
+            (None, false) => continue,
+        };
+        deltas.push(CounterDelta {
+            guest: cell.guest.clone(),
+            engine: cell.engine.clone(),
+            workload: cell.workload.clone(),
+            verdict,
+            diffs,
+        });
+    }
+    for cell in &baseline.cells {
+        if ok(cell)
+            && current
+                .cell(&cell.guest, &cell.engine, &cell.workload)
+                .is_none()
+        {
+            deltas.push(CounterDelta {
+                guest: cell.guest.clone(),
+                engine: cell.engine.clone(),
+                workload: cell.workload.clone(),
+                verdict: Verdict::Removed,
+                diffs: Vec::new(),
+            });
+        }
+    }
+    CounterComparison { tolerance, deltas }
 }
 
 fn metric(cell: &crate::result::CellResult) -> Option<f64> {
@@ -262,8 +506,14 @@ mod tests {
                     status: CellStatus::Ok,
                     stats: stats(&secs),
                     seconds: secs,
-                    counters: Counters::default(),
+                    counters: Counters {
+                        instructions: 1000,
+                        syscalls: 16,
+                        ..Default::default()
+                    },
                     counters_consistent: true,
+                    tested_ops: Some(16),
+                    counter_variants: Vec::new(),
                 })
                 .collect(),
         }
@@ -330,6 +580,61 @@ mod tests {
         let cmp = compare(&base, &cur, 0.25);
         assert!(cmp.clean());
         assert_eq!(cmp.improvements().len(), 1);
+    }
+
+    #[test]
+    fn counters_equal_is_clean_and_timing_is_ignored() {
+        let base = result_with(vec![("armlet", "interp", "suite:System Call", vec![1.0])]);
+        let mut cur = base.clone();
+        // A 10× wall-clock slowdown is invisible to the counters path.
+        cur.cells[0].seconds = vec![10.0];
+        cur.cells[0].stats = stats(&[10.0]);
+        let cmp = compare_counters(&base, &cur, 0.0);
+        assert!(cmp.clean());
+        assert_eq!(cmp.deltas[0].verdict, Verdict::Unchanged);
+    }
+
+    #[test]
+    fn any_counter_drift_is_flagged_at_zero_tolerance() {
+        let base = result_with(vec![("armlet", "interp", "suite:System Call", vec![1.0])]);
+        let mut cur = base.clone();
+        cur.cells[0].counters.instructions += 1;
+        let cmp = compare_counters(&base, &cur, 0.0);
+        assert!(!cmp.clean());
+        let changed = cmp.changed();
+        assert_eq!(changed.len(), 1);
+        assert_eq!(
+            changed[0].diffs,
+            vec![CounterDiff {
+                name: "instructions",
+                base: 1000,
+                current: 1001,
+            }]
+        );
+        assert!(cmp.render().contains("CHANGED"));
+        // The same drift is admitted under a 1% tolerance.
+        assert!(compare_counters(&base, &cur, 0.01).clean());
+    }
+
+    #[test]
+    fn counters_path_flags_broken_and_coverage_like_timing_path() {
+        let base = result_with(vec![
+            ("armlet", "interp", "suite:System Call", vec![1.0]),
+            ("armlet", "native", "suite:System Call", vec![1.0]),
+        ]);
+        let mut cur = base.clone();
+        cur.cells[0].status = CellStatus::Failed("wall-clock limit reached".to_string());
+        cur.cells.remove(1);
+        cur.cells.push(
+            result_with(vec![("petix", "interp", "suite:System Call", vec![1.0])]).cells[0].clone(),
+        );
+        let cmp = compare_counters(&base, &cur, 0.0);
+        assert!(!cmp.clean());
+        assert_eq!(cmp.broken().len(), 1);
+        let verdicts: Vec<Verdict> = cmp.deltas.iter().map(|d| d.verdict).collect();
+        assert!(verdicts.contains(&Verdict::Added));
+        assert!(verdicts.contains(&Verdict::Removed));
+        assert!(cmp.render().contains("BROKEN"));
     }
 
     #[test]

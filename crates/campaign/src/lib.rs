@@ -12,10 +12,15 @@
 //!   are identical at any `--jobs` count (timings aside);
 //! * [`stats`] — per-cell statistics: min/median/mean/geomean, stddev,
 //!   95% confidence intervals, MAD outlier rejection;
-//! * [`result`] — the versioned `simbench-campaign/v1` JSON schema with
-//!   load/save and deterministic cell ordering;
-//! * [`compare`] — regression detection against a stored baseline
-//!   (`ratio > 1 + threshold` ⇒ flagged);
+//! * [`result`] — the versioned `simbench-campaign/v2` JSON schema
+//!   (per-cell event profiles with `tested_ops` and, for
+//!   non-deterministic cells, per-repetition `counter_variants`) with
+//!   load/save, a `v1` reader-side migration, typed [`LoadError`]s and
+//!   deterministic cell ordering;
+//! * [`compare`] — regression detection against a stored baseline: the
+//!   noisy timing path (`ratio > 1 + threshold` ⇒ flagged) and the
+//!   machine-independent counter-exact path
+//!   ([`compare_counters`], zero tolerance by default);
 //! * [`measure`] — the single-run primitives (guest/engine selection,
 //!   one benchmark or app execution), re-exported by the harness;
 //! * [`table`] — fixed-width text tables shared with the harness.
@@ -45,7 +50,7 @@
 //! let cell = result.cell("armlet", "interp", "suite:System Call").unwrap();
 //! assert!(cell.counters.syscalls >= 16);
 //! let json = result.to_json();
-//! assert!(json.contains("simbench-campaign/v1"));
+//! assert!(json.contains("simbench-campaign/v2"));
 //! ```
 
 pub mod compare;
@@ -57,9 +62,12 @@ pub mod spec;
 pub mod stats;
 pub mod table;
 
-pub use compare::{compare, Comparison, Delta, Verdict};
+pub use compare::{
+    compare, compare_counters, Comparison, CounterComparison, CounterDelta, CounterDiff, Delta,
+    Verdict,
+};
 pub use measure::{run_app, run_suite_bench, Config, EngineKind, Guest, Sample};
-pub use result::{CampaignResult, CellResult, CellStatus, SCHEMA};
+pub use result::{CampaignResult, CellResult, CellStatus, LoadError, SCHEMA, SCHEMA_V1};
 pub use runner::{run, RunnerOpts};
 pub use spec::{CampaignSpec, CellKey, Job, Workload};
 pub use stats::{geomean, stats, Stats};

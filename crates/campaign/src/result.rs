@@ -1,10 +1,13 @@
 //! Persisted campaign results: a versioned JSON schema with one record
 //! per matrix cell, carrying raw repetition timings, aggregate
-//! statistics, and deterministic event counters.
+//! statistics, and the deterministic per-cell event profile.
 //!
-//! The schema string is `simbench-campaign/v1`. Readers reject files
-//! with a different schema rather than guessing, so future layout
-//! changes bump the version and add an explicit migration.
+//! The current schema string is `simbench-campaign/v2`. Readers accept
+//! the previous `v1` layout and migrate it on load (the event profile
+//! gains `tested_ops`, and inconsistent cells gain per-repetition
+//! `counter_variants`); anything else is rejected with a typed
+//! [`LoadError`] rather than guessed at, so future layout changes bump
+//! the version and add an explicit migration.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -13,11 +16,49 @@ use std::path::Path;
 use simbench_core::events::Counters;
 
 use crate::json::{self, Value};
-use crate::spec::CampaignSpec;
+use crate::spec::{CampaignSpec, Workload};
 use crate::stats::Stats;
 
-/// Schema identifier written to and required from every result file.
-pub const SCHEMA: &str = "simbench-campaign/v1";
+/// Schema identifier written to every result file.
+pub const SCHEMA: &str = "simbench-campaign/v2";
+
+/// The previous schema identifier, still accepted on load and migrated
+/// to the current layout.
+pub const SCHEMA_V1: &str = "simbench-campaign/v1";
+
+/// Why a campaign result failed to load. Every malformed input maps to
+/// a variant — loading never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(String),
+    /// The text is not well-formed JSON.
+    Json(String),
+    /// The document declares a schema this reader does not know.
+    Schema {
+        /// The schema string found in the document.
+        found: String,
+    },
+    /// The document is valid JSON with a known schema but violates the
+    /// campaign layout (missing or mistyped fields, unknown counters).
+    Malformed(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "{e}"),
+            LoadError::Json(e) => write!(f, "invalid JSON: {e}"),
+            LoadError::Schema { found } => write!(
+                f,
+                "unsupported schema {found:?} (expected {SCHEMA:?} or {SCHEMA_V1:?})"
+            ),
+            LoadError::Malformed(e) => write!(f, "malformed campaign result: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
 
 /// Terminal state of one cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +126,15 @@ pub struct CellResult {
     /// Whether every repetition produced identical counters. `false`
     /// flags an engine determinism bug worth investigating.
     pub counters_consistent: bool,
+    /// Count of the workload's tested operation in the event profile
+    /// (Fig 3's density numerator). `None` for apps and unmeasured
+    /// cells; persisted so result files stay self-describing even if
+    /// the benchmark → counter mapping evolves.
+    pub tested_ops: Option<u64>,
+    /// Per-repetition event profiles, recorded only when the
+    /// repetitions disagree (`counters_consistent == false`) so the
+    /// determinism bug is diagnosable from the stored file alone.
+    pub counter_variants: Vec<Counters>,
 }
 
 impl CellResult {
@@ -172,21 +222,19 @@ impl CampaignResult {
             if !cell.counters_consistent {
                 out.push_str(", \"counters_consistent\": false");
             }
-            let nonzero: Vec<(&str, u64)> = cell
-                .counters
-                .rows()
-                .into_iter()
-                .filter(|(_, v)| *v != 0)
-                .collect();
-            if !nonzero.is_empty() {
-                out.push_str(", \"counters\": {");
-                for (j, (name, v)) in nonzero.iter().enumerate() {
-                    if j > 0 {
-                        out.push_str(", ");
-                    }
-                    let _ = write!(out, "{}: {}", json::quote(name), v);
-                }
-                out.push('}');
+            if let Some(obj) = counters_obj(&cell.counters) {
+                let _ = write!(out, ", \"counters\": {obj}");
+            }
+            if let Some(ops) = cell.tested_ops {
+                let _ = write!(out, ", \"tested_ops\": {ops}");
+            }
+            if !cell.counter_variants.is_empty() {
+                let variants: Vec<String> = cell
+                    .counter_variants
+                    .iter()
+                    .map(|c| counters_obj(c).unwrap_or_else(|| "{}".to_string()))
+                    .collect();
+                let _ = write!(out, ", \"counter_variants\": [{}]", variants.join(", "));
             }
             out.push('}');
             out.push_str(if i + 1 < self.cells.len() {
@@ -199,42 +247,52 @@ impl CampaignResult {
         out
     }
 
-    /// Parse the versioned JSON format. Rejects unknown schemas.
-    pub fn from_json(text: &str) -> Result<CampaignResult, String> {
-        let root = json::parse(text)?;
+    /// Parse the versioned JSON format. Accepts the current `v2` layout
+    /// and migrates `v1` files in place (recomputing `tested_ops` from
+    /// the stored event profile); any other schema is a typed error.
+    pub fn from_json(text: &str) -> Result<CampaignResult, LoadError> {
+        let root = json::parse(text).map_err(LoadError::Json)?;
         let schema = root
             .get("schema")
             .and_then(Value::as_str)
-            .ok_or("missing \"schema\"")?
+            .ok_or_else(|| LoadError::Malformed("missing string \"schema\"".to_string()))?
             .to_string();
-        if schema != SCHEMA {
-            return Err(format!(
-                "unsupported schema {schema:?} (expected {SCHEMA:?})"
-            ));
+        if schema != SCHEMA && schema != SCHEMA_V1 {
+            return Err(LoadError::Schema { found: schema });
         }
-        let str_field = |key: &str| -> Result<String, String> {
+        let malformed = LoadError::Malformed;
+        let str_field = |key: &str| -> Result<String, LoadError> {
             root.get(key)
                 .and_then(Value::as_str)
                 .map(str::to_string)
-                .ok_or(format!("missing string \"{key}\""))
+                .ok_or_else(|| malformed(format!("missing string \"{key}\"")))
         };
-        let u64_field = |key: &str| -> Result<u64, String> {
+        let u64_field = |key: &str| -> Result<u64, LoadError> {
             root.get(key)
                 .and_then(Value::as_u64)
-                .ok_or(format!("missing integer \"{key}\""))
+                .ok_or_else(|| malformed(format!("missing integer \"{key}\"")))
         };
         let mut cells = Vec::new();
         for (i, cv) in root
             .get("cells")
             .and_then(Value::as_arr)
-            .ok_or("missing \"cells\" array")?
+            .ok_or_else(|| malformed("missing \"cells\" array".to_string()))?
             .iter()
             .enumerate()
         {
-            cells.push(parse_cell(cv).map_err(|e| format!("cell {i}: {e}"))?);
+            let mut cell = parse_cell(cv).map_err(|e| malformed(format!("cell {i}: {e}")))?;
+            if schema == SCHEMA_V1 && cell.status == CellStatus::Ok {
+                // v1 predates `tested_ops`: recompute it from the stored
+                // event profile and the workload's counter mapping.
+                cell.tested_ops =
+                    Workload::by_id(&cell.workload).and_then(|w| w.tested_ops(&cell.counters));
+            }
+            cells.push(cell);
         }
         Ok(CampaignResult {
-            schema,
+            // Migrated results are current-schema in memory, so saving a
+            // loaded v1 file produces a v2 file.
+            schema: SCHEMA.to_string(),
             name: str_field("name")?,
             scale: u64_field("scale")?,
             reps: u64_field("reps")? as u32,
@@ -251,9 +309,9 @@ impl CampaignResult {
     }
 
     /// Read from a file.
-    pub fn load(path: impl AsRef<Path>) -> Result<CampaignResult, String> {
+    pub fn load(path: impl AsRef<Path>) -> Result<CampaignResult, LoadError> {
         let text = std::fs::read_to_string(path.as_ref())
-            .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+            .map_err(|e| LoadError::Io(format!("{}: {e}", path.as_ref().display())))?;
         CampaignResult::from_json(&text)
     }
 
@@ -273,6 +331,8 @@ impl CampaignResult {
                 stats: None,
                 counters: Counters::default(),
                 counters_consistent: true,
+                tested_ops: None,
+                counter_variants: Vec::new(),
             })
             .collect();
         CampaignResult {
@@ -319,11 +379,14 @@ fn parse_cell(cv: &Value) -> Result<CellResult, String> {
             ci95: f("ci95"),
         }
     });
-    let mut counters = Counters::default();
-    if let Some(m) = cv.get("counters").and_then(Value::as_obj) {
-        for (name, v) in m {
-            let v = v.as_u64().ok_or(format!("counter {name} not an integer"))?;
-            set_counter(&mut counters, name, v)?;
+    let counters = match cv.get("counters") {
+        None => Counters::default(),
+        Some(v) => parse_counters(v)?,
+    };
+    let mut counter_variants = Vec::new();
+    if let Some(arr) = cv.get("counter_variants").and_then(Value::as_arr) {
+        for (i, v) in arr.iter().enumerate() {
+            counter_variants.push(parse_counters(v).map_err(|e| format!("variant {i}: {e}"))?);
         }
     }
     Ok(CellResult {
@@ -343,7 +406,42 @@ fn parse_cell(cv: &Value) -> Result<CellResult, String> {
             .get("counters_consistent")
             .map(|v| v == &Value::Bool(true))
             .unwrap_or(true),
+        tested_ops: match cv.get("tested_ops") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or("\"tested_ops\" not an integer")?),
+        },
+        counter_variants,
     })
+}
+
+/// Sparse JSON encoding of an event profile: nonzero counters only, in
+/// declaration order. `None` when every counter is zero.
+fn counters_obj(c: &Counters) -> Option<String> {
+    let nonzero: Vec<(&str, u64)> = c.rows().into_iter().filter(|(_, v)| *v != 0).collect();
+    if nonzero.is_empty() {
+        return None;
+    }
+    let mut out = String::from("{");
+    for (j, (name, v)) in nonzero.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json::quote(name), v);
+    }
+    out.push('}');
+    Some(out)
+}
+
+/// Inverse of [`counters_obj`]: rebuild a [`Counters`] from a sparse
+/// JSON object. Unknown counter names are errors, not silent drops.
+fn parse_counters(v: &Value) -> Result<Counters, String> {
+    let m = v.as_obj().ok_or("counters not an object")?;
+    let mut counters = Counters::default();
+    for (name, v) in m {
+        let v = v.as_u64().ok_or(format!("counter {name} not an integer"))?;
+        set_counter(&mut counters, name, v)?;
+    }
+    Ok(counters)
 }
 
 fn set_counter(c: &mut Counters, name: &str, v: u64) -> Result<(), String> {
@@ -432,6 +530,8 @@ mod tests {
                         ..Default::default()
                     },
                     counters_consistent: true,
+                    tested_ops: Some(2500),
+                    counter_variants: Vec::new(),
                 },
                 CellResult {
                     guest: "petix".to_string(),
@@ -444,6 +544,8 @@ mod tests {
                     stats: None,
                     counters: Counters::default(),
                     counters_consistent: true,
+                    tested_ops: None,
+                    counter_variants: Vec::new(),
                 },
             ],
         }
@@ -467,8 +569,46 @@ mod tests {
         assert_eq!(a.status, b.status);
         assert_eq!(a.seconds, b.seconds);
         assert_eq!(a.counters, b.counters);
+        assert_eq!(a.tested_ops, b.tested_ops);
         assert_eq!(a.stats.unwrap().geomean, b.stats.unwrap().geomean);
         assert_eq!(parsed.cells[1].status, r.cells[1].status);
+        assert_eq!(parsed.cells[1].tested_ops, None);
+    }
+
+    #[test]
+    fn counter_variants_round_trip() {
+        let mut r = demo();
+        r.cells[0].counters_consistent = false;
+        r.cells[0].counter_variants = vec![
+            r.cells[0].counters,
+            Counters {
+                instructions: 30001,
+                syscalls: 2500,
+                ..Default::default()
+            },
+        ];
+        let parsed = CampaignResult::from_json(&r.to_json()).unwrap();
+        assert!(!parsed.cells[0].counters_consistent);
+        assert_eq!(
+            parsed.cells[0].counter_variants,
+            r.cells[0].counter_variants
+        );
+    }
+
+    #[test]
+    fn v1_files_migrate_on_load() {
+        // A v1 document: no tested_ops, no counter_variants.
+        let text = demo()
+            .to_json()
+            .replace(SCHEMA, SCHEMA_V1)
+            .replace(", \"tested_ops\": 2500", "");
+        let parsed = CampaignResult::from_json(&text).unwrap();
+        // Migration normalizes the in-memory schema and recomputes the
+        // tested-op count from the stored event profile.
+        assert_eq!(parsed.schema, SCHEMA);
+        assert_eq!(parsed.cells[0].tested_ops, Some(2500));
+        assert_eq!(parsed.cells[1].tested_ops, None);
+        assert!(parsed.to_json().contains(SCHEMA));
     }
 
     #[test]
@@ -477,14 +617,21 @@ mod tests {
         // shrink the sample set under an unchanged stats block.
         let text = demo().to_json().replace("[0.011, 0.0105]", "[0.011, null]");
         let err = CampaignResult::from_json(&text).unwrap_err();
-        assert!(err.contains("seconds"), "{err}");
+        assert!(matches!(err, LoadError::Malformed(_)), "{err}");
+        assert!(err.to_string().contains("seconds"), "{err}");
     }
 
     #[test]
     fn rejects_wrong_schema() {
         let text = demo().to_json().replace(SCHEMA, "simbench-campaign/v0");
         let err = CampaignResult::from_json(&text).unwrap_err();
-        assert!(err.contains("unsupported schema"), "{err}");
+        assert_eq!(
+            err,
+            LoadError::Schema {
+                found: "simbench-campaign/v0".to_string()
+            }
+        );
+        assert!(err.to_string().contains("unsupported schema"), "{err}");
     }
 
     #[test]

@@ -179,13 +179,14 @@ fn finalize(
 ) -> CampaignResult {
     let reps = spec.reps.max(1) as usize;
     let mut result = CampaignResult::empty_for(spec, jobs);
+    let keys = spec.cells();
     // Per cell: one slot per repetition, filled in any completion order.
     let mut slots: Vec<Vec<Option<RepOutcome>>> = vec![vec![None; reps]; result.cells.len()];
     for o in outcomes {
         slots[o.cell_index][o.rep as usize] = Some(o.sample);
     }
 
-    for (cell, reps_slots) in result.cells.iter_mut().zip(slots) {
+    for ((cell, reps_slots), key) in result.cells.iter_mut().zip(slots).zip(keys) {
         let mut samples: Vec<Sample> = Vec::new();
         let mut failure: Option<CellStatus> = None;
         let mut measured = false;
@@ -230,6 +231,12 @@ fn finalize(
         cell.stats = stats(&cell.seconds);
         cell.counters = samples[0].counters;
         cell.counters_consistent = samples.iter().all(|s| s.counters == samples[0].counters);
+        cell.tested_ops = key.workload.tested_ops(&cell.counters);
+        if !cell.counters_consistent {
+            // Keep every repetition's profile: the divergence itself is
+            // the evidence an engine-determinism bug needs.
+            cell.counter_variants = samples.iter().map(|s| s.counters).collect();
+        }
     }
 
     result.wall_secs = wall_secs;
@@ -282,6 +289,8 @@ mod tests {
         assert_eq!(ok_cell.seconds.len(), 2);
         assert!(ok_cell.counters.syscalls >= 16);
         assert!(ok_cell.counters_consistent);
+        assert!(ok_cell.counter_variants.is_empty());
+        assert_eq!(ok_cell.tested_ops, Some(ok_cell.counters.syscalls));
         assert!(ok_cell.stats.is_some());
     }
 

@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use simbench_apps::App;
 use simbench_core::engine::RunLimits;
+use simbench_core::events::Counters;
 use simbench_suite::Benchmark;
 
 use crate::measure::{Config, EngineKind, Guest};
@@ -72,6 +73,16 @@ impl Workload {
     pub fn category(self) -> Option<&'static str> {
         match self {
             Workload::Suite(b) => Some(b.category().name()),
+            Workload::App(_) => None,
+        }
+    }
+
+    /// Count of the workload's *tested operation* in an event profile —
+    /// the numerator of Fig 3's operation density. Apps have no single
+    /// tested operation.
+    pub fn tested_ops(self, counters: &Counters) -> Option<u64> {
+        match self {
+            Workload::Suite(b) => Some(b.tested_ops(counters)),
             Workload::App(_) => None,
         }
     }
@@ -233,6 +244,19 @@ mod tests {
         }
         assert_eq!(Workload::by_id("suite:No Such Bench"), None);
         assert_eq!(Workload::by_id("System Call"), None);
+    }
+
+    #[test]
+    fn tested_ops_follow_the_benchmark_counter() {
+        let c = Counters {
+            syscalls: 7,
+            mem_reads: 3,
+            mem_writes: 4,
+            ..Default::default()
+        };
+        assert_eq!(Workload::Suite(Benchmark::Syscall).tested_ops(&c), Some(7));
+        assert_eq!(Workload::Suite(Benchmark::MemHot).tested_ops(&c), Some(7));
+        assert_eq!(Workload::App(App::Bzip2Like).tested_ops(&c), None);
     }
 
     #[test]

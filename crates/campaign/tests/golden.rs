@@ -1,0 +1,124 @@
+//! Golden-fixture tests for the persisted campaign schema.
+//!
+//! The committed fixtures pin the on-disk format: `campaign_v1.json`
+//! is a legacy `simbench-campaign/v1` document, `campaign_v2.json` is
+//! its migrated `v2` rendering. Any unintentional change to the
+//! serializer, the parser, or the migration shows up here as a byte
+//! diff; after an *intentional* schema change, regenerate the v2
+//! fixture with
+//!
+//! ```sh
+//! cargo test -p simbench-campaign --test golden regen -- --ignored
+//! ```
+
+use simbench_campaign::{CampaignResult, CellStatus, LoadError, SCHEMA, SCHEMA_V1};
+
+const V1: &str = include_str!("fixtures/campaign_v1.json");
+const V2: &str = include_str!("fixtures/campaign_v2.json");
+
+#[test]
+fn v2_fixture_round_trips_byte_stably() {
+    let parsed = CampaignResult::from_json(V2).expect("v2 fixture parses");
+    assert_eq!(parsed.schema, SCHEMA);
+    assert_eq!(
+        parsed.to_json(),
+        V2,
+        "re-serializing the v2 fixture must reproduce it byte for byte"
+    );
+}
+
+#[test]
+fn v1_fixture_migrates_to_exactly_the_v2_fixture() {
+    assert!(V1.contains(SCHEMA_V1));
+    let migrated = CampaignResult::from_json(V1).expect("v1 fixture parses");
+    assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
+    assert_eq!(
+        migrated.to_json(),
+        V2,
+        "saving a loaded v1 file must produce the committed v2 rendering"
+    );
+    // Migration recomputes the tested-op count from the stored profile.
+    assert_eq!(migrated.cells[0].tested_ops, Some(2500));
+    assert_eq!(migrated.cells[1].tested_ops, Some(100));
+    assert_eq!(migrated.cells[2].tested_ops, None);
+    // ...but cannot invent per-repetition variants v1 never recorded.
+    assert!(!migrated.cells[1].counters_consistent);
+    assert!(migrated.cells[1].counter_variants.is_empty());
+}
+
+#[test]
+fn migrated_fixture_keeps_cell_semantics() {
+    let migrated = CampaignResult::from_json(V1).unwrap();
+    assert_eq!(migrated.name, "golden");
+    assert_eq!(migrated.cells.len(), 3);
+    assert_eq!(migrated.cells[0].status, CellStatus::Ok);
+    assert_eq!(migrated.cells[0].counters.syscalls, 2500);
+    assert_eq!(
+        migrated.cells[2].status,
+        CellStatus::Unsupported("intc device model".to_string())
+    );
+    assert!(migrated.cells[2].stats.is_none());
+}
+
+#[test]
+fn unknown_schema_versions_are_typed_errors() {
+    for found in ["simbench-campaign/v0", "simbench-campaign/v3", "nonsense"] {
+        let text = V2.replace(SCHEMA, found);
+        match CampaignResult::from_json(&text) {
+            Err(LoadError::Schema { found: f }) => assert_eq!(f, found),
+            other => panic!("expected a schema error for {found:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_documents_are_typed_errors_not_panics() {
+    // Not JSON at all.
+    assert!(matches!(
+        CampaignResult::from_json("simbench"),
+        Err(LoadError::Json(_))
+    ));
+    // Valid JSON, no schema.
+    assert!(matches!(
+        CampaignResult::from_json("{}"),
+        Err(LoadError::Malformed(_))
+    ));
+    // Known schema, missing cells.
+    let text = format!("{{\"schema\": \"{SCHEMA}\", \"name\": \"x\"}}");
+    assert!(matches!(
+        CampaignResult::from_json(&text),
+        Err(LoadError::Malformed(_))
+    ));
+    // Unknown counter name inside a cell.
+    let text = V2.replace("\"instructions\"", "\"instruction_bytes\"");
+    match CampaignResult::from_json(&text) {
+        Err(LoadError::Malformed(e)) => assert!(e.contains("unknown counter"), "{e}"),
+        other => panic!("expected malformed, got {other:?}"),
+    }
+    // Corrupted timing entry.
+    let text = V2.replace("[0.011, 0.0105]", "[0.011, true]");
+    assert!(matches!(
+        CampaignResult::from_json(&text),
+        Err(LoadError::Malformed(_))
+    ));
+}
+
+#[test]
+fn unreadable_files_are_io_errors() {
+    let err = CampaignResult::load("/nonexistent/simbench-golden.json").unwrap_err();
+    assert!(matches!(err, LoadError::Io(_)), "{err}");
+}
+
+/// Regenerates `fixtures/campaign_v2.json` from the committed v1
+/// fixture. Ignored by default: run it manually after an intentional
+/// schema change, then review the diff.
+#[test]
+#[ignore = "writes the v2 fixture; run manually after intentional schema changes"]
+fn regen_v2_fixture() {
+    let migrated = CampaignResult::from_json(V1).unwrap();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/campaign_v2.json"
+    );
+    std::fs::write(path, migrated.to_json()).unwrap();
+}

@@ -12,7 +12,7 @@
 //! | [`fig6`] | Fig 6 — per-category SimBench speedups across versions |
 //! | [`fig7`] | Fig 7 — 18 benchmarks × 5 simulators × 2 guest ISAs |
 //! | [`fig8`] | Fig 8 — SPEC vs SimBench geometric means across versions |
-//! | [`model`] | §I contribution 3 — predict application runtimes from micro-benchmark costs |
+//! | [`model`] | §I contribution 3 — predict application runtimes from micro-benchmark costs, calibrated from stored campaign results (`simbench-harness model calibrate\|predict\|validate`) |
 //!
 //! Since the campaign refactor, every measuring driver (figs 2, 3, 6,
 //! 7, 8) is a thin renderer over a [`simbench_campaign::CampaignResult`]:

@@ -5,23 +5,30 @@
 //! simbench-harness campaign run     [--scale N] [--jobs N] [--reps R] [--out FILE] [--name S]
 //!                                   [--guests LIST] [--engines LIST] [--benches LIST]
 //!                                   [--apps] [--versions]
-//! simbench-harness campaign compare <CURRENT.json> --baseline FILE [--threshold FRAC]
+//! simbench-harness campaign compare <CURRENT.json> --baseline FILE
+//!                                   [--threshold FRAC | --counters [--tolerance FRAC]]
 //! simbench-harness campaign list
+//! simbench-harness model <calibrate|predict|validate> <CAMPAIGN.json>
+//!                        [--guest G] [--engine E] [--profile-engine P] [--max-error FACTOR]
 //! simbench-harness --list
 //! ```
 //!
 //! Unknown flags and malformed values are hard errors: a typo must not
-//! silently change what gets measured.
+//! silently change what gets measured. Exit codes are part of the
+//! interface: 0 clean, 1 regression (timing or counter drift), 2 a cell
+//! that completed in the baseline no longer completes, 3 usage errors
+//! and unreadable inputs.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
 use simbench_apps::App;
 use simbench_campaign::{
-    compare, run, CampaignResult, CampaignSpec, EngineKind, Guest, RunnerOpts, Workload,
+    compare, compare_counters, run, CampaignResult, CampaignSpec, EngineKind, Guest, RunnerOpts,
+    Workload,
 };
 use simbench_dbt::QEMU_VERSIONS;
-use simbench_harness::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, Config};
+use simbench_harness::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, model, Config};
 use simbench_suite::Benchmark;
 
 const USAGE: &str = "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8|all> \
@@ -29,14 +36,17 @@ const USAGE: &str = "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8
        simbench-harness campaign run [--scale N] [--jobs N] [--reps R] [--out FILE] [--name S]
                                      [--guests LIST] [--engines LIST] [--benches LIST]
                                      [--apps] [--versions]
-       simbench-harness campaign compare <CURRENT.json> --baseline FILE [--threshold FRAC]
+       simbench-harness campaign compare <CURRENT.json> --baseline FILE
+                                     [--threshold FRAC | --counters [--tolerance FRAC]]
        simbench-harness campaign list
+       simbench-harness model <calibrate|predict|validate> <CAMPAIGN.json>
+                              [--guest G] [--engine E] [--profile-engine P] [--max-error FACTOR]
        simbench-harness --list";
 
 fn fail(msg: &str) -> ! {
     eprintln!("simbench-harness: {msg}");
     eprintln!("{USAGE}");
-    std::process::exit(2);
+    std::process::exit(3);
 }
 
 /// Typed argument cursor with strict error reporting.
@@ -71,11 +81,17 @@ impl Args {
 
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("campaign") {
-        argv.remove(0);
-        return campaign_main(argv);
+    match argv.first().map(String::as_str) {
+        Some("campaign") => {
+            argv.remove(0);
+            campaign_main(argv)
+        }
+        Some("model") => {
+            argv.remove(0);
+            model_main(argv)
+        }
+        _ => figures_main(argv),
     }
-    figures_main(argv)
 }
 
 // ---------------------------------------------------------------------------
@@ -287,15 +303,26 @@ fn campaign_run(mut args: Args) -> ExitCode {
 fn campaign_compare(mut args: Args) -> ExitCode {
     let mut current_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
-    let mut threshold = 0.25f64;
+    let mut threshold: Option<f64> = None;
+    let mut tolerance: Option<f64> = None;
+    let mut counters = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => baseline_path = Some(args.value_of("--baseline")),
             "--threshold" => {
-                threshold = args.parse_of("--threshold");
-                if threshold <= 0.0 || threshold.is_nan() {
+                let t: f64 = args.parse_of("--threshold");
+                if t <= 0.0 || t.is_nan() {
                     fail("--threshold must be a positive fraction, e.g. 0.25");
                 }
+                threshold = Some(t);
+            }
+            "--counters" => counters = true,
+            "--tolerance" => {
+                let t: f64 = args.parse_of("--tolerance");
+                if !(0.0..f64::INFINITY).contains(&t) {
+                    fail("--tolerance must be a non-negative fraction, e.g. 0.01");
+                }
+                tolerance = Some(t);
             }
             path if !path.starts_with('-') && current_path.is_none() => {
                 current_path = Some(path.to_string())
@@ -306,22 +333,199 @@ fn campaign_compare(mut args: Args) -> ExitCode {
             flag => fail(&format!("unknown flag {flag:?}")),
         }
     }
+    if counters && threshold.is_some() {
+        fail("--threshold applies to the timing path; with --counters use --tolerance");
+    }
+    if !counters && tolerance.is_some() {
+        fail("--tolerance applies to --counters; the timing path takes --threshold");
+    }
     let current_path = current_path.unwrap_or_else(|| fail("compare needs a current result file"));
     let baseline_path = baseline_path.unwrap_or_else(|| fail("compare needs --baseline FILE"));
-    let current = CampaignResult::load(&current_path).unwrap_or_else(|e| fail(&e));
-    let baseline = CampaignResult::load(&baseline_path).unwrap_or_else(|e| fail(&e));
-    let report = compare(&baseline, &current, threshold);
-    print!("{}", report.render());
-    // Exit codes are part of the interface: 0 clean, 1 timing
-    // regressions only (CI may treat as a warning — wall-clock is
-    // machine-dependent), 3 when cells stopped completing (always a
-    // hard failure; 2 is reserved for usage errors).
-    if !report.broken().is_empty() {
-        ExitCode::from(3)
-    } else if report.regressions().is_empty() {
+    let current = CampaignResult::load(&current_path).unwrap_or_else(|e| fail(&e.to_string()));
+    let baseline = CampaignResult::load(&baseline_path).unwrap_or_else(|e| fail(&e.to_string()));
+    // Exit codes (both paths): 0 clean, 1 regression — timing drift
+    // beyond --threshold, or any counter difference beyond --tolerance
+    // (counters are machine-independent, so CI can hard-fail on 1 for
+    // the counters path while merely warning for the timing path) —
+    // 2 when a cell that completed in the baseline no longer completes,
+    // 3 for usage errors and unreadable inputs.
+    let (clean, broke) = if counters {
+        let report = compare_counters(&baseline, &current, tolerance.unwrap_or(0.0));
+        print!("{}", report.render());
+        (report.clean(), !report.broken().is_empty())
+    } else {
+        let report = compare(&baseline, &current, threshold.unwrap_or(0.25));
+        print!("{}", report.render());
+        (report.clean(), !report.broken().is_empty())
+    };
+    if broke {
+        ExitCode::from(2)
+    } else if clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model mode.
+// ---------------------------------------------------------------------------
+
+/// Shared argument set of the three model subcommands.
+struct ModelArgs {
+    result: CampaignResult,
+    guest: String,
+    engine: String,
+    profile_engine: String,
+    max_error: Option<f64>,
+}
+
+fn model_args(mut args: Args, verb: &str) -> ModelArgs {
+    let mut campaign_path: Option<String> = None;
+    let mut guest = "armlet".to_string();
+    let mut engine = "dbt".to_string();
+    let mut profile_engine: Option<String> = None;
+    let mut max_error: Option<f64> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--guest" => {
+                guest = args.value_of("--guest");
+                if Guest::by_isa_name(&guest).is_none() {
+                    fail(&format!("unknown guest {guest:?}"));
+                }
+            }
+            "--engine" => engine = args.value_of("--engine"),
+            "--profile-engine" if verb != "calibrate" => {
+                profile_engine = Some(args.value_of("--profile-engine"))
+            }
+            "--max-error" if verb == "validate" => {
+                let f: f64 = args.parse_of("--max-error");
+                if f < 1.0 || f.is_nan() {
+                    fail("--max-error is an error *factor*, so it must be >= 1.0");
+                }
+                max_error = Some(f);
+            }
+            // Flags that exist but don't apply to this subcommand are
+            // rejected, not ignored: accepting a gate like --max-error
+            // and never consulting it would silently weaken CI.
+            flag @ ("--profile-engine" | "--max-error") => {
+                fail(&format!("{flag} does not apply to model {verb}"))
+            }
+            path if !path.starts_with('-') && campaign_path.is_none() => {
+                campaign_path = Some(path.to_string())
+            }
+            path if !path.starts_with('-') => fail(&format!(
+                "unexpected argument {path:?} (campaign file already given)"
+            )),
+            flag => fail(&format!("unknown flag {flag:?}")),
+        }
+    }
+    let path = campaign_path.unwrap_or_else(|| fail("model needs a stored campaign JSON file"));
+    let result = CampaignResult::load(&path).unwrap_or_else(|e| fail(&e.to_string()));
+    // Engine ids are validated against the known set and canonicalized
+    // (`dbt` means the latest version profile) before cell lookup.
+    let engine = EngineKind::by_id(&engine)
+        .unwrap_or_else(|| fail(&format!("unknown engine {engine:?}")))
+        .id();
+    let profile_engine = match profile_engine {
+        Some(p) => EngineKind::by_id(&p)
+            .unwrap_or_else(|| fail(&format!("unknown engine {p:?}")))
+            .id(),
+        // calibrate never reads profiles; don't scan for a default.
+        None if verb == "calibrate" => String::new(),
+        None => model::default_profile_engine(&result, &guest, &engine),
+    };
+    ModelArgs {
+        result,
+        guest,
+        engine,
+        profile_engine,
+        max_error,
+    }
+}
+
+fn model_main(argv: Vec<String>) -> ExitCode {
+    use simbench_campaign::table::{fmt_secs, Table};
+
+    let mut args = Args::new(argv);
+    let verb = match args.next() {
+        Some(v) => v,
+        None => fail("model needs a subcommand: calibrate | predict | validate"),
+    };
+    // Validate the verb before touching flags or loading the campaign,
+    // so a typo'd subcommand is reported as exactly that.
+    if !matches!(verb.as_str(), "calibrate" | "predict" | "validate") {
+        fail(&format!("unknown model subcommand {verb:?}"));
+    }
+    let m = model_args(args, &verb);
+    match verb.as_str() {
+        "calibrate" => {
+            let cost = model::CostModel::from_campaign(&m.result, &m.guest, &m.engine)
+                .unwrap_or_else(|e| fail(&e));
+            println!(
+                "cost model for {}/{} (campaign {:?}, scale {})",
+                m.guest, m.engine, m.result.name, m.result.scale
+            );
+            println!("  base cost per instruction: {:.3e} s", cost.per_insn);
+            let mut table = Table::new(["benchmark", "cost per tested op"]);
+            for (bench, cost) in &cost.per_op {
+                table.row([bench.name().to_string(), format!("{cost:.3e} s")]);
+            }
+            print!("{}", table.render());
+            ExitCode::SUCCESS
+        }
+        "predict" | "validate" => {
+            let preds =
+                model::predict_from_campaign(&m.result, &m.guest, &m.engine, &m.profile_engine)
+                    .unwrap_or_else(|e| fail(&e));
+            println!(
+                "model {verb} for {}/{} — costs calibrated from campaign {:?}, \
+                 app event profiles from engine {}",
+                m.guest, m.engine, m.result.name, m.profile_engine
+            );
+            let validating = verb == "validate";
+            if validating && preds.iter().all(|p| p.measured.is_none()) {
+                fail(&format!(
+                    "campaign {:?} has no measured app cells for {}/{} to validate against",
+                    m.result.name, m.guest, m.engine
+                ));
+            }
+            let mut table = Table::new(["app", "predicted", "measured", "error factor"]);
+            let mut errors = Vec::new();
+            for p in &preds {
+                let error = p.error_factor();
+                if let Some(e) = error {
+                    errors.push(e);
+                }
+                table.row([
+                    p.app.clone(),
+                    fmt_secs(p.predicted),
+                    p.measured.map(fmt_secs).unwrap_or_else(|| "-".to_string()),
+                    error
+                        .map(|e| format!("{e:.2}×"))
+                        .unwrap_or_else(|| "-".to_string()),
+                ]);
+            }
+            print!("{}", table.render());
+            if validating {
+                let geo = simbench_campaign::geomean(&errors);
+                let max = errors.iter().cloned().fold(f64::MIN, f64::max);
+                println!(
+                    "prediction error over {} app(s): geomean {geo:.2}×, worst {max:.2}×",
+                    errors.len()
+                );
+                if let Some(limit) = m.max_error {
+                    if geo > limit {
+                        eprintln!(
+                            "[model validate: geomean error {geo:.2}× exceeds --max-error {limit}×]"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("verb validated above"),
     }
 }
 

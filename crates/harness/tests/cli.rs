@@ -1,0 +1,419 @@
+//! End-to-end tests driving the real `simbench-harness` binary: the
+//! `campaign compare` exit-code matrix (0 ok / 1 regression / 2 broken
+//! cell / 3 usage) on both the timing and `--counters` paths, worker-
+//! count determinism of persisted event profiles, and the stored-
+//! campaign `model` workflow.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use simbench_campaign::{CampaignResult, CellStatus, SCHEMA, SCHEMA_V1};
+
+fn run_cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_simbench-harness"))
+        .args(args)
+        .output()
+        .expect("spawn simbench-harness")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code (signal?)")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+/// A scratch file path unique to this test process and label.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("simbench-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{label}.json", std::process::id()))
+}
+
+/// A tiny campaign measured through the library (identical to what
+/// `campaign run` persists), saved to a scratch file.
+fn measured_campaign(label: &str) -> (PathBuf, CampaignResult) {
+    use simbench_campaign::{run, CampaignSpec, EngineKind, Guest, RunnerOpts, Workload};
+    use simbench_suite::Benchmark;
+
+    let spec = CampaignSpec {
+        name: format!("cli-{label}"),
+        guests: vec![Guest::Armlet],
+        engines: vec![EngineKind::Interp],
+        workloads: vec![
+            Workload::Suite(Benchmark::Syscall),
+            Workload::Suite(Benchmark::MemHot),
+        ],
+        scale: 1_000_000,
+        reps: 1,
+        wall_limit_secs: Some(60),
+    };
+    let result = run(&spec, &RunnerOpts::serial());
+    let path = scratch(label);
+    result.save(&path).unwrap();
+    (path, result)
+}
+
+#[test]
+fn compare_exit_code_matrix_on_the_timing_path() {
+    let (base_path, base) = measured_campaign("sec-base");
+    let base_str = base_path.to_str().unwrap();
+
+    // 0: identical results are clean.
+    let out = run_cli(&["campaign", "compare", base_str, "--baseline", base_str]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+
+    // 1: a 10× slowdown beyond the threshold is a regression.
+    let mut slowed = base.clone();
+    for cell in &mut slowed.cells {
+        cell.seconds.iter_mut().for_each(|s| *s *= 10.0);
+        cell.stats = simbench_campaign::stats(&cell.seconds);
+    }
+    let slowed_path = scratch("sec-slowed");
+    slowed.save(&slowed_path).unwrap();
+    let out = run_cli(&[
+        "campaign",
+        "compare",
+        slowed_path.to_str().unwrap(),
+        "--baseline",
+        base_str,
+        "--threshold",
+        "0.25",
+    ]);
+    assert_eq!(exit_code(&out), 1, "{}", stdout(&out));
+    assert!(stdout(&out).contains("REGRESSIONS"), "{}", stdout(&out));
+
+    // 2: a cell that completed in the baseline but fails now.
+    let mut broken = base.clone();
+    broken.cells[0].status = CellStatus::Failed("wall-clock limit reached".to_string());
+    broken.cells[0].stats = None;
+    broken.cells[0].seconds.clear();
+    let broken_path = scratch("sec-broken");
+    broken.save(&broken_path).unwrap();
+    let out = run_cli(&[
+        "campaign",
+        "compare",
+        broken_path.to_str().unwrap(),
+        "--baseline",
+        base_str,
+    ]);
+    assert_eq!(exit_code(&out), 2, "{}", stdout(&out));
+    assert!(stdout(&out).contains("BROKEN"), "{}", stdout(&out));
+
+    // 3: usage errors — missing baseline, unknown flag, unreadable
+    // input, and mixing the two comparison modes' knobs.
+    for args in [
+        vec!["campaign", "compare", base_str],
+        vec![
+            "campaign",
+            "compare",
+            base_str,
+            "--baseline",
+            base_str,
+            "--frobnicate",
+        ],
+        vec![
+            "campaign",
+            "compare",
+            "/nonexistent.json",
+            "--baseline",
+            base_str,
+        ],
+        vec![
+            "campaign",
+            "compare",
+            base_str,
+            "--baseline",
+            base_str,
+            "--counters",
+            "--threshold",
+            "0.25",
+        ],
+        vec![
+            "campaign",
+            "compare",
+            base_str,
+            "--baseline",
+            base_str,
+            "--tolerance",
+            "0.1",
+        ],
+    ] {
+        let out = run_cli(&args);
+        assert_eq!(exit_code(&out), 3, "args {args:?}: {}", stdout(&out));
+    }
+}
+
+#[test]
+fn compare_exit_code_matrix_on_the_counters_path() {
+    let (base_path, base) = measured_campaign("cnt-base");
+    let base_str = base_path.to_str().unwrap();
+
+    // 0: identical profiles compare exactly equal.
+    let out = run_cli(&[
+        "campaign",
+        "compare",
+        base_str,
+        "--baseline",
+        base_str,
+        "--counters",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+
+    // 0 even when wall-clock moved 10×: counters ignore timing noise.
+    let mut slowed = base.clone();
+    for cell in &mut slowed.cells {
+        cell.seconds.iter_mut().for_each(|s| *s *= 10.0);
+        cell.stats = simbench_campaign::stats(&cell.seconds);
+    }
+    let slowed_path = scratch("cnt-slowed");
+    slowed.save(&slowed_path).unwrap();
+    let out = run_cli(&[
+        "campaign",
+        "compare",
+        slowed_path.to_str().unwrap(),
+        "--baseline",
+        base_str,
+        "--counters",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+
+    // 1: a single drifted counter is an exact-compare regression...
+    let mut drifted = base.clone();
+    drifted.cells[0].counters.instructions += 1;
+    let drifted_path = scratch("cnt-drifted");
+    drifted.save(&drifted_path).unwrap();
+    let drifted_str = drifted_path.to_str().unwrap();
+    let out = run_cli(&[
+        "campaign",
+        "compare",
+        drifted_str,
+        "--baseline",
+        base_str,
+        "--counters",
+    ]);
+    assert_eq!(exit_code(&out), 1, "{}", stdout(&out));
+    assert!(stdout(&out).contains("instructions"), "{}", stdout(&out));
+
+    // ...that a generous --tolerance admits.
+    let out = run_cli(&[
+        "campaign",
+        "compare",
+        drifted_str,
+        "--baseline",
+        base_str,
+        "--counters",
+        "--tolerance",
+        "0.01",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+
+    // 2: broken cells outrank counter equality.
+    let mut broken = base.clone();
+    broken.cells[0].status = CellStatus::Failed("panic: boom".to_string());
+    broken.cells[0].stats = None;
+    let broken_path = scratch("cnt-broken");
+    broken.save(&broken_path).unwrap();
+    let out = run_cli(&[
+        "campaign",
+        "compare",
+        broken_path.to_str().unwrap(),
+        "--baseline",
+        base_str,
+        "--counters",
+    ]);
+    assert_eq!(exit_code(&out), 2, "{}", stdout(&out));
+}
+
+#[test]
+fn jobs_do_not_change_event_profiles_end_to_end() {
+    let a = scratch("jobs-1");
+    let b = scratch("jobs-8");
+    for (jobs, path) in [("1", &a), ("8", &b)] {
+        let out = run_cli(&[
+            "campaign",
+            "run",
+            "--guests",
+            "armlet",
+            "--engines",
+            "interp,native",
+            "--benches",
+            "System Call,Hot Memory Access,Data Access Fault",
+            "--scale",
+            "500000",
+            "--reps",
+            "2",
+            "--jobs",
+            jobs,
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    }
+    // The persisted files carry the current schema and identical
+    // per-cell event profiles...
+    let ra = CampaignResult::load(&a).unwrap();
+    let rb = CampaignResult::load(&b).unwrap();
+    assert_eq!(ra.schema, SCHEMA);
+    assert_eq!(ra.cells.len(), rb.cells.len());
+    for (ca, cb) in ra.cells.iter().zip(&rb.cells) {
+        assert_eq!(
+            ca.counters, cb.counters,
+            "{}/{} {}",
+            ca.guest, ca.engine, ca.workload
+        );
+        assert_eq!(ca.tested_ops, cb.tested_ops);
+        assert!(ca.counters_consistent && cb.counters_consistent);
+    }
+    // ...so the counter-exact compare is clean in both directions.
+    for (cur, base) in [(&a, &b), (&b, &a)] {
+        let out = run_cli(&[
+            "campaign",
+            "compare",
+            cur.to_str().unwrap(),
+            "--baseline",
+            base.to_str().unwrap(),
+            "--counters",
+        ]);
+        assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    }
+    // A v1-schema baseline still compares after reader-side migration.
+    let v1 = scratch("jobs-v1");
+    std::fs::write(
+        &v1,
+        std::fs::read_to_string(&a)
+            .unwrap()
+            .replace(SCHEMA, SCHEMA_V1),
+    )
+    .unwrap();
+    let out = run_cli(&[
+        "campaign",
+        "compare",
+        b.to_str().unwrap(),
+        "--baseline",
+        v1.to_str().unwrap(),
+        "--counters",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+}
+
+#[test]
+fn model_workflow_runs_from_a_stored_campaign() {
+    // One campaign with apps, measured once; every model step below
+    // consumes the stored JSON without re-running anything.
+    let path = scratch("model");
+    let path_str = path.to_str().unwrap();
+    let out = run_cli(&[
+        "campaign",
+        "run",
+        "--guests",
+        "armlet",
+        "--engines",
+        "interp,native",
+        "--scale",
+        "500000",
+        "--apps",
+        "--jobs",
+        "4",
+        "--out",
+        path_str,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+
+    let out = run_cli(&[
+        "model",
+        "calibrate",
+        path_str,
+        "--guest",
+        "armlet",
+        "--engine",
+        "interp",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("cost model for armlet/interp"), "{text}");
+    assert!(text.contains("base cost per instruction"), "{text}");
+
+    let out = run_cli(&[
+        "model",
+        "predict",
+        path_str,
+        "--guest",
+        "armlet",
+        "--engine",
+        "interp",
+        "--profile-engine",
+        "native",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    assert!(stdout(&out).contains("app:"), "{}", stdout(&out));
+
+    // validate defaults the profile engine to native and reports
+    // per-app prediction error against the measured cells.
+    let out = run_cli(&[
+        "model", "validate", path_str, "--guest", "armlet", "--engine", "interp",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("app event profiles from engine native"),
+        "{text}"
+    );
+    assert!(text.contains("prediction error"), "{text}");
+    assert!(text.contains("geomean"), "{text}");
+
+    // An absurdly tight error gate trips exit 1.
+    let out = run_cli(&[
+        "model",
+        "validate",
+        path_str,
+        "--guest",
+        "armlet",
+        "--engine",
+        "interp",
+        "--max-error",
+        "1.0",
+    ]);
+    assert_eq!(exit_code(&out), 1, "{}", stdout(&out));
+
+    // Usage/data errors exit 3: unknown subcommand, missing file, an
+    // engine the campaign never measured, a campaign without apps, and
+    // flags that don't apply to the chosen subcommand (they must be
+    // rejected, not silently ignored).
+    let out = run_cli(&["model", "frobnicate", path_str]);
+    assert_eq!(exit_code(&out), 3);
+    for args in [
+        vec!["model", "calibrate", path_str, "--profile-engine", "native"],
+        vec!["model", "calibrate", path_str, "--max-error", "2.0"],
+        vec!["model", "predict", path_str, "--max-error", "2.0"],
+    ] {
+        let out = run_cli(&args);
+        assert_eq!(exit_code(&out), 3, "args {args:?}");
+    }
+    let out = run_cli(&["model", "validate", "/nonexistent.json"]);
+    assert_eq!(exit_code(&out), 3);
+    let out = run_cli(&[
+        "model", "validate", path_str, "--guest", "armlet", "--engine", "virt",
+    ]);
+    assert_eq!(exit_code(&out), 3);
+    let (no_apps, _) = measured_campaign("model-no-apps");
+    let out = run_cli(&[
+        "model",
+        "validate",
+        no_apps.to_str().unwrap(),
+        "--guest",
+        "armlet",
+        "--engine",
+        "interp",
+    ]);
+    assert_eq!(exit_code(&out), 3);
+}
+
+#[test]
+fn figures_usage_errors_exit_3() {
+    for args in [vec!["figX"], vec!["fig7", "--bogus"], vec![]] {
+        let out = run_cli(&args);
+        assert_eq!(exit_code(&out), 3, "args {args:?}");
+    }
+}

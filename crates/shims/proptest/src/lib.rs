@@ -12,12 +12,19 @@
 //!
 //! * deterministic: case `i` of test `t` is seeded from `hash(t) + i`,
 //!   so failures reproduce exactly across runs and machines;
-//! * no shrinking: a failing case reports its inputs via the panic
-//!   message of the `prop_assert*` macros (which are plain asserts);
+//! * greedy shrinking instead of value trees: a failing case is
+//!   minimized by re-testing strategy-proposed simplifications —
+//!   integers binary-search toward their range start (or zero),
+//!   vectors try prefix truncations and element-wise shrinks, tuples
+//!   shrink one component at a time — and the near-minimal input is
+//!   reported before the original assertion is re-raised on it;
 //! * case count defaults to 256 and honours `PROPTEST_CASES`.
 
+use std::cell::Cell;
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
 
 /// Commonly used items, mirroring `proptest::prelude`.
 pub mod prelude {
@@ -75,6 +82,16 @@ pub trait Strategy {
     /// Produce one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing value, simplest first.
+    /// Every candidate must be strictly "smaller" than `value` so the
+    /// shrink loop terminates. The default — no candidates — is correct
+    /// for strategies whose values have no useful order (mapped,
+    /// one-of, sampled).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Transform generated values.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -108,6 +125,19 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Shrink candidates for an integer failing at `cur`, moving toward
+/// `lo`: the floor itself, the midpoint (repeated selection of which
+/// binary-searches the boundary), and the predecessor.
+fn int_candidates(lo: i128, cur: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    for c in [lo, lo + (cur - lo) / 2, cur - 1] {
+        if c < cur && c >= lo && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
 macro_rules! int_ranges {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -116,6 +146,12 @@ macro_rules! int_ranges {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_candidates(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -128,6 +164,12 @@ macro_rules! int_ranges {
                 // tests never use as an inclusive range.
                 (lo + rng.below(span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_candidates(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
 }
@@ -137,6 +179,14 @@ int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 pub trait Arbitrary: Sized {
     /// Generate an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications of a failing value (see
+    /// [`Strategy::shrink`]). Unconstrained integers shrink toward
+    /// zero, `true` shrinks to `false`.
+    fn shrink(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! arbitrary_ints {
@@ -144,6 +194,16 @@ macro_rules! arbitrary_ints {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink(value: &$t) -> Vec<$t> {
+                let cur = *value as i128;
+                let mut seen: Vec<i128> = Vec::new();
+                for c in [0, cur / 2, cur - cur.signum()] {
+                    if c != cur && !seen.contains(&c) {
+                        seen.push(c);
+                    }
+                }
+                seen.into_iter().map(|c| c as $t).collect()
             }
         }
     )*};
@@ -153,6 +213,14 @@ arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -169,14 +237,32 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
+    }
 }
 
 macro_rules! tuple_strategies {
     ($(($($s:ident $i:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$i.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, leftmost first.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&value.$i) {
+                        let mut next = value.clone();
+                        next.$i = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -233,12 +319,41 @@ pub mod collection {
         VecStrategy { elem, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + rng.below(span) as usize;
             (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Prefix truncations first (length is usually the dominant
+            // cost), binary-searching between the minimum legal length
+            // and the current one.
+            let n = value.len();
+            let min = self.len.start;
+            if n > min {
+                let mut lens: Vec<usize> = Vec::new();
+                for l in [min, min + (n - min) / 2, n - 1] {
+                    if l < n && !lens.contains(&l) {
+                        lens.push(l);
+                    }
+                }
+                out.extend(lens.into_iter().map(|l| value[..l].to_vec()));
+            }
+            // Then element-wise shrinks, one position at a time.
+            for i in 0..n {
+                for cand in self.elem.shrink(&value[i]) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -296,18 +411,113 @@ impl Default for ProptestConfig {
     }
 }
 
-/// Drive `body` over `config.cases` generated inputs. Called by the
-/// code that [`proptest!`] expands to; not part of the public proptest
-/// API surface.
+thread_local! {
+    /// Set while shrink candidates are being probed, so their expected
+    /// panics don't spam stderr.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once per process) a panic hook that forwards to the
+/// previous hook unless the current thread is probing shrink
+/// candidates.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run the body on one input, converting a panic into `Err`.
+fn probe<V>(body: &impl Fn(V), value: V) -> Result<(), Box<dyn std::any::Any + Send>> {
+    catch_unwind(AssertUnwindSafe(|| body(value)))
+}
+
+/// RAII scope for [`QUIET`]: clears the flag on drop, so a panic that
+/// escapes the scope (e.g. from a `Strategy::shrink` implementation)
+/// cannot leave the thread's panic messages suppressed forever.
+struct QuietGuard;
+
+impl QuietGuard {
+    fn new() -> QuietGuard {
+        QUIET.with(|q| q.set(true));
+        QuietGuard
+    }
+}
+
+impl Drop for QuietGuard {
+    fn drop(&mut self) {
+        QUIET.with(|q| q.set(false));
+    }
+}
+
+/// Greedily minimize a failing input: keep taking the first
+/// strategy-proposed simplification that still fails until none does
+/// (or a step cap is hit — shrinking must never hang a test run).
+fn shrink_failing<S: Strategy>(
+    strategy: &S,
+    body: &impl Fn(S::Value),
+    failing: S::Value,
+) -> (S::Value, usize)
+where
+    S::Value: Clone,
+{
+    let mut current = failing;
+    let mut steps = 0;
+    let _quiet = QuietGuard::new();
+    'outer: while steps < 10_000 {
+        for candidate in strategy.shrink(&current) {
+            if probe(body, candidate.clone()).is_err() {
+                current = candidate;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+/// Drive `body` over `config.cases` generated inputs, shrinking the
+/// first failure to a near-minimal input before re-raising it. Called
+/// by the code that [`proptest!`] expands to; not part of the public
+/// proptest API surface.
 pub fn run_cases<S: Strategy>(
     test_name: &str,
     config: &ProptestConfig,
     strategy: &S,
     body: impl Fn(S::Value),
-) {
+) where
+    S::Value: Clone + std::fmt::Debug,
+{
+    install_quiet_hook();
     for case in 0..config.cases as u64 {
         let mut rng = TestRng::for_case(test_name, case);
-        body(strategy.generate(&mut rng));
+        let value = strategy.generate(&mut rng);
+        let failed = {
+            // The first probe of a case is quiet too: if it fails, the
+            // minimal input is re-run below with full reporting.
+            let _quiet = QuietGuard::new();
+            probe(&body, value.clone()).is_err()
+        };
+        if failed {
+            let (minimal, steps) = shrink_failing(strategy, &body, value);
+            eprintln!(
+                "proptest: {test_name} case {case} failed; \
+                 minimal failing input after {steps} shrink step(s): {minimal:?}"
+            );
+            match probe(&body, minimal.clone()) {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(()) => panic!(
+                    "proptest: {test_name}: shrunk input {minimal:?} stopped failing \
+                     (non-deterministic test body?)"
+                ),
+            }
+        }
     }
 }
 
@@ -405,7 +615,7 @@ macro_rules! __proptest_args {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::TestRng;
+    use super::{install_quiet_hook, shrink_failing, Arbitrary, TestRng};
 
     #[test]
     fn deterministic_across_runs() {
@@ -428,6 +638,76 @@ mod tests {
             let w = Strategy::generate(&(-3i32..=3), &mut rng);
             assert!((-3..=3).contains(&w));
         }
+    }
+
+    #[test]
+    fn int_shrink_binary_searches_to_the_boundary() {
+        install_quiet_hook();
+        let strategy = (10u32..1000,);
+        let body = |(v,): (u32,)| assert!(v < 50, "boom at {v}");
+        let (minimal, steps) = shrink_failing(&strategy, &body, (999,));
+        assert_eq!(minimal, (50,), "minimal failing input is the boundary");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn vec_shrink_truncates_prefix_and_zeroes_elements() {
+        install_quiet_hook();
+        let strategy = (prop::collection::vec(0u32..10, 1..20),);
+        let body = |(v,): (Vec<u32>,)| assert!(v.len() < 3);
+        let (minimal, _) = shrink_failing(&strategy, &body, (vec![5, 9, 1, 7, 3],));
+        assert_eq!(
+            minimal,
+            (vec![0, 0, 0],),
+            "shortest failing vec, elements zeroed"
+        );
+    }
+
+    #[test]
+    fn shrink_preserves_the_failure_condition() {
+        install_quiet_hook();
+        // Failure depends on an element value, not on length: shrinking
+        // must keep a 7 alive while minimizing everything else.
+        let strategy = (prop::collection::vec(0u32..10, 1..20),);
+        let body = |(v,): (Vec<u32>,)| assert!(!v.contains(&7));
+        let (minimal, _) = shrink_failing(&strategy, &body, (vec![3, 7, 9, 7, 2],));
+        assert!(minimal.0.contains(&7));
+        assert!(minimal.0.len() <= 2, "near-minimal: {:?}", minimal.0);
+    }
+
+    #[test]
+    fn value_with_no_failing_candidates_is_returned_unchanged() {
+        install_quiet_hook();
+        let strategy = (Just(42u32),);
+        let body = |(_v,): (u32,)| panic!("always fails");
+        let (minimal, steps) = shrink_failing(&strategy, &body, (42,));
+        assert_eq!(minimal, (42,));
+        assert_eq!(steps, 0);
+    }
+
+    #[test]
+    fn arbitrary_ints_shrink_toward_zero() {
+        assert_eq!(<i32 as Arbitrary>::shrink(&-8), vec![0, -4, -7]);
+        assert_eq!(<u8 as Arbitrary>::shrink(&1), vec![0]);
+        assert!(<u8 as Arbitrary>::shrink(&0).is_empty());
+        assert_eq!(<bool as Arbitrary>::shrink(&true), vec![false]);
+        assert!(<bool as Arbitrary>::shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn range_shrink_stays_in_range() {
+        let strategy = 5u8..9;
+        for v in 5u8..9 {
+            for c in strategy.shrink(&v) {
+                assert!((5..9).contains(&c) && c < v, "{v} -> {c}");
+            }
+        }
+        assert!(
+            strategy.shrink(&5).is_empty(),
+            "the floor has no candidates"
+        );
+        let inclusive = -3i32..=3;
+        assert_eq!(inclusive.shrink(&3), vec![-3, 0, 2]);
     }
 
     proptest! {

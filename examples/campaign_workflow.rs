@@ -74,5 +74,13 @@ fn main() {
     let report = compare(&baseline, &current, 0.25);
     println!("\n{}", report.render());
     assert!(!report.clean(), "the slowed cell must be flagged");
+
+    // 5. Counter-exact comparison: event profiles are architectural and
+    //    deterministic, so the doctored wall-clock above is invisible to
+    //    `compare_counters` — the CLI equivalent is
+    //    `campaign compare ... --counters`.
+    let exact = simbench_campaign::compare_counters(&baseline, &current, 0.0);
+    println!("{}", exact.render());
+    assert!(exact.clean(), "timing edits must not move event profiles");
     std::fs::remove_file(&path).ok();
 }

@@ -17,11 +17,15 @@
 //! * [`campaign`] — the parallel measurement-campaign subsystem: a
 //!   declarative guests × engines × workloads matrix expanded into jobs,
 //!   executed on a work-stealing worker pool, aggregated into per-cell
-//!   statistics, persisted as versioned `simbench-campaign/v1` JSON, and
-//!   compared against stored baselines for regression detection.
+//!   statistics (including the deterministic event profile), persisted
+//!   as versioned `simbench-campaign/v2` JSON (with a `v1` reader-side
+//!   migration), and compared against stored baselines — on noisy
+//!   wall-clock with a threshold, or counter-exactly on event profiles.
 //! * [`harness`] — experiment drivers regenerating every paper table
-//!   and figure, now thin renderers over campaign results, plus the
-//!   `simbench-harness campaign run|compare|list` CLI.
+//!   and figure, now thin renderers over campaign results, the
+//!   app-performance cost model calibrated from stored campaigns, plus
+//!   the `simbench-harness campaign run|compare|list` and
+//!   `model calibrate|predict|validate` CLI.
 //!
 //! ## Quickstart
 //!

@@ -375,7 +375,10 @@ pub fn compare_counters(
             }
             (None, true) => (Verdict::Added, Vec::new()),
             (Some(_), false) => match cell.status {
-                CellStatus::NotOnIsa => (Verdict::Removed, Vec::new()),
+                // Deliberately unmeasured cells (matrix hole, or a cell
+                // owned by another shard of a partial result) are
+                // coverage changes, not breakage.
+                CellStatus::NotOnIsa | CellStatus::Skipped => (Verdict::Removed, Vec::new()),
                 _ => (Verdict::Broke, Vec::new()),
             },
             (None, false) => continue,
@@ -438,9 +441,16 @@ pub fn compare(baseline: &CampaignResult, current: &CampaignResult, threshold: f
             // Ok in the baseline but not measurable now: a cell that
             // stopped completing (wall limit, panic, lost capability)
             // is the worst kind of regression and must fail the gate,
-            // not disappear into "coverage changes".
+            // not disappear into "coverage changes". Deliberately
+            // unmeasured cells (matrix holes, other shards' cells) stay
+            // coverage changes — as does an Ok cell whose timings were
+            // all invalid (e.g. a coarse clock reading 0.0s): it still
+            // completes, it just has nothing for the *timing* path to
+            // compare, so it must not masquerade as broken.
             (Some(_), None) => match cell.status {
-                CellStatus::NotOnIsa => (None, Verdict::Removed),
+                CellStatus::NotOnIsa | CellStatus::Skipped | CellStatus::Ok => {
+                    (None, Verdict::Removed)
+                }
                 _ => (None, Verdict::Broke),
             },
             // Neither side has a clean measurement (e.g. both
@@ -493,6 +503,7 @@ mod tests {
             scale: 1000,
             reps: 1,
             jobs: 1,
+            shard: None,
             wall_secs: 0.0,
             created_unix: 0,
             cells: cells
@@ -635,6 +646,45 @@ mod tests {
         assert!(verdicts.contains(&Verdict::Added));
         assert!(verdicts.contains(&Verdict::Removed));
         assert!(cmp.render().contains("BROKEN"));
+    }
+
+    #[test]
+    fn ok_cell_with_no_valid_timings_is_not_broken() {
+        // All-invalid timings (e.g. a coarse clock reading 0.0s) leave
+        // an Ok cell with no stats. The timing path loses its metric —
+        // a coverage change — while the counters path still compares
+        // the event profile exactly.
+        let base = result_with(vec![("armlet", "interp", "suite:System Call", vec![1.0])]);
+        let mut cur = base.clone();
+        cur.cells[0].seconds = vec![0.0];
+        cur.cells[0].stats = stats(&[0.0]);
+        assert!(cur.cells[0].stats.is_none());
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(cmp.clean(), "a completing cell must not read as broken");
+        assert!(cmp.broken().is_empty());
+        assert_eq!(cmp.deltas[0].verdict, Verdict::Removed);
+        assert!(compare_counters(&base, &cur, 0.0).clean());
+    }
+
+    #[test]
+    fn skipped_cells_are_coverage_changes_not_breakage() {
+        // A raw shard result compared against a whole-matrix baseline:
+        // the cells owned by other shards are skipped, which must read
+        // as reduced coverage, not as cells that stopped completing.
+        let base = result_with(vec![
+            ("armlet", "interp", "suite:System Call", vec![1.0]),
+            ("armlet", "interp", "suite:Hot Memory Access", vec![1.0]),
+        ]);
+        let mut cur = base.clone();
+        cur.cells[1].status = CellStatus::Skipped;
+        cur.cells[1].stats = None;
+        cur.cells[1].seconds.clear();
+        let cmp = compare(&base, &cur, 0.25);
+        assert!(cmp.clean(), "skipped must not fail the timing gate");
+        assert_eq!(cmp.deltas[1].verdict, Verdict::Removed);
+        let cmp = compare_counters(&base, &cur, 0.0);
+        assert!(cmp.clean(), "skipped must not fail the counters gate");
+        assert!(cmp.broken().is_empty());
     }
 
     #[test]

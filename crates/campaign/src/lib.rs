@@ -9,14 +9,21 @@
 //!   workloads × scale × repetitions) expanded into independent jobs;
 //! * [`runner`] — a work-stealing worker pool executing jobs
 //!   concurrently; each job owns its `Machine` and engine, so results
-//!   are identical at any `--jobs` count (timings aside);
+//!   are identical at any `--jobs` count (timings aside). [`run_shard`]
+//!   executes one cell-complete slice (`--shard I/N`) of the matrix for
+//!   process- and machine-level scale-out;
+//! * [`merge`] — recombines a complete set of shard results into one
+//!   whole-matrix result, counter-identical to an unsharded run, with
+//!   typed [`MergeError`]s for overlapping/missing/mismatched shards;
 //! * [`stats`] — per-cell statistics: min/median/mean/geomean, stddev,
-//!   95% confidence intervals, MAD outlier rejection;
-//! * [`result`] — the versioned `simbench-campaign/v2` JSON schema
-//!   (per-cell event profiles with `tested_ops` and, for
-//!   non-deterministic cells, per-repetition `counter_variants`) with
-//!   load/save, a `v1` reader-side migration, typed [`LoadError`]s and
-//!   deterministic cell ordering;
+//!   95% confidence intervals, MAD outlier rejection; non-positive or
+//!   non-finite samples are counted as rejected, never fabricated;
+//! * [`result`] — the versioned `simbench-campaign/v3` JSON schema
+//!   (per-cell event profiles with `tested_ops`, per-repetition
+//!   `counter_variants` for non-deterministic cells, and shard
+//!   metadata on partial results) with load/save, `v1`/`v2`
+//!   reader-side migrations, typed [`LoadError`]s and deterministic
+//!   cell ordering;
 //! * [`compare`] — regression detection against a stored baseline: the
 //!   noisy timing path (`ratio > 1 + threshold` ⇒ flagged) and the
 //!   machine-independent counter-exact path
@@ -44,18 +51,46 @@
 //!     workloads: vec![Workload::Suite(Benchmark::Syscall)],
 //!     scale: 1_000_000,
 //!     reps: 2,
-//!     wall_limit_secs: Some(60),
+//!     wall_limit: Some(std::time::Duration::from_secs(60)),
 //! };
 //! let result = run(&spec, &RunnerOpts::with_jobs(2));
 //! let cell = result.cell("armlet", "interp", "suite:System Call").unwrap();
 //! assert!(cell.counters.syscalls >= 16);
 //! let json = result.to_json();
-//! assert!(json.contains("simbench-campaign/v2"));
+//! assert!(json.contains("simbench-campaign/v3"));
+//! ```
+//!
+//! ## Sharded example
+//!
+//! ```
+//! use simbench_campaign::{merge, run, run_shard, CampaignSpec, RunnerOpts, Shard, Workload};
+//! use simbench_campaign::measure::{EngineKind, Guest};
+//! use simbench_suite::Benchmark;
+//!
+//! let spec = CampaignSpec {
+//!     name: "sharded".to_string(),
+//!     guests: vec![Guest::Armlet],
+//!     engines: vec![EngineKind::Interp, EngineKind::Native],
+//!     workloads: vec![Workload::Suite(Benchmark::Syscall)],
+//!     scale: 1_000_000,
+//!     reps: 1,
+//!     wall_limit: Some(std::time::Duration::from_secs(60)),
+//! };
+//! // Each shard can run in its own process or on its own machine.
+//! let parts: Vec<_> = (1..=2)
+//!     .map(|i| run_shard(&spec, &RunnerOpts::serial(), Some(Shard::new(i, 2).unwrap())))
+//!     .collect();
+//! let merged = merge(&parts).unwrap();
+//! let whole = run(&spec, &RunnerOpts::serial());
+//! for (a, b) in merged.cells.iter().zip(&whole.cells) {
+//!     assert_eq!(a.counters, b.counters); // counter-identical
+//! }
 //! ```
 
 pub mod compare;
 pub mod json;
 pub mod measure;
+pub mod merge;
 pub mod result;
 pub mod runner;
 pub mod spec;
@@ -67,7 +102,8 @@ pub use compare::{
     Verdict,
 };
 pub use measure::{run_app, run_suite_bench, Config, EngineKind, Guest, Sample};
-pub use result::{CampaignResult, CellResult, CellStatus, LoadError, SCHEMA, SCHEMA_V1};
-pub use runner::{run, RunnerOpts};
-pub use spec::{CampaignSpec, CellKey, Job, Workload};
+pub use merge::{merge, MergeError};
+pub use result::{CampaignResult, CellResult, CellStatus, LoadError, SCHEMA, SCHEMA_V1, SCHEMA_V2};
+pub use runner::{run, run_shard, RunnerOpts};
+pub use spec::{CampaignSpec, CellKey, Job, Shard, Workload};
 pub use stats::{geomean, stats, Stats};

@@ -2,12 +2,15 @@
 //! per matrix cell, carrying raw repetition timings, aggregate
 //! statistics, and the deterministic per-cell event profile.
 //!
-//! The current schema string is `simbench-campaign/v2`. Readers accept
-//! the previous `v1` layout and migrate it on load (the event profile
-//! gains `tested_ops`, and inconsistent cells gain per-repetition
-//! `counter_variants`); anything else is rejected with a typed
-//! [`LoadError`] rather than guessed at, so future layout changes bump
-//! the version and add an explicit migration.
+//! The current schema string is `simbench-campaign/v3`, which adds
+//! process-level sharding: an optional top-level `shard` object
+//! (`{"index": I, "count": N}`) on partial results and the `skipped`
+//! cell status for cells owned by other shards. Readers accept the
+//! previous `v2` layout (no shard metadata) and the `v1` layout (which
+//! additionally lacked `tested_ops` / `counter_variants`) and migrate
+//! them on load; anything else is rejected with a typed [`LoadError`]
+//! rather than guessed at, so future layout changes bump the version
+//! and add an explicit migration.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -16,13 +19,17 @@ use std::path::Path;
 use simbench_core::events::Counters;
 
 use crate::json::{self, Value};
-use crate::spec::{CampaignSpec, Workload};
+use crate::spec::{CampaignSpec, Shard, Workload};
 use crate::stats::Stats;
 
 /// Schema identifier written to every result file.
-pub const SCHEMA: &str = "simbench-campaign/v2";
+pub const SCHEMA: &str = "simbench-campaign/v3";
 
-/// The previous schema identifier, still accepted on load and migrated
+/// The previous schema identifier (no shard metadata, no `skipped`
+/// status), still accepted on load and migrated to the current layout.
+pub const SCHEMA_V2: &str = "simbench-campaign/v2";
+
+/// The original schema identifier, still accepted on load and migrated
 /// to the current layout.
 pub const SCHEMA_V1: &str = "simbench-campaign/v1";
 
@@ -51,7 +58,7 @@ impl std::fmt::Display for LoadError {
             LoadError::Json(e) => write!(f, "invalid JSON: {e}"),
             LoadError::Schema { found } => write!(
                 f,
-                "unsupported schema {found:?} (expected {SCHEMA:?} or {SCHEMA_V1:?})"
+                "unsupported schema {found:?} (expected {SCHEMA:?}, {SCHEMA_V2:?} or {SCHEMA_V1:?})"
             ),
             LoadError::Malformed(e) => write!(f, "malformed campaign result: {e}"),
         }
@@ -72,6 +79,10 @@ pub enum CellStatus {
     Unsupported(String),
     /// A repetition ended abnormally (instruction/wall limit).
     Failed(String),
+    /// The cell belongs to a different shard of a sharded run and was
+    /// deliberately not measured here. Only partial (shard) results
+    /// contain skipped cells; merging resolves them.
+    Skipped,
 }
 
 impl CellStatus {
@@ -81,6 +92,7 @@ impl CellStatus {
             CellStatus::NotOnIsa => "not-on-isa".to_string(),
             CellStatus::Unsupported(why) => format!("unsupported:{why}"),
             CellStatus::Failed(why) => format!("failed:{why}"),
+            CellStatus::Skipped => "skipped".to_string(),
         }
     }
 
@@ -88,6 +100,7 @@ impl CellStatus {
         match s {
             "ok" => CellStatus::Ok,
             "not-on-isa" => CellStatus::NotOnIsa,
+            "skipped" => CellStatus::Skipped,
             _ => {
                 if let Some(why) = s.strip_prefix("unsupported:") {
                     CellStatus::Unsupported(why.to_string())
@@ -158,6 +171,9 @@ pub struct CampaignResult {
     pub reps: u32,
     /// Worker threads the campaign ran with.
     pub jobs: usize,
+    /// When this is one shard of a sharded campaign: which slice of the
+    /// matrix it measured. `None` for whole-matrix and merged results.
+    pub shard: Option<Shard>,
     /// Wall-clock seconds for the whole campaign.
     pub wall_secs: f64,
     /// Seconds since the Unix epoch when the campaign finished.
@@ -184,6 +200,13 @@ impl CampaignResult {
         let _ = writeln!(out, "  \"scale\": {},", self.scale);
         let _ = writeln!(out, "  \"reps\": {},", self.reps);
         let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        if let Some(shard) = self.shard {
+            let _ = writeln!(
+                out,
+                "  \"shard\": {{\"index\": {}, \"count\": {}}},",
+                shard.index, shard.count
+            );
+        }
         let _ = writeln!(out, "  \"wall_secs\": {},", json::num(self.wall_secs));
         let _ = writeln!(out, "  \"created_unix\": {},", self.created_unix);
         out.push_str("  \"cells\": [\n");
@@ -247,8 +270,9 @@ impl CampaignResult {
         out
     }
 
-    /// Parse the versioned JSON format. Accepts the current `v2` layout
-    /// and migrates `v1` files in place (recomputing `tested_ops` from
+    /// Parse the versioned JSON format. Accepts the current `v3` layout
+    /// and migrates `v2` and `v1` files in place (`v2` gains nothing but
+    /// the schema string; `v1` additionally recomputes `tested_ops` from
     /// the stored event profile); any other schema is a typed error.
     pub fn from_json(text: &str) -> Result<CampaignResult, LoadError> {
         let root = json::parse(text).map_err(LoadError::Json)?;
@@ -257,7 +281,7 @@ impl CampaignResult {
             .and_then(Value::as_str)
             .ok_or_else(|| LoadError::Malformed("missing string \"schema\"".to_string()))?
             .to_string();
-        if schema != SCHEMA && schema != SCHEMA_V1 {
+        if schema != SCHEMA && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
             return Err(LoadError::Schema { found: schema });
         }
         let malformed = LoadError::Malformed;
@@ -289,14 +313,39 @@ impl CampaignResult {
             }
             cells.push(cell);
         }
+        let shard = match root.get("shard") {
+            None => None,
+            Some(v) => {
+                let idx = v
+                    .get("index")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| malformed("shard: missing integer \"index\"".to_string()))?;
+                let count = v
+                    .get("count")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| malformed("shard: missing integer \"count\"".to_string()))?;
+                // Reject before narrowing: an oversized value must not
+                // wrap into a plausible-looking shard identity.
+                if idx > u64::from(u32::MAX) || count > u64::from(u32::MAX) {
+                    return Err(malformed(format!(
+                        "shard: index {idx}/count {count} out of range"
+                    )));
+                }
+                Some(
+                    Shard::new(idx as u32, count as u32)
+                        .map_err(|e| malformed(format!("shard: {e}")))?,
+                )
+            }
+        };
         Ok(CampaignResult {
             // Migrated results are current-schema in memory, so saving a
-            // loaded v1 file produces a v2 file.
+            // loaded v1 or v2 file produces a v3 file.
             schema: SCHEMA.to_string(),
             name: str_field("name")?,
             scale: u64_field("scale")?,
             reps: u64_field("reps")? as u32,
             jobs: u64_field("jobs")? as usize,
+            shard,
             wall_secs: root.get("wall_secs").and_then(Value::as_f64).unwrap_or(0.0),
             created_unix: u64_field("created_unix").unwrap_or(0),
             cells,
@@ -341,6 +390,7 @@ impl CampaignResult {
             scale: spec.scale,
             reps: spec.reps.max(1),
             jobs,
+            shard: None,
             wall_secs: 0.0,
             created_unix: 0,
             cells,
@@ -512,6 +562,7 @@ mod tests {
             scale: 20_000,
             reps: 2,
             jobs: 4,
+            shard: None,
             wall_secs: 1.25,
             created_unix: 1_700_000_000,
             cells: vec![
@@ -593,6 +644,59 @@ mod tests {
             parsed.cells[0].counter_variants,
             r.cells[0].counter_variants
         );
+    }
+
+    #[test]
+    fn shard_metadata_and_skipped_cells_round_trip() {
+        let mut r = demo();
+        r.shard = Some(Shard { index: 2, count: 3 });
+        r.cells[1].status = CellStatus::Skipped;
+        let text = r.to_json();
+        assert!(text.contains("\"shard\": {\"index\": 2, \"count\": 3}"));
+        assert!(text.contains("\"status\": \"skipped\""));
+        let parsed = CampaignResult::from_json(&text).unwrap();
+        assert_eq!(parsed.shard, Some(Shard { index: 2, count: 3 }));
+        assert_eq!(parsed.cells[1].status, CellStatus::Skipped);
+        // Whole-matrix results carry no shard key at all.
+        assert!(!demo().to_json().contains("\"shard\""));
+    }
+
+    #[test]
+    fn malformed_shard_metadata_is_a_typed_error() {
+        let mut r = demo();
+        r.shard = Some(Shard { index: 1, count: 2 });
+        let text = r.to_json().replace(
+            "{\"index\": 1, \"count\": 2}",
+            "{\"index\": 5, \"count\": 2}",
+        );
+        let err = CampaignResult::from_json(&text).unwrap_err();
+        assert!(matches!(err, LoadError::Malformed(_)), "{err}");
+        assert!(err.to_string().contains("shard"), "{err}");
+        let text = r
+            .to_json()
+            .replace("{\"index\": 1, \"count\": 2}", "{\"count\": 2}");
+        let err = CampaignResult::from_json(&text).unwrap_err();
+        assert!(err.to_string().contains("index"), "{err}");
+        // An index beyond u32 must be rejected, not wrapped into a
+        // plausible small shard identity (4294967297 % 2^32 == 1).
+        let text = r.to_json().replace(
+            "{\"index\": 1, \"count\": 2}",
+            "{\"index\": 4294967297, \"count\": 4294967298}",
+        );
+        let err = CampaignResult::from_json(&text).unwrap_err();
+        assert!(matches!(err, LoadError::Malformed(_)), "{err}");
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn v2_files_migrate_on_load() {
+        // A v2 document is the current layout minus shard support.
+        let text = demo().to_json().replace(SCHEMA, SCHEMA_V2);
+        let parsed = CampaignResult::from_json(&text).unwrap();
+        assert_eq!(parsed.schema, SCHEMA);
+        assert_eq!(parsed.shard, None);
+        assert_eq!(parsed.cells[0].tested_ops, Some(2500));
+        assert!(parsed.to_json().contains(SCHEMA));
     }
 
     #[test]

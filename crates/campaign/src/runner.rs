@@ -23,7 +23,7 @@ use simbench_core::engine::ExitReason;
 
 use crate::measure::{run_app, run_suite_bench, Config, Sample};
 use crate::result::{CampaignResult, CellStatus};
-use crate::spec::{CampaignSpec, Job, Workload};
+use crate::spec::{CampaignSpec, Job, Shard, Workload};
 use crate::stats::stats;
 
 /// Execution options.
@@ -89,8 +89,17 @@ fn execute(job: &Job, cfg: &Config) -> RepOutcome {
 
 /// Run a campaign and aggregate per-cell results.
 pub fn run(spec: &CampaignSpec, opts: &RunnerOpts) -> CampaignResult {
+    run_shard(spec, opts, None)
+}
+
+/// Run one shard of a campaign (the whole matrix when `shard` is
+/// `None`). The result keeps the full cell layout: cells owned by
+/// other shards are recorded as [`CellStatus::Skipped`] and carry the
+/// shard metadata needed for [`crate::merge::merge`] to recombine
+/// shards into a result counter-identical to an unsharded run.
+pub fn run_shard(spec: &CampaignSpec, opts: &RunnerOpts, shard: Option<Shard>) -> CampaignResult {
     let t0 = Instant::now();
-    let jobs = spec.expand();
+    let jobs = spec.expand_shard(shard);
     let cfg = spec.config();
     let workers = opts.jobs.max(1).min(jobs.len().max(1));
 
@@ -119,7 +128,7 @@ pub fn run(spec: &CampaignSpec, opts: &RunnerOpts) -> CampaignResult {
     };
 
     // Record the worker count that actually executed, not the request.
-    finalize(spec, workers, outcomes, t0.elapsed().as_secs_f64())
+    finalize(spec, workers, shard, outcomes, t0.elapsed().as_secs_f64())
 }
 
 /// The work-stealing pool used when more than one worker is requested.
@@ -174,11 +183,13 @@ fn run_stealing(jobs: &[Job], cfg: &Config, workers: usize, verbose: bool) -> Ve
 fn finalize(
     spec: &CampaignSpec,
     jobs: usize,
+    shard: Option<Shard>,
     outcomes: Vec<JobOutcome>,
     wall_secs: f64,
 ) -> CampaignResult {
     let reps = spec.reps.max(1) as usize;
     let mut result = CampaignResult::empty_for(spec, jobs);
+    result.shard = shard;
     let keys = spec.cells();
     // Per cell: one slot per repetition, filled in any completion order.
     let mut slots: Vec<Vec<Option<RepOutcome>>> = vec![vec![None; reps]; result.cells.len()];
@@ -186,7 +197,9 @@ fn finalize(
         slots[o.cell_index][o.rep as usize] = Some(o.sample);
     }
 
-    for ((cell, reps_slots), key) in result.cells.iter_mut().zip(slots).zip(keys) {
+    for (cell_index, ((cell, reps_slots), key)) in
+        result.cells.iter_mut().zip(slots).zip(keys).enumerate()
+    {
         let mut samples: Vec<Sample> = Vec::new();
         let mut failure: Option<CellStatus> = None;
         let mut measured = false;
@@ -198,9 +211,14 @@ fn finalize(
                 }
                 Ok(None) => {} // workload absent on this ISA
                 Ok(Some(sample)) => {
-                    cell.iterations = sample.iterations;
                     match sample.exit {
-                        ExitReason::Halted => samples.push(sample),
+                        // Only halted repetitions contribute the
+                        // iteration count: an aborted sample's count
+                        // must not leak into the persisted result.
+                        ExitReason::Halted => {
+                            cell.iterations = sample.iterations;
+                            samples.push(sample);
+                        }
                         ExitReason::Unsupported(what) => {
                             failure.get_or_insert(CellStatus::Unsupported(what.to_string()));
                         }
@@ -212,8 +230,12 @@ fn finalize(
             }
         }
         if !measured {
-            // No job was expanded for this cell: workload not on ISA.
-            cell.status = CellStatus::NotOnIsa;
+            // No job was expanded for this cell: it belongs to another
+            // shard, or the workload is not on the ISA.
+            cell.status = match shard {
+                Some(s) if !s.owns(cell_index) => CellStatus::Skipped,
+                _ => CellStatus::NotOnIsa,
+            };
             continue;
         }
         // Unsupported/Failed takes precedence so partial timings are
@@ -252,6 +274,7 @@ mod tests {
     use super::*;
     use crate::measure::{EngineKind, Guest};
     use simbench_suite::Benchmark;
+    use std::time::Duration;
 
     fn tiny_spec() -> CampaignSpec {
         CampaignSpec {
@@ -264,7 +287,7 @@ mod tests {
             ],
             scale: u64::MAX, // clamp to the 16-iteration floor
             reps: 2,
-            wall_limit_secs: Some(60),
+            wall_limit: Some(Duration::from_secs(60)),
         }
     }
 
@@ -303,10 +326,58 @@ mod tests {
             workloads: vec![Workload::Suite(Benchmark::MmioDevice)],
             scale: u64::MAX,
             reps: 1,
-            wall_limit_secs: Some(60),
+            wall_limit: Some(Duration::from_secs(60)),
         };
         let result = run(&spec, &RunnerOpts::serial());
         assert!(matches!(result.cells[0].status, CellStatus::Unsupported(_)));
         assert!(result.cells[0].stats.is_none());
+        // An aborted cell must not leak a sample's iteration count into
+        // the persisted result: only halted repetitions record it.
+        assert_eq!(result.cells[0].iterations, 0);
+    }
+
+    #[test]
+    fn wall_limited_cell_records_no_iterations() {
+        // A sub-measurable wall limit aborts every repetition, so the
+        // cell fails and its iteration count stays unrecorded.
+        let spec = CampaignSpec {
+            name: "walled".to_string(),
+            guests: vec![Guest::Armlet],
+            engines: vec![EngineKind::Interp],
+            workloads: vec![Workload::Suite(Benchmark::MemHot)],
+            scale: 1, // full paper iteration counts: plenty to outlast the limit
+            reps: 1,
+            wall_limit: Some(Duration::from_nanos(1)),
+        };
+        let result = run(&spec, &RunnerOpts::serial());
+        assert!(
+            matches!(result.cells[0].status, CellStatus::Failed(_)),
+            "{:?}",
+            result.cells[0].status
+        );
+        assert_eq!(result.cells[0].iterations, 0);
+        assert!(result.cells[0].seconds.is_empty());
+    }
+
+    #[test]
+    fn shard_run_skips_unowned_cells_and_carries_metadata() {
+        let spec = tiny_spec();
+        let shard = Shard::new(2, 2).unwrap();
+        let result = run_shard(&spec, &RunnerOpts::serial(), Some(shard));
+        assert_eq!(result.shard, Some(shard));
+        assert_eq!(result.cells.len(), 8, "shards keep the full cell layout");
+        for (i, cell) in result.cells.iter().enumerate() {
+            if shard.owns(i) {
+                assert_ne!(cell.status, CellStatus::Skipped, "cell {i}");
+            } else {
+                assert_eq!(cell.status, CellStatus::Skipped, "cell {i}");
+                assert!(cell.seconds.is_empty());
+                assert!(cell.stats.is_none());
+            }
+        }
+        // An unsharded run has no shard metadata and no skipped cells.
+        let whole = run(&spec, &RunnerOpts::serial());
+        assert_eq!(whole.shard, None);
+        assert!(whole.cells.iter().all(|c| c.status != CellStatus::Skipped));
     }
 }

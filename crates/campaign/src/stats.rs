@@ -4,9 +4,10 @@
 /// Summary statistics over one cell's repetition timings.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
-    /// Samples kept after outlier rejection.
+    /// Samples kept after invalidity and outlier rejection.
     pub n: usize,
-    /// Samples rejected as outliers.
+    /// Samples rejected — invalid (non-positive or non-finite) plus
+    /// MAD outliers. `n + rejected` equals the input length.
     pub rejected: usize,
     /// Minimum of kept samples.
     pub min: f64,
@@ -74,14 +75,23 @@ fn kept_indices(samples: &[f64]) -> Vec<usize> {
         .collect()
 }
 
-/// Compute [`Stats`] over positive timing samples, rejecting outliers
-/// first. Returns `None` for an empty slice.
+/// Compute [`Stats`] over timing samples. Samples that are not
+/// positive finite numbers cannot be real timings: they are rejected
+/// (and counted in `rejected`) *before* MAD outlier rejection, never
+/// clamped to a fabricated value — a zero or negative entry must not
+/// drag `geomean`/`min`/`mean` toward an invented floor. Returns
+/// `None` when no valid sample remains (including the empty slice).
 pub fn stats(samples: &[f64]) -> Option<Stats> {
-    if samples.is_empty() {
+    let valid: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if valid.is_empty() {
         return None;
     }
-    let kept_idx = kept_indices(samples);
-    let kept: Vec<f64> = kept_idx.iter().map(|&i| samples[i].max(1e-12)).collect();
+    let kept_idx = kept_indices(&valid);
+    let kept: Vec<f64> = kept_idx.iter().map(|&i| valid[i]).collect();
     let n = kept.len();
     let mut sorted = kept.clone();
     sorted.sort_by(f64::total_cmp);
@@ -137,6 +147,44 @@ mod tests {
     #[test]
     fn empty_is_none() {
         assert!(stats(&[]).is_none());
+    }
+
+    #[test]
+    fn non_positive_samples_are_rejected_not_clamped() {
+        // A zero timing must not survive as a fabricated 1e-12 floor
+        // that drags geomean/min toward zero.
+        let s = stats(&[1.0, 1.1, 0.0, 0.9, 1.05]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.rejected, 1);
+        assert!(s.min >= 0.9);
+        assert!(s.geomean > 0.9, "geomean {} was dragged down", s.geomean);
+        let s = stats(&[-3.0, 2.0]).unwrap();
+        assert_eq!((s.n, s.rejected), (1, 1));
+        assert_eq!(s.min, 2.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected() {
+        let s = stats(&[1.0, f64::NAN, f64::INFINITY, 1.2]).unwrap();
+        assert_eq!((s.n, s.rejected), (2, 2));
+        assert!(s.mean.is_finite());
+    }
+
+    #[test]
+    fn all_invalid_yields_none_never_a_fabricated_value() {
+        assert!(stats(&[0.0]).is_none());
+        assert!(stats(&[-1.0, 0.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn invalid_rejection_happens_before_outlier_rejection() {
+        // Four zeros + four tight samples: with clamping, the zeros
+        // would form their own cluster and distort the MAD; with
+        // rejection, the four real samples all survive.
+        let s = stats(&[0.0, 0.0, 0.0, 0.0, 1.0, 1.01, 0.99, 1.02]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.rejected, 4);
+        assert!((s.median - 1.0).abs() < 0.05);
     }
 
     #[test]

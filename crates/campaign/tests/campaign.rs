@@ -1,10 +1,11 @@
 //! Integration tests for the campaign subsystem: determinism across
-//! runs, equivalence across worker counts, persistence round-trips, and
-//! end-to-end regression detection.
+//! runs, equivalence across worker counts, persistence round-trips,
+//! shard/merge counter-exactness, and end-to-end regression detection.
 
 use simbench_campaign::measure::{EngineKind, Guest};
 use simbench_campaign::{
-    compare, run, CampaignResult, CampaignSpec, CellStatus, RunnerOpts, Workload,
+    compare, compare_counters, merge, run, run_shard, CampaignResult, CampaignSpec, CellStatus,
+    RunnerOpts, Shard, Workload,
 };
 use simbench_suite::Benchmark;
 
@@ -28,7 +29,7 @@ fn spec(reps: u32) -> CampaignSpec {
         ],
         scale: 500_000, // tiny kernels: the whole matrix runs in well under a second
         reps,
-        wall_limit_secs: Some(60),
+        wall_limit: Some(std::time::Duration::from_secs(60)),
     }
 }
 
@@ -110,6 +111,58 @@ fn worker_count_larger_than_job_count() {
     let result = run(&s, &RunnerOpts::with_jobs(64));
     assert_eq!(result.cells.len(), 1);
     assert_eq!(result.cells[0].status, CellStatus::Ok);
+}
+
+#[test]
+fn sharded_run_plus_merge_is_counter_exact_at_any_shard_count() {
+    let s = spec(2);
+    let whole = run(&s, &RunnerOpts::serial());
+    let n_cells = s.cells().len();
+    // Shard counts below, at, and beyond the cell count: the last
+    // leaves some shards empty, which must still merge cleanly.
+    for count in [1u32, 2, 3, 5, n_cells as u32 + 4] {
+        let shards: Vec<CampaignResult> = (1..=count)
+            .map(|i| {
+                run_shard(
+                    &s,
+                    &RunnerOpts::with_jobs(2),
+                    Some(Shard::new(i, count).unwrap()),
+                )
+            })
+            .collect();
+        // Each shard persists and reloads like any campaign result.
+        let dir = std::env::temp_dir().join("simbench-shard-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let reloaded: Vec<CampaignResult> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let path = dir.join(format!("shard-{}-{i}-of-{count}.json", std::process::id()));
+                r.save(&path).unwrap();
+                let loaded = CampaignResult::load(&path).unwrap();
+                std::fs::remove_file(&path).ok();
+                loaded
+            })
+            .collect();
+        let merged = merge(&reloaded).unwrap_or_else(|e| panic!("count {count}: {e}"));
+        // Cell-for-cell identical to the unsharded run...
+        assert_eq!(fingerprint(&merged), fingerprint(&whole), "count {count}");
+        for (a, b) in merged.cells.iter().zip(&whole.cells) {
+            assert_eq!(a.seconds.len(), b.seconds.len());
+            assert_eq!(a.stats.is_some(), b.stats.is_some());
+            assert_eq!(a.counter_variants, b.counter_variants);
+        }
+        // ...and counter-exact under the comparison gate, in both
+        // directions.
+        assert!(
+            compare_counters(&whole, &merged, 0.0).clean(),
+            "count {count}"
+        );
+        assert!(
+            compare_counters(&merged, &whole, 0.0).clean(),
+            "count {count}"
+        );
+    }
 }
 
 #[test]

@@ -1,41 +1,95 @@
 //! Golden-fixture tests for the persisted campaign schema.
 //!
 //! The committed fixtures pin the on-disk format: `campaign_v1.json`
-//! is a legacy `simbench-campaign/v1` document, `campaign_v2.json` is
-//! its migrated `v2` rendering. Any unintentional change to the
-//! serializer, the parser, or the migration shows up here as a byte
-//! diff; after an *intentional* schema change, regenerate the v2
-//! fixture with
+//! and `campaign_v2.json` are legacy `simbench-campaign/v1` / `v2`
+//! documents, `campaign_v3.json` is their migrated `v3` rendering, and
+//! `campaign_v3_shard.json` pins a partial (shard) result with shard
+//! metadata and `skipped` cells. Any unintentional change to the
+//! serializer, the parser, or a migration shows up here as a byte
+//! diff; after an *intentional* schema change, regenerate the v3
+//! fixtures with
 //!
 //! ```sh
 //! cargo test -p simbench-campaign --test golden regen -- --ignored
 //! ```
 
-use simbench_campaign::{CampaignResult, CellStatus, LoadError, SCHEMA, SCHEMA_V1};
+use simbench_campaign::{
+    CampaignResult, CellStatus, LoadError, Shard, SCHEMA, SCHEMA_V1, SCHEMA_V2,
+};
 
 const V1: &str = include_str!("fixtures/campaign_v1.json");
 const V2: &str = include_str!("fixtures/campaign_v2.json");
+const V3: &str = include_str!("fixtures/campaign_v3.json");
+const V3_SHARD: &str = include_str!("fixtures/campaign_v3_shard.json");
+
+/// The shard fixture's in-memory value: shard 2 of 3, one owned cell
+/// measured, the two unowned cells skipped.
+fn shard_demo() -> CampaignResult {
+    let mut r = CampaignResult::from_json(V3).unwrap();
+    r.shard = Some(Shard::new(2, 3).unwrap());
+    for (i, cell) in r.cells.iter_mut().enumerate() {
+        if i != 1 {
+            cell.status = CellStatus::Skipped;
+            cell.seconds.clear();
+            cell.stats = None;
+            cell.counters = Default::default();
+            cell.counters_consistent = true;
+            cell.tested_ops = None;
+            cell.counter_variants.clear();
+            cell.iterations = 0;
+        }
+    }
+    r
+}
 
 #[test]
-fn v2_fixture_round_trips_byte_stably() {
-    let parsed = CampaignResult::from_json(V2).expect("v2 fixture parses");
+fn v3_fixture_round_trips_byte_stably() {
+    let parsed = CampaignResult::from_json(V3).expect("v3 fixture parses");
     assert_eq!(parsed.schema, SCHEMA);
+    assert_eq!(parsed.shard, None);
     assert_eq!(
         parsed.to_json(),
-        V2,
-        "re-serializing the v2 fixture must reproduce it byte for byte"
+        V3,
+        "re-serializing the v3 fixture must reproduce it byte for byte"
     );
 }
 
 #[test]
-fn v1_fixture_migrates_to_exactly_the_v2_fixture() {
+fn v3_shard_fixture_round_trips_byte_stably() {
+    let parsed = CampaignResult::from_json(V3_SHARD).expect("v3 shard fixture parses");
+    assert_eq!(parsed.schema, SCHEMA);
+    assert_eq!(parsed.shard, Some(Shard::new(2, 3).unwrap()));
+    assert_eq!(parsed.cells[0].status, CellStatus::Skipped);
+    assert_eq!(parsed.cells[1].status, CellStatus::Ok);
+    assert_eq!(
+        parsed.to_json(),
+        V3_SHARD,
+        "re-serializing the shard fixture must reproduce it byte for byte"
+    );
+}
+
+#[test]
+fn v2_fixture_migrates_to_exactly_the_v3_fixture() {
+    assert!(V2.contains(SCHEMA_V2));
+    let migrated = CampaignResult::from_json(V2).expect("v2 fixture parses");
+    assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
+    assert_eq!(migrated.shard, None, "v2 predates sharding");
+    assert_eq!(
+        migrated.to_json(),
+        V3,
+        "saving a loaded v2 file must produce the committed v3 rendering"
+    );
+}
+
+#[test]
+fn v1_fixture_migrates_to_exactly_the_v3_fixture() {
     assert!(V1.contains(SCHEMA_V1));
     let migrated = CampaignResult::from_json(V1).expect("v1 fixture parses");
     assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
     assert_eq!(
         migrated.to_json(),
-        V2,
-        "saving a loaded v1 file must produce the committed v2 rendering"
+        V3,
+        "saving a loaded v1 file must produce the committed v3 rendering"
     );
     // Migration recomputes the tested-op count from the stored profile.
     assert_eq!(migrated.cells[0].tested_ops, Some(2500));
@@ -62,8 +116,8 @@ fn migrated_fixture_keeps_cell_semantics() {
 
 #[test]
 fn unknown_schema_versions_are_typed_errors() {
-    for found in ["simbench-campaign/v0", "simbench-campaign/v3", "nonsense"] {
-        let text = V2.replace(SCHEMA, found);
+    for found in ["simbench-campaign/v0", "simbench-campaign/v4", "nonsense"] {
+        let text = V3.replace(SCHEMA, found);
         match CampaignResult::from_json(&text) {
             Err(LoadError::Schema { found: f }) => assert_eq!(f, found),
             other => panic!("expected a schema error for {found:?}, got {other:?}"),
@@ -90,17 +144,23 @@ fn malformed_documents_are_typed_errors_not_panics() {
         Err(LoadError::Malformed(_))
     ));
     // Unknown counter name inside a cell.
-    let text = V2.replace("\"instructions\"", "\"instruction_bytes\"");
+    let text = V3.replace("\"instructions\"", "\"instruction_bytes\"");
     match CampaignResult::from_json(&text) {
         Err(LoadError::Malformed(e)) => assert!(e.contains("unknown counter"), "{e}"),
         other => panic!("expected malformed, got {other:?}"),
     }
     // Corrupted timing entry.
-    let text = V2.replace("[0.011, 0.0105]", "[0.011, true]");
+    let text = V3.replace("[0.011, 0.0105]", "[0.011, true]");
     assert!(matches!(
         CampaignResult::from_json(&text),
         Err(LoadError::Malformed(_))
     ));
+    // Shard metadata with an out-of-range index.
+    let text = V3_SHARD.replace("\"index\": 2", "\"index\": 9");
+    match CampaignResult::from_json(&text) {
+        Err(LoadError::Malformed(e)) => assert!(e.contains("shard"), "{e}"),
+        other => panic!("expected malformed, got {other:?}"),
+    }
 }
 
 #[test]
@@ -109,16 +169,27 @@ fn unreadable_files_are_io_errors() {
     assert!(matches!(err, LoadError::Io(_)), "{err}");
 }
 
-/// Regenerates `fixtures/campaign_v2.json` from the committed v1
+/// Regenerates `fixtures/campaign_v3.json` from the committed v1
 /// fixture. Ignored by default: run it manually after an intentional
 /// schema change, then review the diff.
 #[test]
-#[ignore = "writes the v2 fixture; run manually after intentional schema changes"]
-fn regen_v2_fixture() {
+#[ignore = "writes the v3 fixture; run manually after intentional schema changes"]
+fn regen_v3_fixture() {
     let migrated = CampaignResult::from_json(V1).unwrap();
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
-        "/tests/fixtures/campaign_v2.json"
+        "/tests/fixtures/campaign_v3.json"
     );
     std::fs::write(path, migrated.to_json()).unwrap();
+}
+
+/// Regenerates `fixtures/campaign_v3_shard.json` from the v3 fixture.
+#[test]
+#[ignore = "writes the shard fixture; run manually after intentional schema changes"]
+fn regen_v3_shard_fixture() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/campaign_v3_shard.json"
+    );
+    std::fs::write(path, shard_demo().to_json()).unwrap();
 }

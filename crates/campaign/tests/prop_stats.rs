@@ -1,0 +1,68 @@
+//! Property tests for the cell statistics: on *any* finite sample
+//! vector — including zeros, negatives and wild magnitudes — `stats`
+//! must never fabricate a value, never emit a non-finite field, and
+//! must account for every input sample as either kept or rejected.
+
+use proptest::prelude::*;
+use simbench_campaign::stats;
+
+/// Decode a `(mantissa, exponent)` pair into a finite f64 spanning
+/// ~25 decades either side of 1.0, zero and negatives included.
+fn decode(m: i64, e: i8) -> f64 {
+    m as f64 * 10f64.powi(e as i32)
+}
+
+proptest! {
+    #[test]
+    fn stats_accounts_for_every_sample_and_stays_finite(
+        raw in prop::collection::vec((any::<i64>(), -12i8..13), 0..40)
+    ) {
+        let samples: Vec<f64> = raw.iter().map(|&(m, e)| decode(m, e)).collect();
+        let valid = samples.iter().filter(|v| v.is_finite() && **v > 0.0).count();
+        match stats(&samples) {
+            None => prop_assert_eq!(valid, 0, "stats may only refuse all-invalid input"),
+            Some(s) => {
+                // Every sample is either kept or rejected — the invalid
+                // ones counted among the rejected, never clamped into
+                // the kept set.
+                prop_assert_eq!(s.n + s.rejected, samples.len());
+                prop_assert!(s.n >= 1 && s.n <= valid);
+                // No field may be NaN or infinite, whatever the input.
+                for (name, v) in [
+                    ("min", s.min),
+                    ("max", s.max),
+                    ("mean", s.mean),
+                    ("median", s.median),
+                    ("stddev", s.stddev),
+                    ("geomean", s.geomean),
+                    ("ci95", s.ci95),
+                ] {
+                    prop_assert!(v.is_finite(), "{} = {} is not finite", name, v);
+                }
+                // Kept samples are real timings, so the location
+                // estimates are strictly positive and ordered (mean and
+                // geomean up to accumulated rounding).
+                let fuzzy_le = |a: f64, b: f64| a <= b * (1.0 + 1e-9);
+                prop_assert!(s.min > 0.0);
+                prop_assert!(s.min <= s.median && s.median <= s.max);
+                prop_assert!(fuzzy_le(s.min, s.mean) && fuzzy_le(s.mean, s.max));
+                prop_assert!(fuzzy_le(s.min, s.geomean) && fuzzy_le(s.geomean, s.max));
+                prop_assert!(s.stddev >= 0.0 && s.ci95 >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_positive_vectors_always_yield_stats(
+        raw in prop::collection::vec((1i64..1_000_000, -6i8..7), 1..20)
+    ) {
+        let samples: Vec<f64> = raw.iter().map(|&(m, e)| decode(m, e)).collect();
+        let s = stats(&samples).expect("positive samples always produce stats");
+        prop_assert_eq!(s.n + s.rejected, samples.len());
+        // With nothing invalid, rejection can only come from the MAD
+        // outlier pass, which keeps everything below four samples.
+        if samples.len() < 4 {
+            prop_assert_eq!(s.rejected, 0);
+        }
+    }
+}

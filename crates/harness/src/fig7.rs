@@ -81,6 +81,11 @@ pub fn render(campaign: &CampaignResult) -> (Results, String) {
                     CellStatus::Failed(why) => {
                         panic!("{engine:?}/{bench:?} on {guest:?}: {why}")
                     }
+                    // Figure drivers always run whole campaigns; a
+                    // partial (shard) result cannot render a figure.
+                    CellStatus::Skipped => {
+                        panic!("{engine:?}/{bench:?} on {guest:?}: cell skipped (shard result?)")
+                    }
                 };
                 row_cells.push(cell);
             }

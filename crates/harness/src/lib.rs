@@ -62,7 +62,10 @@ pub(crate) fn figure_spec(
         workloads,
         scale: cfg.scale,
         reps: cfg.reps.max(1),
-        wall_limit_secs: cfg.limits.wall_limit.map(|d| d.as_secs().max(1)),
+        // Pass the limit through as a full Duration: a sub-second limit
+        // (e.g. 500 ms) must not be silently rounded up to one second,
+        // nor a fractional part truncated.
+        wall_limit: cfg.limits.wall_limit,
     }
 }
 
@@ -70,6 +73,52 @@ pub(crate) fn figure_spec(
 mod tests {
     use super::*;
     use simbench_suite::Benchmark;
+
+    #[test]
+    fn figure_specs_round_trip_sub_second_wall_limits() {
+        use simbench_core::engine::RunLimits;
+        use std::time::Duration;
+
+        // 500 ms and 2.5 s used to collapse to 1 s and 2 s; the spec
+        // now carries the configured limit losslessly.
+        for limit in [
+            Duration::from_millis(500),
+            Duration::from_millis(2500),
+            Duration::from_secs(120),
+        ] {
+            let cfg = Config {
+                limits: RunLimits {
+                    max_insns: u64::MAX,
+                    wall_limit: Some(limit),
+                },
+                ..Default::default()
+            };
+            let spec = figure_spec(
+                "t",
+                vec![Guest::Armlet],
+                vec![EngineKind::Interp],
+                vec![],
+                &cfg,
+            );
+            assert_eq!(spec.wall_limit, Some(limit));
+            assert_eq!(spec.config().limits.wall_limit, Some(limit));
+        }
+        let cfg = Config {
+            limits: RunLimits {
+                max_insns: u64::MAX,
+                wall_limit: None,
+            },
+            ..Default::default()
+        };
+        let spec = figure_spec(
+            "t",
+            vec![Guest::Armlet],
+            vec![EngineKind::Interp],
+            vec![],
+            &cfg,
+        );
+        assert_eq!(spec.wall_limit, None);
+    }
 
     #[test]
     fn geomean_basics() {

@@ -4,7 +4,8 @@
 //! simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8|all> [--scale N] [--jobs N] [--out FILE]
 //! simbench-harness campaign run     [--scale N] [--jobs N] [--reps R] [--out FILE] [--name S]
 //!                                   [--guests LIST] [--engines LIST] [--benches LIST]
-//!                                   [--apps] [--versions]
+//!                                   [--apps] [--versions] [--shard I/N]
+//! simbench-harness campaign merge   <SHARD.json>... --out FILE
 //! simbench-harness campaign compare <CURRENT.json> --baseline FILE
 //!                                   [--threshold FRAC | --counters [--tolerance FRAC]]
 //! simbench-harness campaign list
@@ -17,15 +18,16 @@
 //! silently change what gets measured. Exit codes are part of the
 //! interface: 0 clean, 1 regression (timing or counter drift), 2 a cell
 //! that completed in the baseline no longer completes, 3 usage errors
-//! and unreadable inputs.
+//! and unreadable inputs, 4 an incoherent shard set handed to
+//! `campaign merge` (overlapping, missing or spec-mismatched shards).
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
 use simbench_apps::App;
 use simbench_campaign::{
-    compare, compare_counters, run, CampaignResult, CampaignSpec, EngineKind, Guest, RunnerOpts,
-    Workload,
+    compare, compare_counters, merge, run_shard, CampaignResult, CampaignSpec, EngineKind, Guest,
+    RunnerOpts, Shard, Workload,
 };
 use simbench_dbt::QEMU_VERSIONS;
 use simbench_harness::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, model, Config};
@@ -35,7 +37,8 @@ const USAGE: &str = "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8
                      [--scale N] [--jobs N] [--out FILE]
        simbench-harness campaign run [--scale N] [--jobs N] [--reps R] [--out FILE] [--name S]
                                      [--guests LIST] [--engines LIST] [--benches LIST]
-                                     [--apps] [--versions]
+                                     [--apps] [--versions] [--shard I/N]
+       simbench-harness campaign merge <SHARD.json>... --out FILE
        simbench-harness campaign compare <CURRENT.json> --baseline FILE
                                      [--threshold FRAC | --counters [--tolerance FRAC]]
        simbench-harness campaign list
@@ -180,13 +183,14 @@ fn campaign_main(argv: Vec<String>) -> ExitCode {
     let mut args = Args::new(argv);
     match args.next().as_deref() {
         Some("run") => campaign_run(args),
+        Some("merge") => campaign_merge(args),
         Some("compare") => campaign_compare(args),
         Some("list") => {
             print!("{}", render_list());
             ExitCode::SUCCESS
         }
         Some(other) => fail(&format!("unknown campaign subcommand {other:?}")),
-        None => fail("campaign needs a subcommand: run | compare | list"),
+        None => fail("campaign needs a subcommand: run | merge | compare | list"),
     }
 }
 
@@ -198,6 +202,7 @@ fn campaign_run(mut args: Args) -> ExitCode {
     let mut version_sweep = false;
     let mut with_apps = false;
     let mut explicit_engines = false;
+    let mut shard: Option<Shard> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => spec.scale = args.parse_of("--scale"),
@@ -205,6 +210,10 @@ fn campaign_run(mut args: Args) -> ExitCode {
             "--reps" => spec.reps = args.parse_of::<u32>("--reps").max(1),
             "--out" => out_path = Some(args.value_of("--out")),
             "--name" => spec.name = args.value_of("--name"),
+            "--shard" => {
+                let raw = args.value_of("--shard");
+                shard = Some(Shard::parse(&raw).unwrap_or_else(|e| fail(&e)));
+            }
             "--guests" => {
                 spec.guests = split_list(&args.value_of("--guests"))
                     .iter()
@@ -257,25 +266,27 @@ fn campaign_run(mut args: Args) -> ExitCode {
     }
 
     let cells = spec.cells().len();
-    let total_jobs = spec.expand().len();
+    let total_jobs = spec.expand_shard(shard).len();
+    let shard_note = shard.map_or(String::new(), |s| format!(", shard {s}"));
     eprintln!(
         "[campaign {}] {} guests × {} engines × {} workloads = {cells} cells, \
-         {total_jobs} jobs on {jobs} worker(s), scale {}",
+         {total_jobs} jobs on {jobs} worker(s), scale {}{shard_note}",
         spec.name,
         spec.guests.len(),
         spec.engines.len(),
         spec.workloads.len(),
         spec.scale,
     );
-    let result = run(
+    let result = run_shard(
         &spec,
         &RunnerOpts {
             jobs,
             verbose: false,
         },
+        shard,
     );
     eprintln!(
-        "[campaign {} finished in {:.2}s]",
+        "[campaign {}{shard_note} finished in {:.2}s]",
         spec.name, result.wall_secs
     );
 
@@ -298,6 +309,45 @@ fn campaign_run(mut args: Args) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn campaign_merge(mut args: Args) -> ExitCode {
+    let mut shard_paths: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(args.value_of("--out")),
+            path if !path.starts_with('-') => shard_paths.push(path.to_string()),
+            flag => fail(&format!("unknown flag {flag:?}")),
+        }
+    }
+    if shard_paths.is_empty() {
+        fail("merge needs at least one shard result file");
+    }
+    let out_path = out_path.unwrap_or_else(|| fail("merge needs --out FILE"));
+    let shards: Vec<CampaignResult> = shard_paths
+        .iter()
+        .map(|p| CampaignResult::load(p).unwrap_or_else(|e| fail(&e.to_string())))
+        .collect();
+    // Data-level merge failures (overlapping, missing or mismatched
+    // shards) get their own exit code, distinct from usage errors, so
+    // CI can tell "bad shard set" from "typo on the command line".
+    let merged = match merge(&shards) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("simbench-harness: cannot merge: {e}");
+            return ExitCode::from(4);
+        }
+    };
+    eprintln!(
+        "[merged {} shard(s): {} cells, campaign {}]",
+        shards.len(),
+        merged.cells.len(),
+        merged.name
+    );
+    print!("{}", render_summary(&merged));
+    write_file(&out_path, merged.to_json().as_bytes());
+    ExitCode::SUCCESS
 }
 
 fn campaign_compare(mut args: Args) -> ExitCode {
@@ -588,8 +638,11 @@ fn render_summary(result: &CampaignResult) -> String {
     use simbench_campaign::CellStatus;
 
     let mut out = format!(
-        "campaign {} — scale {}, {} rep(s), {} cells\n\n",
+        "campaign {}{} — scale {}, {} rep(s), {} cells\n\n",
         result.name,
+        result
+            .shard
+            .map_or(String::new(), |s| format!(" (shard {s})")),
         result.scale,
         result.reps,
         result.cells.len()

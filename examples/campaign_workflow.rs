@@ -36,7 +36,7 @@ fn main() {
         ],
         scale: 50_000,
         reps: 3,
-        wall_limit_secs: Some(60),
+        wall_limit: Some(std::time::Duration::from_secs(60)),
     };
 
     // 2. Run it in parallel. Each job owns its Machine and engine, so

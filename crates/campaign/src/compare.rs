@@ -502,6 +502,7 @@ mod tests {
             name: "t".to_string(),
             scale: 1000,
             reps: 1,
+            precision: None,
             jobs: 1,
             shard: None,
             wall_secs: 0.0,
@@ -515,6 +516,8 @@ mod tests {
                     category: None,
                     iterations: 16,
                     status: CellStatus::Ok,
+                    reps_run: secs.len() as u32,
+                    stop_reason: Some(crate::result::StopReason::Fixed),
                     stats: stats(&secs),
                     seconds: secs,
                     counters: Counters {

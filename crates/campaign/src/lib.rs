@@ -7,23 +7,30 @@
 //!
 //! * [`spec`] — declarative [`CampaignSpec`] (guests × engines ×
 //!   workloads × scale × repetitions) expanded into independent jobs;
-//! * [`runner`] — a work-stealing worker pool executing jobs
-//!   concurrently; each job owns its `Machine` and engine, so results
-//!   are identical at any `--jobs` count (timings aside). [`run_shard`]
-//!   executes one cell-complete slice (`--shard I/N`) of the matrix for
-//!   process- and machine-level scale-out;
+//! * [`runner`] — a completion-driven worker pool
+//!   executing jobs concurrently; each job owns its `Machine` and
+//!   engine, so results are identical at any `--jobs` count (timings
+//!   aside). With a [`PrecisionTarget`] on the spec, each cell starts
+//!   at `min_reps` repetitions and the pool re-enqueues one repetition
+//!   at a time until the cell's relative CI half-width reaches the
+//!   target (or `max_reps`). [`run_shard`] executes one cell-complete
+//!   slice (`--shard I/N`) of the matrix for process- and
+//!   machine-level scale-out;
 //! * [`merge`] — recombines a complete set of shard results into one
 //!   whole-matrix result, counter-identical to an unsharded run, with
 //!   typed [`MergeError`]s for overlapping/missing/mismatched shards;
 //! * [`stats`] — per-cell statistics: min/median/mean/geomean, stddev,
-//!   95% confidence intervals, MAD outlier rejection; non-positive or
-//!   non-finite samples are counted as rejected, never fabricated;
-//! * [`result`] — the versioned `simbench-campaign/v3` JSON schema
+//!   Student-t 95% confidence intervals (the normal 1.96 badly
+//!   understates the interval at campaign-sized n), MAD outlier
+//!   rejection; non-positive or non-finite samples are counted as
+//!   `rejected_invalid` — separately from `outliers` — never
+//!   fabricated;
+//! * [`result`] — the versioned `simbench-campaign/v4` JSON schema
 //!   (per-cell event profiles with `tested_ops`, per-repetition
-//!   `counter_variants` for non-deterministic cells, and shard
-//!   metadata on partial results) with load/save, `v1`/`v2`
-//!   reader-side migrations, typed [`LoadError`]s and deterministic
-//!   cell ordering;
+//!   `counter_variants` for non-deterministic cells, shard metadata on
+//!   partial results, and per-cell `reps_run` / `stop_reason` for
+//!   adaptive runs) with load/save, `v1`–`v3` reader-side migrations,
+//!   typed [`LoadError`]s and deterministic cell ordering;
 //! * [`compare`] — regression detection against a stored baseline: the
 //!   noisy timing path (`ratio > 1 + threshold` ⇒ flagged) and the
 //!   machine-independent counter-exact path
@@ -51,13 +58,40 @@
 //!     workloads: vec![Workload::Suite(Benchmark::Syscall)],
 //!     scale: 1_000_000,
 //!     reps: 2,
+//!     precision: None,
 //!     wall_limit: Some(std::time::Duration::from_secs(60)),
 //! };
 //! let result = run(&spec, &RunnerOpts::with_jobs(2));
 //! let cell = result.cell("armlet", "interp", "suite:System Call").unwrap();
 //! assert!(cell.counters.syscalls >= 16);
 //! let json = result.to_json();
-//! assert!(json.contains("simbench-campaign/v3"));
+//! assert!(json.contains("simbench-campaign/v4"));
+//! ```
+//!
+//! ## Adaptive example
+//!
+//! ```
+//! use simbench_campaign::{run, CampaignSpec, PrecisionTarget, RunnerOpts, StopReason, Workload};
+//! use simbench_campaign::measure::{EngineKind, Guest};
+//! use simbench_suite::Benchmark;
+//!
+//! let spec = CampaignSpec {
+//!     name: "adaptive".to_string(),
+//!     guests: vec![Guest::Armlet],
+//!     engines: vec![EngineKind::Interp],
+//!     workloads: vec![Workload::Suite(Benchmark::Syscall)],
+//!     scale: 1_000_000,
+//!     reps: 1, // ignored: precision drives the repetition count
+//!     precision: Some(PrecisionTarget::new(0.25, 2, 8).unwrap()),
+//!     wall_limit: Some(std::time::Duration::from_secs(60)),
+//! };
+//! let result = run(&spec, &RunnerOpts::serial());
+//! let cell = result.cell("armlet", "interp", "suite:System Call").unwrap();
+//! assert!((2..=8).contains(&cell.reps_run));
+//! assert!(matches!(
+//!     cell.stop_reason,
+//!     Some(StopReason::Converged | StopReason::MaxReps)
+//! ));
 //! ```
 //!
 //! ## Sharded example
@@ -74,6 +108,7 @@
 //!     workloads: vec![Workload::Suite(Benchmark::Syscall)],
 //!     scale: 1_000_000,
 //!     reps: 1,
+//!     precision: None,
 //!     wall_limit: Some(std::time::Duration::from_secs(60)),
 //! };
 //! // Each shard can run in its own process or on its own machine.
@@ -103,7 +138,10 @@ pub use compare::{
 };
 pub use measure::{run_app, run_suite_bench, Config, EngineKind, Guest, Sample};
 pub use merge::{merge, MergeError};
-pub use result::{CampaignResult, CellResult, CellStatus, LoadError, SCHEMA, SCHEMA_V1, SCHEMA_V2};
+pub use result::{
+    CampaignResult, CellResult, CellStatus, LoadError, StopReason, SCHEMA, SCHEMA_V1, SCHEMA_V2,
+    SCHEMA_V3,
+};
 pub use runner::{run, run_shard, RunnerOpts};
-pub use spec::{CampaignSpec, CellKey, Job, Shard, Workload};
-pub use stats::{geomean, stats, Stats};
+pub use spec::{CampaignSpec, CellKey, Job, PrecisionTarget, Shard, Workload};
+pub use stats::{geomean, stats, t_critical_95, Stats};

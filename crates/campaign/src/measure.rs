@@ -254,11 +254,22 @@ pub fn run_suite_bench(
     Some(sample_from(out, iters))
 }
 
+/// The iteration divisor apps run at for a campaign scale. Apps use a
+/// gentler divisor than the micro-benchmarks (the paper's point is
+/// that they are large relative to them), but the mapping must stay
+/// *monotonic*: `scale / 50` truncates to 0 for `scale < 50`, which
+/// `scaled_iterations` silently rescues to divisor 1 — so asking for
+/// more scaling (`--scale 10`) ran apps at full paper iteration
+/// counts, 40× more work than `--scale 50`. `div_ceil` keeps the same
+/// divisor at every multiple of 50 while never letting a smaller scale
+/// yield more app work.
+fn app_scale_divisor(scale: u64) -> u64 {
+    scale.div_ceil(50)
+}
+
 /// Run one synthetic application.
 pub fn run_app(guest: Guest, engine: EngineKind, app: App, cfg: &Config) -> Sample {
-    // Apps use a gentler divisor: the paper's point is that they are
-    // large relative to the micro-benchmarks.
-    let iters = app.scaled_iterations(cfg.scale / 50);
+    let iters = app.scaled_iterations(app_scale_divisor(cfg.scale));
     let out = match guest {
         Guest::Armlet => {
             let image = build_app(&ArmletSupport::new(), app, iters);
@@ -299,6 +310,42 @@ mod tests {
             assert_eq!(Guest::by_isa_name(g.isa_name()), Some(g));
         }
         assert_eq!(Guest::by_isa_name("mips"), None);
+    }
+
+    #[test]
+    fn app_scaling_is_monotonic_in_scale() {
+        // The old `scale / 50` divisor truncated to 0 below 50, so
+        // `--scale 10` ran apps at *full* paper iteration counts — 40×
+        // more work than `--scale 50`. Smaller scale must never mean
+        // more app work.
+        for app in App::ALL {
+            let mut prev = app.scaled_iterations(app_scale_divisor(1));
+            for scale in [2, 10, 25, 49, 50, 51, 99, 100, 1000, 20_000, 1_000_000] {
+                let iters = app.scaled_iterations(app_scale_divisor(scale));
+                assert!(
+                    iters <= prev,
+                    "{}: scale {scale} yields {iters} iterations, more than a \
+                     smaller scale's {prev}",
+                    app.name()
+                );
+                prev = iters;
+            }
+            // The regression case called out in the issue, explicitly.
+            assert!(
+                app.scaled_iterations(app_scale_divisor(10))
+                    <= app.scaled_iterations(app_scale_divisor(50))
+            );
+        }
+        // Multiples of 50 keep their historical divisor, so existing
+        // campaign baselines (scale 20000 → divisor 400) are unchanged.
+        assert_eq!(app_scale_divisor(50), 1);
+        assert_eq!(app_scale_divisor(100), 2);
+        assert_eq!(app_scale_divisor(20_000), 400);
+        // Below 50 the divisor floors at 1 instead of collapsing to the
+        // rescued-zero full-work path.
+        assert_eq!(app_scale_divisor(1), 1);
+        assert_eq!(app_scale_divisor(49), 1);
+        assert_eq!(app_scale_divisor(51), 2);
     }
 
     #[test]

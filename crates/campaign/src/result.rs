@@ -2,15 +2,21 @@
 //! per matrix cell, carrying raw repetition timings, aggregate
 //! statistics, and the deterministic per-cell event profile.
 //!
-//! The current schema string is `simbench-campaign/v3`, which adds
-//! process-level sharding: an optional top-level `shard` object
-//! (`{"index": I, "count": N}`) on partial results and the `skipped`
-//! cell status for cells owned by other shards. Readers accept the
-//! previous `v2` layout (no shard metadata) and the `v1` layout (which
-//! additionally lacked `tested_ops` / `counter_variants`) and migrate
-//! them on load; anything else is rejected with a typed [`LoadError`]
-//! rather than guessed at, so future layout changes bump the version
-//! and add an explicit migration.
+//! The current schema string is `simbench-campaign/v4`, which adds
+//! adaptive measurement: an optional top-level `precision` object
+//! (`{"target_rci": F, "min_reps": N, "max_reps": N}`) echoing the
+//! spec's adaptive target, per-cell `reps_run` and `stop_reason`
+//! (`converged` / `max_reps` / `fixed`), and a statistics block whose
+//! `rejected` count is split into `rejected_invalid` (impossible
+//! timings) and `outliers` (MAD-rejected) with Student-t confidence
+//! intervals. Readers accept the previous `v3` layout (whose stats are
+//! recomputed from the raw per-repetition timings, upgrading the old
+//! normal-approximation `ci95` in the process), the `v2` layout (which
+//! additionally lacked shard metadata), and the `v1` layout (which
+//! also lacked `tested_ops` / `counter_variants`), migrating them on
+//! load; anything else is rejected with a typed [`LoadError`] rather
+//! than guessed at, so future layout changes bump the version and add
+//! an explicit migration.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -19,14 +25,19 @@ use std::path::Path;
 use simbench_core::events::Counters;
 
 use crate::json::{self, Value};
-use crate::spec::{CampaignSpec, Shard, Workload};
+use crate::spec::{CampaignSpec, PrecisionTarget, Shard, Workload};
 use crate::stats::Stats;
 
 /// Schema identifier written to every result file.
-pub const SCHEMA: &str = "simbench-campaign/v3";
+pub const SCHEMA: &str = "simbench-campaign/v4";
 
-/// The previous schema identifier (no shard metadata, no `skipped`
-/// status), still accepted on load and migrated to the current layout.
+/// The previous schema identifier (no adaptive-measurement fields,
+/// normal-approximation CIs, a single `rejected` count), still accepted
+/// on load and migrated to the current layout.
+pub const SCHEMA_V3: &str = "simbench-campaign/v3";
+
+/// The v2 schema identifier (additionally: no shard metadata, no
+/// `skipped` status), still accepted on load and migrated.
 pub const SCHEMA_V2: &str = "simbench-campaign/v2";
 
 /// The original schema identifier, still accepted on load and migrated
@@ -58,7 +69,8 @@ impl std::fmt::Display for LoadError {
             LoadError::Json(e) => write!(f, "invalid JSON: {e}"),
             LoadError::Schema { found } => write!(
                 f,
-                "unsupported schema {found:?} (expected {SCHEMA:?}, {SCHEMA_V2:?} or {SCHEMA_V1:?})"
+                "unsupported schema {found:?} (expected {SCHEMA:?}, \
+                 {SCHEMA_V3:?}, {SCHEMA_V2:?} or {SCHEMA_V1:?})"
             ),
             LoadError::Malformed(e) => write!(f, "malformed campaign result: {e}"),
         }
@@ -114,6 +126,37 @@ impl CellStatus {
     }
 }
 
+/// Why a cell stopped measuring repetitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Adaptive mode: the relative CI half-width reached the target.
+    Converged,
+    /// Adaptive mode: the cell hit `max_reps` without converging.
+    MaxReps,
+    /// Fixed mode: the spec'd repetition count ran, no convergence
+    /// criterion was in play.
+    Fixed,
+}
+
+impl StopReason {
+    fn as_json_str(self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::MaxReps => "max_reps",
+            StopReason::Fixed => "fixed",
+        }
+    }
+
+    fn from_json_str(s: &str) -> Result<StopReason, String> {
+        match s {
+            "converged" => Ok(StopReason::Converged),
+            "max_reps" => Ok(StopReason::MaxReps),
+            "fixed" => Ok(StopReason::Fixed),
+            other => Err(format!("unknown stop_reason {other:?}")),
+        }
+    }
+}
+
 /// One measured matrix cell.
 #[derive(Debug, Clone)]
 pub struct CellResult {
@@ -129,6 +172,13 @@ pub struct CellResult {
     pub iterations: u32,
     /// Terminal state.
     pub status: CellStatus,
+    /// Repetitions that actually executed for this cell. Equal to the
+    /// spec's count in fixed mode; in `[min_reps, max_reps]` for
+    /// adaptive cells. 0 for unmeasured (skipped / not-on-ISA) cells.
+    pub reps_run: u32,
+    /// Why repetitions stopped. `Some` exactly for `Ok` cells; failed
+    /// and unmeasured cells have no truthful stop verdict.
+    pub stop_reason: Option<StopReason>,
     /// Kernel-phase seconds, one entry per repetition, in rep order.
     pub seconds: Vec<f64>,
     /// Statistics over `seconds` (present when status is `Ok`).
@@ -167,8 +217,12 @@ pub struct CampaignResult {
     pub name: String,
     /// Iteration divisor the campaign ran at.
     pub scale: u64,
-    /// Repetitions per cell.
+    /// Repetitions per cell (fixed mode; the floor in adaptive mode is
+    /// `precision.min_reps`).
     pub reps: u32,
+    /// The adaptive repetition target the campaign ran under, `None`
+    /// for fixed-reps campaigns.
+    pub precision: Option<PrecisionTarget>,
     /// Worker threads the campaign ran with.
     pub jobs: usize,
     /// When this is one shard of a sharded campaign: which slice of the
@@ -199,6 +253,15 @@ impl CampaignResult {
         let _ = writeln!(out, "  \"name\": {},", json::quote(&self.name));
         let _ = writeln!(out, "  \"scale\": {},", self.scale);
         let _ = writeln!(out, "  \"reps\": {},", self.reps);
+        if let Some(p) = self.precision {
+            let _ = writeln!(
+                out,
+                "  \"precision\": {{\"target_rci\": {}, \"min_reps\": {}, \"max_reps\": {}}},",
+                json::num(p.target_rci),
+                p.min_reps,
+                p.max_reps
+            );
+        }
         let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
         if let Some(shard) = self.shard {
             let _ = writeln!(
@@ -224,15 +287,23 @@ impl CampaignResult {
                 "\"status\": {}, ",
                 json::quote(&cell.status.to_json_string())
             );
+            if cell.reps_run > 0 {
+                let _ = write!(out, "\"reps_run\": {}, ", cell.reps_run);
+            }
+            if let Some(reason) = cell.stop_reason {
+                let _ = write!(out, "\"stop_reason\": \"{}\", ", reason.as_json_str());
+            }
             let secs: Vec<String> = cell.seconds.iter().map(|&s| json::num(s)).collect();
             let _ = write!(out, "\"seconds\": [{}]", secs.join(", "));
             if let Some(s) = &cell.stats {
                 let _ = write!(
                     out,
-                    ", \"stats\": {{\"n\": {}, \"rejected\": {}, \"min\": {}, \"max\": {}, \
-                     \"mean\": {}, \"median\": {}, \"stddev\": {}, \"geomean\": {}, \"ci95\": {}}}",
+                    ", \"stats\": {{\"n\": {}, \"rejected_invalid\": {}, \"outliers\": {}, \
+                     \"min\": {}, \"max\": {}, \"mean\": {}, \"median\": {}, \"stddev\": {}, \
+                     \"geomean\": {}, \"ci95\": {}}}",
                     s.n,
-                    s.rejected,
+                    s.rejected_invalid,
+                    s.outliers,
                     json::num(s.min),
                     json::num(s.max),
                     json::num(s.mean),
@@ -270,10 +341,16 @@ impl CampaignResult {
         out
     }
 
-    /// Parse the versioned JSON format. Accepts the current `v3` layout
-    /// and migrates `v2` and `v1` files in place (`v2` gains nothing but
-    /// the schema string; `v1` additionally recomputes `tested_ops` from
-    /// the stored event profile); any other schema is a typed error.
+    /// Parse the versioned JSON format. Accepts the current `v4` layout
+    /// and migrates `v3`, `v2` and `v1` files in place. Migration of
+    /// every pre-`v4` document recomputes each Ok cell's statistics
+    /// from its raw per-repetition timings — upgrading the stored
+    /// normal-approximation `ci95` to Student-t and splitting the old
+    /// `rejected` count into `rejected_invalid` / `outliers` — and
+    /// fills `reps_run` from the timing count with a `fixed` stop
+    /// reason (pre-`v4` campaigns were always fixed-reps). `v1`
+    /// additionally recomputes `tested_ops` from the stored event
+    /// profile. Any other schema is a typed error.
     pub fn from_json(text: &str) -> Result<CampaignResult, LoadError> {
         let root = json::parse(text).map_err(LoadError::Json)?;
         let schema = root
@@ -281,7 +358,7 @@ impl CampaignResult {
             .and_then(Value::as_str)
             .ok_or_else(|| LoadError::Malformed("missing string \"schema\"".to_string()))?
             .to_string();
-        if schema != SCHEMA && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
+        if ![SCHEMA, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1].contains(&schema.as_str()) {
             return Err(LoadError::Schema { found: schema });
         }
         let malformed = LoadError::Malformed;
@@ -305,6 +382,17 @@ impl CampaignResult {
             .enumerate()
         {
             let mut cell = parse_cell(cv).map_err(|e| malformed(format!("cell {i}: {e}")))?;
+            if schema != SCHEMA {
+                // Pre-v4 migration: the raw timings are stored, so the
+                // statistics are recomputed rather than trusted — the
+                // old files carry normal-approximation CIs and a lumped
+                // `rejected` count that v4 retired.
+                cell.stats = crate::stats::stats(&cell.seconds);
+                if cell.status == CellStatus::Ok {
+                    cell.reps_run = cell.seconds.len() as u32;
+                    cell.stop_reason = Some(StopReason::Fixed);
+                }
+            }
             if schema == SCHEMA_V1 && cell.status == CellStatus::Ok {
                 // v1 predates `tested_ops`: recompute it from the stored
                 // event profile and the workload's counter mapping.
@@ -337,13 +425,37 @@ impl CampaignResult {
                 )
             }
         };
+        let precision = match root.get("precision") {
+            None => None,
+            Some(v) => {
+                let target_rci = v.get("target_rci").and_then(Value::as_f64).ok_or_else(|| {
+                    malformed("precision: missing number \"target_rci\"".to_string())
+                })?;
+                let reps_field = |key: &str| -> Result<u32, LoadError> {
+                    let n = v.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                        malformed(format!("precision: missing integer \"{key}\""))
+                    })?;
+                    u32::try_from(n)
+                        .map_err(|_| malformed(format!("precision: {key} {n} out of range")))
+                };
+                Some(
+                    PrecisionTarget::new(
+                        target_rci,
+                        reps_field("min_reps")?,
+                        reps_field("max_reps")?,
+                    )
+                    .map_err(|e| malformed(format!("precision: {e}")))?,
+                )
+            }
+        };
         Ok(CampaignResult {
             // Migrated results are current-schema in memory, so saving a
-            // loaded v1 or v2 file produces a v3 file.
+            // loaded v1, v2 or v3 file produces a v4 file.
             schema: SCHEMA.to_string(),
             name: str_field("name")?,
             scale: u64_field("scale")?,
             reps: u64_field("reps")? as u32,
+            precision,
             jobs: u64_field("jobs")? as usize,
             shard,
             wall_secs: root.get("wall_secs").and_then(Value::as_f64).unwrap_or(0.0),
@@ -376,6 +488,8 @@ impl CampaignResult {
                 category: key.workload.category().map(str::to_string),
                 iterations: 0,
                 status: CellStatus::NotOnIsa,
+                reps_run: 0,
+                stop_reason: None,
                 seconds: Vec::new(),
                 stats: None,
                 counters: Counters::default(),
@@ -389,6 +503,7 @@ impl CampaignResult {
             name: spec.name.clone(),
             scale: spec.scale,
             reps: spec.reps.max(1),
+            precision: spec.precision,
             jobs,
             shard: None,
             wall_secs: 0.0,
@@ -417,9 +532,14 @@ fn parse_cell(cv: &Value) -> Result<CellResult, String> {
     };
     let stats = cv.get("stats").and_then(Value::as_obj).map(|m| {
         let f = |k: &str| m.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        let u = |k: &str| m.get(k).and_then(Value::as_u64).unwrap_or(0) as usize;
         Stats {
-            n: m.get("n").and_then(Value::as_u64).unwrap_or(0) as usize,
-            rejected: m.get("rejected").and_then(Value::as_u64).unwrap_or(0) as usize,
+            n: u("n"),
+            // Pre-v4 documents carry a single lumped "rejected" count;
+            // the caller recomputes their stats from the raw timings,
+            // so this parse only needs the v4 fields.
+            rejected_invalid: u("rejected_invalid"),
+            outliers: u("outliers"),
             min: f("min"),
             max: f("max"),
             mean: f("mean"),
@@ -449,6 +569,14 @@ fn parse_cell(cv: &Value) -> Result<CellResult, String> {
             .map(str::to_string),
         iterations: cv.get("iterations").and_then(Value::as_u64).unwrap_or(0) as u32,
         status: CellStatus::from_json_string(&s("status")?),
+        reps_run: cv.get("reps_run").and_then(Value::as_u64).unwrap_or(0) as u32,
+        stop_reason: match cv.get("stop_reason") {
+            None => None,
+            Some(v) => {
+                let raw = v.as_str().ok_or("\"stop_reason\" not a string")?;
+                Some(StopReason::from_json_str(raw)?)
+            }
+        },
         seconds,
         stats,
         counters,
@@ -561,6 +689,7 @@ mod tests {
             name: "demo".to_string(),
             scale: 20_000,
             reps: 2,
+            precision: None,
             jobs: 4,
             shard: None,
             wall_secs: 1.25,
@@ -573,6 +702,8 @@ mod tests {
                     category: Some("Exception Handling".to_string()),
                     iterations: 2500,
                     status: CellStatus::Ok,
+                    reps_run: 2,
+                    stop_reason: Some(StopReason::Fixed),
                     seconds: vec![0.011, 0.0105],
                     stats: crate::stats::stats(&[0.011, 0.0105]),
                     counters: Counters {
@@ -591,6 +722,8 @@ mod tests {
                     category: Some("I/O".to_string()),
                     iterations: 100,
                     status: CellStatus::Unsupported("intc device model".to_string()),
+                    reps_run: 1,
+                    stop_reason: None,
                     seconds: vec![],
                     stats: None,
                     counters: Counters::default(),
@@ -621,9 +754,82 @@ mod tests {
         assert_eq!(a.seconds, b.seconds);
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.tested_ops, b.tested_ops);
+        assert_eq!(a.reps_run, 2);
+        assert_eq!(a.stop_reason, Some(StopReason::Fixed));
         assert_eq!(a.stats.unwrap().geomean, b.stats.unwrap().geomean);
         assert_eq!(parsed.cells[1].status, r.cells[1].status);
         assert_eq!(parsed.cells[1].tested_ops, None);
+        assert_eq!(parsed.cells[1].reps_run, 1);
+        assert_eq!(parsed.cells[1].stop_reason, None);
+    }
+
+    #[test]
+    fn precision_and_stop_reasons_round_trip() {
+        let mut r = demo();
+        r.precision = Some(PrecisionTarget::new(0.2, 2, 8).unwrap());
+        r.cells[0].reps_run = 5;
+        r.cells[0].stop_reason = Some(StopReason::Converged);
+        let text = r.to_json();
+        assert!(
+            text.contains("\"precision\": {\"target_rci\": 0.2, \"min_reps\": 2, \"max_reps\": 8}"),
+            "{text}"
+        );
+        assert!(text.contains("\"reps_run\": 5, \"stop_reason\": \"converged\""));
+        let parsed = CampaignResult::from_json(&text).unwrap();
+        assert_eq!(parsed.precision, r.precision);
+        assert_eq!(parsed.cells[0].reps_run, 5);
+        assert_eq!(parsed.cells[0].stop_reason, Some(StopReason::Converged));
+        // Fixed-reps results carry no precision key at all.
+        assert!(!demo().to_json().contains("\"precision\""));
+        // max_reps round-trips too.
+        r.cells[0].stop_reason = Some(StopReason::MaxReps);
+        let parsed = CampaignResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.cells[0].stop_reason, Some(StopReason::MaxReps));
+    }
+
+    #[test]
+    fn malformed_precision_and_stop_reason_are_typed_errors() {
+        let mut r = demo();
+        r.precision = Some(PrecisionTarget::new(0.2, 2, 8).unwrap());
+        let good = r.to_json();
+        for (from, to) in [
+            ("\"target_rci\": 0.2", "\"target_rci\": -1"),
+            ("\"min_reps\": 2", "\"min_reps\": 1"),
+            ("\"max_reps\": 8", "\"max_reps\": 1"),
+            ("\"target_rci\": 0.2, ", ""),
+        ] {
+            let err = CampaignResult::from_json(&good.replace(from, to)).unwrap_err();
+            assert!(
+                matches!(err, LoadError::Malformed(_)),
+                "{from} -> {to}: {err}"
+            );
+            assert!(err.to_string().contains("precision"), "{err}");
+        }
+        let err = CampaignResult::from_json(
+            &good.replace("\"stop_reason\": \"fixed\"", "\"stop_reason\": \"tired\""),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("stop_reason"), "{err}");
+    }
+
+    #[test]
+    fn stats_split_rejection_counts_round_trip() {
+        let mut r = demo();
+        // One invalid timing and one outlier among the repetitions.
+        r.cells[0].seconds = vec![
+            0.011, 0.0105, 0.0, 0.0109, 0.9, 0.0111, 0.0107, 0.0108, 0.0110, 0.0106,
+        ];
+        r.cells[0].stats = crate::stats::stats(&r.cells[0].seconds);
+        r.cells[0].reps_run = 10;
+        let s = r.cells[0].stats.unwrap();
+        assert_eq!((s.rejected_invalid, s.outliers), (1, 1));
+        let text = r.to_json();
+        assert!(
+            text.contains("\"rejected_invalid\": 1, \"outliers\": 1"),
+            "{text}"
+        );
+        let parsed = CampaignResult::from_json(&text).unwrap();
+        assert_eq!(parsed.cells[0].stats.unwrap(), s);
     }
 
     #[test]

@@ -1,14 +1,26 @@
 //! Sample statistics for campaign cells: robust location/spread
 //! estimates, confidence intervals, and outlier rejection.
+//!
+//! Confidence intervals use Student-t critical values, not the normal
+//! approximation: campaigns run 2–10 repetitions per cell, and at those
+//! sample sizes the 1.96 normal quantile understates the interval badly
+//! (the two-sided 95% critical value at n = 3 is 4.303). An adaptive
+//! repetition controller that stops "when the CI is tight" would stop
+//! far too early on normal-approximation intervals.
 
 /// Summary statistics over one cell's repetition timings.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     /// Samples kept after invalidity and outlier rejection.
     pub n: usize,
-    /// Samples rejected — invalid (non-positive or non-finite) plus
-    /// MAD outliers. `n + rejected` equals the input length.
-    pub rejected: usize,
+    /// Samples rejected because they cannot be real timings
+    /// (non-positive or non-finite). Kept separate from `outliers` so a
+    /// cell full of zero timings (a broken clock) is distinguishable
+    /// from a noisy one.
+    pub rejected_invalid: usize,
+    /// Valid samples rejected by the MAD outlier pass.
+    /// `n + rejected_invalid + outliers` equals the input length.
+    pub outliers: usize,
     /// Minimum of kept samples.
     pub min: f64,
     /// Maximum of kept samples.
@@ -21,9 +33,50 @@ pub struct Stats {
     pub stddev: f64,
     /// Geometric mean of kept samples.
     pub geomean: f64,
-    /// Half-width of the 95% confidence interval on the mean
-    /// (normal approximation; 0 when n < 2).
+    /// Half-width of the 95% confidence interval on the mean, using the
+    /// Student-t critical value for `n - 1` degrees of freedom (0 when
+    /// n < 2).
     pub ci95: f64,
+}
+
+impl Stats {
+    /// Samples rejected for any reason.
+    pub fn rejected(&self) -> usize {
+        self.rejected_invalid + self.outliers
+    }
+
+    /// Relative CI half-width `ci95 / median` — the convergence metric
+    /// of the adaptive repetition controller. `None` when `n < 2`: a
+    /// single sample has no measurable spread, and a fabricated 0 would
+    /// make the controller stop before it has seen any variance.
+    pub fn rel_ci95(&self) -> Option<f64> {
+        if self.n >= 2 {
+            Some(self.ci95 / self.median)
+        } else {
+            None
+        }
+    }
+}
+
+/// Two-sided 95% Student-t critical values for 1–30 degrees of freedom.
+/// Beyond 30 the t distribution is close enough to normal that 1.96
+/// serves.
+const T_CRITICAL_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95% Student-t critical value for `df` degrees of
+/// freedom (table for df 1–30, the normal 1.96 beyond). `df == 0` has
+/// no defined interval; callers never ask (ci95 is 0 when n < 2), but
+/// the table's df = 1 value is returned as the conservative answer.
+pub fn t_critical_95(df: usize) -> f64 {
+    match df {
+        0 => T_CRITICAL_95[0],
+        1..=30 => T_CRITICAL_95[df - 1],
+        _ => 1.96,
+    }
 }
 
 /// Geometric mean.
@@ -77,9 +130,9 @@ fn kept_indices(samples: &[f64]) -> Vec<usize> {
 
 /// Compute [`Stats`] over timing samples. Samples that are not
 /// positive finite numbers cannot be real timings: they are rejected
-/// (and counted in `rejected`) *before* MAD outlier rejection, never
-/// clamped to a fabricated value — a zero or negative entry must not
-/// drag `geomean`/`min`/`mean` toward an invented floor. Returns
+/// (and counted in `rejected_invalid`) *before* MAD outlier rejection,
+/// never clamped to a fabricated value — a zero or negative entry must
+/// not drag `geomean`/`min`/`mean` toward an invented floor. Returns
 /// `None` when no valid sample remains (including the empty slice).
 pub fn stats(samples: &[f64]) -> Option<Stats> {
     let valid: Vec<f64> = samples
@@ -103,7 +156,8 @@ pub fn stats(samples: &[f64]) -> Option<Stats> {
     };
     Some(Stats {
         n,
-        rejected: samples.len() - n,
+        rejected_invalid: samples.len() - valid.len(),
+        outliers: valid.len() - n,
         min: sorted[0],
         max: *sorted.last().unwrap(),
         mean,
@@ -111,7 +165,7 @@ pub fn stats(samples: &[f64]) -> Option<Stats> {
         stddev,
         geomean: geomean(&kept),
         ci95: if n >= 2 {
-            1.96 * stddev / (n as f64).sqrt()
+            t_critical_95(n - 1) * stddev / (n as f64).sqrt()
         } else {
             0.0
         },
@@ -138,10 +192,11 @@ mod tests {
     fn single_sample() {
         let s = stats(&[2.0]).unwrap();
         assert_eq!(s.n, 1);
-        assert_eq!(s.rejected, 0);
+        assert_eq!(s.rejected(), 0);
         assert_eq!(s.median, 2.0);
         assert_eq!(s.stddev, 0.0);
         assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.rel_ci95(), None, "one sample has no measurable spread");
     }
 
     #[test]
@@ -150,23 +205,65 @@ mod tests {
     }
 
     #[test]
+    fn t_critical_table() {
+        assert_eq!(t_critical_95(1), 12.706);
+        assert_eq!(t_critical_95(2), 4.303);
+        assert_eq!(t_critical_95(30), 2.042);
+        assert_eq!(t_critical_95(31), 1.96);
+        assert_eq!(t_critical_95(1000), 1.96);
+        assert_eq!(t_critical_95(0), 12.706, "df 0 answers conservatively");
+        // The table is monotonically decreasing toward the normal value.
+        for df in 1..40 {
+            assert!(t_critical_95(df + 1) <= t_critical_95(df), "df {df}");
+            assert!(t_critical_95(df) >= 1.96);
+        }
+    }
+
+    #[test]
+    fn ci95_at_n3_uses_student_t_not_normal() {
+        // The two-sided 95% critical value at n = 3 (df = 2) is 4.303;
+        // the normal approximation's 1.96 would understate the interval
+        // by more than half.
+        let samples = [1.0, 1.2, 0.8];
+        let s = stats(&samples).unwrap();
+        assert_eq!(s.n, 3);
+        let expected = 4.303 * s.stddev / (3f64).sqrt();
+        assert!(
+            (s.ci95 - expected).abs() < 1e-12,
+            "ci95 {} != t-based {expected}",
+            s.ci95
+        );
+        let normal = 1.96 * s.stddev / (3f64).sqrt();
+        assert!(s.ci95 > 2.0 * normal, "t interval must dwarf 1.96-based");
+    }
+
+    #[test]
+    fn rel_ci95_is_ci_over_median() {
+        let s = stats(&[1.0, 1.2, 0.8]).unwrap();
+        let rel = s.rel_ci95().unwrap();
+        assert!((rel - s.ci95 / s.median).abs() < 1e-15);
+        assert!(rel > 0.0);
+    }
+
+    #[test]
     fn non_positive_samples_are_rejected_not_clamped() {
         // A zero timing must not survive as a fabricated 1e-12 floor
         // that drags geomean/min toward zero.
         let s = stats(&[1.0, 1.1, 0.0, 0.9, 1.05]).unwrap();
         assert_eq!(s.n, 4);
-        assert_eq!(s.rejected, 1);
+        assert_eq!(s.rejected_invalid, 1);
+        assert_eq!(s.outliers, 0);
         assert!(s.min >= 0.9);
         assert!(s.geomean > 0.9, "geomean {} was dragged down", s.geomean);
         let s = stats(&[-3.0, 2.0]).unwrap();
-        assert_eq!((s.n, s.rejected), (1, 1));
+        assert_eq!((s.n, s.rejected_invalid, s.outliers), (1, 1, 0));
         assert_eq!(s.min, 2.0);
     }
 
     #[test]
     fn non_finite_samples_are_rejected() {
         let s = stats(&[1.0, f64::NAN, f64::INFINITY, 1.2]).unwrap();
-        assert_eq!((s.n, s.rejected), (2, 2));
+        assert_eq!((s.n, s.rejected_invalid), (2, 2));
         assert!(s.mean.is_finite());
     }
 
@@ -183,7 +280,8 @@ mod tests {
         // rejection, the four real samples all survive.
         let s = stats(&[0.0, 0.0, 0.0, 0.0, 1.0, 1.01, 0.99, 1.02]).unwrap();
         assert_eq!(s.n, 4);
-        assert_eq!(s.rejected, 4);
+        assert_eq!(s.rejected_invalid, 4);
+        assert_eq!(s.outliers, 0);
         assert!((s.median - 1.0).abs() < 0.05);
     }
 
@@ -193,27 +291,35 @@ mod tests {
         assert_eq!(s.median, 2.0);
         let s = stats(&[1.0, 100.0, 3.0]).unwrap();
         assert_eq!(s.median, 3.0);
-        assert_eq!(s.rejected, 0, "n<4 keeps everything");
+        assert_eq!(s.rejected(), 0, "n<4 keeps everything");
     }
 
     #[test]
-    fn outlier_rejected() {
+    fn outlier_rejected_and_counted_separately_from_invalid() {
         // Nine tight samples and one wild one.
         let mut v = vec![1.0, 1.01, 0.99, 1.02, 0.98, 1.0, 1.01, 0.99, 1.0];
         v.push(50.0);
         let s = stats(&v).unwrap();
-        assert_eq!(s.rejected, 1);
+        assert_eq!(s.outliers, 1);
+        assert_eq!(s.rejected_invalid, 0);
         assert_eq!(s.n, 9);
         assert!(s.max < 2.0);
+        // The same data plus a zero timing: the zero lands in
+        // rejected_invalid, the wild sample stays an outlier — a broken
+        // clock and a noisy cell are different diagnoses.
+        v.push(0.0);
+        let s = stats(&v).unwrap();
+        assert_eq!((s.n, s.rejected_invalid, s.outliers), (9, 1, 1));
     }
 
     #[test]
     fn identical_samples_keep_all() {
         let s = stats(&[2.0; 8]).unwrap();
         assert_eq!(s.n, 8);
-        assert_eq!(s.rejected, 0);
+        assert_eq!(s.rejected(), 0);
         assert_eq!(s.stddev, 0.0);
         assert!((s.geomean - 2.0).abs() < 1e-12);
+        assert_eq!(s.rel_ci95(), Some(0.0));
     }
 
     #[test]

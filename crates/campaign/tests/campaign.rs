@@ -29,6 +29,7 @@ fn spec(reps: u32) -> CampaignSpec {
         ],
         scale: 500_000, // tiny kernels: the whole matrix runs in well under a second
         reps,
+        precision: None,
         wall_limit: Some(std::time::Duration::from_secs(60)),
     }
 }

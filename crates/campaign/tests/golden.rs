@@ -1,31 +1,36 @@
 //! Golden-fixture tests for the persisted campaign schema.
 //!
-//! The committed fixtures pin the on-disk format: `campaign_v1.json`
-//! and `campaign_v2.json` are legacy `simbench-campaign/v1` / `v2`
-//! documents, `campaign_v3.json` is their migrated `v3` rendering, and
-//! `campaign_v3_shard.json` pins a partial (shard) result with shard
-//! metadata and `skipped` cells. Any unintentional change to the
-//! serializer, the parser, or a migration shows up here as a byte
-//! diff; after an *intentional* schema change, regenerate the v3
-//! fixtures with
+//! The committed fixtures pin the on-disk format: `campaign_v1.json`,
+//! `campaign_v2.json` and `campaign_v3.json` are legacy documents,
+//! `campaign_v4.json` is their migrated `simbench-campaign/v4`
+//! rendering (Student-t statistics recomputed from the raw timings,
+//! `reps_run` / `stop_reason` filled in), and `campaign_v3_shard.json`
+//! / `campaign_v4_shard.json` pin a partial (shard) result with shard
+//! metadata and `skipped` cells in both generations. Any unintentional
+//! change to the serializer, the parser, or a migration shows up here
+//! as a byte diff; after an *intentional* schema change, regenerate
+//! the v4 fixtures with
 //!
 //! ```sh
 //! cargo test -p simbench-campaign --test golden regen -- --ignored
 //! ```
 
 use simbench_campaign::{
-    CampaignResult, CellStatus, LoadError, Shard, SCHEMA, SCHEMA_V1, SCHEMA_V2,
+    CampaignResult, CellStatus, LoadError, Shard, StopReason, SCHEMA, SCHEMA_V1, SCHEMA_V2,
+    SCHEMA_V3,
 };
 
 const V1: &str = include_str!("fixtures/campaign_v1.json");
 const V2: &str = include_str!("fixtures/campaign_v2.json");
 const V3: &str = include_str!("fixtures/campaign_v3.json");
 const V3_SHARD: &str = include_str!("fixtures/campaign_v3_shard.json");
+const V4: &str = include_str!("fixtures/campaign_v4.json");
+const V4_SHARD: &str = include_str!("fixtures/campaign_v4_shard.json");
 
 /// The shard fixture's in-memory value: shard 2 of 3, one owned cell
 /// measured, the two unowned cells skipped.
 fn shard_demo() -> CampaignResult {
-    let mut r = CampaignResult::from_json(V3).unwrap();
+    let mut r = CampaignResult::from_json(V4).unwrap();
     r.shard = Some(Shard::new(2, 3).unwrap());
     for (i, cell) in r.cells.iter_mut().enumerate() {
         if i != 1 {
@@ -37,59 +42,105 @@ fn shard_demo() -> CampaignResult {
             cell.tested_ops = None;
             cell.counter_variants.clear();
             cell.iterations = 0;
+            cell.reps_run = 0;
+            cell.stop_reason = None;
         }
     }
     r
 }
 
 #[test]
-fn v3_fixture_round_trips_byte_stably() {
-    let parsed = CampaignResult::from_json(V3).expect("v3 fixture parses");
+fn v4_fixture_round_trips_byte_stably() {
+    let parsed = CampaignResult::from_json(V4).expect("v4 fixture parses");
     assert_eq!(parsed.schema, SCHEMA);
     assert_eq!(parsed.shard, None);
     assert_eq!(
         parsed.to_json(),
-        V3,
-        "re-serializing the v3 fixture must reproduce it byte for byte"
+        V4,
+        "re-serializing the v4 fixture must reproduce it byte for byte"
     );
 }
 
 #[test]
-fn v3_shard_fixture_round_trips_byte_stably() {
-    let parsed = CampaignResult::from_json(V3_SHARD).expect("v3 shard fixture parses");
+fn v4_shard_fixture_round_trips_byte_stably() {
+    let parsed = CampaignResult::from_json(V4_SHARD).expect("v4 shard fixture parses");
     assert_eq!(parsed.schema, SCHEMA);
     assert_eq!(parsed.shard, Some(Shard::new(2, 3).unwrap()));
     assert_eq!(parsed.cells[0].status, CellStatus::Skipped);
     assert_eq!(parsed.cells[1].status, CellStatus::Ok);
     assert_eq!(
         parsed.to_json(),
-        V3_SHARD,
+        V4_SHARD,
         "re-serializing the shard fixture must reproduce it byte for byte"
     );
 }
 
 #[test]
-fn v2_fixture_migrates_to_exactly_the_v3_fixture() {
+fn v3_fixture_migrates_to_exactly_the_v4_fixture() {
+    assert!(V3.contains(SCHEMA_V3));
+    let migrated = CampaignResult::from_json(V3).expect("v3 fixture parses");
+    assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
+    assert_eq!(
+        migrated.to_json(),
+        V4,
+        "saving a loaded v3 file must produce the committed v4 rendering"
+    );
+    // Migration recomputes the statistics from the raw timings: the
+    // stored v3 CI used the normal 1.96 critical value, the migrated
+    // one the Student-t value for the cell's sample count.
+    let s = migrated.cells[0].stats.unwrap();
+    assert_eq!(s.n, 2);
+    let expected = simbench_campaign::t_critical_95(1) * s.stddev / (2f64).sqrt();
+    assert!(
+        (s.ci95 - expected).abs() < 1e-15,
+        "{} != {expected}",
+        s.ci95
+    );
+    // Pre-v4 campaigns were always fixed-reps.
+    assert_eq!(migrated.cells[0].reps_run, 2);
+    assert_eq!(migrated.cells[0].stop_reason, Some(StopReason::Fixed));
+    assert_eq!(
+        migrated.cells[2].reps_run, 0,
+        "failed cell count unknowable"
+    );
+    assert_eq!(migrated.cells[2].stop_reason, None);
+    assert_eq!(migrated.precision, None, "v3 predates adaptive mode");
+}
+
+#[test]
+fn v3_shard_fixture_migrates_to_exactly_the_v4_shard_fixture() {
+    let migrated = CampaignResult::from_json(V3_SHARD).expect("v3 shard fixture parses");
+    assert_eq!(migrated.schema, SCHEMA);
+    assert_eq!(migrated.shard, Some(Shard::new(2, 3).unwrap()));
+    assert_eq!(
+        migrated.to_json(),
+        V4_SHARD,
+        "saving a loaded v3 shard file must produce the committed v4 rendering"
+    );
+}
+
+#[test]
+fn v2_fixture_migrates_to_exactly_the_v4_fixture() {
     assert!(V2.contains(SCHEMA_V2));
     let migrated = CampaignResult::from_json(V2).expect("v2 fixture parses");
     assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
     assert_eq!(migrated.shard, None, "v2 predates sharding");
     assert_eq!(
         migrated.to_json(),
-        V3,
-        "saving a loaded v2 file must produce the committed v3 rendering"
+        V4,
+        "saving a loaded v2 file must produce the committed v4 rendering"
     );
 }
 
 #[test]
-fn v1_fixture_migrates_to_exactly_the_v3_fixture() {
+fn v1_fixture_migrates_to_exactly_the_v4_fixture() {
     assert!(V1.contains(SCHEMA_V1));
     let migrated = CampaignResult::from_json(V1).expect("v1 fixture parses");
     assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
     assert_eq!(
         migrated.to_json(),
-        V3,
-        "saving a loaded v1 file must produce the committed v3 rendering"
+        V4,
+        "saving a loaded v1 file must produce the committed v4 rendering"
     );
     // Migration recomputes the tested-op count from the stored profile.
     assert_eq!(migrated.cells[0].tested_ops, Some(2500));
@@ -116,8 +167,8 @@ fn migrated_fixture_keeps_cell_semantics() {
 
 #[test]
 fn unknown_schema_versions_are_typed_errors() {
-    for found in ["simbench-campaign/v0", "simbench-campaign/v4", "nonsense"] {
-        let text = V3.replace(SCHEMA, found);
+    for found in ["simbench-campaign/v0", "simbench-campaign/v5", "nonsense"] {
+        let text = V4.replace(SCHEMA, found);
         match CampaignResult::from_json(&text) {
             Err(LoadError::Schema { found: f }) => assert_eq!(f, found),
             other => panic!("expected a schema error for {found:?}, got {other:?}"),
@@ -144,19 +195,25 @@ fn malformed_documents_are_typed_errors_not_panics() {
         Err(LoadError::Malformed(_))
     ));
     // Unknown counter name inside a cell.
-    let text = V3.replace("\"instructions\"", "\"instruction_bytes\"");
+    let text = V4.replace("\"instructions\"", "\"instruction_bytes\"");
     match CampaignResult::from_json(&text) {
         Err(LoadError::Malformed(e)) => assert!(e.contains("unknown counter"), "{e}"),
         other => panic!("expected malformed, got {other:?}"),
     }
     // Corrupted timing entry.
-    let text = V3.replace("[0.011, 0.0105]", "[0.011, true]");
+    let text = V4.replace("[0.011, 0.0105]", "[0.011, true]");
     assert!(matches!(
         CampaignResult::from_json(&text),
         Err(LoadError::Malformed(_))
     ));
+    // An unknown stop reason.
+    let text = V4.replace("\"stop_reason\": \"fixed\"", "\"stop_reason\": \"bored\"");
+    match CampaignResult::from_json(&text) {
+        Err(LoadError::Malformed(e)) => assert!(e.contains("stop_reason"), "{e}"),
+        other => panic!("expected malformed, got {other:?}"),
+    }
     // Shard metadata with an out-of-range index.
-    let text = V3_SHARD.replace("\"index\": 2", "\"index\": 9");
+    let text = V4_SHARD.replace("\"index\": 2", "\"index\": 9");
     match CampaignResult::from_json(&text) {
         Err(LoadError::Malformed(e)) => assert!(e.contains("shard"), "{e}"),
         other => panic!("expected malformed, got {other:?}"),
@@ -169,27 +226,27 @@ fn unreadable_files_are_io_errors() {
     assert!(matches!(err, LoadError::Io(_)), "{err}");
 }
 
-/// Regenerates `fixtures/campaign_v3.json` from the committed v1
+/// Regenerates `fixtures/campaign_v4.json` from the committed v1
 /// fixture. Ignored by default: run it manually after an intentional
 /// schema change, then review the diff.
 #[test]
-#[ignore = "writes the v3 fixture; run manually after intentional schema changes"]
-fn regen_v3_fixture() {
+#[ignore = "writes the v4 fixture; run manually after intentional schema changes"]
+fn regen_v4_fixture() {
     let migrated = CampaignResult::from_json(V1).unwrap();
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
-        "/tests/fixtures/campaign_v3.json"
+        "/tests/fixtures/campaign_v4.json"
     );
     std::fs::write(path, migrated.to_json()).unwrap();
 }
 
-/// Regenerates `fixtures/campaign_v3_shard.json` from the v3 fixture.
+/// Regenerates `fixtures/campaign_v4_shard.json` from the v4 fixture.
 #[test]
 #[ignore = "writes the shard fixture; run manually after intentional schema changes"]
-fn regen_v3_shard_fixture() {
+fn regen_v4_shard_fixture() {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
-        "/tests/fixtures/campaign_v3_shard.json"
+        "/tests/fixtures/campaign_v4_shard.json"
     );
     std::fs::write(path, shard_demo().to_json()).unwrap();
 }

@@ -1,10 +1,13 @@
 //! Property tests for the cell statistics: on *any* finite sample
 //! vector — including zeros, negatives and wild magnitudes — `stats`
 //! must never fabricate a value, never emit a non-finite field, and
-//! must account for every input sample as either kept or rejected.
+//! must account for every input sample as either kept, rejected as an
+//! impossible timing, or rejected as an outlier. The confidence
+//! interval must use Student-t critical values and tighten as samples
+//! accumulate.
 
 use proptest::prelude::*;
-use simbench_campaign::stats;
+use simbench_campaign::{stats, t_critical_95};
 
 /// Decode a `(mantissa, exponent)` pair into a finite f64 spanning
 /// ~25 decades either side of 1.0, zero and negatives included.
@@ -22,10 +25,12 @@ proptest! {
         match stats(&samples) {
             None => prop_assert_eq!(valid, 0, "stats may only refuse all-invalid input"),
             Some(s) => {
-                // Every sample is either kept or rejected — the invalid
-                // ones counted among the rejected, never clamped into
-                // the kept set.
-                prop_assert_eq!(s.n + s.rejected, samples.len());
+                // Every sample is either kept, rejected-invalid or an
+                // outlier — the invalid ones never clamped into the
+                // kept set, and the two rejection causes never lumped:
+                // a broken clock and a noisy cell are different bugs.
+                prop_assert_eq!(s.n + s.rejected_invalid + s.outliers, samples.len());
+                prop_assert_eq!(s.rejected_invalid, samples.len() - valid);
                 prop_assert!(s.n >= 1 && s.n <= valid);
                 // No field may be NaN or infinite, whatever the input.
                 for (name, v) in [
@@ -48,6 +53,15 @@ proptest! {
                 prop_assert!(fuzzy_le(s.min, s.mean) && fuzzy_le(s.mean, s.max));
                 prop_assert!(fuzzy_le(s.min, s.geomean) && fuzzy_le(s.geomean, s.max));
                 prop_assert!(s.stddev >= 0.0 && s.ci95 >= 0.0);
+                // The CI is the Student-t interval on the kept samples,
+                // never the normal approximation.
+                if s.n >= 2 {
+                    let expected = t_critical_95(s.n - 1) * s.stddev / (s.n as f64).sqrt();
+                    prop_assert!(
+                        (s.ci95 - expected).abs() <= expected.abs() * 1e-12,
+                        "ci95 {} != t-based {}", s.ci95, expected
+                    );
+                }
             }
         }
     }
@@ -58,11 +72,45 @@ proptest! {
     ) {
         let samples: Vec<f64> = raw.iter().map(|&(m, e)| decode(m, e)).collect();
         let s = stats(&samples).expect("positive samples always produce stats");
-        prop_assert_eq!(s.n + s.rejected, samples.len());
+        prop_assert_eq!(s.n + s.rejected_invalid + s.outliers, samples.len());
+        prop_assert_eq!(s.rejected_invalid, 0);
         // With nothing invalid, rejection can only come from the MAD
         // outlier pass, which keeps everything below four samples.
         if samples.len() < 4 {
-            prop_assert_eq!(s.rejected, 0);
+            prop_assert_eq!(s.outliers, 0);
+        }
+    }
+
+    /// Growing the sample count without changing the sample
+    /// *distribution* must never widen the confidence interval — the
+    /// soundness condition an adaptive repetition controller stands on
+    /// (more measuring can only tighten or hold the interval, so
+    /// "measure until tight" terminates meaningfully). The fixed
+    /// distribution is modelled exactly: a base multiset of k >= 4
+    /// positive samples repeated whole-cycle m times keeps every
+    /// quantile (median, MAD, and hence the kept set and its spread)
+    /// identical, so only t(df) and 1/sqrt(n) move — both downward.
+    #[test]
+    fn ci95_is_monotonically_nonincreasing_in_n_for_a_fixed_distribution(
+        base in prop::collection::vec((1i64..1_000_000, -4i8..5), 4..9),
+        cycles in 2usize..7
+    ) {
+        let one_cycle: Vec<f64> = base.iter().map(|&(m, e)| decode(m, e)).collect();
+        let mut prev = f64::INFINITY;
+        for m in 1..=cycles {
+            let samples: Vec<f64> = one_cycle
+                .iter()
+                .copied()
+                .cycle()
+                .take(one_cycle.len() * m)
+                .collect();
+            let s = stats(&samples).expect("positive samples");
+            prop_assert!(
+                s.ci95 <= prev * (1.0 + 1e-12),
+                "ci95 widened from {} to {} at {} cycles of {:?}",
+                prev, s.ci95, m, one_cycle
+            );
+            prev = s.ci95;
         }
     }
 }

@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-use simbench_campaign::{CampaignResult, CellStatus, SCHEMA, SCHEMA_V1};
+use simbench_campaign::{CampaignResult, CellStatus, StopReason, SCHEMA, SCHEMA_V1};
 
 fn run_cli(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_simbench-harness"))
@@ -48,6 +48,7 @@ fn measured_campaign(label: &str) -> (PathBuf, CampaignResult) {
         ],
         scale: 1_000_000,
         reps: 1,
+        precision: None,
         wall_limit: Some(std::time::Duration::from_secs(60)),
     };
     let result = run(&spec, &RunnerOpts::serial());
@@ -412,6 +413,117 @@ fn shard_merge_compare_is_counter_exact_end_to_end() {
     ] {
         let out = run_cli(&args);
         assert_eq!(exit_code(&out), 3, "args {args:?}: {}", stdout(&out));
+    }
+}
+
+/// The common spec flags of the adaptive workflow test: one guest, two
+/// engines, two benchmarks.
+const ADAPTIVE_SPEC: &[&str] = &[
+    "--guests",
+    "armlet",
+    "--engines",
+    "interp,native",
+    "--benches",
+    "System Call,Hot Memory Access",
+    "--scale",
+    "500000",
+];
+
+#[test]
+fn adaptive_precision_run_end_to_end() {
+    // Exit 3 — bad or inconsistent adaptive flags: non-positive or
+    // non-numeric targets, a min below the 2-rep floor, max below min,
+    // and rep bounds without --precision (they must be rejected, not
+    // silently ignored).
+    for bad in [
+        vec!["--precision", "0"],
+        vec!["--precision", "-0.5"],
+        vec!["--precision", "banana"],
+        vec!["--precision", "inf"],
+        vec!["--precision", "0.2", "--min-reps", "1"],
+        vec!["--precision", "0.2", "--min-reps", "5", "--max-reps", "4"],
+        vec!["--min-reps", "3"],
+        vec!["--max-reps", "3"],
+        vec!["--precision", "0.2", "--reps", "3"],
+    ] {
+        let mut args = vec!["campaign", "run"];
+        args.extend_from_slice(ADAPTIVE_SPEC);
+        args.extend_from_slice(&bad);
+        let out = run_cli(&args);
+        assert_eq!(exit_code(&out), 3, "args {bad:?}: {}", stdout(&out));
+    }
+
+    // A fixed-reps reference run and an adaptive run of the same spec.
+    let fixed = scratch("adaptive-fixed");
+    let mut args = vec!["campaign", "run"];
+    args.extend_from_slice(ADAPTIVE_SPEC);
+    args.extend_from_slice(&["--reps", "3", "--out", fixed.to_str().unwrap()]);
+    let out = run_cli(&args);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+
+    let adaptive = scratch("adaptive-run");
+    let mut args = vec!["campaign", "run"];
+    args.extend_from_slice(ADAPTIVE_SPEC);
+    args.extend_from_slice(&[
+        "--precision",
+        "0.5",
+        "--min-reps",
+        "2",
+        "--max-reps",
+        "5",
+        "--jobs",
+        "2",
+        "--out",
+        adaptive.to_str().unwrap(),
+    ]);
+    let out = run_cli(&args);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+
+    // The persisted adaptive result carries the v4 schema, the
+    // precision echo, and a truthful per-cell repetition record.
+    let result = CampaignResult::load(&adaptive).unwrap();
+    assert_eq!(result.schema, SCHEMA);
+    let p = result.precision.expect("adaptive runs persist the target");
+    assert_eq!((p.target_rci, p.min_reps, p.max_reps), (0.5, 2, 5));
+    let ok_cells: Vec<_> = result
+        .cells
+        .iter()
+        .filter(|c| c.status == CellStatus::Ok)
+        .collect();
+    assert!(!ok_cells.is_empty());
+    for cell in ok_cells {
+        assert!(
+            (2..=5).contains(&cell.reps_run),
+            "{}/{} {}: reps_run {}",
+            cell.guest,
+            cell.engine,
+            cell.workload,
+            cell.reps_run
+        );
+        assert_eq!(cell.seconds.len(), cell.reps_run as usize);
+        assert!(
+            matches!(
+                cell.stop_reason,
+                Some(StopReason::Converged | StopReason::MaxReps)
+            ),
+            "adaptive cells never report a fixed stop: {:?}",
+            cell.stop_reason
+        );
+    }
+
+    // Adaptive and fixed runs of one spec are counter-identical even
+    // though their per-cell rep counts differ — the gate compares
+    // event profiles, never rep-count equality.
+    for (cur, base) in [(&adaptive, &fixed), (&fixed, &adaptive)] {
+        let out = run_cli(&[
+            "campaign",
+            "compare",
+            cur.to_str().unwrap(),
+            "--baseline",
+            base.to_str().unwrap(),
+            "--counters",
+        ]);
+        assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
     }
 }
 

@@ -36,6 +36,7 @@ fn main() {
         ],
         scale: 50_000,
         reps: 3,
+        precision: None,
         wall_limit: Some(std::time::Duration::from_secs(60)),
     };
 

@@ -1,0 +1,98 @@
+//! Hot-loop microbench: the decode → dispatch → execute path itself.
+//!
+//! The old fig2/fig3/fig6/fig7/fig8 bench targets duplicated what
+//! `simbench-harness campaign run` measures (and what CI gates counter-
+//! exactly against `BENCH_campaign.json`); they are retired in favour of
+//! campaign specs. What a campaign cell *cannot* isolate is the
+//! per-instruction front-end cost, so this one target measures exactly
+//! that:
+//!
+//! * raw decoder throughput for both ISAs (no engine, no memory system),
+//! * the interpreter's full fetch/decode/dispatch loop on the hottest
+//!   suite kernel (Hot Memory Access),
+//! * the DBT's translated-block dispatch on the chain-dominated kernel
+//!   (Intra-Page Direct).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simbench_bench::bench_config;
+use simbench_harness::{run_suite_bench, EngineKind, Guest};
+use simbench_suite::Benchmark;
+
+/// Representative armlet words: ALU reg/imm, movw/movt, load/store,
+/// branches, compares — the mix a hot loop decodes over and over.
+const ARMLET_WORDS: [u32; 8] = [
+    0x1012_3000, // alu rr
+    0x2345_6000, // alu ri
+    0x3030_1234, // movw
+    0x4040_BEEF, // movt (two ops)
+    0x5812_3008, // load
+    0x6000_0010, // b
+    0x8100_0004, // b.ne
+    0xB012_3000, // cmp rr
+];
+
+/// Representative petix byte streams (variable length 1–6 bytes).
+const PETIX_BYTES: [&[u8]; 6] = [
+    &[0x00],                               // nop
+    &[0x10, 0x12],                         // alu rr
+    &[0x30, 0x10, 0x78, 0x56, 0x34, 0x12], // alu ri32
+    &[0x70, 0x12, 0x08, 0x00],             // load
+    &[0x80, 0x10, 0x00, 0x00, 0x00],       // jmp
+    &[0x88, 0x12],                         // cmp
+];
+
+fn hotloop(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("hotloop");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    group.bench_function("decode/armlet", |b| {
+        b.iter(|| {
+            let mut ops = 0usize;
+            for _ in 0..1000 {
+                for &w in &ARMLET_WORDS {
+                    ops += simbench_isa_armlet::decode::decode(w, 0x8000)
+                        .map(|d| d.ops.len())
+                        .unwrap_or(0);
+                }
+            }
+            ops
+        });
+    });
+
+    group.bench_function("decode/petix", |b| {
+        b.iter(|| {
+            let mut ops = 0usize;
+            for _ in 0..1000 {
+                for bytes in PETIX_BYTES {
+                    ops += simbench_isa_petix::decode::decode(bytes, 0x8000)
+                        .map(|d| d.ops.len())
+                        .unwrap_or(0);
+                }
+            }
+            ops
+        });
+    });
+
+    group.bench_function("dispatch/interp-mem-hot", |b| {
+        b.iter(|| run_suite_bench(Guest::Armlet, EngineKind::Interp, Benchmark::MemHot, &cfg));
+    });
+
+    group.bench_function("dispatch/dbt-intra-page-direct", |b| {
+        b.iter(|| {
+            run_suite_bench(
+                Guest::Armlet,
+                EngineKind::Dbt(simbench_dbt::VersionProfile::latest()),
+                Benchmark::IntraPageDirect,
+                &cfg,
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, hotloop);
+criterion_main!(benches);

@@ -1,13 +1,17 @@
 //! # simbench-bench
 //!
-//! Criterion benchmark harness for SimBench-rs. One bench target exists
-//! per paper table/figure; each exercises the same code paths as the
-//! corresponding `simbench-harness` experiment at a reduced iteration
-//! scale, so `cargo bench` regenerates relative timings for every
-//! artefact of the evaluation.
+//! Criterion harness for the decode → dispatch → execute hot path.
+//!
+//! This crate used to mirror every paper figure as a bench target; those
+//! mirrors duplicated what `simbench-harness campaign run` measures (and
+//! what CI gates counter-exactly against `BENCH_campaign.json`), so they
+//! are folded into campaign specs — run
+//! `simbench-harness campaign run --out snapshot.json` for figure-level
+//! timings. The one remaining target, `benches/hotloop.rs`, measures
+//! what a campaign cell cannot isolate: raw decoder throughput and the
+//! per-instruction dispatch cost of the interpreter and DBT engines.
 
-use simbench_harness::{Config, EngineKind, Guest};
-use simbench_suite::Benchmark;
+use simbench_harness::Config;
 
 /// The iteration divisor used by the bench targets (much higher than the
 /// harness default so Criterion's repeated sampling stays fast).
@@ -18,28 +22,6 @@ pub fn bench_config() -> Config {
     Config::with_scale(BENCH_SCALE)
 }
 
-/// A representative benchmark from each of the five categories, used
-/// where running all eighteen per engine would make `cargo bench`
-/// needlessly slow.
-pub const CATEGORY_REPS: [Benchmark; 5] = [
-    Benchmark::SmallBlocks,
-    Benchmark::IntraPageDirect,
-    Benchmark::Syscall,
-    Benchmark::MmioDevice,
-    Benchmark::MemHot,
-];
-
-/// Engines × guests measured by the Fig 7 bench.
-pub fn fig7_points() -> Vec<(Guest, EngineKind)> {
-    let mut v = Vec::new();
-    for guest in Guest::ALL {
-        for engine in EngineKind::fig7_columns() {
-            v.push((guest, engine));
-        }
-    }
-    v
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,6 +29,5 @@ mod tests {
     #[test]
     fn config_is_fast() {
         assert!(bench_config().scale >= 10_000);
-        assert_eq!(fig7_points().len(), 10);
     }
 }

@@ -6,6 +6,8 @@
 //! [`Machine`] and engine, so measurements are independent and safe to
 //! execute concurrently.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use simbench_apps::{build_app, App};
@@ -202,6 +204,44 @@ impl Config {
     }
 }
 
+/// Identity of one assembled guest image: workload × iteration count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ImageKey {
+    Suite(Guest, Benchmark, u32),
+    App(Guest, App, u32),
+}
+
+/// Process-wide cache of assembled guest images.
+///
+/// Repetitions (and adaptive re-enqueues) of a cell measure the *same*
+/// guest binary, so re-running the assembler for every repetition only
+/// adds untimed per-rep overhead — the campaign should spend its wall
+/// clock simulating, not assembling. Images are immutable once built
+/// (`Machine::boot` copies them into guest RAM), so one `Arc` per
+/// (guest, workload, iterations) is shared by every repetition and
+/// worker thread. The cache is bounded by the campaign matrix: one
+/// entry per distinct cell workload.
+fn image_cache() -> &'static Mutex<HashMap<ImageKey, Arc<GuestImage>>> {
+    static CACHE: OnceLock<Mutex<HashMap<ImageKey, Arc<GuestImage>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetch or build the image for `key`. `None` when the workload does
+/// not exist on the guest architecture. Building happens outside the
+/// lock; a racing duplicate build keeps the first inserted image so
+/// all repetitions still share one copy.
+fn cached_image(
+    key: ImageKey,
+    build: impl FnOnce() -> Option<GuestImage>,
+) -> Option<Arc<GuestImage>> {
+    if let Some(img) = image_cache().lock().unwrap().get(&key) {
+        return Some(Arc::clone(img));
+    }
+    let img = Arc::new(build()?);
+    let mut cache = image_cache().lock().unwrap();
+    Some(Arc::clone(cache.entry(key).or_insert(img)))
+}
+
 fn run_image_on<I: Isa>(engine: EngineKind, image: &GuestImage, limits: &RunLimits) -> RunOutcome {
     let mut m = Machine::<I, Platform>::boot(image, Platform::new());
     match engine {
@@ -241,13 +281,14 @@ pub fn run_suite_bench(
     cfg: &Config,
 ) -> Option<Sample> {
     let iters = bench.scaled_iterations(cfg.scale);
+    let key = ImageKey::Suite(guest, bench, iters);
     let out = match guest {
         Guest::Armlet => {
-            let image = build(&ArmletSupport::new(), bench, iters)?;
+            let image = cached_image(key, || build(&ArmletSupport::new(), bench, iters))?;
             run_image_on::<Armlet>(engine, &image, &cfg.limits)
         }
         Guest::Petix => {
-            let image = build(&PetixSupport::new(), bench, iters)?;
+            let image = cached_image(key, || build(&PetixSupport::new(), bench, iters))?;
             run_image_on::<Petix>(engine, &image, &cfg.limits)
         }
     };
@@ -270,13 +311,16 @@ fn app_scale_divisor(scale: u64) -> u64 {
 /// Run one synthetic application.
 pub fn run_app(guest: Guest, engine: EngineKind, app: App, cfg: &Config) -> Sample {
     let iters = app.scaled_iterations(app_scale_divisor(cfg.scale));
+    let key = ImageKey::App(guest, app, iters);
     let out = match guest {
         Guest::Armlet => {
-            let image = build_app(&ArmletSupport::new(), app, iters);
+            let image = cached_image(key, || Some(build_app(&ArmletSupport::new(), app, iters)))
+                .expect("apps exist on every guest");
             run_image_on::<Armlet>(engine, &image, &cfg.limits)
         }
         Guest::Petix => {
-            let image = build_app(&PetixSupport::new(), app, iters);
+            let image = cached_image(key, || Some(build_app(&PetixSupport::new(), app, iters)))
+                .expect("apps exist on every guest");
             run_image_on::<Petix>(engine, &image, &cfg.limits)
         }
     };
@@ -346,6 +390,22 @@ mod tests {
         assert_eq!(app_scale_divisor(1), 1);
         assert_eq!(app_scale_divisor(49), 1);
         assert_eq!(app_scale_divisor(51), 2);
+    }
+
+    #[test]
+    fn image_cache_shares_one_assembly_per_cell() {
+        let key = ImageKey::Suite(Guest::Armlet, Benchmark::Syscall, 64);
+        let a = cached_image(key, || build(&ArmletSupport::new(), Benchmark::Syscall, 64)).unwrap();
+        let b = cached_image(key, || panic!("second fetch must hit the cache")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "repetitions share one assembly");
+        // Workloads absent on the guest stay absent (nothing is cached).
+        let absent = ImageKey::Suite(Guest::Petix, Benchmark::NonprivAccess, 64);
+        assert!(cached_image(absent, || build(
+            &PetixSupport::new(),
+            Benchmark::NonprivAccess,
+            64
+        ))
+        .is_none());
     }
 
     #[test]

@@ -52,6 +52,7 @@ fn sub_with(a: u32, b: u32, carry_in: bool) -> AluResult {
 /// Shift amounts use only the low five bits of `b`; a shift amount of
 /// zero leaves C unchanged, and logical/move ops never touch C or V,
 /// mirroring the simplified shifter model described in `DESIGN.md`.
+#[inline]
 pub fn eval(op: AluOp, a: u32, b: u32, flags: Flags) -> AluResult {
     match op {
         AluOp::Add => add_with(a, b, false),
@@ -131,6 +132,7 @@ pub fn eval(op: AluOp, a: u32, b: u32, flags: Flags) -> AluResult {
 
 /// Evaluate a comparison (`Cmp` = subtract, `Tst` = and) returning only
 /// the flags.
+#[inline]
 pub fn compare(a: u32, b: u32, is_tst: bool, flags: Flags) -> Flags {
     if is_tst {
         eval(AluOp::And, a, b, flags).flags
@@ -140,6 +142,7 @@ pub fn compare(a: u32, b: u32, is_tst: bool, flags: Flags) -> Flags {
 }
 
 /// Evaluate a branch condition against the flags.
+#[inline]
 pub fn cond_holds(cond: Cond, f: Flags) -> bool {
     match cond {
         Cond::Eq => f.z,

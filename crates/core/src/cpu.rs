@@ -45,6 +45,7 @@ pub enum Privilege {
 
 impl Privilege {
     /// True for [`Privilege::Kernel`].
+    #[inline]
     pub fn is_kernel(self) -> bool {
         matches!(self, Privilege::Kernel)
     }

@@ -157,6 +157,7 @@ pub enum MemSize {
 
 impl MemSize {
     /// Size in bytes.
+    #[inline]
     pub fn bytes(self) -> u32 {
         match self {
             MemSize::B1 => 1,
@@ -166,6 +167,7 @@ impl MemSize {
     }
 
     /// True if `addr` is naturally aligned for this size.
+    #[inline]
     pub fn aligned(self, addr: u32) -> bool {
         addr & (self.bytes() - 1) == 0
     }
@@ -327,6 +329,7 @@ pub enum Op {
 impl Op {
     /// True if this op can transfer control (and therefore terminates a
     /// translation block).
+    #[inline]
     pub fn is_control_flow(self) -> bool {
         matches!(
             self,
@@ -344,11 +347,182 @@ impl Op {
     }
 
     /// True for direct (statically-known target) control flow.
+    #[inline]
     pub fn is_direct_branch(self) -> bool {
         matches!(
             self,
             Op::Branch { .. } | Op::BranchCond { .. } | Op::Call { .. }
         )
+    }
+}
+
+/// Maximum micro-ops a single guest instruction may lower to.
+///
+/// Both decoders emit at most two ops per instruction today (movt and
+/// the petix push/pop sequences); the two spare slots are headroom for
+/// richer lowerings. Raising this is an IR change: it grows every
+/// [`Decoded`] and every engine structure that embeds one.
+pub const MAX_OPS_PER_INSN: usize = 4;
+
+/// Fixed-capacity inline op storage for one decoded instruction.
+///
+/// This is the hot-loop replacement for the old `Vec<Op>`: the ops of
+/// an instruction live *inside* the [`Decoded`] value, so decoding —
+/// the per-instruction work of every interpreter-class engine — touches
+/// no allocator. Overflow is a hard error in every build profile: a
+/// lowering that exceeds [`MAX_OPS_PER_INSN`] is a decoder bug that
+/// must not survive into release binaries as silent truncation.
+#[derive(Clone, Copy)]
+pub struct OpList {
+    len: u8,
+    ops: [Op; MAX_OPS_PER_INSN],
+}
+
+impl OpList {
+    /// An empty list.
+    pub const fn new() -> Self {
+        OpList {
+            len: 0,
+            ops: [Op::Nop; MAX_OPS_PER_INSN],
+        }
+    }
+
+    /// Append an op.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the list already holds [`MAX_OPS_PER_INSN`] ops —
+    /// in release builds too, unlike the old debug-only assert.
+    #[inline]
+    pub fn push(&mut self, op: Op) {
+        if self.len as usize >= MAX_OPS_PER_INSN {
+            oplist_overflow();
+        }
+        self.ops[self.len as usize] = op;
+        self.len += 1;
+    }
+
+    /// The ops as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Op] {
+        &self.ops[..self.len as usize]
+    }
+}
+
+impl Default for OpList {
+    fn default() -> Self {
+        OpList::new()
+    }
+}
+
+// The panic paths of the two always-on IR invariants live out of line
+// and format nothing: a panic message that interpolates the op list
+// would keep it alive across the happy path and spill the hot loop's
+// registers to the stack — measurably slowing every decoded
+// instruction for a branch that never happens.
+#[cold]
+#[inline(never)]
+fn oplist_overflow() -> ! {
+    panic!("instruction lowers to more than {MAX_OPS_PER_INSN} micro-ops");
+}
+
+#[cold]
+#[inline(never)]
+fn control_flow_not_last() -> ! {
+    panic!("control flow op not last in decoded instruction");
+}
+
+impl std::ops::Deref for OpList {
+    type Target = [Op];
+    #[inline]
+    fn deref(&self) -> &[Op] {
+        self.as_slice()
+    }
+}
+
+impl From<&[Op]> for OpList {
+    #[inline]
+    fn from(src: &[Op]) -> OpList {
+        if src.len() > MAX_OPS_PER_INSN {
+            oplist_overflow();
+        }
+        let mut ops = [Op::Nop; MAX_OPS_PER_INSN];
+        ops[..src.len()].copy_from_slice(src);
+        OpList {
+            len: src.len() as u8,
+            ops,
+        }
+    }
+}
+
+// The decoders' conversion: a fixed-size array checks its capacity at
+// *compile time* and the copy fully unrolls — constructing a decoded
+// instruction costs a handful of register stores, no loops, no
+// branches. This is the path every engine's per-instruction decode
+// takes, so it must stay free.
+impl<const N: usize> From<[Op; N]> for OpList {
+    #[inline]
+    fn from(src: [Op; N]) -> OpList {
+        const {
+            assert!(
+                N <= MAX_OPS_PER_INSN,
+                "instruction lowers to more than MAX_OPS_PER_INSN micro-ops"
+            );
+        }
+        let mut ops = [Op::Nop; MAX_OPS_PER_INSN];
+        let mut i = 0;
+        while i < N {
+            ops[i] = src[i];
+            i += 1;
+        }
+        OpList { len: N as u8, ops }
+    }
+}
+
+impl From<Vec<Op>> for OpList {
+    fn from(ops: Vec<Op>) -> OpList {
+        OpList::from(ops.as_slice())
+    }
+}
+
+impl fmt::Debug for OpList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for OpList {
+    fn eq(&self, other: &OpList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for OpList {}
+
+impl PartialEq<Vec<Op>> for OpList {
+    fn eq(&self, other: &Vec<Op>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[Op]> for OpList {
+    fn eq(&self, other: &[Op]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[Op; N]> for OpList {
+    fn eq(&self, other: &[Op; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a OpList {
+    type Item = &'a Op;
+    type IntoIter = std::slice::Iter<'a, Op>;
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
     }
 }
 
@@ -368,27 +542,37 @@ pub enum InsnClass {
 }
 
 /// A fully decoded guest instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy`: the ops are stored inline ([`OpList`]), so a `Decoded` moves
+/// through fetch/dispatch by value without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Decoded {
     /// Encoded length in bytes (4 for armlet; 1–6 for petix).
     pub len: u8,
     /// Lowered micro-ops. At most one control-flow op, always last.
-    pub ops: Vec<Op>,
+    pub ops: OpList,
     /// Coarse class for statistics.
     pub class: InsnClass,
 }
 
 impl Decoded {
-    /// Construct, asserting the control-flow-last invariant in debug builds.
-    pub fn new(len: u8, ops: Vec<Op>, class: InsnClass) -> Self {
-        debug_assert!(
-            ops.iter().rev().skip(1).all(|op| !op.is_control_flow()),
-            "control flow op not last in {ops:?}"
-        );
+    /// Construct, asserting the control-flow-last invariant (in every
+    /// build profile: a mid-instruction control transfer would corrupt
+    /// block translation silently).
+    #[inline]
+    pub fn new(len: u8, ops: impl Into<OpList>, class: InsnClass) -> Self {
+        let ops = ops.into();
+        let n = ops.len();
+        for i in 0..n.saturating_sub(1) {
+            if ops.as_slice()[i].is_control_flow() {
+                control_flow_not_last();
+            }
+        }
         Decoded { len, ops, class }
     }
 
     /// True if the final op may transfer control.
+    #[inline]
     pub fn ends_block(&self) -> bool {
         self.ops.last().is_some_and(|op| op.is_control_flow())
     }
@@ -446,6 +630,34 @@ mod tests {
         assert!(!Op::Nop.is_control_flow());
         assert!(Op::Branch { target: 0 }.is_direct_branch());
         assert!(!Op::BranchReg { rm: 0 }.is_direct_branch());
+    }
+
+    #[test]
+    fn oplist_push_and_slice() {
+        let mut l = OpList::new();
+        assert!(l.is_empty());
+        l.push(Op::Nop);
+        l.push(Op::Halt);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l, vec![Op::Nop, Op::Halt]);
+        assert_eq!(l.last(), Some(&Op::Halt));
+        assert_eq!(OpList::from([Op::Udf]), [Op::Udf]);
+    }
+
+    #[test]
+    #[should_panic(expected = "micro-ops")]
+    fn oplist_overflow_is_a_hard_error() {
+        let mut l = OpList::new();
+        for _ in 0..=MAX_OPS_PER_INSN {
+            l.push(Op::Nop);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "control flow op not last")]
+    fn control_flow_mid_instruction_is_a_hard_error() {
+        // A real assert, not debug-only: this must fire in release too.
+        let _ = Decoded::new(4, [Op::Branch { target: 0 }, Op::Nop], InsnClass::Branch);
     }
 
     #[test]

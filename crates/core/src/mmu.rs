@@ -48,6 +48,7 @@ impl Perms {
     };
 
     /// True if `access` is allowed.
+    #[inline]
     pub fn allows(self, access: AccessKind) -> bool {
         match access {
             AccessKind::Read => self.r,

@@ -149,6 +149,7 @@ impl SetAssocTlb {
     }
 
     /// Look up a virtual page.
+    #[inline]
     pub fn lookup(&mut self, vpage: u32) -> Option<TlbEntry> {
         let set = &self.sets[(vpage & self.set_mask) as usize];
         match set.iter().find(|e| e.vpage == vpage) {

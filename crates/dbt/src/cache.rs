@@ -1,9 +1,19 @@
-//! Translation-block cache: arena, lookup map, per-page index for
-//! self-modifying-code invalidation, chaining slots, and the
-//! indirect-branch target cache (IBTC).
+//! Translation-block cache: one contiguous step arena plus the block
+//! table, lookup map, per-page index for self-modifying-code
+//! invalidation, chaining slots, and the indirect-branch target cache
+//! (IBTC).
+//!
+//! Steps of every live block are stored back-to-back in a single slab
+//! ([`CodeCache::steps`]); a [`Tb`] holds an `(offset, len)` range into
+//! it. Dispatch is therefore a pure index into one cache-friendly
+//! allocation instead of chasing a per-block `Rc<[TbStep]>`, and
+//! steady-state translation re-uses the slab's capacity rather than
+//! allocating per block. Invalidation tombstones a block (its range
+//! simply goes dark in the slab) until [`CodeCache::flush_all`]
+//! compacts everything back to empty — the same lifecycle as a real
+//! DBT's fixed-size translation cache.
 
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use simbench_core::ir::Op;
 
@@ -22,21 +32,25 @@ pub struct TbStep {
     pub insn_start: bool,
 }
 
-/// A translated basic block.
-#[derive(Debug, Clone)]
+/// A translated basic block. Its executable steps live in the owning
+/// [`CodeCache`]'s step arena at `steps_start .. steps_start + steps_len`.
+#[derive(Debug, Clone, Copy)]
 pub struct Tb {
     /// Guest virtual start address.
     pub pc: u32,
     /// Physical page the code was read from (part of the lookup key).
     pub ppage: u32,
-    /// The executable steps. `Rc` so execution can outlive invalidation.
-    pub steps: Rc<[TbStep]>,
+    /// Offset of the block's first step in the step arena.
+    pub steps_start: u32,
+    /// Number of steps.
+    pub steps_len: u32,
     /// Address following the last instruction (fallthrough target).
     pub end_pc: u32,
     /// Static target of the block-ending direct branch, if any (drives
     /// taken-edge chaining).
     pub taken_target: Option<u32>,
-    /// Tombstone: invalidated, awaiting arena flush.
+    /// Tombstone: invalidated, its arena range is dead until the next
+    /// full flush.
     pub dead: bool,
     /// Chain slot for the taken direct-branch successor.
     pub chain_taken: Option<TbId>,
@@ -92,11 +106,17 @@ impl Ibtc {
 /// The code cache.
 #[derive(Debug)]
 pub struct CodeCache {
-    /// Block arena (tombstoned blocks stay until a full flush).
+    /// Block table (tombstoned blocks stay until a full flush).
     pub blocks: Vec<Tb>,
+    /// The step arena: every live block's steps, back to back. Ranges
+    /// of tombstoned blocks stay allocated (dark) until `flush_all`.
+    pub steps: Vec<TbStep>,
     /// Lookup: (virtual pc, physical page) → block.
     map: HashMap<(u32, u32), TbId>,
-    /// Physical page → blocks whose code lives there.
+    /// Physical page → blocks whose code lives there. Entries are
+    /// cleared in place (not removed) so their capacity survives
+    /// invalidation and flushes — steady-state retranslation after
+    /// warm-up touches no allocator.
     page_blocks: HashMap<u32, Vec<TbId>>,
     /// Indirect-branch target cache.
     pub ibtc: Ibtc,
@@ -112,6 +132,7 @@ impl CodeCache {
     pub fn new(ibtc_bits: u8) -> Self {
         CodeCache {
             blocks: Vec::new(),
+            steps: Vec::new(),
             map: HashMap::new(),
             page_blocks: HashMap::new(),
             ibtc: Ibtc::new(ibtc_bits),
@@ -129,21 +150,48 @@ impl CodeCache {
             .filter(|&id| !self.blocks[id as usize].dead)
     }
 
+    /// The executable steps of a block.
+    #[inline]
+    pub fn steps_of(&self, id: TbId) -> &[TbStep] {
+        let tb = &self.blocks[id as usize];
+        &self.steps[tb.steps_start as usize..(tb.steps_start + tb.steps_len) as usize]
+    }
+
     /// True if `ppage` holds any live translations. Used to set the
     /// write-protect flag on TLB fills.
     pub fn page_has_code(&self, ppage: u32) -> bool {
         self.page_blocks.get(&ppage).is_some_and(|v| !v.is_empty())
     }
 
-    /// Insert a freshly translated block. Returns its id and whether the
-    /// page *gained* its first translation (the caller must then flush
-    /// data TLBs so stale unprotected entries disappear).
-    pub fn insert(&mut self, tb: Tb) -> (TbId, bool) {
+    /// Insert a freshly translated block, copying its steps into the
+    /// arena. Returns its id and whether the page *gained* its first
+    /// translation (the caller must then flush data TLBs so stale
+    /// unprotected entries disappear).
+    pub fn insert(
+        &mut self,
+        pc: u32,
+        ppage: u32,
+        end_pc: u32,
+        taken_target: Option<u32>,
+        steps: &[TbStep],
+    ) -> (TbId, bool) {
         let id = self.blocks.len() as TbId;
-        let first_in_page = !self.page_has_code(tb.ppage);
-        self.map.insert((tb.pc, tb.ppage), id);
-        self.page_blocks.entry(tb.ppage).or_default().push(id);
-        self.blocks.push(tb);
+        let first_in_page = !self.page_has_code(ppage);
+        let steps_start = self.steps.len() as u32;
+        self.steps.extend_from_slice(steps);
+        self.map.insert((pc, ppage), id);
+        self.page_blocks.entry(ppage).or_default().push(id);
+        self.blocks.push(Tb {
+            pc,
+            ppage,
+            steps_start,
+            steps_len: steps.len() as u32,
+            end_pc,
+            taken_target,
+            dead: false,
+            chain_taken: None,
+            chain_fall: None,
+        });
         (id, first_in_page)
     }
 
@@ -153,18 +201,20 @@ impl CodeCache {
     }
 
     /// Invalidate every block in a physical page (self-modifying code).
-    /// Returns how many blocks died. All chains and the IBTC are
+    /// Returns how many blocks died. Their step ranges stay dark in the
+    /// arena until the next full flush. All chains and the IBTC are
     /// conservatively dropped, as unlinking is global in real DBTs.
     pub fn invalidate_page(&mut self, ppage: u32) -> usize {
-        let Some(ids) = self.page_blocks.remove(&ppage) else {
+        let Some(ids) = self.page_blocks.get_mut(&ppage) else {
             return 0;
         };
         let n = ids.len();
-        for id in ids {
+        for &id in ids.iter() {
             let tb = &mut self.blocks[id as usize];
             tb.dead = true;
             self.map.remove(&(tb.pc, tb.ppage));
         }
+        ids.clear();
         self.unchain_all();
         n
     }
@@ -179,11 +229,16 @@ impl CodeCache {
         self.ibtc.clear();
     }
 
-    /// Full code-cache flush.
+    /// Full code-cache flush: the arena compacts back to empty. Every
+    /// container keeps its capacity, so post-flush retranslation is
+    /// allocation-free once the caches have reached steady-state size.
     pub fn flush_all(&mut self) {
         self.blocks.clear();
+        self.steps.clear();
         self.map.clear();
-        self.page_blocks.clear();
+        for ids in self.page_blocks.values_mut() {
+            ids.clear();
+        }
         self.ibtc.clear();
         self.full_flushes += 1;
     }
@@ -192,41 +247,55 @@ impl CodeCache {
     pub fn live_blocks(&self) -> usize {
         self.blocks.iter().filter(|t| !t.dead).count()
     }
+
+    /// Steps currently held by the arena, dead ranges included
+    /// (diagnostics).
+    pub fn arena_steps(&self) -> usize {
+        self.steps.len()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn tb(pc: u32, ppage: u32) -> Tb {
-        Tb {
-            pc,
-            ppage,
-            steps: Rc::from(vec![].into_boxed_slice()),
-            end_pc: pc + 4,
-            taken_target: None,
-            dead: false,
-            chain_taken: None,
-            chain_fall: None,
-        }
+    fn insert(c: &mut CodeCache, pc: u32, ppage: u32) -> (TbId, bool) {
+        let steps = [TbStep {
+            op: Op::Nop,
+            next_pc: pc + 4,
+            insn_start: true,
+        }];
+        c.insert(pc, ppage, pc + 4, None, &steps)
     }
 
     #[test]
     fn insert_and_lookup() {
         let mut c = CodeCache::new(4);
-        let (id, first) = c.insert(tb(0x8000, 8));
+        let (id, first) = insert(&mut c, 0x8000, 8);
         assert!(first);
         assert_eq!(c.lookup(0x8000, 8), Some(id));
         assert_eq!(c.lookup(0x8000, 9), None, "different physical page");
-        let (_, first2) = c.insert(tb(0x8010, 8));
+        let (_, first2) = insert(&mut c, 0x8010, 8);
         assert!(!first2, "page already had code");
+    }
+
+    #[test]
+    fn steps_live_in_one_arena() {
+        let mut c = CodeCache::new(4);
+        let (a, _) = insert(&mut c, 0x8000, 8);
+        let (b, _) = insert(&mut c, 0x9000, 9);
+        assert_eq!(c.arena_steps(), 2);
+        assert_eq!(c.steps_of(a).len(), 1);
+        assert_eq!(c.steps_of(b)[0].next_pc, 0x9004);
+        let tb = c.blocks[b as usize];
+        assert_eq!((tb.steps_start, tb.steps_len), (1, 1));
     }
 
     #[test]
     fn page_invalidation_kills_blocks_and_chains() {
         let mut c = CodeCache::new(4);
-        let (a, _) = c.insert(tb(0x8000, 8));
-        let (b, _) = c.insert(tb(0x9000, 9));
+        let (a, _) = insert(&mut c, 0x8000, 8);
+        let (b, _) = insert(&mut c, 0x9000, 9);
         c.blocks[a as usize].chain_taken = Some(b);
         c.blocks[b as usize].chain_fall = Some(a);
         assert_eq!(c.invalidate_page(8), 1);
@@ -235,6 +304,10 @@ mod tests {
         assert!(c.blocks[b as usize].chain_fall.is_none(), "global unchain");
         assert!(!c.page_has_code(8));
         assert!(c.page_has_code(9));
+        // The dead block's range stays dark in the arena until a flush.
+        assert_eq!(c.arena_steps(), 2);
+        c.flush_all();
+        assert_eq!(c.arena_steps(), 0, "flush compacts the arena");
     }
 
     #[test]
@@ -260,10 +333,11 @@ mod tests {
     #[test]
     fn flush_all_resets() {
         let mut c = CodeCache::new(4);
-        c.insert(tb(0x8000, 8));
+        insert(&mut c, 0x8000, 8);
         c.flush_all();
         assert_eq!(c.lookup(0x8000, 8), None);
         assert_eq!(c.live_blocks(), 0);
         assert_eq!(c.full_flushes, 1);
+        assert!(!c.page_has_code(8), "cleared-in-place page index is empty");
     }
 }

@@ -25,7 +25,6 @@ pub mod versions;
 pub use versions::{VersionProfile, QEMU_VERSIONS};
 
 use std::marker::PhantomData;
-use std::rc::Rc;
 use std::time::Instant;
 
 use simbench_core::bus::{Bus, BusEvent};
@@ -40,7 +39,7 @@ use simbench_core::machine::Machine;
 use simbench_core::mmu::TlbEntry;
 use simbench_core::page_of;
 
-use cache::{CodeCache, Tb, TbId, TbStep};
+use cache::{CodeCache, TbId, TbStep};
 use tlb::DbtTlb;
 
 /// Maximum guest instructions per translation block.
@@ -54,6 +53,10 @@ pub struct Dbt<I: Isa> {
     profile: VersionProfile,
     tlb: DbtTlb,
     code: CodeCache,
+    /// Reusable translation buffer: blocks are decoded and optimized
+    /// here, then copied into the code cache's step arena. Steady-state
+    /// translation therefore allocates nothing.
+    scratch: Vec<TbStep>,
     blocks_executed: u64,
     _isa: PhantomData<I>,
 }
@@ -76,6 +79,7 @@ impl<I: Isa> Dbt<I> {
             profile,
             tlb: DbtTlb::new(profile.tlb_bits),
             code: CodeCache::new(profile.ibtc_bits),
+            scratch: Vec::new(),
             blocks_executed: 0,
             _isa: PhantomData,
         }
@@ -187,7 +191,7 @@ impl<I: Isa> Dbt<I> {
     ) -> Result<TbId, MemFault> {
         let first_pa = self.translate_exec(&m.cpu, &m.sys, &mut m.bus, pc)?;
         let ppage = page_of(first_pa);
-        let mut steps: Vec<TbStep> = Vec::new();
+        self.scratch.clear();
         let mut cur = pc;
         let mut taken_target = None;
         let mut buf = [0u8; 8];
@@ -196,7 +200,7 @@ impl<I: Isa> Dbt<I> {
             let have = match self.fetch_bytes(&m.cpu, &m.sys, &mut m.bus, cur, &mut buf) {
                 Ok(n) => n,
                 Err(f) => {
-                    if steps.is_empty() {
+                    if self.scratch.is_empty() {
                         return Err(f);
                     }
                     break;
@@ -206,7 +210,7 @@ impl<I: Isa> Dbt<I> {
                 Ok(d) => d,
                 Err(_) => {
                     // Undecodable bytes translate to an explicit UDF trap.
-                    steps.push(TbStep {
+                    self.scratch.push(TbStep {
                         op: Op::Udf,
                         next_pc: cur.wrapping_add(I::MAX_INSN_BYTES as u32),
                         insn_start: true,
@@ -218,7 +222,7 @@ impl<I: Isa> Dbt<I> {
             let next = cur.wrapping_add(decoded.len as u32);
             let ends = decoded.ends_block();
             for (i, op) in decoded.ops.iter().enumerate() {
-                steps.push(TbStep {
+                self.scratch.push(TbStep {
                     op: *op,
                     next_pc: next,
                     insn_start: i == 0,
@@ -241,20 +245,12 @@ impl<I: Isa> Dbt<I> {
             }
         }
 
-        opt::optimize(&mut steps, self.profile.optimizer_level);
+        opt::optimize(&mut self.scratch, self.profile.optimizer_level);
         counters.blocks_translated += 1;
 
-        let tb = Tb {
-            pc,
-            ppage,
-            steps: Rc::from(steps.into_boxed_slice()),
-            end_pc: cur,
-            taken_target,
-            dead: false,
-            chain_taken: None,
-            chain_fall: None,
-        };
-        let (id, first_in_page) = self.code.insert(tb);
+        let (id, first_in_page) = self
+            .code
+            .insert(pc, ppage, cur, taken_target, &self.scratch);
         if first_in_page {
             // Stale TLB entries for this page lack the write-protect
             // flag; drop them all so future fills pick it up.
@@ -630,10 +626,17 @@ impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
                 },
             };
 
-            let (steps, tb_pc, end_pc, taken_target) = {
+            let (tb_pc, end_pc, taken_target) = {
                 let tb = &self.code.blocks[cur as usize];
-                (Rc::clone(&tb.steps), tb.pc, tb.end_pc, tb.taken_target)
+                (tb.pc, tb.end_pc, tb.taken_target)
             };
+            // Dispatch is a pure slice walk over the shared step arena.
+            // The slice and `ctx.code` are both immutable borrows of
+            // `self.code` (coexisting fine with the mutable `self.tlb`
+            // borrow), so the arena cannot move or be invalidated
+            // mid-block; each step is copied out by value (`TbStep` is
+            // small and `Copy`).
+            let steps = self.code.steps_of(cur);
 
             let mut ctx = Ctx::<I, B> {
                 cpu: &mut m.cpu,
@@ -647,7 +650,7 @@ impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
             };
 
             let mut exit = BlockExit::Fallthrough;
-            for step in steps.iter() {
+            for &step in steps {
                 if step.insn_start {
                     ctx.counters.instructions += 1;
                 }

@@ -374,7 +374,7 @@ impl<I: Isa> Detailed<I> {
             Ok(d) => Fetch::Ok(d),
             Err(_) => Fetch::Ok(Decoded::new(
                 I::MAX_INSN_BYTES as u8,
-                vec![Op::Udf],
+                [Op::Udf],
                 InsnClass::System,
             )),
         }

@@ -33,6 +33,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod model;
+pub mod selfbench;
 pub mod table;
 
 pub use simbench_campaign::measure::{run_app, run_suite_bench, Config, EngineKind, Guest, Sample};

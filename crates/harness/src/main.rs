@@ -12,6 +12,7 @@
 //! simbench-harness campaign list
 //! simbench-harness model <calibrate|predict|validate> <CAMPAIGN.json>
 //!                        [--guest G] [--engine E] [--profile-engine P] [--max-error FACTOR]
+//! simbench-harness selfbench <CAMPAIGN.json> [--out FILE]
 //! simbench-harness --list
 //! ```
 //!
@@ -46,6 +47,7 @@ const USAGE: &str = "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8
        simbench-harness campaign list
        simbench-harness model <calibrate|predict|validate> <CAMPAIGN.json>
                               [--guest G] [--engine E] [--profile-engine P] [--max-error FACTOR]
+       simbench-harness selfbench <CAMPAIGN.json> [--out FILE]
        simbench-harness --list";
 
 fn fail(msg: &str) -> ! {
@@ -94,6 +96,10 @@ fn main() -> ExitCode {
         Some("model") => {
             argv.remove(0);
             model_main(argv)
+        }
+        Some("selfbench") => {
+            argv.remove(0);
+            selfbench_main(argv)
         }
         _ => figures_main(argv),
     }
@@ -613,6 +619,45 @@ fn model_main(argv: Vec<String>) -> ExitCode {
         }
         _ => unreachable!("verb validated above"),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Self-bench mode.
+// ---------------------------------------------------------------------------
+
+/// `selfbench <CAMPAIGN.json> [--out FILE]`: derive per-cell simulator
+/// throughput (MIPS / Muops/s) from a stored campaign's iteration
+/// counts, instruction counters and median timings. With `--out`, the
+/// `simbench-hotloop/v1` JSON report is persisted — CI uploads it as
+/// `BENCH_hotloop.json` to track the wall-clock trajectory alongside
+/// the counter-exact baseline.
+fn selfbench_main(argv: Vec<String>) -> ExitCode {
+    let mut args = Args::new(argv);
+    let mut campaign_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(args.value_of("--out")),
+            path if !path.starts_with('-') && campaign_path.is_none() => {
+                campaign_path = Some(path.to_string())
+            }
+            path if !path.starts_with('-') => fail(&format!(
+                "unexpected argument {path:?} (campaign file already given)"
+            )),
+            flag => fail(&format!("unknown flag {flag:?}")),
+        }
+    }
+    let path = campaign_path.unwrap_or_else(|| fail("selfbench needs a stored campaign JSON file"));
+    let result = CampaignResult::load(&path).unwrap_or_else(|e| fail(&e.to_string()));
+    let report = simbench_harness::selfbench::report(&result);
+    if report.cells.is_empty() {
+        fail(&format!("campaign {:?} has no clean cells", result.name));
+    }
+    print!("{}", report.render());
+    if let Some(path) = out_path {
+        write_file(&path, report.to_json().as_bytes());
+    }
+    ExitCode::SUCCESS
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,204 @@
+//! Simulator self-benchmarking: wall-clock throughput per campaign cell.
+//!
+//! The counter-exact gate (`campaign compare --counters`) proves an
+//! optimization changed no architectural behavior; this module tracks
+//! the other half of the story — how fast the simulator itself runs.
+//! From a stored campaign result it derives, per clean cell, **MIPS**
+//! (million retired guest instructions per wall-clock second, from the
+//! kernel-phase instruction counter and the median repetition timing)
+//! and the analogous micro-op rate. CI persists the report as
+//! `BENCH_hotloop.json`, giving the repository a wall-clock trajectory
+//! alongside the counter baseline.
+
+use std::fmt::Write as _;
+
+use simbench_campaign::json::{num, quote};
+use simbench_campaign::table::Table;
+use simbench_campaign::{CampaignResult, CellStatus};
+
+/// Schema identifier written to every self-bench report.
+pub const SCHEMA: &str = "simbench-hotloop/v1";
+
+/// Throughput of one clean campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRate {
+    /// Guest id (`armlet` / `petix`).
+    pub guest: String,
+    /// Engine id (`interp`, `dbt@v2.5.0-rc2`, ...).
+    pub engine: String,
+    /// Workload id (`suite:Hot Memory Access`, ...).
+    pub workload: String,
+    /// Median kernel-phase seconds across the cell's repetitions.
+    pub median_secs: f64,
+    /// Kernel-phase retired guest instructions (architectural, identical
+    /// in every repetition).
+    pub instructions: u64,
+    /// Kernel-phase executed micro-ops.
+    pub uops: u64,
+    /// Million instructions per second: `instructions / median / 1e6`.
+    pub mips: f64,
+    /// Million micro-ops per second.
+    pub muops: f64,
+}
+
+/// The self-bench report: one rate per clean cell of a campaign.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Source campaign name.
+    pub campaign: String,
+    /// Source campaign scale divisor.
+    pub scale: u64,
+    /// Per-cell throughput, in the campaign's deterministic cell order.
+    pub cells: Vec<CellRate>,
+}
+
+/// Derive the throughput report from a stored campaign result. Cells
+/// without a clean measurement (failed, skipped, absent), with
+/// repetitions that disagreed on their counters (the stored profile
+/// then describes only the first repetition, not the timed set), or
+/// with a zero-width median are omitted — a rate fabricated from them
+/// would poison the trajectory.
+pub fn report(result: &CampaignResult) -> Report {
+    let cells = result
+        .cells
+        .iter()
+        .filter(|c| c.status == CellStatus::Ok && c.counters_consistent)
+        .filter_map(|c| {
+            let median = c.stats.as_ref()?.median;
+            if !(median > 0.0 && median.is_finite()) {
+                return None;
+            }
+            Some(CellRate {
+                guest: c.guest.clone(),
+                engine: c.engine.clone(),
+                workload: c.workload.clone(),
+                median_secs: median,
+                instructions: c.counters.instructions,
+                uops: c.counters.uops,
+                mips: c.counters.instructions as f64 / median / 1e6,
+                muops: c.counters.uops as f64 / median / 1e6,
+            })
+        })
+        .collect();
+    Report {
+        campaign: result.name.clone(),
+        scale: result.scale,
+        cells,
+    }
+}
+
+impl Report {
+    /// Serialize as `simbench-hotloop/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", quote(SCHEMA));
+        let _ = writeln!(out, "  \"campaign\": {},", quote(&self.campaign));
+        let _ = writeln!(out, "  \"scale\": {},", self.scale);
+        out.push_str("  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"guest\": {}, \"engine\": {}, \"workload\": {}, \
+                 \"median_secs\": {}, \"instructions\": {}, \"uops\": {}, \
+                 \"mips\": {}, \"muops\": {}}}",
+                quote(&c.guest),
+                quote(&c.engine),
+                quote(&c.workload),
+                num(c.median_secs),
+                c.instructions,
+                c.uops,
+                num(c.mips),
+                num(c.muops),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table, slowest cells first (they are the ones an
+    /// optimization PR is trying to move).
+    pub fn render(&self) -> String {
+        let mut rows: Vec<&CellRate> = self.cells.iter().collect();
+        rows.sort_by(|a, b| a.mips.total_cmp(&b.mips));
+        let mut table = Table::new(["guest", "engine", "workload", "median", "MIPS", "Muops/s"]);
+        for c in rows {
+            table.row([
+                c.guest.clone(),
+                c.engine.clone(),
+                c.workload.clone(),
+                format!("{:.4}s", c.median_secs),
+                format!("{:.2}", c.mips),
+                format!("{:.2}", c.muops),
+            ]);
+        }
+        format!(
+            "self-bench of campaign {} (scale {}): {} cell(s)\n\n{}",
+            self.campaign,
+            self.scale,
+            self.cells.len(),
+            table.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simbench_campaign::{run, CampaignSpec, EngineKind, Guest, RunnerOpts, Workload};
+    use simbench_suite::Benchmark;
+
+    fn small_result() -> CampaignResult {
+        let spec = CampaignSpec {
+            name: "selfbench-test".to_string(),
+            guests: vec![Guest::Armlet, Guest::Petix],
+            engines: vec![EngineKind::Interp],
+            workloads: vec![
+                Workload::Suite(Benchmark::Syscall),
+                Workload::Suite(Benchmark::NonprivAccess), // absent on petix
+            ],
+            scale: u64::MAX,
+            reps: 1,
+            precision: None,
+            wall_limit: Some(std::time::Duration::from_secs(60)),
+        };
+        run(&spec, &RunnerOpts::serial())
+    }
+
+    #[test]
+    fn report_covers_clean_cells_with_positive_rates() {
+        let result = small_result();
+        let rep = report(&result);
+        // 4 cells in the matrix, one absent on petix.
+        assert_eq!(rep.cells.len(), 3);
+        for c in &rep.cells {
+            assert!(c.mips > 0.0 && c.mips.is_finite(), "{c:?}");
+            assert!(c.muops >= c.mips, "uop rate can never trail insn rate");
+            assert!(c.instructions > 0);
+        }
+    }
+
+    #[test]
+    fn counter_inconsistent_cells_are_excluded() {
+        // An engine-determinism bug leaves the cell Ok but flags the
+        // disagreement; its stored counters describe only the first
+        // repetition, so no rate may be derived from them.
+        let mut result = small_result();
+        let before = report(&result).cells.len();
+        result.cells[0].counters_consistent = false;
+        assert_eq!(report(&result).cells.len(), before - 1);
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let rep = report(&small_result());
+        let json = rep.to_json();
+        assert!(json.contains(SCHEMA));
+        assert!(json.contains("\"mips\""));
+        let text = rep.render();
+        assert!(text.contains("MIPS"));
+        assert!(text.contains("suite:System Call"));
+    }
+}

@@ -646,3 +646,34 @@ fn figures_usage_errors_exit_3() {
         assert_eq!(exit_code(&out), 3, "args {args:?}");
     }
 }
+
+#[test]
+fn selfbench_reports_mips_from_a_stored_campaign() {
+    let (path, result) = measured_campaign("selfbench");
+    let path_str = path.to_str().unwrap();
+    let report_path = scratch("selfbench-report");
+    let report_str = report_path.to_str().unwrap();
+
+    let out = run_cli(&["selfbench", path_str, "--out", report_str]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("MIPS"), "{text}");
+    assert!(text.contains("suite:Hot Memory Access"), "{text}");
+
+    // The persisted report is self-describing JSON with one rate per
+    // clean cell, consistent with the stored campaign's counters.
+    let json = std::fs::read_to_string(&report_path).unwrap();
+    assert!(json.contains("simbench-hotloop/v1"), "{json}");
+    let ok_cells = result
+        .cells
+        .iter()
+        .filter(|c| c.status == CellStatus::Ok && c.counters_consistent)
+        .count();
+    assert_eq!(json.matches("\"mips\"").count(), ok_cells);
+
+    // Usage errors: missing campaign file and unknown flags exit 3.
+    assert_eq!(exit_code(&run_cli(&["selfbench"])), 3);
+    assert_eq!(exit_code(&run_cli(&["selfbench", path_str, "--bogus"])), 3);
+    // Unreadable input exits 3 like every other subcommand.
+    assert_eq!(exit_code(&run_cli(&["selfbench", "/nonexistent.json"])), 3);
+}

@@ -257,7 +257,7 @@ impl<I: Isa> Interp<I> {
             // handles it uniformly. Length is nominal.
             Err(_) => Fetch::Ok(Decoded::new(
                 I::MAX_INSN_BYTES as u8,
-                vec![Op::Udf],
+                [Op::Udf],
                 simbench_core::ir::InsnClass::System,
             )),
         }

@@ -23,9 +23,14 @@ fn sext(value: u32, bits: u32) -> i32 {
 /// "Translated" row in the paper's Fig 4).
 pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
     let next = pc.wrapping_add(INSN_BYTES);
-    let d = |ops, class| Ok(Decoded::new(INSN_BYTES as u8, ops, class));
+    fn d(
+        ops: impl Into<simbench_core::ir::OpList>,
+        class: InsnClass,
+    ) -> Result<Decoded, DecodeError> {
+        Ok(Decoded::new(INSN_BYTES as u8, ops, class))
+    }
     match word >> 28 {
-        0x0 => d(vec![Op::Udf], InsnClass::System),
+        0x0 => d([Op::Udf], InsnClass::System),
         0x1 => {
             let op = AluOp::from_code(((word >> 24) & 0xF) as u8).ok_or(DecodeError { pc })?;
             let rd = ((word >> 20) & 0xF) as u8;
@@ -33,7 +38,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
             let rm = ((word >> 12) & 0xF) as u8;
             let set_flags = word & (1 << 11) != 0;
             d(
-                vec![Op::Alu {
+                [Op::Alu {
                     op,
                     rd,
                     rn,
@@ -50,7 +55,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
             let set_flags = word & (1 << 15) != 0;
             let imm = word & 0xFFF;
             d(
-                vec![Op::Alu {
+                [Op::Alu {
                     op,
                     rd,
                     rn,
@@ -64,7 +69,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
             let rd = ((word >> 20) & 0xF) as u8;
             let imm = word & 0xFFFF;
             d(
-                vec![Op::Alu {
+                [Op::Alu {
                     op: AluOp::Mov,
                     rd,
                     rn: 0,
@@ -78,7 +83,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
             let rd = ((word >> 20) & 0xF) as u8;
             let imm = word & 0xFFFF;
             d(
-                vec![
+                [
                     Op::Alu {
                         op: AluOp::And,
                         rd,
@@ -126,16 +131,16 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
                     nonpriv,
                 }
             };
-            d(vec![op], InsnClass::Mem)
+            d([op], InsnClass::Mem)
         }
         0x6 => {
             let target = next.wrapping_add((sext(word & 0xFF_FFFF, 24) as u32) << 2);
-            d(vec![Op::Branch { target }], InsnClass::Branch)
+            d([Op::Branch { target }], InsnClass::Branch)
         }
         0x7 => {
             let target = next.wrapping_add((sext(word & 0xFF_FFFF, 24) as u32) << 2);
             d(
-                vec![Op::Call {
+                [Op::Call {
                     target,
                     ret: next,
                     link: LinkKind::Register(LR),
@@ -146,7 +151,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
         0x8 => {
             let cond = Cond::from_code(((word >> 24) & 0xF) as u8).ok_or(DecodeError { pc })?;
             let target = next.wrapping_add((sext(word & 0xF_FFFF, 20) as u32) << 2);
-            d(vec![Op::BranchCond { cond, target }], InsnClass::Branch)
+            d([Op::BranchCond { cond, target }], InsnClass::Branch)
         }
         0x9 => {
             let rm = (word & 0xF) as u8;
@@ -156,13 +161,13 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
                     // return; through anything else it is a plain
                     // indirect branch.
                     if rm == LR {
-                        d(vec![Op::Ret(RetKind::Register(LR))], InsnClass::Branch)
+                        d([Op::Ret(RetKind::Register(LR))], InsnClass::Branch)
                     } else {
-                        d(vec![Op::BranchReg { rm }], InsnClass::Branch)
+                        d([Op::BranchReg { rm }], InsnClass::Branch)
                     }
                 }
                 1 => d(
-                    vec![Op::CallReg {
+                    [Op::CallReg {
                         rm,
                         ret: next,
                         link: LinkKind::Register(LR),
@@ -173,16 +178,16 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
             }
         }
         0xA => match (word >> 24) & 0xF {
-            0 => d(vec![Op::Svc((word & 0xFFFF) as u16)], InsnClass::System),
-            1 => d(vec![Op::Eret], InsnClass::System),
-            2 => d(vec![Op::Halt], InsnClass::System),
-            3 => d(vec![Op::Nop], InsnClass::Nop),
+            0 => d([Op::Svc((word & 0xFFFF) as u16)], InsnClass::System),
+            1 => d([Op::Eret], InsnClass::System),
+            2 => d([Op::Halt], InsnClass::System),
+            3 => d([Op::Nop], InsnClass::Nop),
             4 => {
                 let rt = ((word >> 20) & 0xF) as u8;
                 let cp = ((word >> 16) & 0xF) as u8;
                 let creg = ((word >> 12) & 0xF) as u8;
                 d(
-                    vec![Op::CopRead {
+                    [Op::CopRead {
                         cp,
                         reg: creg,
                         rd: rt,
@@ -195,7 +200,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
                 let cp = ((word >> 16) & 0xF) as u8;
                 let creg = ((word >> 12) & 0xF) as u8;
                 d(
-                    vec![Op::CopWrite {
+                    [Op::CopWrite {
                         cp,
                         reg: creg,
                         rs: rt,
@@ -211,7 +216,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
             let imm = word & 0xFFF;
             match (word >> 24) & 0xF {
                 0 => d(
-                    vec![Op::Cmp {
+                    [Op::Cmp {
                         rn,
                         src: Operand::Reg(rm),
                         is_tst: false,
@@ -219,7 +224,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
                     InsnClass::Alu,
                 ),
                 1 => d(
-                    vec![Op::Cmp {
+                    [Op::Cmp {
                         rn,
                         src: Operand::Imm(imm),
                         is_tst: false,
@@ -227,7 +232,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
                     InsnClass::Alu,
                 ),
                 2 => d(
-                    vec![Op::Cmp {
+                    [Op::Cmp {
                         rn,
                         src: Operand::Reg(rm),
                         is_tst: true,
@@ -235,7 +240,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
                     InsnClass::Alu,
                 ),
                 3 => d(
-                    vec![Op::Cmp {
+                    [Op::Cmp {
                         rn,
                         src: Operand::Imm(imm),
                         is_tst: true,
@@ -254,7 +259,7 @@ mod tests {
     use super::*;
     use crate::encoding as enc;
 
-    fn ops(word: u32) -> Vec<Op> {
+    fn ops(word: u32) -> simbench_core::ir::OpList {
         decode(word, 0x8000).unwrap().ops
     }
 

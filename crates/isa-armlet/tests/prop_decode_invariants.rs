@@ -1,0 +1,40 @@
+//! Property test: IR invariants the engines rely on hold for *every*
+//! decodable word — in release builds too, not just under
+//! `debug_assert`.
+//!
+//! * the lowered op count fits the fixed-capacity inline [`OpList`]
+//!   (`MAX_OPS_PER_INSN`), so decoding can never overflow the inline
+//!   storage the hot loops depend on;
+//! * the control-flow-last invariant: at most one control-transfer op,
+//!   and only as the final op — block translation (DBT) silently
+//!   miscompiles otherwise.
+
+use proptest::prelude::*;
+use simbench_core::ir::MAX_OPS_PER_INSN;
+use simbench_isa_armlet::decode::decode;
+
+proptest! {
+    #[test]
+    fn decoded_ops_fit_oplist_and_control_flow_is_last(word: u32, pc: u32) {
+        if let Ok(d) = decode(word, pc) {
+            prop_assert!(!d.ops.is_empty(), "decoded to zero ops: {word:#010x}");
+            prop_assert!(
+                d.ops.len() <= MAX_OPS_PER_INSN,
+                "{word:#010x} lowered to {} ops", d.ops.len()
+            );
+            for op in &d.ops[..d.ops.len() - 1] {
+                prop_assert!(
+                    !op.is_control_flow(),
+                    "{word:#010x}: control flow op {op:?} not last in {:?}", d.ops
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_length_is_the_isa_word_size(word: u32, pc: u32) {
+        if let Ok(d) = decode(word, pc) {
+            prop_assert_eq!(d.len, 4);
+        }
+    }
+}

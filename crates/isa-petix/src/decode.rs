@@ -32,16 +32,22 @@ fn imm16(bytes: &[u8], at: usize) -> u16 {
 pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
     need(bytes, 1, pc)?;
     let opc = bytes[0];
-    let d = |len: u8, ops, class| Ok(Decoded::new(len, ops, class));
+    fn d(
+        len: u8,
+        ops: impl Into<simbench_core::ir::OpList>,
+        class: InsnClass,
+    ) -> Result<Decoded, DecodeError> {
+        Ok(Decoded::new(len, ops, class))
+    }
     match opc {
-        0x00 => d(1, vec![Op::Nop], InsnClass::Nop),
-        0x01 => d(1, vec![Op::Halt], InsnClass::System),
-        0x02 => d(1, vec![Op::Ret(RetKind::Pop(SP))], InsnClass::Branch),
-        0x03 => d(1, vec![Op::Eret], InsnClass::System),
+        0x00 => d(1, [Op::Nop], InsnClass::Nop),
+        0x01 => d(1, [Op::Halt], InsnClass::System),
+        0x02 => d(1, [Op::Ret(RetKind::Pop(SP))], InsnClass::Branch),
+        0x03 => d(1, [Op::Eret], InsnClass::System),
         0x0F => {
             need(bytes, 2, pc)?;
             if bytes[1] == 0x0B {
-                d(2, vec![Op::Udf], InsnClass::System)
+                d(2, [Op::Udf], InsnClass::System)
             } else {
                 Err(DecodeError { pc })
             }
@@ -53,7 +59,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let rm = bytes[1] & 0x7;
             d(
                 2,
-                vec![Op::Alu {
+                [Op::Alu {
                     op,
                     rd,
                     rn: rd,
@@ -69,7 +75,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let rd = (bytes[1] >> 4) & 0x7;
             d(
                 6,
-                vec![Op::Alu {
+                [Op::Alu {
                     op,
                     rd,
                     rn: rd,
@@ -85,7 +91,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let rd = (bytes[1] >> 4) & 0x7;
             d(
                 4,
-                vec![Op::Alu {
+                [Op::Alu {
                     op,
                     rd,
                     rn: rd,
@@ -125,18 +131,18 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
                     nonpriv: false,
                 }
             };
-            d(4, vec![op], InsnClass::Mem)
+            d(4, [op], InsnClass::Mem)
         }
         0x80 => {
             need(bytes, 5, pc)?;
             let target = pc.wrapping_add(5).wrapping_add(imm32(bytes, 1));
-            d(5, vec![Op::Branch { target }], InsnClass::Branch)
+            d(5, [Op::Branch { target }], InsnClass::Branch)
         }
         0x81 => {
             need(bytes, 6, pc)?;
             let cond = Cond::from_code(bytes[1]).ok_or(DecodeError { pc })?;
             let target = pc.wrapping_add(6).wrapping_add(imm32(bytes, 2));
-            d(6, vec![Op::BranchCond { cond, target }], InsnClass::Branch)
+            d(6, [Op::BranchCond { cond, target }], InsnClass::Branch)
         }
         0x82 => {
             need(bytes, 5, pc)?;
@@ -144,7 +150,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let ret = pc.wrapping_add(5);
             d(
                 5,
-                vec![Op::Call {
+                [Op::Call {
                     target,
                     ret,
                     link: LinkKind::Push(SP),
@@ -154,18 +160,14 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
         }
         0x83 => {
             need(bytes, 2, pc)?;
-            d(
-                2,
-                vec![Op::BranchReg { rm: bytes[1] & 0x7 }],
-                InsnClass::Branch,
-            )
+            d(2, [Op::BranchReg { rm: bytes[1] & 0x7 }], InsnClass::Branch)
         }
         0x84 => {
             need(bytes, 2, pc)?;
             let ret = pc.wrapping_add(2);
             d(
                 2,
-                vec![Op::CallReg {
+                [Op::CallReg {
                     rm: bytes[1] & 0x7,
                     ret,
                     link: LinkKind::Push(SP),
@@ -178,7 +180,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let r = bytes[1] & 0x7;
             d(
                 2,
-                vec![
+                [
                     Op::Alu {
                         op: AluOp::Sub,
                         rd: SP,
@@ -202,7 +204,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let r = bytes[1] & 0x7;
             d(
                 2,
-                vec![
+                [
                     Op::Load {
                         rd: r,
                         base: SP,
@@ -223,7 +225,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
         }
         0x87 => {
             need(bytes, 2, pc)?;
-            d(2, vec![Op::Svc(bytes[1] as u16)], InsnClass::System)
+            d(2, [Op::Svc(bytes[1] as u16)], InsnClass::System)
         }
         0x88 => {
             need(bytes, 2, pc)?;
@@ -231,7 +233,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let rm = bytes[1] & 0x7;
             d(
                 2,
-                vec![Op::Cmp {
+                [Op::Cmp {
                     rn,
                     src: Operand::Reg(rm),
                     is_tst: false,
@@ -244,7 +246,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let rn = (bytes[1] >> 4) & 0x7;
             d(
                 6,
-                vec![Op::Cmp {
+                [Op::Cmp {
                     rn,
                     src: Operand::Imm(imm32(bytes, 2)),
                     is_tst: false,
@@ -258,7 +260,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let rm = bytes[1] & 0x7;
             d(
                 2,
-                vec![Op::Cmp {
+                [Op::Cmp {
                     rn,
                     src: Operand::Reg(rm),
                     is_tst: true,
@@ -271,7 +273,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let rn = (bytes[1] >> 4) & 0x7;
             d(
                 6,
-                vec![Op::Cmp {
+                [Op::Cmp {
                     rn,
                     src: Operand::Imm(imm32(bytes, 2)),
                     is_tst: true,
@@ -285,7 +287,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let cr = bytes[1] & 0xF;
             d(
                 2,
-                vec![Op::CopRead {
+                [Op::CopRead {
                     cp: 0,
                     reg: cr,
                     rd: r,
@@ -299,7 +301,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let cr = bytes[1] & 0xF;
             d(
                 2,
-                vec![Op::CopWrite {
+                [Op::CopWrite {
                     cp: 0,
                     reg: cr,
                     rs: r,
@@ -312,7 +314,7 @@ pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
             let rd = (bytes[1] >> 4) & 0x7;
             d(
                 6,
-                vec![Op::Alu {
+                [Op::Alu {
                     op: AluOp::Mov,
                     rd,
                     rn: 0,

@@ -1,0 +1,43 @@
+//! Property test: IR invariants for the variable-length petix decoder
+//! over random instruction bytes — checked in release builds too, not
+//! just under `debug_assert`.
+//!
+//! * the lowered op count fits the fixed-capacity inline [`OpList`]
+//!   (`MAX_OPS_PER_INSN`);
+//! * control-flow ops only appear as the final op of an instruction;
+//! * the decoded length never exceeds the bytes offered (a decoder
+//!   that "consumed" bytes it never saw would desync the fetch loop).
+
+use proptest::prelude::*;
+use simbench_core::ir::MAX_OPS_PER_INSN;
+use simbench_isa_petix::decode::decode;
+
+proptest! {
+    #[test]
+    fn decoded_ops_fit_oplist_and_control_flow_is_last(
+        opc: u8,
+        tail in prop::collection::vec(any::<u8>(), 0..8),
+        pc: u32,
+    ) {
+        let mut bytes = vec![opc];
+        bytes.extend_from_slice(&tail);
+        if let Ok(d) = decode(&bytes, pc) {
+            prop_assert!(!d.ops.is_empty(), "decoded to zero ops: {bytes:02x?}");
+            prop_assert!(
+                d.ops.len() <= MAX_OPS_PER_INSN,
+                "{bytes:02x?} lowered to {} ops", d.ops.len()
+            );
+            for op in &d.ops[..d.ops.len() - 1] {
+                prop_assert!(
+                    !op.is_control_flow(),
+                    "{bytes:02x?}: control flow op {op:?} not last in {:?}", d.ops
+                );
+            }
+            prop_assert!(
+                d.len as usize <= bytes.len(),
+                "{bytes:02x?}: decoded length {} exceeds the {} bytes offered",
+                d.len, bytes.len()
+            );
+        }
+    }
+}

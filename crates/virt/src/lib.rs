@@ -344,7 +344,7 @@ impl<I: Isa> Virt<I> {
             Ok(d) => d,
             Err(_) => Decoded::new(
                 I::MAX_INSN_BYTES as u8,
-                vec![Op::Udf],
+                [Op::Udf],
                 simbench_core::ir::InsnClass::System,
             ),
         };

@@ -1,0 +1,133 @@
+//! Allocation audit of the engine hot loops.
+//!
+//! A test-only counting `#[global_allocator]` wrapper proves the
+//! PR-level claim behind `OpList`, the DBT step arena and the reusable
+//! translation scratch buffer: once an engine is warm, executing guest
+//! code touches the allocator **zero** times — decode, dispatch and
+//! execute run entirely on inline storage and pre-grown capacity.
+//!
+//! The counter is thread-local: libtest's own harness threads (and any
+//! concurrently running test) allocate at unpredictable times, and only
+//! allocations made *by the measuring thread* are evidence about the
+//! hot loop.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use simbench_core::asm::{PReg, PortableAsm};
+use simbench_core::bus::FlatRam;
+use simbench_core::engine::{Engine, ExitReason, RunLimits, RunOutcome};
+use simbench_core::image::GuestImage;
+use simbench_core::ir::{AluOp, Cond};
+use simbench_core::machine::Machine;
+use simbench_dbt::Dbt;
+use simbench_interp::Interp;
+use simbench_isa_armlet::{Armlet, ArmletAsm};
+
+/// Counts every allocation and reallocation made by the current
+/// thread; frees are not interesting (a hot loop that frees must have
+/// allocated first).
+struct CountingAlloc;
+
+thread_local! {
+    // Const-initialized so reading it never allocates (a lazily
+    // initialized TLS slot would recurse into the allocator).
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bump the current thread's counter. `try_with`: the allocator also
+/// runs during TLS teardown, when the slot is gone.
+fn count_one() {
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// A hot loop exercising the full per-instruction path: ALU ops, a
+/// store/load pair, a compare and a taken intra-page branch.
+fn hot_loop_image(iters: u32) -> GuestImage {
+    let mut a = ArmletAsm::new();
+    a.org(0x8000);
+    a.mov_imm(PReg::A, 0);
+    a.mov_imm(PReg::B, iters);
+    a.mov_imm(PReg::C, 0x4000);
+    let top = a.new_label();
+    a.bind(top);
+    a.store(PReg::A, PReg::C, 0);
+    a.load(PReg::D, PReg::C, 0);
+    a.alu_ri(AluOp::Add, PReg::A, PReg::A, 1);
+    a.alu_ri(AluOp::Sub, PReg::B, PReg::B, 1);
+    a.cmp_ri(PReg::B, 0);
+    a.b_cond(Cond::Ne, top);
+    a.halt();
+    a.finish(0x8000)
+}
+
+/// Run `engine` over a fresh machine (booted outside the measured
+/// window) and return the allocation count of the run itself.
+fn measured_run<E: Engine<Armlet, FlatRam>>(engine: &mut E, img: &GuestImage) -> (u64, RunOutcome) {
+    let mut m = Machine::<Armlet, _>::boot(img, FlatRam::new(1 << 20));
+    let before = allocs();
+    let out = engine.run(&mut m, &RunLimits::insns(10_000_000));
+    let delta = allocs() - before;
+    (delta, out)
+}
+
+#[test]
+fn warm_hot_loops_allocate_nothing() {
+    let img = hot_loop_image(20_000);
+
+    // Fast interpreter: decode results live inline in `Decoded`
+    // (`OpList`), the fetch buffer is on the stack, and the per-run
+    // single-entry caches are plain fields — even the *first* run of a
+    // fresh engine must not allocate.
+    let mut interp = Interp::<Armlet>::new();
+    let (warm, out) = measured_run(&mut interp, &img);
+    assert_eq!(out.exit, ExitReason::Halted);
+    assert_eq!(
+        warm, 0,
+        "interp allocated {warm} times during a cold hot-loop run"
+    );
+    let (steady, out) = measured_run(&mut interp, &img);
+    assert_eq!(out.exit, ExitReason::Halted);
+    assert_eq!(steady, 0, "interp steady state allocated {steady} times");
+
+    // DBT: the first run grows the step arena, block table, lookup maps
+    // and the translation scratch buffer (warm-up may allocate). Every
+    // later run retranslates the same program into that retained
+    // capacity, so the steady state is allocation-free — including the
+    // full re-translation after the run-start `flush_all`.
+    let mut dbt = Dbt::<Armlet>::new();
+    let (_warmup, out) = measured_run(&mut dbt, &img);
+    assert_eq!(out.exit, ExitReason::Halted);
+    let (steady, out) = measured_run(&mut dbt, &img);
+    assert_eq!(out.exit, ExitReason::Halted);
+    assert_eq!(
+        steady, 0,
+        "dbt steady state allocated {steady} times after warm-up"
+    );
+    assert!(
+        out.counters.block_chain_follows > 10_000,
+        "the loop must actually run via chained blocks: {}",
+        out.counters.block_chain_follows
+    );
+}

@@ -507,6 +507,7 @@ mod tests {
             shard: None,
             wall_secs: 0.0,
             created_unix: 0,
+            telemetry: None,
             cells: cells
                 .into_iter()
                 .map(|(g, e, w, secs)| CellResult {
@@ -572,6 +573,24 @@ mod tests {
         let cmp = compare(&base, &cur, 0.25);
         assert!(cmp.clean());
         assert_eq!(cmp.deltas[0].verdict, Verdict::Removed);
+    }
+
+    #[test]
+    fn telemetry_blocks_are_ignored_by_both_paths() {
+        // Telemetry is observational (wall-clock flavoured, machine
+        // dependent): two results that differ only in their telemetry
+        // snapshot compare identical on both the timing and the
+        // counter-exact path.
+        let base = result_with(vec![("armlet", "interp", "suite:System Call", vec![1.0])]);
+        let mut cur = base.clone();
+        cur.telemetry = Some(crate::result::Telemetry {
+            counters: vec![("dbt.translations".to_string(), 999)],
+            histograms: Vec::new(),
+        });
+        assert!(compare(&base, &cur, 0.25).clean());
+        let counters = compare_counters(&base, &cur, 0.0);
+        assert!(counters.clean(), "{}", counters.render());
+        assert!(counters.changed().is_empty());
     }
 
     #[test]

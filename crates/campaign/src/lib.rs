@@ -25,12 +25,14 @@
 //!   rejection; non-positive or non-finite samples are counted as
 //!   `rejected_invalid` — separately from `outliers` — never
 //!   fabricated;
-//! * [`result`] — the versioned `simbench-campaign/v4` JSON schema
+//! * [`result`] — the versioned `simbench-campaign/v5` JSON schema
 //!   (per-cell event profiles with `tested_ops`, per-repetition
 //!   `counter_variants` for non-deterministic cells, shard metadata on
-//!   partial results, and per-cell `reps_run` / `stop_reason` for
-//!   adaptive runs) with load/save, `v1`–`v3` reader-side migrations,
-//!   typed [`LoadError`]s and deterministic cell ordering;
+//!   partial results, per-cell `reps_run` / `stop_reason` for adaptive
+//!   runs, and an optional `telemetry` block carrying the engine
+//!   metrics snapshot of instrumented runs) with load/save, `v1`–`v4`
+//!   reader-side migrations, typed [`LoadError`]s and deterministic
+//!   cell ordering;
 //! * [`compare`] — regression detection against a stored baseline: the
 //!   noisy timing path (`ratio > 1 + threshold` ⇒ flagged) and the
 //!   machine-independent counter-exact path
@@ -65,7 +67,7 @@
 //! let cell = result.cell("armlet", "interp", "suite:System Call").unwrap();
 //! assert!(cell.counters.syscalls >= 16);
 //! let json = result.to_json();
-//! assert!(json.contains("simbench-campaign/v4"));
+//! assert!(json.contains("simbench-campaign/v5"));
 //! ```
 //!
 //! ## Adaptive example
@@ -139,8 +141,8 @@ pub use compare::{
 pub use measure::{run_app, run_suite_bench, Config, EngineKind, Guest, Sample};
 pub use merge::{merge, MergeError};
 pub use result::{
-    CampaignResult, CellResult, CellStatus, LoadError, StopReason, SCHEMA, SCHEMA_V1, SCHEMA_V2,
-    SCHEMA_V3,
+    CampaignResult, CellResult, CellStatus, LoadError, StopReason, Telemetry, SCHEMA, SCHEMA_V1,
+    SCHEMA_V2, SCHEMA_V3, SCHEMA_V4,
 };
 pub use runner::{run, run_shard, RunnerOpts};
 pub use spec::{CampaignSpec, CellKey, Job, PrecisionTarget, Shard, Workload};

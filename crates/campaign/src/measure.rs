@@ -234,9 +234,15 @@ fn cached_image(
     key: ImageKey,
     build: impl FnOnce() -> Option<GuestImage>,
 ) -> Option<Arc<GuestImage>> {
+    static OBS_HITS: simbench_obs::Counter =
+        simbench_obs::Counter::new("campaign.image_cache_hits");
+    static OBS_MISSES: simbench_obs::Counter =
+        simbench_obs::Counter::new("campaign.image_cache_misses");
     if let Some(img) = image_cache().lock().unwrap().get(&key) {
+        OBS_HITS.add(1);
         return Some(Arc::clone(img));
     }
+    OBS_MISSES.add(1);
     let img = Arc::new(build()?);
     let mut cache = image_cache().lock().unwrap();
     Some(Arc::clone(cache.entry(key).or_insert(img)))

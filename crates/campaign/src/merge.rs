@@ -291,6 +291,10 @@ pub fn merge(shards: &[CampaignResult]) -> Result<CampaignResult, MergeError> {
         shard: None,
         wall_secs: by_index.iter().map(|r| r.wall_secs).fold(0.0, f64::max),
         created_unix: by_index.iter().map(|r| r.created_unix).max().unwrap_or(0),
+        // Shard telemetry snapshots are process-wide and overlap in
+        // unknowable ways; a merged sum would be fiction, so merges
+        // carry no telemetry.
+        telemetry: None,
         cells,
     })
 }

@@ -2,16 +2,19 @@
 //! per matrix cell, carrying raw repetition timings, aggregate
 //! statistics, and the deterministic per-cell event profile.
 //!
-//! The current schema string is `simbench-campaign/v4`, which adds
-//! adaptive measurement: an optional top-level `precision` object
-//! (`{"target_rci": F, "min_reps": N, "max_reps": N}`) echoing the
-//! spec's adaptive target, per-cell `reps_run` and `stop_reason`
-//! (`converged` / `max_reps` / `fixed`), and a statistics block whose
-//! `rejected` count is split into `rejected_invalid` (impossible
-//! timings) and `outliers` (MAD-rejected) with Student-t confidence
-//! intervals. Readers accept the previous `v3` layout (whose stats are
-//! recomputed from the raw per-repetition timings, upgrading the old
-//! normal-approximation `ci95` in the process), the `v2` layout (which
+//! The current schema string is `simbench-campaign/v5`, which adds an
+//! optional top-level `telemetry` object: the engine-metrics snapshot
+//! (named monotonic counters plus sparse log₂-bucket histograms)
+//! captured when the campaign ran with telemetry enabled
+//! (`campaign run --trace`). Telemetry is observational — wall-clock
+//! flavoured, never architectural — so [`crate::compare`] ignores it
+//! entirely and sharded results drop it on merge.
+//!
+//! Readers accept the `v4` layout (identical but for the missing
+//! telemetry block; its stored statistics and stop reasons are kept
+//! verbatim), the `v3` layout (whose stats are recomputed from the raw
+//! per-repetition timings, upgrading the old normal-approximation
+//! `ci95` to Student-t in the process), the `v2` layout (which
 //! additionally lacked shard metadata), and the `v1` layout (which
 //! also lacked `tested_ops` / `counter_variants`), migrating them on
 //! load; anything else is rejected with a typed [`LoadError`] rather
@@ -29,9 +32,15 @@ use crate::spec::{CampaignSpec, PrecisionTarget, Shard, Workload};
 use crate::stats::Stats;
 
 /// Schema identifier written to every result file.
-pub const SCHEMA: &str = "simbench-campaign/v4";
+pub const SCHEMA: &str = "simbench-campaign/v5";
 
-/// The previous schema identifier (no adaptive-measurement fields,
+/// The previous schema identifier (no `telemetry` block), still
+/// accepted on load. Unlike older versions its statistics and stop
+/// reasons are trusted verbatim — v4 files may be adaptive runs whose
+/// `converged` / `max_reps` verdicts a recompute could not recover.
+pub const SCHEMA_V4: &str = "simbench-campaign/v4";
+
+/// The v3 schema identifier (no adaptive-measurement fields,
 /// normal-approximation CIs, a single `rejected` count), still accepted
 /// on load and migrated to the current layout.
 pub const SCHEMA_V3: &str = "simbench-campaign/v3";
@@ -70,7 +79,7 @@ impl std::fmt::Display for LoadError {
             LoadError::Schema { found } => write!(
                 f,
                 "unsupported schema {found:?} (expected {SCHEMA:?}, \
-                 {SCHEMA_V3:?}, {SCHEMA_V2:?} or {SCHEMA_V1:?})"
+                 {SCHEMA_V4:?}, {SCHEMA_V3:?}, {SCHEMA_V2:?} or {SCHEMA_V1:?})"
             ),
             LoadError::Malformed(e) => write!(f, "malformed campaign result: {e}"),
         }
@@ -208,6 +217,35 @@ impl CellResult {
     }
 }
 
+/// Engine-telemetry snapshot persisted alongside a campaign: named
+/// monotonic counters and sparse log₂-bucket histograms (`(bucket,
+/// count)` pairs, bucket = bit length of the value). Present only when
+/// the campaign ran with telemetry enabled; purely observational, so
+/// comparisons ignore it and merges drop it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Telemetry {
+    /// `(name, value)` per counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, nonzero log₂ buckets)` per histogram, name-sorted.
+    pub histograms: Vec<(String, Vec<(u32, u64)>)>,
+}
+
+impl Telemetry {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl From<simbench_obs::metrics::Snapshot> for Telemetry {
+    fn from(snap: simbench_obs::metrics::Snapshot) -> Telemetry {
+        Telemetry {
+            counters: snap.counters,
+            histograms: snap.histograms,
+        }
+    }
+}
+
 /// A completed campaign: spec echo plus every cell.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -232,6 +270,9 @@ pub struct CampaignResult {
     pub wall_secs: f64,
     /// Seconds since the Unix epoch when the campaign finished.
     pub created_unix: u64,
+    /// Engine-telemetry snapshot, when the campaign ran with telemetry
+    /// enabled. `None` for plain runs, pre-v5 files and merged results.
+    pub telemetry: Option<Telemetry>,
     /// One record per matrix cell, in spec cell order.
     pub cells: Vec<CellResult>,
 }
@@ -272,6 +313,26 @@ impl CampaignResult {
         }
         let _ = writeln!(out, "  \"wall_secs\": {},", json::num(self.wall_secs));
         let _ = writeln!(out, "  \"created_unix\": {},", self.created_unix);
+        if let Some(t) = self.telemetry.as_ref().filter(|t| !t.is_empty()) {
+            out.push_str("  \"telemetry\": {\n");
+            let counters: Vec<String> = t
+                .counters
+                .iter()
+                .map(|(name, v)| format!("{}: {v}", json::quote(name)))
+                .collect();
+            let _ = writeln!(out, "    \"counters\": {{{}}},", counters.join(", "));
+            let hists: Vec<String> = t
+                .histograms
+                .iter()
+                .map(|(name, buckets)| {
+                    let pairs: Vec<String> =
+                        buckets.iter().map(|(b, c)| format!("[{b}, {c}]")).collect();
+                    format!("{}: [{}]", json::quote(name), pairs.join(", "))
+                })
+                .collect();
+            let _ = writeln!(out, "    \"histograms\": {{{}}}", hists.join(", "));
+            out.push_str("  },\n");
+        }
         out.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
             out.push_str("    {");
@@ -341,9 +402,13 @@ impl CampaignResult {
         out
     }
 
-    /// Parse the versioned JSON format. Accepts the current `v4` layout
-    /// and migrates `v3`, `v2` and `v1` files in place. Migration of
-    /// every pre-`v4` document recomputes each Ok cell's statistics
+    /// Parse the versioned JSON format. Accepts the current `v5` layout
+    /// and migrates `v4`, `v3`, `v2` and `v1` files in place. A `v4`
+    /// document differs only by the missing optional `telemetry` block,
+    /// so its stored statistics and stop reasons are kept verbatim —
+    /// recomputing would clobber adaptive verdicts (`converged` /
+    /// `max_reps`) that cannot be recovered from the timings. Migration
+    /// of every pre-`v4` document recomputes each Ok cell's statistics
     /// from its raw per-repetition timings — upgrading the stored
     /// normal-approximation `ci95` to Student-t and splitting the old
     /// `rejected` count into `rejected_invalid` / `outliers` — and
@@ -358,7 +423,7 @@ impl CampaignResult {
             .and_then(Value::as_str)
             .ok_or_else(|| LoadError::Malformed("missing string \"schema\"".to_string()))?
             .to_string();
-        if ![SCHEMA, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1].contains(&schema.as_str()) {
+        if ![SCHEMA, SCHEMA_V4, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1].contains(&schema.as_str()) {
             return Err(LoadError::Schema { found: schema });
         }
         let malformed = LoadError::Malformed;
@@ -382,11 +447,13 @@ impl CampaignResult {
             .enumerate()
         {
             let mut cell = parse_cell(cv).map_err(|e| malformed(format!("cell {i}: {e}")))?;
-            if schema != SCHEMA {
+            if schema != SCHEMA && schema != SCHEMA_V4 {
                 // Pre-v4 migration: the raw timings are stored, so the
                 // statistics are recomputed rather than trusted — the
                 // old files carry normal-approximation CIs and a lumped
-                // `rejected` count that v4 retired.
+                // `rejected` count that v4 retired. v4 files are exempt:
+                // their stats are already current and their adaptive
+                // stop reasons must survive the round-trip.
                 cell.stats = crate::stats::stats(&cell.seconds);
                 if cell.status == CellStatus::Ok {
                     cell.reps_run = cell.seconds.len() as u32;
@@ -448,9 +515,13 @@ impl CampaignResult {
                 )
             }
         };
+        let telemetry = match root.get("telemetry") {
+            None => None,
+            Some(v) => Some(parse_telemetry(v).map_err(|e| malformed(format!("telemetry: {e}")))?),
+        };
         Ok(CampaignResult {
             // Migrated results are current-schema in memory, so saving a
-            // loaded v1, v2 or v3 file produces a v4 file.
+            // loaded v1..v4 file produces a v5 file.
             schema: SCHEMA.to_string(),
             name: str_field("name")?,
             scale: u64_field("scale")?,
@@ -460,6 +531,7 @@ impl CampaignResult {
             shard,
             wall_secs: root.get("wall_secs").and_then(Value::as_f64).unwrap_or(0.0),
             created_unix: u64_field("created_unix").unwrap_or(0),
+            telemetry,
             cells,
         })
     }
@@ -508,9 +580,48 @@ impl CampaignResult {
             shard: None,
             wall_secs: 0.0,
             created_unix: 0,
+            telemetry: None,
             cells,
         }
     }
+}
+
+/// Parse a persisted `telemetry` block. Counter values must be
+/// integers; histogram entries must be `[bucket, count]` pairs.
+/// `BTreeMap` iteration keeps both lists name-sorted.
+fn parse_telemetry(v: &Value) -> Result<Telemetry, String> {
+    let m = v.as_obj().ok_or("not an object")?;
+    let mut t = Telemetry::default();
+    if let Some(counters) = m.get("counters") {
+        let obj = counters.as_obj().ok_or("\"counters\" not an object")?;
+        for (name, v) in obj {
+            let v = v.as_u64().ok_or(format!("counter {name} not an integer"))?;
+            t.counters.push((name.clone(), v));
+        }
+    }
+    if let Some(hists) = m.get("histograms") {
+        let obj = hists.as_obj().ok_or("\"histograms\" not an object")?;
+        for (name, v) in obj {
+            let arr = v.as_arr().ok_or(format!("histogram {name} not an array"))?;
+            let mut buckets = Vec::with_capacity(arr.len());
+            for pair in arr {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or(format!("histogram {name}: bucket not a [b, n] pair"))?;
+                let b = pair[0]
+                    .as_u64()
+                    .filter(|&b| b < simbench_obs::metrics::HISTOGRAM_BUCKETS as u64)
+                    .ok_or(format!("histogram {name}: bad bucket index"))?;
+                let n = pair[1]
+                    .as_u64()
+                    .ok_or(format!("histogram {name}: bad bucket count"))?;
+                buckets.push((b as u32, n));
+            }
+            t.histograms.push((name.clone(), buckets));
+        }
+    }
+    Ok(t)
 }
 
 fn parse_cell(cv: &Value) -> Result<CellResult, String> {
@@ -694,6 +805,7 @@ mod tests {
             shard: None,
             wall_secs: 1.25,
             created_unix: 1_700_000_000,
+            telemetry: None,
             cells: vec![
                 CellResult {
                     guest: "armlet".to_string(),
@@ -960,5 +1072,89 @@ mod tests {
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0].0, "armlet");
         assert_eq!(groups[1].0, "petix");
+    }
+
+    fn demo_telemetry() -> Telemetry {
+        Telemetry {
+            counters: vec![
+                ("campaign.image_cache_hits".to_string(), 6),
+                ("dbt.translations".to_string(), 123),
+            ],
+            histograms: vec![("dbt.block_steps".to_string(), vec![(0, 2), (3, 5), (11, 1)])],
+        }
+    }
+
+    #[test]
+    fn telemetry_round_trips() {
+        let mut r = demo();
+        r.telemetry = Some(demo_telemetry());
+        let text = r.to_json();
+        assert!(
+            text.contains(
+                "\"counters\": {\"campaign.image_cache_hits\": 6, \"dbt.translations\": 123}"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"histograms\": {\"dbt.block_steps\": [[0, 2], [3, 5], [11, 1]]}"),
+            "{text}"
+        );
+        let parsed = CampaignResult::from_json(&text).unwrap();
+        assert_eq!(parsed.telemetry, Some(demo_telemetry()));
+        // Plain runs and empty snapshots carry no telemetry key at all.
+        assert!(!demo().to_json().contains("\"telemetry\""));
+        let mut empty = demo();
+        empty.telemetry = Some(Telemetry::default());
+        assert!(!empty.to_json().contains("\"telemetry\""));
+        assert_eq!(
+            CampaignResult::from_json(&demo().to_json())
+                .unwrap()
+                .telemetry,
+            None
+        );
+    }
+
+    #[test]
+    fn malformed_telemetry_is_a_typed_error() {
+        let mut r = demo();
+        r.telemetry = Some(demo_telemetry());
+        let good = r.to_json();
+        for (from, to) in [
+            (
+                "\"dbt.translations\": 123",
+                "\"dbt.translations\": \"lots\"",
+            ),
+            ("[3, 5]", "[3]"),
+            ("[11, 1]", "[65, 1]"),
+        ] {
+            let err = CampaignResult::from_json(&good.replace(from, to)).unwrap_err();
+            assert!(
+                matches!(err, LoadError::Malformed(_)),
+                "{from} -> {to}: {err}"
+            );
+            assert!(err.to_string().contains("telemetry"), "{err}");
+        }
+    }
+
+    #[test]
+    fn v4_files_migrate_without_recomputing_verdicts() {
+        // A v4 document is the current layout minus telemetry. Its
+        // adaptive stop reasons and stored stats must survive verbatim:
+        // a recompute would turn `converged` into `fixed`.
+        let mut r = demo();
+        r.precision = Some(PrecisionTarget::new(0.2, 2, 8).unwrap());
+        r.cells[0].stop_reason = Some(StopReason::Converged);
+        let text = r.to_json().replace(SCHEMA, SCHEMA_V4);
+        assert!(text.contains(SCHEMA_V4));
+        let parsed = CampaignResult::from_json(&text).unwrap();
+        assert_eq!(parsed.schema, SCHEMA);
+        assert_eq!(parsed.cells[0].stop_reason, Some(StopReason::Converged));
+        assert_eq!(
+            parsed.cells[0].stats.unwrap(),
+            r.cells[0].stats.unwrap(),
+            "v4 stats are trusted, not recomputed"
+        );
+        assert_eq!(parsed.telemetry, None);
+        assert!(parsed.to_json().contains(SCHEMA));
     }
 }

@@ -34,7 +34,7 @@ use simbench_core::engine::ExitReason;
 
 use crate::measure::{run_app, run_suite_bench, Config, Sample};
 use crate::result::{CampaignResult, CellStatus, StopReason};
-use crate::spec::{CampaignSpec, Job, PrecisionTarget, Shard, Workload};
+use crate::spec::{CampaignSpec, CellKey, Job, PrecisionTarget, Shard, Workload};
 use crate::stats::stats;
 
 /// Execution options.
@@ -82,7 +82,42 @@ struct JobOutcome {
     sample: RepOutcome,
 }
 
+/// Call `f` with the cell's identity as progress-record borrows. The
+/// id strings are only built when progress emission is on, so the off
+/// path is one relaxed load and never allocates.
+fn with_cell_id(key: &CellKey, f: impl FnOnce(simbench_obs::progress::CellId<'_>)) {
+    if simbench_obs::progress::mode() == simbench_obs::ProgressMode::Off {
+        return;
+    }
+    let engine = key.engine.id();
+    let workload = key.workload.id();
+    f(simbench_obs::progress::CellId {
+        guest: key.guest.isa_name(),
+        engine: &engine,
+        workload: &workload,
+    });
+}
+
+/// Emit the cell's terminal progress record from its scheduler state.
+fn progress_finish(key: &CellKey, cell: &CellSched) {
+    let status = if cell.absent {
+        "not_on_isa"
+    } else if cell.terminal {
+        "failed"
+    } else {
+        "ok"
+    };
+    let reps = cell.completed;
+    with_cell_id(key, |id| {
+        simbench_obs::progress::cell_finish(id, status, reps);
+    });
+}
+
 fn execute(job: &Job, cfg: &Config) -> RepOutcome {
+    let _obs = simbench_obs::span!("campaign.repetition");
+    if job.rep == 0 {
+        with_cell_id(&job.key, simbench_obs::progress::cell_start);
+    }
     let key = job.key;
     catch_unwind(AssertUnwindSafe(|| match key.workload {
         Workload::Suite(bench) => run_suite_bench(key.guest, key.engine, bench, cfg),
@@ -109,6 +144,9 @@ struct CellSched {
     /// A repetition failed (panic, limit, unsupported) or the workload
     /// is absent: never launch further repetitions for this cell.
     terminal: bool,
+    /// The workload is absent on the ISA (a flavour of `terminal` the
+    /// progress stream reports distinctly).
+    absent: bool,
     stop: Option<StopReason>,
 }
 
@@ -119,6 +157,7 @@ impl CellSched {
             completed: 0,
             seconds: Vec::new(),
             terminal: false,
+            absent: false,
             stop: None,
         }
     }
@@ -144,29 +183,51 @@ fn on_complete(
     match &outcome.sample {
         Ok(Some(sample)) if sample.exit == ExitReason::Halted => {
             cell.seconds.push(sample.seconds);
+            static OBS_REP_WALL: simbench_obs::Histogram =
+                simbench_obs::Histogram::new("campaign.rep_wall_ns");
+            OBS_REP_WALL.observe((sample.seconds * 1e9) as u64);
         }
         // Panics, limit/unsupported exits and absent workloads are
         // terminal: burning the repetition budget on a cell that cannot
         // produce a clean measurement would only slow the campaign.
+        Ok(None) => {
+            cell.terminal = true;
+            cell.absent = true;
+        }
         _ => cell.terminal = true,
     }
     let Some(p) = precision else {
-        return None; // fixed mode: all repetitions were launched up front
+        // Fixed mode: all repetitions were launched up front.
+        if cell.completed == cell.launched {
+            progress_finish(&job.key, cell);
+        }
+        return None;
     };
     if cell.terminal || cell.completed < cell.launched {
+        if cell.terminal && cell.completed == cell.launched {
+            progress_finish(&job.key, cell);
+        }
         return None;
     }
-    let converged = stats(&cell.seconds)
-        .and_then(|s| s.rel_ci95())
-        .is_some_and(|rci| rci <= p.target_rci);
-    if converged {
+    let rci = stats(&cell.seconds).and_then(|s| s.rel_ci95());
+    if rci.is_some_and(|r| r <= p.target_rci) {
         cell.stop = Some(StopReason::Converged);
+        let (reps, rci) = (cell.completed, rci.unwrap_or(0.0));
+        with_cell_id(&job.key, |id| {
+            simbench_obs::progress::cell_converge(id, reps, rci);
+        });
+        progress_finish(&job.key, cell);
         return None;
     }
     if cell.launched >= p.max_reps {
         cell.stop = Some(StopReason::MaxReps);
+        progress_finish(&job.key, cell);
         return None;
     }
+    static OBS_REENQUEUES: simbench_obs::Counter =
+        simbench_obs::Counter::new("campaign.adaptive_reenqueues");
+    OBS_REENQUEUES.add(1);
+    simbench_obs::event!("campaign.reenqueue");
     let rep = cell.launched;
     cell.launched += 1;
     Some(Job {
@@ -188,7 +249,10 @@ pub fn run(spec: &CampaignSpec, opts: &RunnerOpts) -> CampaignResult {
 /// shards into a result counter-identical to an unsharded run.
 pub fn run_shard(spec: &CampaignSpec, opts: &RunnerOpts, shard: Option<Shard>) -> CampaignResult {
     let t0 = Instant::now();
-    let jobs = spec.expand_shard(shard);
+    let jobs = {
+        let _obs = simbench_obs::span!("campaign.expand");
+        spec.expand_shard(shard)
+    };
     let cfg = spec.config();
     let workers = opts.jobs.max(1).min(jobs.len().max(1));
 
@@ -211,6 +275,7 @@ pub fn run_shard(spec: &CampaignSpec, opts: &RunnerOpts, shard: Option<Shard>) -
     };
 
     // Record the worker count that actually executed, not the request.
+    let _obs = simbench_obs::span!("campaign.stats");
     finalize(
         spec,
         workers,
@@ -239,7 +304,7 @@ fn run_serial(
             rep: job.rep,
             sample: execute(&job, cfg),
         };
-        if verbose {
+        if verbose || simbench_obs::log::enabled(simbench_obs::log::LEVEL_DEBUG) {
             eprintln!(
                 "[campaign] {}/{} {} rep {}",
                 job.key.guest.isa_name(),
@@ -325,7 +390,7 @@ fn run_pool(
                 let mut st = state.lock().unwrap();
                 st.in_flight -= 1;
                 st.done += 1;
-                if verbose {
+                if verbose || simbench_obs::log::enabled(simbench_obs::log::LEVEL_DEBUG) {
                     // In adaptive mode the initial job count is only a
                     // floor — convergence decides the real total — so
                     // the denominator carries a trailing '+'.

@@ -1,15 +1,16 @@
 //! Golden-fixture tests for the persisted campaign schema.
 //!
 //! The committed fixtures pin the on-disk format: `campaign_v1.json`,
-//! `campaign_v2.json` and `campaign_v3.json` are legacy documents,
-//! `campaign_v4.json` is their migrated `simbench-campaign/v4`
-//! rendering (Student-t statistics recomputed from the raw timings,
-//! `reps_run` / `stop_reason` filled in), and `campaign_v3_shard.json`
-//! / `campaign_v4_shard.json` pin a partial (shard) result with shard
-//! metadata and `skipped` cells in both generations. Any unintentional
-//! change to the serializer, the parser, or a migration shows up here
-//! as a byte diff; after an *intentional* schema change, regenerate
-//! the v4 fixtures with
+//! `campaign_v2.json`, `campaign_v3.json` and `campaign_v4.json` are
+//! legacy documents, `campaign_v5.json` is their migrated
+//! `simbench-campaign/v5` rendering (pre-v4 statistics recomputed from
+//! the raw timings, `reps_run` / `stop_reason` filled in; v4 documents
+//! pass through with stats and verdicts untouched), and
+//! `campaign_v3_shard.json` / `campaign_v5_shard.json` pin a partial
+//! (shard) result with shard metadata and `skipped` cells across
+//! generations. Any unintentional change to the serializer, the
+//! parser, or a migration shows up here as a byte diff; after an
+//! *intentional* schema change, regenerate the v5 fixtures with
 //!
 //! ```sh
 //! cargo test -p simbench-campaign --test golden regen -- --ignored
@@ -17,7 +18,7 @@
 
 use simbench_campaign::{
     CampaignResult, CellStatus, LoadError, Shard, StopReason, SCHEMA, SCHEMA_V1, SCHEMA_V2,
-    SCHEMA_V3,
+    SCHEMA_V3, SCHEMA_V4,
 };
 
 const V1: &str = include_str!("fixtures/campaign_v1.json");
@@ -26,11 +27,13 @@ const V3: &str = include_str!("fixtures/campaign_v3.json");
 const V3_SHARD: &str = include_str!("fixtures/campaign_v3_shard.json");
 const V4: &str = include_str!("fixtures/campaign_v4.json");
 const V4_SHARD: &str = include_str!("fixtures/campaign_v4_shard.json");
+const V5: &str = include_str!("fixtures/campaign_v5.json");
+const V5_SHARD: &str = include_str!("fixtures/campaign_v5_shard.json");
 
 /// The shard fixture's in-memory value: shard 2 of 3, one owned cell
 /// measured, the two unowned cells skipped.
 fn shard_demo() -> CampaignResult {
-    let mut r = CampaignResult::from_json(V4).unwrap();
+    let mut r = CampaignResult::from_json(V5).unwrap();
     r.shard = Some(Shard::new(2, 3).unwrap());
     for (i, cell) in r.cells.iter_mut().enumerate() {
         if i != 1 {
@@ -50,40 +53,59 @@ fn shard_demo() -> CampaignResult {
 }
 
 #[test]
-fn v4_fixture_round_trips_byte_stably() {
-    let parsed = CampaignResult::from_json(V4).expect("v4 fixture parses");
+fn v5_fixture_round_trips_byte_stably() {
+    let parsed = CampaignResult::from_json(V5).expect("v5 fixture parses");
     assert_eq!(parsed.schema, SCHEMA);
     assert_eq!(parsed.shard, None);
+    assert_eq!(parsed.telemetry, None);
     assert_eq!(
         parsed.to_json(),
-        V4,
-        "re-serializing the v4 fixture must reproduce it byte for byte"
+        V5,
+        "re-serializing the v5 fixture must reproduce it byte for byte"
     );
 }
 
 #[test]
-fn v4_shard_fixture_round_trips_byte_stably() {
-    let parsed = CampaignResult::from_json(V4_SHARD).expect("v4 shard fixture parses");
+fn v5_shard_fixture_round_trips_byte_stably() {
+    let parsed = CampaignResult::from_json(V5_SHARD).expect("v5 shard fixture parses");
     assert_eq!(parsed.schema, SCHEMA);
     assert_eq!(parsed.shard, Some(Shard::new(2, 3).unwrap()));
     assert_eq!(parsed.cells[0].status, CellStatus::Skipped);
     assert_eq!(parsed.cells[1].status, CellStatus::Ok);
     assert_eq!(
         parsed.to_json(),
-        V4_SHARD,
+        V5_SHARD,
         "re-serializing the shard fixture must reproduce it byte for byte"
     );
 }
 
 #[test]
-fn v3_fixture_migrates_to_exactly_the_v4_fixture() {
+fn v4_fixture_migrates_to_exactly_the_v5_fixture() {
+    assert!(V4.contains(SCHEMA_V4));
+    let migrated = CampaignResult::from_json(V4).expect("v4 fixture parses");
+    assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
+    assert_eq!(
+        migrated.to_json(),
+        V5,
+        "saving a loaded v4 file must produce the committed v5 rendering \
+         (the only difference is the schema line)"
+    );
+    // v4 statistics and stop verdicts are trusted verbatim — unlike
+    // the pre-v4 migrations nothing is recomputed.
+    assert_eq!(migrated.cells[0].reps_run, 2);
+    assert_eq!(migrated.cells[0].stop_reason, Some(StopReason::Fixed));
+    assert_eq!(migrated.telemetry, None, "v4 predates telemetry");
+}
+
+#[test]
+fn v3_fixture_migrates_to_exactly_the_v5_fixture() {
     assert!(V3.contains(SCHEMA_V3));
     let migrated = CampaignResult::from_json(V3).expect("v3 fixture parses");
     assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
     assert_eq!(
         migrated.to_json(),
-        V4,
-        "saving a loaded v3 file must produce the committed v4 rendering"
+        V5,
+        "saving a loaded v3 file must produce the committed v5 rendering"
     );
     // Migration recomputes the statistics from the raw timings: the
     // stored v3 CI used the normal 1.96 critical value, the migrated
@@ -108,39 +130,47 @@ fn v3_fixture_migrates_to_exactly_the_v4_fixture() {
 }
 
 #[test]
-fn v3_shard_fixture_migrates_to_exactly_the_v4_shard_fixture() {
+fn v4_shard_fixture_migrates_to_exactly_the_v5_shard_fixture() {
+    let migrated = CampaignResult::from_json(V4_SHARD).expect("v4 shard fixture parses");
+    assert_eq!(migrated.schema, SCHEMA);
+    assert_eq!(migrated.shard, Some(Shard::new(2, 3).unwrap()));
+    assert_eq!(migrated.to_json(), V5_SHARD);
+}
+
+#[test]
+fn v3_shard_fixture_migrates_to_exactly_the_v5_shard_fixture() {
     let migrated = CampaignResult::from_json(V3_SHARD).expect("v3 shard fixture parses");
     assert_eq!(migrated.schema, SCHEMA);
     assert_eq!(migrated.shard, Some(Shard::new(2, 3).unwrap()));
     assert_eq!(
         migrated.to_json(),
-        V4_SHARD,
-        "saving a loaded v3 shard file must produce the committed v4 rendering"
+        V5_SHARD,
+        "saving a loaded v3 shard file must produce the committed v5 rendering"
     );
 }
 
 #[test]
-fn v2_fixture_migrates_to_exactly_the_v4_fixture() {
+fn v2_fixture_migrates_to_exactly_the_v5_fixture() {
     assert!(V2.contains(SCHEMA_V2));
     let migrated = CampaignResult::from_json(V2).expect("v2 fixture parses");
     assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
     assert_eq!(migrated.shard, None, "v2 predates sharding");
     assert_eq!(
         migrated.to_json(),
-        V4,
-        "saving a loaded v2 file must produce the committed v4 rendering"
+        V5,
+        "saving a loaded v2 file must produce the committed v5 rendering"
     );
 }
 
 #[test]
-fn v1_fixture_migrates_to_exactly_the_v4_fixture() {
+fn v1_fixture_migrates_to_exactly_the_v5_fixture() {
     assert!(V1.contains(SCHEMA_V1));
     let migrated = CampaignResult::from_json(V1).expect("v1 fixture parses");
     assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
     assert_eq!(
         migrated.to_json(),
-        V4,
-        "saving a loaded v1 file must produce the committed v4 rendering"
+        V5,
+        "saving a loaded v1 file must produce the committed v5 rendering"
     );
     // Migration recomputes the tested-op count from the stored profile.
     assert_eq!(migrated.cells[0].tested_ops, Some(2500));
@@ -167,8 +197,8 @@ fn migrated_fixture_keeps_cell_semantics() {
 
 #[test]
 fn unknown_schema_versions_are_typed_errors() {
-    for found in ["simbench-campaign/v0", "simbench-campaign/v5", "nonsense"] {
-        let text = V4.replace(SCHEMA, found);
+    for found in ["simbench-campaign/v0", "simbench-campaign/v6", "nonsense"] {
+        let text = V5.replace(SCHEMA, found);
         match CampaignResult::from_json(&text) {
             Err(LoadError::Schema { found: f }) => assert_eq!(f, found),
             other => panic!("expected a schema error for {found:?}, got {other:?}"),
@@ -195,27 +225,36 @@ fn malformed_documents_are_typed_errors_not_panics() {
         Err(LoadError::Malformed(_))
     ));
     // Unknown counter name inside a cell.
-    let text = V4.replace("\"instructions\"", "\"instruction_bytes\"");
+    let text = V5.replace("\"instructions\"", "\"instruction_bytes\"");
     match CampaignResult::from_json(&text) {
         Err(LoadError::Malformed(e)) => assert!(e.contains("unknown counter"), "{e}"),
         other => panic!("expected malformed, got {other:?}"),
     }
     // Corrupted timing entry.
-    let text = V4.replace("[0.011, 0.0105]", "[0.011, true]");
+    let text = V5.replace("[0.011, 0.0105]", "[0.011, true]");
     assert!(matches!(
         CampaignResult::from_json(&text),
         Err(LoadError::Malformed(_))
     ));
     // An unknown stop reason.
-    let text = V4.replace("\"stop_reason\": \"fixed\"", "\"stop_reason\": \"bored\"");
+    let text = V5.replace("\"stop_reason\": \"fixed\"", "\"stop_reason\": \"bored\"");
     match CampaignResult::from_json(&text) {
         Err(LoadError::Malformed(e)) => assert!(e.contains("stop_reason"), "{e}"),
         other => panic!("expected malformed, got {other:?}"),
     }
     // Shard metadata with an out-of-range index.
-    let text = V4_SHARD.replace("\"index\": 2", "\"index\": 9");
+    let text = V5_SHARD.replace("\"index\": 2", "\"index\": 9");
     match CampaignResult::from_json(&text) {
         Err(LoadError::Malformed(e)) => assert!(e.contains("shard"), "{e}"),
+        other => panic!("expected malformed, got {other:?}"),
+    }
+    // A telemetry block that is not an object.
+    let text = V5.replace(
+        "\"created_unix\": 1700000000,",
+        "\"created_unix\": 1700000000,\n  \"telemetry\": [],",
+    );
+    match CampaignResult::from_json(&text) {
+        Err(LoadError::Malformed(e)) => assert!(e.contains("telemetry"), "{e}"),
         other => panic!("expected malformed, got {other:?}"),
     }
 }
@@ -226,27 +265,27 @@ fn unreadable_files_are_io_errors() {
     assert!(matches!(err, LoadError::Io(_)), "{err}");
 }
 
-/// Regenerates `fixtures/campaign_v4.json` from the committed v1
+/// Regenerates `fixtures/campaign_v5.json` from the committed v1
 /// fixture. Ignored by default: run it manually after an intentional
 /// schema change, then review the diff.
 #[test]
-#[ignore = "writes the v4 fixture; run manually after intentional schema changes"]
-fn regen_v4_fixture() {
+#[ignore = "writes the v5 fixture; run manually after intentional schema changes"]
+fn regen_v5_fixture() {
     let migrated = CampaignResult::from_json(V1).unwrap();
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
-        "/tests/fixtures/campaign_v4.json"
+        "/tests/fixtures/campaign_v5.json"
     );
     std::fs::write(path, migrated.to_json()).unwrap();
 }
 
-/// Regenerates `fixtures/campaign_v4_shard.json` from the v4 fixture.
+/// Regenerates `fixtures/campaign_v5_shard.json` from the v5 fixture.
 #[test]
 #[ignore = "writes the shard fixture; run manually after intentional schema changes"]
-fn regen_v4_shard_fixture() {
+fn regen_v5_shard_fixture() {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
-        "/tests/fixtures/campaign_v4_shard.json"
+        "/tests/fixtures/campaign_v5_shard.json"
     );
     std::fs::write(path, shard_demo().to_json()).unwrap();
 }

@@ -178,7 +178,14 @@ impl CodeCache {
         let id = self.blocks.len() as TbId;
         let first_in_page = !self.page_has_code(ppage);
         let steps_start = self.steps.len() as u32;
+        let cap_before = self.steps.capacity();
         self.steps.extend_from_slice(steps);
+        if self.steps.capacity() != cap_before {
+            static OBS_ARENA_GROWTHS: simbench_obs::Counter =
+                simbench_obs::Counter::new("dbt.arena_growths");
+            OBS_ARENA_GROWTHS.add(1);
+            simbench_obs::event!("dbt.arena_growth");
+        }
         self.map.insert((pc, ppage), id);
         self.page_blocks.entry(ppage).or_default().push(id);
         self.blocks.push(Tb {
@@ -216,6 +223,10 @@ impl CodeCache {
         }
         ids.clear();
         self.unchain_all();
+        static OBS_TOMBSTONES: simbench_obs::Counter =
+            simbench_obs::Counter::new("dbt.tombstoned_blocks");
+        OBS_TOMBSTONES.add(n as u64);
+        simbench_obs::event!("dbt.invalidate_page");
         n
     }
 
@@ -241,6 +252,10 @@ impl CodeCache {
         }
         self.ibtc.clear();
         self.full_flushes += 1;
+        static OBS_FULL_FLUSHES: simbench_obs::Counter =
+            simbench_obs::Counter::new("dbt.full_flushes");
+        OBS_FULL_FLUSHES.add(1);
+        simbench_obs::event!("dbt.flush_all");
     }
 
     /// Number of live blocks (diagnostics).

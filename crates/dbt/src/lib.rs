@@ -189,6 +189,7 @@ impl<I: Isa> Dbt<I> {
         counters: &mut Counters,
         pc: u32,
     ) -> Result<TbId, MemFault> {
+        let _obs = simbench_obs::span!("dbt.translate");
         let first_pa = self.translate_exec(&m.cpu, &m.sys, &mut m.bus, pc)?;
         let ppage = page_of(first_pa);
         self.scratch.clear();
@@ -247,6 +248,12 @@ impl<I: Isa> Dbt<I> {
 
         opt::optimize(&mut self.scratch, self.profile.optimizer_level);
         counters.blocks_translated += 1;
+        static OBS_TRANSLATIONS: simbench_obs::Counter =
+            simbench_obs::Counter::new("dbt.translations");
+        static OBS_BLOCK_STEPS: simbench_obs::Histogram =
+            simbench_obs::Histogram::new("dbt.block_steps");
+        OBS_TRANSLATIONS.add(1);
+        OBS_BLOCK_STEPS.observe(self.scratch.len() as u64);
 
         let (id, first_in_page) = self
             .code
@@ -437,6 +444,9 @@ impl<I: Isa, B: Bus> Ctx<'_, I, B> {
             }
             None => {
                 self.counters.tlb_misses += 1;
+                static OBS_TLB_REFILLS: simbench_obs::Counter =
+                    simbench_obs::Counter::new("dbt.tlb_refills");
+                OBS_TLB_REFILLS.add(1);
                 let e: TlbEntry = I::walk(self.sys, self.bus, va).map_err(|mut f| {
                     f.access = access;
                     f

@@ -33,6 +33,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod model;
+pub mod report;
 pub mod selfbench;
 pub mod table;
 

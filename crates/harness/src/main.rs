@@ -6,22 +6,40 @@
 //!                                   [--guests LIST] [--engines LIST] [--benches LIST]
 //!                                   [--apps] [--versions] [--shard I/N]
 //!                                   [--precision RCI [--min-reps N] [--max-reps N]]
+//!                                   [--trace FILE] [--progress[=ndjson]]
 //! simbench-harness campaign merge   <SHARD.json>... --out FILE
 //! simbench-harness campaign compare <CURRENT.json> --baseline FILE
 //!                                   [--threshold FRAC | --counters [--tolerance FRAC]]
 //! simbench-harness campaign list
+//! simbench-harness report <CAMPAIGN.json>
 //! simbench-harness model <calibrate|predict|validate> <CAMPAIGN.json>
 //!                        [--guest G] [--engine E] [--profile-engine P] [--max-error FACTOR]
-//! simbench-harness selfbench <CAMPAIGN.json> [--out FILE]
+//! simbench-harness selfbench <CAMPAIGN.json> [--out FILE] [--gate BASELINE.json]
 //! simbench-harness --list
 //! ```
 //!
+//! `--quiet` / `-v` are global: they may appear anywhere on the command
+//! line and set the stderr log level (warnings only / debug). Stdout
+//! reports, persisted files and exit codes are level-independent —
+//! `--quiet` can never change what a script parses.
+//!
+//! Observability: `campaign run --trace FILE` switches the process-wide
+//! telemetry on, writes a Chrome trace-event JSON of the run's spans
+//! and events to FILE, and snapshots the engine-metric registry into
+//! the persisted campaign's `telemetry` block (rendered later by
+//! `report`). `--progress` streams per-cell start/converge/finish
+//! records on stderr; `--progress=ndjson` emits them as one JSON object
+//! per line. `selfbench --gate` compares wall-clock rates against a
+//! stored baseline and exits 1 only when Student-t confidence
+//! intervals separate.
+//!
 //! Unknown flags and malformed values are hard errors: a typo must not
 //! silently change what gets measured. Exit codes are part of the
-//! interface: 0 clean, 1 regression (timing or counter drift), 2 a cell
-//! that completed in the baseline no longer completes, 3 usage errors
-//! and unreadable inputs, 4 an incoherent shard set handed to
-//! `campaign merge` (overlapping, missing or spec-mismatched shards).
+//! interface: 0 clean, 1 regression (timing or counter drift, or a
+//! separated wall-clock CI under `selfbench --gate`), 2 a cell that
+//! completed in the baseline no longer completes, 3 usage errors and
+//! unreadable inputs, 4 an incoherent shard set handed to `campaign
+//! merge` (overlapping, missing or spec-mismatched shards).
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -41,14 +59,17 @@ const USAGE: &str = "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8
                                      [--guests LIST] [--engines LIST] [--benches LIST]
                                      [--apps] [--versions] [--shard I/N]
                                      [--precision RCI [--min-reps N] [--max-reps N]]
+                                     [--trace FILE] [--progress[=ndjson]]
        simbench-harness campaign merge <SHARD.json>... --out FILE
        simbench-harness campaign compare <CURRENT.json> --baseline FILE
                                      [--threshold FRAC | --counters [--tolerance FRAC]]
        simbench-harness campaign list
+       simbench-harness report <CAMPAIGN.json>
        simbench-harness model <calibrate|predict|validate> <CAMPAIGN.json>
                               [--guest G] [--engine E] [--profile-engine P] [--max-error FACTOR]
-       simbench-harness selfbench <CAMPAIGN.json> [--out FILE]
-       simbench-harness --list";
+       simbench-harness selfbench <CAMPAIGN.json> [--out FILE] [--gate BASELINE.json]
+       simbench-harness --list
+global flags (anywhere on the line): --quiet (warnings only), -v/--verbose (debug)";
 
 fn fail(msg: &str) -> ! {
     eprintln!("simbench-harness: {msg}");
@@ -88,10 +109,29 @@ impl Args {
 
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // Global log-level flags are position-independent — `campaign run
+    // --quiet` and `--quiet campaign run` mean the same thing — so they
+    // are extracted before subcommand dispatch. Everything they affect
+    // is stderr narration; stdout reports and exit codes never change.
+    let quiet = argv.iter().any(|a| a == "--quiet");
+    let verbose = argv.iter().any(|a| a == "-v" || a == "--verbose");
+    if quiet && verbose {
+        fail("--quiet conflicts with -v/--verbose");
+    }
+    argv.retain(|a| a != "--quiet" && a != "-v" && a != "--verbose");
+    if quiet {
+        simbench_obs::log::set_level(simbench_obs::log::LEVEL_QUIET);
+    } else if verbose {
+        simbench_obs::log::set_level(simbench_obs::log::LEVEL_DEBUG);
+    }
     match argv.first().map(String::as_str) {
         Some("campaign") => {
             argv.remove(0);
             campaign_main(argv)
+        }
+        Some("report") => {
+            argv.remove(0);
+            report_main(argv)
         }
         Some("model") => {
             argv.remove(0);
@@ -162,12 +202,14 @@ fn figures_main(argv: Vec<String>) -> ExitCode {
             "fig8" => fig8::run(&cfg).1,
             _ => unreachable!("figure validated above"),
         };
-        eprintln!("[{name} completed in {:.1?}]", t0.elapsed());
+        simbench_obs::info!("[{name} completed in {:.1?}]", t0.elapsed());
         output.push_str(&text);
         output.push('\n');
     };
 
-    eprintln!("scale divisor: {scale} (paper iteration counts / {scale}), {jobs} worker(s)");
+    simbench_obs::info!(
+        "scale divisor: {scale} (paper iteration counts / {scale}), {jobs} worker(s)"
+    );
     if which == "all" {
         for name in ["fig5", "fig4", "fig3", "fig7", "fig2", "fig6", "fig8"] {
             run_one(name, &mut output);
@@ -215,8 +257,16 @@ fn campaign_run(mut args: Args) -> ExitCode {
     let mut min_reps: Option<u32> = None;
     let mut max_reps: Option<u32> = None;
     let mut explicit_reps = false;
+    let mut trace_path: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--trace" => trace_path = Some(args.value_of("--trace")),
+            "--progress" => {
+                simbench_obs::progress::set_mode(simbench_obs::ProgressMode::Human);
+            }
+            "--progress=ndjson" => {
+                simbench_obs::progress::set_mode(simbench_obs::ProgressMode::Ndjson);
+            }
             "--scale" => spec.scale = args.parse_of("--scale"),
             "--jobs" => jobs = args.parse_of::<usize>("--jobs").max(1),
             "--reps" => {
@@ -310,7 +360,7 @@ fn campaign_run(mut args: Args) -> ExitCode {
     let adaptive_note = spec
         .precision
         .map_or(String::new(), |p| format!(" initial (adaptive: {p})"));
-    eprintln!(
+    simbench_obs::info!(
         "[campaign {}] {} guests × {} engines × {} workloads = {cells} cells, \
          {total_jobs} jobs{adaptive_note} on {jobs} worker(s), scale {}{shard_note}",
         spec.name,
@@ -319,7 +369,16 @@ fn campaign_run(mut args: Args) -> ExitCode {
         spec.workloads.len(),
         spec.scale,
     );
-    let result = run_shard(
+    // --trace arms the whole telemetry subsystem for this process:
+    // spans/events for the trace file, metrics for the persisted
+    // snapshot. Default runs keep both off — the recording sites then
+    // cost one relaxed load + branch each, so the measurements a trace
+    // run perturbs are only its own.
+    if trace_path.is_some() {
+        simbench_obs::set_tracing(true);
+        simbench_obs::set_metrics(true);
+    }
+    let mut result = run_shard(
         &spec,
         &RunnerOpts {
             jobs,
@@ -327,14 +386,29 @@ fn campaign_run(mut args: Args) -> ExitCode {
         },
         shard,
     );
-    eprintln!(
+    simbench_obs::info!(
         "[campaign {}{shard_note} finished in {:.2}s]",
-        spec.name, result.wall_secs
+        spec.name,
+        result.wall_secs
     );
 
+    if trace_path.is_some() {
+        let telemetry = simbench_campaign::Telemetry::from(simbench_obs::metrics::snapshot());
+        if !telemetry.is_empty() {
+            result.telemetry = Some(telemetry);
+        }
+    }
     print!("{}", render_summary(&result));
     if let Some(path) = out_path {
+        let _obs = simbench_obs::span!("campaign.persist");
         write_file(&path, result.to_json().as_bytes());
+    }
+    if let Some(path) = trace_path {
+        // Stop recording before draining, so the drain observes a
+        // complete, quiescent set of rings (the persist span above is
+        // the last thing recorded).
+        simbench_obs::set_tracing(false);
+        write_file(&path, simbench_obs::trace::chrome_trace_json().as_bytes());
     }
     // Expected matrix holes (`-` / `-†`) are fine; cells that *failed*
     // (limits, panics) mean the measurement run itself is unsound.
@@ -343,7 +417,7 @@ fn campaign_run(mut args: Args) -> ExitCode {
         .iter()
         .any(|c| matches!(c.status, simbench_campaign::CellStatus::Failed(_)));
     if failed {
-        eprintln!(
+        simbench_obs::warn!(
             "[campaign {}: some cells failed — exiting non-zero]",
             spec.name
         );
@@ -377,11 +451,11 @@ fn campaign_merge(mut args: Args) -> ExitCode {
     let merged = match merge(&shards) {
         Ok(m) => m,
         Err(e) => {
-            eprintln!("simbench-harness: cannot merge: {e}");
+            simbench_obs::warn!("simbench-harness: cannot merge: {e}");
             return ExitCode::from(4);
         }
     };
-    eprintln!(
+    simbench_obs::info!(
         "[merged {} shard(s): {} cells, campaign {}]",
         shards.len(),
         merged.cells.len(),
@@ -608,7 +682,7 @@ fn model_main(argv: Vec<String>) -> ExitCode {
                 );
                 if let Some(limit) = m.max_error {
                     if geo > limit {
-                        eprintln!(
+                        simbench_obs::warn!(
                             "[model validate: geomean error {geo:.2}× exceeds --max-error {limit}×]"
                         );
                         return ExitCode::FAILURE;
@@ -622,22 +696,55 @@ fn model_main(argv: Vec<String>) -> ExitCode {
 }
 
 // ---------------------------------------------------------------------------
+// Report mode.
+// ---------------------------------------------------------------------------
+
+/// `report <CAMPAIGN.json>`: the human summary of a stored campaign
+/// plus its `telemetry` block — engine-metric counters and histograms
+/// snapshotted by `campaign run --trace`.
+fn report_main(argv: Vec<String>) -> ExitCode {
+    let mut args = Args::new(argv);
+    let mut campaign_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            path if !path.starts_with('-') && campaign_path.is_none() => {
+                campaign_path = Some(path.to_string())
+            }
+            path if !path.starts_with('-') => fail(&format!(
+                "unexpected argument {path:?} (campaign file already given)"
+            )),
+            flag => fail(&format!("unknown flag {flag:?}")),
+        }
+    }
+    let path = campaign_path.unwrap_or_else(|| fail("report needs a stored campaign JSON file"));
+    let result = CampaignResult::load(&path).unwrap_or_else(|e| fail(&e.to_string()));
+    print!("{}", render_summary(&result));
+    print!("{}", simbench_harness::report::render_telemetry(&result));
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
 // Self-bench mode.
 // ---------------------------------------------------------------------------
 
-/// `selfbench <CAMPAIGN.json> [--out FILE]`: derive per-cell simulator
-/// throughput (MIPS / Muops/s) from a stored campaign's iteration
-/// counts, instruction counters and median timings. With `--out`, the
-/// `simbench-hotloop/v1` JSON report is persisted — CI uploads it as
-/// `BENCH_hotloop.json` to track the wall-clock trajectory alongside
-/// the counter-exact baseline.
+/// `selfbench <CAMPAIGN.json> [--out FILE] [--gate BASELINE.json]`:
+/// derive per-cell simulator throughput (MIPS / Muops/s) from a stored
+/// campaign's iteration counts, instruction counters and median
+/// timings. With `--out`, the `simbench-hotloop/v2` JSON report is
+/// persisted — CI uploads it as `BENCH_hotloop.json` to track the
+/// wall-clock trajectory alongside the counter-exact baseline. With
+/// `--gate`, the report is compared against a stored baseline and the
+/// exit code is 1 only when a cell's Student-t confidence intervals
+/// separate with the current run on the slow side — overlap is noise.
 fn selfbench_main(argv: Vec<String>) -> ExitCode {
     let mut args = Args::new(argv);
     let mut campaign_path: Option<String> = None;
     let mut out_path: Option<String> = None;
+    let mut gate_path: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = Some(args.value_of("--out")),
+            "--gate" => gate_path = Some(args.value_of("--gate")),
             path if !path.starts_with('-') && campaign_path.is_none() => {
                 campaign_path = Some(path.to_string())
             }
@@ -656,6 +763,21 @@ fn selfbench_main(argv: Vec<String>) -> ExitCode {
     print!("{}", report.render());
     if let Some(path) = out_path {
         write_file(&path, report.to_json().as_bytes());
+    }
+    if let Some(gate_path) = gate_path {
+        let text = std::fs::read_to_string(&gate_path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {gate_path}: {e}")));
+        let baseline = simbench_harness::selfbench::Report::from_json(&text)
+            .unwrap_or_else(|e| fail(&format!("{gate_path}: {e}")));
+        let outcome = simbench_harness::selfbench::gate(&report, &baseline);
+        print!("{}", outcome.render());
+        if !outcome.clean() {
+            simbench_obs::warn!(
+                "[selfbench gate: {} cell(s) slower beyond both 95% CIs]",
+                outcome.regressions.len()
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -682,7 +804,7 @@ fn write_file(path: &str, bytes: &[u8]) {
         std::fs::File::create(path).unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
     f.write_all(bytes)
         .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
-    eprintln!("[wrote {path}]");
+    simbench_obs::info!("[wrote {path}]");
 }
 
 /// What `--list` and `campaign list` print: every selectable figure,

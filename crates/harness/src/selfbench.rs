@@ -9,15 +9,29 @@
 //! and the analogous micro-op rate. CI persists the report as
 //! `BENCH_hotloop.json`, giving the repository a wall-clock trajectory
 //! alongside the counter baseline.
+//!
+//! Since `simbench-hotloop/v2` each rate also carries the cell's mean,
+//! Student-t 95% CI half-width and repetition count, which power the
+//! statistical regression gate ([`gate`], `selfbench --gate
+//! BASELINE.json`): a cell regresses only when the two confidence
+//! intervals *separate* — `cur.mean - cur.ci95 > base.mean +
+//! base.ci95` — so one noisy repetition cannot fail CI. Cells with
+//! fewer than two repetitions on either side have no measurable
+//! interval and are skipped, never guessed at.
 
 use std::fmt::Write as _;
 
-use simbench_campaign::json::{num, quote};
+use simbench_campaign::json::{self, num, quote, Value};
 use simbench_campaign::table::Table;
 use simbench_campaign::{CampaignResult, CellStatus};
 
 /// Schema identifier written to every self-bench report.
-pub const SCHEMA: &str = "simbench-hotloop/v1";
+pub const SCHEMA: &str = "simbench-hotloop/v2";
+
+/// The previous report schema: no `mean_secs` / `ci95_secs` / `n`
+/// fields. Readable — the missing interval is represented as `n = 0`,
+/// which the gate skips.
+pub const SCHEMA_V1: &str = "simbench-hotloop/v1";
 
 /// Throughput of one clean campaign cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +44,13 @@ pub struct CellRate {
     pub workload: String,
     /// Median kernel-phase seconds across the cell's repetitions.
     pub median_secs: f64,
+    /// Mean kernel-phase seconds (outlier-rejected).
+    pub mean_secs: f64,
+    /// Student-t 95% CI half-width on the mean; 0 when `n < 2`.
+    pub ci95_secs: f64,
+    /// Repetition count behind the timing; 0 for v1 reports, where the
+    /// interval is unknown and the gate must skip the cell.
+    pub n: u32,
     /// Kernel-phase retired guest instructions (architectural, identical
     /// in every repetition).
     pub instructions: u64,
@@ -64,7 +85,8 @@ pub fn report(result: &CampaignResult) -> Report {
         .iter()
         .filter(|c| c.status == CellStatus::Ok && c.counters_consistent)
         .filter_map(|c| {
-            let median = c.stats.as_ref()?.median;
+            let stats = c.stats.as_ref()?;
+            let median = stats.median;
             if !(median > 0.0 && median.is_finite()) {
                 return None;
             }
@@ -73,6 +95,9 @@ pub fn report(result: &CampaignResult) -> Report {
                 engine: c.engine.clone(),
                 workload: c.workload.clone(),
                 median_secs: median,
+                mean_secs: stats.mean,
+                ci95_secs: stats.ci95,
+                n: c.seconds.len() as u32,
                 instructions: c.counters.instructions,
                 uops: c.counters.uops,
                 mips: c.counters.instructions as f64 / median / 1e6,
@@ -88,7 +113,7 @@ pub fn report(result: &CampaignResult) -> Report {
 }
 
 impl Report {
-    /// Serialize as `simbench-hotloop/v1` JSON.
+    /// Serialize as `simbench-hotloop/v2` JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"schema\": {},", quote(SCHEMA));
@@ -102,12 +127,16 @@ impl Report {
             let _ = write!(
                 out,
                 "\n    {{\"guest\": {}, \"engine\": {}, \"workload\": {}, \
-                 \"median_secs\": {}, \"instructions\": {}, \"uops\": {}, \
+                 \"median_secs\": {}, \"mean_secs\": {}, \"ci95_secs\": {}, \
+                 \"n\": {}, \"instructions\": {}, \"uops\": {}, \
                  \"mips\": {}, \"muops\": {}}}",
                 quote(&c.guest),
                 quote(&c.engine),
                 quote(&c.workload),
                 num(c.median_secs),
+                num(c.mean_secs),
+                num(c.ci95_secs),
+                c.n,
                 c.instructions,
                 c.uops,
                 num(c.mips),
@@ -116,6 +145,81 @@ impl Report {
         }
         out.push_str("\n  ]\n}\n");
         out
+    }
+
+    /// Parse a stored report. Accepts `simbench-hotloop/v2` and, for
+    /// gating against baselines persisted before the interval fields
+    /// existed, `simbench-hotloop/v1` — whose cells surface with
+    /// `n = 0` so the gate skips them instead of inventing a CI.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let v = json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema")?;
+        if schema != SCHEMA && schema != SCHEMA_V1 {
+            return Err(format!(
+                "unknown self-bench schema {schema:?} (expected {SCHEMA} or {SCHEMA_V1})"
+            ));
+        }
+        let campaign = v
+            .get("campaign")
+            .and_then(Value::as_str)
+            .ok_or("missing campaign name")?
+            .to_string();
+        let scale = v
+            .get("scale")
+            .and_then(Value::as_u64)
+            .ok_or("missing scale")?;
+        let mut cells = Vec::new();
+        for c in v
+            .get("cells")
+            .and_then(Value::as_arr)
+            .ok_or("missing cells")?
+        {
+            let s = |key: &str| -> Result<String, String> {
+                Ok(c.get(key)
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("cell missing {key:?}"))?
+                    .to_string())
+            };
+            let f = |key: &str| -> Result<f64, String> {
+                c.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("cell missing {key:?}"))
+            };
+            let u = |key: &str| -> Result<u64, String> {
+                c.get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("cell missing {key:?}"))
+            };
+            let median_secs = f("median_secs")?;
+            // v1 reports carry no interval: the median stands in for
+            // the mean and n = 0 marks the interval as unknown.
+            let (mean_secs, ci95_secs, n) = if schema == SCHEMA_V1 {
+                (median_secs, 0.0, 0)
+            } else {
+                (f("mean_secs")?, f("ci95_secs")?, u("n")? as u32)
+            };
+            cells.push(CellRate {
+                guest: s("guest")?,
+                engine: s("engine")?,
+                workload: s("workload")?,
+                median_secs,
+                mean_secs,
+                ci95_secs,
+                n,
+                instructions: u("instructions")?,
+                uops: u("uops")?,
+                mips: f("mips")?,
+                muops: f("muops")?,
+            });
+        }
+        Ok(Report {
+            campaign,
+            scale,
+            cells,
+        })
     }
 
     /// Human-readable table, slowest cells first (they are the ones an
@@ -144,6 +248,123 @@ impl Report {
     }
 }
 
+/// One cell whose confidence intervals separated: the current run is
+/// slower than the baseline beyond both 95% CIs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Guest id.
+    pub guest: String,
+    /// Engine id.
+    pub engine: String,
+    /// Workload id.
+    pub workload: String,
+    /// Baseline mean seconds.
+    pub base_mean: f64,
+    /// Baseline CI half-width.
+    pub base_ci95: f64,
+    /// Current mean seconds.
+    pub cur_mean: f64,
+    /// Current CI half-width.
+    pub cur_ci95: f64,
+}
+
+impl Regression {
+    /// Slowdown ratio of the means.
+    pub fn ratio(&self) -> f64 {
+        self.cur_mean / self.base_mean
+    }
+}
+
+/// Outcome of gating a current report against a stored baseline.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Cells present in both reports with `n >= 2` on both sides.
+    pub compared: usize,
+    /// Cells skipped: absent from one report, or lacking a measurable
+    /// interval (`n < 2`) on either side.
+    pub skipped: usize,
+    /// Cells whose intervals separated, current slower.
+    pub regressions: Vec<Regression>,
+}
+
+impl GateOutcome {
+    /// No regressions.
+    pub fn clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable gate verdict.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "\nwall-clock gate: {} cell(s) compared, {} skipped\n",
+            self.compared, self.skipped
+        );
+        if self.regressions.is_empty() {
+            out.push_str("no statistically separated slowdowns\n");
+        } else {
+            let _ = writeln!(out, "REGRESSIONS ({} cell(s)):", self.regressions.len());
+            for r in &self.regressions {
+                let _ = writeln!(
+                    out,
+                    "  {}/{} {}: {:.4}s ±{:.4} -> {:.4}s ±{:.4} ({:.2}x)",
+                    r.guest,
+                    r.engine,
+                    r.workload,
+                    r.base_mean,
+                    r.base_ci95,
+                    r.cur_mean,
+                    r.cur_ci95,
+                    r.ratio()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Statistical wall-clock regression gate. A cell regresses only when
+/// the Student-t 95% confidence intervals separate with the current run
+/// on the slow side: `cur.mean - cur.ci95 > base.mean + base.ci95`.
+/// Overlapping intervals — however the means moved — are noise, not a
+/// verdict. Cells missing from either report or with `n < 2` on either
+/// side are counted as skipped.
+pub fn gate(current: &Report, baseline: &Report) -> GateOutcome {
+    let mut compared = 0;
+    let mut skipped = 0;
+    let mut regressions = Vec::new();
+    for cur in &current.cells {
+        let base = baseline
+            .cells
+            .iter()
+            .find(|b| b.guest == cur.guest && b.engine == cur.engine && b.workload == cur.workload);
+        let Some(base) = base else {
+            skipped += 1;
+            continue;
+        };
+        if cur.n < 2 || base.n < 2 {
+            skipped += 1;
+            continue;
+        }
+        compared += 1;
+        if cur.mean_secs - cur.ci95_secs > base.mean_secs + base.ci95_secs {
+            regressions.push(Regression {
+                guest: cur.guest.clone(),
+                engine: cur.engine.clone(),
+                workload: cur.workload.clone(),
+                base_mean: base.mean_secs,
+                base_ci95: base.ci95_secs,
+                cur_mean: cur.mean_secs,
+                cur_ci95: cur.ci95_secs,
+            });
+        }
+    }
+    GateOutcome {
+        compared,
+        skipped,
+        regressions,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,7 +381,7 @@ mod tests {
                 Workload::Suite(Benchmark::NonprivAccess), // absent on petix
             ],
             scale: u64::MAX,
-            reps: 1,
+            reps: 2,
             precision: None,
             wall_limit: Some(std::time::Duration::from_secs(60)),
         };
@@ -177,6 +398,8 @@ mod tests {
             assert!(c.mips > 0.0 && c.mips.is_finite(), "{c:?}");
             assert!(c.muops >= c.mips, "uop rate can never trail insn rate");
             assert!(c.instructions > 0);
+            assert_eq!(c.n, 2, "two repetitions behind every rate");
+            assert!(c.mean_secs > 0.0 && c.ci95_secs >= 0.0);
         }
     }
 
@@ -192,13 +415,101 @@ mod tests {
     }
 
     #[test]
-    fn json_and_table_render() {
+    fn json_round_trips_and_renders() {
         let rep = report(&small_result());
         let json = rep.to_json();
         assert!(json.contains(SCHEMA));
         assert!(json.contains("\"mips\""));
+        assert!(json.contains("\"ci95_secs\""));
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back.campaign, rep.campaign);
+        assert_eq!(back.cells, rep.cells);
         let text = rep.render();
         assert!(text.contains("MIPS"));
         assert!(text.contains("suite:System Call"));
+    }
+
+    #[test]
+    fn v1_reports_parse_with_unknown_intervals() {
+        let v1 = format!(
+            "{{\n  \"schema\": {},\n  \"campaign\": \"old\",\n  \"scale\": 7,\n  \
+             \"cells\": [\n    {{\"guest\": \"armlet\", \"engine\": \"interp\", \
+             \"workload\": \"suite:System Call\", \"median_secs\": 0.5, \
+             \"instructions\": 100, \"uops\": 150, \"mips\": 0.0002, \
+             \"muops\": 0.0003}}\n  ]\n}}\n",
+            quote(SCHEMA_V1)
+        );
+        let rep = Report::from_json(&v1).unwrap();
+        assert_eq!(rep.cells.len(), 1);
+        let c = &rep.cells[0];
+        assert_eq!((c.mean_secs, c.ci95_secs, c.n), (0.5, 0.0, 0));
+        // An unknown interval means the gate skips, in both directions.
+        let out = gate(&rep, &rep);
+        assert_eq!((out.compared, out.skipped), (0, 1));
+        assert!(out.clean());
+    }
+
+    #[test]
+    fn unknown_schema_is_an_error() {
+        let bogus = "{\"schema\": \"simbench-hotloop/v9\", \"campaign\": \"x\", \
+                     \"scale\": 1, \"cells\": []}";
+        let err = Report::from_json(bogus).unwrap_err();
+        assert!(err.contains("simbench-hotloop/v9"), "{err}");
+    }
+
+    fn one_cell_report(mean: f64, ci: f64, n: u32) -> Report {
+        Report {
+            campaign: "gate-test".to_string(),
+            scale: 1,
+            cells: vec![CellRate {
+                guest: "armlet".to_string(),
+                engine: "interp".to_string(),
+                workload: "suite:System Call".to_string(),
+                median_secs: mean,
+                mean_secs: mean,
+                ci95_secs: ci,
+                n,
+                instructions: 1000,
+                uops: 1500,
+                mips: 1.0,
+                muops: 1.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn gate_fails_only_when_intervals_separate() {
+        let base = one_cell_report(1.0, 0.1, 3);
+
+        // Slower but overlapping: noise, not a regression.
+        let noisy = one_cell_report(1.15, 0.1, 3);
+        let out = gate(&noisy, &base);
+        assert_eq!(out.compared, 1);
+        assert!(out.clean(), "{out:?}");
+
+        // Separated: 1.5 - 0.1 > 1.0 + 0.1.
+        let slower = one_cell_report(1.5, 0.1, 3);
+        let out = gate(&slower, &base);
+        assert!(!out.clean());
+        assert!((out.regressions[0].ratio() - 1.5).abs() < 1e-12);
+        assert!(out.render().contains("REGRESSIONS"));
+
+        // Faster, even separated, is never a regression.
+        let faster = one_cell_report(0.5, 0.1, 3);
+        assert!(gate(&faster, &base).clean());
+
+        // Too few reps on either side: skipped, not judged.
+        let thin = one_cell_report(9.0, 0.0, 1);
+        let out = gate(&thin, &base);
+        assert_eq!((out.compared, out.skipped), (0, 1));
+        assert!(out.clean());
+        let out = gate(&one_cell_report(9.0, 0.1, 3), &one_cell_report(1.0, 0.0, 1));
+        assert!(out.clean());
+
+        // A cell absent from the baseline is skipped.
+        let mut unknown = one_cell_report(9.0, 0.1, 3);
+        unknown.cells[0].workload = "suite:Unheard Of".to_string();
+        let out = gate(&unknown, &base);
+        assert_eq!((out.compared, out.skipped), (0, 1));
     }
 }

@@ -648,6 +648,238 @@ fn figures_usage_errors_exit_3() {
 }
 
 #[test]
+fn trace_progress_and_report_end_to_end() {
+    use simbench_campaign::json::{parse, Value};
+
+    let campaign_path = scratch("obs-campaign");
+    let trace_path = scratch("obs-trace");
+    // --quiet silences the info banners, so with --progress=ndjson
+    // every remaining stderr line must be a parseable JSON record —
+    // the property a streaming consumer depends on.
+    let out = run_cli(&[
+        "campaign",
+        "run",
+        "--quiet",
+        "--guests",
+        "armlet",
+        "--engines",
+        "interp,dbt",
+        "--benches",
+        "System Call,Hot Memory Access",
+        "--scale",
+        "200000",
+        "--reps",
+        "2",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        "--progress=ndjson",
+        "--out",
+        campaign_path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    let mut starts = 0;
+    let mut finishes = 0;
+    for line in stderr.lines().filter(|l| !l.is_empty()) {
+        let v = parse(line).unwrap_or_else(|e| panic!("unparseable stderr line {line:?}: {e}"));
+        match v.get("event").and_then(Value::as_str) {
+            Some("cell_start") => starts += 1,
+            Some("cell_finish") => {
+                finishes += 1;
+                assert_eq!(
+                    v.get("status").and_then(Value::as_str),
+                    Some("ok"),
+                    "{line}"
+                );
+                assert_eq!(v.get("reps").and_then(Value::as_u64), Some(2), "{line}");
+            }
+            Some("cell_converge") => {}
+            other => panic!("unexpected event {other:?} in {line:?}"),
+        }
+        assert!(v.get("guest").and_then(Value::as_str).is_some(), "{line}");
+    }
+    // 2 engines × 2 benchmarks = 4 cells, each started and finished.
+    assert_eq!((starts, finishes), (4, 4), "{stderr}");
+
+    // The trace file is valid Chrome trace-event JSON covering both
+    // campaign lifecycle spans and engine internals.
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let v = parse(&trace).unwrap();
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    for expected in ["campaign.expand", "campaign.repetition", "dbt.translate"] {
+        assert!(names.contains(&expected), "no {expected:?} in trace");
+    }
+
+    // The persisted campaign carries the metrics snapshot...
+    let result = CampaignResult::load(&campaign_path).unwrap();
+    let telemetry = result.telemetry.as_ref().expect("telemetry block");
+    let counter = |name: &str| {
+        telemetry
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    };
+    assert!(
+        counter("dbt.translations").unwrap_or(0) > 0,
+        "{telemetry:?}"
+    );
+    assert!(
+        counter("interp.dispatch_batches").unwrap_or(0) > 0,
+        "{telemetry:?}"
+    );
+    assert!(
+        telemetry
+            .histograms
+            .iter()
+            .any(|(n, _)| n == "dbt.block_steps"),
+        "{telemetry:?}"
+    );
+
+    // ...which `report` renders alongside the summary.
+    let out = run_cli(&["report", campaign_path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("engine counters"), "{text}");
+    assert!(text.contains("dbt.translations"), "{text}");
+    assert!(text.contains("histogram dbt.block_steps"), "{text}");
+
+    // A campaign run without --trace has no telemetry; report still
+    // works and says how to record some.
+    let (plain, _) = measured_campaign("obs-plain");
+    let out = run_cli(&["report", plain.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    assert!(stdout(&out).contains("--trace"), "{}", stdout(&out));
+
+    // report usage errors exit 3.
+    assert_eq!(exit_code(&run_cli(&["report"])), 3);
+    assert_eq!(exit_code(&run_cli(&["report", "/nonexistent.json"])), 3);
+    let report_str = plain.to_str().unwrap();
+    assert_eq!(exit_code(&run_cli(&["report", report_str, "--bogus"])), 3);
+}
+
+#[test]
+fn log_level_flags_are_global_and_strict() {
+    let (path, _) = measured_campaign("loglevel");
+    let path_str = path.to_str().unwrap();
+    let out_report = scratch("loglevel-report");
+    let out_str = out_report.to_str().unwrap();
+
+    // Default: the [wrote ...] info banner lands on stderr.
+    let out = run_cli(&["selfbench", path_str, "--out", out_str]);
+    assert_eq!(exit_code(&out), 0);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("[wrote"));
+
+    // --quiet silences it without changing stdout or the exit code,
+    // wherever it appears on the line.
+    for args in [
+        vec!["--quiet", "selfbench", path_str, "--out", out_str],
+        vec!["selfbench", "--quiet", path_str, "--out", out_str],
+        vec!["selfbench", path_str, "--out", out_str, "--quiet"],
+    ] {
+        let out = run_cli(&args);
+        assert_eq!(exit_code(&out), 0, "args {args:?}");
+        assert!(stdout(&out).contains("MIPS"), "args {args:?}");
+        assert!(
+            !String::from_utf8_lossy(&out.stderr).contains("[wrote"),
+            "args {args:?}"
+        );
+    }
+
+    // -v / --verbose are accepted; the conflict is a usage error.
+    for v in ["-v", "--verbose"] {
+        let out = run_cli(&["selfbench", path_str, v]);
+        assert_eq!(exit_code(&out), 0, "{v}");
+    }
+    let out = run_cli(&["--quiet", "-v", "selfbench", path_str]);
+    assert_eq!(exit_code(&out), 3);
+
+    // Unknown-flag strictness survives the global pre-scan.
+    assert_eq!(exit_code(&run_cli(&["selfbench", path_str, "--queit"])), 3);
+    assert_eq!(
+        exit_code(&run_cli(&["--quiet", "campaign", "run", "--frobnicate"])),
+        3
+    );
+}
+
+#[test]
+fn selfbench_gate_trips_only_on_separated_intervals() {
+    use simbench_campaign::{run, CampaignSpec, EngineKind, Guest, RunnerOpts, Workload};
+    use simbench_suite::Benchmark;
+
+    // Three repetitions so both sides of the gate have a measurable CI.
+    let spec = CampaignSpec {
+        name: "cli-gate".to_string(),
+        guests: vec![Guest::Armlet],
+        engines: vec![EngineKind::Interp],
+        workloads: vec![Workload::Suite(Benchmark::Syscall)],
+        scale: 1_000_000,
+        reps: 3,
+        precision: None,
+        wall_limit: Some(std::time::Duration::from_secs(60)),
+    };
+    let result = run(&spec, &RunnerOpts::serial());
+    let campaign_path = scratch("gate-campaign");
+    result.save(&campaign_path).unwrap();
+    let campaign_str = campaign_path.to_str().unwrap();
+
+    // Persist the baseline report.
+    let baseline_path = scratch("gate-baseline");
+    let baseline_str = baseline_path.to_str().unwrap();
+    let out = run_cli(&["selfbench", campaign_str, "--out", baseline_str]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+
+    // A run gated against its own report can never regress.
+    let out = run_cli(&["selfbench", campaign_str, "--gate", baseline_str]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    assert!(stdout(&out).contains("wall-clock gate"), "{}", stdout(&out));
+
+    // A 1000× slowdown with zero spread separates the intervals.
+    let mut slowed = result.clone();
+    for cell in &mut slowed.cells {
+        let slow = cell.stats.as_ref().unwrap().mean * 1000.0;
+        cell.seconds = vec![slow; cell.seconds.len()];
+        cell.stats = simbench_campaign::stats(&cell.seconds);
+    }
+    let slowed_path = scratch("gate-slowed");
+    slowed.save(&slowed_path).unwrap();
+    let slowed_str = slowed_path.to_str().unwrap();
+    let out = run_cli(&["selfbench", slowed_str, "--gate", baseline_str]);
+    assert_eq!(exit_code(&out), 1, "{}", stdout(&out));
+    assert!(stdout(&out).contains("REGRESSIONS"), "{}", stdout(&out));
+
+    // A v1 baseline has no intervals: every cell is skipped, so even
+    // the slowed run passes — the gate refuses to invent a CI.
+    let v1_path = scratch("gate-v1");
+    std::fs::write(
+        &v1_path,
+        std::fs::read_to_string(&baseline_path)
+            .unwrap()
+            .replace("simbench-hotloop/v2", "simbench-hotloop/v1"),
+    )
+    .unwrap();
+    let out = run_cli(&["selfbench", slowed_str, "--gate", v1_path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    assert!(stdout(&out).contains("1 skipped"), "{}", stdout(&out));
+
+    // Gate usage errors exit 3: unreadable or malformed baselines.
+    let out = run_cli(&["selfbench", campaign_str, "--gate", "/nonexistent.json"]);
+    assert_eq!(exit_code(&out), 3);
+    let bad = scratch("gate-bad");
+    std::fs::write(&bad, "{\"schema\": \"simbench-hotloop/v9\"}").unwrap();
+    let out = run_cli(&["selfbench", campaign_str, "--gate", bad.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 3);
+}
+
+#[test]
 fn selfbench_reports_mips_from_a_stored_campaign() {
     let (path, result) = measured_campaign("selfbench");
     let path_str = path.to_str().unwrap();
@@ -663,7 +895,7 @@ fn selfbench_reports_mips_from_a_stored_campaign() {
     // The persisted report is self-describing JSON with one rate per
     // clean cell, consistent with the stored campaign's counters.
     let json = std::fs::read_to_string(&report_path).unwrap();
-    assert!(json.contains("simbench-hotloop/v1"), "{json}");
+    assert!(json.contains("simbench-hotloop/v2"), "{json}");
     let ok_cells = result
         .cells
         .iter()

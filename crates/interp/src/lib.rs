@@ -85,6 +85,9 @@ impl<I: Isa, B: Bus> Ctx<'_, I, B> {
             }
             None => {
                 self.counters.tlb_misses += 1;
+                static OBS_TLB_REFILLS: simbench_obs::Counter =
+                    simbench_obs::Counter::new("interp.tlb_refills");
+                OBS_TLB_REFILLS.add(1);
                 let e = I::walk(self.sys, self.bus, va).map_err(|mut f| {
                     f.access = access;
                     f
@@ -302,9 +305,14 @@ impl<I: Isa, B: Bus> Engine<I, B> for Interp<I> {
             if counters.instructions >= limits.max_insns {
                 break ExitReason::InsnLimit;
             }
-            if let Some(wall) = limits.wall_limit {
-                if counters.instructions % WALL_CHECK_PERIOD == 0 && t0.elapsed() >= wall {
-                    break ExitReason::WallLimit;
+            if counters.instructions % WALL_CHECK_PERIOD == 0 {
+                static OBS_DISPATCH_BATCHES: simbench_obs::Counter =
+                    simbench_obs::Counter::new("interp.dispatch_batches");
+                OBS_DISPATCH_BATCHES.add(1);
+                if let Some(wall) = limits.wall_limit {
+                    if t0.elapsed() >= wall {
+                        break ExitReason::WallLimit;
+                    }
                 }
             }
 

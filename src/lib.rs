@@ -14,6 +14,9 @@
 //!   full-system engines (SimIt-ARM, Gem5, QEMU and QEMU-KVM analogues).
 //! * [`suite`] — the eighteen SimBench micro-benchmarks.
 //! * [`apps`] — synthetic SPEC-like application workloads.
+//! * [`obs`] — zero-cost-when-off telemetry: spans/events on lock-free
+//!   rings (Chrome trace export), named engine metrics, a leveled
+//!   stderr logger and streaming per-cell campaign progress.
 //! * [`campaign`] — the parallel measurement-campaign subsystem: a
 //!   declarative guests × engines × workloads matrix expanded into jobs,
 //!   executed on a work-stealing worker pool, aggregated into per-cell
@@ -51,6 +54,7 @@ pub use simbench_harness as harness;
 pub use simbench_interp as interp;
 pub use simbench_isa_armlet as armlet;
 pub use simbench_isa_petix as petix;
+pub use simbench_obs as obs;
 pub use simbench_platform as platform;
 pub use simbench_suite as suite;
 pub use simbench_virt as virt;

@@ -10,6 +10,18 @@
 //! concurrently running test) allocate at unpredictable times, and only
 //! allocations made *by the measuring thread* are evidence about the
 //! hot loop.
+//!
+//! Since the telemetry PR the engines are instrumented with
+//! `simbench-obs` spans and metrics, so this test also pins the
+//! observability contract both ways: compiled-in-but-disabled telemetry
+//! changes none of the zero-allocation guarantees above (the disabled
+//! path is one relaxed load + branch), and even *enabled* telemetry is
+//! allocation-free once warm — rings are fixed-capacity and metric
+//! registration happens exactly once.
+//!
+//! Everything lives in ONE sequential test function: the obs enable
+//! flags are process-global, and a parallel test flipping them would
+//! push another test's hot loop onto the (allocating) warm-up path.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -96,6 +108,14 @@ fn measured_run<E: Engine<Armlet, FlatRam>>(engine: &mut E, img: &GuestImage) ->
 fn warm_hot_loops_allocate_nothing() {
     let img = hot_loop_image(20_000);
 
+    // Telemetry is compiled into both engines below, and its default-off
+    // state is the precondition for every zero-allocation assertion
+    // that follows.
+    assert!(
+        !simbench_obs::tracing_enabled() && !simbench_obs::metrics_enabled(),
+        "obs must be disabled by default"
+    );
+
     // Fast interpreter: decode results live inline in `Decoded`
     // (`OpList`), the fetch buffer is on the stack, and the per-run
     // single-entry caches are plain fields — even the *first* run of a
@@ -130,4 +150,35 @@ fn warm_hot_loops_allocate_nothing() {
         "the loop must actually run via chained blocks: {}",
         out.counters.block_chain_follows
     );
+
+    // Enabled telemetry: the first instrumented run pays one-time costs
+    // (per-thread ring creation, metric registration in the process
+    // registry), after which spans are fixed-slot ring writes and
+    // metric updates are relaxed fetch_adds — the steady state stays
+    // allocation-free even while recording.
+    simbench_obs::set_tracing(true);
+    simbench_obs::set_metrics(true);
+    let (_warmup, out) = measured_run(&mut interp, &img);
+    assert_eq!(out.exit, ExitReason::Halted);
+    let (steady, out) = measured_run(&mut interp, &img);
+    assert_eq!(out.exit, ExitReason::Halted);
+    assert_eq!(
+        steady, 0,
+        "interp with telemetry enabled allocated {steady} times after warm-up"
+    );
+    let (_warmup, out) = measured_run(&mut dbt, &img);
+    assert_eq!(out.exit, ExitReason::Halted);
+    let (steady, out) = measured_run(&mut dbt, &img);
+    assert_eq!(out.exit, ExitReason::Halted);
+    assert_eq!(
+        steady, 0,
+        "dbt with telemetry enabled allocated {steady} times after warm-up"
+    );
+    simbench_obs::set_tracing(false);
+    simbench_obs::set_metrics(false);
+
+    // Back to disabled: the flags leave no residue in the hot loops.
+    let (steady, out) = measured_run(&mut dbt, &img);
+    assert_eq!(out.exit, ExitReason::Halted);
+    assert_eq!(steady, 0, "dbt after disabling telemetry: {steady} allocs");
 }

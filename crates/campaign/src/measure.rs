@@ -248,6 +248,43 @@ fn cached_image(
     Some(Arc::clone(cache.entry(key).or_insert(img)))
 }
 
+/// Fetch or build the assembled image for one workload at a campaign
+/// scale, sharing the process-wide cache with the campaign runner.
+/// `None` when the workload does not exist on the guest architecture.
+///
+/// This is the image a campaign cell of the same (guest, workload,
+/// scale) measures, which is what makes it the right input for
+/// cross-engine differential checking: the differ and the campaign
+/// disagree about nothing but which engines run the bytes.
+pub fn workload_image(
+    guest: Guest,
+    workload: crate::spec::Workload,
+    scale: u64,
+) -> Option<Arc<GuestImage>> {
+    match workload {
+        crate::spec::Workload::Suite(bench) => {
+            let iters = bench.scaled_iterations(scale);
+            let key = ImageKey::Suite(guest, bench, iters);
+            match guest {
+                Guest::Armlet => cached_image(key, || build(&ArmletSupport::new(), bench, iters)),
+                Guest::Petix => cached_image(key, || build(&PetixSupport::new(), bench, iters)),
+            }
+        }
+        crate::spec::Workload::App(app) => {
+            let iters = app.scaled_iterations(app_scale_divisor(scale));
+            let key = ImageKey::App(guest, app, iters);
+            match guest {
+                Guest::Armlet => {
+                    cached_image(key, || Some(build_app(&ArmletSupport::new(), app, iters)))
+                }
+                Guest::Petix => {
+                    cached_image(key, || Some(build_app(&PetixSupport::new(), app, iters)))
+                }
+            }
+        }
+    }
+}
+
 fn run_image_on<I: Isa>(engine: EngineKind, image: &GuestImage, limits: &RunLimits) -> RunOutcome {
     let mut m = Machine::<I, Platform>::boot(image, Platform::new());
     match engine {

@@ -110,4 +110,14 @@ pub trait Isa: 'static {
     /// Return from an exception (`eret`/`iret`): restore banked status
     /// and return the resume address.
     fn leave_exception(cpu: &mut CpuState, sys: &mut Self::Sys) -> u32;
+
+    /// Visit every architecturally-visible system register as a labeled
+    /// word, in a fixed ISA-defined order.
+    ///
+    /// This is the digest hook behind
+    /// [`crate::machine::Machine::state_digest`]: two machines of the
+    /// same ISA are architecturally equal only if their visitors emit
+    /// identical sequences. Labels are stable names (`"sctlr"`,
+    /// `"cr0"`, ...) used verbatim in state diffs.
+    fn sys_regs(sys: &Self::Sys, visit: &mut dyn FnMut(&'static str, u32));
 }

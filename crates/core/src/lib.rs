@@ -30,6 +30,7 @@ pub mod alu;
 pub mod asm;
 pub mod bus;
 pub mod cpu;
+pub mod digest;
 pub mod engine;
 pub mod events;
 pub mod exec;
@@ -42,6 +43,7 @@ pub mod mmu;
 pub mod tlb;
 
 pub use cpu::{CpuState, Flags, Privilege, Status};
+pub use digest::{StateDelta, StateDigest};
 pub use engine::{Engine, EngineInfo, ExitReason, PhaseStats, RunLimits, RunOutcome};
 pub use events::Counters;
 pub use fault::{AccessKind, ExcInfo, ExceptionKind, FaultKind, MemFault};

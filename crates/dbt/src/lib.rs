@@ -549,11 +549,23 @@ impl<I: Isa, B: Bus> ExecCtx for Ctx<'_, I, B> {
 
 /// How a block's execution ended.
 enum BlockExit {
-    Jump { target: u32, flavor: BranchFlavor },
+    Jump {
+        target: u32,
+        flavor: BranchFlavor,
+    },
     Fallthrough,
-    Trap { trap: Trap, next_pc: u32 },
-    Halt,
-    CodeWrite { resume_pc: u32 },
+    Trap {
+        trap: Trap,
+        next_pc: u32,
+    },
+    /// `pc` is the halt instruction's own address: the architectural
+    /// PC rests there, matching the per-instruction engines.
+    Halt {
+        pc: u32,
+    },
+    CodeWrite {
+        resume_pc: u32,
+    },
 }
 
 impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
@@ -660,10 +672,17 @@ impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
             };
 
             let mut exit = BlockExit::Fallthrough;
+            // Track the current instruction's own address (the previous
+            // step's `next_pc`; instructions in a block are contiguous)
+            // so a mid-block halt can commit an exact architectural PC.
+            let mut insn_pc = tb_pc;
+            let mut insn_end = tb_pc;
             for &step in steps {
                 if step.insn_start {
                     ctx.counters.instructions += 1;
+                    insn_pc = insn_end;
                 }
+                insn_end = step.next_pc;
                 ctx.counters.uops += 1;
                 match step_op(&mut ctx, &step.op) {
                     OpOutcome::Next => {
@@ -687,7 +706,7 @@ impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
                         break;
                     }
                     OpOutcome::Halt => {
-                        exit = BlockExit::Halt;
+                        exit = BlockExit::Halt { pc: insn_pc };
                         break;
                     }
                 }
@@ -700,7 +719,14 @@ impl<I: Isa, B: Bus> Engine<I, B> for Dbt<I> {
             }
 
             match exit {
-                BlockExit::Halt => break 'outer ExitReason::Halted,
+                BlockExit::Halt { pc } => {
+                    // Leave the architectural PC at the halt instruction,
+                    // exactly like the per-instruction engines — found by
+                    // the differ when a halt sits mid-block (stale PC
+                    // from the last block exit otherwise).
+                    m.cpu.pc = pc;
+                    break 'outer ExitReason::Halted;
+                }
                 BlockExit::Fallthrough => {
                     m.cpu.pc = end_pc;
                     chained_next = self.chain_to(m, &mut counters, cur, end_pc, false);
@@ -830,6 +856,28 @@ mod tests {
         let mut e = Dbt::<Armlet>::new();
         let out = e.run(&mut m, &RunLimits::insns(10_000_000));
         (m, out)
+    }
+
+    #[test]
+    fn halt_mid_block_commits_exact_pc() {
+        // Regression (found by the differ): the halt sits four
+        // instructions into its translation block; the architectural PC
+        // must rest on the halt itself, not the last block exit.
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        let body = a.new_label();
+        a.b(body);
+        a.bind(body);
+        a.mov_imm(PReg::A, 1);
+        a.mov_imm(PReg::B, 2);
+        a.mov_imm(PReg::C, 3);
+        a.mov_imm(PReg::D, 4);
+        a.halt();
+        let halt_pc = 0x8000 + 4 + 4 * 4; // branch + four movs
+        let (m, out) = run_dbt(a, 0x8000);
+        assert_eq!(out.exit, ExitReason::Halted);
+        assert_eq!(out.counters.instructions, 6);
+        assert_eq!(m.cpu.pc, halt_pc, "PC rests on the halt instruction");
     }
 
     #[test]

@@ -39,7 +39,9 @@ use simbench_core::tlb::SetAssocTlb;
 use cachemodel::{CacheModel, PipelineStats};
 use timing::{BranchPredictor, Latencies, Scoreboard};
 
-/// Instructions between wall-clock checks.
+/// Main-loop iterations between wall-clock checks. Iterations, not
+/// retired instructions: IRQ-delivery and prefetch-abort iterations
+/// retire nothing, and a storm of them must still honor `--wall-limit`.
 const WALL_CHECK_PERIOD: u64 = 0x4000;
 
 /// Timing parameters of the modelled core.
@@ -316,7 +318,10 @@ impl<I: Isa> Detailed<I> {
             } else {
                 let vpage = page_of(va);
                 let entry = match self.tlb.lookup(vpage) {
-                    Some(e) => e,
+                    Some(e) => {
+                        counters.tlb_hits += 1;
+                        e
+                    }
                     None => {
                         counters.tlb_misses += 1;
                         self.stats.tlb_stall += self.timing.walk_cycles;
@@ -406,15 +411,17 @@ impl<I: Isa, B: Bus> Engine<I, B> for Detailed<I> {
         self.l2.flush();
         self.scoreboard.reset();
 
+        let mut iters: u64 = 0;
         let exit = 'outer: loop {
             if counters.instructions >= limits.max_insns {
                 break ExitReason::InsnLimit;
             }
             if let Some(wall) = limits.wall_limit {
-                if counters.instructions % WALL_CHECK_PERIOD == 0 && t0.elapsed() >= wall {
+                if iters.is_multiple_of(WALL_CHECK_PERIOD) && t0.elapsed() >= wall {
                     break ExitReason::WallLimit;
                 }
             }
+            iters += 1;
 
             if m.cpu.irq_enabled && m.bus.irq_pending() {
                 counters.irqs_delivered += 1;
@@ -680,5 +687,72 @@ mod tests {
             e.pipeline_stats().dcache_stall >= 250 * 23,
             "each new line misses"
         );
+    }
+
+    #[test]
+    fn non_retiring_storm_honors_wall_limit() {
+        use simbench_isa_armlet::sys::{cp14, cp15, CP_BANK, CP_SYS};
+        use simbench_platform::devices::{INTC_ENABLE, INTC_TRIGGER};
+        use simbench_platform::{Platform, INTC_BASE};
+        use std::time::Duration;
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        a.mov_imm(PReg::A, INTC_BASE + INTC_ENABLE);
+        a.mov_imm(PReg::B, 1);
+        a.store(PReg::B, PReg::A, 0);
+        a.mov_imm(PReg::A, INTC_BASE + INTC_TRIGGER);
+        a.store(PReg::B, PReg::A, 0);
+        // Vector table beyond RAM: the IRQ handler can never fetch, so
+        // delivery degenerates into a prefetch-abort storm in which no
+        // iteration retires an instruction.
+        a.mov_imm(PReg::C, 0x0800_0000);
+        a.mcr(CP_SYS, cp15::VBAR, PReg::C);
+        a.mcr(CP_BANK, cp14::IRQ_CTL, PReg::B);
+        a.nop();
+        a.halt();
+        let img = a.finish(0x8000);
+        let mut m = Machine::<Armlet, _>::boot(&img, Platform::with_ram(1 << 20));
+        let mut e = Detailed::<Armlet>::new();
+        let out = e.run(
+            &mut m,
+            &RunLimits {
+                max_insns: u64::MAX,
+                wall_limit: Some(Duration::from_millis(30)),
+            },
+        );
+        assert_eq!(out.exit, ExitReason::WallLimit);
+        assert_eq!(out.counters.irqs_delivered, 1);
+        assert!(out.counters.insn_faults > 0, "abort storm was spinning");
+    }
+
+    #[test]
+    fn fetch_path_counts_tlb_hits() {
+        use simbench_isa_armlet::sys::{cp15, CP_SYS};
+        use simbench_isa_armlet::{Access, TableBuilder};
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        a.mov_imm(PReg::A, 0x0010_0000);
+        a.mcr(CP_SYS, cp15::TTBR, PReg::A);
+        a.mov_imm(PReg::B, 1);
+        a.mcr(CP_SYS, cp15::SCTLR, PReg::B); // MMU on
+        a.nop();
+        a.nop();
+        a.nop();
+        a.halt();
+        let mut img = a.finish(0x8000);
+        let mut tb = TableBuilder::new(0x0010_0000);
+        tb.map_section(0, 0, Access::KernelOnly);
+        let (load_at, blob) = tb.into_blob();
+        img.push_section(load_at, blob);
+        let mut m = Machine::<Armlet, _>::boot(&img, FlatRam::new(1 << 21));
+        let mut e = Detailed::<Armlet>::new();
+        let out = e.run(&mut m, &RunLimits::insns(1000));
+        assert_eq!(out.exit, ExitReason::Halted);
+        // No loads or stores after the MMU comes on, so every TLB probe
+        // below comes from the fetch path.
+        assert_eq!(out.counters.mem_reads, 0);
+        assert_eq!(out.counters.mem_writes, 0);
+        assert!(out.counters.tlb_misses >= 1, "first fetch walks");
+        assert!(out.counters.tlb_hits >= 2, "later fetches hit the TLB");
     }
 }

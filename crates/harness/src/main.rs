@@ -15,8 +15,18 @@
 //! simbench-harness model <calibrate|predict|validate> <CAMPAIGN.json>
 //!                        [--guest G] [--engine E] [--profile-engine P] [--max-error FACTOR]
 //! simbench-harness selfbench <CAMPAIGN.json> [--out FILE] [--gate BASELINE.json]
+//! simbench-harness differ <guest> <engineA> <engineB>
+//!                         (--workload <W|all> | --fuzz SEED [--programs N])
+//!                         [--max-insns K] [--checkpoints C] [--scale N]
 //! simbench-harness --list
 //! ```
+//!
+//! `differ` runs the same binary on both engines in checkpointed
+//! lockstep and compares architectural state digests; a mismatch is
+//! bisected to the first divergent instruction and reported with a
+//! named state diff (exit 1). `--workload` takes a benchmark or app
+//! name, a `suite:`/`app:` id, or `all` for every suite benchmark the
+//! guest supports; `--fuzz` sweeps N seeded random programs instead.
 //!
 //! `--quiet` / `-v` are global: they may appear anywhere on the command
 //! line and set the stderr log level (warnings only / debug). Stdout
@@ -68,6 +78,9 @@ const USAGE: &str = "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8
        simbench-harness model <calibrate|predict|validate> <CAMPAIGN.json>
                               [--guest G] [--engine E] [--profile-engine P] [--max-error FACTOR]
        simbench-harness selfbench <CAMPAIGN.json> [--out FILE] [--gate BASELINE.json]
+       simbench-harness differ <guest> <engineA> <engineB>
+                               (--workload <W|all> | --fuzz SEED [--programs N])
+                               [--max-insns K] [--checkpoints C] [--scale N]
        simbench-harness --list
 global flags (anywhere on the line): --quiet (warnings only), -v/--verbose (debug)";
 
@@ -140,6 +153,10 @@ fn main() -> ExitCode {
         Some("selfbench") => {
             argv.remove(0);
             selfbench_main(argv)
+        }
+        Some("differ") => {
+            argv.remove(0);
+            differ_main(argv)
         }
         _ => figures_main(argv),
     }
@@ -780,6 +797,113 @@ fn selfbench_main(argv: Vec<String>) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// Differ mode.
+// ---------------------------------------------------------------------------
+
+fn differ_main(argv: Vec<String>) -> ExitCode {
+    use simbench_differ::{check_workload, fuzz_pair, DifferConfig};
+
+    let mut args = Args::new(argv);
+    let guest_id = args
+        .next()
+        .unwrap_or_else(|| fail("differ needs <guest> <engineA> <engineB>"));
+    let guest = Guest::by_isa_name(&guest_id)
+        .unwrap_or_else(|| fail(&format!("unknown guest {guest_id:?} (armlet | petix)")));
+    let parse_engine = |id: Option<String>| {
+        let id = id.unwrap_or_else(|| fail("differ needs <guest> <engineA> <engineB>"));
+        EngineKind::by_id(&id).unwrap_or_else(|| {
+            fail(&format!(
+                "unknown engine {id:?} (interp | dbt[@VERSION] | detailed | virt | native)"
+            ))
+        })
+    };
+    let engine_a = parse_engine(args.next());
+    let engine_b = parse_engine(args.next());
+
+    let mut workload: Option<String> = None;
+    let mut fuzz_seed: Option<u64> = None;
+    let mut programs = 25u32;
+    let mut cfg = DifferConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workload" => workload = Some(args.value_of("--workload")),
+            "--fuzz" => fuzz_seed = Some(args.parse_of("--fuzz")),
+            "--programs" => programs = args.parse_of("--programs"),
+            "--max-insns" => cfg.max_insns = args.parse_of("--max-insns"),
+            "--checkpoints" => cfg.checkpoints = args.parse_of("--checkpoints"),
+            "--scale" => cfg.scale = args.parse_of("--scale"),
+            flag => fail(&format!("unknown flag {flag:?}")),
+        }
+    }
+
+    let reports = match (workload, fuzz_seed) {
+        (Some(_), Some(_)) => fail("--workload conflicts with --fuzz"),
+        (None, None) => fail("differ needs --workload <W|all> or --fuzz SEED"),
+        (Some(w), None) => differ_workloads(guest, &w)
+            .into_iter()
+            .map(|wl| {
+                check_workload(guest, wl, engine_a, engine_b, &cfg).unwrap_or_else(|| {
+                    fail(&format!(
+                        "workload {:?} does not exist on guest {:?}",
+                        wl.id(),
+                        guest.isa_name()
+                    ))
+                })
+            })
+            .collect::<Vec<_>>(),
+        (None, Some(seed)) => fuzz_pair(guest, engine_a, engine_b, seed, programs, &cfg),
+    };
+
+    let mut disagreements = 0usize;
+    for report in &reports {
+        print!("{}", report.render());
+        if !report.agree() {
+            disagreements += 1;
+        }
+    }
+    println!(
+        "differ: {}/{} comparison(s) agree",
+        reports.len() - disagreements,
+        reports.len()
+    );
+    if disagreements > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Resolve a `--workload` selector: `all` (every suite benchmark the
+/// guest supports), a `suite:`/`app:` id, or a bare benchmark/app name
+/// (case-insensitive).
+fn differ_workloads(guest: Guest, selector: &str) -> Vec<Workload> {
+    if selector == "all" {
+        return Benchmark::ALL
+            .iter()
+            .copied()
+            .map(Workload::Suite)
+            .filter(|wl| wl.supported_on(guest))
+            .collect();
+    }
+    if let Some(wl) = Workload::by_id(selector) {
+        return vec![wl];
+    }
+    let lower = selector.to_ascii_lowercase();
+    Benchmark::ALL
+        .iter()
+        .copied()
+        .map(Workload::Suite)
+        .chain(App::ALL.iter().copied().map(Workload::App))
+        .find(|wl| wl.name().to_ascii_lowercase() == lower)
+        .map(|wl| vec![wl])
+        .unwrap_or_else(|| {
+            fail(&format!(
+                "unknown workload {selector:?} (try a name from `campaign list`, a suite:/app: id, or `all`)"
+            ))
+        })
 }
 
 // ---------------------------------------------------------------------------

@@ -26,7 +26,10 @@ use simbench_core::machine::Machine;
 use simbench_core::page_of;
 use simbench_core::tlb::SingleEntryCache;
 
-/// How many instructions between wall-clock limit checks.
+/// How many main-loop iterations between wall-clock limit checks.
+/// Iterations, not retired instructions: IRQ-delivery and
+/// prefetch-abort iterations retire nothing, and a storm of them must
+/// still honor `--wall-limit`.
 const WALL_CHECK_PERIOD: u64 = 0x1_0000;
 
 /// The fast interpreter engine.
@@ -196,7 +199,14 @@ enum Fetch {
 
 impl<I: Isa> Interp<I> {
     /// Translate for execute and read raw instruction bytes at `pc`.
-    fn fetch<B: Bus>(&mut self, cpu: &CpuState, sys: &mut I::Sys, bus: &mut B, pc: u32) -> Fetch {
+    fn fetch<B: Bus>(
+        &mut self,
+        cpu: &CpuState,
+        sys: &mut I::Sys,
+        bus: &mut B,
+        counters: &mut Counters,
+        pc: u32,
+    ) -> Fetch {
         let mut bytes = [0u8; 8];
         let mut have = 0usize;
         let want = I::MAX_INSN_BYTES;
@@ -207,22 +217,28 @@ impl<I: Isa> Interp<I> {
             } else {
                 let vpage = page_of(va);
                 let entry = match self.icache.lookup(vpage) {
-                    Some(e) => e,
-                    None => match I::walk(sys, bus, va) {
-                        Ok(e) => {
-                            self.icache.insert(e);
-                            e
-                        }
-                        Err(mut f) => {
-                            f.access = AccessKind::Execute;
-                            // A truncated tail fetch only aborts if the
-                            // decoder actually needs those bytes.
-                            if have > 0 {
-                                break;
+                    Some(e) => {
+                        counters.tlb_hits += 1;
+                        e
+                    }
+                    None => {
+                        counters.tlb_misses += 1;
+                        match I::walk(sys, bus, va) {
+                            Ok(e) => {
+                                self.icache.insert(e);
+                                e
                             }
-                            return Fetch::Abort(f);
+                            Err(mut f) => {
+                                f.access = AccessKind::Execute;
+                                // A truncated tail fetch only aborts if the
+                                // decoder actually needs those bytes.
+                                if have > 0 {
+                                    break;
+                                }
+                                return Fetch::Abort(f);
+                            }
                         }
-                    },
+                    }
                 };
                 match entry.check(va, AccessKind::Execute, cpu.level.is_kernel(), false) {
                     Ok(pa) => pa,
@@ -301,11 +317,12 @@ impl<I: Isa, B: Bus> Engine<I, B> for Interp<I> {
         self.icache.flush();
         self.dcache.flush();
 
+        let mut iters: u64 = 0;
         let exit = 'outer: loop {
             if counters.instructions >= limits.max_insns {
                 break ExitReason::InsnLimit;
             }
-            if counters.instructions % WALL_CHECK_PERIOD == 0 {
+            if iters.is_multiple_of(WALL_CHECK_PERIOD) {
                 static OBS_DISPATCH_BATCHES: simbench_obs::Counter =
                     simbench_obs::Counter::new("interp.dispatch_batches");
                 OBS_DISPATCH_BATCHES.add(1);
@@ -315,6 +332,7 @@ impl<I: Isa, B: Bus> Engine<I, B> for Interp<I> {
                     }
                 }
             }
+            iters += 1;
 
             // Interrupt check at every instruction boundary.
             if m.cpu.irq_enabled && m.bus.irq_pending() {
@@ -332,7 +350,7 @@ impl<I: Isa, B: Bus> Engine<I, B> for Interp<I> {
             }
 
             let pc = m.cpu.pc;
-            let decoded = match self.fetch(&m.cpu, &mut m.sys, &mut m.bus, pc) {
+            let decoded = match self.fetch(&m.cpu, &mut m.sys, &mut m.bus, &mut counters, pc) {
                 Fetch::Ok(d) => d,
                 Fetch::Abort(f) => {
                     counters.insn_faults += 1;
@@ -562,6 +580,74 @@ mod tests {
         assert_eq!(out.exit, ExitReason::Halted);
         assert_eq!(m.cpu.regs[3], 1);
         assert_eq!(out.counters.data_faults, 1);
+    }
+
+    #[test]
+    fn non_retiring_storm_honors_wall_limit() {
+        use simbench_isa_armlet::sys::{cp14, cp15, CP_BANK, CP_SYS};
+        use simbench_platform::devices::{INTC_ENABLE, INTC_TRIGGER};
+        use simbench_platform::{Platform, INTC_BASE};
+        use std::time::Duration;
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        // Unmask and raise INTC line 0.
+        a.mov_imm(PReg::A, INTC_BASE + INTC_ENABLE);
+        a.mov_imm(PReg::B, 1);
+        a.store(PReg::B, PReg::A, 0);
+        a.mov_imm(PReg::A, INTC_BASE + INTC_TRIGGER);
+        a.store(PReg::B, PReg::A, 0);
+        // Vector table beyond RAM: the IRQ handler can never fetch, so
+        // delivery degenerates into a prefetch-abort storm in which no
+        // iteration retires an instruction.
+        a.mov_imm(PReg::C, 0x0800_0000);
+        a.mcr(CP_SYS, cp15::VBAR, PReg::C);
+        a.mcr(CP_BANK, cp14::IRQ_CTL, PReg::B);
+        a.nop();
+        a.halt();
+        let img = a.finish(0x8000);
+        let mut m = Machine::<Armlet, _>::boot(&img, Platform::with_ram(1 << 20));
+        let mut e = Interp::<Armlet>::new();
+        let out = e.run(
+            &mut m,
+            &RunLimits {
+                max_insns: u64::MAX,
+                wall_limit: Some(Duration::from_millis(30)),
+            },
+        );
+        assert_eq!(out.exit, ExitReason::WallLimit);
+        assert_eq!(out.counters.irqs_delivered, 1);
+        assert!(out.counters.insn_faults > 0, "abort storm was spinning");
+    }
+
+    #[test]
+    fn fetch_path_counts_tlb_probes() {
+        use simbench_isa_armlet::sys::{cp15, CP_SYS};
+        use simbench_isa_armlet::{Access, TableBuilder};
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        a.mov_imm(PReg::A, 0x0010_0000);
+        a.mcr(CP_SYS, cp15::TTBR, PReg::A);
+        a.mov_imm(PReg::B, 1);
+        a.mcr(CP_SYS, cp15::SCTLR, PReg::B); // MMU on
+        a.nop();
+        a.nop();
+        a.nop();
+        a.halt();
+        let mut img = a.finish(0x8000);
+        let mut tb = TableBuilder::new(0x0010_0000);
+        tb.map_section(0, 0, Access::KernelOnly); // identity map code
+        let (load_at, blob) = tb.into_blob();
+        img.push_section(load_at, blob);
+        let mut m = Machine::<Armlet, _>::boot(&img, FlatRam::new(1 << 21));
+        let mut e = Interp::<Armlet>::new();
+        let out = e.run(&mut m, &RunLimits::insns(1000));
+        assert_eq!(out.exit, ExitReason::Halted);
+        // No loads or stores after the MMU comes on, so every TLB probe
+        // below comes from the fetch path.
+        assert_eq!(out.counters.mem_reads, 0);
+        assert_eq!(out.counters.mem_writes, 0);
+        assert!(out.counters.tlb_misses >= 1, "first fetch walks");
+        assert!(out.counters.tlb_hits >= 2, "later fetches hit the icache");
     }
 
     #[test]

@@ -99,6 +99,19 @@ impl Isa for Armlet {
     fn leave_exception(cpu: &mut CpuState, sys: &mut Self::Sys) -> u32 {
         sys.leave_exception(cpu)
     }
+
+    fn sys_regs(sys: &Self::Sys, visit: &mut dyn FnMut(&'static str, u32)) {
+        visit("sctlr", sys.sctlr);
+        visit("ttbr", sys.ttbr);
+        visit("dacr", sys.dacr);
+        visit("fsr", sys.fsr);
+        visit("far", sys.far);
+        visit("vbar", sys.vbar);
+        visit("saved_pc", sys.saved_pc);
+        visit("saved_status", ArmletSys::encode_status(sys.saved_status));
+        visit("scratch0", sys.scratch[0]);
+        visit("scratch1", sys.scratch[1]);
+    }
 }
 
 #[cfg(test)]

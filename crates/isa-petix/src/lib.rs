@@ -94,6 +94,17 @@ impl Isa for Petix {
     fn leave_exception(cpu: &mut CpuState, sys: &mut Self::Sys) -> u32 {
         sys.leave_exception(cpu)
     }
+
+    fn sys_regs(sys: &Self::Sys, visit: &mut dyn FnMut(&'static str, u32)) {
+        visit("cr0", sys.cr0);
+        visit("cr2", sys.cr2);
+        visit("cr3", sys.cr3);
+        visit("cr4", sys.cr4);
+        visit("fpcw", sys.fpcw);
+        visit("saved_pc", sys.saved_pc);
+        visit("saved_status", PetixSys::encode_status(sys.saved_status));
+        visit("scratch", sys.scratch);
+    }
 }
 
 #[cfg(test)]

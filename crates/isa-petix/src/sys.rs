@@ -81,7 +81,9 @@ impl PetixSys {
         self.cr0 & 1 != 0
     }
 
-    fn encode_status(s: Status) -> u32 {
+    /// Encode a [`Status`] into the control-register word format (same
+    /// layout as armlet's cp14 status word).
+    pub fn encode_status(s: Status) -> u32 {
         (s.flags.n as u32) << 31
             | (s.flags.z as u32) << 30
             | (s.flags.c as u32) << 29

@@ -24,15 +24,17 @@ use simbench_core::bus::{Bus, BusEvent};
 use simbench_core::cpu::{CpuState, Flags};
 use simbench_core::engine::{Engine, EngineInfo, ExitReason, PhaseTracker, RunLimits, RunOutcome};
 use simbench_core::events::Counters;
-use simbench_core::exec::{step_op, BranchFlavor, ExecCtx, OpOutcome, Trap};
+use simbench_core::exec::{step_op, ExecCtx, OpOutcome, Trap};
 use simbench_core::fault::{AccessKind, CopFault, ExcInfo, ExceptionKind, FaultKind, MemFault};
-use simbench_core::ir::{Decoded, MemSize, Op};
+use simbench_core::ir::{Decoded, MemSize, Op, MAX_OPS_PER_INSN};
 use simbench_core::isa::{CopEffect, Isa};
 use simbench_core::machine::Machine;
 use simbench_core::page_of;
 use simbench_core::tlb::DirectTlb;
 
-/// Instructions between wall-clock checks.
+/// Main-loop iterations between wall-clock checks. Iterations, not
+/// retired instructions: IRQ-delivery and prefetch-abort iterations
+/// retire nothing, and a storm of them must still honor `--wall-limit`.
 const WALL_CHECK_PERIOD: u64 = 0x2_0000;
 
 /// Configuration of the virtualization layer.
@@ -146,6 +148,29 @@ fn spin_exit(cost_ns: u32) {
     }
 }
 
+/// Fixed-capacity set of physical pages whose cached decodes one
+/// instruction's op list dirtied. Each op performs at most one store,
+/// so [`MAX_OPS_PER_INSN`] bounds the set — no heap, and no page is
+/// lost when a single op list stores into several code-holding pages.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirtyCodePages {
+    pages: [u32; MAX_OPS_PER_INSN],
+    len: usize,
+}
+
+impl DirtyCodePages {
+    fn push(&mut self, ppage: u32) {
+        if !self.as_slice().contains(&ppage) {
+            self.pages[self.len] = ppage;
+            self.len += 1;
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        &self.pages[..self.len]
+    }
+}
+
 struct Ctx<'a, I: Isa, B: Bus> {
     cpu: &'a mut CpuState,
     sys: &'a mut I::Sys,
@@ -154,8 +179,8 @@ struct Ctx<'a, I: Isa, B: Bus> {
     counters: &'a mut Counters,
     cfg: VirtConfig,
     phase_mark: Option<u8>,
-    /// Physical page whose decoded instructions a store dirtied.
-    code_write: Option<u32>,
+    /// Physical pages whose decoded instructions a store dirtied.
+    code_write: DirtyCodePages,
     /// Pages with cached decodes (read-only coherency check).
     code_pages: &'a HashMap<u32, PageCode>,
 }
@@ -261,7 +286,7 @@ impl<I: Isa, B: Bus> ExecCtx for Ctx<'_, I, B> {
         // Instruction-cache coherency: dirty pages with cached decodes.
         let ppage = page_of(pa);
         if self.code_pages.contains_key(&ppage) {
-            self.code_write = Some(ppage);
+            self.code_write.push(ppage);
         }
         Ok(())
     }
@@ -311,7 +336,10 @@ impl<I: Isa> Virt<I> {
         } else {
             let vpage = page_of(pc);
             let entry = match self.tlb.lookup(vpage) {
-                Some(e) => e,
+                Some(e) => {
+                    counters.tlb_hits += 1;
+                    e
+                }
                 None => {
                     counters.tlb_misses += 1;
                     let e = I::walk(sys, bus, pc).map_err(|mut f| {
@@ -390,15 +418,17 @@ impl<I: Isa, B: Bus> Engine<I, B> for Virt<I> {
         self.tlb.flush();
         self.pages.clear();
 
+        let mut iters: u64 = 0;
         let exit = 'outer: loop {
             if counters.instructions >= limits.max_insns {
                 break ExitReason::InsnLimit;
             }
             if let Some(wall) = limits.wall_limit {
-                if counters.instructions % WALL_CHECK_PERIOD == 0 && t0.elapsed() >= wall {
+                if iters.is_multiple_of(WALL_CHECK_PERIOD) && t0.elapsed() >= wall {
                     break ExitReason::WallLimit;
                 }
             }
+            iters += 1;
 
             if m.cpu.irq_enabled && m.bus.irq_pending() {
                 counters.irqs_delivered += 1;
@@ -445,7 +475,7 @@ impl<I: Isa, B: Bus> Engine<I, B> for Virt<I> {
                 counters: &mut counters,
                 cfg: self.cfg,
                 phase_mark: None,
-                code_write: None,
+                code_write: DirtyCodePages::default(),
                 code_pages: &self.pages,
             };
 
@@ -456,17 +486,7 @@ impl<I: Isa, B: Bus> Engine<I, B> for Virt<I> {
                 match step_op(&mut ctx, op) {
                     OpOutcome::Next => {}
                     OpOutcome::Jump { target, flavor } => {
-                        let same_page = page_of(pc) == page_of(target);
-                        match (flavor, same_page) {
-                            (BranchFlavor::Direct, true) => ctx.counters.branch_intra_direct += 1,
-                            (BranchFlavor::Direct, false) => ctx.counters.branch_inter_direct += 1,
-                            (BranchFlavor::Indirect, true) => {
-                                ctx.counters.branch_intra_indirect += 1
-                            }
-                            (BranchFlavor::Indirect, false) => {
-                                ctx.counters.branch_inter_indirect += 1
-                            }
-                        }
+                        simbench_interp::count_branch(ctx.counters, pc, target, flavor);
                         new_pc = target;
                         break;
                     }
@@ -478,9 +498,9 @@ impl<I: Isa, B: Bus> Engine<I, B> for Virt<I> {
                 }
             }
             let mark = ctx.phase_mark.take();
-            let dirty = ctx.code_write.take();
+            let dirty = ctx.code_write;
 
-            if let Some(ppage) = dirty {
+            for &ppage in dirty.as_slice() {
                 counters.code_invalidations += 1;
                 self.pages.remove(&ppage);
             }
@@ -610,6 +630,109 @@ mod tests {
         assert_eq!(out.exit, ExitReason::Halted);
         assert_eq!(m.cpu.regs[3], 9, "rewritten instruction executed");
         assert!(out.counters.code_invalidations >= 1);
+    }
+
+    #[test]
+    fn non_retiring_storm_honors_wall_limit() {
+        use simbench_isa_armlet::sys::{cp14, cp15, CP_BANK, CP_SYS};
+        use simbench_platform::devices::{INTC_ENABLE, INTC_TRIGGER};
+        use simbench_platform::{Platform, INTC_BASE};
+        use std::time::Duration;
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        a.mov_imm(PReg::A, INTC_BASE + INTC_ENABLE);
+        a.mov_imm(PReg::B, 1);
+        a.store(PReg::B, PReg::A, 0);
+        a.mov_imm(PReg::A, INTC_BASE + INTC_TRIGGER);
+        a.store(PReg::B, PReg::A, 0);
+        // Vector table beyond RAM: the IRQ handler can never fetch, so
+        // delivery degenerates into a prefetch-abort storm in which no
+        // iteration retires an instruction.
+        a.mov_imm(PReg::C, 0x0800_0000);
+        a.mcr(CP_SYS, cp15::VBAR, PReg::C);
+        a.mcr(CP_BANK, cp14::IRQ_CTL, PReg::B);
+        a.nop();
+        a.halt();
+        let img = a.finish(0x8000);
+        let mut m = Machine::<Armlet, _>::boot(&img, Platform::with_ram(1 << 20));
+        let mut e = Virt::<Armlet>::native();
+        let out = e.run(
+            &mut m,
+            &RunLimits {
+                max_insns: u64::MAX,
+                wall_limit: Some(Duration::from_millis(30)),
+            },
+        );
+        assert_eq!(out.exit, ExitReason::WallLimit);
+        assert_eq!(out.counters.irqs_delivered, 1);
+        assert!(out.counters.insn_faults > 0, "abort storm was spinning");
+    }
+
+    #[test]
+    fn fetch_path_counts_tlb_hits() {
+        use simbench_isa_armlet::sys::{cp15, CP_SYS};
+        use simbench_isa_armlet::{Access, TableBuilder};
+        let mut a = ArmletAsm::new();
+        a.org(0x8000);
+        a.mov_imm(PReg::A, 0x0010_0000);
+        a.mcr(CP_SYS, cp15::TTBR, PReg::A);
+        a.mov_imm(PReg::B, 1);
+        a.mcr(CP_SYS, cp15::SCTLR, PReg::B); // MMU on
+        a.nop();
+        a.nop();
+        a.nop();
+        a.halt();
+        let mut img = a.finish(0x8000);
+        let mut tb = TableBuilder::new(0x0010_0000);
+        tb.map_section(0, 0, Access::KernelOnly);
+        let (load_at, blob) = tb.into_blob();
+        img.push_section(load_at, blob);
+        let mut m = Machine::<Armlet, _>::boot(&img, FlatRam::new(1 << 21));
+        let mut e = Virt::<Armlet>::native();
+        let out = e.run(&mut m, &RunLimits::insns(1000));
+        assert_eq!(out.exit, ExitReason::Halted);
+        // No loads or stores after the MMU comes on, so every TLB probe
+        // below comes from the fetch path.
+        assert_eq!(out.counters.mem_reads, 0);
+        assert_eq!(out.counters.mem_writes, 0);
+        assert!(out.counters.tlb_misses >= 1, "first fetch walks");
+        assert!(out.counters.tlb_hits >= 2, "later fetches hit the TLB");
+    }
+
+    #[test]
+    fn smc_in_one_op_list_dirties_both_pages() {
+        use simbench_core::events::Counters;
+        use simbench_core::ir::MemSize;
+        // Two physical pages hold cached decodes; one instruction's op
+        // list stores into both. Both must be queued for invalidation —
+        // the old single-slot tracker kept only the last.
+        let mut pages: HashMap<u32, PageCode> = HashMap::new();
+        pages.insert(0x10, PageCode::default());
+        pages.insert(0x11, PageCode::default());
+        let mut cpu = CpuState::at_reset(0);
+        let mut sys = simbench_isa_armlet::ArmletSys::default();
+        let mut bus = FlatRam::new(1 << 20);
+        let mut tlb = DirectTlb::new(16);
+        let mut counters = Counters::default();
+        let mut ctx = Ctx::<Armlet, _> {
+            cpu: &mut cpu,
+            sys: &mut sys,
+            bus: &mut bus,
+            tlb: &mut tlb,
+            counters: &mut counters,
+            cfg: VirtConfig::native(),
+            phase_mark: None,
+            code_write: DirtyCodePages::default(),
+            code_pages: &pages,
+        };
+        ctx.write(0x10_004, 0xAA, MemSize::B4, false).unwrap();
+        ctx.write(0x11_008, 0xBB, MemSize::B4, false).unwrap();
+        // A repeat store must not grow the set past its capacity bound.
+        ctx.write(0x10_00C, 0xCC, MemSize::B4, false).unwrap();
+        let dirty = ctx.code_write;
+        assert!(dirty.as_slice().contains(&0x10), "first page kept");
+        assert!(dirty.as_slice().contains(&0x11), "second page kept");
+        assert_eq!(dirty.as_slice().len(), 2, "set deduplicates");
     }
 
     #[test]

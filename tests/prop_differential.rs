@@ -96,4 +96,26 @@ proptest! {
             prop_assert_eq!(state, reference, "engine {} diverged", which);
         }
     }
+
+    // The same strategy through the lockstep checker: full state-digest
+    // equality (registers, flags, system registers, all of RAM) rather
+    // than the register-file spot check above, with any mismatch
+    // bisected to the first divergent instruction in the report.
+    #[test]
+    fn differ_agrees_interp_vs_native(steps in prop::collection::vec(step_strategy(), 1..40)) {
+        let image = assemble(&steps);
+        let cfg = simbench_differ::DifferConfig {
+            max_insns: 100_000,
+            checkpoints: 4,
+            scale: 20_000,
+        };
+        let report = simbench_differ::lockstep::<Armlet>(
+            &image,
+            simbench_campaign::EngineKind::Interp,
+            simbench_campaign::EngineKind::Native,
+            &cfg,
+            "prop",
+        );
+        prop_assert!(report.agree(), "{}", report.render());
+    }
 }

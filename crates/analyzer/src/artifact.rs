@@ -1,0 +1,200 @@
+//! The `simbench-analysis/v1` artifact.
+//!
+//! A versioned JSON serialization of a batch of subject analyses, hand
+//! rolled in the same style as the campaign result files (and parseable
+//! by [`simbench_campaign::json::parse`], which the round-trip test
+//! exercises). The schema is part of the CI contract: the analyze-smoke
+//! job uploads this file, and downstream tooling (the native-DBT
+//! promotion oracle) keys on `schema` before trusting field layout.
+//!
+//! Top-level shape:
+//!
+//! ```text
+//! {
+//!   "schema": "simbench-analysis/v1",
+//!   "subjects": [
+//!     {
+//!       "subject": "armlet/suite:System Call",
+//!       "guest": "armlet",
+//!       "image": {"entry": .., "size": .., "limit": ..},
+//!       "summary": {"blocks": .., "insns": .., "edges": .., "loop_headers": ..},
+//!       "violations": ["..."],
+//!       "blocks": [
+//!         {"start": .., "end": .., "insns": .., "digest": "0x..",
+//!          "class": "native-safe", "loop_header": false, "reasons": []}
+//!       ],
+//!       "prediction": {"status": "exact", "exit": "halted",
+//!                      "counters": {"instructions": .., ...}},
+//!       "check": {"matched": true, "detail": []}
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `prediction.status` is `"exact"` or `"abstained"`; abstentions add a
+//! `"reason"` string and their counters are the partial profile. Block
+//! digests are hex strings because u64 does not round-trip through the
+//! f64 numbers of minimal JSON parsers.
+
+use std::fmt::Write as _;
+
+use simbench_campaign::json;
+
+use crate::predict::Prediction;
+use crate::SubjectAnalysis;
+
+/// Schema identifier written to (and expected from) every artifact.
+pub const SCHEMA: &str = "simbench-analysis/v1";
+
+/// Serialize a batch of analyses as a `simbench-analysis/v1` document.
+pub fn to_json(subjects: &[SubjectAnalysis]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json::quote(SCHEMA));
+    out.push_str("  \"subjects\": [\n");
+    for (i, s) in subjects.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"subject\": {},", json::quote(&s.subject));
+        let _ = writeln!(out, "      \"guest\": {},", json::quote(s.guest));
+        let _ = writeln!(
+            out,
+            "      \"image\": {{\"entry\": {}, \"size\": {}, \"limit\": {}}},",
+            s.entry, s.image_size, s.image_limit
+        );
+        let _ = writeln!(
+            out,
+            "      \"summary\": {{\"blocks\": {}, \"insns\": {}, \"edges\": {}, \"loop_headers\": {}}},",
+            s.blocks.len(),
+            s.insns,
+            s.edges,
+            s.loop_headers
+        );
+        let _ = writeln!(
+            out,
+            "      \"violations\": [{}],",
+            s.violations
+                .iter()
+                .map(|v| json::quote(v))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        out.push_str("      \"blocks\": [\n");
+        for (j, b) in s.blocks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"start\": {}, \"end\": {}, \"insns\": {}, \"digest\": {}, \"class\": {}, \"loop_header\": {}, \"reasons\": [{}]}}",
+                b.start,
+                b.end,
+                b.insns,
+                json::quote(&format!("{:#018x}", b.digest)),
+                json::quote(b.class.as_str()),
+                b.loop_header,
+                b.reasons
+                    .iter()
+                    .map(|r| json::quote(r))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            out.push_str(if j + 1 < s.blocks.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ],\n");
+        match &s.prediction {
+            Prediction::Exact { counters } => {
+                out.push_str("      \"prediction\": {\"status\": \"exact\", \"exit\": \"halted\", \"counters\": {");
+                push_counters(&mut out, counters);
+                out.push_str("}}");
+            }
+            Prediction::Abstained { cause, partial } => {
+                let _ = write!(
+                    out,
+                    "      \"prediction\": {{\"status\": \"abstained\", \"reason\": {}, \"counters\": {{",
+                    json::quote(&cause.to_string())
+                );
+                push_counters(&mut out, partial);
+                out.push_str("}}");
+            }
+        }
+        if let Some(check) = &s.check {
+            let _ = write!(
+                out,
+                ",\n      \"check\": {{\"matched\": {}, \"detail\": [{}]}}",
+                check.matched,
+                check
+                    .detail
+                    .iter()
+                    .map(|d| json::quote(d))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        out.push_str("\n    }");
+        out.push_str(if i + 1 < subjects.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn push_counters(out: &mut String, counters: &simbench_core::Counters) {
+    let rows = counters.rows();
+    for (i, (name, v)) in rows.iter().enumerate() {
+        let _ = write!(out, "{}: {}", json::quote(name), v);
+        if i + 1 < rows.len() {
+            out.push_str(", ");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_workload, AnalyzeOpts};
+    use simbench_campaign::{Guest, Workload};
+    use simbench_suite::Benchmark;
+
+    #[test]
+    fn artifact_round_trips_through_the_json_parser() {
+        let opts = AnalyzeOpts {
+            fuel: 5_000_000,
+            check: true,
+        };
+        let a = analyze_workload(
+            Guest::Armlet,
+            Workload::Suite(Benchmark::Syscall),
+            20_000,
+            &opts,
+        )
+        .expect("syscall exists on armlet");
+        let text = to_json(std::slice::from_ref(&a));
+        let doc = json::parse(&text).expect("artifact must be valid JSON");
+
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some(SCHEMA));
+        let subjects = doc.get("subjects").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(subjects.len(), 1);
+        let s = &subjects[0];
+        assert_eq!(s.get("guest").and_then(|v| v.as_str()), Some("armlet"));
+        let blocks = s.get("blocks").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(blocks.len(), a.blocks.len());
+        for b in blocks {
+            let class = b.get("class").and_then(|v| v.as_str()).unwrap();
+            assert!(
+                ["native-safe", "step-arena-only", "interp-only"].contains(&class),
+                "unknown class {class}"
+            );
+        }
+        let pred = s.get("prediction").unwrap();
+        assert_eq!(pred.get("status").and_then(|v| v.as_str()), Some("exact"));
+        let insns = pred
+            .get("counters")
+            .and_then(|c| c.get("instructions"))
+            .and_then(|v| v.as_u64())
+            .unwrap();
+        assert!(insns > 0);
+        let check = s.get("check").unwrap();
+        assert_eq!(
+            check.get("matched").and_then(|v| v.as_str()),
+            None,
+            "matched is a bare bool, not a string"
+        );
+        assert!(text.contains("\"matched\": true"), "{text}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Hot-path source lint.
+//!
+//! The allocation-free hot loops (interp/dbt dispatch, the decoders,
+//! the obs record paths) were made free of per-event heap traffic and
+//! of formatted panic machinery; this lint keeps them that way. It is a
+//! line-based scan of a fixed list of designated files, not a parser —
+//! deliberately simple, so a violation message points at a line a
+//! human can read in context.
+//!
+//! Rules, applied outside `#[cfg(test)]` modules and `#[cold]`
+//! functions:
+//!
+//! - `format!(`, `vec![` and `Box::new(` are always flagged: each one
+//!   is a heap allocation on a path that must not allocate.
+//! - `assert!`/`assert_eq!`/`assert_ne!`/`panic!`/`unreachable!` are
+//!   flagged only when their message interpolates (`{` in the string):
+//!   a formatted panic keeps its operands alive across the happy path
+//!   and spills hot-loop registers (see `core/src/ir.rs`). Plain
+//!   string panics and `debug_assert*` (compiled out in release) are
+//!   fine.
+//! - A line carrying (or preceded by a line carrying)
+//!   `lint:allow(hot-path)` is exempt: constructors and other cold
+//!   set-up code inside hot-path files annotate themselves.
+
+use std::fmt;
+use std::path::Path;
+
+/// Files the lint guards, relative to the repository root. These are
+/// the modules on the per-instruction path of at least one engine.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/alu.rs",
+    "crates/core/src/exec.rs",
+    "crates/core/src/ir.rs",
+    "crates/core/src/tlb.rs",
+    "crates/dbt/src/cache.rs",
+    "crates/dbt/src/lib.rs",
+    "crates/dbt/src/opt.rs",
+    "crates/dbt/src/tlb.rs",
+    "crates/dbt/src/versions.rs",
+    "crates/interp/src/lib.rs",
+    "crates/isa-armlet/src/decode.rs",
+    "crates/isa-petix/src/decode.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/ring.rs",
+];
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Which rule fired.
+    pub what: &'static str,
+    /// The offending line, trimmed.
+    pub text: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.what, self.text
+        )
+    }
+}
+
+/// Allocation constructs never allowed on a hot path.
+const ALLOC_PATTERNS: &[(&str, &str)] = &[
+    ("format!(", "heap allocation (format!)"),
+    ("vec![", "heap allocation (vec![)"),
+    ("Box::new(", "heap allocation (Box::new)"),
+];
+
+/// Panic-family macros allowed only with non-interpolating messages.
+const PANIC_PATTERNS: &[(&str, &str)] = &[
+    ("assert!(", "formatted assert"),
+    ("assert_eq!(", "formatted assert"),
+    ("assert_ne!(", "formatted assert"),
+    ("panic!(", "formatted panic"),
+    ("unreachable!(", "formatted panic"),
+];
+
+/// True if `line` contains `pat` at a position not preceded by an
+/// identifier character (so `assert!(` does not match inside
+/// `debug_assert!(`). Returns the match offset.
+fn find_bare(line: &str, pat: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(pat) {
+        let at = from + rel;
+        let preceded = line[..at]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !preceded {
+            return Some(at);
+        }
+        from = at + pat.len();
+    }
+    None
+}
+
+/// Scan one file's text. `file` is the label used in findings.
+pub fn lint_file(file: &str, text: &str) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    let mut prev_allows = false;
+    // Brace-depth tracking for the body following a `#[cold]` marker.
+    let mut cold_pending = false;
+    let mut cold_depth = 0usize;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+
+        // Test modules sit at the bottom of every file in this repo;
+        // nothing below the first test gate is a hot path.
+        if line.starts_with("#[cfg(test)]") {
+            break;
+        }
+
+        if cold_pending || cold_depth > 0 {
+            let opens = raw.matches('{').count();
+            let closes = raw.matches('}').count();
+            if cold_pending && opens > 0 {
+                cold_pending = false;
+                cold_depth = opens;
+                cold_depth = cold_depth.saturating_sub(closes);
+                if cold_depth == 0 {
+                    // One-line body.
+                    prev_allows = false;
+                    continue;
+                }
+            } else if cold_depth > 0 {
+                cold_depth += opens;
+                cold_depth = cold_depth.saturating_sub(closes);
+            }
+            prev_allows = false;
+            continue;
+        }
+        if line.starts_with("#[cold]") {
+            cold_pending = true;
+            prev_allows = false;
+            continue;
+        }
+
+        let allows = raw.contains("lint:allow(hot-path)");
+        let exempt = allows || prev_allows;
+        prev_allows = allows;
+        if exempt || line.starts_with("//") {
+            continue;
+        }
+
+        for &(pat, what) in ALLOC_PATTERNS {
+            if find_bare(raw, pat).is_some() {
+                findings.push(LintFinding {
+                    file: file.to_string(),
+                    line: i + 1,
+                    what,
+                    text: line.to_string(),
+                });
+            }
+        }
+        for &(pat, what) in PANIC_PATTERNS {
+            if let Some(at) = find_bare(raw, pat) {
+                // Formatted ⟺ the message string interpolates. Line-based:
+                // a `{` anywhere in the macro's arguments on this line.
+                let rest = &raw[at + pat.len()..];
+                if rest.contains('{') {
+                    findings.push(LintFinding {
+                        file: file.to_string(),
+                        line: i + 1,
+                        what,
+                        text: line.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Lint every designated hot-path file under `root` (the repository
+/// root). A missing file is itself a finding: renaming a hot-path
+/// module must update the lint list, not silently escape it.
+pub fn lint_root(root: &Path) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    for &rel in HOT_PATH_FILES {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(text) => findings.extend(lint_file(rel, &text)),
+            Err(_) => findings.push(LintFinding {
+                file: rel.to_string(),
+                line: 0,
+                what: "designated hot-path file missing",
+                text: String::new(),
+            }),
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn whats(text: &str) -> Vec<&'static str> {
+        lint_file("t.rs", text)
+            .into_iter()
+            .map(|f| f.what)
+            .collect()
+    }
+
+    #[test]
+    fn flags_allocations() {
+        assert_eq!(
+            whats("fn f() { let v = vec![1, 2]; }"),
+            vec!["heap allocation (vec![)"]
+        );
+        assert_eq!(
+            whats("let s = format!(\"x{y}\");"),
+            vec!["heap allocation (format!)"]
+        );
+        assert_eq!(
+            whats("let b = Box::new(3);"),
+            vec!["heap allocation (Box::new)"]
+        );
+    }
+
+    #[test]
+    fn formatted_panics_only() {
+        assert_eq!(whats("panic!(\"bad {x}\");"), vec!["formatted panic"]);
+        assert!(whats("panic!(\"bad\");").is_empty());
+        assert_eq!(whats("assert!(ok, \"r{n}\");"), vec!["formatted assert"]);
+        assert!(whats("assert!(ok);").is_empty());
+        assert_eq!(
+            whats("assert_eq!(a, b, \"{a}\");"),
+            vec!["formatted assert"]
+        );
+    }
+
+    #[test]
+    fn debug_asserts_are_exempt() {
+        assert!(whats("debug_assert!(x > 0, \"x={x}\");").is_empty());
+        assert!(whats("debug_assert_eq!(a, b, \"{a}\");").is_empty());
+    }
+
+    #[test]
+    fn cold_functions_are_exempt() {
+        let text = "#[cold]\n#[inline(never)]\nfn die(x: u32) -> ! {\n    panic!(\"x = {x}\");\n}\nfn hot() { panic!(\"y = {y}\"); }\n";
+        let f = lint_file("t.rs", text);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        assert!(whats("let v = vec![0; 4]; // lint:allow(hot-path)").is_empty());
+        assert!(whats("// lint:allow(hot-path): built once\nlet v = vec![0; 4];").is_empty());
+        assert_eq!(
+            whats("// lint:allow(hot-path)\nlet a = 1;\nlet v = vec![0; 4];").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn test_modules_are_ignored() {
+        let text = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let v = vec![1]; }\n}\n";
+        assert!(lint_file("t.rs", text).is_empty());
+    }
+
+    #[test]
+    fn the_repo_hot_paths_are_clean() {
+        // The real rule run, as the CI job executes it. Walk up from the
+        // crate dir to the workspace root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let findings = lint_root(root);
+        assert!(
+            findings.is_empty(),
+            "hot-path lint violations:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,583 @@
+//! DBT-promotion safety classification.
+//!
+//! Labels every recovered basic block with the strongest execution tier
+//! it can be promoted to without changing observable behaviour. The
+//! classes mirror the engines' actual mechanisms: `NativeSafe` blocks
+//! could run as region-translated native code with no per-instruction
+//! checks, `StepArenaOnly` blocks need the step-arena DBT's
+//! per-block invalidation and per-access checks, and `InterpOnly`
+//! blocks take exception-class exits that force a return to the
+//! interpreter-structured path.
+//!
+//! The classification is conservative: it must never claim a stronger
+//! tier than is sound, but may under-promote. Its evidence is a
+//! flow-insensitive scan of each block's ops plus an interprocedural
+//! constant propagation over the CFG that resolves store/load addresses
+//! where possible — boot zeroes every register ([`Machine::boot`]), so
+//! the entry block starts from fully-known state and address constants
+//! built by `movw`/`movt` chains stay known until clobbered.
+//!
+//! Addresses are virtual. Boot code runs MMU-off with an identity
+//! mapping, which is the regime where promotion decisions are made; a
+//! block that remaps itself writes a coprocessor register first and is
+//! `InterpOnly` by that evidence alone.
+//!
+//! [`Machine::boot`]: simbench_core::machine::Machine::boot
+
+use simbench_core::alu;
+use simbench_core::cfg::{Block, Cfg};
+use simbench_core::cpu::Flags;
+use simbench_core::ir::{AluOp, LinkKind, Op, Operand, RetKind};
+use simbench_platform::{DEVICE_BASE, INTC_BASE};
+
+/// Strongest execution tier a block may be promoted to.
+///
+/// Ordered by restriction: `NativeSafe < StepArenaOnly < InterpOnly`,
+/// so `max` accumulates evidence toward the weaker tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SafetyClass {
+    /// No MMIO, no SMC exposure, no indirect control flow, no
+    /// exception-class ops: eligible for region-native translation.
+    NativeSafe,
+    /// Needs the step-arena DBT's per-block digest checks or runtime
+    /// address checks (indirect exits, unresolved or device-page
+    /// accesses, SMC involvement).
+    StepArenaOnly,
+    /// Takes exception-class exits (svc/udf/eret/halt) or touches
+    /// coprocessor state: must run on the interpreter-structured path.
+    InterpOnly,
+}
+
+impl SafetyClass {
+    /// Stable identifier used in the analysis artifact.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SafetyClass::NativeSafe => "native-safe",
+            SafetyClass::StepArenaOnly => "step-arena-only",
+            SafetyClass::InterpOnly => "interp-only",
+        }
+    }
+}
+
+/// Classification of one block, with the evidence that produced it.
+#[derive(Debug, Clone)]
+pub struct BlockSafety {
+    /// The assigned class.
+    pub class: SafetyClass,
+    /// Why the block is not (more) promotable; empty for `NativeSafe`.
+    pub reasons: Vec<String>,
+}
+
+const NREGS: usize = 16;
+
+/// Per-register constant lattice: `Some(v)` = proven value, `None` = ⊤.
+type RegState = [Option<u32>; NREGS];
+
+fn join(a: &RegState, b: &RegState) -> RegState {
+    let mut out = [None; NREGS];
+    for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b.iter())) {
+        if x == y {
+            *o = *x;
+        }
+    }
+    out
+}
+
+fn operand_value(state: &RegState, src: Operand) -> Option<u32> {
+    match src {
+        Operand::Reg(r) => state[r as usize],
+        Operand::Imm(i) => Some(i),
+    }
+}
+
+/// Apply one op's register effects to the constant state.
+fn transfer_op(state: &mut RegState, op: &Op) {
+    match *op {
+        Op::Alu {
+            op, rd, rn, src, ..
+        } => {
+            let b = operand_value(state, src);
+            state[rd as usize] = match op {
+                // Flags are not tracked, so carry-consuming forms are ⊤.
+                AluOp::Adc | AluOp::Sbc => None,
+                // Mov/Mvn ignore rn; an unknown rn must not poison them.
+                AluOp::Mov | AluOp::Mvn => b.map(|b| alu::eval(op, 0, b, Flags::default()).value),
+                _ => match (state[rn as usize], b) {
+                    (Some(a), Some(b)) => Some(alu::eval(op, a, b, Flags::default()).value),
+                    _ => None,
+                },
+            };
+        }
+        Op::Load { rd, .. } => state[rd as usize] = None,
+        Op::CopRead { rd, .. } => state[rd as usize] = None,
+        Op::Call { ret, link, .. } | Op::CallReg { ret, link, .. } => match link {
+            LinkKind::Register(lr) => state[lr as usize] = Some(ret),
+            LinkKind::Push(sp) => {
+                state[sp as usize] = state[sp as usize].map(|v| v.wrapping_sub(4))
+            }
+        },
+        Op::Ret(RetKind::Pop(sp)) => {
+            state[sp as usize] = state[sp as usize].map(|v| v.wrapping_add(4));
+        }
+        // No register effects.
+        Op::Cmp { .. }
+        | Op::Store { .. }
+        | Op::Branch { .. }
+        | Op::BranchCond { .. }
+        | Op::BranchReg { .. }
+        | Op::Ret(RetKind::Register(_))
+        | Op::Svc(_)
+        | Op::Udf
+        | Op::Eret
+        | Op::CopWrite { .. }
+        | Op::Halt
+        | Op::Nop => {}
+    }
+}
+
+fn block_out_state(cfg: &Cfg, b: &Block, in_state: &RegState) -> RegState {
+    let mut state = *in_state;
+    for (_, d) in cfg.block_insns(b) {
+        for op in &d.ops {
+            transfer_op(&mut state, op);
+        }
+    }
+    state
+}
+
+/// True when the continuation successor of this terminator resumes
+/// after foreign code ran (callee, trap handler): its register state
+/// must be assumed clobbered.
+fn continuation_clobbers(b: &Block) -> bool {
+    use simbench_core::cfg::Terminator;
+    matches!(
+        b.terminator,
+        Terminator::Call | Terminator::IndirectCall | Terminator::Trap
+    )
+}
+
+/// Classify every block of `cfg`. `entry` is the reset entry point —
+/// the one root whose initial register state is architecturally known
+/// (all zero). `unknown_roots` are blocks control can reach with
+/// arbitrary register state (the exception vectors): their in-state is
+/// pinned fully unknown, even if direct edges also reach them. Returns
+/// one [`BlockSafety`] per [`Cfg::blocks`] entry, same order.
+pub fn classify(cfg: &Cfg, entry: u32, unknown_roots: &[u32]) -> Vec<BlockSafety> {
+    let n = cfg.blocks.len();
+    let index = |addr: u32| cfg.blocks.binary_search_by_key(&addr, |b| b.start).ok();
+
+    // Forward constant propagation to a fixpoint. `None` = unreached;
+    // joining unknown state in is harmless (join with ⊤ stays ⊤), so
+    // blocks only reachable dynamically classify conservatively via
+    // `unwrap_or(unknown)` below.
+    let unknown: RegState = [None; NREGS];
+    let mut in_states: Vec<Option<RegState>> = vec![None; n];
+    if let Some(i) = index(entry) {
+        in_states[i] = Some([Some(0); NREGS]);
+    }
+    for &r in unknown_roots {
+        if let Some(i) = index(r) {
+            in_states[i] = Some(unknown);
+        }
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in 0..n {
+            let Some(in_state) = in_states[bi] else {
+                continue;
+            };
+            let b = &cfg.blocks[bi];
+            let out = block_out_state(cfg, b, &in_state);
+            for &succ in &b.succs {
+                let Some(si) = index(succ) else { continue };
+                let flow = if succ == b.end && continuation_clobbers(b) {
+                    unknown
+                } else {
+                    out
+                };
+                let merged = match &in_states[si] {
+                    Some(cur) => join(cur, &flow),
+                    None => flow,
+                };
+                if in_states[si] != Some(merged) {
+                    in_states[si] = Some(merged);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Pass 2: collect evidence per block, plus every proven store
+    // target so SMC *victims* get flagged alongside the stores.
+    let mut out: Vec<BlockSafety> = Vec::with_capacity(n);
+    let mut known_store_ranges: Vec<(u32, u32)> = Vec::new();
+    for (bi, b) in cfg.blocks.iter().enumerate() {
+        let mut class = SafetyClass::NativeSafe;
+        let mut reasons: Vec<String> = Vec::new();
+        let mut push = |class_ref: &mut SafetyClass, c: SafetyClass, r: String| {
+            *class_ref = (*class_ref).max(c);
+            if !reasons.contains(&r) {
+                reasons.push(r);
+            }
+        };
+
+        if b.has_indirect_exit() {
+            push(
+                &mut class,
+                SafetyClass::StepArenaOnly,
+                "indirect-control-flow".to_string(),
+            );
+        }
+
+        let mut state = in_states[bi].unwrap_or(unknown);
+        for (_, d) in cfg.block_insns(b) {
+            for op in &d.ops {
+                match *op {
+                    Op::Svc(_) => push(&mut class, SafetyClass::InterpOnly, "syscall".to_string()),
+                    Op::Udf => push(&mut class, SafetyClass::InterpOnly, "udf".to_string()),
+                    Op::Eret => push(&mut class, SafetyClass::InterpOnly, "eret".to_string()),
+                    Op::Halt => push(&mut class, SafetyClass::InterpOnly, "halt".to_string()),
+                    Op::CopRead { .. } | Op::CopWrite { .. } => push(
+                        &mut class,
+                        SafetyClass::InterpOnly,
+                        "coprocessor-access".to_string(),
+                    ),
+                    Op::Store {
+                        base, off, size, ..
+                    } => match state[base as usize].map(|v| v.wrapping_add(off as u32)) {
+                        None => push(
+                            &mut class,
+                            SafetyClass::StepArenaOnly,
+                            "store-unknown-address".to_string(),
+                        ),
+                        Some(addr) => {
+                            let end = addr.wrapping_add(size.bytes());
+                            if addr >= DEVICE_BASE {
+                                push(
+                                    &mut class,
+                                    SafetyClass::StepArenaOnly,
+                                    "mmio-store".to_string(),
+                                );
+                                if addr & !0xFFF == INTC_BASE {
+                                    push(
+                                        &mut class,
+                                        SafetyClass::StepArenaOnly,
+                                        "irq-sensitive".to_string(),
+                                    );
+                                }
+                            } else {
+                                known_store_ranges.push((addr, end));
+                                if cfg.block_containing(addr).is_some()
+                                    || cfg.block_containing(end.wrapping_sub(1)).is_some()
+                                {
+                                    push(
+                                        &mut class,
+                                        SafetyClass::StepArenaOnly,
+                                        "smc-store".to_string(),
+                                    );
+                                }
+                            }
+                        }
+                    },
+                    Op::Load { base, off, .. } => {
+                        match state[base as usize].map(|v| v.wrapping_add(off as u32)) {
+                            None => push(
+                                &mut class,
+                                SafetyClass::StepArenaOnly,
+                                "load-unknown-address".to_string(),
+                            ),
+                            Some(addr) if addr >= DEVICE_BASE => push(
+                                &mut class,
+                                SafetyClass::StepArenaOnly,
+                                "mmio-load".to_string(),
+                            ),
+                            Some(_) => {}
+                        }
+                    }
+                    // Stack-push calls store to a proven stack slot when
+                    // sp is known; an unknown sp is an unknown store.
+                    Op::Call {
+                        link: LinkKind::Push(sp),
+                        ..
+                    }
+                    | Op::CallReg {
+                        link: LinkKind::Push(sp),
+                        ..
+                    }
+                    | Op::Ret(RetKind::Pop(sp))
+                        if state[sp as usize].is_none() =>
+                    {
+                        push(
+                            &mut class,
+                            SafetyClass::StepArenaOnly,
+                            "stack-unknown-address".to_string(),
+                        )
+                    }
+                    _ => {}
+                }
+                transfer_op(&mut state, op);
+            }
+        }
+        out.push(BlockSafety { class, reasons });
+    }
+
+    // SMC victims: any block whose byte range a proven store hits must
+    // stay under digest-checked execution even if its own ops are tame.
+    for (b, safety) in cfg.blocks.iter().zip(out.iter_mut()) {
+        let hit = known_store_ranges
+            .iter()
+            .any(|&(lo, hi)| lo < b.end && hi > b.start);
+        if hit {
+            safety.class = safety.class.max(SafetyClass::StepArenaOnly);
+            let r = "smc-target".to_string();
+            if !safety.reasons.contains(&r) {
+                safety.reasons.push(r);
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simbench_core::cfg::Terminator;
+    use simbench_core::ir::{Decoded, InsnClass, MemSize};
+
+    /// One hand-built block: (start, ops per insn, terminator, succs).
+    type BlockSpec = (u32, Vec<Vec<Op>>, Terminator, Vec<u32>);
+
+    /// Hand-build a CFG, with every instruction 4 bytes.
+    fn cfg_of(blocks: &[BlockSpec]) -> Cfg {
+        let mut insns = Vec::new();
+        let mut out_blocks = Vec::new();
+        for (start, insn_ops, term, succs) in blocks {
+            let first_insn = insns.len();
+            let mut pc = *start;
+            for ops in insn_ops {
+                insns.push((pc, Decoded::new(4, ops.as_slice(), InsnClass::Alu)));
+                pc += 4;
+            }
+            out_blocks.push(Block {
+                start: *start,
+                end: pc,
+                first_insn,
+                n_insns: insn_ops.len(),
+                terminator: *term,
+                succs: succs.clone(),
+                digest: 0,
+                loop_header: false,
+            });
+        }
+        Cfg {
+            insns,
+            blocks: out_blocks,
+            violations: Vec::new(),
+        }
+    }
+
+    fn mov(rd: u8, imm: u32) -> Op {
+        Op::Alu {
+            op: AluOp::Mov,
+            rd,
+            rn: 0,
+            src: Operand::Imm(imm),
+            set_flags: false,
+        }
+    }
+
+    #[test]
+    fn straight_alu_block_is_native_safe() {
+        let cfg = cfg_of(&[(
+            0,
+            vec![vec![mov(1, 5)], vec![mov(2, 9)]],
+            Terminator::FallThrough,
+            vec![],
+        )]);
+        let s = classify(&cfg, 0, &[]);
+        assert_eq!(s[0].class, SafetyClass::NativeSafe);
+        assert!(s[0].reasons.is_empty());
+    }
+
+    #[test]
+    fn exception_ops_force_interp_only() {
+        let cfg = cfg_of(&[(0, vec![vec![Op::Svc(3)]], Terminator::Trap, vec![4])]);
+        let s = classify(&cfg, 0, &[]);
+        assert_eq!(s[0].class, SafetyClass::InterpOnly);
+        assert_eq!(s[0].reasons, vec!["syscall"]);
+    }
+
+    #[test]
+    fn indirect_exit_is_step_arena() {
+        let cfg = cfg_of(&[(
+            0,
+            vec![vec![Op::BranchReg { rm: 1 }]],
+            Terminator::IndirectBranch,
+            vec![],
+        )]);
+        let s = classify(&cfg, 0, &[]);
+        assert_eq!(s[0].class, SafetyClass::StepArenaOnly);
+        assert_eq!(s[0].reasons, vec!["indirect-control-flow"]);
+    }
+
+    #[test]
+    fn const_prop_resolves_mmio_store_and_irq_sensitivity() {
+        // movw/movt-style constant build, then store to the INTC page.
+        let ops = vec![
+            vec![mov(1, INTC_BASE & 0xFFFF)],
+            vec![Op::Alu {
+                op: AluOp::Orr,
+                rd: 1,
+                rn: 1,
+                src: Operand::Imm(INTC_BASE & 0xFFFF_0000),
+                set_flags: false,
+            }],
+            vec![Op::Store {
+                rs: 2,
+                base: 1,
+                off: 0,
+                size: MemSize::B4,
+                nonpriv: false,
+            }],
+        ];
+        let cfg = cfg_of(&[(0, ops, Terminator::FallThrough, vec![])]);
+        let s = classify(&cfg, 0, &[]);
+        assert_eq!(s[0].class, SafetyClass::StepArenaOnly);
+        assert!(s[0].reasons.contains(&"mmio-store".to_string()));
+        assert!(s[0].reasons.contains(&"irq-sensitive".to_string()));
+    }
+
+    #[test]
+    fn ram_store_into_code_marks_store_and_target() {
+        // Block 0 stores to address 0x104, inside block 1's range.
+        let cfg = cfg_of(&[
+            (
+                0,
+                vec![
+                    vec![mov(1, 0x104)],
+                    vec![Op::Store {
+                        rs: 2,
+                        base: 1,
+                        off: 0,
+                        size: MemSize::B4,
+                        nonpriv: false,
+                    }],
+                ],
+                Terminator::Branch,
+                vec![0x100],
+            ),
+            (
+                0x100,
+                vec![vec![Op::Nop], vec![Op::Nop]],
+                Terminator::FallThrough,
+                vec![],
+            ),
+        ]);
+        let s = classify(&cfg, 0, &[]);
+        assert!(s[0].reasons.contains(&"smc-store".to_string()));
+        assert_eq!(s[1].class, SafetyClass::StepArenaOnly);
+        assert!(s[1].reasons.contains(&"smc-target".to_string()));
+    }
+
+    #[test]
+    fn constants_survive_direct_edges_but_not_call_returns() {
+        // Entry sets r1, branches to 0x100 which stores through r1:
+        // the address stays proven across the direct edge.
+        let cfg = cfg_of(&[
+            (0, vec![vec![mov(1, 0x40)]], Terminator::Branch, vec![0x100]),
+            (
+                0x100,
+                vec![vec![Op::Store {
+                    rs: 2,
+                    base: 1,
+                    off: 0,
+                    size: MemSize::B4,
+                    nonpriv: false,
+                }]],
+                Terminator::FallThrough,
+                vec![],
+            ),
+        ]);
+        let s = classify(&cfg, 0, &[]);
+        assert!(
+            !s[1].reasons.contains(&"store-unknown-address".to_string()),
+            "{:?}",
+            s[1].reasons
+        );
+
+        // Same store placed on a call continuation: the callee may
+        // clobber r1, so the address is unknown there.
+        let cfg = cfg_of(&[
+            (
+                0,
+                vec![
+                    vec![mov(1, 0x40)],
+                    vec![Op::Call {
+                        target: 0x200,
+                        ret: 8,
+                        link: LinkKind::Register(14),
+                    }],
+                ],
+                Terminator::Call,
+                vec![0x200, 8],
+            ),
+            (
+                8,
+                vec![vec![Op::Store {
+                    rs: 2,
+                    base: 1,
+                    off: 0,
+                    size: MemSize::B4,
+                    nonpriv: false,
+                }]],
+                Terminator::FallThrough,
+                vec![],
+            ),
+            (
+                0x200,
+                vec![vec![Op::Ret(RetKind::Register(14))]],
+                Terminator::Ret,
+                vec![],
+            ),
+        ]);
+        let s = classify(&cfg, 0, &[]);
+        assert!(s[1].reasons.contains(&"store-unknown-address".to_string()));
+    }
+
+    #[test]
+    fn loop_join_keeps_agreeing_constants() {
+        // 0: r1 = 0x40 → 0x10; 0x10: store [r1]; beq 0x10 (self-loop).
+        // The join of entry state and loop back-edge state agrees on
+        // r1, so the store address stays proven around the loop.
+        let cfg = cfg_of(&[
+            (0, vec![vec![mov(1, 0x40)]], Terminator::Branch, vec![0x10]),
+            (
+                0x10,
+                vec![
+                    vec![Op::Store {
+                        rs: 2,
+                        base: 1,
+                        off: 0,
+                        size: MemSize::B4,
+                        nonpriv: false,
+                    }],
+                    vec![Op::BranchCond {
+                        cond: simbench_core::ir::Cond::Eq,
+                        target: 0x10,
+                    }],
+                ],
+                Terminator::BranchCond,
+                vec![0x10, 0x18],
+            ),
+        ]);
+        let s = classify(&cfg, 0, &[]);
+        assert!(
+            !s[1].reasons.contains(&"store-unknown-address".to_string()),
+            "{:?}",
+            s[1].reasons
+        );
+    }
+}

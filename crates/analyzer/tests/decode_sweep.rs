@@ -1,0 +1,125 @@
+//! Decoder-totality sweeps: the static analyzer's invariant proofs are
+//! only as strong as the decoders they rest on, so both guest decoders
+//! are driven over their entire encoding space and must classify every
+//! byte pattern as either a well-formed instruction (with a sane
+//! length) or a `DecodeError` — never a panic, never a zero-op or
+//! over-long decode.
+//!
+//! The armlet sweep covers all 2^32 words in release builds (the space
+//! is partitioned across threads); under `cfg(debug_assertions)` the
+//! same harness samples a coprime stride instead, keeping `cargo test`
+//! fast while CI's release run proves the full space. The petix sweep
+//! is exhaustive over the bytes the decoder dispatches on (opcode ×
+//! mode byte), crossed with edge-pattern immediate fills and every
+//! truncation length.
+
+use simbench_core::isa::Isa;
+use simbench_isa_armlet::Armlet;
+use simbench_isa_petix::decode::insn_len;
+use simbench_isa_petix::Petix;
+
+#[test]
+fn armlet_decode_is_total_over_the_word_space() {
+    // Coprime stride keeps the debug sample spread over every encoding
+    // class rather than clustered at low words.
+    let stride: u64 = if cfg!(debug_assertions) { 65_537 } else { 1 };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let chunk = (1u64 << 32).div_ceil(threads as u64);
+
+    let handles: Vec<_> = (0..threads as u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(1 << 32));
+                let (mut ok, mut err) = (0u64, 0u64);
+                let mut w = lo;
+                while w < hi {
+                    match Armlet::decode(&(w as u32).to_le_bytes(), 0x1000) {
+                        Ok(d) => {
+                            assert_eq!(d.len, 4, "word {w:#010x}");
+                            assert!(!d.ops.is_empty(), "word {w:#010x} decoded to zero ops");
+                            ok += 1;
+                        }
+                        Err(e) => {
+                            assert_eq!(e.pc, 0x1000);
+                            err += 1;
+                        }
+                    }
+                    w += stride;
+                }
+                (ok, err)
+            })
+        })
+        .collect();
+
+    let (mut ok, mut err) = (0u64, 0u64);
+    for h in handles {
+        let (o, e) = h.join().expect("decoder panicked during the sweep");
+        ok += o;
+        err += e;
+    }
+    // Both outcomes must exist: an all-Ok decoder has no reserved
+    // space left for the Udf path, an all-Err one decodes nothing.
+    assert!(ok > 0 && err > 0, "ok={ok} err={err}");
+}
+
+#[test]
+fn armlet_truncated_fetches_error_instead_of_panicking() {
+    for n in 0..4usize {
+        for fill in [0x00u8, 0xFF, 0x55, 0xAA] {
+            let bytes = [fill; 4];
+            assert!(
+                Armlet::decode(&bytes[..n], 0).is_err(),
+                "{n}-byte fetch of {fill:#04x} fill must not decode"
+            );
+        }
+    }
+}
+
+#[test]
+fn petix_decode_is_total_and_agrees_with_the_length_table() {
+    const FILLS: [u8; 6] = [0x00, 0xFF, 0x55, 0xAA, 0x80, 0x01];
+    let (mut ok, mut err) = (0u64, 0u64);
+    for opc in 0..=255u8 {
+        for b1 in 0..=255u8 {
+            for fill in FILLS {
+                let bytes = [opc, b1, fill, fill, fill, fill];
+                match Petix::decode(&bytes, 0x2000) {
+                    Ok(d) => {
+                        assert!(
+                            (1..=Petix::MAX_INSN_BYTES).contains(&(d.len as usize)),
+                            "opc {opc:#04x}: len {}",
+                            d.len
+                        );
+                        assert!(!d.ops.is_empty(), "opc {opc:#04x} decoded to zero ops");
+                        // The static length table is the decoder's
+                        // ground truth; a decode the table disowns (or
+                        // at a different length) would desync the CFG
+                        // walk from execution.
+                        assert_eq!(
+                            insn_len(opc),
+                            Some(d.len as usize),
+                            "opc {opc:#04x} length table disagrees"
+                        );
+                        ok += 1;
+                    }
+                    Err(e) => {
+                        assert_eq!(e.pc, 0x2000);
+                        err += 1;
+                    }
+                }
+                // Every truncation of a valid window must error (petix
+                // opcodes all need at least their length), never panic.
+                for n in 0..Petix::MAX_INSN_BYTES {
+                    if let Ok(d) = Petix::decode(&bytes[..n], 0x2000) {
+                        assert!(
+                            (d.len as usize) <= n,
+                            "opc {opc:#04x}: {n}-byte window decoded {} bytes",
+                            d.len
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(ok > 0 && err > 0, "ok={ok} err={err}");
+}

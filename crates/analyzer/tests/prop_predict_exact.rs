@@ -1,0 +1,39 @@
+//! Property test: on straight-line fuzzed programs — deterministic,
+//! acyclic, IRQs masked at boot — the static event-profile prediction
+//! must be *exact*, and the reference interpreter must agree with it
+//! counter for counter. This is the strongest form of the
+//! static-vs-dynamic contract: the predictor and the interpreter are
+//! independent implementations of the same reference semantics, and a
+//! disagreement on any of the ~20 architectural event counters is a
+//! bug in one of them.
+
+use proptest::prelude::*;
+use simbench_analyzer::{analyze_image, AnalyzeOpts, Prediction};
+use simbench_campaign::Guest;
+use simbench_differ::generate_straight_line;
+
+proptest! {
+    #[test]
+    fn straight_line_prediction_is_exact_and_interp_agrees(seed: u64, petix: bool) {
+        let guest = if petix { Guest::Petix } else { Guest::Armlet };
+        let image = generate_straight_line(guest, seed);
+        let opts = AnalyzeOpts {
+            fuel: 1_000_000,
+            check: true,
+        };
+        let a = analyze_image(guest, "straight-line", &image, &opts);
+        prop_assert!(
+            matches!(a.prediction, Prediction::Exact { .. }),
+            "seed {seed:#x} on {}: {:?}",
+            guest.isa_name(),
+            a.prediction
+        );
+        let check = a.check.as_ref().expect("check was requested");
+        prop_assert!(
+            check.matched,
+            "seed {seed:#x} on {}:\n{}",
+            guest.isa_name(),
+            check.detail.join("\n")
+        );
+    }
+}

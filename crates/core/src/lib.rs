@@ -29,6 +29,7 @@
 pub mod alu;
 pub mod asm;
 pub mod bus;
+pub mod cfg;
 pub mod cpu;
 pub mod digest;
 pub mod engine;

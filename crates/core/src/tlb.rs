@@ -33,6 +33,7 @@ impl DirectTlb {
             kernel: crate::mmu::Perms::NONE,
         };
         DirectTlb {
+            // lint:allow(hot-path): one-time constructor allocation
             slots: vec![(INVALID_TAG, dummy); n],
             mask: n as u32 - 1,
             hits: 0,
@@ -140,6 +141,7 @@ impl SetAssocTlb {
     pub fn new(sets: usize, ways: usize) -> Self {
         let n = sets.next_power_of_two().max(1);
         SetAssocTlb {
+            // lint:allow(hot-path): one-time constructor allocation
             sets: vec![Vec::with_capacity(ways); n],
             ways: ways.max(1),
             set_mask: n as u32 - 1,

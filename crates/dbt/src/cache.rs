@@ -70,6 +70,7 @@ impl Ibtc {
     pub fn new(bits: u8) -> Self {
         let n = if bits == 0 { 0 } else { 1usize << bits };
         Ibtc {
+            // lint:allow(hot-path): one-time constructor allocation
             slots: vec![(u32::MAX, 0); n],
             mask: n.saturating_sub(1) as u32,
         }

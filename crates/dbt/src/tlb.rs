@@ -46,6 +46,7 @@ impl DbtTlb {
             contains_code: false,
         };
         DbtTlb {
+            // lint:allow(hot-path): one-time constructor allocation
             slots: vec![(INVALID, dummy); n],
             victims: Vec::with_capacity(8),
             mask: n as u32 - 1,

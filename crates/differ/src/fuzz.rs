@@ -22,13 +22,14 @@
 //!   (modulo the banked `saved_pc`/`saved_status`, which the lockstep
 //!   checker waives for mixed pairs).
 
+use simbench_campaign::Guest;
 use simbench_core::asm::{PReg, PortableAsm};
 use simbench_core::image::GuestImage;
 use simbench_core::ir::{AluOp, Cond};
 use simbench_obs::Counter;
 use simbench_platform::devices::INTC_TRIGGER;
 use simbench_suite::support::{emit_counted_loop, emit_phase_mark};
-use simbench_suite::{BootSpec, HandlerKind, Handlers, Support};
+use simbench_suite::{ArmletSupport, BootSpec, HandlerKind, Handlers, PetixSupport, Support};
 
 static OBS_FUZZ_PROGRAMS: Counter = Counter::new("differ.fuzz_programs");
 
@@ -114,6 +115,33 @@ const DATA_WINDOW: u32 = 8 << 10;
 /// Guest page size (both architectures use 4 KiB pages).
 const PAGE: u32 = 4 << 10;
 
+/// Build the seeded random program for a guest architecture.
+///
+/// This is the one public entry point shared by the differ and the
+/// static analyzer: both tools dispatch through it, so the same
+/// `(guest, seed)` pair names the same binary everywhere — a fuzz
+/// divergence report and a static-analysis artifact about program `k`
+/// of campaign seed `S` are talking about identical bytes.
+pub fn generate(guest: Guest, seed: u64) -> GuestImage {
+    match guest {
+        Guest::Armlet => fuzz_program(&ArmletSupport::new(), seed),
+        Guest::Petix => fuzz_program(&PetixSupport::new(), seed),
+    }
+}
+
+/// Straight-line variant of [`generate`]: the same weighted step menu,
+/// but with no counted loop and no interrupt delivery, so control flow
+/// is acyclic (forward branches and calls only) and every execution
+/// retires a statically determined event profile. This is the input
+/// class on which the analyzer's static counter prediction is provably
+/// exact, and the generator the exactness proptest draws from.
+pub fn generate_straight_line(guest: Guest, seed: u64) -> GuestImage {
+    match guest {
+        Guest::Armlet => straight_line_program(&ArmletSupport::new(), seed),
+        Guest::Petix => straight_line_program(&PetixSupport::new(), seed),
+    }
+}
+
 /// Generate one random bootable program for a support package.
 ///
 /// The image boots like a benchmark (vectors, page tables, MMU on,
@@ -176,6 +204,36 @@ pub fn fuzz_program<S: Support>(s: &S, seed: u64) -> GuestImage {
         a.mov_imm(PReg::E, 0);
         a.mov_imm(PReg::F, 0);
         a.mov_imm(PReg::Lr, 0);
+        a.halt();
+    })
+}
+
+/// Generate one straight-line program for a support package: the same
+/// step menu as [`fuzz_program`], emitted once in sequence with no
+/// enclosing loop, interrupts left masked (the INTC step may pend a
+/// line nothing delivers), and default resume-at-next-instruction
+/// handlers for the synchronous-exception steps.
+pub fn straight_line_program<S: Support>(s: &S, seed: u64) -> GuestImage {
+    let mut rng = Rng::new(seed);
+    s.build(BootSpec::default(), |a, s, layout| {
+        let smc_func = a.new_label();
+        let body_start = a.new_label();
+        a.b(body_start);
+        a.align(16);
+        a.bind(smc_func);
+        a.word(a.smc_nop_word());
+        a.ret();
+
+        a.align(16);
+        a.bind(body_start);
+        for r in DATA_REGS {
+            a.mov_imm(r, rng.next_u64() as u32);
+        }
+        let steps = 24 + rng.below(40) as u32;
+        for _ in 0..steps {
+            let mut r = Rng::new(rng.next_u64());
+            emit_step(a, s, layout, &mut r, smc_func);
+        }
         a.halt();
     })
 }

@@ -38,7 +38,9 @@
 mod fuzz;
 mod lockstep;
 
-pub use fuzz::{fuzz_program, program_seed, Rng};
+pub use fuzz::{
+    fuzz_program, generate, generate_straight_line, program_seed, straight_line_program, Rng,
+};
 pub use lockstep::{
     lockstep, lockstep_with, DifferConfig, DifferEngine, Divergence, Report, Verdict,
 };
@@ -46,7 +48,6 @@ pub use lockstep::{
 use simbench_campaign::{measure, EngineKind, Guest, Workload};
 use simbench_isa_armlet::Armlet;
 use simbench_isa_petix::Petix;
-use simbench_suite::{ArmletSupport, PetixSupport};
 
 /// Lockstep-compare one campaign workload on an engine pair. `None`
 /// when the workload does not exist on the guest architecture (the
@@ -81,15 +82,10 @@ pub fn fuzz_pair(
         .map(|k| {
             let pseed = program_seed(seed, k);
             let subject = format!("{}/fuzz:{seed:#x}[{k}]", guest.isa_name());
+            let image = generate(guest, pseed);
             match guest {
-                Guest::Armlet => {
-                    let image = fuzz_program(&ArmletSupport::new(), pseed);
-                    lockstep::<Armlet>(&image, engine_a, engine_b, cfg, &subject)
-                }
-                Guest::Petix => {
-                    let image = fuzz_program(&PetixSupport::new(), pseed);
-                    lockstep::<Petix>(&image, engine_a, engine_b, cfg, &subject)
-                }
+                Guest::Armlet => lockstep::<Armlet>(&image, engine_a, engine_b, cfg, &subject),
+                Guest::Petix => lockstep::<Petix>(&image, engine_a, engine_b, cfg, &subject),
             }
         })
         .collect()
@@ -98,6 +94,7 @@ pub fn fuzz_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simbench_suite::ArmletSupport;
 
     #[test]
     fn fuzz_programs_are_deterministic_and_seed_sensitive() {

@@ -18,6 +18,9 @@
 //! simbench-harness differ <guest> <engineA> <engineB>
 //!                         (--workload <W|all> | --fuzz SEED [--programs N])
 //!                         [--max-insns K] [--checkpoints C] [--scale N]
+//! simbench-harness analyze <guest|all> [--workload <W|all> | --fuzz SEED [--programs N]]
+//!                          [--scale N] [--fuel N] [--check] [--out FILE]
+//! simbench-harness lint [--root DIR]
 //! simbench-harness --list
 //! ```
 //!
@@ -27,6 +30,19 @@
 //! named state diff (exit 1). `--workload` takes a benchmark or app
 //! name, a `suite:`/`app:` id, or `all` for every suite benchmark the
 //! guest supports; `--fuzz` sweeps N seeded random programs instead.
+//!
+//! `analyze` runs the static analyzer over guest images without
+//! executing them on an engine: CFG recovery with invariant proofs,
+//! per-block DBT-promotion safety classes, and a static event-profile
+//! prediction (`--check` verifies it counter-for-counter against the
+//! reference interpreter). `--workload all` (the default) sweeps every
+//! suite benchmark and app the guest supports; `--fuzz SEED` analyzes
+//! the differ's seeded program stream instead. `--out` persists the
+//! `simbench-analysis/v1` artifact. Exit 1 when any subject has an
+//! invariant violation or check mismatch.
+//!
+//! `lint` runs the hot-path source lint over the designated
+//! allocation-free modules (exit 1 on any finding).
 //!
 //! `--quiet` / `-v` are global: they may appear anywhere on the command
 //! line and set the stderr log level (warnings only / debug). Stdout
@@ -81,6 +97,9 @@ const USAGE: &str = "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8
        simbench-harness differ <guest> <engineA> <engineB>
                                (--workload <W|all> | --fuzz SEED [--programs N])
                                [--max-insns K] [--checkpoints C] [--scale N]
+       simbench-harness analyze <guest|all> [--workload <W|all> | --fuzz SEED [--programs N]]
+                                [--scale N] [--fuel N] [--check] [--out FILE]
+       simbench-harness lint [--root DIR]
        simbench-harness --list
 global flags (anywhere on the line): --quiet (warnings only), -v/--verbose (debug)";
 
@@ -157,6 +176,14 @@ fn main() -> ExitCode {
         Some("differ") => {
             argv.remove(0);
             differ_main(argv)
+        }
+        Some("analyze") => {
+            argv.remove(0);
+            analyze_main(argv)
+        }
+        Some("lint") => {
+            argv.remove(0);
+            lint_main(argv)
         }
         _ => figures_main(argv),
     }
@@ -904,6 +931,168 @@ fn differ_workloads(guest: Guest, selector: &str) -> Vec<Workload> {
                 "unknown workload {selector:?} (try a name from `campaign list`, a suite:/app: id, or `all`)"
             ))
         })
+}
+
+// ---------------------------------------------------------------------------
+// Analyze mode.
+// ---------------------------------------------------------------------------
+
+fn analyze_main(argv: Vec<String>) -> ExitCode {
+    use simbench_analyzer::{analyze_fuzz, analyze_workload, AnalyzeOpts};
+
+    let mut args = Args::new(argv);
+    let guest_id = args
+        .next()
+        .unwrap_or_else(|| fail("analyze needs <guest|all>"));
+    let guests: Vec<Guest> = if guest_id == "all" {
+        Guest::ALL.to_vec()
+    } else {
+        vec![Guest::by_isa_name(&guest_id).unwrap_or_else(|| {
+            fail(&format!(
+                "unknown guest {guest_id:?} (armlet | petix | all)"
+            ))
+        })]
+    };
+
+    let mut workload: Option<String> = None;
+    let mut fuzz_seed: Option<u64> = None;
+    let mut programs = 25u32;
+    let mut scale = 20_000u64;
+    let mut out_path: Option<String> = None;
+    let mut opts = AnalyzeOpts::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workload" => workload = Some(args.value_of("--workload")),
+            "--fuzz" => fuzz_seed = Some(args.parse_of("--fuzz")),
+            "--programs" => programs = args.parse_of("--programs"),
+            "--scale" => scale = args.parse_of("--scale"),
+            "--fuel" => opts.fuel = args.parse_of("--fuel"),
+            "--check" => opts.check = true,
+            "--out" => out_path = Some(args.value_of("--out")),
+            flag => fail(&format!("unknown flag {flag:?}")),
+        }
+    }
+    if scale == 0 {
+        fail("--scale must be at least 1");
+    }
+    if opts.fuel == 0 {
+        fail("--fuel must be at least 1");
+    }
+
+    let analyses: Vec<simbench_analyzer::SubjectAnalysis> = match (workload, fuzz_seed) {
+        (Some(_), Some(_)) => fail("--workload conflicts with --fuzz"),
+        (w, None) => {
+            let selector = w.unwrap_or_else(|| "all".to_string());
+            let explicit = selector != "all";
+            let workloads = analyze_workloads(&selector);
+            guests
+                .iter()
+                .flat_map(|&guest| workloads.iter().map(move |&wl| (guest, wl)))
+                .filter_map(|(guest, wl)| {
+                    let a = analyze_workload(guest, wl, scale, &opts);
+                    // Matrix holes are expected under `all`, but a
+                    // workload the user named must exist on the guest.
+                    if a.is_none() && explicit {
+                        fail(&format!(
+                            "workload {:?} does not exist on guest {:?}",
+                            wl.id(),
+                            guest.isa_name()
+                        ));
+                    }
+                    a
+                })
+                .collect()
+        }
+        (None, Some(seed)) => guests
+            .iter()
+            .flat_map(|&guest| (0..programs).map(move |k| (guest, k)))
+            .map(|(guest, k)| analyze_fuzz(guest, seed, k, &opts))
+            .collect(),
+    };
+    if analyses.is_empty() {
+        fail("nothing to analyze (with --fuzz, --programs must be at least 1)");
+    }
+
+    let mut problems = 0usize;
+    for a in &analyses {
+        println!("{}", a.render_line());
+        for line in a.render_problems() {
+            println!("{line}");
+        }
+        if !a.ok() {
+            problems += 1;
+        }
+    }
+    println!(
+        "analyze: {}/{} subject(s) clean",
+        analyses.len() - problems,
+        analyses.len()
+    );
+    if let Some(path) = out_path {
+        write_file(&path, simbench_analyzer::to_json(&analyses).as_bytes());
+    }
+    if problems > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Resolve an analyze `--workload` selector: `all` (every suite
+/// benchmark and app; matrix holes skipped per guest), a `suite:`/`app:`
+/// id, or a bare name (case-insensitive).
+fn analyze_workloads(selector: &str) -> Vec<Workload> {
+    if selector == "all" {
+        let mut all = CampaignSpec::suite_workloads();
+        all.extend(CampaignSpec::app_workloads());
+        return all;
+    }
+    if let Some(wl) = Workload::by_id(selector) {
+        return vec![wl];
+    }
+    let lower = selector.to_ascii_lowercase();
+    Benchmark::ALL
+        .iter()
+        .copied()
+        .map(Workload::Suite)
+        .chain(App::ALL.iter().copied().map(Workload::App))
+        .find(|wl| wl.name().to_ascii_lowercase() == lower)
+        .map(|wl| vec![wl])
+        .unwrap_or_else(|| {
+            fail(&format!(
+                "unknown workload {selector:?} (try a name from `campaign list`, a suite:/app: id, or `all`)"
+            ))
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Lint mode.
+// ---------------------------------------------------------------------------
+
+fn lint_main(argv: Vec<String>) -> ExitCode {
+    let mut args = Args::new(argv);
+    let mut root: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = Some(args.value_of("--root")),
+            flag => fail(&format!("unknown flag {flag:?}")),
+        }
+    }
+    let root = root.unwrap_or_else(|| ".".to_string());
+    let findings = simbench_analyzer::lint_root(std::path::Path::new(&root));
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "lint: {} finding(s) across {} hot-path file(s)",
+        findings.len(),
+        simbench_analyzer::HOT_PATH_FILES.len()
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -909,3 +909,101 @@ fn selfbench_reports_mips_from_a_stored_campaign() {
     // Unreadable input exits 3 like every other subcommand.
     assert_eq!(exit_code(&run_cli(&["selfbench", "/nonexistent.json"])), 3);
 }
+
+#[test]
+fn analyze_sweeps_a_workload_and_persists_the_artifact() {
+    let artifact_path = scratch("analyze-artifact");
+    let artifact_str = artifact_path.to_str().unwrap();
+    let out = run_cli(&[
+        "analyze",
+        "armlet",
+        "--workload",
+        "System Call",
+        "--check",
+        "--fuel",
+        "5000000",
+        "--out",
+        artifact_str,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("armlet/suite:System Call: ok"), "{text}");
+    assert!(text.contains("check ok"), "{text}");
+    assert!(text.contains("1/1 subject(s) clean"), "{text}");
+    let json = std::fs::read_to_string(&artifact_path).unwrap();
+    assert!(
+        json.contains("\"schema\": \"simbench-analysis/v1\""),
+        "{json}"
+    );
+    assert!(json.contains("\"matched\": true"), "{json}");
+}
+
+#[test]
+fn analyze_fuzz_covers_the_differ_program_stream() {
+    let out = run_cli(&[
+        "analyze",
+        "petix",
+        "--fuzz",
+        "48879",
+        "--programs",
+        "2",
+        "--check",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("petix/fuzz:0xbeef[0]"), "{text}");
+    assert!(text.contains("2/2 subject(s) clean"), "{text}");
+}
+
+#[test]
+fn analyze_usage_errors_exit_3() {
+    // Missing guest, unknown guest, conflicting selectors, bad values.
+    assert_eq!(exit_code(&run_cli(&["analyze"])), 3);
+    assert_eq!(exit_code(&run_cli(&["analyze", "z80"])), 3);
+    assert_eq!(
+        exit_code(&run_cli(&[
+            "analyze",
+            "armlet",
+            "--workload",
+            "all",
+            "--fuzz",
+            "1"
+        ])),
+        3
+    );
+    assert_eq!(
+        exit_code(&run_cli(&["analyze", "armlet", "--workload", "nope"])),
+        3
+    );
+    assert_eq!(
+        exit_code(&run_cli(&["analyze", "armlet", "--scale", "0"])),
+        3
+    );
+    // A workload the user named must exist on the guest — unlike the
+    // silently-skipped matrix holes of `all`.
+    assert_eq!(
+        exit_code(&run_cli(&[
+            "analyze",
+            "petix",
+            "--workload",
+            "Nonprivileged Access"
+        ])),
+        3
+    );
+}
+
+#[test]
+fn lint_runs_clean_on_this_repository() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .unwrap()
+        .to_path_buf();
+    let out = run_cli(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    assert!(stdout(&out).contains("0 finding(s)"), "{}", stdout(&out));
+
+    // A root with none of the designated files present is all findings.
+    let out = run_cli(&["lint", "--root", std::env::temp_dir().to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 1, "{}", stdout(&out));
+}

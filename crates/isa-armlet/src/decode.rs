@@ -6,6 +6,50 @@ use simbench_core::ir::{
 
 use crate::encoding::{INSN_BYTES, LR};
 
+/// Static description of one top-nibble encoding class, exposed so
+/// static sweeps (the analyzer's decoder-totality proof) can enumerate
+/// the decode table instead of reverse-engineering it from probes.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodingClass {
+    /// Top nibble of the instruction word (bits 28–31).
+    pub nibble: u8,
+    /// Mnemonic family name.
+    pub name: &'static str,
+    /// True if at least one word with this top nibble decodes.
+    pub populated: bool,
+}
+
+/// The armlet decode table at class granularity. Every instruction word
+/// dispatches on its top nibble; a class marked unpopulated rejects all
+/// 2^28 words beneath it.
+pub const ENCODING_CLASSES: [EncodingClass; 16] = {
+    const fn c(nibble: u8, name: &'static str, populated: bool) -> EncodingClass {
+        EncodingClass {
+            nibble,
+            name,
+            populated,
+        }
+    }
+    [
+        c(0x0, "udf", true),
+        c(0x1, "alu-rr", true),
+        c(0x2, "alu-ri", true),
+        c(0x3, "movw", true),
+        c(0x4, "movt", true),
+        c(0x5, "ldst", true),
+        c(0x6, "b", true),
+        c(0x7, "bl", true),
+        c(0x8, "bcc", true),
+        c(0x9, "bx/blx", true),
+        c(0xA, "system", true),
+        c(0xB, "cmp/tst", true),
+        c(0xC, "(reserved)", false),
+        c(0xD, "(reserved)", false),
+        c(0xE, "(reserved)", false),
+        c(0xF, "(reserved)", false),
+    ]
+};
+
 #[inline]
 fn sext(value: u32, bits: u32) -> i32 {
     let shift = 32 - bits;
@@ -476,6 +520,24 @@ mod tests {
                 is_tst: true
             }]
         );
+    }
+
+    #[test]
+    fn encoding_class_table_matches_decoder() {
+        for (i, class) in ENCODING_CLASSES.iter().enumerate() {
+            assert_eq!(class.nibble as usize, i);
+            // The canonical word of every populated class decodes; an
+            // unpopulated class rejects its canonical word (and, per the
+            // decoder's top-level dispatch, every other word below it).
+            let canonical = u32::from(class.nibble) << 28;
+            assert_eq!(
+                decode(canonical, 0).is_ok(),
+                class.populated,
+                "class {:#x} ({})",
+                class.nibble,
+                class.name
+            );
+        }
     }
 
     #[test]

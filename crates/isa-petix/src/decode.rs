@@ -6,6 +6,36 @@ use simbench_core::ir::{
 
 use crate::encoding::SP;
 
+/// Total byte length of the instruction whose first byte is `opc`, or
+/// `None` if no instruction starts with that byte.
+///
+/// This is the decode length table exposed for static sweeps: whenever
+/// [`decode`] succeeds on a buffer starting with `opc`, the decoded
+/// `len` equals this value, and `decode` never reads past it. (A
+/// `Some` here does not promise the full instruction decodes — e.g.
+/// `0x0F` escapes and `0x81` condition codes can still reject on later
+/// bytes — only that the length is determined by the first byte.)
+pub const fn insn_len(opc: u8) -> Option<usize> {
+    match opc {
+        0x00..=0x03 => Some(1),
+        0x0F => Some(2),
+        0x10..=0x1F => Some(2),
+        0x30..=0x3F => Some(6),
+        0x50..=0x5F => Some(4),
+        0x70..=0x75 => Some(4),
+        0x80 => Some(5),
+        0x81 => Some(6),
+        0x82 => Some(5),
+        0x83..=0x88 => Some(2),
+        0x89 => Some(6),
+        0x8A => Some(2),
+        0x8B => Some(6),
+        0x90 | 0x91 => Some(2),
+        0xA0 => Some(6),
+        _ => None,
+    }
+}
+
 fn need(bytes: &[u8], n: usize, pc: u32) -> Result<(), DecodeError> {
     if bytes.len() < n {
         Err(DecodeError { pc })
@@ -497,6 +527,34 @@ mod tests {
                     set_flags: false
                 }]
             );
+        }
+    }
+
+    #[test]
+    fn length_table_matches_decoder() {
+        // Operand fills that exercise every later-byte validity path
+        // (second-byte escapes, condition codes, register fields).
+        let fills: [[u8; 5]; 4] = [
+            [0x00; 5],
+            [0xFF; 5],
+            [0x0B, 0x0B, 0x0B, 0x0B, 0x0B],
+            [0x07, 0x80, 0x7F, 0x01, 0xFE],
+        ];
+        for opc in 0..=255u8 {
+            for fill in &fills {
+                let mut bytes = [0u8; 6];
+                bytes[0] = opc;
+                bytes[1..].copy_from_slice(fill);
+                match (decode(&bytes, 0), insn_len(opc)) {
+                    (Ok(d), Some(len)) => assert_eq!(d.len as usize, len, "opcode {opc:#x}"),
+                    (Ok(_), None) => panic!("opcode {opc:#x} decodes but has no table length"),
+                    (Err(_), _) => {}
+                }
+            }
+            if insn_len(opc).is_none() {
+                let bytes = [opc, 0, 0, 0, 0, 0];
+                assert!(decode(&bytes, 0).is_err(), "opcode {opc:#x}");
+            }
         }
     }
 

@@ -41,6 +41,7 @@ pub use lint::{lint_file, lint_root, LintFinding, HOT_PATH_FILES};
 pub use predict::{predict, AbstainCause, Prediction};
 pub use safety::{classify, BlockSafety, SafetyClass};
 
+use simbench_campaign::registry::{dispatch_guest, GuestSpec, GuestVisitor};
 use simbench_campaign::{measure, Guest, Workload};
 use simbench_core::cfg::Cfg;
 use simbench_core::engine::{Engine, ExitReason, RunLimits};
@@ -48,8 +49,6 @@ use simbench_core::image::GuestImage;
 use simbench_core::isa::Isa;
 use simbench_core::machine::Machine;
 use simbench_interp::Interp;
-use simbench_isa_armlet::Armlet;
-use simbench_isa_petix::Petix;
 use simbench_obs::Counter;
 use simbench_platform::Platform;
 
@@ -216,10 +215,25 @@ pub fn analyze_image(
     image: &GuestImage,
     opts: &AnalyzeOpts,
 ) -> SubjectAnalysis {
-    match guest {
-        Guest::Armlet => analyze_on::<Armlet>(guest, subject, image, opts),
-        Guest::Petix => analyze_on::<Petix>(guest, subject, image, opts),
+    struct Analyze<'a> {
+        subject: &'a str,
+        image: &'a GuestImage,
+        opts: &'a AnalyzeOpts,
     }
+    impl GuestVisitor for Analyze<'_> {
+        type Out = SubjectAnalysis;
+        fn visit<G: GuestSpec>(self) -> SubjectAnalysis {
+            analyze_on::<G::Isa>(G::GUEST, self.subject, self.image, self.opts)
+        }
+    }
+    dispatch_guest(
+        guest,
+        Analyze {
+            subject,
+            image,
+            opts,
+        },
+    )
 }
 
 /// Analyze one campaign workload at a campaign scale — the exact image

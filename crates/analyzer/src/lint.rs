@@ -39,7 +39,11 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/dbt/src/versions.rs",
     "crates/interp/src/lib.rs",
     "crates/isa-armlet/src/decode.rs",
+    "crates/isa-armlet/src/decode_gen.rs",
     "crates/isa-petix/src/decode.rs",
+    "crates/isa-petix/src/decode_gen.rs",
+    "crates/isa-riscle/src/decode.rs",
+    "crates/isa-riscle/src/decode_gen.rs",
     "crates/obs/src/metrics.rs",
     "crates/obs/src/ring.rs",
 ];

@@ -11,12 +11,20 @@
 //! fast while CI's release run proves the full space. The petix sweep
 //! is exhaustive over the bytes the decoder dispatches on (opcode ×
 //! mode byte), crossed with edge-pattern immediate fills and every
-//! truncation length.
+//! truncation length. The riscle sweep covers all 2^16 compressed
+//! halfwords exhaustively plus the 32-bit space at the armlet stride.
+//!
+//! Since the production decoders are generated from the declarative
+//! specs in each crate's `spec/*.isa`, the armlet and petix sweeps
+//! double as the exhaustive equivalence proof: every visited pattern is
+//! also decoded by the retained hand-written reference
+//! (`decode_ref`) and the results must be identical.
 
 use simbench_core::isa::Isa;
 use simbench_isa_armlet::Armlet;
 use simbench_isa_petix::decode::insn_len;
 use simbench_isa_petix::Petix;
+use simbench_isa_riscle::Riscle;
 
 #[test]
 fn armlet_decode_is_total_over_the_word_space() {
@@ -33,7 +41,14 @@ fn armlet_decode_is_total_over_the_word_space() {
                 let (mut ok, mut err) = (0u64, 0u64);
                 let mut w = lo;
                 while w < hi {
-                    match Armlet::decode(&(w as u32).to_le_bytes(), 0x1000) {
+                    let word = w as u32;
+                    let generated = Armlet::decode(&word.to_le_bytes(), 0x1000);
+                    let reference = simbench_isa_armlet::decode_ref::decode(word, 0x1000);
+                    assert_eq!(
+                        generated, reference,
+                        "word {w:#010x}: generated != reference"
+                    );
+                    match generated {
                         Ok(d) => {
                             assert_eq!(d.len, 4, "word {w:#010x}");
                             assert!(!d.ops.is_empty(), "word {w:#010x} decoded to zero ops");
@@ -83,6 +98,11 @@ fn petix_decode_is_total_and_agrees_with_the_length_table() {
         for b1 in 0..=255u8 {
             for fill in FILLS {
                 let bytes = [opc, b1, fill, fill, fill, fill];
+                assert_eq!(
+                    Petix::decode(&bytes, 0x2000),
+                    simbench_isa_petix::decode_ref::decode(&bytes, 0x2000),
+                    "bytes {bytes:02x?}: generated != reference"
+                );
                 match Petix::decode(&bytes, 0x2000) {
                     Ok(d) => {
                         assert!(
@@ -110,6 +130,12 @@ fn petix_decode_is_total_and_agrees_with_the_length_table() {
                 // Every truncation of a valid window must error (petix
                 // opcodes all need at least their length), never panic.
                 for n in 0..Petix::MAX_INSN_BYTES {
+                    assert_eq!(
+                        Petix::decode(&bytes[..n], 0x2000),
+                        simbench_isa_petix::decode_ref::decode(&bytes[..n], 0x2000),
+                        "truncated bytes {:02x?}: generated != reference",
+                        &bytes[..n]
+                    );
                     if let Ok(d) = Petix::decode(&bytes[..n], 0x2000) {
                         assert!(
                             (d.len as usize) <= n,
@@ -118,6 +144,58 @@ fn petix_decode_is_total_and_agrees_with_the_length_table() {
                         );
                     }
                 }
+            }
+        }
+    }
+    assert!(ok > 0 && err > 0, "ok={ok} err={err}");
+}
+
+#[test]
+fn riscle_decode_is_total_and_agrees_with_the_length_table() {
+    use simbench_isa_riscle::decode::insn_len as riscle_len;
+    // The first halfword fully determines the length class, so sweeping
+    // all 2^16 of them exhausts the compressed space; edge-pattern
+    // upper halves cover the 32-bit operand fields.
+    const FILLS: [u16; 6] = [0x0000, 0xFFFF, 0x5555, 0xAAAA, 0x8000, 0x0001];
+    let (mut ok, mut err) = (0u64, 0u64);
+    for h0 in 0..=0xFFFFu16 {
+        let len = riscle_len(h0);
+        assert!(len == 2 || len == 4, "h0 {h0:#06x}: length {len}");
+        for fill in FILLS {
+            let word = ((fill as u32) << 16) | h0 as u32;
+            let bytes = word.to_le_bytes();
+            match Riscle::decode(&bytes, 0x3000) {
+                Ok(d) => {
+                    // The length table is the CFG walker's ground
+                    // truth, exactly as for petix.
+                    assert_eq!(d.len as usize, len, "h0 {h0:#06x} length table disagrees");
+                    assert!(!d.ops.is_empty(), "h0 {h0:#06x} decoded to zero ops");
+                    ok += 1;
+                }
+                Err(e) => {
+                    assert_eq!(e.pc, 0x3000);
+                    err += 1;
+                }
+            }
+            // Truncated windows must never decode past the bytes given.
+            for n in 0..len {
+                if let Ok(d) = Riscle::decode(&bytes[..n], 0x3000) {
+                    assert!(
+                        (d.len as usize) <= n,
+                        "h0 {h0:#06x}: {n}-byte window decoded {} bytes",
+                        d.len
+                    );
+                }
+            }
+            if len == 2 {
+                // A compressed instruction must not look at the upper
+                // halfword at all.
+                assert_eq!(
+                    Riscle::decode(&bytes, 0x3000),
+                    Riscle::decode(&bytes[..2], 0x3000),
+                    "h0 {h0:#06x}: compressed decode read past 2 bytes"
+                );
+                break;
             }
         }
     }

@@ -14,8 +14,11 @@ use simbench_differ::generate_straight_line;
 
 proptest! {
     #[test]
-    fn straight_line_prediction_is_exact_and_interp_agrees(seed: u64, petix: bool) {
-        let guest = if petix { Guest::Petix } else { Guest::Armlet };
+    fn straight_line_prediction_is_exact_and_interp_agrees(
+        seed: u64,
+        guest_index in 0..Guest::ALL.len(),
+    ) {
+        let guest = Guest::ALL[guest_index];
         let image = generate_straight_line(guest, seed);
         let opts = AnalyzeOpts {
             fuel: 1_000_000,

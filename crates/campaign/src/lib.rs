@@ -128,6 +128,7 @@ pub mod compare;
 pub mod json;
 pub mod measure;
 pub mod merge;
+pub mod registry;
 pub mod result;
 pub mod runner;
 pub mod spec;
@@ -140,6 +141,7 @@ pub use compare::{
 };
 pub use measure::{run_app, run_suite_bench, Config, EngineKind, Guest, Sample};
 pub use merge::{merge, MergeError};
+pub use registry::{dispatch_guest, GuestInfo, GuestSpec, GuestVisitor, GUESTS};
 pub use result::{
     CampaignResult, CellResult, CellStatus, LoadError, StopReason, Telemetry, SCHEMA, SCHEMA_V1,
     SCHEMA_V2, SCHEMA_V3, SCHEMA_V4,

@@ -19,45 +19,45 @@ use simbench_core::machine::Machine;
 use simbench_dbt::{Dbt, VersionProfile};
 use simbench_detailed::Detailed;
 use simbench_interp::Interp;
-use simbench_isa_armlet::Armlet;
-use simbench_isa_petix::Petix;
 use simbench_platform::Platform;
-use simbench_suite::{build, ArmletSupport, Benchmark, PetixSupport};
+use simbench_suite::{build, Benchmark};
 use simbench_virt::Virt;
 
-/// Guest architecture selector.
+use crate::registry::{dispatch_guest, GuestSpec, GuestVisitor};
+
+/// Guest architecture selector. Per-guest metadata and concrete types
+/// hang off the [`crate::registry`], not off matches on this enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Guest {
     /// ARM-like guest.
     Armlet,
     /// x86-like guest.
     Petix,
+    /// RISC-V-like guest (mixed 16/32-bit instructions).
+    Riscle,
 }
 
 impl Guest {
-    /// Both guests.
-    pub const ALL: [Guest; 2] = [Guest::Armlet, Guest::Petix];
+    /// All guests, in registry-table order.
+    pub const ALL: [Guest; 3] = [Guest::Armlet, Guest::Petix, Guest::Riscle];
 
-    /// Display name matching the paper's "ARM Guest" / "x86 Guest".
+    /// Display name ("armlet (ARM-like)" etc.), from the registry table.
     pub fn name(self) -> &'static str {
-        match self {
-            Guest::Armlet => "armlet (ARM-like)",
-            Guest::Petix => "petix (x86-like)",
-        }
+        crate::registry::info(self).display
     }
 
     /// ISA name used by `Benchmark::supported_on` and as the stable id
-    /// in persisted campaign results.
+    /// in persisted campaign results, from the registry table.
     pub fn isa_name(self) -> &'static str {
-        match self {
-            Guest::Armlet => "armlet",
-            Guest::Petix => "petix",
-        }
+        crate::registry::info(self).isa_name
     }
 
     /// Inverse of [`Guest::isa_name`].
     pub fn by_isa_name(name: &str) -> Option<Guest> {
-        Guest::ALL.iter().copied().find(|g| g.isa_name() == name)
+        crate::registry::GUESTS
+            .iter()
+            .find(|i| i.isa_name == name)
+            .map(|i| i.guest)
     }
 }
 
@@ -261,28 +261,28 @@ pub fn workload_image(
     workload: crate::spec::Workload,
     scale: u64,
 ) -> Option<Arc<GuestImage>> {
-    match workload {
-        crate::spec::Workload::Suite(bench) => {
-            let iters = bench.scaled_iterations(scale);
-            let key = ImageKey::Suite(guest, bench, iters);
-            match guest {
-                Guest::Armlet => cached_image(key, || build(&ArmletSupport::new(), bench, iters)),
-                Guest::Petix => cached_image(key, || build(&PetixSupport::new(), bench, iters)),
-            }
-        }
-        crate::spec::Workload::App(app) => {
-            let iters = app.scaled_iterations(app_scale_divisor(scale));
-            let key = ImageKey::App(guest, app, iters);
-            match guest {
-                Guest::Armlet => {
-                    cached_image(key, || Some(build_app(&ArmletSupport::new(), app, iters)))
+    struct BuildImage {
+        workload: crate::spec::Workload,
+        scale: u64,
+    }
+    impl GuestVisitor for BuildImage {
+        type Out = Option<Arc<GuestImage>>;
+        fn visit<G: GuestSpec>(self) -> Self::Out {
+            match self.workload {
+                crate::spec::Workload::Suite(bench) => {
+                    let iters = bench.scaled_iterations(self.scale);
+                    let key = ImageKey::Suite(G::GUEST, bench, iters);
+                    cached_image(key, || build(&G::Support::default(), bench, iters))
                 }
-                Guest::Petix => {
-                    cached_image(key, || Some(build_app(&PetixSupport::new(), app, iters)))
+                crate::spec::Workload::App(app) => {
+                    let iters = app.scaled_iterations(app_scale_divisor(self.scale));
+                    let key = ImageKey::App(G::GUEST, app, iters);
+                    cached_image(key, || Some(build_app(&G::Support::default(), app, iters)))
                 }
             }
         }
     }
+    dispatch_guest(guest, BuildImage { workload, scale })
 }
 
 fn run_image_on<I: Isa>(engine: EngineKind, image: &GuestImage, limits: &RunLimits) -> RunOutcome {
@@ -323,18 +323,32 @@ pub fn run_suite_bench(
     bench: Benchmark,
     cfg: &Config,
 ) -> Option<Sample> {
+    struct RunBench {
+        engine: EngineKind,
+        bench: Benchmark,
+        iters: u32,
+        limits: RunLimits,
+    }
+    impl GuestVisitor for RunBench {
+        type Out = Option<RunOutcome>;
+        fn visit<G: GuestSpec>(self) -> Self::Out {
+            let key = ImageKey::Suite(G::GUEST, self.bench, self.iters);
+            let image = cached_image(key, || {
+                build(&G::Support::default(), self.bench, self.iters)
+            })?;
+            Some(run_image_on::<G::Isa>(self.engine, &image, &self.limits))
+        }
+    }
     let iters = bench.scaled_iterations(cfg.scale);
-    let key = ImageKey::Suite(guest, bench, iters);
-    let out = match guest {
-        Guest::Armlet => {
-            let image = cached_image(key, || build(&ArmletSupport::new(), bench, iters))?;
-            run_image_on::<Armlet>(engine, &image, &cfg.limits)
-        }
-        Guest::Petix => {
-            let image = cached_image(key, || build(&PetixSupport::new(), bench, iters))?;
-            run_image_on::<Petix>(engine, &image, &cfg.limits)
-        }
-    };
+    let out = dispatch_guest(
+        guest,
+        RunBench {
+            engine,
+            bench,
+            iters,
+            limits: cfg.limits,
+        },
+    )?;
     Some(sample_from(out, iters))
 }
 
@@ -353,26 +367,40 @@ fn app_scale_divisor(scale: u64) -> u64 {
 
 /// Run one synthetic application.
 pub fn run_app(guest: Guest, engine: EngineKind, app: App, cfg: &Config) -> Sample {
+    struct RunApp {
+        engine: EngineKind,
+        app: App,
+        iters: u32,
+        limits: RunLimits,
+    }
+    impl GuestVisitor for RunApp {
+        type Out = RunOutcome;
+        fn visit<G: GuestSpec>(self) -> Self::Out {
+            let key = ImageKey::App(G::GUEST, self.app, self.iters);
+            let image = cached_image(key, || {
+                Some(build_app(&G::Support::default(), self.app, self.iters))
+            })
+            .expect("apps exist on every guest");
+            run_image_on::<G::Isa>(self.engine, &image, &self.limits)
+        }
+    }
     let iters = app.scaled_iterations(app_scale_divisor(cfg.scale));
-    let key = ImageKey::App(guest, app, iters);
-    let out = match guest {
-        Guest::Armlet => {
-            let image = cached_image(key, || Some(build_app(&ArmletSupport::new(), app, iters)))
-                .expect("apps exist on every guest");
-            run_image_on::<Armlet>(engine, &image, &cfg.limits)
-        }
-        Guest::Petix => {
-            let image = cached_image(key, || Some(build_app(&PetixSupport::new(), app, iters)))
-                .expect("apps exist on every guest");
-            run_image_on::<Petix>(engine, &image, &cfg.limits)
-        }
-    };
+    let out = dispatch_guest(
+        guest,
+        RunApp {
+            engine,
+            app,
+            iters,
+            limits: cfg.limits,
+        },
+    );
     sample_from(out, iters)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simbench_suite::{ArmletSupport, PetixSupport};
 
     #[test]
     fn engine_ids_roundtrip() {

@@ -1,0 +1,153 @@
+//! The guest registry: one table and one dispatch point for everything
+//! per-guest.
+//!
+//! Before this module existed, every tool that worked "for each guest"
+//! (the campaign runner, the differ, the fuzzer, the static analyzer)
+//! carried its own `match guest` over the concrete ISA and support
+//! types, and adding a guest meant finding them all. Now the concrete
+//! types appear exactly once, in [`dispatch_guest`], and the metadata
+//! (stable persisted id, display name) exactly once, in [`GUESTS`].
+//! Adding a guest is: add the enum variant, one [`GuestInfo`] row, one
+//! [`GuestSpec`] impl and one `dispatch_guest` arm — the compiler then
+//! walks you through the (exhaustive-match) rest.
+
+use simbench_core::isa::Isa;
+use simbench_isa_armlet::Armlet;
+use simbench_isa_petix::Petix;
+use simbench_isa_riscle::Riscle;
+use simbench_suite::{ArmletSupport, PetixSupport, RiscleSupport, Support};
+
+use crate::measure::Guest;
+
+/// Static metadata for one guest. The `isa_name` is the stable id used
+/// in persisted campaign results and on the CLI; never rename one.
+#[derive(Debug, Clone, Copy)]
+pub struct GuestInfo {
+    /// The enum selector.
+    pub guest: Guest,
+    /// Stable id (`Isa::NAME`): persisted results, CLI `--guests`.
+    pub isa_name: &'static str,
+    /// Human-facing display name for table headers and lists.
+    pub display: &'static str,
+}
+
+/// The guest metadata table, in [`Guest::ALL`] order.
+pub const GUESTS: [GuestInfo; 3] = [
+    GuestInfo {
+        guest: Guest::Armlet,
+        isa_name: Armlet::NAME,
+        display: "armlet (ARM-like)",
+    },
+    GuestInfo {
+        guest: Guest::Petix,
+        isa_name: Petix::NAME,
+        display: "petix (x86-like)",
+    },
+    GuestInfo {
+        guest: Guest::Riscle,
+        isa_name: Riscle::NAME,
+        display: "riscle (RISC-V-like)",
+    },
+];
+
+/// The metadata row for a guest.
+pub fn info(guest: Guest) -> &'static GuestInfo {
+    GUESTS
+        .iter()
+        .find(|i| i.guest == guest)
+        .expect("every Guest variant has a GUESTS row")
+}
+
+/// The compile-time side of one guest: its ISA and support-package
+/// types, tied back to the runtime selector.
+pub trait GuestSpec {
+    /// The guest's [`Isa`].
+    type Isa: Isa;
+    /// The guest's suite support package.
+    type Support: Support + Default;
+    /// The runtime selector this spec implements.
+    const GUEST: Guest;
+}
+
+/// armlet's [`GuestSpec`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArmletGuest;
+/// petix's [`GuestSpec`].
+#[derive(Debug, Clone, Copy)]
+pub struct PetixGuest;
+/// riscle's [`GuestSpec`].
+#[derive(Debug, Clone, Copy)]
+pub struct RiscleGuest;
+
+impl GuestSpec for ArmletGuest {
+    type Isa = Armlet;
+    type Support = ArmletSupport;
+    const GUEST: Guest = Guest::Armlet;
+}
+
+impl GuestSpec for PetixGuest {
+    type Isa = Petix;
+    type Support = PetixSupport;
+    const GUEST: Guest = Guest::Petix;
+}
+
+impl GuestSpec for RiscleGuest {
+    type Isa = Riscle;
+    type Support = RiscleSupport;
+    const GUEST: Guest = Guest::Riscle;
+}
+
+/// A computation generic over the guest's compile-time types. Rust
+/// closures cannot be generic, so guest-polymorphic call sites are
+/// written as small visitor structs carrying their arguments.
+pub trait GuestVisitor {
+    /// The result type.
+    type Out;
+    /// Run against a concrete guest.
+    fn visit<G: GuestSpec>(self) -> Self::Out;
+}
+
+/// Run a [`GuestVisitor`] against the guest a selector names.
+///
+/// This is the single runtime-to-compile-time bridge: the only place
+/// in the workspace where a `Guest` value chooses concrete ISA and
+/// support types.
+pub fn dispatch_guest<V: GuestVisitor>(guest: Guest, v: V) -> V::Out {
+    match guest {
+        Guest::Armlet => v.visit::<ArmletGuest>(),
+        Guest::Petix => v.visit::<PetixGuest>(),
+        Guest::Riscle => v.visit::<RiscleGuest>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_every_guest_exactly_once() {
+        assert_eq!(GUESTS.len(), Guest::ALL.len());
+        for g in Guest::ALL {
+            assert_eq!(info(g).guest, g);
+        }
+        let mut names: Vec<_> = GUESTS.iter().map(|i| i.isa_name).collect();
+        names.dedup();
+        assert_eq!(names.len(), GUESTS.len(), "isa names must be unique");
+    }
+
+    #[test]
+    fn dispatch_reaches_the_matching_spec() {
+        struct WhoAmI;
+        impl GuestVisitor for WhoAmI {
+            type Out = (&'static str, Guest);
+            fn visit<G: GuestSpec>(self) -> Self::Out {
+                (G::Isa::NAME, G::GUEST)
+            }
+        }
+        for g in Guest::ALL {
+            let (name, guest) = dispatch_guest(g, WhoAmI);
+            assert_eq!(guest, g);
+            assert_eq!(name, g.isa_name());
+        }
+    }
+}

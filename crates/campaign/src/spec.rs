@@ -421,18 +421,19 @@ mod tests {
     #[test]
     fn full_matrix_shape() {
         let spec = CampaignSpec::full_matrix(20_000);
-        // 2 guests × 18 benchmarks × 5 engines.
-        assert_eq!(spec.cells().len(), 180);
-        // Nonprivileged Access is absent on petix: 5 engines × 1 rep fewer.
-        assert_eq!(spec.expand().len(), 175);
+        // 3 guests × 18 benchmarks × 5 engines.
+        assert_eq!(spec.cells().len(), 270);
+        // Nonprivileged Access is absent on petix and riscle: 2 guests ×
+        // 5 engines × 1 rep fewer.
+        assert_eq!(spec.expand().len(), 260);
     }
 
     #[test]
     fn reps_multiply_jobs_not_cells() {
         let mut spec = CampaignSpec::full_matrix(20_000);
         spec.reps = 3;
-        assert_eq!(spec.cells().len(), 180);
-        assert_eq!(spec.expand().len(), 175 * 3);
+        assert_eq!(spec.cells().len(), 270);
+        assert_eq!(spec.expand().len(), 260 * 3);
     }
 
     #[test]
@@ -537,11 +538,11 @@ mod tests {
         spec.reps = 7; // ignored in adaptive mode
         spec.precision = Some(PrecisionTarget::new(0.2, 3, 9).unwrap());
         assert_eq!(spec.initial_reps(), 3);
-        assert_eq!(spec.cells().len(), 180);
-        assert_eq!(spec.expand().len(), 175 * 3);
+        assert_eq!(spec.cells().len(), 270);
+        assert_eq!(spec.expand().len(), 260 * 3);
         spec.precision = None;
         assert_eq!(spec.initial_reps(), 7);
-        assert_eq!(spec.expand().len(), 175 * 7);
+        assert_eq!(spec.expand().len(), 260 * 7);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //!   (modulo the banked `saved_pc`/`saved_status`, which the lockstep
 //!   checker waives for mixed pairs).
 
+use simbench_campaign::registry::{dispatch_guest, GuestSpec, GuestVisitor};
 use simbench_campaign::Guest;
 use simbench_core::asm::{PReg, PortableAsm};
 use simbench_core::image::GuestImage;
@@ -29,7 +30,7 @@ use simbench_core::ir::{AluOp, Cond};
 use simbench_obs::Counter;
 use simbench_platform::devices::INTC_TRIGGER;
 use simbench_suite::support::{emit_counted_loop, emit_phase_mark};
-use simbench_suite::{ArmletSupport, BootSpec, HandlerKind, Handlers, PetixSupport, Support};
+use simbench_suite::{BootSpec, HandlerKind, Handlers, Support};
 
 static OBS_FUZZ_PROGRAMS: Counter = Counter::new("differ.fuzz_programs");
 
@@ -123,10 +124,14 @@ const PAGE: u32 = 4 << 10;
 /// divergence report and a static-analysis artifact about program `k`
 /// of campaign seed `S` are talking about identical bytes.
 pub fn generate(guest: Guest, seed: u64) -> GuestImage {
-    match guest {
-        Guest::Armlet => fuzz_program(&ArmletSupport::new(), seed),
-        Guest::Petix => fuzz_program(&PetixSupport::new(), seed),
+    struct Gen(u64);
+    impl GuestVisitor for Gen {
+        type Out = GuestImage;
+        fn visit<G: GuestSpec>(self) -> GuestImage {
+            fuzz_program(&G::Support::default(), self.0)
+        }
     }
+    dispatch_guest(guest, Gen(seed))
 }
 
 /// Straight-line variant of [`generate`]: the same weighted step menu,
@@ -136,10 +141,14 @@ pub fn generate(guest: Guest, seed: u64) -> GuestImage {
 /// class on which the analyzer's static counter prediction is provably
 /// exact, and the generator the exactness proptest draws from.
 pub fn generate_straight_line(guest: Guest, seed: u64) -> GuestImage {
-    match guest {
-        Guest::Armlet => straight_line_program(&ArmletSupport::new(), seed),
-        Guest::Petix => straight_line_program(&PetixSupport::new(), seed),
+    struct Gen(u64);
+    impl GuestVisitor for Gen {
+        type Out = GuestImage;
+        fn visit<G: GuestSpec>(self) -> GuestImage {
+            straight_line_program(&G::Support::default(), self.0)
+        }
     }
+    dispatch_guest(guest, Gen(seed))
 }
 
 /// Generate one random bootable program for a support package.

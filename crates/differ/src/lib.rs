@@ -45,9 +45,34 @@ pub use lockstep::{
     lockstep, lockstep_with, DifferConfig, DifferEngine, Divergence, Report, Verdict,
 };
 
+use std::sync::Arc;
+
+use simbench_campaign::registry::{dispatch_guest, GuestSpec, GuestVisitor};
 use simbench_campaign::{measure, EngineKind, Guest, Workload};
-use simbench_isa_armlet::Armlet;
-use simbench_isa_petix::Petix;
+use simbench_core::image::GuestImage;
+
+/// Visitor running [`lockstep`] against the guest's concrete ISA — the
+/// one per-guest dispatch the whole crate needs.
+struct Lockstep<'a> {
+    image: Arc<GuestImage>,
+    engine_a: EngineKind,
+    engine_b: EngineKind,
+    cfg: &'a DifferConfig,
+    subject: String,
+}
+
+impl GuestVisitor for Lockstep<'_> {
+    type Out = Report;
+    fn visit<G: GuestSpec>(self) -> Report {
+        lockstep::<G::Isa>(
+            &self.image,
+            self.engine_a,
+            self.engine_b,
+            self.cfg,
+            &self.subject,
+        )
+    }
+}
 
 /// Lockstep-compare one campaign workload on an engine pair. `None`
 /// when the workload does not exist on the guest architecture (the
@@ -61,10 +86,16 @@ pub fn check_workload(
 ) -> Option<Report> {
     let image = measure::workload_image(guest, workload, cfg.scale)?;
     let subject = format!("{}/{}", guest.isa_name(), workload.id());
-    Some(match guest {
-        Guest::Armlet => lockstep::<Armlet>(&image, engine_a, engine_b, cfg, &subject),
-        Guest::Petix => lockstep::<Petix>(&image, engine_a, engine_b, cfg, &subject),
-    })
+    Some(dispatch_guest(
+        guest,
+        Lockstep {
+            image,
+            engine_a,
+            engine_b,
+            cfg,
+            subject,
+        },
+    ))
 }
 
 /// Lockstep-compare `programs` seeded random programs on an engine
@@ -82,11 +113,17 @@ pub fn fuzz_pair(
         .map(|k| {
             let pseed = program_seed(seed, k);
             let subject = format!("{}/fuzz:{seed:#x}[{k}]", guest.isa_name());
-            let image = generate(guest, pseed);
-            match guest {
-                Guest::Armlet => lockstep::<Armlet>(&image, engine_a, engine_b, cfg, &subject),
-                Guest::Petix => lockstep::<Petix>(&image, engine_a, engine_b, cfg, &subject),
-            }
+            let image = Arc::new(generate(guest, pseed));
+            dispatch_guest(
+                guest,
+                Lockstep {
+                    image,
+                    engine_a,
+                    engine_b,
+                    cfg,
+                    subject,
+                },
+            )
         })
         .collect()
 }
@@ -111,7 +148,7 @@ mod tests {
             checkpoints: 4,
             scale: 20_000,
         };
-        for guest in [Guest::Armlet, Guest::Petix] {
+        for guest in Guest::ALL {
             for engine in [
                 EngineKind::Dbt(simbench_dbt::VersionProfile::latest()),
                 EngineKind::Native,

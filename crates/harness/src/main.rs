@@ -109,6 +109,12 @@ fn fail(msg: &str) -> ! {
     std::process::exit(3);
 }
 
+/// `"armlet | petix | riscle"` — the guest ids accepted on the CLI,
+/// from the registry table.
+fn guest_ids() -> String {
+    Guest::ALL.map(|g| g.isa_name()).join(" | ")
+}
+
 /// Typed argument cursor with strict error reporting.
 struct Args {
     args: std::vec::IntoIter<String>,
@@ -838,7 +844,7 @@ fn differ_main(argv: Vec<String>) -> ExitCode {
         .next()
         .unwrap_or_else(|| fail("differ needs <guest> <engineA> <engineB>"));
     let guest = Guest::by_isa_name(&guest_id)
-        .unwrap_or_else(|| fail(&format!("unknown guest {guest_id:?} (armlet | petix)")));
+        .unwrap_or_else(|| fail(&format!("unknown guest {guest_id:?} ({})", guest_ids())));
     let parse_engine = |id: Option<String>| {
         let id = id.unwrap_or_else(|| fail("differ needs <guest> <engineA> <engineB>"));
         EngineKind::by_id(&id).unwrap_or_else(|| {
@@ -949,7 +955,8 @@ fn analyze_main(argv: Vec<String>) -> ExitCode {
     } else {
         vec![Guest::by_isa_name(&guest_id).unwrap_or_else(|| {
             fail(&format!(
-                "unknown guest {guest_id:?} (armlet | petix | all)"
+                "unknown guest {guest_id:?} ({} | all)",
+                guest_ids()
             ))
         })]
     };
@@ -1143,7 +1150,10 @@ fn render_list() -> String {
     for v in QEMU_VERSIONS {
         out.push_str(&format!("  {}\n", v.name));
     }
-    out.push_str("\nguests (--guests):\n  armlet\n  petix\n");
+    out.push_str("\nguests (--guests):\n");
+    for g in Guest::ALL {
+        out.push_str(&format!("  {:<18} {}\n", g.isa_name(), g.name()));
+    }
     out
 }
 

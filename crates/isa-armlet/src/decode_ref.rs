@@ -1,0 +1,259 @@
+//! Hand-written armlet reference decoder.
+//!
+//! The production decoder is generated from `spec/armlet.isa` (see
+//! [`crate::decode_gen`]). This module keeps the original hand-written
+//! implementation as an independently-derived oracle: differential
+//! proptests and the exhaustive 2^32 sweep in
+//! `crates/analyzer/tests/decode_sweep.rs` prove the generated decoder
+//! agrees with it on every word. It is not part of any engine's hot
+//! path.
+
+use simbench_core::ir::{
+    AluOp, Cond, DecodeError, Decoded, InsnClass, LinkKind, MemSize, Op, Operand, RetKind,
+};
+
+use crate::encoding::{INSN_BYTES, LR};
+
+#[inline]
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decode the word at `pc` (reference implementation).
+///
+/// # Errors
+///
+/// [`DecodeError`] for words in the undefined space.
+pub fn decode(word: u32, pc: u32) -> Result<Decoded, DecodeError> {
+    let next = pc.wrapping_add(INSN_BYTES);
+    fn d(
+        ops: impl Into<simbench_core::ir::OpList>,
+        class: InsnClass,
+    ) -> Result<Decoded, DecodeError> {
+        Ok(Decoded::new(INSN_BYTES as u8, ops, class))
+    }
+    match word >> 28 {
+        0x0 => d([Op::Udf], InsnClass::System),
+        0x1 => {
+            let op = AluOp::from_code(((word >> 24) & 0xF) as u8).ok_or(DecodeError { pc })?;
+            let rd = ((word >> 20) & 0xF) as u8;
+            let rn = ((word >> 16) & 0xF) as u8;
+            let rm = ((word >> 12) & 0xF) as u8;
+            let set_flags = word & (1 << 11) != 0;
+            d(
+                [Op::Alu {
+                    op,
+                    rd,
+                    rn,
+                    src: Operand::Reg(rm),
+                    set_flags,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        0x2 => {
+            let op = AluOp::from_code(((word >> 24) & 0xF) as u8).ok_or(DecodeError { pc })?;
+            let rd = ((word >> 20) & 0xF) as u8;
+            let rn = ((word >> 16) & 0xF) as u8;
+            let set_flags = word & (1 << 15) != 0;
+            let imm = word & 0xFFF;
+            d(
+                [Op::Alu {
+                    op,
+                    rd,
+                    rn,
+                    src: Operand::Imm(imm),
+                    set_flags,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        0x3 => {
+            let rd = ((word >> 20) & 0xF) as u8;
+            let imm = word & 0xFFFF;
+            d(
+                [Op::Alu {
+                    op: AluOp::Mov,
+                    rd,
+                    rn: 0,
+                    src: Operand::Imm(imm),
+                    set_flags: false,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        0x4 => {
+            let rd = ((word >> 20) & 0xF) as u8;
+            let imm = word & 0xFFFF;
+            d(
+                [
+                    Op::Alu {
+                        op: AluOp::And,
+                        rd,
+                        rn: rd,
+                        src: Operand::Imm(0xFFFF),
+                        set_flags: false,
+                    },
+                    Op::Alu {
+                        op: AluOp::Orr,
+                        rd,
+                        rn: rd,
+                        src: Operand::Imm(imm << 16),
+                        set_flags: false,
+                    },
+                ],
+                InsnClass::Alu,
+            )
+        }
+        0x5 => {
+            let load = word & (1 << 27) != 0;
+            let size = match (word >> 25) & 0x3 {
+                0 => MemSize::B4,
+                1 => MemSize::B1,
+                2 => MemSize::B2,
+                _ => return Err(DecodeError { pc }),
+            };
+            let nonpriv = word & (1 << 24) != 0;
+            let rd = ((word >> 20) & 0xF) as u8;
+            let rn = ((word >> 16) & 0xF) as u8;
+            let off = sext(word & 0xFFF, 12);
+            let op = if load {
+                Op::Load {
+                    rd,
+                    base: rn,
+                    off,
+                    size,
+                    nonpriv,
+                }
+            } else {
+                Op::Store {
+                    rs: rd,
+                    base: rn,
+                    off,
+                    size,
+                    nonpriv,
+                }
+            };
+            d([op], InsnClass::Mem)
+        }
+        0x6 => {
+            let target = next.wrapping_add((sext(word & 0xFF_FFFF, 24) as u32) << 2);
+            d([Op::Branch { target }], InsnClass::Branch)
+        }
+        0x7 => {
+            let target = next.wrapping_add((sext(word & 0xFF_FFFF, 24) as u32) << 2);
+            d(
+                [Op::Call {
+                    target,
+                    ret: next,
+                    link: LinkKind::Register(LR),
+                }],
+                InsnClass::Branch,
+            )
+        }
+        0x8 => {
+            let cond = Cond::from_code(((word >> 24) & 0xF) as u8).ok_or(DecodeError { pc })?;
+            let target = next.wrapping_add((sext(word & 0xF_FFFF, 20) as u32) << 2);
+            d([Op::BranchCond { cond, target }], InsnClass::Branch)
+        }
+        0x9 => {
+            let rm = (word & 0xF) as u8;
+            match (word >> 24) & 0xF {
+                0 => {
+                    // BX through the link register is architecturally a
+                    // return; through anything else it is a plain
+                    // indirect branch.
+                    if rm == LR {
+                        d([Op::Ret(RetKind::Register(LR))], InsnClass::Branch)
+                    } else {
+                        d([Op::BranchReg { rm }], InsnClass::Branch)
+                    }
+                }
+                1 => d(
+                    [Op::CallReg {
+                        rm,
+                        ret: next,
+                        link: LinkKind::Register(LR),
+                    }],
+                    InsnClass::Branch,
+                ),
+                _ => Err(DecodeError { pc }),
+            }
+        }
+        0xA => match (word >> 24) & 0xF {
+            0 => d([Op::Svc((word & 0xFFFF) as u16)], InsnClass::System),
+            1 => d([Op::Eret], InsnClass::System),
+            2 => d([Op::Halt], InsnClass::System),
+            3 => d([Op::Nop], InsnClass::Nop),
+            4 => {
+                let rt = ((word >> 20) & 0xF) as u8;
+                let cp = ((word >> 16) & 0xF) as u8;
+                let creg = ((word >> 12) & 0xF) as u8;
+                d(
+                    [Op::CopRead {
+                        cp,
+                        reg: creg,
+                        rd: rt,
+                    }],
+                    InsnClass::System,
+                )
+            }
+            5 => {
+                let rt = ((word >> 20) & 0xF) as u8;
+                let cp = ((word >> 16) & 0xF) as u8;
+                let creg = ((word >> 12) & 0xF) as u8;
+                d(
+                    [Op::CopWrite {
+                        cp,
+                        reg: creg,
+                        rs: rt,
+                    }],
+                    InsnClass::System,
+                )
+            }
+            _ => Err(DecodeError { pc }),
+        },
+        0xB => {
+            let rn = ((word >> 16) & 0xF) as u8;
+            let rm = ((word >> 12) & 0xF) as u8;
+            let imm = word & 0xFFF;
+            match (word >> 24) & 0xF {
+                0 => d(
+                    [Op::Cmp {
+                        rn,
+                        src: Operand::Reg(rm),
+                        is_tst: false,
+                    }],
+                    InsnClass::Alu,
+                ),
+                1 => d(
+                    [Op::Cmp {
+                        rn,
+                        src: Operand::Imm(imm),
+                        is_tst: false,
+                    }],
+                    InsnClass::Alu,
+                ),
+                2 => d(
+                    [Op::Cmp {
+                        rn,
+                        src: Operand::Reg(rm),
+                        is_tst: true,
+                    }],
+                    InsnClass::Alu,
+                ),
+                3 => d(
+                    [Op::Cmp {
+                        rn,
+                        src: Operand::Imm(imm),
+                        is_tst: true,
+                    }],
+                    InsnClass::Alu,
+                ),
+                _ => Err(DecodeError { pc }),
+            }
+        }
+        _ => Err(DecodeError { pc }),
+    }
+}

@@ -31,6 +31,9 @@
 
 pub mod asm;
 pub mod decode;
+pub mod decode_gen;
+#[doc(hidden)]
+pub mod decode_ref;
 pub mod encoding;
 pub mod mmu;
 pub mod sys;

@@ -1,0 +1,359 @@
+//! Hand-written petix reference decoder.
+//!
+//! The production decoder is generated from `spec/petix.isa` (see
+//! [`crate::decode_gen`]). This module keeps the original hand-written
+//! implementation as an independently-derived oracle: differential
+//! proptests and the opcode × fill sweep in
+//! `crates/analyzer/tests/decode_sweep.rs` prove the generated decoder
+//! agrees with it on every buffer. It is not part of any engine's hot
+//! path.
+
+use simbench_core::ir::{
+    AluOp, Cond, DecodeError, Decoded, InsnClass, LinkKind, MemSize, Op, Operand, RetKind,
+};
+
+use crate::encoding::SP;
+
+/// Total byte length of the instruction whose first byte is `opc`
+/// (reference implementation).
+pub const fn insn_len(opc: u8) -> Option<usize> {
+    match opc {
+        0x00..=0x03 => Some(1),
+        0x0F => Some(2),
+        0x10..=0x1F => Some(2),
+        0x30..=0x3F => Some(6),
+        0x50..=0x5F => Some(4),
+        0x70..=0x75 => Some(4),
+        0x80 => Some(5),
+        0x81 => Some(6),
+        0x82 => Some(5),
+        0x83..=0x88 => Some(2),
+        0x89 => Some(6),
+        0x8A => Some(2),
+        0x8B => Some(6),
+        0x90 | 0x91 => Some(2),
+        0xA0 => Some(6),
+        _ => None,
+    }
+}
+
+fn need(bytes: &[u8], n: usize, pc: u32) -> Result<(), DecodeError> {
+    if bytes.len() < n {
+        Err(DecodeError { pc })
+    } else {
+        Ok(())
+    }
+}
+
+fn imm32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+fn imm16(bytes: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([bytes[at], bytes[at + 1]])
+}
+
+/// Decode one instruction starting at `bytes[0]` (reference
+/// implementation).
+///
+/// # Errors
+///
+/// [`DecodeError`] for invalid opcodes or truncated buffers.
+pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
+    need(bytes, 1, pc)?;
+    let opc = bytes[0];
+    fn d(
+        len: u8,
+        ops: impl Into<simbench_core::ir::OpList>,
+        class: InsnClass,
+    ) -> Result<Decoded, DecodeError> {
+        Ok(Decoded::new(len, ops, class))
+    }
+    match opc {
+        0x00 => d(1, [Op::Nop], InsnClass::Nop),
+        0x01 => d(1, [Op::Halt], InsnClass::System),
+        0x02 => d(1, [Op::Ret(RetKind::Pop(SP))], InsnClass::Branch),
+        0x03 => d(1, [Op::Eret], InsnClass::System),
+        0x0F => {
+            need(bytes, 2, pc)?;
+            if bytes[1] == 0x0B {
+                d(2, [Op::Udf], InsnClass::System)
+            } else {
+                Err(DecodeError { pc })
+            }
+        }
+        0x10..=0x1F => {
+            need(bytes, 2, pc)?;
+            let op = AluOp::from_code(opc - 0x10).ok_or(DecodeError { pc })?;
+            let rd = (bytes[1] >> 4) & 0x7;
+            let rm = bytes[1] & 0x7;
+            d(
+                2,
+                [Op::Alu {
+                    op,
+                    rd,
+                    rn: rd,
+                    src: Operand::Reg(rm),
+                    set_flags: false,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        0x30..=0x3F => {
+            need(bytes, 6, pc)?;
+            let op = AluOp::from_code(opc - 0x30).ok_or(DecodeError { pc })?;
+            let rd = (bytes[1] >> 4) & 0x7;
+            d(
+                6,
+                [Op::Alu {
+                    op,
+                    rd,
+                    rn: rd,
+                    src: Operand::Imm(imm32(bytes, 2)),
+                    set_flags: false,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        0x50..=0x5F => {
+            need(bytes, 4, pc)?;
+            let op = AluOp::from_code(opc - 0x50).ok_or(DecodeError { pc })?;
+            let rd = (bytes[1] >> 4) & 0x7;
+            d(
+                4,
+                [Op::Alu {
+                    op,
+                    rd,
+                    rn: rd,
+                    src: Operand::Imm(imm16(bytes, 2) as u32),
+                    set_flags: false,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        0x70..=0x75 => {
+            need(bytes, 4, pc)?;
+            let r = (bytes[1] >> 4) & 0x7;
+            let base = bytes[1] & 0x7;
+            let off = imm16(bytes, 2) as i16 as i32;
+            let (size, load) = match opc {
+                0x70 => (MemSize::B4, true),
+                0x71 => (MemSize::B4, false),
+                0x72 => (MemSize::B1, true),
+                0x73 => (MemSize::B1, false),
+                0x74 => (MemSize::B2, true),
+                _ => (MemSize::B2, false),
+            };
+            let op = if load {
+                Op::Load {
+                    rd: r,
+                    base,
+                    off,
+                    size,
+                    nonpriv: false,
+                }
+            } else {
+                Op::Store {
+                    rs: r,
+                    base,
+                    off,
+                    size,
+                    nonpriv: false,
+                }
+            };
+            d(4, [op], InsnClass::Mem)
+        }
+        0x80 => {
+            need(bytes, 5, pc)?;
+            let target = pc.wrapping_add(5).wrapping_add(imm32(bytes, 1));
+            d(5, [Op::Branch { target }], InsnClass::Branch)
+        }
+        0x81 => {
+            need(bytes, 6, pc)?;
+            let cond = Cond::from_code(bytes[1]).ok_or(DecodeError { pc })?;
+            let target = pc.wrapping_add(6).wrapping_add(imm32(bytes, 2));
+            d(6, [Op::BranchCond { cond, target }], InsnClass::Branch)
+        }
+        0x82 => {
+            need(bytes, 5, pc)?;
+            let target = pc.wrapping_add(5).wrapping_add(imm32(bytes, 1));
+            let ret = pc.wrapping_add(5);
+            d(
+                5,
+                [Op::Call {
+                    target,
+                    ret,
+                    link: LinkKind::Push(SP),
+                }],
+                InsnClass::Branch,
+            )
+        }
+        0x83 => {
+            need(bytes, 2, pc)?;
+            d(2, [Op::BranchReg { rm: bytes[1] & 0x7 }], InsnClass::Branch)
+        }
+        0x84 => {
+            need(bytes, 2, pc)?;
+            let ret = pc.wrapping_add(2);
+            d(
+                2,
+                [Op::CallReg {
+                    rm: bytes[1] & 0x7,
+                    ret,
+                    link: LinkKind::Push(SP),
+                }],
+                InsnClass::Branch,
+            )
+        }
+        0x85 => {
+            need(bytes, 2, pc)?;
+            let r = bytes[1] & 0x7;
+            d(
+                2,
+                [
+                    Op::Alu {
+                        op: AluOp::Sub,
+                        rd: SP,
+                        rn: SP,
+                        src: Operand::Imm(4),
+                        set_flags: false,
+                    },
+                    Op::Store {
+                        rs: r,
+                        base: SP,
+                        off: 0,
+                        size: MemSize::B4,
+                        nonpriv: false,
+                    },
+                ],
+                InsnClass::Mem,
+            )
+        }
+        0x86 => {
+            need(bytes, 2, pc)?;
+            let r = bytes[1] & 0x7;
+            d(
+                2,
+                [
+                    Op::Load {
+                        rd: r,
+                        base: SP,
+                        off: 0,
+                        size: MemSize::B4,
+                        nonpriv: false,
+                    },
+                    Op::Alu {
+                        op: AluOp::Add,
+                        rd: SP,
+                        rn: SP,
+                        src: Operand::Imm(4),
+                        set_flags: false,
+                    },
+                ],
+                InsnClass::Mem,
+            )
+        }
+        0x87 => {
+            need(bytes, 2, pc)?;
+            d(2, [Op::Svc(bytes[1] as u16)], InsnClass::System)
+        }
+        0x88 => {
+            need(bytes, 2, pc)?;
+            let rn = (bytes[1] >> 4) & 0x7;
+            let rm = bytes[1] & 0x7;
+            d(
+                2,
+                [Op::Cmp {
+                    rn,
+                    src: Operand::Reg(rm),
+                    is_tst: false,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        0x89 => {
+            need(bytes, 6, pc)?;
+            let rn = (bytes[1] >> 4) & 0x7;
+            d(
+                6,
+                [Op::Cmp {
+                    rn,
+                    src: Operand::Imm(imm32(bytes, 2)),
+                    is_tst: false,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        0x8A => {
+            need(bytes, 2, pc)?;
+            let rn = (bytes[1] >> 4) & 0x7;
+            let rm = bytes[1] & 0x7;
+            d(
+                2,
+                [Op::Cmp {
+                    rn,
+                    src: Operand::Reg(rm),
+                    is_tst: true,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        0x8B => {
+            need(bytes, 6, pc)?;
+            let rn = (bytes[1] >> 4) & 0x7;
+            d(
+                6,
+                [Op::Cmp {
+                    rn,
+                    src: Operand::Imm(imm32(bytes, 2)),
+                    is_tst: true,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        0x90 => {
+            need(bytes, 2, pc)?;
+            let r = (bytes[1] >> 4) & 0x7;
+            let cr = bytes[1] & 0xF;
+            d(
+                2,
+                [Op::CopRead {
+                    cp: 0,
+                    reg: cr,
+                    rd: r,
+                }],
+                InsnClass::System,
+            )
+        }
+        0x91 => {
+            need(bytes, 2, pc)?;
+            let r = (bytes[1] >> 4) & 0x7;
+            let cr = bytes[1] & 0xF;
+            d(
+                2,
+                [Op::CopWrite {
+                    cp: 0,
+                    reg: cr,
+                    rs: r,
+                }],
+                InsnClass::System,
+            )
+        }
+        0xA0 => {
+            need(bytes, 6, pc)?;
+            let rd = (bytes[1] >> 4) & 0x7;
+            d(
+                6,
+                [Op::Alu {
+                    op: AluOp::Mov,
+                    rd,
+                    rn: 0,
+                    src: Operand::Imm(imm32(bytes, 2)),
+                    set_flags: false,
+                }],
+                InsnClass::Alu,
+            )
+        }
+        _ => Err(DecodeError { pc }),
+    }
+}

@@ -1,0 +1,309 @@
+//! riscle decoder: 16/32-bit halfword parcels → micro-op IR.
+//!
+//! The decoder body and the length rule are generated from the
+//! declarative encoding spec in `spec/riscle.isa` by `simbench-isa-spec`
+//! (committed as `src/decode_gen.rs`); this module is the stable public
+//! surface. riscle was born with a generated decoder — there is no
+//! hand-written reference, its behaviour is pinned by the exhaustive
+//! first-halfword sweep in `crates/analyzer/tests/decode_sweep.rs`.
+
+use simbench_core::ir::{DecodeError, Decoded};
+
+/// Total byte length of the instruction whose first halfword is `h0`:
+/// 4 when the low two bits are `0b11` (RISC-V-C style), else 2.
+///
+/// Total over all halfwords — whenever [`decode`] succeeds on a buffer
+/// starting with `h0`, the decoded `len` equals this value and `decode`
+/// never reads past it. (The length being defined does not promise the
+/// instruction decodes: reserved quadrants and bad condition codes
+/// still reject.)
+pub const fn insn_len(h0: u16) -> usize {
+    crate::decode_gen::insn_len(h0)
+}
+
+/// Decode one instruction starting at `bytes[0]` (the byte at `pc`).
+///
+/// # Errors
+///
+/// [`DecodeError`] for invalid encodings *or* when `bytes` is too short
+/// to hold the full instruction (engines retry with more bytes across
+/// page boundaries before treating the error as undefined).
+#[inline]
+pub fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
+    crate::decode_gen::decode(bytes, pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding as enc;
+    use crate::encoding::{LR, SP};
+    use simbench_core::ir::{AluOp, Cond, LinkKind, MemSize, Op, Operand, RetKind};
+
+    fn dec32(w: u32) -> Decoded {
+        decode(&w.to_le_bytes(), 0x8000).unwrap()
+    }
+
+    fn dec16(h: u16) -> Decoded {
+        decode(&h.to_le_bytes(), 0x8000).unwrap()
+    }
+
+    #[test]
+    fn wide_system_forms() {
+        assert_eq!(dec32(enc::svc(42)).ops, vec![Op::Svc(42)]);
+        assert_eq!(dec32(enc::eret()).ops, vec![Op::Eret]);
+        assert_eq!(dec32(enc::halt()).ops, vec![Op::Halt]);
+        assert_eq!(dec32(enc::nop32()).ops, vec![Op::Nop]);
+        assert_eq!(
+            dec32(enc::csrr(3, 0, 4)).ops,
+            vec![Op::CopRead {
+                cp: 0,
+                reg: 4,
+                rd: 3
+            }]
+        );
+        assert_eq!(
+            dec32(enc::csrw(5, 0, 1)).ops,
+            vec![Op::CopWrite {
+                cp: 0,
+                reg: 1,
+                rs: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn li_pair_builds_constants() {
+        let d = dec32(enc::li(3, 0xBEEF));
+        assert_eq!(
+            d.ops,
+            vec![Op::Alu {
+                op: AluOp::Mov,
+                rd: 3,
+                rn: 0,
+                src: Operand::Imm(0xBEEF),
+                set_flags: false
+            }]
+        );
+        let d = dec32(enc::lih(3, 0xDEAD));
+        assert_eq!(d.ops.len(), 2);
+        assert_eq!(
+            d.ops[1],
+            Op::Alu {
+                op: AluOp::Orr,
+                rd: 3,
+                rn: 3,
+                src: Operand::Imm(0xDEAD_0000),
+                set_flags: false
+            }
+        );
+    }
+
+    #[test]
+    fn alu_forms_are_three_address() {
+        let d = dec32(enc::alu_rr(AluOp::Eor, 3, 4, 5));
+        assert_eq!(
+            d.ops,
+            vec![Op::Alu {
+                op: AluOp::Eor,
+                rd: 3,
+                rn: 4,
+                src: Operand::Reg(5),
+                set_flags: false
+            }]
+        );
+        let d = dec32(enc::alu_ri(AluOp::Add, 6, 7, 0xFFF));
+        assert_eq!(
+            d.ops,
+            vec![Op::Alu {
+                op: AluOp::Add,
+                rd: 6,
+                rn: 7,
+                src: Operand::Imm(0xFFF),
+                set_flags: false
+            }]
+        );
+    }
+
+    #[test]
+    fn memory_forms() {
+        let d = dec32(enc::ldst(true, enc::Width::Word, 3, 4, -8));
+        assert_eq!(
+            d.ops,
+            vec![Op::Load {
+                rd: 3,
+                base: 4,
+                off: -8,
+                size: MemSize::B4,
+                nonpriv: false
+            }]
+        );
+        let d = dec32(enc::ldst(false, enc::Width::Byte, 5, 6, 7));
+        assert_eq!(
+            d.ops,
+            vec![Op::Store {
+                rs: 5,
+                base: 6,
+                off: 7,
+                size: MemSize::B1,
+                nonpriv: false
+            }]
+        );
+        // Size code 3 is reserved.
+        let bad = 0b11 | (0x04 << 2) | (3 << 15);
+        assert!(decode(&(bad as u32).to_le_bytes(), 0).is_err());
+    }
+
+    #[test]
+    fn branch_targets() {
+        let d = decode(&enc::b(0x8000, 0x8100).to_le_bytes(), 0x8000).unwrap();
+        assert_eq!(d.ops, vec![Op::Branch { target: 0x8100 }]);
+        let d = decode(&enc::b_cond(Cond::Lt, 0x8000, 0x7F00).to_le_bytes(), 0x8000).unwrap();
+        assert_eq!(
+            d.ops,
+            vec![Op::BranchCond {
+                cond: Cond::Lt,
+                target: 0x7F00
+            }]
+        );
+        let d = decode(&enc::jal(0x8000, 0x9000).to_le_bytes(), 0x8000).unwrap();
+        assert_eq!(
+            d.ops,
+            vec![Op::Call {
+                target: 0x9000,
+                ret: 0x8004,
+                link: LinkKind::Register(LR)
+            }]
+        );
+    }
+
+    #[test]
+    fn compressed_forms() {
+        assert_eq!(dec16(enc::C_UDF).ops, vec![Op::Udf]);
+        assert_eq!(dec16(enc::c_nop()).ops, vec![Op::Nop]);
+        let d = dec16(enc::c_mv(3, 4));
+        assert_eq!(
+            d.ops,
+            vec![Op::Alu {
+                op: AluOp::Mov,
+                rd: 3,
+                rn: 0,
+                src: Operand::Reg(4),
+                set_flags: false
+            }]
+        );
+        let d = dec16(enc::c_add(5, 6));
+        assert!(matches!(
+            d.ops[0],
+            Op::Alu {
+                op: AluOp::Add,
+                rd: 5,
+                rn: 5,
+                ..
+            }
+        ));
+        let d = dec16(enc::c_li(7, -3));
+        assert_eq!(
+            d.ops,
+            vec![Op::Alu {
+                op: AluOp::Mov,
+                rd: 7,
+                rn: 0,
+                src: Operand::Imm(0xFFFF_FFFD),
+                set_flags: false
+            }]
+        );
+        let d = dec16(enc::c_b(0x8000, 0x8010));
+        assert_eq!(d.len, 2);
+        assert_eq!(d.ops, vec![Op::Branch { target: 0x8010 }]);
+    }
+
+    #[test]
+    fn jr_through_link_register_is_return() {
+        assert_eq!(
+            dec16(enc::c_jr(LR)).ops,
+            vec![Op::Ret(RetKind::Register(LR))]
+        );
+        assert_eq!(dec16(enc::c_jr(SP)).ops, vec![Op::BranchReg { rm: SP }]);
+        let d = dec16(enc::c_jalr(3));
+        assert_eq!(
+            d.ops,
+            vec![Op::CallReg {
+                rm: 3,
+                ret: 0x8002,
+                link: LinkKind::Register(LR)
+            }]
+        );
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let wide = enc::alu_ri(AluOp::Add, 3, 3, 1).to_le_bytes();
+        for n in 0..4 {
+            assert!(decode(&wide[..n], 0).is_err(), "truncated to {n} bytes");
+        }
+        assert!(decode(&wide, 0).is_ok());
+        let narrow = enc::c_nop().to_le_bytes();
+        for n in 0..2 {
+            assert!(decode(&narrow[..n], 0).is_err(), "truncated to {n} bytes");
+        }
+        assert!(decode(&narrow, 0).is_ok());
+    }
+
+    #[test]
+    fn smc_word_is_harmless_li_r8() {
+        for imm in [0u32, 0xBEEF] {
+            let word = enc::SMC_NOP_WORD | (imm << 16);
+            let d = decode(&word.to_le_bytes(), 0).unwrap();
+            assert_eq!(d.len, 4);
+            assert_eq!(
+                d.ops,
+                vec![Op::Alu {
+                    op: AluOp::Mov,
+                    rd: 8,
+                    rn: 0,
+                    src: Operand::Imm(imm),
+                    set_flags: false
+                }]
+            );
+        }
+    }
+
+    #[test]
+    fn length_table_matches_decoder() {
+        // Mirror of petix's length-table consistency test: whenever a
+        // halfword-led buffer decodes, the decoded length must equal
+        // the table's answer, and reserved encodings must reject.
+        let fills: [u16; 4] = [0x0000, 0xFFFF, 0x5A5A, 0x8421];
+        for h0 in 0..=0xFFFFu16 {
+            for fill in fills {
+                let word = ((fill as u32) << 16) | h0 as u32;
+                if let Ok(d) = decode(&word.to_le_bytes(), 0) {
+                    assert_eq!(d.len as usize, insn_len(h0), "h0 {h0:#06x}");
+                }
+            }
+        }
+        // Quadrant 2 is entirely reserved.
+        for f3 in 0..8u16 {
+            let h = (f3 << 13) | 2;
+            assert!(decode(&h.to_le_bytes(), 0).is_err(), "quadrant 2 f3={f3}");
+        }
+    }
+
+    #[test]
+    fn invalid_encodings_error() {
+        // op5 values with no encoding group.
+        for op5 in [0x08u32, 0x09, 0x0C, 0x10, 0x1F] {
+            let w = 0b11 | (op5 << 2);
+            assert!(decode(&w.to_le_bytes(), 0).is_err(), "op5 {op5:#x}");
+        }
+        // Bad condition code (Cond::from_code(15) is None).
+        let w = 0b11 | (0x07 << 2) | (15 << 7);
+        assert!(decode(&(w as u32).to_le_bytes(), 0).is_err());
+        // System sub-codes past csrw.
+        for sub in [6u32, 7, 15] {
+            let w = 0b11 | (0x0A << 2) | (sub << 7);
+            assert!(decode(&w.to_le_bytes(), 0).is_err(), "sys sub {sub}");
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! riscle instruction encodings.
+//!
+//! riscle is a RISC-V-flavoured load/store architecture with compressed
+//! instructions: code is a stream of little-endian 16-bit parcels, and
+//! the low two bits of the first parcel select the length class —
+//! `0b11` opens a 32-bit instruction, anything else is a 16-bit
+//! compressed form. Sixteen GPRs; r1 is the link register (`jal` links
+//! there, RISC-V `ra` style) and r2 the stack pointer, both
+//! software-managed. System state lives behind `csrr`/`csrw` (see
+//! [`crate::sys`]). Like petix, riscle has **no** non-privileged
+//! load/store forms: the corresponding SimBench benchmark is a no-op
+//! here.
+//!
+//! 32-bit forms (dispatch `op5` = bits `[6:2]`, `rd`/`sub` in `[10:7]`):
+//!
+//! | op5 | Form |
+//! |-----|------|
+//! | `0x00` | `li rd, #imm16` (`[31:16]`, zeroes the upper half) |
+//! | `0x01` | `lih rd, #imm16` (replaces the upper half) |
+//! | `0x02` | ALU rr: `rn[14:11] rm[18:15] funct4[22:19] S[23]` |
+//! | `0x03` | ALU ri: `rn[14:11] funct4[18:15] S[19] imm12[31:20]` |
+//! | `0x04` | load/store: `base[14:11] sz[16:15] L[17] simm12[31:20]` |
+//! | `0x05` | `b` — simm25 `[31:7]` halfwords from pc+4 |
+//! | `0x06` | `jal` — same displacement, links r1 |
+//! | `0x07` | `b<cond>` — cond `[10:7]`, simm21 `[31:11]` halfwords |
+//! | `0x0A` | system: sub 0 `svc`, 1 `eret`, 2 `halt`, 3 `nop`, 4 `csrr`, 5 `csrw` |
+//! | `0x0B` | compares: sub 0 `cmp rr`, 1 `cmp ri`, 2 `tst rr`, 3 `tst ri` |
+//!
+//! 16-bit forms (funct3 = `[15:13]`, quadrant = `[1:0]`, regs `[12:9]`
+//! and `[8:5]`): quadrant 0 holds `c.udf` (the all-zero halfword),
+//! `c.mv`, `c.add`, `c.sub`, `c.li` (simm6 `[7:2]`) and `c.nop`;
+//! quadrant 1 holds `c.b` (simm11 `[12:2]` halfwords), `c.jr` /
+//! `c.jalr`; quadrant 2 is reserved.
+
+use simbench_core::ir::{AluOp, Cond};
+
+/// Longest riscle instruction in bytes.
+pub const MAX_INSN_BYTES: usize = 4;
+
+/// Stack-pointer register (software convention, RISC-V `sp`).
+pub const SP: u8 = 2;
+/// Link register (`jal`/`c.jalr` link here, RISC-V `ra`).
+pub const LR: u8 = 1;
+
+/// The canonical undefined instruction: the all-zero halfword, so
+/// falling into zeroed memory faults immediately.
+pub const C_UDF: u16 = 0x0000;
+
+/// The 4-byte self-modifying-code filler, as a little-endian word:
+/// `li r8, #imm16`. OR the iteration count's low 16 bits into the top
+/// half for a fresh valid encoding each time (r8 is the `PReg::F`
+/// landing register, mirroring armlet's `movw r5` and petix's
+/// `mov16 r5`).
+pub const SMC_NOP_WORD: u32 = 0x0000_0403;
+
+const fn w32(op5: u32, rd: u8) -> u32 {
+    0b11 | (op5 << 2) | ((rd as u32 & 0xF) << 7)
+}
+
+/// `li rd, #imm16` — rd = imm (upper half zeroed).
+pub const fn li(rd: u8, imm: u16) -> u32 {
+    w32(0x00, rd) | ((imm as u32) << 16)
+}
+
+/// `lih rd, #imm16` — replace rd's upper half, keep the lower.
+pub const fn lih(rd: u8, imm: u16) -> u32 {
+    w32(0x01, rd) | ((imm as u32) << 16)
+}
+
+/// Three-address ALU register form: `rd = rn <op> rm`.
+pub fn alu_rr(op: AluOp, rd: u8, rn: u8, rm: u8) -> u32 {
+    w32(0x02, rd)
+        | ((rn as u32 & 0xF) << 11)
+        | ((rm as u32 & 0xF) << 15)
+        | ((op.code() as u32) << 19)
+}
+
+/// ALU immediate form: `rd = rn <op> imm12` (zero-extended).
+///
+/// # Panics
+///
+/// Panics if `imm` exceeds 12 bits.
+pub fn alu_ri(op: AluOp, rd: u8, rn: u8, imm: u32) -> u32 {
+    assert!(
+        imm <= 0xFFF,
+        "riscle ALU immediate {imm:#x} exceeds 12 bits"
+    );
+    w32(0x03, rd) | ((rn as u32 & 0xF) << 11) | ((op.code() as u32) << 15) | (imm << 20)
+}
+
+/// Memory access width selector for [`ldst`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// 32-bit.
+    Word,
+    /// 8-bit.
+    Byte,
+    /// 16-bit.
+    Half,
+}
+
+/// Load/store with a signed 12-bit displacement.
+///
+/// # Panics
+///
+/// Panics if `disp` exceeds ±2047.
+pub fn ldst(load: bool, width: Width, r: u8, base: u8, disp: i32) -> u32 {
+    assert!(
+        (-2048..=2047).contains(&disp),
+        "riscle displacement {disp} exceeds 12 bits"
+    );
+    let sz = match width {
+        Width::Word => 0,
+        Width::Byte => 1,
+        Width::Half => 2,
+    };
+    w32(0x04, r)
+        | ((base as u32 & 0xF) << 11)
+        | (sz << 15)
+        | ((load as u32) << 17)
+        | (((disp as u32) & 0xFFF) << 20)
+}
+
+const fn fits_signed(v: i32, bits: u32) -> bool {
+    let half = 1i32 << (bits - 1);
+    v >= -half && v < half
+}
+
+/// Halfword displacement from the end of a 4-byte instruction at `pc`
+/// to `target`.
+///
+/// # Panics
+///
+/// Panics on odd targets.
+fn hw_off(pc: u32, target: u32) -> i32 {
+    let delta = target.wrapping_sub(pc.wrapping_add(4)) as i32;
+    assert_eq!(
+        delta & 1,
+        0,
+        "riscle branch target must be halfword aligned"
+    );
+    delta >> 1
+}
+
+/// `b target` — unconditional direct branch.
+///
+/// # Panics
+///
+/// Panics if the displacement exceeds 25 bits of halfwords.
+pub fn b(pc: u32, target: u32) -> u32 {
+    let off = hw_off(pc, target);
+    assert!(fits_signed(off, 25), "riscle b displacement out of range");
+    w32(0x05, 0) | (((off as u32) & 0x1FF_FFFF) << 7)
+}
+
+/// `jal target` — direct call, links r1.
+///
+/// # Panics
+///
+/// Panics if the displacement exceeds 25 bits of halfwords.
+pub fn jal(pc: u32, target: u32) -> u32 {
+    let off = hw_off(pc, target);
+    assert!(fits_signed(off, 25), "riscle jal displacement out of range");
+    w32(0x06, 0) | (((off as u32) & 0x1FF_FFFF) << 7)
+}
+
+/// `b<cond> target`.
+///
+/// # Panics
+///
+/// Panics if the displacement exceeds 21 bits of halfwords.
+pub fn b_cond(cond: Cond, pc: u32, target: u32) -> u32 {
+    let off = hw_off(pc, target);
+    assert!(
+        fits_signed(off, 21),
+        "riscle b<cond> displacement out of range"
+    );
+    w32(0x07, cond.code()) | (((off as u32) & 0x1F_FFFF) << 11)
+}
+
+/// `svc #imm16` — system call.
+pub const fn svc(imm: u16) -> u32 {
+    w32(0x0A, 0) | ((imm as u32) << 16)
+}
+
+/// `eret` — return from exception.
+pub const fn eret() -> u32 {
+    w32(0x0A, 1)
+}
+
+/// `halt` — stop the machine.
+pub const fn halt() -> u32 {
+    w32(0x0A, 2)
+}
+
+/// 32-bit `nop` (the compressed [`c_nop`] is what the assembler emits).
+pub const fn nop32() -> u32 {
+    w32(0x0A, 3)
+}
+
+/// `csrr rt, cp, csr` — read a system register.
+pub const fn csrr(rt: u8, cp: u8, csr: u8) -> u32 {
+    w32(0x0A, 4)
+        | ((rt as u32 & 0xF) << 11)
+        | ((cp as u32 & 0xF) << 15)
+        | ((csr as u32 & 0xF) << 19)
+}
+
+/// `csrw rt, cp, csr` — write a system register.
+pub const fn csrw(rt: u8, cp: u8, csr: u8) -> u32 {
+    w32(0x0A, 5)
+        | ((rt as u32 & 0xF) << 11)
+        | ((cp as u32 & 0xF) << 15)
+        | ((csr as u32 & 0xF) << 19)
+}
+
+/// `cmp rn, rm`.
+pub const fn cmp_rr(rn: u8, rm: u8) -> u32 {
+    w32(0x0B, 0) | ((rn as u32 & 0xF) << 11) | ((rm as u32 & 0xF) << 15)
+}
+
+/// `cmp rn, #imm12`.
+///
+/// # Panics
+///
+/// Panics if `imm` exceeds 12 bits.
+pub fn cmp_ri(rn: u8, imm: u32) -> u32 {
+    assert!(
+        imm <= 0xFFF,
+        "riscle compare immediate {imm:#x} exceeds 12 bits"
+    );
+    w32(0x0B, 1) | ((rn as u32 & 0xF) << 11) | (imm << 20)
+}
+
+/// `tst rn, rm`.
+pub const fn tst_rr(rn: u8, rm: u8) -> u32 {
+    w32(0x0B, 2) | ((rn as u32 & 0xF) << 11) | ((rm as u32 & 0xF) << 15)
+}
+
+/// `tst rn, #imm12`.
+///
+/// # Panics
+///
+/// Panics if `imm` exceeds 12 bits.
+pub fn tst_ri(rn: u8, imm: u32) -> u32 {
+    assert!(
+        imm <= 0xFFF,
+        "riscle test immediate {imm:#x} exceeds 12 bits"
+    );
+    w32(0x0B, 3) | ((rn as u32 & 0xF) << 11) | (imm << 20)
+}
+
+const fn c16(f3: u16, quadrant: u16) -> u16 {
+    (f3 << 13) | quadrant
+}
+
+/// `c.mv rd, rs` — rd = rs.
+pub const fn c_mv(rd: u8, rs: u8) -> u16 {
+    c16(1, 0) | ((rd as u16 & 0xF) << 9) | ((rs as u16 & 0xF) << 5)
+}
+
+/// `c.add rd, rs` — rd = rd + rs.
+pub const fn c_add(rd: u8, rs: u8) -> u16 {
+    c16(2, 0) | ((rd as u16 & 0xF) << 9) | ((rs as u16 & 0xF) << 5)
+}
+
+/// `c.sub rd, rs` — rd = rd - rs.
+pub const fn c_sub(rd: u8, rs: u8) -> u16 {
+    c16(3, 0) | ((rd as u16 & 0xF) << 9) | ((rs as u16 & 0xF) << 5)
+}
+
+/// `c.li rd, #simm6`.
+///
+/// # Panics
+///
+/// Panics if `imm` exceeds ±31.
+pub fn c_li(rd: u8, imm: i32) -> u16 {
+    assert!(
+        fits_signed(imm, 6),
+        "riscle c.li immediate {imm} exceeds 6 bits"
+    );
+    c16(4, 0) | ((rd as u16 & 0xF) << 9) | (((imm as u16) & 0x3F) << 2)
+}
+
+/// `c.nop`.
+pub const fn c_nop() -> u16 {
+    c16(5, 0)
+}
+
+/// `c.b target` — compressed unconditional branch.
+///
+/// # Panics
+///
+/// Panics if the displacement exceeds 11 bits of halfwords.
+pub fn c_b(pc: u32, target: u32) -> u16 {
+    let delta = target.wrapping_sub(pc.wrapping_add(2)) as i32;
+    assert_eq!(
+        delta & 1,
+        0,
+        "riscle branch target must be halfword aligned"
+    );
+    let off = delta >> 1;
+    assert!(fits_signed(off, 11), "riscle c.b displacement out of range");
+    c16(0, 1) | (((off as u16) & 0x7FF) << 2)
+}
+
+/// `c.jr rm` — indirect branch (through r1 it decodes as a return).
+pub const fn c_jr(rm: u8) -> u16 {
+    c16(1, 1) | ((rm as u16 & 0xF) << 9)
+}
+
+/// `c.jalr rm` — indirect call, links r1.
+pub const fn c_jalr(rm: u8) -> u16 {
+    c16(2, 1) | ((rm as u16 & 0xF) << 9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_classes() {
+        // All 32-bit forms open with 0b11; no compressed form does.
+        for w in [
+            li(1, 0),
+            lih(1, 0),
+            alu_rr(AluOp::Add, 1, 2, 3),
+            alu_ri(AluOp::Add, 1, 2, 3),
+            ldst(true, Width::Word, 1, 2, -4),
+            b(0, 0x100),
+            jal(0, 0x100),
+            b_cond(Cond::Eq, 0, 0x100),
+            svc(7),
+            eret(),
+            halt(),
+            nop32(),
+            csrr(1, 0, 2),
+            csrw(1, 0, 2),
+            cmp_rr(1, 2),
+            cmp_ri(1, 3),
+            tst_rr(1, 2),
+            tst_ri(1, 3),
+        ] {
+            assert_eq!(w & 3, 3, "{w:#010x}");
+        }
+        for h in [
+            C_UDF,
+            c_mv(1, 2),
+            c_add(1, 2),
+            c_sub(1, 2),
+            c_li(1, -5),
+            c_nop(),
+            c_b(0, 0x10),
+            c_jr(3),
+            c_jalr(3),
+        ] {
+            assert_ne!(h & 3, 3, "{h:#06x}");
+        }
+    }
+
+    #[test]
+    fn smc_word_matches_li_r8() {
+        assert_eq!(li(8, 0), SMC_NOP_WORD);
+    }
+
+    #[test]
+    fn branch_displacements_round_trip() {
+        // b at pc=0x100 to 0x100 → off = -2 halfwords.
+        let w = b(0x100, 0x100);
+        let off = ((w >> 7) as i32) << 7 >> 7; // sign-extend 25 bits
+        assert_eq!(off, -2);
+        let w = b_cond(Cond::Lt, 0x8000, 0x7F00);
+        let off = ((w >> 11) as i32) << 11 >> 11;
+        assert_eq!(off, (0x7F00i32 - 0x8004) / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 12 bits")]
+    fn huge_displacement_rejected() {
+        ldst(true, Width::Word, 0, 0, 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn compressed_branch_range_enforced() {
+        c_b(0, 0x10000);
+    }
+}

@@ -1,45 +1,49 @@
-//! # simbench-isa-petix
+//! # simbench-isa-riscle
 //!
-//! The `petix` guest architecture: a variable-length (1–6 byte)
-//! CISC-flavoured ISA modelled on x86. Eight GPRs with a hardware stack
-//! pointer (calls push their return address — handlers that redirect the
-//! resume point must unwind the stack, the behaviour the paper notes for
-//! the x86 Instruction Access Fault benchmark), x86-style two-level page
-//! tables, control registers (`cr0`/`cr3`/`invlpg`/FPU control word),
-//! `int`-style system calls and a `ud2` undefined instruction. There are
-//! no non-privileged loads/stores: the corresponding SimBench benchmark
-//! is a no-op on this architecture, exactly as the paper describes for
-//! its x86 port.
+//! The `riscle` guest architecture: a RISC-V-flavoured ISA with mixed
+//! 16/32-bit instructions (RVC-style length encoding: the low two bits
+//! of the first halfword select the parcel count). Sixteen GPRs with a
+//! link register, CSR-style system registers behind a single
+//! coprocessor, an sv32-flavoured two-level MMU with leaf-only
+//! permissions, and `sfence.vma`-style TLB maintenance expressed as CSR
+//! writes. Like petix it has no non-privileged load/store forms, so the
+//! corresponding SimBench benchmark is skipped on this guest.
+//!
+//! riscle is the first guest whose decoder was *born* generated: there
+//! is no hand-written reference decoder, only the declarative spec in
+//! `spec/riscle.isa` and the `simbench-isa-spec` output committed as
+//! [`decode_gen`]. Its variable-width fetch path (compressed forms
+//! interleaved with 32-bit ones) exercises the engines' halfword-led
+//! instruction-length handling that the fixed-width armlet and
+//! byte-led petix cannot.
 //!
 //! ## Example
 //!
 //! ```
 //! use simbench_core::asm::{PReg, PortableAsm};
 //! use simbench_core::isa::Isa;
-//! use simbench_isa_petix::{Petix, PetixAsm};
+//! use simbench_isa_riscle::{Riscle, RiscleAsm};
 //!
-//! let mut a = PetixAsm::new();
+//! let mut a = RiscleAsm::new();
 //! a.org(0x8000);
-//! a.mov_imm(PReg::A, 41);
+//! a.mov_imm(PReg::A, 7); // fits the compressed c.li form
 //! a.alu_ri(simbench_core::ir::AluOp::Add, PReg::A, PReg::A, 1);
 //! a.halt();
 //! let image = a.finish(0x8000);
-//! let first = Petix::decode(&image.sections[0].bytes, 0x8000).unwrap();
-//! assert_eq!(first.len, 6); // mov imm32
+//! let first = Riscle::decode(&image.sections[0].bytes, 0x8000).unwrap();
+//! assert_eq!(first.len, 2);
 //! ```
 
 pub mod asm;
 pub mod decode;
 pub mod decode_gen;
-#[doc(hidden)]
-pub mod decode_ref;
 pub mod encoding;
 pub mod mmu;
 pub mod sys;
 
-pub use asm::PetixAsm;
+pub use asm::RiscleAsm;
 pub use mmu::{PtFlags, TableBuilder};
-pub use sys::PetixSys;
+pub use sys::RiscleSys;
 
 use simbench_core::bus::Bus;
 use simbench_core::cpu::CpuState;
@@ -48,15 +52,15 @@ use simbench_core::ir::{DecodeError, Decoded};
 use simbench_core::isa::{CopEffect, Isa};
 use simbench_core::mmu::WalkResult;
 
-/// The petix architecture (implements [`Isa`]).
+/// The riscle architecture (implements [`Isa`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Petix;
+pub struct Riscle;
 
-impl Isa for Petix {
-    const NAME: &'static str = "petix";
-    const MAX_INSN_BYTES: usize = 6;
-    const GPRS: usize = 8;
-    type Sys = PetixSys;
+impl Isa for Riscle {
+    const NAME: &'static str = "riscle";
+    const MAX_INSN_BYTES: usize = 4;
+    const GPRS: usize = 16;
+    type Sys = RiscleSys;
 
     fn decode(bytes: &[u8], pc: u32) -> Result<Decoded, DecodeError> {
         decode::decode(bytes, pc)
@@ -99,13 +103,12 @@ impl Isa for Petix {
     }
 
     fn sys_regs(sys: &Self::Sys, visit: &mut dyn FnMut(&'static str, u32)) {
-        visit("cr0", sys.cr0);
-        visit("cr2", sys.cr2);
-        visit("cr3", sys.cr3);
-        visit("cr4", sys.cr4);
-        visit("fpcw", sys.fpcw);
+        visit("ctrl", sys.ctrl);
+        visit("ttb", sys.ttb);
+        visit("tvec", sys.tvec);
+        visit("tval", sys.tval);
         visit("saved_pc", sys.saved_pc);
-        visit("saved_status", PetixSys::encode_status(sys.saved_status));
+        visit("saved_status", RiscleSys::encode_status(sys.saved_status));
         visit("scratch", sys.scratch);
     }
 }
@@ -116,8 +119,8 @@ mod tests {
 
     #[test]
     fn isa_constants() {
-        assert_eq!(Petix::NAME, "petix");
-        assert_eq!(Petix::MAX_INSN_BYTES, 6);
-        assert_eq!(Petix::GPRS, 8);
+        assert_eq!(Riscle::NAME, "riscle");
+        assert_eq!(Riscle::MAX_INSN_BYTES, 4);
+        assert_eq!(Riscle::GPRS, 16);
     }
 }

@@ -24,9 +24,11 @@ pub mod support;
 
 mod armlet_support;
 mod petix_support;
+mod riscle_support;
 
 pub use armlet_support::ArmletSupport;
 pub use petix_support::PetixSupport;
+pub use riscle_support::RiscleSupport;
 pub use support::{BootSpec, HandlerKind, Handlers, Layout, Support};
 
 use simbench_core::events::Counters;
@@ -216,9 +218,10 @@ impl Benchmark {
 
     /// Whether the benchmark exists on an architecture (the
     /// non-privileged access benchmark is armlet-only; the paper's x86
-    /// port makes it a no-op).
+    /// port makes it a no-op). Driven by each support package's
+    /// [`Support::HAS_NONPRIV`] capability, not a hand-kept name list.
     pub fn supported_on(self, isa_name: &str) -> bool {
-        !(matches!(self, Benchmark::NonprivAccess) && isa_name == "petix")
+        !matches!(self, Benchmark::NonprivAccess) || has_nonpriv(isa_name)
     }
 
     /// Count of the benchmark's *tested operation* in a counter delta —
@@ -260,6 +263,17 @@ impl Benchmark {
         }
         spec
     }
+}
+
+/// Whether the named architecture has non-privileged load/store forms,
+/// read from the support packages' capability constants.
+fn has_nonpriv(isa_name: &str) -> bool {
+    const CAPS: [(&str, bool); 3] = [
+        (ArmletSupport::ISA_NAME, ArmletSupport::HAS_NONPRIV),
+        (PetixSupport::ISA_NAME, PetixSupport::HAS_NONPRIV),
+        (RiscleSupport::ISA_NAME, RiscleSupport::HAS_NONPRIV),
+    ];
+    CAPS.iter().any(|&(name, cap)| name == isa_name && cap)
 }
 
 /// Assemble a benchmark image for a support package at an explicit
@@ -324,7 +338,9 @@ mod tests {
     fn nonpriv_unsupported_on_petix() {
         assert!(Benchmark::NonprivAccess.supported_on("armlet"));
         assert!(!Benchmark::NonprivAccess.supported_on("petix"));
+        assert!(!Benchmark::NonprivAccess.supported_on("riscle"));
         assert!(build(&PetixSupport::new(), Benchmark::NonprivAccess, 10).is_none());
+        assert!(build(&RiscleSupport::new(), Benchmark::NonprivAccess, 10).is_none());
     }
 
     #[test]
@@ -335,14 +351,17 @@ mod tests {
     }
 
     #[test]
-    fn all_images_assemble_on_both_isas() {
-        for bench in Benchmark::ALL {
-            let img = build(&ArmletSupport::new(), bench, 32).unwrap();
-            assert!(img.size() > 0, "{bench:?} armlet image empty");
-            if bench.supported_on("petix") {
-                let img = build(&PetixSupport::new(), bench, 32).unwrap();
-                assert!(img.size() > 0, "{bench:?} petix image empty");
+    fn all_images_assemble_on_every_isa() {
+        fn check<S: Support>(s: &S) {
+            for bench in Benchmark::ALL {
+                if bench.supported_on(S::ISA_NAME) {
+                    let img = build(s, bench, 32).unwrap();
+                    assert!(img.size() > 0, "{bench:?} {} image empty", S::ISA_NAME);
+                }
             }
         }
+        check(&ArmletSupport::new());
+        check(&PetixSupport::new());
+        check(&RiscleSupport::new());
     }
 }

@@ -508,6 +508,7 @@ mod tests {
             wall_secs: 0.0,
             created_unix: 0,
             telemetry: None,
+            journal: None,
             cells: cells
                 .into_iter()
                 .map(|(g, e, w, secs)| CellResult {
@@ -518,6 +519,7 @@ mod tests {
                     iterations: 16,
                     status: CellStatus::Ok,
                     reps_run: secs.len() as u32,
+                    attempts: secs.len() as u32,
                     stop_reason: Some(crate::result::StopReason::Fixed),
                     stats: stats(&secs),
                     seconds: secs,
@@ -668,6 +670,34 @@ mod tests {
         assert!(verdicts.contains(&Verdict::Added));
         assert!(verdicts.contains(&Verdict::Removed));
         assert!(cmp.render().contains("BROKEN"));
+    }
+
+    #[test]
+    fn quarantined_and_timed_out_cells_fail_both_gates() {
+        // Fault-isolated cells are broken coverage, never silent holes:
+        // a cell the baseline measured that now quarantines (panicked
+        // engine) or times out (hung engine) must fail the counters
+        // gate AND the timing gate, exactly like Failed does — and
+        // unlike NotOnIsa/Skipped, which stay coverage changes.
+        let base = result_with(vec![
+            ("armlet", "interp", "suite:System Call", vec![1.0]),
+            ("armlet", "native", "suite:System Call", vec![1.0]),
+        ]);
+        let mut cur = base.clone();
+        cur.cells[0].status = CellStatus::Quarantined("engine panicked".to_string());
+        cur.cells[1].status = CellStatus::TimedOut("exceeded 30s cell timeout".to_string());
+        for cell in &mut cur.cells {
+            cell.stats = None;
+            cell.seconds.clear();
+        }
+        let counters = compare_counters(&base, &cur, 0.0);
+        assert!(!counters.clean());
+        assert_eq!(counters.broken().len(), 2);
+        assert!(counters.deltas.iter().all(|d| d.verdict == Verdict::Broke));
+        let timing = compare(&base, &cur, 0.25);
+        assert!(!timing.clean());
+        assert_eq!(timing.broken().len(), 2);
+        assert!(timing.render().contains("BROKEN"));
     }
 
     #[test]

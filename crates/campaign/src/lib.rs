@@ -25,12 +25,14 @@
 //!   rejection; non-positive or non-finite samples are counted as
 //!   `rejected_invalid` — separately from `outliers` — never
 //!   fabricated;
-//! * [`result`] — the versioned `simbench-campaign/v5` JSON schema
+//! * [`result`] — the versioned `simbench-campaign/v6` JSON schema
 //!   (per-cell event profiles with `tested_ops`, per-repetition
 //!   `counter_variants` for non-deterministic cells, shard metadata on
-//!   partial results, per-cell `reps_run` / `stop_reason` for adaptive
+//!   partial results, per-cell `reps_run` / `stop_reason` / `attempts`
+//!   for adaptive and retried runs, `quarantined` / `timed_out`
+//!   statuses for fault-isolated cells, a `journal` echo on journaled
 //!   runs, and an optional `telemetry` block carrying the engine
-//!   metrics snapshot of instrumented runs) with load/save, `v1`–`v4`
+//!   metrics snapshot of instrumented runs) with load/save, `v1`–`v5`
 //!   reader-side migrations, typed [`LoadError`]s and deterministic
 //!   cell ordering;
 //! * [`compare`] — regression detection against a stored baseline: the
@@ -39,6 +41,17 @@
 //!   ([`compare_counters`], zero tolerance by default);
 //! * [`measure`] — the single-run primitives (guest/engine selection,
 //!   one benchmark or app execution), re-exported by the harness;
+//! * [`journal`] — a write-ahead, fsync-per-record NDJSON cell journal
+//!   (`campaign run --journal DIR`): every completed repetition and
+//!   finished cell is durable before the campaign moves on, and
+//!   [`journal::replay`] + [`run_shard_resumed`] (`--resume DIR`)
+//!   re-measure only what the journal does not prove finished —
+//!   counter-exact against an uninterrupted run;
+//! * [`failpoint`] — an env/flag-armed fault-injection harness
+//!   (`SIMBENCH_FAILPOINTS` / `--failpoints`) that injects panics,
+//!   hangs, transient errors and mid-write crashes at named sites; the
+//!   disarmed check is one relaxed load, so production runs pay
+//!   nothing;
 //! * [`table`] — fixed-width text tables shared with the harness.
 //!
 //! The figure drivers in `simbench-harness` are thin renderers over
@@ -67,7 +80,7 @@
 //! let cell = result.cell("armlet", "interp", "suite:System Call").unwrap();
 //! assert!(cell.counters.syscalls >= 16);
 //! let json = result.to_json();
-//! assert!(json.contains("simbench-campaign/v5"));
+//! assert!(json.contains("simbench-campaign/v6"));
 //! ```
 //!
 //! ## Adaptive example
@@ -125,6 +138,8 @@
 //! ```
 
 pub mod compare;
+pub mod failpoint;
+pub mod journal;
 pub mod json;
 pub mod measure;
 pub mod merge;
@@ -139,13 +154,14 @@ pub use compare::{
     compare, compare_counters, Comparison, CounterComparison, CounterDelta, CounterDiff, Delta,
     Verdict,
 };
+pub use journal::{replay, Journal, Replay, JOURNAL_FILE, JOURNAL_SCHEMA};
 pub use measure::{run_app, run_suite_bench, Config, EngineKind, Guest, Sample};
 pub use merge::{merge, MergeError};
 pub use registry::{dispatch_guest, GuestInfo, GuestSpec, GuestVisitor, GUESTS};
 pub use result::{
     CampaignResult, CellResult, CellStatus, LoadError, StopReason, Telemetry, SCHEMA, SCHEMA_V1,
-    SCHEMA_V2, SCHEMA_V3, SCHEMA_V4,
+    SCHEMA_V2, SCHEMA_V3, SCHEMA_V4, SCHEMA_V5,
 };
-pub use runner::{run, run_shard, RunnerOpts};
+pub use runner::{run, run_shard, run_shard_resumed, RunnerOpts};
 pub use spec::{CampaignSpec, CellKey, Job, PrecisionTarget, Shard, Workload};
 pub use stats::{geomean, stats, t_critical_95, Stats};

@@ -230,6 +230,12 @@ fn image_cache() -> &'static Mutex<HashMap<ImageKey, Arc<GuestImage>>> {
 /// not exist on the guest architecture. Building happens outside the
 /// lock; a racing duplicate build keeps the first inserted image so
 /// all repetitions still share one copy.
+///
+/// The cache must survive mutex poisoning: a quarantined (panicked)
+/// repetition may have held this lock, and the map only ever holds
+/// fully-built immutable images behind `Arc`s — there is no
+/// half-mutated state a poison flag could be protecting — so the rest
+/// of the campaign keeps using it rather than unwinding on `unwrap`.
 fn cached_image(
     key: ImageKey,
     build: impl FnOnce() -> Option<GuestImage>,
@@ -238,13 +244,14 @@ fn cached_image(
         simbench_obs::Counter::new("campaign.image_cache_hits");
     static OBS_MISSES: simbench_obs::Counter =
         simbench_obs::Counter::new("campaign.image_cache_misses");
-    if let Some(img) = image_cache().lock().unwrap().get(&key) {
+    let unpoison = std::sync::PoisonError::into_inner;
+    if let Some(img) = image_cache().lock().unwrap_or_else(unpoison).get(&key) {
         OBS_HITS.add(1);
         return Some(Arc::clone(img));
     }
     OBS_MISSES.add(1);
     let img = Arc::new(build()?);
-    let mut cache = image_cache().lock().unwrap();
+    let mut cache = image_cache().lock().unwrap_or_else(unpoison);
     Some(Arc::clone(cache.entry(key).or_insert(img)))
 }
 
@@ -461,6 +468,29 @@ mod tests {
         assert_eq!(app_scale_divisor(1), 1);
         assert_eq!(app_scale_divisor(49), 1);
         assert_eq!(app_scale_divisor(51), 2);
+    }
+
+    #[test]
+    fn image_cache_survives_mutex_poisoning() {
+        // A quarantined repetition can panic while holding the cache
+        // lock; subsequent cells must keep measuring, not unwind on a
+        // poisoned `unwrap`. Poison the real process-wide cache, then
+        // measure through it.
+        let cache = image_cache();
+        let _ = std::panic::catch_unwind(|| {
+            let _guard = cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            panic!("poison the image cache");
+        });
+        let key = ImageKey::Suite(Guest::Armlet, Benchmark::Syscall, 32);
+        let img = cached_image(key, || build(&ArmletSupport::new(), Benchmark::Syscall, 32));
+        assert!(img.is_some(), "poisoned cache must keep serving images");
+        let again = cached_image(key, || panic!("second fetch must hit the cache"));
+        assert!(
+            Arc::ptr_eq(&img.unwrap(), &again.unwrap()),
+            "hits keep sharing one assembly after poisoning"
+        );
     }
 
     #[test]

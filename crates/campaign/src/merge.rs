@@ -293,8 +293,10 @@ pub fn merge(shards: &[CampaignResult]) -> Result<CampaignResult, MergeError> {
         created_unix: by_index.iter().map(|r| r.created_unix).max().unwrap_or(0),
         // Shard telemetry snapshots are process-wide and overlap in
         // unknowable ways; a merged sum would be fiction, so merges
-        // carry no telemetry.
+        // carry no telemetry. Likewise each shard journaled to its own
+        // directory: the merged whole has no single journal to echo.
         telemetry: None,
+        journal: None,
         cells,
     })
 }
@@ -519,5 +521,37 @@ mod tests {
         s[0].cells[idx].status = CellStatus::Skipped;
         let err = merge(&s).unwrap_err();
         assert!(matches!(err, MergeError::CellUnmeasured { .. }), "{err}");
+    }
+
+    #[test]
+    fn quarantined_and_timed_out_cells_merge_through_as_broken_coverage() {
+        // A shard whose owner quarantined or timed out a cell still
+        // measured it — the breakage must survive the merge verbatim
+        // (for compare to flag as Broke), never read as an unmeasured
+        // hole and never be silently replaced by another shard's data.
+        let mut s = shards(2);
+        let owned_by_1: Vec<usize> = (0..s[0].cells.len())
+            .filter(|i| Shard::new(1, 2).unwrap().owns(*i))
+            .collect();
+        let (q_idx, t_idx) = (owned_by_1[0], owned_by_1[1]);
+        s[0].cells[q_idx].status = CellStatus::Quarantined("engine panicked".to_string());
+        s[0].cells[q_idx].stats = None;
+        s[0].cells[q_idx].seconds.clear();
+        s[0].cells[q_idx].attempts = 3;
+        s[0].cells[t_idx].status = CellStatus::TimedOut("exceeded 5s cell timeout".to_string());
+        let merged = merge(&s).unwrap();
+        assert_eq!(
+            merged.cells[q_idx].status,
+            CellStatus::Quarantined("engine panicked".to_string())
+        );
+        assert_eq!(merged.cells[q_idx].attempts, 3, "attempt count survives");
+        assert_eq!(
+            merged.cells[t_idx].status,
+            CellStatus::TimedOut("exceeded 5s cell timeout".to_string())
+        );
+        // And the merged artifact round-trips the broken statuses.
+        let parsed = CampaignResult::from_json(&merged.to_json()).unwrap();
+        assert!(parsed.cells[q_idx].status.is_broken());
+        assert!(parsed.cells[t_idx].status.is_broken());
     }
 }

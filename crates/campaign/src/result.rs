@@ -2,16 +2,20 @@
 //! per matrix cell, carrying raw repetition timings, aggregate
 //! statistics, and the deterministic per-cell event profile.
 //!
-//! The current schema string is `simbench-campaign/v5`, which adds an
-//! optional top-level `telemetry` object: the engine-metrics snapshot
-//! (named monotonic counters plus sparse log₂-bucket histograms)
-//! captured when the campaign ran with telemetry enabled
-//! (`campaign run --trace`). Telemetry is observational — wall-clock
-//! flavoured, never architectural — so [`crate::compare`] ignores it
-//! entirely and sharded results drop it on merge.
+//! The current schema string is `simbench-campaign/v6`, which adds the
+//! fault-tolerance fields: two new cell statuses (`quarantined:<panic
+//! payload>` for cells whose measurement panicked and was isolated
+//! under `catch_unwind`, and `timed_out:<why>` for cells the per-cell
+//! watchdog killed), an optional per-cell `attempts` count (total
+//! repetition executions including watchdog/retry re-runs; written only
+//! when it differs from `reps_run`, so clean runs are byte-identical to
+//! v5 modulo the schema line), and an optional top-level `journal`
+//! string echoing the write-ahead journal directory the campaign
+//! appended to (`campaign run --journal DIR`).
 //!
-//! Readers accept the `v4` layout (identical but for the missing
-//! telemetry block; its stored statistics and stop reasons are kept
+//! Readers accept the `v5` layout (identical but for the new optional
+//! fields; stored statistics and stop reasons are kept verbatim), the
+//! `v4` layout (additionally no `telemetry` block; also trusted
 //! verbatim), the `v3` layout (whose stats are recomputed from the raw
 //! per-repetition timings, upgrading the old normal-approximation
 //! `ci95` to Student-t in the process), the `v2` layout (which
@@ -28,14 +32,21 @@ use std::path::Path;
 use simbench_core::events::Counters;
 
 use crate::json::{self, Value};
-use crate::spec::{CampaignSpec, PrecisionTarget, Shard, Workload};
+use crate::spec::{CampaignSpec, CellKey, PrecisionTarget, Shard, Workload};
 use crate::stats::Stats;
 
 /// Schema identifier written to every result file.
-pub const SCHEMA: &str = "simbench-campaign/v5";
+pub const SCHEMA: &str = "simbench-campaign/v6";
 
-/// The previous schema identifier (no `telemetry` block), still
-/// accepted on load. Unlike older versions its statistics and stop
+/// The previous schema identifier (no fault-tolerance fields: no
+/// `quarantined` / `timed_out` statuses, no `attempts`, no `journal`
+/// echo), still accepted on load with statistics and stop reasons
+/// trusted verbatim — the new fields are strictly additive, so a v5
+/// document is a valid v6 document under the old schema string.
+pub const SCHEMA_V5: &str = "simbench-campaign/v5";
+
+/// The v4 schema identifier (additionally no `telemetry` block), still
+/// accepted on load. Unlike pre-v4 versions its statistics and stop
 /// reasons are trusted verbatim — v4 files may be adaptive runs whose
 /// `converged` / `max_reps` verdicts a recompute could not recover.
 pub const SCHEMA_V4: &str = "simbench-campaign/v4";
@@ -78,7 +89,7 @@ impl std::fmt::Display for LoadError {
             LoadError::Json(e) => write!(f, "invalid JSON: {e}"),
             LoadError::Schema { found } => write!(
                 f,
-                "unsupported schema {found:?} (expected {SCHEMA:?}, \
+                "unsupported schema {found:?} (expected {SCHEMA:?}, {SCHEMA_V5:?}, \
                  {SCHEMA_V4:?}, {SCHEMA_V3:?}, {SCHEMA_V2:?} or {SCHEMA_V1:?})"
             ),
             LoadError::Malformed(e) => write!(f, "malformed campaign result: {e}"),
@@ -104,9 +115,29 @@ pub enum CellStatus {
     /// deliberately not measured here. Only partial (shard) results
     /// contain skipped cells; merging resolves them.
     Skipped,
+    /// The cell's measurement panicked on every attempt; the panic was
+    /// isolated under `catch_unwind` and the payload recorded here.
+    /// The rest of the matrix kept running.
+    Quarantined(String),
+    /// Every attempt outlived the per-cell watchdog (`--cell-timeout`)
+    /// and was abandoned.
+    TimedOut(String),
 }
 
 impl CellStatus {
+    /// True for the statuses that mean "this cell was supposed to be
+    /// measured here and was not measured cleanly" — broken coverage
+    /// that comparisons must surface, never a silent hole.
+    pub fn is_broken(&self) -> bool {
+        matches!(
+            self,
+            CellStatus::Failed(_)
+                | CellStatus::Unsupported(_)
+                | CellStatus::Quarantined(_)
+                | CellStatus::TimedOut(_)
+        )
+    }
+
     fn to_json_string(&self) -> String {
         match self {
             CellStatus::Ok => "ok".to_string(),
@@ -114,6 +145,8 @@ impl CellStatus {
             CellStatus::Unsupported(why) => format!("unsupported:{why}"),
             CellStatus::Failed(why) => format!("failed:{why}"),
             CellStatus::Skipped => "skipped".to_string(),
+            CellStatus::Quarantined(payload) => format!("quarantined:{payload}"),
+            CellStatus::TimedOut(why) => format!("timed_out:{why}"),
         }
     }
 
@@ -127,6 +160,10 @@ impl CellStatus {
                     CellStatus::Unsupported(why.to_string())
                 } else if let Some(why) = s.strip_prefix("failed:") {
                     CellStatus::Failed(why.to_string())
+                } else if let Some(payload) = s.strip_prefix("quarantined:") {
+                    CellStatus::Quarantined(payload.to_string())
+                } else if let Some(why) = s.strip_prefix("timed_out:") {
+                    CellStatus::TimedOut(why.to_string())
                 } else {
                     CellStatus::Failed(format!("unknown status {s}"))
                 }
@@ -185,6 +222,11 @@ pub struct CellResult {
     /// spec's count in fixed mode; in `[min_reps, max_reps]` for
     /// adaptive cells. 0 for unmeasured (skipped / not-on-ISA) cells.
     pub reps_run: u32,
+    /// Total repetition executions including watchdog/retry re-runs.
+    /// Equal to `reps_run` when nothing was retried (the common case;
+    /// the JSON field is elided then), strictly greater when `--retries`
+    /// re-ran a panicking / hung / transiently-failing repetition.
+    pub attempts: u32,
     /// Why repetitions stopped. `Some` exactly for `Ok` cells; failed
     /// and unmeasured cells have no truthful stop verdict.
     pub stop_reason: Option<StopReason>,
@@ -214,6 +256,28 @@ impl CellResult {
     /// repetitions (`None` unless the cell completed).
     pub fn metric(&self) -> Option<f64> {
         self.stats.as_ref().map(|s| s.geomean)
+    }
+
+    /// Unmeasured skeleton for a cell key: identity filled in, status
+    /// `NotOnIsa`, everything else empty. The runner fills it.
+    pub(crate) fn skeleton(key: &CellKey) -> CellResult {
+        CellResult {
+            guest: key.guest.isa_name().to_string(),
+            engine: key.engine.id(),
+            workload: key.workload.id(),
+            category: key.workload.category().map(str::to_string),
+            iterations: 0,
+            status: CellStatus::NotOnIsa,
+            reps_run: 0,
+            attempts: 0,
+            stop_reason: None,
+            seconds: Vec::new(),
+            stats: None,
+            counters: Counters::default(),
+            counters_consistent: true,
+            tested_ops: None,
+            counter_variants: Vec::new(),
+        }
     }
 }
 
@@ -266,6 +330,10 @@ pub struct CampaignResult {
     /// When this is one shard of a sharded campaign: which slice of the
     /// matrix it measured. `None` for whole-matrix and merged results.
     pub shard: Option<Shard>,
+    /// Write-ahead journal directory the campaign appended to
+    /// (`campaign run --journal DIR`), echoed for provenance. `None`
+    /// for unjournaled runs, pre-v6 files and merged results.
+    pub journal: Option<String>,
     /// Wall-clock seconds for the whole campaign.
     pub wall_secs: f64,
     /// Seconds since the Unix epoch when the campaign finished.
@@ -311,6 +379,9 @@ impl CampaignResult {
                 shard.index, shard.count
             );
         }
+        if let Some(dir) = &self.journal {
+            let _ = writeln!(out, "  \"journal\": {},", json::quote(dir));
+        }
         let _ = writeln!(out, "  \"wall_secs\": {},", json::num(self.wall_secs));
         let _ = writeln!(out, "  \"created_unix\": {},", self.created_unix);
         if let Some(t) = self.telemetry.as_ref().filter(|t| !t.is_empty()) {
@@ -335,63 +406,8 @@ impl CampaignResult {
         }
         out.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
-            out.push_str("    {");
-            let _ = write!(out, "\"guest\": {}, ", json::quote(&cell.guest));
-            let _ = write!(out, "\"engine\": {}, ", json::quote(&cell.engine));
-            let _ = write!(out, "\"workload\": {}, ", json::quote(&cell.workload));
-            if let Some(cat) = &cell.category {
-                let _ = write!(out, "\"category\": {}, ", json::quote(cat));
-            }
-            let _ = write!(out, "\"iterations\": {}, ", cell.iterations);
-            let _ = write!(
-                out,
-                "\"status\": {}, ",
-                json::quote(&cell.status.to_json_string())
-            );
-            if cell.reps_run > 0 {
-                let _ = write!(out, "\"reps_run\": {}, ", cell.reps_run);
-            }
-            if let Some(reason) = cell.stop_reason {
-                let _ = write!(out, "\"stop_reason\": \"{}\", ", reason.as_json_str());
-            }
-            let secs: Vec<String> = cell.seconds.iter().map(|&s| json::num(s)).collect();
-            let _ = write!(out, "\"seconds\": [{}]", secs.join(", "));
-            if let Some(s) = &cell.stats {
-                let _ = write!(
-                    out,
-                    ", \"stats\": {{\"n\": {}, \"rejected_invalid\": {}, \"outliers\": {}, \
-                     \"min\": {}, \"max\": {}, \"mean\": {}, \"median\": {}, \"stddev\": {}, \
-                     \"geomean\": {}, \"ci95\": {}}}",
-                    s.n,
-                    s.rejected_invalid,
-                    s.outliers,
-                    json::num(s.min),
-                    json::num(s.max),
-                    json::num(s.mean),
-                    json::num(s.median),
-                    json::num(s.stddev),
-                    json::num(s.geomean),
-                    json::num(s.ci95),
-                );
-            }
-            if !cell.counters_consistent {
-                out.push_str(", \"counters_consistent\": false");
-            }
-            if let Some(obj) = counters_obj(&cell.counters) {
-                let _ = write!(out, ", \"counters\": {obj}");
-            }
-            if let Some(ops) = cell.tested_ops {
-                let _ = write!(out, ", \"tested_ops\": {ops}");
-            }
-            if !cell.counter_variants.is_empty() {
-                let variants: Vec<String> = cell
-                    .counter_variants
-                    .iter()
-                    .map(|c| counters_obj(c).unwrap_or_else(|| "{}".to_string()))
-                    .collect();
-                let _ = write!(out, ", \"counter_variants\": [{}]", variants.join(", "));
-            }
-            out.push('}');
+            out.push_str("    ");
+            out.push_str(&cell_json(cell));
             out.push_str(if i + 1 < self.cells.len() {
                 ",\n"
             } else {
@@ -402,10 +418,10 @@ impl CampaignResult {
         out
     }
 
-    /// Parse the versioned JSON format. Accepts the current `v5` layout
-    /// and migrates `v4`, `v3`, `v2` and `v1` files in place. A `v4`
-    /// document differs only by the missing optional `telemetry` block,
-    /// so its stored statistics and stop reasons are kept verbatim —
+    /// Parse the versioned JSON format. Accepts the current `v6` layout
+    /// and migrates `v5`, `v4`, `v3`, `v2` and `v1` files in place.
+    /// `v5` and `v4` documents differ only by missing optional fields,
+    /// so their stored statistics and stop reasons are kept verbatim —
     /// recomputing would clobber adaptive verdicts (`converged` /
     /// `max_reps`) that cannot be recovered from the timings. Migration
     /// of every pre-`v4` document recomputes each Ok cell's statistics
@@ -423,7 +439,11 @@ impl CampaignResult {
             .and_then(Value::as_str)
             .ok_or_else(|| LoadError::Malformed("missing string \"schema\"".to_string()))?
             .to_string();
-        if ![SCHEMA, SCHEMA_V4, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1].contains(&schema.as_str()) {
+        if ![
+            SCHEMA, SCHEMA_V5, SCHEMA_V4, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1,
+        ]
+        .contains(&schema.as_str())
+        {
             return Err(LoadError::Schema { found: schema });
         }
         let malformed = LoadError::Malformed;
@@ -447,16 +467,19 @@ impl CampaignResult {
             .enumerate()
         {
             let mut cell = parse_cell(cv).map_err(|e| malformed(format!("cell {i}: {e}")))?;
-            if schema != SCHEMA && schema != SCHEMA_V4 {
+            if schema != SCHEMA && schema != SCHEMA_V5 && schema != SCHEMA_V4 {
                 // Pre-v4 migration: the raw timings are stored, so the
                 // statistics are recomputed rather than trusted — the
                 // old files carry normal-approximation CIs and a lumped
-                // `rejected` count that v4 retired. v4 files are exempt:
-                // their stats are already current and their adaptive
-                // stop reasons must survive the round-trip.
+                // `rejected` count that v4 retired. v4/v5 files are
+                // exempt: their stats are already current and their
+                // adaptive stop reasons must survive the round-trip.
                 cell.stats = crate::stats::stats(&cell.seconds);
                 if cell.status == CellStatus::Ok {
                     cell.reps_run = cell.seconds.len() as u32;
+                    // Pre-v6 runs never retried, so every repetition
+                    // was exactly one execution.
+                    cell.attempts = cell.reps_run;
                     cell.stop_reason = Some(StopReason::Fixed);
                 }
             }
@@ -521,7 +544,7 @@ impl CampaignResult {
         };
         Ok(CampaignResult {
             // Migrated results are current-schema in memory, so saving a
-            // loaded v1..v4 file produces a v5 file.
+            // loaded v1..v5 file produces a v6 file.
             schema: SCHEMA.to_string(),
             name: str_field("name")?,
             scale: u64_field("scale")?,
@@ -529,6 +552,14 @@ impl CampaignResult {
             precision,
             jobs: u64_field("jobs")? as usize,
             shard,
+            journal: match root.get("journal") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| malformed("\"journal\" not a string".to_string()))?,
+                ),
+            },
             wall_secs: root.get("wall_secs").and_then(Value::as_f64).unwrap_or(0.0),
             created_unix: u64_field("created_unix").unwrap_or(0),
             telemetry,
@@ -553,22 +584,7 @@ impl CampaignResult {
         let cells = spec
             .cells()
             .into_iter()
-            .map(|key| CellResult {
-                guest: key.guest.isa_name().to_string(),
-                engine: key.engine.id(),
-                workload: key.workload.id(),
-                category: key.workload.category().map(str::to_string),
-                iterations: 0,
-                status: CellStatus::NotOnIsa,
-                reps_run: 0,
-                stop_reason: None,
-                seconds: Vec::new(),
-                stats: None,
-                counters: Counters::default(),
-                counters_consistent: true,
-                tested_ops: None,
-                counter_variants: Vec::new(),
-            })
+            .map(|key| CellResult::skeleton(&key))
             .collect();
         CampaignResult {
             schema: SCHEMA.to_string(),
@@ -578,6 +594,7 @@ impl CampaignResult {
             precision: spec.precision,
             jobs,
             shard: None,
+            journal: None,
             wall_secs: 0.0,
             created_unix: 0,
             telemetry: None,
@@ -624,7 +641,74 @@ fn parse_telemetry(v: &Value) -> Result<Telemetry, String> {
     Ok(t)
 }
 
-fn parse_cell(cv: &Value) -> Result<CellResult, String> {
+/// One cell rendered as a single-line JSON object — the cell layout of
+/// [`CampaignResult::to_json`], shared with the write-ahead journal so
+/// a journaled cell is byte-identical to its persisted form.
+pub(crate) fn cell_json(cell: &CellResult) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"guest\": {}, ", json::quote(&cell.guest));
+    let _ = write!(out, "\"engine\": {}, ", json::quote(&cell.engine));
+    let _ = write!(out, "\"workload\": {}, ", json::quote(&cell.workload));
+    if let Some(cat) = &cell.category {
+        let _ = write!(out, "\"category\": {}, ", json::quote(cat));
+    }
+    let _ = write!(out, "\"iterations\": {}, ", cell.iterations);
+    let _ = write!(
+        out,
+        "\"status\": {}, ",
+        json::quote(&cell.status.to_json_string())
+    );
+    if cell.reps_run > 0 {
+        let _ = write!(out, "\"reps_run\": {}, ", cell.reps_run);
+    }
+    if cell.attempts != cell.reps_run {
+        let _ = write!(out, "\"attempts\": {}, ", cell.attempts);
+    }
+    if let Some(reason) = cell.stop_reason {
+        let _ = write!(out, "\"stop_reason\": \"{}\", ", reason.as_json_str());
+    }
+    let secs: Vec<String> = cell.seconds.iter().map(|&s| json::num(s)).collect();
+    let _ = write!(out, "\"seconds\": [{}]", secs.join(", "));
+    if let Some(s) = &cell.stats {
+        let _ = write!(
+            out,
+            ", \"stats\": {{\"n\": {}, \"rejected_invalid\": {}, \"outliers\": {}, \
+             \"min\": {}, \"max\": {}, \"mean\": {}, \"median\": {}, \"stddev\": {}, \
+             \"geomean\": {}, \"ci95\": {}}}",
+            s.n,
+            s.rejected_invalid,
+            s.outliers,
+            json::num(s.min),
+            json::num(s.max),
+            json::num(s.mean),
+            json::num(s.median),
+            json::num(s.stddev),
+            json::num(s.geomean),
+            json::num(s.ci95),
+        );
+    }
+    if !cell.counters_consistent {
+        out.push_str(", \"counters_consistent\": false");
+    }
+    if let Some(obj) = counters_obj(&cell.counters) {
+        let _ = write!(out, ", \"counters\": {obj}");
+    }
+    if let Some(ops) = cell.tested_ops {
+        let _ = write!(out, ", \"tested_ops\": {ops}");
+    }
+    if !cell.counter_variants.is_empty() {
+        let variants: Vec<String> = cell
+            .counter_variants
+            .iter()
+            .map(|c| counters_obj(c).unwrap_or_else(|| "{}".to_string()))
+            .collect();
+        let _ = write!(out, ", \"counter_variants\": [{}]", variants.join(", "));
+    }
+    out.push('}');
+    out
+}
+
+pub(crate) fn parse_cell(cv: &Value) -> Result<CellResult, String> {
     let s = |key: &str| -> Result<String, String> {
         cv.get(key)
             .and_then(Value::as_str)
@@ -681,6 +765,14 @@ fn parse_cell(cv: &Value) -> Result<CellResult, String> {
         iterations: cv.get("iterations").and_then(Value::as_u64).unwrap_or(0) as u32,
         status: CellStatus::from_json_string(&s("status")?),
         reps_run: cv.get("reps_run").and_then(Value::as_u64).unwrap_or(0) as u32,
+        attempts: {
+            // Elided whenever equal to reps_run, so default to that.
+            let reps_run = cv.get("reps_run").and_then(Value::as_u64).unwrap_or(0) as u32;
+            cv.get("attempts")
+                .and_then(Value::as_u64)
+                .map(|a| a as u32)
+                .unwrap_or(reps_run)
+        },
         stop_reason: match cv.get("stop_reason") {
             None => None,
             Some(v) => {
@@ -803,6 +895,7 @@ mod tests {
             precision: None,
             jobs: 4,
             shard: None,
+            journal: None,
             wall_secs: 1.25,
             created_unix: 1_700_000_000,
             telemetry: None,
@@ -815,6 +908,7 @@ mod tests {
                     iterations: 2500,
                     status: CellStatus::Ok,
                     reps_run: 2,
+                    attempts: 2,
                     stop_reason: Some(StopReason::Fixed),
                     seconds: vec![0.011, 0.0105],
                     stats: crate::stats::stats(&[0.011, 0.0105]),
@@ -835,6 +929,7 @@ mod tests {
                     iterations: 100,
                     status: CellStatus::Unsupported("intc device model".to_string()),
                     reps_run: 1,
+                    attempts: 1,
                     stop_reason: None,
                     seconds: vec![],
                     stats: None,
@@ -880,6 +975,7 @@ mod tests {
         let mut r = demo();
         r.precision = Some(PrecisionTarget::new(0.2, 2, 8).unwrap());
         r.cells[0].reps_run = 5;
+        r.cells[0].attempts = 5; // clean run: attempts tracks reps and is elided
         r.cells[0].stop_reason = Some(StopReason::Converged);
         let text = r.to_json();
         assert!(
@@ -1156,5 +1252,90 @@ mod tests {
         );
         assert_eq!(parsed.telemetry, None);
         assert!(parsed.to_json().contains(SCHEMA));
+    }
+
+    #[test]
+    fn v5_files_migrate_without_recomputing_verdicts() {
+        // A v5 document is the current layout minus the fault-tolerance
+        // fields; like v4, its stats and stop reasons survive verbatim.
+        let mut r = demo();
+        r.precision = Some(PrecisionTarget::new(0.2, 2, 8).unwrap());
+        r.cells[0].stop_reason = Some(StopReason::Converged);
+        let text = r.to_json().replace(SCHEMA, SCHEMA_V5);
+        let parsed = CampaignResult::from_json(&text).unwrap();
+        assert_eq!(parsed.schema, SCHEMA);
+        assert_eq!(parsed.cells[0].stop_reason, Some(StopReason::Converged));
+        assert_eq!(
+            parsed.cells[0].stats.unwrap(),
+            r.cells[0].stats.unwrap(),
+            "v5 stats are trusted, not recomputed"
+        );
+        assert!(parsed.to_json().contains(SCHEMA));
+    }
+
+    #[test]
+    fn quarantined_and_timed_out_statuses_round_trip() {
+        let mut r = demo();
+        r.cells[0].status = CellStatus::Quarantined("index out of bounds".to_string());
+        r.cells[0].stop_reason = None;
+        r.cells[1].status = CellStatus::TimedOut("exceeded 30s cell timeout".to_string());
+        let text = r.to_json();
+        assert!(
+            text.contains("\"status\": \"quarantined:index out of bounds\""),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"status\": \"timed_out:exceeded 30s cell timeout\""),
+            "{text}"
+        );
+        let parsed = CampaignResult::from_json(&text).unwrap();
+        assert_eq!(parsed.cells[0].status, r.cells[0].status);
+        assert_eq!(parsed.cells[1].status, r.cells[1].status);
+        assert!(parsed.cells[0].status.is_broken());
+        assert!(parsed.cells[1].status.is_broken());
+        assert!(!CellStatus::Ok.is_broken());
+        assert!(!CellStatus::Skipped.is_broken());
+        assert!(!CellStatus::NotOnIsa.is_broken());
+    }
+
+    #[test]
+    fn attempts_round_trip_and_elide_when_equal() {
+        // The common case — no retries — writes no attempts key at all,
+        // so clean results stay byte-compatible with v5 cell layouts.
+        let clean = demo().to_json();
+        assert!(!clean.contains("\"attempts\""), "{clean}");
+        let parsed = CampaignResult::from_json(&clean).unwrap();
+        assert_eq!(parsed.cells[0].attempts, parsed.cells[0].reps_run);
+        // A retried cell records the true execution count.
+        let mut r = demo();
+        r.cells[0].attempts = 5;
+        let text = r.to_json();
+        assert!(
+            text.contains("\"reps_run\": 2, \"attempts\": 5, "),
+            "{text}"
+        );
+        let parsed = CampaignResult::from_json(&text).unwrap();
+        assert_eq!(parsed.cells[0].attempts, 5);
+        assert_eq!(parsed.cells[0].reps_run, 2);
+    }
+
+    #[test]
+    fn journal_echo_round_trips() {
+        let mut r = demo();
+        r.journal = Some("/tmp/campaign-journal".to_string());
+        let text = r.to_json();
+        assert!(
+            text.contains("\"journal\": \"/tmp/campaign-journal\""),
+            "{text}"
+        );
+        let parsed = CampaignResult::from_json(&text).unwrap();
+        assert_eq!(parsed.journal, r.journal);
+        // Unjournaled runs carry no journal key at all.
+        assert!(!demo().to_json().contains("\"journal\""));
+        // A mistyped journal is a typed error, not a silent drop.
+        let err =
+            CampaignResult::from_json(&text.replace("\"/tmp/campaign-journal\"", "7")).unwrap_err();
+        assert!(matches!(err, LoadError::Malformed(_)), "{err}");
+        assert!(err.to_string().contains("journal"), "{err}");
     }
 }

@@ -1,5 +1,6 @@
 //! Parallel campaign execution: a completion-driven worker pool over
-//! the expanded job list.
+//! the expanded job list, hardened against every failure mode the
+//! failpoint harness can inject.
 //!
 //! Every job owns its `Machine` and engine (see `measure`), so jobs
 //! share no mutable state; workers draw from one shared queue (job
@@ -17,49 +18,77 @@
 //! in-flight job can still enqueue work. A condvar wakes idle workers
 //! when either condition changes.
 //!
+//! # Fault isolation
+//!
+//! Each repetition runs under `catch_unwind` with an optional per-cell
+//! watchdog ([`RunnerOpts::cell_timeout`]) and bounded retry with
+//! exponential backoff ([`RunnerOpts::retries`]). A repetition that
+//! still panics once retries are exhausted turns its cell
+//! [`CellStatus::Quarantined`] — payload and attempt count recorded —
+//! while the rest of the matrix keeps running; a hung repetition turns
+//! it [`CellStatus::TimedOut`]. SIGINT/SIGTERM
+//! ([`simbench_obs::shutdown`]) drains the queue at the next job
+//! boundary: in-flight repetitions finish, unstarted cells are marked
+//! failed-interrupted (never silently dropped), and the caller
+//! persists the partial artifact. With [`RunnerOpts::journal`] set,
+//! every completed repetition and finished cell is appended fsync'd to
+//! a write-ahead journal, and [`run_shard_resumed`] re-runs only the
+//! cells the journal does not prove finished.
+//!
 //! Counters are architectural and engines are deterministic, so a
 //! campaign's counter results are identical whatever the worker count
 //! *and* whatever the per-cell repetition count — an adaptive run is
-//! counter-identical to a fixed-reps run of the same matrix. The
+//! counter-identical to a fixed-reps run of the same matrix, and a
+//! resumed run is counter-identical to an uninterrupted one. The
 //! concurrency tests in `tests/campaign.rs` assert exactly that. Only
 //! wall-clock fields (and, in adaptive mode, `reps_run`) vary run to
 //! run.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use simbench_core::engine::ExitReason;
 
+use crate::failpoint;
+use crate::journal::Journal;
 use crate::measure::{run_app, run_suite_bench, Config, Sample};
-use crate::result::{CampaignResult, CellStatus, StopReason};
+use crate::result::{CampaignResult, CellResult, CellStatus, StopReason};
 use crate::spec::{CampaignSpec, CellKey, Job, PrecisionTarget, Shard, Workload};
 use crate::stats::stats;
 
 /// Execution options.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RunnerOpts {
-    /// Worker threads. 1 executes jobs inline on the calling thread in
+    /// Worker threads. 0/1 execute jobs inline on the calling thread in
     /// deterministic expansion order.
     pub jobs: usize,
     /// Print per-job progress to stderr.
     pub verbose: bool,
-}
-
-impl Default for RunnerOpts {
-    fn default() -> Self {
-        RunnerOpts {
-            jobs: 1,
-            verbose: false,
-        }
-    }
+    /// Per-repetition wall watchdog: an attempt still running after
+    /// this long is abandoned (its thread is detached) and counts as
+    /// [`CellStatus::TimedOut`]. `None` runs attempts inline with no
+    /// watchdog and no extra thread.
+    pub cell_timeout: Option<Duration>,
+    /// Bounded retry for transiently-failing repetitions: a panicking,
+    /// hanging or transiently-erroring attempt is re-run up to this
+    /// many times (exponential backoff) before the failure is recorded.
+    /// Deterministic failures (unsupported features, wall-limit aborts,
+    /// absent workloads) are never retried.
+    pub retries: u32,
+    /// Write-ahead journal to append per-repetition and per-cell
+    /// records to (see [`crate::journal`]).
+    pub journal: Option<Arc<Journal>>,
 }
 
 impl RunnerOpts {
     /// Serial, quiet.
     pub fn serial() -> Self {
-        RunnerOpts::default()
+        RunnerOpts {
+            jobs: 1,
+            ..Default::default()
+        }
     }
 
     /// A given worker count, quiet.
@@ -71,15 +100,32 @@ impl RunnerOpts {
     }
 }
 
-/// What one executed job produced: `Err` carries a panic message,
-/// `Ok(None)` means the workload is absent on the ISA.
-type RepOutcome = Result<Option<Sample>, String>;
+/// What one repetition execution (after retries) produced. One value
+/// exists per repetition outcome, so the size spread between `Done`
+/// and the failure variants costs nothing that matters.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum RepResult {
+    /// The measurement ran to an exit; `None` means the workload is
+    /// absent on the ISA.
+    Done(Option<Sample>),
+    /// Every attempt panicked; the last payload is recorded and the
+    /// cell is quarantined.
+    Panicked(String),
+    /// Every attempt failed transiently (injected or environmental —
+    /// never from the deterministic engine paths).
+    Transient(String),
+    /// Every attempt outlived the watchdog.
+    TimedOut(String),
+}
 
-/// Outcome of one job: the job identity plus its sample.
+/// Outcome of one job: the job identity, its result, and how many
+/// executions (1 + retries actually used) it took.
 struct JobOutcome {
     cell_index: usize,
     rep: u32,
-    sample: RepOutcome,
+    attempts: u32,
+    sample: RepResult,
 }
 
 /// Call `f` with the cell's identity as progress-record borrows. The
@@ -100,12 +146,17 @@ fn with_cell_id(key: &CellKey, f: impl FnOnce(simbench_obs::progress::CellId<'_>
 
 /// Emit the cell's terminal progress record from its scheduler state.
 fn progress_finish(key: &CellKey, cell: &CellSched) {
+    let any = |f: fn(&RepResult) -> bool| cell.slots.iter().flatten().any(f);
     let status = if cell.absent {
         "not_on_isa"
-    } else if cell.terminal {
-        "failed"
-    } else {
+    } else if !cell.terminal {
         "ok"
+    } else if any(|s| matches!(s, RepResult::Panicked(_))) {
+        "quarantined"
+    } else if any(|s| matches!(s, RepResult::TimedOut(_))) {
+        "timed_out"
+    } else {
+        "failed"
     };
     let reps = cell.completed;
     with_cell_id(key, |id| {
@@ -113,40 +164,146 @@ fn progress_finish(key: &CellKey, cell: &CellSched) {
     });
 }
 
-fn execute(job: &Job, cfg: &Config) -> RepOutcome {
+static OBS_REP_PANICS: simbench_obs::Counter = simbench_obs::Counter::new("campaign.rep_panics");
+static OBS_REP_TIMEOUTS: simbench_obs::Counter =
+    simbench_obs::Counter::new("campaign.rep_timeouts");
+static OBS_RETRIES: simbench_obs::Counter = simbench_obs::Counter::new("campaign.retries");
+
+/// Execute one repetition with retry/backoff. Returns the final result
+/// and the number of attempts it took.
+fn execute(job: &Job, cfg: &Config, opts: &RunnerOpts) -> (RepResult, u32) {
     let _obs = simbench_obs::span!("campaign.repetition");
     if job.rep == 0 {
         with_cell_id(&job.key, simbench_obs::progress::cell_start);
     }
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let result = execute_attempt(job, cfg, opts.cell_timeout);
+        match &result {
+            RepResult::Panicked(_) => OBS_REP_PANICS.add(1),
+            RepResult::TimedOut(_) => OBS_REP_TIMEOUTS.add(1),
+            _ => {}
+        }
+        let retryable = matches!(
+            result,
+            RepResult::Panicked(_) | RepResult::Transient(_) | RepResult::TimedOut(_)
+        );
+        if !retryable || attempts > opts.retries || simbench_obs::shutdown::interrupted() {
+            return (result, attempts);
+        }
+        OBS_RETRIES.add(1);
+        simbench_obs::event!("campaign.retry");
+        simbench_obs::info!(
+            "[campaign] {}/{} {} rep {}: attempt {attempts} failed, retrying",
+            job.key.guest.isa_name(),
+            job.key.engine.id(),
+            job.key.workload.id(),
+            job.rep,
+        );
+        std::thread::sleep(backoff(attempts));
+    }
+}
+
+/// Exponential backoff before retry `attempts + 1`: 20 ms, 40 ms, ...
+/// capped at 640 ms. Transient failures are usually resource pressure;
+/// hammering makes them worse.
+fn backoff(attempts: u32) -> Duration {
+    Duration::from_millis(20u64 << (attempts - 1).min(5))
+}
+
+/// One attempt, optionally under the wall watchdog. With a timeout the
+/// attempt runs on its own thread so a hang can be abandoned — the
+/// stuck thread is detached, not killed (Rust has no safe thread kill),
+/// so a truly wedged engine leaks one parked thread until process
+/// exit. Without a timeout the attempt runs inline: zero extra cost.
+fn execute_attempt(job: &Job, cfg: &Config, timeout: Option<Duration>) -> RepResult {
+    let Some(limit) = timeout else {
+        return execute_inline(job, cfg);
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let (job, cfg) = (*job, *cfg);
+    let spawned = std::thread::Builder::new()
+        .name("campaign-rep".to_string())
+        .spawn(move || {
+            // The receiver may be long gone on timeout; a failed send
+            // just drops the late result.
+            let _ = tx.send(execute_inline(&job, &cfg));
+        });
+    if let Err(e) = spawned {
+        return RepResult::Transient(format!("spawning watchdogged repetition: {e}"));
+    }
+    match rx.recv_timeout(limit) {
+        Ok(result) => result,
+        Err(_) => RepResult::TimedOut(format!("exceeded {}s cell timeout", limit.as_secs_f64())),
+    }
+}
+
+/// Run the measurement under `catch_unwind` so a panicking engine
+/// quarantines its cell instead of aborting the campaign. The
+/// `measure.rep` / `measure.finish` failpoints fire inside the guarded
+/// region: injected panics and hangs take exactly the path real ones
+/// do.
+fn execute_inline(job: &Job, cfg: &Config) -> RepResult {
     let key = job.key;
-    catch_unwind(AssertUnwindSafe(|| match key.workload {
-        Workload::Suite(bench) => run_suite_bench(key.guest, key.engine, bench, cfg),
-        Workload::App(app) => Some(run_app(key.guest, key.engine, app, cfg)),
-    }))
-    .map_err(|payload| {
-        let msg = payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "engine panicked".to_string());
-        format!("panic: {msg}")
-    })
+    let run = || -> Result<Option<Sample>, String> {
+        failpoint::fire("measure.rep")?;
+        let sample = match key.workload {
+            Workload::Suite(bench) => run_suite_bench(key.guest, key.engine, bench, cfg),
+            Workload::App(app) => Some(run_app(key.guest, key.engine, app, cfg)),
+        };
+        failpoint::fire("measure.finish")?;
+        Ok(sample)
+    };
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(Ok(sample)) => RepResult::Done(sample),
+        Ok(Err(transient)) => RepResult::Transient(transient),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "engine panicked".to_string());
+            RepResult::Panicked(msg)
+        }
+    }
+}
+
+/// Short journal tag for a repetition outcome.
+fn outcome_tag(sample: &RepResult) -> String {
+    match sample {
+        RepResult::Done(Some(s)) if s.exit == ExitReason::Halted => "ok".to_string(),
+        RepResult::Done(Some(s)) => format!("aborted:{}", s.exit),
+        RepResult::Done(None) => "absent".to_string(),
+        RepResult::Panicked(msg) => format!("panic:{msg}"),
+        RepResult::Transient(msg) => format!("transient:{msg}"),
+        RepResult::TimedOut(why) => format!("timeout:{why}"),
+    }
 }
 
 /// Per-cell scheduler bookkeeping: how many repetitions were launched
-/// and completed, the timings gathered so far, and the stop decision.
+/// and completed, every repetition's outcome (slotted by rep so
+/// completion order is irrelevant), and the stop decision.
 struct CellSched {
     launched: u32,
     completed: u32,
+    /// Total executions including retries, summed over repetitions.
+    attempts: u32,
     /// Halted repetitions' timings, in completion order — convergence
     /// is evaluated on the multiset, so completion order is irrelevant.
     seconds: Vec<f64>,
-    /// A repetition failed (panic, limit, unsupported) or the workload
-    /// is absent: never launch further repetitions for this cell.
+    /// Outcome of each completed repetition, indexed by rep number.
+    slots: Vec<Option<RepResult>>,
+    /// A repetition failed (panic, timeout, limit, unsupported) or the
+    /// workload is absent: never launch further repetitions.
     terminal: bool,
     /// The workload is absent on the ISA (a flavour of `terminal` the
     /// progress stream reports distinctly).
     absent: bool,
+    /// The cell reached its finish decision (all launched repetitions
+    /// accounted for). Cells with `launched > 0` but `!finished` at
+    /// shutdown were interrupted.
+    finished: bool,
     stop: Option<StopReason>,
 }
 
@@ -155,18 +312,29 @@ impl CellSched {
         CellSched {
             launched: 0,
             completed: 0,
+            attempts: 0,
             seconds: Vec::new(),
+            slots: Vec::new(),
             terminal: false,
             absent: false,
+            finished: false,
             stop: None,
         }
     }
 }
 
+/// Mark a cell finished and emit its terminal progress record.
+fn finish(key: &CellKey, cell: &mut CellSched) {
+    cell.finished = true;
+    progress_finish(key, cell);
+}
+
 /// Record one completed repetition and decide the cell's next step:
 /// `Some(job)` re-enqueues the cell's next repetition, `None` means the
 /// cell is finished (converged, at its bound, fixed-mode, failed) or
-/// still has repetitions in flight.
+/// still has repetitions in flight. The cell's `finished` flag flips
+/// exactly when the last repetition is accounted for — the caller
+/// journals the finished cell on that transition.
 ///
 /// In adaptive mode the decision is only taken when the last in-flight
 /// repetition of the cell completes, so convergence is always evaluated
@@ -175,37 +343,47 @@ impl CellSched {
 fn on_complete(
     cells: &mut [CellSched],
     precision: Option<PrecisionTarget>,
-    outcome: &JobOutcome,
+    outcome: JobOutcome,
     job: &Job,
 ) -> Option<Job> {
     let cell = &mut cells[outcome.cell_index];
     cell.completed += 1;
+    cell.attempts += outcome.attempts;
     match &outcome.sample {
-        Ok(Some(sample)) if sample.exit == ExitReason::Halted => {
+        RepResult::Done(Some(sample)) if sample.exit == ExitReason::Halted => {
             cell.seconds.push(sample.seconds);
             static OBS_REP_WALL: simbench_obs::Histogram =
                 simbench_obs::Histogram::new("campaign.rep_wall_ns");
             OBS_REP_WALL.observe((sample.seconds * 1e9) as u64);
         }
-        // Panics, limit/unsupported exits and absent workloads are
-        // terminal: burning the repetition budget on a cell that cannot
-        // produce a clean measurement would only slow the campaign.
-        Ok(None) => {
+        // Exhausted-retry failures, limit/unsupported exits and absent
+        // workloads are terminal: burning the repetition budget on a
+        // cell that cannot produce a clean measurement would only slow
+        // the campaign.
+        RepResult::Done(None) => {
             cell.terminal = true;
             cell.absent = true;
         }
-        _ => cell.terminal = true,
+        RepResult::Done(Some(_))
+        | RepResult::Panicked(_)
+        | RepResult::Transient(_)
+        | RepResult::TimedOut(_) => cell.terminal = true,
     }
+    let rep = outcome.rep as usize;
+    if cell.slots.len() <= rep {
+        cell.slots.resize_with(rep + 1, || None);
+    }
+    cell.slots[rep] = Some(outcome.sample);
     let Some(p) = precision else {
         // Fixed mode: all repetitions were launched up front.
         if cell.completed == cell.launched {
-            progress_finish(&job.key, cell);
+            finish(&job.key, cell);
         }
         return None;
     };
     if cell.terminal || cell.completed < cell.launched {
         if cell.terminal && cell.completed == cell.launched {
-            progress_finish(&job.key, cell);
+            finish(&job.key, cell);
         }
         return None;
     }
@@ -216,12 +394,12 @@ fn on_complete(
         with_cell_id(&job.key, |id| {
             simbench_obs::progress::cell_converge(id, reps, rci);
         });
-        progress_finish(&job.key, cell);
+        finish(&job.key, cell);
         return None;
     }
     if cell.launched >= p.max_reps {
         cell.stop = Some(StopReason::MaxReps);
-        progress_finish(&job.key, cell);
+        finish(&job.key, cell);
         return None;
     }
     static OBS_REENQUEUES: simbench_obs::Counter =
@@ -248,11 +426,38 @@ pub fn run(spec: &CampaignSpec, opts: &RunnerOpts) -> CampaignResult {
 /// shard metadata needed for [`crate::merge::merge`] to recombine
 /// shards into a result counter-identical to an unsharded run.
 pub fn run_shard(spec: &CampaignSpec, opts: &RunnerOpts, shard: Option<Shard>) -> CampaignResult {
+    run_inner(spec, opts, shard, &[])
+}
+
+/// [`run_shard`] resuming from a replayed journal: cells in `done`
+/// (index + finished record, from [`crate::journal::replay`]) are
+/// copied into the result verbatim and only the remainder is measured.
+/// Counters are deterministic, so the resumed result is counter-exact
+/// against an uninterrupted run of the same spec.
+pub fn run_shard_resumed(
+    spec: &CampaignSpec,
+    opts: &RunnerOpts,
+    shard: Option<Shard>,
+    done: &[(usize, CellResult)],
+) -> CampaignResult {
+    run_inner(spec, opts, shard, done)
+}
+
+fn run_inner(
+    spec: &CampaignSpec,
+    opts: &RunnerOpts,
+    shard: Option<Shard>,
+    done: &[(usize, CellResult)],
+) -> CampaignResult {
     let t0 = Instant::now();
-    let jobs = {
+    let mut jobs = {
         let _obs = simbench_obs::span!("campaign.expand");
         spec.expand_shard(shard)
     };
+    if !done.is_empty() {
+        let done_set: std::collections::HashSet<usize> = done.iter().map(|&(i, _)| i).collect();
+        jobs.retain(|j| !done_set.contains(&j.cell_index));
+    }
     let cfg = spec.config();
     let workers = opts.jobs.max(1).min(jobs.len().max(1));
 
@@ -261,50 +466,85 @@ pub fn run_shard(spec: &CampaignSpec, opts: &RunnerOpts, shard: Option<Shard>) -
         cells[job.cell_index].launched += 1;
     }
 
-    let outcomes = if workers <= 1 {
-        run_serial(&jobs, &cfg, spec.precision, &mut cells, opts.verbose)
+    if workers <= 1 {
+        run_serial(&jobs, &cfg, spec.precision, &mut cells, opts);
     } else {
-        run_pool(
-            &jobs,
-            &cfg,
-            spec.precision,
-            &mut cells,
-            workers,
-            opts.verbose,
-        )
-    };
+        run_pool(&jobs, &cfg, spec.precision, &mut cells, workers, opts);
+    }
 
     // Record the worker count that actually executed, not the request.
     let _obs = simbench_obs::span!("campaign.stats");
-    finalize(
+    let interrupted = simbench_obs::shutdown::interrupted();
+    let mut result = finalize(
         spec,
         workers,
         shard,
-        outcomes,
         &cells,
         t0.elapsed().as_secs_f64(),
-    )
+        interrupted,
+    );
+    for (index, cell) in done {
+        // Journal-proven cells replace the skeletons finalize left for
+        // their (never-launched) indices.
+        result.cells[*index] = cell.clone();
+    }
+    if let Some(journal) = &opts.journal {
+        result.journal = Some(journal.dir().display().to_string());
+    }
+    result
+}
+
+/// Handle one executed job on the calling thread: journal the
+/// repetition, fold it into the scheduler state, journal the cell if
+/// this repetition finished it, and return any re-enqueued job.
+fn absorb(
+    cells: &mut [CellSched],
+    precision: Option<PrecisionTarget>,
+    outcome: JobOutcome,
+    job: &Job,
+    journal: Option<&Journal>,
+) -> Option<Job> {
+    if let Some(journal) = journal {
+        journal.record_rep(
+            job.cell_index,
+            job.rep,
+            outcome.attempts,
+            &outcome_tag(&outcome.sample),
+        );
+    }
+    let next = on_complete(cells, precision, outcome, job);
+    let cell = &cells[job.cell_index];
+    if cell.finished {
+        if let Some(journal) = journal {
+            journal.record_cell(job.cell_index, &finalize_cell(&job.key, cell, precision));
+        }
+    }
+    next
 }
 
 /// The serial path: jobs execute inline on the calling thread in
 /// deterministic expansion order; an adaptive re-enqueue lands at the
-/// back of the same queue.
+/// back of the same queue. An interrupt stops before the next job.
 fn run_serial(
     jobs: &[Job],
     cfg: &Config,
     precision: Option<PrecisionTarget>,
     cells: &mut [CellSched],
-    verbose: bool,
-) -> Vec<JobOutcome> {
+    opts: &RunnerOpts,
+) {
     let mut queue: VecDeque<Job> = jobs.iter().copied().collect();
-    let mut outcomes = Vec::new();
     while let Some(job) = queue.pop_front() {
+        if simbench_obs::shutdown::interrupted() {
+            break;
+        }
+        let (sample, attempts) = execute(&job, cfg, opts);
         let outcome = JobOutcome {
             cell_index: job.cell_index,
             rep: job.rep,
-            sample: execute(&job, cfg),
+            attempts,
+            sample,
         };
-        if verbose || simbench_obs::log::enabled(simbench_obs::log::LEVEL_DEBUG) {
+        if opts.verbose || simbench_obs::log::enabled(simbench_obs::log::LEVEL_DEBUG) {
             eprintln!(
                 "[campaign] {}/{} {} rep {}",
                 job.key.guest.isa_name(),
@@ -313,12 +553,10 @@ fn run_serial(
                 job.rep,
             );
         }
-        if let Some(next) = on_complete(cells, precision, &outcome, &job) {
+        if let Some(next) = absorb(cells, precision, outcome, &job, opts.journal.as_deref()) {
             queue.push_back(next);
         }
-        outcomes.push(outcome);
     }
-    outcomes
 }
 
 /// Shared state of the worker pool: the job queue plus the completion
@@ -331,7 +569,6 @@ struct PoolState {
     queue: VecDeque<Job>,
     in_flight: usize,
     done: usize,
-    outcomes: Vec<JobOutcome>,
 }
 
 /// The worker pool used when more than one worker is requested.
@@ -341,13 +578,12 @@ fn run_pool(
     precision: Option<PrecisionTarget>,
     cells: &mut [CellSched],
     workers: usize,
-    verbose: bool,
-) -> Vec<JobOutcome> {
+    opts: &RunnerOpts,
+) {
     let state = Mutex::new(PoolState {
         queue: jobs.iter().copied().collect(),
         in_flight: 0,
         done: 0,
-        outcomes: Vec::with_capacity(jobs.len()),
     });
     let wakeup = Condvar::new();
     let cells = Mutex::new(cells);
@@ -365,6 +601,12 @@ fn run_pool(
                 let job = {
                     let mut st = state.lock().unwrap();
                     loop {
+                        if simbench_obs::shutdown::interrupted() {
+                            // Graceful drain: nothing new starts, the
+                            // in-flight repetitions finish and are
+                            // recorded, finalize marks the rest.
+                            st.queue.clear();
+                        }
                         if let Some(job) = st.queue.pop_front() {
                             st.in_flight += 1;
                             break Some(job);
@@ -381,16 +623,24 @@ fn run_pool(
                     wakeup.notify_all();
                     break;
                 };
+                let (sample, attempts) = execute(&job, cfg, opts);
                 let outcome = JobOutcome {
                     cell_index: job.cell_index,
                     rep: job.rep,
-                    sample: execute(&job, cfg),
+                    attempts,
+                    sample,
                 };
-                let next = on_complete(&mut cells.lock().unwrap(), precision, &outcome, &job);
+                let next = absorb(
+                    &mut cells.lock().unwrap(),
+                    precision,
+                    outcome,
+                    &job,
+                    opts.journal.as_deref(),
+                );
                 let mut st = state.lock().unwrap();
                 st.in_flight -= 1;
                 st.done += 1;
-                if verbose || simbench_obs::log::enabled(simbench_obs::log::LEVEL_DEBUG) {
+                if opts.verbose || simbench_obs::log::enabled(simbench_obs::log::LEVEL_DEBUG) {
                     // In adaptive mode the initial job count is only a
                     // floor — convergence decides the real total — so
                     // the denominator carries a trailing '+'.
@@ -406,7 +656,6 @@ fn run_pool(
                 if let Some(next) = next {
                     st.queue.push_back(next);
                 }
-                st.outcomes.push(outcome);
                 drop(st);
                 // New work appeared or in_flight dropped: both matter
                 // to parked workers.
@@ -414,111 +663,127 @@ fn run_pool(
             });
         }
     });
-    state.into_inner().unwrap().outcomes
 }
 
-/// Fold job outcomes into the deterministic per-cell result layout.
-fn finalize(
-    spec: &CampaignSpec,
-    jobs: usize,
-    shard: Option<Shard>,
-    outcomes: Vec<JobOutcome>,
-    sched: &[CellSched],
-    wall_secs: f64,
-) -> CampaignResult {
-    let mut result = CampaignResult::empty_for(spec, jobs);
-    result.shard = shard;
-    let keys = spec.cells();
-    // Per cell: one slot per launched repetition, filled in any
-    // completion order so `seconds` stays in repetition order.
-    let mut slots: Vec<Vec<Option<RepOutcome>>> = sched
-        .iter()
-        .map(|c| vec![None; c.launched as usize])
-        .collect();
-    for o in outcomes {
-        slots[o.cell_index][o.rep as usize] = Some(o.sample);
-    }
-
-    for (cell_index, (((cell, reps_slots), key), cs)) in result
-        .cells
-        .iter_mut()
-        .zip(slots)
-        .zip(keys)
-        .zip(sched)
-        .enumerate()
-    {
-        let mut samples: Vec<Sample> = Vec::new();
-        let mut failure: Option<CellStatus> = None;
-        let mut measured = false;
-        for slot in reps_slots.into_iter().flatten() {
-            measured = true;
-            cell.reps_run += 1;
-            match slot {
-                Err(panic_msg) => {
-                    failure.get_or_insert(CellStatus::Failed(panic_msg));
-                }
-                Ok(None) => {} // workload absent on this ISA
-                Ok(Some(sample)) => {
-                    match sample.exit {
-                        // Only halted repetitions contribute the
-                        // iteration count: an aborted sample's count
-                        // must not leak into the persisted result.
-                        ExitReason::Halted => {
-                            cell.iterations = sample.iterations;
-                            samples.push(sample);
-                        }
-                        ExitReason::Unsupported(what) => {
-                            failure.get_or_insert(CellStatus::Unsupported(what.to_string()));
-                        }
-                        other => {
-                            failure.get_or_insert(CellStatus::Failed(other.to_string()));
-                        }
+/// Build one cell's persisted record from its scheduler state. Shared
+/// between the journal (cells are journaled the moment they finish)
+/// and [`finalize`] (the same fold at campaign end), so a replayed
+/// journal cell is byte-identical to the cell an uninterrupted run
+/// would have persisted.
+fn finalize_cell(key: &CellKey, cs: &CellSched, precision: Option<PrecisionTarget>) -> CellResult {
+    let mut cell = CellResult::skeleton(key);
+    cell.attempts = cs.attempts;
+    let mut samples: Vec<&Sample> = Vec::new();
+    let mut failure: Option<CellStatus> = None;
+    // Iterate slots in repetition order so `seconds` is deterministic
+    // and the first failure (by rep, not by completion time) wins.
+    for slot in cs.slots.iter().flatten() {
+        cell.reps_run += 1;
+        match slot {
+            RepResult::Panicked(payload) => {
+                failure.get_or_insert(CellStatus::Quarantined(payload.clone()));
+            }
+            RepResult::Transient(msg) => {
+                failure.get_or_insert(CellStatus::Failed(msg.clone()));
+            }
+            RepResult::TimedOut(why) => {
+                failure.get_or_insert(CellStatus::TimedOut(why.clone()));
+            }
+            RepResult::Done(None) => {} // workload absent on this ISA
+            RepResult::Done(Some(sample)) => {
+                match sample.exit {
+                    // Only halted repetitions contribute the iteration
+                    // count: an aborted sample's count must not leak
+                    // into the persisted result.
+                    ExitReason::Halted => {
+                        cell.iterations = sample.iterations;
+                        samples.push(sample);
+                    }
+                    ExitReason::Unsupported(what) => {
+                        failure.get_or_insert(CellStatus::Unsupported(what.to_string()));
+                    }
+                    ref other => {
+                        failure.get_or_insert(CellStatus::Failed(other.to_string()));
                     }
                 }
             }
         }
-        if !measured {
-            // No job was expanded for this cell: it belongs to another
-            // shard, or the workload is not on the ISA.
+    }
+    // Failures take precedence so partial timings are never mistaken
+    // for a clean cell.
+    if let Some(status) = failure {
+        cell.status = status;
+        return cell;
+    }
+    if samples.is_empty() {
+        cell.status = CellStatus::NotOnIsa;
+        return cell;
+    }
+    cell.status = CellStatus::Ok;
+    // A truthful stop reason for every clean cell: fixed-mode cells
+    // ran exactly the spec'd count; adaptive cells carry the
+    // scheduler's verdict. An Ok adaptive cell always reached a
+    // decision point, so a missing verdict is a scheduler bug —
+    // recorded as the conservative MaxReps, never as Converged.
+    cell.stop_reason = Some(match precision {
+        None => StopReason::Fixed,
+        Some(_) => {
+            debug_assert!(cs.stop.is_some(), "Ok adaptive cell without a verdict");
+            cs.stop.unwrap_or(StopReason::MaxReps)
+        }
+    });
+    cell.seconds = samples.iter().map(|s| s.seconds).collect();
+    cell.stats = stats(&cell.seconds);
+    cell.counters = samples[0].counters;
+    cell.counters_consistent = samples.iter().all(|s| s.counters == samples[0].counters);
+    cell.tested_ops = key.workload.tested_ops(&cell.counters);
+    if !cell.counters_consistent {
+        // Keep every repetition's profile: the divergence itself is
+        // the evidence an engine-determinism bug needs.
+        cell.counter_variants = samples.iter().map(|s| s.counters).collect();
+    }
+    cell
+}
+
+/// Fold scheduler state into the deterministic per-cell result layout.
+fn finalize(
+    spec: &CampaignSpec,
+    jobs: usize,
+    shard: Option<Shard>,
+    sched: &[CellSched],
+    wall_secs: f64,
+    interrupted: bool,
+) -> CampaignResult {
+    let mut result = CampaignResult::empty_for(spec, jobs);
+    result.shard = shard;
+    let keys = spec.cells();
+
+    for (cell_index, ((cell, key), cs)) in result.cells.iter_mut().zip(&keys).zip(sched).enumerate()
+    {
+        if cs.completed == 0 {
+            // No repetition finished here: the cell belongs to another
+            // shard, the workload is not on the ISA, or an interrupt
+            // drained its jobs before any could run. Interrupted cells
+            // are recorded as failed — a partial artifact must name
+            // its holes, never pass them off as absent workloads.
             cell.status = match shard {
                 Some(s) if !s.owns(cell_index) => CellStatus::Skipped,
+                _ if cs.launched > 0 && interrupted => {
+                    CellStatus::Failed("interrupted".to_string())
+                }
                 _ => CellStatus::NotOnIsa,
             };
             continue;
         }
-        // Unsupported/Failed takes precedence so partial timings are
-        // never mistaken for a clean cell.
-        if let Some(status) = failure {
-            cell.status = status;
+        if interrupted && !cs.finished {
+            // Some repetitions ran, the rest were drained: the partial
+            // timings must not masquerade as a clean cell.
+            cell.reps_run = cs.completed;
+            cell.attempts = cs.attempts;
+            cell.status = CellStatus::Failed("interrupted".to_string());
             continue;
         }
-        if samples.is_empty() {
-            cell.status = CellStatus::NotOnIsa;
-            continue;
-        }
-        cell.status = CellStatus::Ok;
-        // A truthful stop reason for every clean cell: fixed-mode cells
-        // ran exactly the spec'd count; adaptive cells carry the
-        // scheduler's verdict. An Ok adaptive cell always reached a
-        // decision point, so a missing verdict is a scheduler bug —
-        // recorded as the conservative MaxReps, never as Converged.
-        cell.stop_reason = Some(match spec.precision {
-            None => StopReason::Fixed,
-            Some(_) => {
-                debug_assert!(cs.stop.is_some(), "Ok adaptive cell without a verdict");
-                cs.stop.unwrap_or(StopReason::MaxReps)
-            }
-        });
-        cell.seconds = samples.iter().map(|s| s.seconds).collect();
-        cell.stats = stats(&cell.seconds);
-        cell.counters = samples[0].counters;
-        cell.counters_consistent = samples.iter().all(|s| s.counters == samples[0].counters);
-        cell.tested_ops = key.workload.tested_ops(&cell.counters);
-        if !cell.counters_consistent {
-            // Keep every repetition's profile: the divergence itself is
-            // the evidence an engine-determinism bug needs.
-            cell.counter_variants = samples.iter().map(|s| s.counters).collect();
-        }
+        *cell = finalize_cell(key, cs, spec.precision);
     }
 
     result.wall_secs = wall_secs;
@@ -534,7 +799,6 @@ mod tests {
     use super::*;
     use crate::measure::{EngineKind, Guest};
     use simbench_suite::Benchmark;
-    use std::time::Duration;
 
     fn tiny_spec() -> CampaignSpec {
         CampaignSpec {
@@ -554,6 +818,9 @@ mod tests {
 
     #[test]
     fn serial_run_fills_cells() {
+        // Serialize with failpoint-arming tests: an armed
+        // process-global failpoint must never hit a clean-run test.
+        let _fp = failpoint::test_guard();
         let result = run(&tiny_spec(), &RunnerOpts::serial());
         assert_eq!(result.cells.len(), 8);
         let ok = result
@@ -574,6 +841,7 @@ mod tests {
             .unwrap();
         assert_eq!(ok_cell.seconds.len(), 2);
         assert_eq!(ok_cell.reps_run, 2);
+        assert_eq!(ok_cell.attempts, 2, "no retries on a clean run");
         assert_eq!(ok_cell.stop_reason, Some(StopReason::Fixed));
         assert!(ok_cell.counters.syscalls >= 16);
         assert!(ok_cell.counters_consistent);
@@ -584,6 +852,9 @@ mod tests {
 
     #[test]
     fn unsupported_detailed_cell_is_flagged() {
+        // Serialize with failpoint-arming tests: an armed
+        // process-global failpoint must never hit a clean-run test.
+        let _fp = failpoint::test_guard();
         let spec = CampaignSpec {
             name: "unsupported".to_string(),
             guests: vec![Guest::Armlet],
@@ -605,6 +876,9 @@ mod tests {
 
     #[test]
     fn wall_limited_cell_records_no_iterations() {
+        // Serialize with failpoint-arming tests: an armed
+        // process-global failpoint must never hit a clean-run test.
+        let _fp = failpoint::test_guard();
         // A sub-measurable wall limit aborts every repetition, so the
         // cell fails and its iteration count stays unrecorded.
         let spec = CampaignSpec {
@@ -629,6 +903,9 @@ mod tests {
 
     #[test]
     fn shard_run_skips_unowned_cells_and_carries_metadata() {
+        // Serialize with failpoint-arming tests: an armed
+        // process-global failpoint must never hit a clean-run test.
+        let _fp = failpoint::test_guard();
         let spec = tiny_spec();
         let shard = Shard::new(2, 2).unwrap();
         let result = run_shard(&spec, &RunnerOpts::serial(), Some(shard));
@@ -659,6 +936,9 @@ mod tests {
 
     #[test]
     fn adaptive_cells_report_reps_in_bounds_with_truthful_reasons() {
+        // Serialize with failpoint-arming tests: an armed
+        // process-global failpoint must never hit a clean-run test.
+        let _fp = failpoint::test_guard();
         for opts in [RunnerOpts::serial(), RunnerOpts::with_jobs(4)] {
             // A loose target cells hit at min_reps, and a tight one
             // that drives cells to the bound unless a quantized clock
@@ -701,6 +981,9 @@ mod tests {
 
     #[test]
     fn adaptive_run_is_counter_identical_to_fixed() {
+        // Serialize with failpoint-arming tests: an armed
+        // process-global failpoint must never hit a clean-run test.
+        let _fp = failpoint::test_guard();
         let fixed = run(&tiny_spec(), &RunnerOpts::serial());
         let adaptive = run(&adaptive_spec(0.5, 2, 5), &RunnerOpts::with_jobs(3));
         for (a, f) in adaptive.cells.iter().zip(&fixed.cells) {
@@ -717,6 +1000,9 @@ mod tests {
 
     #[test]
     fn adaptive_failing_cell_stops_without_burning_the_budget() {
+        // Serialize with failpoint-arming tests: an armed
+        // process-global failpoint must never hit a clean-run test.
+        let _fp = failpoint::test_guard();
         // Every repetition aborts on the 1ns wall limit: the scheduler
         // must mark the cell terminal after the initial min_reps batch
         // instead of re-enqueueing toward max_reps.
@@ -736,6 +1022,20 @@ mod tests {
         assert_eq!(result.cells[0].stop_reason, None);
     }
 
+    fn halted_outcome(rep: u32, secs: f64) -> JobOutcome {
+        JobOutcome {
+            cell_index: 0,
+            rep,
+            attempts: 1,
+            sample: RepResult::Done(Some(Sample {
+                seconds: secs,
+                counters: Default::default(),
+                exit: ExitReason::Halted,
+                iterations: 16,
+            })),
+        }
+    }
+
     #[test]
     fn on_complete_waits_for_stragglers_before_deciding() {
         // Two reps in flight; the first completion must not trigger a
@@ -749,20 +1049,12 @@ mod tests {
             rep,
             key,
         };
-        let halted = |secs: f64| JobOutcome {
-            cell_index: 0,
-            rep: 0,
-            sample: Ok(Some(Sample {
-                seconds: secs,
-                counters: Default::default(),
-                exit: ExitReason::Halted,
-                iterations: 16,
-            })),
-        };
-        assert!(on_complete(&mut cells, p, &halted(1.0), &job(0)).is_none());
+        assert!(on_complete(&mut cells, p, halted_outcome(0, 1.0), &job(0)).is_none());
         assert_eq!(cells[0].stop, None, "decision deferred to the straggler");
-        assert!(on_complete(&mut cells, p, &halted(1.1), &job(1)).is_none());
+        assert!(!cells[0].finished);
+        assert!(on_complete(&mut cells, p, halted_outcome(1, 1.1), &job(1)).is_none());
         assert_eq!(cells[0].stop, Some(StopReason::Converged));
+        assert!(cells[0].finished);
     }
 
     #[test]
@@ -780,27 +1072,203 @@ mod tests {
             rep,
             key,
         };
-        let halted = |rep: u32, secs: f64| JobOutcome {
-            cell_index: 0,
-            rep,
-            sample: Ok(Some(Sample {
-                seconds: secs,
-                counters: Default::default(),
-                exit: ExitReason::Halted,
-                iterations: 16,
-            })),
-        };
-        assert!(on_complete(&mut cells, p, &halted(0, 1.0), &job(0)).is_none());
-        let next = on_complete(&mut cells, p, &halted(1, 2.0), &job(1)).expect("re-enqueue");
+        assert!(on_complete(&mut cells, p, halted_outcome(0, 1.0), &job(0)).is_none());
+        let next = on_complete(&mut cells, p, halted_outcome(1, 2.0), &job(1)).expect("re-enqueue");
         assert_eq!((next.cell_index, next.rep), (0, 2));
-        let next = on_complete(&mut cells, p, &halted(2, 3.0), &next).expect("re-enqueue");
+        let next = on_complete(&mut cells, p, halted_outcome(2, 3.0), &next).expect("re-enqueue");
         assert_eq!(next.rep, 3);
         assert_eq!(cells[0].stop, None);
         assert!(
-            on_complete(&mut cells, p, &halted(3, 4.0), &next).is_none(),
+            on_complete(&mut cells, p, halted_outcome(3, 4.0), &next).is_none(),
             "the bound is hard"
         );
         assert_eq!(cells[0].stop, Some(StopReason::MaxReps));
         assert_eq!(cells[0].launched, 4);
+    }
+
+    #[test]
+    fn injected_panic_quarantines_one_cell_and_spares_the_rest() {
+        let _fp = failpoint::test_guard();
+        failpoint::arm("measure.rep=1*panic(injected quarantine test)").unwrap();
+        let result = run(&tiny_spec(), &RunnerOpts::serial());
+        failpoint::disarm_all();
+        let quarantined: Vec<_> = result
+            .cells
+            .iter()
+            .filter(|c| matches!(c.status, CellStatus::Quarantined(_)))
+            .collect();
+        assert_eq!(quarantined.len(), 1, "exactly one cell quarantines");
+        assert_eq!(
+            quarantined[0].status,
+            CellStatus::Quarantined("injected quarantine test".to_string()),
+            "the panic payload is recorded"
+        );
+        assert!(quarantined[0].stats.is_none());
+        assert_eq!(quarantined[0].stop_reason, None);
+        // The rest of the matrix completed exactly as a clean run does.
+        let clean = run(&tiny_spec(), &RunnerOpts::serial());
+        for (c, r) in clean.cells.iter().zip(&result.cells) {
+            if matches!(r.status, CellStatus::Quarantined(_)) {
+                continue;
+            }
+            assert_eq!(
+                c.status, r.status,
+                "{}/{} {}",
+                c.guest, c.engine, c.workload
+            );
+            assert_eq!(c.counters, r.counters);
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_attempts_recorded() {
+        let _fp = failpoint::test_guard();
+        failpoint::arm("measure.rep=2*err(injected transient)").unwrap();
+        let opts = RunnerOpts {
+            retries: 3,
+            ..RunnerOpts::serial()
+        };
+        let spec = CampaignSpec {
+            guests: vec![Guest::Armlet],
+            engines: vec![EngineKind::Interp],
+            workloads: vec![Workload::Suite(Benchmark::Syscall)],
+            ..tiny_spec()
+        };
+        let result = run(&spec, &opts);
+        failpoint::disarm_all();
+        let cell = &result.cells[0];
+        assert_eq!(cell.status, CellStatus::Ok, "retries recovered the cell");
+        assert_eq!(cell.reps_run, 2);
+        // Rep 0 burned the two injected failures: 3 executions for it,
+        // 1 for rep 1.
+        assert_eq!(cell.attempts, 4, "true execution count recorded");
+        // The persisted form round-trips the attempts field.
+        let parsed = CampaignResult::from_json(&result.to_json()).unwrap();
+        assert_eq!(parsed.cells[0].attempts, 4);
+        assert_eq!(parsed.cells[0].reps_run, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_cell_truthfully() {
+        let _fp = failpoint::test_guard();
+        failpoint::arm("measure.rep=err(persistent failure)").unwrap();
+        let opts = RunnerOpts {
+            retries: 1,
+            ..RunnerOpts::serial()
+        };
+        let spec = CampaignSpec {
+            guests: vec![Guest::Armlet],
+            engines: vec![EngineKind::Interp],
+            workloads: vec![Workload::Suite(Benchmark::Syscall)],
+            reps: 1,
+            ..tiny_spec()
+        };
+        let result = run(&spec, &opts);
+        failpoint::disarm_all();
+        let cell = &result.cells[0];
+        assert_eq!(
+            cell.status,
+            CellStatus::Failed("persistent failure".to_string())
+        );
+        assert_eq!(cell.reps_run, 1);
+        assert_eq!(cell.attempts, 2, "initial execution plus one retry");
+    }
+
+    #[test]
+    fn watchdog_times_out_a_hung_repetition() {
+        let _fp = failpoint::test_guard();
+        failpoint::arm("measure.rep=hang(60000)").unwrap();
+        let opts = RunnerOpts {
+            cell_timeout: Some(Duration::from_millis(50)),
+            ..RunnerOpts::serial()
+        };
+        let spec = CampaignSpec {
+            guests: vec![Guest::Armlet],
+            engines: vec![EngineKind::Interp],
+            workloads: vec![Workload::Suite(Benchmark::Syscall)],
+            reps: 1,
+            ..tiny_spec()
+        };
+        let t0 = Instant::now();
+        let result = run(&spec, &opts);
+        failpoint::disarm_all();
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "the watchdog, not the hang, must bound the wall time"
+        );
+        let cell = &result.cells[0];
+        assert!(
+            matches!(cell.status, CellStatus::TimedOut(_)),
+            "{:?}",
+            cell.status
+        );
+        assert!(cell.stats.is_none());
+    }
+
+    #[test]
+    fn watchdogged_clean_run_matches_inline_counters() {
+        // Serialize with failpoint-arming tests: an armed
+        // process-global failpoint must never hit a clean-run test.
+        let _fp = failpoint::test_guard();
+        // The watchdog thread must be measurement-transparent.
+        let opts = RunnerOpts {
+            cell_timeout: Some(Duration::from_secs(120)),
+            ..RunnerOpts::serial()
+        };
+        let guarded = run(&tiny_spec(), &opts);
+        let inline = run(&tiny_spec(), &RunnerOpts::serial());
+        for (g, i) in guarded.cells.iter().zip(&inline.cells) {
+            assert_eq!(
+                g.status, i.status,
+                "{}/{} {}",
+                g.guest, g.engine, g.workload
+            );
+            assert_eq!(g.counters, i.counters);
+        }
+    }
+
+    #[test]
+    fn interrupted_finalize_marks_unfinished_cells_failed() {
+        let spec = tiny_spec();
+        let keys = spec.cells();
+        let mut sched: Vec<CellSched> = (0..keys.len()).map(|_| CellSched::new()).collect();
+        // Cell 0 finished cleanly before the interrupt.
+        sched[0].launched = 2;
+        sched[0].completed = 2;
+        sched[0].attempts = 2;
+        sched[0].finished = true;
+        for rep in 0..2 {
+            let RepResult::Done(s) = halted_outcome(rep, 0.5).sample else {
+                unreachable!()
+            };
+            sched[0].seconds.push(0.5);
+            sched[0].slots.push(Some(RepResult::Done(s)));
+        }
+        // Cell 1 completed one of two reps; cells 2.. never started.
+        sched[1].launched = 2;
+        sched[1].completed = 1;
+        sched[1].attempts = 1;
+        let RepResult::Done(s) = halted_outcome(0, 0.5).sample else {
+            unreachable!()
+        };
+        sched[1].slots.push(Some(RepResult::Done(s)));
+        for cs in sched.iter_mut().skip(2) {
+            cs.launched = 2;
+        }
+        let result = finalize(&spec, 1, None, &sched, 1.0, true);
+        assert_eq!(result.cells[0].status, CellStatus::Ok, "finished survives");
+        assert_eq!(
+            result.cells[1].status,
+            CellStatus::Failed("interrupted".to_string()),
+            "partial timings never fake a clean cell"
+        );
+        assert_eq!(result.cells[1].reps_run, 1);
+        for cell in &result.cells[2..] {
+            assert_eq!(
+                cell.status,
+                CellStatus::Failed("interrupted".to_string()),
+                "unstarted cells are named, not passed off as absent"
+            );
+        }
     }
 }

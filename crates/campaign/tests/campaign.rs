@@ -4,8 +4,8 @@
 
 use simbench_campaign::measure::{EngineKind, Guest};
 use simbench_campaign::{
-    compare, compare_counters, merge, run, run_shard, CampaignResult, CampaignSpec, CellStatus,
-    RunnerOpts, Shard, Workload,
+    compare, compare_counters, merge, replay, run, run_shard, run_shard_resumed, CampaignResult,
+    CampaignSpec, CellStatus, Journal, RunnerOpts, Shard, Workload, JOURNAL_FILE,
 };
 use simbench_suite::Benchmark;
 
@@ -179,6 +179,178 @@ fn persisted_result_round_trips_through_disk() {
     assert_eq!(fingerprint(&result), fingerprint(&loaded));
     assert_eq!(loaded.schema, simbench_campaign::SCHEMA);
     assert_eq!(loaded.scale, s.scale);
+}
+
+/// Fresh scratch directory for one journal test.
+fn journal_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "simbench-journal-test-{}-{name}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Simulate a kill mid-campaign: rewrite the journal keeping only the
+/// lines up to and including the `keep_cells`-th finished-cell record,
+/// optionally followed by a torn (partial) trailing line, exactly as a
+/// crash mid-`write` would leave it.
+fn truncate_journal(dir: &std::path::Path, keep_cells: usize, torn_tail: bool) {
+    let path = dir.join(JOURNAL_FILE);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut kept = String::new();
+    let mut cells = 0usize;
+    for line in text.lines() {
+        kept.push_str(line);
+        kept.push('\n');
+        if line.contains("\"record\": \"cell\"") {
+            cells += 1;
+            if cells == keep_cells {
+                break;
+            }
+        }
+    }
+    assert_eq!(cells, keep_cells, "journal had too few cell records");
+    if torn_tail {
+        kept.push_str("{\"record\": \"cell\", \"index\": 99, \"ce");
+    }
+    std::fs::write(&path, kept).unwrap();
+}
+
+#[test]
+fn journaled_run_resumed_from_truncated_journal_is_counter_exact() {
+    let s = spec(2);
+    let whole = run(&s, &RunnerOpts::serial());
+    let dir = journal_dir("resume");
+
+    // A journaled run behaves identically to a plain one and echoes
+    // the journal directory into the artifact.
+    let journal = Journal::create(&dir, &s, None).unwrap();
+    let opts = RunnerOpts {
+        journal: Some(std::sync::Arc::new(journal)),
+        ..RunnerOpts::serial()
+    };
+    let journaled = run(&s, &opts);
+    assert_eq!(fingerprint(&journaled), fingerprint(&whole));
+    assert_eq!(journaled.journal.as_deref(), Some(&*dir.to_string_lossy()));
+
+    // The completed journal replays every measured cell (not-on-ISA
+    // cells launch no jobs and are re-derived free on resume), and a
+    // journal written for a different spec is rejected rather than
+    // silently resumed.
+    let measured = whole
+        .cells
+        .iter()
+        .filter(|c| c.status != CellStatus::NotOnIsa)
+        .count();
+    let full = replay(&dir, &s, None).unwrap();
+    assert!(!full.torn);
+    assert_eq!(full.cells.len(), measured);
+    assert_eq!(full.broken, 0);
+    assert!(replay(&dir, &spec(3), None).is_err());
+
+    // Chop the journal down to a prefix of finished cells with a torn
+    // final line — the shape a SIGKILL mid-append leaves behind.
+    let keep = s.cells().len() / 2;
+    truncate_journal(&dir, keep, true);
+    let partial = replay(&dir, &s, None).unwrap();
+    assert!(partial.torn, "torn trailing line must be detected");
+    assert_eq!(partial.cells.len(), keep);
+
+    // Resuming measures only the remainder yet lands counter-exact on
+    // the uninterrupted run.
+    let resumed = run_shard_resumed(&s, &RunnerOpts::serial(), None, &partial.cells);
+    assert_eq!(fingerprint(&resumed), fingerprint(&whole));
+    assert!(compare_counters(&whole, &resumed, 0.0).clean());
+    assert!(compare_counters(&resumed, &whole, 0.0).clean());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn broken_journaled_cells_are_remeasured_on_resume() {
+    let s = spec(1);
+    let whole = run(&s, &RunnerOpts::serial());
+    let dir = journal_dir("broken");
+
+    // Hand-write a journal: one cleanly finished cell, plus one that
+    // was quarantined and one that timed out before the "crash".
+    let ok_indices: Vec<usize> = whole
+        .cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.status == CellStatus::Ok)
+        .map(|(i, _)| i)
+        .take(3)
+        .collect();
+    let [good, poisoned, hung] = ok_indices[..] else {
+        panic!("spec has at least three ok cells");
+    };
+    let journal = Journal::create(&dir, &s, None).unwrap();
+    journal.record_cell(good, &whole.cells[good]);
+    let mut cell = whole.cells[poisoned].clone();
+    cell.status = CellStatus::Quarantined("engine panicked: injected".to_string());
+    journal.record_cell(poisoned, &cell);
+    let mut cell = whole.cells[hung].clone();
+    cell.status = CellStatus::TimedOut("exceeded 1s cell timeout".to_string());
+    journal.record_cell(hung, &cell);
+    drop(journal);
+
+    // Broken cells do not replay as finished — they get a fresh chance.
+    let rep = replay(&dir, &s, None).unwrap();
+    assert_eq!(rep.broken, 2);
+    assert_eq!(rep.cells.len(), 1);
+    assert_eq!(rep.cells[0].0, good);
+
+    // After resume the quarantined/timed-out cells are clean again and
+    // the whole artifact is counter-exact.
+    let resumed = run_shard_resumed(&s, &RunnerOpts::serial(), None, &rep.cells);
+    assert_eq!(resumed.cells[poisoned].status, CellStatus::Ok);
+    assert_eq!(resumed.cells[hung].status, CellStatus::Ok);
+    assert_eq!(fingerprint(&resumed), fingerprint(&whole));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resumed_shards_merge_counter_exact_at_shard_counts_1_2_5() {
+    let s = spec(2);
+    let whole = run(&s, &RunnerOpts::serial());
+    for count in [1u32, 2, 5] {
+        let shards: Vec<CampaignResult> = (1..=count)
+            .map(|i| {
+                let shard = Shard::new(i, count).unwrap();
+                let dir = journal_dir(&format!("shard-{i}-of-{count}"));
+                // Journal the shard, then "kill" it after roughly half
+                // its cells finished and resume from the journal.
+                let journal = Journal::create(&dir, &s, Some(shard)).unwrap();
+                let opts = RunnerOpts {
+                    journal: Some(std::sync::Arc::new(journal)),
+                    ..RunnerOpts::serial()
+                };
+                let full = run_shard(&s, &opts, Some(shard));
+                let finished = full
+                    .cells
+                    .iter()
+                    .filter(|c| c.status != CellStatus::Skipped && c.status != CellStatus::NotOnIsa)
+                    .count();
+                truncate_journal(&dir, finished / 2, finished % 2 == 1);
+                let rep = replay(&dir, &s, Some(shard)).unwrap();
+                let resumed = run_shard_resumed(&s, &RunnerOpts::serial(), Some(shard), &rep.cells);
+                std::fs::remove_dir_all(&dir).ok();
+                resumed
+            })
+            .collect();
+        let merged = merge(&shards).unwrap_or_else(|e| panic!("count {count}: {e}"));
+        assert_eq!(fingerprint(&merged), fingerprint(&whole), "count {count}");
+        assert!(
+            compare_counters(&whole, &merged, 0.0).clean(),
+            "count {count}"
+        );
+        assert!(
+            compare_counters(&merged, &whole, 0.0).clean(),
+            "count {count}"
+        );
+    }
 }
 
 #[test]

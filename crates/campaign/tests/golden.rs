@@ -1,16 +1,17 @@
 //! Golden-fixture tests for the persisted campaign schema.
 //!
-//! The committed fixtures pin the on-disk format: `campaign_v1.json`,
-//! `campaign_v2.json`, `campaign_v3.json` and `campaign_v4.json` are
-//! legacy documents, `campaign_v5.json` is their migrated
-//! `simbench-campaign/v5` rendering (pre-v4 statistics recomputed from
-//! the raw timings, `reps_run` / `stop_reason` filled in; v4 documents
-//! pass through with stats and verdicts untouched), and
-//! `campaign_v3_shard.json` / `campaign_v5_shard.json` pin a partial
-//! (shard) result with shard metadata and `skipped` cells across
-//! generations. Any unintentional change to the serializer, the
-//! parser, or a migration shows up here as a byte diff; after an
-//! *intentional* schema change, regenerate the v5 fixtures with
+//! The committed fixtures pin the on-disk format: `campaign_v1.json`
+//! through `campaign_v5.json` are legacy documents,
+//! `campaign_v6.json` is their migrated `simbench-campaign/v6`
+//! rendering (pre-v4 statistics recomputed from the raw timings,
+//! `reps_run` / `stop_reason` filled in; v4/v5 documents pass through
+//! with stats and verdicts untouched), and `campaign_v3_shard.json` /
+//! `campaign_v4_shard.json` / `campaign_v5_shard.json` /
+//! `campaign_v6_shard.json` pin a partial (shard) result with shard
+//! metadata and `skipped` cells across generations. Any unintentional
+//! change to the serializer, the parser, or a migration shows up here
+//! as a byte diff; after an *intentional* schema change, regenerate
+//! the v6 fixtures with
 //!
 //! ```sh
 //! cargo test -p simbench-campaign --test golden regen -- --ignored
@@ -18,7 +19,7 @@
 
 use simbench_campaign::{
     CampaignResult, CellStatus, LoadError, Shard, StopReason, SCHEMA, SCHEMA_V1, SCHEMA_V2,
-    SCHEMA_V3, SCHEMA_V4,
+    SCHEMA_V3, SCHEMA_V4, SCHEMA_V5,
 };
 
 const V1: &str = include_str!("fixtures/campaign_v1.json");
@@ -29,11 +30,13 @@ const V4: &str = include_str!("fixtures/campaign_v4.json");
 const V4_SHARD: &str = include_str!("fixtures/campaign_v4_shard.json");
 const V5: &str = include_str!("fixtures/campaign_v5.json");
 const V5_SHARD: &str = include_str!("fixtures/campaign_v5_shard.json");
+const V6: &str = include_str!("fixtures/campaign_v6.json");
+const V6_SHARD: &str = include_str!("fixtures/campaign_v6_shard.json");
 
 /// The shard fixture's in-memory value: shard 2 of 3, one owned cell
 /// measured, the two unowned cells skipped.
 fn shard_demo() -> CampaignResult {
-    let mut r = CampaignResult::from_json(V5).unwrap();
+    let mut r = CampaignResult::from_json(V6).unwrap();
     r.shard = Some(Shard::new(2, 3).unwrap());
     for (i, cell) in r.cells.iter_mut().enumerate() {
         if i != 1 {
@@ -53,41 +56,67 @@ fn shard_demo() -> CampaignResult {
 }
 
 #[test]
-fn v5_fixture_round_trips_byte_stably() {
-    let parsed = CampaignResult::from_json(V5).expect("v5 fixture parses");
+fn v6_fixture_round_trips_byte_stably() {
+    let parsed = CampaignResult::from_json(V6).expect("v6 fixture parses");
     assert_eq!(parsed.schema, SCHEMA);
     assert_eq!(parsed.shard, None);
     assert_eq!(parsed.telemetry, None);
+    assert_eq!(parsed.journal, None);
     assert_eq!(
         parsed.to_json(),
-        V5,
-        "re-serializing the v5 fixture must reproduce it byte for byte"
+        V6,
+        "re-serializing the v6 fixture must reproduce it byte for byte"
     );
 }
 
 #[test]
-fn v5_shard_fixture_round_trips_byte_stably() {
-    let parsed = CampaignResult::from_json(V5_SHARD).expect("v5 shard fixture parses");
+fn v6_shard_fixture_round_trips_byte_stably() {
+    let parsed = CampaignResult::from_json(V6_SHARD).expect("v6 shard fixture parses");
     assert_eq!(parsed.schema, SCHEMA);
     assert_eq!(parsed.shard, Some(Shard::new(2, 3).unwrap()));
     assert_eq!(parsed.cells[0].status, CellStatus::Skipped);
     assert_eq!(parsed.cells[1].status, CellStatus::Ok);
     assert_eq!(
         parsed.to_json(),
-        V5_SHARD,
+        V6_SHARD,
         "re-serializing the shard fixture must reproduce it byte for byte"
     );
 }
 
 #[test]
-fn v4_fixture_migrates_to_exactly_the_v5_fixture() {
+fn v5_fixture_migrates_to_exactly_the_v6_fixture() {
+    assert!(V5.contains(SCHEMA_V5));
+    let migrated = CampaignResult::from_json(V5).expect("v5 fixture parses");
+    assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
+    assert_eq!(
+        migrated.to_json(),
+        V6,
+        "saving a loaded v5 file must produce the committed v6 rendering \
+         (the only difference is the schema line)"
+    );
+    // v5 statistics and stop verdicts are trusted verbatim; the new v6
+    // fields take their defaults (attempts = reps_run, no journal).
+    assert_eq!(migrated.cells[0].attempts, migrated.cells[0].reps_run);
+    assert_eq!(migrated.journal, None, "v5 predates journaling");
+}
+
+#[test]
+fn v5_shard_fixture_migrates_to_exactly_the_v6_shard_fixture() {
+    let migrated = CampaignResult::from_json(V5_SHARD).expect("v5 shard fixture parses");
+    assert_eq!(migrated.schema, SCHEMA);
+    assert_eq!(migrated.shard, Some(Shard::new(2, 3).unwrap()));
+    assert_eq!(migrated.to_json(), V6_SHARD);
+}
+
+#[test]
+fn v4_fixture_migrates_to_exactly_the_v6_fixture() {
     assert!(V4.contains(SCHEMA_V4));
     let migrated = CampaignResult::from_json(V4).expect("v4 fixture parses");
     assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
     assert_eq!(
         migrated.to_json(),
-        V5,
-        "saving a loaded v4 file must produce the committed v5 rendering \
+        V6,
+        "saving a loaded v4 file must produce the committed v6 rendering \
          (the only difference is the schema line)"
     );
     // v4 statistics and stop verdicts are trusted verbatim — unlike
@@ -98,14 +127,14 @@ fn v4_fixture_migrates_to_exactly_the_v5_fixture() {
 }
 
 #[test]
-fn v3_fixture_migrates_to_exactly_the_v5_fixture() {
+fn v3_fixture_migrates_to_exactly_the_v6_fixture() {
     assert!(V3.contains(SCHEMA_V3));
     let migrated = CampaignResult::from_json(V3).expect("v3 fixture parses");
     assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
     assert_eq!(
         migrated.to_json(),
-        V5,
-        "saving a loaded v3 file must produce the committed v5 rendering"
+        V6,
+        "saving a loaded v3 file must produce the committed v6 rendering"
     );
     // Migration recomputes the statistics from the raw timings: the
     // stored v3 CI used the normal 1.96 critical value, the migrated
@@ -130,47 +159,47 @@ fn v3_fixture_migrates_to_exactly_the_v5_fixture() {
 }
 
 #[test]
-fn v4_shard_fixture_migrates_to_exactly_the_v5_shard_fixture() {
+fn v4_shard_fixture_migrates_to_exactly_the_v6_shard_fixture() {
     let migrated = CampaignResult::from_json(V4_SHARD).expect("v4 shard fixture parses");
     assert_eq!(migrated.schema, SCHEMA);
     assert_eq!(migrated.shard, Some(Shard::new(2, 3).unwrap()));
-    assert_eq!(migrated.to_json(), V5_SHARD);
+    assert_eq!(migrated.to_json(), V6_SHARD);
 }
 
 #[test]
-fn v3_shard_fixture_migrates_to_exactly_the_v5_shard_fixture() {
+fn v3_shard_fixture_migrates_to_exactly_the_v6_shard_fixture() {
     let migrated = CampaignResult::from_json(V3_SHARD).expect("v3 shard fixture parses");
     assert_eq!(migrated.schema, SCHEMA);
     assert_eq!(migrated.shard, Some(Shard::new(2, 3).unwrap()));
     assert_eq!(
         migrated.to_json(),
-        V5_SHARD,
-        "saving a loaded v3 shard file must produce the committed v5 rendering"
+        V6_SHARD,
+        "saving a loaded v3 shard file must produce the committed v6 rendering"
     );
 }
 
 #[test]
-fn v2_fixture_migrates_to_exactly_the_v5_fixture() {
+fn v2_fixture_migrates_to_exactly_the_v6_fixture() {
     assert!(V2.contains(SCHEMA_V2));
     let migrated = CampaignResult::from_json(V2).expect("v2 fixture parses");
     assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
     assert_eq!(migrated.shard, None, "v2 predates sharding");
     assert_eq!(
         migrated.to_json(),
-        V5,
-        "saving a loaded v2 file must produce the committed v5 rendering"
+        V6,
+        "saving a loaded v2 file must produce the committed v6 rendering"
     );
 }
 
 #[test]
-fn v1_fixture_migrates_to_exactly_the_v5_fixture() {
+fn v1_fixture_migrates_to_exactly_the_v6_fixture() {
     assert!(V1.contains(SCHEMA_V1));
     let migrated = CampaignResult::from_json(V1).expect("v1 fixture parses");
     assert_eq!(migrated.schema, SCHEMA, "migration normalizes the schema");
     assert_eq!(
         migrated.to_json(),
-        V5,
-        "saving a loaded v1 file must produce the committed v5 rendering"
+        V6,
+        "saving a loaded v1 file must produce the committed v6 rendering"
     );
     // Migration recomputes the tested-op count from the stored profile.
     assert_eq!(migrated.cells[0].tested_ops, Some(2500));
@@ -197,8 +226,8 @@ fn migrated_fixture_keeps_cell_semantics() {
 
 #[test]
 fn unknown_schema_versions_are_typed_errors() {
-    for found in ["simbench-campaign/v0", "simbench-campaign/v6", "nonsense"] {
-        let text = V5.replace(SCHEMA, found);
+    for found in ["simbench-campaign/v0", "simbench-campaign/v7", "nonsense"] {
+        let text = V6.replace(SCHEMA, found);
         match CampaignResult::from_json(&text) {
             Err(LoadError::Schema { found: f }) => assert_eq!(f, found),
             other => panic!("expected a schema error for {found:?}, got {other:?}"),
@@ -225,31 +254,31 @@ fn malformed_documents_are_typed_errors_not_panics() {
         Err(LoadError::Malformed(_))
     ));
     // Unknown counter name inside a cell.
-    let text = V5.replace("\"instructions\"", "\"instruction_bytes\"");
+    let text = V6.replace("\"instructions\"", "\"instruction_bytes\"");
     match CampaignResult::from_json(&text) {
         Err(LoadError::Malformed(e)) => assert!(e.contains("unknown counter"), "{e}"),
         other => panic!("expected malformed, got {other:?}"),
     }
     // Corrupted timing entry.
-    let text = V5.replace("[0.011, 0.0105]", "[0.011, true]");
+    let text = V6.replace("[0.011, 0.0105]", "[0.011, true]");
     assert!(matches!(
         CampaignResult::from_json(&text),
         Err(LoadError::Malformed(_))
     ));
     // An unknown stop reason.
-    let text = V5.replace("\"stop_reason\": \"fixed\"", "\"stop_reason\": \"bored\"");
+    let text = V6.replace("\"stop_reason\": \"fixed\"", "\"stop_reason\": \"bored\"");
     match CampaignResult::from_json(&text) {
         Err(LoadError::Malformed(e)) => assert!(e.contains("stop_reason"), "{e}"),
         other => panic!("expected malformed, got {other:?}"),
     }
     // Shard metadata with an out-of-range index.
-    let text = V5_SHARD.replace("\"index\": 2", "\"index\": 9");
+    let text = V6_SHARD.replace("\"index\": 2", "\"index\": 9");
     match CampaignResult::from_json(&text) {
         Err(LoadError::Malformed(e)) => assert!(e.contains("shard"), "{e}"),
         other => panic!("expected malformed, got {other:?}"),
     }
     // A telemetry block that is not an object.
-    let text = V5.replace(
+    let text = V6.replace(
         "\"created_unix\": 1700000000,",
         "\"created_unix\": 1700000000,\n  \"telemetry\": [],",
     );
@@ -265,27 +294,27 @@ fn unreadable_files_are_io_errors() {
     assert!(matches!(err, LoadError::Io(_)), "{err}");
 }
 
-/// Regenerates `fixtures/campaign_v5.json` from the committed v1
+/// Regenerates `fixtures/campaign_v6.json` from the committed v1
 /// fixture. Ignored by default: run it manually after an intentional
 /// schema change, then review the diff.
 #[test]
-#[ignore = "writes the v5 fixture; run manually after intentional schema changes"]
-fn regen_v5_fixture() {
+#[ignore = "writes the v6 fixture; run manually after intentional schema changes"]
+fn regen_v6_fixture() {
     let migrated = CampaignResult::from_json(V1).unwrap();
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
-        "/tests/fixtures/campaign_v5.json"
+        "/tests/fixtures/campaign_v6.json"
     );
     std::fs::write(path, migrated.to_json()).unwrap();
 }
 
-/// Regenerates `fixtures/campaign_v5_shard.json` from the v5 fixture.
+/// Regenerates `fixtures/campaign_v6_shard.json` from the v6 fixture.
 #[test]
 #[ignore = "writes the shard fixture; run manually after intentional schema changes"]
-fn regen_v5_shard_fixture() {
+fn regen_v6_shard_fixture() {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
-        "/tests/fixtures/campaign_v5_shard.json"
+        "/tests/fixtures/campaign_v6_shard.json"
     );
     std::fs::write(path, shard_demo().to_json()).unwrap();
 }

@@ -101,6 +101,11 @@ pub fn check_workload(
 /// Lockstep-compare `programs` seeded random programs on an engine
 /// pair. Program `k` runs from `program_seed(seed, k)`, so a failing
 /// report names a binary reproducible in isolation.
+///
+/// Interrupt-aware: if [`simbench_obs::shutdown`] reports SIGINT or
+/// SIGTERM, the sweep stops before the next program and returns the
+/// comparisons completed so far (prefix of the deterministic program
+/// sequence — program `k`'s report is identical either way).
 pub fn fuzz_pair(
     guest: Guest,
     engine_a: EngineKind,
@@ -110,6 +115,7 @@ pub fn fuzz_pair(
     cfg: &DifferConfig,
 ) -> Vec<Report> {
     (0..programs)
+        .take_while(|_| !simbench_obs::shutdown::interrupted())
         .map(|k| {
             let pseed = program_seed(seed, k);
             let subject = format!("{}/fuzz:{seed:#x}[{k}]", guest.isa_name());

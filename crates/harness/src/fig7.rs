@@ -78,7 +78,9 @@ pub fn render(campaign: &CampaignResult) -> (Results, String) {
                     }
                     CellStatus::NotOnIsa => Cell::NotOnIsa,
                     CellStatus::Unsupported(_) => Cell::Unsupported,
-                    CellStatus::Failed(why) => {
+                    CellStatus::Failed(why)
+                    | CellStatus::Quarantined(why)
+                    | CellStatus::TimedOut(why) => {
                         panic!("{engine:?}/{bench:?} on {guest:?}: {why}")
                     }
                     // Figure drivers always run whole campaigns; a

@@ -72,7 +72,7 @@ use std::process::ExitCode;
 
 use simbench_apps::App;
 use simbench_campaign::{
-    compare, compare_counters, merge, run_shard, CampaignResult, CampaignSpec, EngineKind, Guest,
+    compare, compare_counters, merge, CampaignResult, CampaignSpec, EngineKind, Guest,
     PrecisionTarget, RunnerOpts, Shard, Workload,
 };
 use simbench_dbt::QEMU_VERSIONS;
@@ -86,6 +86,8 @@ const USAGE: &str = "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8
                                      [--apps] [--versions] [--shard I/N]
                                      [--precision RCI [--min-reps N] [--max-reps N]]
                                      [--trace FILE] [--progress[=ndjson]]
+                                     [--journal DIR | --resume DIR]
+                                     [--cell-timeout SECS] [--retries N] [--failpoints SPEC]
        simbench-harness campaign merge <SHARD.json>... --out FILE
        simbench-harness campaign compare <CURRENT.json> --baseline FILE
                                      [--threshold FRAC | --counters [--tolerance FRAC]]
@@ -101,7 +103,9 @@ const USAGE: &str = "usage: simbench-harness <fig2|fig3|fig4|fig5|fig6|fig7|fig8
                                 [--scale N] [--fuel N] [--check] [--out FILE]
        simbench-harness lint [--root DIR]
        simbench-harness --list
-global flags (anywhere on the line): --quiet (warnings only), -v/--verbose (debug)";
+global flags (anywhere on the line): --quiet (warnings only), -v/--verbose (debug)
+exit codes: 0 clean, 1 failure/regression, 2 broken coverage, 3 usage,
+            4 merge/journal data error, 130 interrupted (SIGINT/SIGTERM)";
 
 fn fail(msg: &str) -> ! {
     eprintln!("simbench-harness: {msg}");
@@ -308,9 +312,25 @@ fn campaign_run(mut args: Args) -> ExitCode {
     let mut max_reps: Option<u32> = None;
     let mut explicit_reps = false;
     let mut trace_path: Option<String> = None;
+    let mut journal_dir: Option<String> = None;
+    let mut resume_dir: Option<String> = None;
+    let mut cell_timeout: Option<f64> = None;
+    let mut retries = 0u32;
+    let mut failpoints: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace" => trace_path = Some(args.value_of("--trace")),
+            "--journal" => journal_dir = Some(args.value_of("--journal")),
+            "--resume" => resume_dir = Some(args.value_of("--resume")),
+            "--cell-timeout" => {
+                let t: f64 = args.parse_of("--cell-timeout");
+                if !(t > 0.0 && t.is_finite()) {
+                    fail("--cell-timeout must be a positive number of seconds");
+                }
+                cell_timeout = Some(t);
+            }
+            "--retries" => retries = args.parse_of("--retries"),
+            "--failpoints" => failpoints = Some(args.value_of("--failpoints")),
             "--progress" => {
                 simbench_obs::progress::set_mode(simbench_obs::ProgressMode::Human);
             }
@@ -403,6 +423,22 @@ fn campaign_run(mut args: Args) -> ExitCode {
         spec.workloads
             .extend(App::ALL.iter().copied().map(Workload::App));
     }
+    if journal_dir.is_some() && resume_dir.is_some() {
+        fail("--journal conflicts with --resume: --resume already appends to DIR's journal");
+    }
+    // Fault injection: the --failpoints flag wins over the
+    // SIMBENCH_FAILPOINTS environment variable. A bad spec is a usage
+    // error either way — injecting the wrong fault silently would make
+    // every fault-tolerance test meaningless.
+    match &failpoints {
+        Some(fp) => simbench_campaign::failpoint::arm(fp).unwrap_or_else(|e| fail(&e)),
+        None => {
+            simbench_campaign::failpoint::arm_from_env().unwrap_or_else(|e| fail(&e));
+        }
+    }
+    // Graceful shutdown: SIGINT/SIGTERM drains the runner at the next
+    // repetition boundary and the partial artifact is still persisted.
+    simbench_obs::shutdown::install();
 
     let cells = spec.cells().len();
     let total_jobs = spec.expand_shard(shard).len();
@@ -428,14 +464,79 @@ fn campaign_run(mut args: Args) -> ExitCode {
         simbench_obs::set_tracing(true);
         simbench_obs::set_metrics(true);
     }
-    let mut result = run_shard(
-        &spec,
-        &RunnerOpts {
-            jobs,
-            verbose: false,
-        },
-        shard,
-    );
+    let mut opts = RunnerOpts {
+        jobs,
+        verbose: false,
+        cell_timeout: cell_timeout.map(std::time::Duration::from_secs_f64),
+        retries,
+        journal: None,
+    };
+    // Resume reconstructs finished cells from the write-ahead journal
+    // and measures only the remainder; counters are deterministic, so
+    // the resumed artifact is counter-exact against an uninterrupted
+    // run. A --resume directory without a journal file degrades to a
+    // fresh journaled start (the campaign never ran far enough to
+    // record anything); a journal written for a *different* campaign
+    // is a data error — resuming it would mismeasure.
+    let mut done: Vec<(usize, simbench_campaign::CellResult)> = Vec::new();
+    if let Some(dir) = &resume_dir {
+        let journal_file = std::path::Path::new(dir).join(simbench_campaign::JOURNAL_FILE);
+        if journal_file.exists() {
+            let replayed = match simbench_campaign::replay(dir, &spec, shard) {
+                Ok(r) => r,
+                Err(e) => {
+                    simbench_obs::warn!("simbench-harness: cannot resume from {dir}: {e}");
+                    return ExitCode::from(4);
+                }
+            };
+            simbench_obs::info!(
+                "[campaign {}: resuming from {dir} — {} finished cell(s) replayed from \
+                 {} repetition record(s){}{}]",
+                spec.name,
+                replayed.cells.len(),
+                replayed.reps,
+                if replayed.broken > 0 {
+                    format!(", {} broken cell(s) re-measured", replayed.broken)
+                } else {
+                    String::new()
+                },
+                if replayed.torn {
+                    ", torn final record discarded"
+                } else {
+                    ""
+                },
+            );
+            done = replayed.cells;
+            match simbench_campaign::Journal::resume(dir) {
+                Ok(j) => opts.journal = Some(std::sync::Arc::new(j)),
+                Err(e) => {
+                    simbench_obs::warn!("simbench-harness: cannot reopen journal in {dir}: {e}");
+                    return ExitCode::from(4);
+                }
+            }
+        } else {
+            simbench_obs::warn!(
+                "[campaign {}: no journal in {dir} — starting fresh (and journaling there)]",
+                spec.name
+            );
+            match simbench_campaign::Journal::create(dir, &spec, shard) {
+                Ok(j) => opts.journal = Some(std::sync::Arc::new(j)),
+                Err(e) => {
+                    simbench_obs::warn!("simbench-harness: cannot create journal in {dir}: {e}");
+                    return ExitCode::from(4);
+                }
+            }
+        }
+    } else if let Some(dir) = &journal_dir {
+        match simbench_campaign::Journal::create(dir, &spec, shard) {
+            Ok(j) => opts.journal = Some(std::sync::Arc::new(j)),
+            Err(e) => {
+                simbench_obs::warn!("simbench-harness: cannot create journal in {dir}: {e}");
+                return ExitCode::from(4);
+            }
+        }
+    }
+    let mut result = simbench_campaign::run_shard_resumed(&spec, &opts, shard, &done);
     simbench_obs::info!(
         "[campaign {}{shard_note} finished in {:.2}s]",
         spec.name,
@@ -460,12 +561,26 @@ fn campaign_run(mut args: Args) -> ExitCode {
         simbench_obs::set_tracing(false);
         write_file(&path, simbench_obs::trace::chrome_trace_json().as_bytes());
     }
+    // An interrupted run persisted a valid partial artifact above;
+    // exit 130 tells the caller (and CI) the campaign is incomplete by
+    // interruption, not by measurement failure.
+    if simbench_obs::shutdown::interrupted() {
+        simbench_obs::warn!(
+            "[campaign {}: interrupted — partial artifact persisted, exiting 130]",
+            spec.name
+        );
+        return ExitCode::from(simbench_obs::shutdown::EXIT_INTERRUPTED as u8);
+    }
     // Expected matrix holes (`-` / `-†`) are fine; cells that *failed*
-    // (limits, panics) mean the measurement run itself is unsound.
-    let failed = result
-        .cells
-        .iter()
-        .any(|c| matches!(c.status, simbench_campaign::CellStatus::Failed(_)));
+    // (limits, transient errors), quarantined (panicked) or timed out
+    // mean the measurement run itself is unsound.
+    let failed = result.cells.iter().any(|c| {
+        use simbench_campaign::CellStatus;
+        matches!(
+            c.status,
+            CellStatus::Failed(_) | CellStatus::Quarantined(_) | CellStatus::TimedOut(_)
+        )
+    });
     if failed {
         simbench_obs::warn!(
             "[campaign {}: some cells failed — exiting non-zero]",
@@ -872,22 +987,37 @@ fn differ_main(argv: Vec<String>) -> ExitCode {
         }
     }
 
-    let reports = match (workload, fuzz_seed) {
+    // Ctrl-C / SIGTERM stops the sweep before the next subject: the
+    // comparisons already completed are still reported, and the exit
+    // code says "interrupted", not "agree" or "disagree".
+    simbench_obs::shutdown::install();
+    let (reports, planned) = match (workload, fuzz_seed) {
         (Some(_), Some(_)) => fail("--workload conflicts with --fuzz"),
         (None, None) => fail("differ needs --workload <W|all> or --fuzz SEED"),
-        (Some(w), None) => differ_workloads(guest, &w)
-            .into_iter()
-            .map(|wl| {
-                check_workload(guest, wl, engine_a, engine_b, &cfg).unwrap_or_else(|| {
-                    fail(&format!(
-                        "workload {:?} does not exist on guest {:?}",
-                        wl.id(),
-                        guest.isa_name()
-                    ))
-                })
-            })
-            .collect::<Vec<_>>(),
-        (None, Some(seed)) => fuzz_pair(guest, engine_a, engine_b, seed, programs, &cfg),
+        (Some(w), None) => {
+            let workloads = differ_workloads(guest, &w);
+            let planned = workloads.len();
+            let mut reports = Vec::with_capacity(planned);
+            for wl in workloads {
+                if simbench_obs::shutdown::interrupted() {
+                    break;
+                }
+                reports.push(
+                    check_workload(guest, wl, engine_a, engine_b, &cfg).unwrap_or_else(|| {
+                        fail(&format!(
+                            "workload {:?} does not exist on guest {:?}",
+                            wl.id(),
+                            guest.isa_name()
+                        ))
+                    }),
+                );
+            }
+            (reports, planned)
+        }
+        (None, Some(seed)) => (
+            fuzz_pair(guest, engine_a, engine_b, seed, programs, &cfg),
+            programs as usize,
+        ),
     };
 
     let mut disagreements = 0usize;
@@ -896,6 +1026,14 @@ fn differ_main(argv: Vec<String>) -> ExitCode {
         if !report.agree() {
             disagreements += 1;
         }
+    }
+    if simbench_obs::shutdown::interrupted() {
+        println!(
+            "differ: interrupted — {} of {planned} comparison(s) completed, {} agree",
+            reports.len(),
+            reports.len() - disagreements,
+        );
+        return ExitCode::from(simbench_obs::shutdown::EXIT_INTERRUPTED as u8);
     }
     println!(
         "differ: {}/{} comparison(s) agree",
@@ -986,6 +1124,11 @@ fn analyze_main(argv: Vec<String>) -> ExitCode {
         fail("--fuel must be at least 1");
     }
 
+    // Ctrl-C / SIGTERM stops the sweep before the next subject; the
+    // analyses already completed are reported (and persisted with
+    // --out) and the exit code says "interrupted".
+    simbench_obs::shutdown::install();
+    let interrupted = || simbench_obs::shutdown::interrupted();
     let analyses: Vec<simbench_analyzer::SubjectAnalysis> = match (workload, fuzz_seed) {
         (Some(_), Some(_)) => fail("--workload conflicts with --fuzz"),
         (w, None) => {
@@ -995,6 +1138,7 @@ fn analyze_main(argv: Vec<String>) -> ExitCode {
             guests
                 .iter()
                 .flat_map(|&guest| workloads.iter().map(move |&wl| (guest, wl)))
+                .take_while(|_| !interrupted())
                 .filter_map(|(guest, wl)| {
                     let a = analyze_workload(guest, wl, scale, &opts);
                     // Matrix holes are expected under `all`, but a
@@ -1013,10 +1157,11 @@ fn analyze_main(argv: Vec<String>) -> ExitCode {
         (None, Some(seed)) => guests
             .iter()
             .flat_map(|&guest| (0..programs).map(move |k| (guest, k)))
+            .take_while(|_| !interrupted())
             .map(|(guest, k)| analyze_fuzz(guest, seed, k, &opts))
             .collect(),
     };
-    if analyses.is_empty() {
+    if analyses.is_empty() && !interrupted() {
         fail("nothing to analyze (with --fuzz, --programs must be at least 1)");
     }
 
@@ -1030,14 +1175,22 @@ fn analyze_main(argv: Vec<String>) -> ExitCode {
             problems += 1;
         }
     }
+    if let Some(path) = out_path {
+        write_file(&path, simbench_analyzer::to_json(&analyses).as_bytes());
+    }
+    if interrupted() {
+        println!(
+            "analyze: interrupted — {} subject(s) completed, {} clean",
+            analyses.len(),
+            analyses.len() - problems,
+        );
+        return ExitCode::from(simbench_obs::shutdown::EXIT_INTERRUPTED as u8);
+    }
     println!(
         "analyze: {}/{} subject(s) clean",
         analyses.len() - problems,
         analyses.len()
     );
-    if let Some(path) = out_path {
-        write_file(&path, simbench_analyzer::to_json(&analyses).as_bytes());
-    }
     if problems > 0 {
         ExitCode::FAILURE
     } else {
@@ -1185,10 +1338,7 @@ fn render_summary(result: &CampaignResult) -> String {
             .filter(|c| c.status == CellStatus::Ok)
             .filter_map(|c| c.metric())
             .collect();
-        let flagged = cells
-            .iter()
-            .filter(|c| matches!(c.status, CellStatus::Failed(_) | CellStatus::Unsupported(_)))
-            .count();
+        let flagged = cells.iter().filter(|c| c.status.is_broken()).count();
         table.row([
             key.0,
             key.1,
@@ -1206,21 +1356,43 @@ fn render_summary(result: &CampaignResult) -> String {
         ]);
     }
     out.push_str(&table.render());
-    let failed: Vec<String> = result
-        .cells
-        .iter()
-        .filter_map(|c| match &c.status {
-            CellStatus::Failed(why) => Some(format!(
-                "  {}/{} {}: {why}\n",
-                c.guest, c.engine, c.workload
-            )),
+    // Problem cells, one section per kind, so a fault-isolated run
+    // names every hole in its coverage: failed (limits, transient
+    // errors, interrupts), quarantined (panicking engines) and
+    // timed-out (hung engines) cells are never silent.
+    for (title, pick) in [
+        (
+            "failed cells",
+            &(|s: &CellStatus| match s {
+                CellStatus::Failed(why) => Some(why.clone()),
+                _ => None,
+            }) as &dyn Fn(&CellStatus) -> Option<String>,
+        ),
+        (
+            "quarantined cells (engine panicked)",
+            &|s: &CellStatus| match s {
+                CellStatus::Quarantined(payload) => Some(payload.clone()),
+                _ => None,
+            },
+        ),
+        ("timed-out cells", &|s: &CellStatus| match s {
+            CellStatus::TimedOut(why) => Some(why.clone()),
             _ => None,
-        })
-        .collect();
-    if !failed.is_empty() {
-        out.push_str("\nfailed cells:\n");
-        for line in failed {
-            out.push_str(&line);
+        }),
+    ] {
+        let listed: Vec<String> = result
+            .cells
+            .iter()
+            .filter_map(|c| {
+                pick(&c.status)
+                    .map(|why| format!("  {}/{} {}: {why}\n", c.guest, c.engine, c.workload))
+            })
+            .collect();
+        if !listed.is_empty() {
+            out.push_str(&format!("\n{title}:\n"));
+            for line in listed {
+                out.push_str(&line);
+            }
         }
     }
     out

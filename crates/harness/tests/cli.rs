@@ -992,6 +992,326 @@ fn analyze_usage_errors_exit_3() {
     );
 }
 
+/// The common spec flags of the fault-tolerance tests: four cells,
+/// two reps each, small enough to re-run several times per test.
+const FAULT_SPEC: &[&str] = &[
+    "--guests",
+    "armlet",
+    "--engines",
+    "interp,native",
+    "--benches",
+    "System Call,Hot Memory Access",
+    "--scale",
+    "500000",
+    "--reps",
+    "2",
+];
+
+/// A scratch directory unique to this test process and label.
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simbench-cli-{}-{label}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn the harness binary without waiting, output piped.
+fn spawn_cli(args: &[&str], env: &[(&str, &str)]) -> std::process::Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_simbench-harness"));
+    cmd.args(args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("spawn simbench-harness")
+}
+
+/// Count finished-cell records currently in a journal directory.
+fn cell_records(dir: &std::path::Path) -> usize {
+    std::fs::read_to_string(dir.join(simbench_campaign::JOURNAL_FILE))
+        .map(|t| t.matches("\"record\": \"cell\"").count())
+        .unwrap_or(0)
+}
+
+/// Block until the journal holds at least `n` finished-cell records.
+fn wait_for_cells(dir: &std::path::Path, n: usize) {
+    let t0 = std::time::Instant::now();
+    while cell_records(dir) < n {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(120),
+            "journal in {} never reached {n} cell record(s)",
+            dir.display()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn killed_campaign_resumes_counter_exact_end_to_end() {
+    // Uninterrupted reference run.
+    let clean = scratch("fault-clean");
+    let mut args = vec!["campaign", "run"];
+    args.extend_from_slice(FAULT_SPEC);
+    args.extend_from_slice(&["--out", clean.to_str().unwrap()]);
+    let out = run_cli(&args);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+
+    // The same campaign, journaled, hung after four repetitions (two
+    // finished cells) and then killed with SIGKILL — no unwinding, no
+    // flushes, exactly the crash the journal exists for.
+    let jdir = scratch_dir("fault-journal");
+    let jdir_str = jdir.to_str().unwrap().to_string();
+    let victim = scratch("fault-victim");
+    let mut args = vec!["campaign", "run"];
+    args.extend_from_slice(FAULT_SPEC);
+    args.extend_from_slice(&[
+        "--jobs",
+        "1",
+        "--journal",
+        &jdir_str,
+        "--failpoints",
+        "measure.rep=4+hang(60000)",
+        "--out",
+        victim.to_str().unwrap(),
+    ]);
+    let mut child = spawn_cli(&args, &[]);
+    wait_for_cells(&jdir, 2);
+    child.kill().unwrap();
+    child.wait().unwrap();
+    assert!(!victim.exists(), "killed run must not persist an artifact");
+
+    // Resume from the journal (no failpoints this time): only the
+    // remainder is measured and the artifact is counter-exact against
+    // the uninterrupted run, in both directions.
+    let resumed = scratch("fault-resumed");
+    let resumed_str = resumed.to_str().unwrap();
+    let mut args = vec!["campaign", "run"];
+    args.extend_from_slice(FAULT_SPEC);
+    args.extend_from_slice(&["--resume", &jdir_str, "--out", resumed_str]);
+    let out = run_cli(&args);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    for (cur, base) in [(&resumed, &clean), (&clean, &resumed)] {
+        let out = run_cli(&[
+            "campaign",
+            "compare",
+            cur.to_str().unwrap(),
+            "--baseline",
+            base.to_str().unwrap(),
+            "--counters",
+        ]);
+        assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    }
+    // The artifact names the journal it came from and has no holes.
+    let result = CampaignResult::load(&resumed).unwrap();
+    assert_eq!(result.journal.as_deref(), Some(jdir_str.as_str()));
+    assert!(result.cells.iter().all(|c| c.status == CellStatus::Ok));
+    std::fs::remove_dir_all(&jdir).ok();
+}
+
+#[test]
+fn injected_panic_quarantines_one_cell_end_to_end() {
+    let clean = scratch("quarantine-clean");
+    let mut args = vec!["campaign", "run"];
+    args.extend_from_slice(FAULT_SPEC);
+    args.extend_from_slice(&["--out", clean.to_str().unwrap()]);
+    let out = run_cli(&args);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+
+    // One injected panic on the very first repetition: that cell is
+    // quarantined, every other cell completes normally, and the run
+    // exits 1 (broken cells are a failure, not a crash).
+    let q = scratch("quarantine-run");
+    let q_str = q.to_str().unwrap();
+    let mut args = vec!["campaign", "run"];
+    args.extend_from_slice(FAULT_SPEC);
+    args.extend_from_slice(&[
+        "--jobs",
+        "1",
+        "--failpoints",
+        "measure.rep=1*panic(injected fault)",
+        "--out",
+        q_str,
+    ]);
+    let out = run_cli(&args);
+    assert_eq!(exit_code(&out), 1, "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("quarantined cells"),
+        "{}",
+        stdout(&out)
+    );
+
+    let result = CampaignResult::load(&q).unwrap();
+    let quarantined: Vec<_> = result
+        .cells
+        .iter()
+        .filter(|c| matches!(c.status, CellStatus::Quarantined(_)))
+        .collect();
+    assert_eq!(quarantined.len(), 1, "exactly one cell quarantines");
+    assert!(
+        matches!(&quarantined[0].status, CellStatus::Quarantined(m) if m.contains("injected fault")),
+        "{:?}",
+        quarantined[0].status
+    );
+    assert!(result
+        .cells
+        .iter()
+        .filter(|c| !matches!(c.status, CellStatus::Quarantined(_)))
+        .all(|c| c.status == CellStatus::Ok));
+
+    // The quarantined cell is broken coverage under the compare gate.
+    let out = run_cli(&[
+        "campaign",
+        "compare",
+        q_str,
+        "--baseline",
+        clean.to_str().unwrap(),
+        "--counters",
+    ]);
+    assert_eq!(exit_code(&out), 2, "{}", stdout(&out));
+    assert!(stdout(&out).contains("BROKEN"), "{}", stdout(&out));
+
+    // A retry budget absorbs the same injected fault completely: the
+    // re-run attempt succeeds and the campaign is clean end to end.
+    let retried = scratch("quarantine-retried");
+    let mut args = vec!["campaign", "run"];
+    args.extend_from_slice(FAULT_SPEC);
+    args.extend_from_slice(&[
+        "--jobs",
+        "1",
+        "--retries",
+        "2",
+        "--failpoints",
+        "measure.rep=1*panic(injected fault)",
+        "--out",
+        retried.to_str().unwrap(),
+    ]);
+    let out = run_cli(&args);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    let result = CampaignResult::load(&retried).unwrap();
+    assert!(result.cells.iter().all(|c| c.status == CellStatus::Ok));
+    let retried_cell = result
+        .cells
+        .iter()
+        .find(|c| c.attempts > c.reps_run)
+        .expect("one cell records its extra attempt");
+    assert_eq!(retried_cell.attempts, retried_cell.reps_run + 1);
+}
+
+#[test]
+fn sigterm_persists_a_partial_artifact_and_exits_130() {
+    // Journaled run armed via the environment (covering the env path):
+    // two repetitions finish, the third hangs under a 5 s watchdog.
+    let jdir = scratch_dir("term-journal");
+    let jdir_str = jdir.to_str().unwrap().to_string();
+    let part = scratch("term-partial");
+    let part_str = part.to_str().unwrap().to_string();
+    let mut args = vec!["campaign", "run"];
+    args.extend_from_slice(FAULT_SPEC);
+    args.extend_from_slice(&[
+        "--jobs",
+        "1",
+        "--cell-timeout",
+        "5",
+        "--journal",
+        &jdir_str,
+        "--out",
+        &part_str,
+    ]);
+    let child = spawn_cli(
+        &args,
+        &[("SIMBENCH_FAILPOINTS", "measure.rep=2+hang(60000)")],
+    );
+    wait_for_cells(&jdir, 1);
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(130), "{}", stdout(&out));
+
+    // The partial artifact is valid, names its holes truthfully, and
+    // keeps what did finish.
+    let result = CampaignResult::load(&part).unwrap();
+    assert!(result.cells.iter().any(|c| c.status == CellStatus::Ok));
+    assert!(result
+        .cells
+        .iter()
+        .any(|c| c.status == CellStatus::Failed("interrupted".to_string())));
+
+    // And the journal it left behind resumes to a fully clean run.
+    let resumed = scratch("term-resumed");
+    let mut args = vec!["campaign", "run"];
+    args.extend_from_slice(FAULT_SPEC);
+    args.extend_from_slice(&["--resume", &jdir_str, "--out", resumed.to_str().unwrap()]);
+    let out = run_cli(&args);
+    assert_eq!(exit_code(&out), 0, "{}", stdout(&out));
+    let result = CampaignResult::load(&resumed).unwrap();
+    assert!(result.cells.iter().all(|c| c.status == CellStatus::Ok));
+    std::fs::remove_dir_all(&jdir).ok();
+}
+
+#[test]
+fn analyze_and_differ_sweeps_interrupt_with_exit_130() {
+    for (args, marker) in [
+        (
+            vec!["analyze", "armlet", "--fuzz", "7", "--programs", "100000"],
+            "analyze: interrupted —",
+        ),
+        (
+            vec![
+                "differ",
+                "armlet",
+                "interp",
+                "native",
+                "--fuzz",
+                "7",
+                "--programs",
+                "100000",
+            ],
+            "differ: interrupted —",
+        ),
+    ] {
+        let child = spawn_cli(&args, &[]);
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        let kill = Command::new("kill")
+            .args(["-TERM", &child.id().to_string()])
+            .status()
+            .unwrap();
+        assert!(kill.success());
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(out.status.code(), Some(130), "{args:?}: {}", stdout(&out));
+        assert!(stdout(&out).contains(marker), "{args:?}: {}", stdout(&out));
+    }
+}
+
+#[test]
+fn fault_tolerance_flags_usage_errors_exit_3() {
+    for args in [
+        // --journal and --resume are mutually exclusive.
+        vec![
+            "campaign",
+            "run",
+            "--journal",
+            "/tmp/a",
+            "--resume",
+            "/tmp/b",
+        ],
+        // Watchdog and retry values must parse and be sensible.
+        vec!["campaign", "run", "--cell-timeout", "0"],
+        vec!["campaign", "run", "--cell-timeout", "-1"],
+        vec!["campaign", "run", "--cell-timeout", "banana"],
+        vec!["campaign", "run", "--retries", "banana"],
+        // A malformed failpoint spec is an error, never a silent no-op.
+        vec!["campaign", "run", "--failpoints", "no-equals"],
+        vec!["campaign", "run", "--failpoints", "s=explode"],
+    ] {
+        let out = run_cli(&args);
+        assert_eq!(exit_code(&out), 3, "args {args:?}: {}", stdout(&out));
+    }
+}
+
 #[test]
 fn lint_runs_clean_on_this_repository() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -30,6 +30,7 @@ pub mod log;
 pub mod metrics;
 pub mod progress;
 pub mod ring;
+pub mod shutdown;
 pub mod trace;
 
 pub use metrics::{Counter, Histogram};
